@@ -1,0 +1,308 @@
+// Command rtdbsim regenerates the paper's tables and figures, or runs a
+// custom single configuration, printing aligned text tables and
+// optionally CSV.
+//
+// Usage:
+//
+//	rtdbsim -experiment fig2            # any of fig2..fig6, dbsize, semantics, inherit, all
+//	rtdbsim -experiment fig3 -runs 3 -count 200 -csv
+//	rtdbsim -experiment custom -protocol C -size 12 -runs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rtlock"
+	"rtlock/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rtdbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rtdbsim", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "which experiment: fig2..fig6, dbsize, semantics, inherit, restart, priority, buffer, hotspot, predictability, consistency, placement, custom, all")
+		runs       = fs.Int("runs", 0, "override runs per point (0 keeps the default)")
+		count      = fs.Int("count", 0, "override transactions per run (0 keeps the default)")
+		seed       = fs.Int64("seed", 1, "base random seed")
+		csv        = fs.Bool("csv", false, "also print CSV after each table")
+		plot       = fs.Bool("plot", false, "also print an ASCII plot of each figure")
+		outDir     = fs.String("out", "", "also write <name>.txt and <name>.csv per figure into this directory")
+		protocol   = fs.String("protocol", "C", "custom: protocol C|P|L|PI|CX|HP|CR|DD|TO")
+		size       = fs.Int("size", 10, "custom: mean transaction size")
+		spec       = fs.String("spec", "", "run a JSON specification file instead of a named experiment")
+		trace      = fs.Int("trace", 0, "with -spec single mode: print up to N trace events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *spec != "" {
+		s, err := rtlock.LoadSpec(*spec)
+		if err != nil {
+			return err
+		}
+		if *trace > 0 {
+			s.TraceEvents = *trace
+		}
+		res, err := s.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Summary)
+		if res.Serializable != nil {
+			fmt.Printf("serializable=%t\n", *res.Serializable)
+		}
+		if res.Replication != nil {
+			fmt.Printf("replication: %+v\n", *res.Replication)
+		}
+		if res.Trace != nil {
+			fmt.Print(res.Trace.String())
+		}
+		return nil
+	}
+
+	single := experiments.DefaultSingleSite()
+	dp := experiments.DefaultDistributed()
+	single.BaseSeed = *seed
+	dp.BaseSeed = *seed
+	if *runs > 0 {
+		single.Runs = *runs
+		dp.Runs = *runs
+	}
+	if *count > 0 {
+		single.Count = *count
+		dp.Count = *count
+	}
+
+	var emitErr error
+	emit := func(figs ...experiments.Figure) {
+		for _, f := range figs {
+			fmt.Println(f.String())
+			if *plot {
+				fmt.Println(f.Plot())
+			}
+			if *csv {
+				fmt.Println(f.CSV())
+			}
+			if *outDir != "" && emitErr == nil {
+				emitErr = writeFigure(*outDir, f)
+			}
+		}
+	}
+
+	want := strings.ToLower(*experiment)
+	switch want {
+	case "fig2", "fig3":
+		f2, f3, err := experiments.SingleSiteSweep(single)
+		if err != nil {
+			return err
+		}
+		if want == "fig2" {
+			emit(f2)
+		} else {
+			emit(f3)
+		}
+	case "fig4", "fig5", "fig6":
+		f4, f5, f6, err := experiments.DistributedSweep(dp)
+		if err != nil {
+			return err
+		}
+		switch want {
+		case "fig4":
+			emit(f4)
+		case "fig5":
+			emit(f5)
+		case "fig6":
+			emit(f6)
+		}
+	case "dbsize":
+		f, err := experiments.DBSizeAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "semantics":
+		f, err := experiments.SemanticsAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "inherit":
+		f, err := experiments.InheritAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "restart":
+		f, err := experiments.RestartAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "priority":
+		f, err := experiments.PriorityPolicyAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "buffer":
+		f, err := experiments.BufferAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "placement":
+		f, err := experiments.PlacementAblation(dp)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "consistency":
+		f, err := experiments.ConsistencyAblation(dp)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "hotspot":
+		f, err := experiments.HotspotAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "predictability":
+		f, err := experiments.PredictabilityAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "periodic":
+		f, err := experiments.PeriodicAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "overhead":
+		f, err := experiments.OverheadAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "recovery":
+		f, err := experiments.RecoveryAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "custom":
+		sum, err := experiments.RunCustom(single, experiments.Protocol(*protocol), *size)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("protocol=%s size=%d %s\n", *protocol, *size, sum)
+	case "all":
+		f2, f3, err := experiments.SingleSiteSweep(single)
+		if err != nil {
+			return err
+		}
+		emit(f2, f3)
+		f4, f5, f6, err := experiments.DistributedSweep(dp)
+		if err != nil {
+			return err
+		}
+		emit(f4, f5, f6)
+		fa, err := experiments.DBSizeAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(fa)
+		fb, err := experiments.SemanticsAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(fb)
+		fc, err := experiments.InheritAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(fc)
+		fd, err := experiments.RestartAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(fd)
+		fe, err := experiments.PriorityPolicyAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(fe)
+		ff, err := experiments.HotspotAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(ff)
+		fg, err := experiments.PredictabilityAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(fg)
+		fh, err := experiments.BufferAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(fh)
+		fi, err := experiments.ConsistencyAblation(dp)
+		if err != nil {
+			return err
+		}
+		emit(fi)
+		fj, err := experiments.PlacementAblation(dp)
+		if err != nil {
+			return err
+		}
+		emit(fj)
+		fk, err := experiments.PeriodicAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(fk)
+		fl, err := experiments.OverheadAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(fl)
+		fm, err := experiments.RecoveryAblation(single)
+		if err != nil {
+			return err
+		}
+		emit(fm)
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return emitErr
+}
+
+// writeFigure persists one figure as <dir>/<name>.txt and .csv.
+func writeFigure(dir string, f experiments.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	txt := filepath.Join(dir, f.Name+".txt")
+	if err := os.WriteFile(txt, []byte(f.String()+"\n"+f.Plot()), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", txt, err)
+	}
+	csvPath := filepath.Join(dir, f.Name+".csv")
+	if err := os.WriteFile(csvPath, []byte(f.CSV()), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", csvPath, err)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunCustomTiny(t *testing.T) {
+	if err := run([]string{"-experiment", "custom", "-protocol", "C", "-size", "4", "-runs", "1", "-count", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomBadProtocol(t *testing.T) {
+	if err := run([]string{"-experiment", "custom", "-protocol", "ZZ", "-runs", "1", "-count", "30"}); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+}
+
+func TestRunFigTiny(t *testing.T) {
+	// A tiny fig2 run exercises the sweep plumbing end to end.
+	if err := run([]string{"-experiment", "fig2", "-runs", "1", "-count", "25", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesOutputFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "fig3", "-runs", "1", "-count", "25", "-out", dir, "-plot"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig3.txt", "fig3.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestRunSpecFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	spec := `{"mode":"single","protocol":"C","memoryResident":true,"workload":{"seed":1,"count":20,"meanSize":3}}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", path, "-trace", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package rtlock
+
+// Declarative run specifications. The paper's prototyping environment
+// front end (the menu-driven User Interface plus Configuration Manager)
+// lets an experimenter describe system configuration, database
+// configuration, load characteristics, and the concurrency control to
+// use; this file provides the equivalent as a JSON document that can be
+// checked into an experiment directory and replayed exactly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Spec is a complete, serializable run description. Exactly one of the
+// modes is selected by Mode ("single" or "distributed").
+type Spec struct {
+	// Mode selects "single" (one site, Figures 2–3 setting) or
+	// "distributed" (Figures 4–6 setting).
+	Mode string `json:"mode"`
+	// Protocol applies to single-site runs (C, P, L, PI, CX, HP, DD,
+	// TO). Distributed runs always use the ceiling protocol, per the
+	// paper.
+	Protocol string `json:"protocol,omitempty"`
+	// Global selects the global-ceiling-manager architecture for
+	// distributed runs.
+	Global bool `json:"global,omitempty"`
+
+	DBSize         int     `json:"dbSize,omitempty"`
+	Sites          int     `json:"sites,omitempty"`
+	CPUPerObjMs    float64 `json:"cpuPerObjMs,omitempty"`
+	IOPerObjMs     float64 `json:"ioPerObjMs,omitempty"`
+	MemoryResident bool    `json:"memoryResident,omitempty"`
+	CommDelayMs    float64 `json:"commDelayMs,omitempty"`
+	ApplyPerObjMs  float64 `json:"applyPerObjMs,omitempty"`
+	Multiversion   bool    `json:"multiversion,omitempty"`
+	SnapshotLagMs  float64 `json:"snapshotLagMs,omitempty"`
+
+	Failures  []SpecFailure `json:"failures,omitempty"`
+	SiteSpeed []float64     `json:"siteSpeed,omitempty"`
+
+	Workload SpecWorkload `json:"workload"`
+
+	RecordHistory bool `json:"recordHistory,omitempty"`
+	TraceEvents   int  `json:"traceEvents,omitempty"`
+	BufferPages   int  `json:"bufferPages,omitempty"`
+	IODisks       int  `json:"ioDisks,omitempty"`
+
+	WAL               bool    `json:"wal,omitempty"`
+	CheckpointEveryMs float64 `json:"checkpointEveryMs,omitempty"`
+}
+
+// SpecWorkload mirrors WorkloadConfig with JSON-friendly units.
+type SpecWorkload struct {
+	Seed               int64   `json:"seed,omitempty"`
+	Count              int     `json:"count,omitempty"`
+	MeanInterarrivalMs float64 `json:"meanInterarrivalMs,omitempty"`
+	MeanSize           int     `json:"meanSize,omitempty"`
+	ReadOnlyFrac       float64 `json:"readOnlyFrac,omitempty"`
+	SlackMin           float64 `json:"slackMin,omitempty"`
+	SlackMax           float64 `json:"slackMax,omitempty"`
+	PeriodicFrac       float64 `json:"periodicFrac,omitempty"`
+	PeriodMs           float64 `json:"periodMs,omitempty"`
+}
+
+// SpecFailure mirrors SiteFailure with JSON-friendly units.
+type SpecFailure struct {
+	Site        int     `json:"site"`
+	AtMs        float64 `json:"atMs"`
+	RecoverAtMs float64 `json:"recoverAtMs,omitempty"`
+}
+
+// ParseSpec decodes and validates a JSON run specification.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("rtlock: parse spec: %w", err)
+	}
+	switch s.Mode {
+	case "single", "distributed":
+	default:
+		return nil, fmt.Errorf("rtlock: spec mode %q (want \"single\" or \"distributed\")", s.Mode)
+	}
+	if s.Mode == "single" && s.Protocol != "" {
+		if _, _, err := experimentsManagerFor(Protocol(s.Protocol)); err != nil {
+			return nil, err
+		}
+	}
+	if s.Workload.ReadOnlyFrac < 0 || s.Workload.ReadOnlyFrac > 1 {
+		return nil, fmt.Errorf("rtlock: spec readOnlyFrac %v out of [0,1]", s.Workload.ReadOnlyFrac)
+	}
+	return &s, nil
+}
+
+// LoadSpec reads a specification file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("rtlock: load spec: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// Run executes the specification.
+func (s *Spec) Run() (*Result, error) {
+	wl := WorkloadConfig{
+		Seed:             s.Workload.Seed,
+		Count:            s.Workload.Count,
+		MeanInterarrival: ms(s.Workload.MeanInterarrivalMs),
+		MeanSize:         s.Workload.MeanSize,
+		ReadOnlyFrac:     s.Workload.ReadOnlyFrac,
+		SlackMin:         s.Workload.SlackMin,
+		SlackMax:         s.Workload.SlackMax,
+		PeriodicFrac:     s.Workload.PeriodicFrac,
+		Period:           ms(s.Workload.PeriodMs),
+	}
+	if s.Mode == "single" {
+		return RunSingleSite(SingleSiteConfig{
+			Protocol:        Protocol(s.Protocol),
+			DBSize:          s.DBSize,
+			CPUPerObj:       ms(s.CPUPerObjMs),
+			IOPerObj:        ms(s.IOPerObjMs),
+			MemoryResident:  s.MemoryResident,
+			Workload:        wl,
+			RecordHistory:   s.RecordHistory,
+			TraceEvents:     s.TraceEvents,
+			BufferPages:     s.BufferPages,
+			IODisks:         s.IODisks,
+			WAL:             s.WAL,
+			CheckpointEvery: ms(s.CheckpointEveryMs),
+		})
+	}
+	var failures []SiteFailure
+	for _, f := range s.Failures {
+		failures = append(failures, SiteFailure{
+			Site:      SiteID(f.Site),
+			At:        Time(ms(f.AtMs)),
+			RecoverAt: Time(ms(f.RecoverAtMs)),
+		})
+	}
+	return RunDistributed(DistributedConfig{
+		Global:        s.Global,
+		Sites:         s.Sites,
+		DBSize:        s.DBSize,
+		CommDelay:     ms(s.CommDelayMs),
+		CPUPerObj:     ms(s.CPUPerObjMs),
+		ApplyPerObj:   ms(s.ApplyPerObjMs),
+		Multiversion:  s.Multiversion,
+		SnapshotLag:   ms(s.SnapshotLagMs),
+		Failures:      failures,
+		SiteSpeed:     s.SiteSpeed,
+		Workload:      wl,
+		RecordHistory: s.RecordHistory,
+	})
+}
+
+// ms converts fractional milliseconds to simulated duration.
+func ms(v float64) Duration { return Duration(v * float64(Millisecond)) }

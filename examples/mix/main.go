@@ -1,0 +1,50 @@
+// Mix sweeps the read-only/update transaction mix on a three-site system
+// under both distributed ceiling architectures — a command-line
+// miniature of the paper's Figure 6 — and prints the deadline-miss
+// percentages side by side for two communication delays.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtlock"
+)
+
+func main() {
+	mixes := []float64{0, 0.25, 0.5, 0.75, 1}
+	delays := []rtlock.Duration{20 * rtlock.Millisecond, 80 * rtlock.Millisecond}
+
+	fmt.Println("Deadline-miss percentage by transaction mix (3 sites):")
+	fmt.Printf("%-12s", "%read-only")
+	for _, d := range delays {
+		fmt.Printf(" %14s %14s", fmt.Sprintf("global@%gms", d.Millis()), fmt.Sprintf("local@%gms", d.Millis()))
+	}
+	fmt.Println()
+
+	for _, mix := range mixes {
+		fmt.Printf("%-12.0f", 100*mix)
+		for _, d := range delays {
+			for _, global := range []bool{true, false} {
+				res, err := rtlock.RunDistributed(rtlock.DistributedConfig{
+					Global:    global,
+					CommDelay: d,
+					Workload: rtlock.WorkloadConfig{
+						Seed:         11,
+						Count:        300,
+						MeanSize:     6,
+						ReadOnlyFrac: mix,
+					},
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf(" %13.1f%%", res.Summary.MissedPct)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Misses fall as the read-only share rises (fewer conflicts), and the")
+	fmt.Println("local approach dominates at every mix — more so at larger delays.")
+}

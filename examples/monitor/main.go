@@ -1,0 +1,52 @@
+// Monitor demonstrates the performance monitor's event log: it runs a
+// small contended workload under the priority ceiling protocol and
+// prints the timeline the paper's Performance Monitor records — arrival,
+// lock requests and grants (with blocked intervals), operation
+// completions, and commit or deadline-miss, per transaction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtlock"
+)
+
+func main() {
+	txs := []*rtlock.Txn{
+		// A long background transaction locks objects 1..3.
+		{ID: 1, Kind: rtlock.Update, Arrival: 0, Deadline: rtlock.Time(rtlock.Second),
+			Ops: []rtlock.Op{
+				{Obj: 1, Mode: rtlock.Write},
+				{Obj: 2, Mode: rtlock.Write},
+				{Obj: 3, Mode: rtlock.Write},
+			}},
+		// An urgent transaction needs object 1 and is ceiling-blocked.
+		{ID: 2, Kind: rtlock.Update, Arrival: rtlock.Time(15 * rtlock.Millisecond),
+			Deadline: rtlock.Time(200 * rtlock.Millisecond),
+			Ops:      []rtlock.Op{{Obj: 1, Mode: rtlock.Write}}},
+		// A reader of unrelated object 9 is blocked by the ceiling too
+		// — the "insurance premium" in action.
+		{ID: 3, Kind: rtlock.ReadOnly, Arrival: rtlock.Time(20 * rtlock.Millisecond),
+			Deadline: rtlock.Time(500 * rtlock.Millisecond),
+			Ops:      []rtlock.Op{{Obj: 9, Mode: rtlock.Read}}},
+	}
+	res, err := rtlock.RunSingleSite(rtlock.SingleSiteConfig{
+		Protocol:       rtlock.Ceiling,
+		MemoryResident: true,
+		Workload:       rtlock.WorkloadConfig{Transactions: txs},
+		TraceEvents:    100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Performance monitor event log (priority ceiling protocol):")
+	fmt.Println()
+	fmt.Print(res.Trace.String())
+	fmt.Println()
+	fmt.Printf("Summary: %s\n", res.Summary)
+	fmt.Println()
+	fmt.Println("tx2's lock-grant line shows its blocked interval behind tx1; tx3")
+	fmt.Println("was ceiling-blocked on an unlocked object — the protocol's")
+	fmt.Println("insurance premium against deadlock and chained blocking.")
+}

@@ -1,0 +1,41 @@
+// Quickstart: run the same heavily loaded single-site workload under the
+// priority ceiling protocol and both two-phase locking variants, and
+// compare throughput and deadline misses — the comparison at the heart
+// of the paper's Figures 2 and 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtlock"
+)
+
+func main() {
+	workload := rtlock.WorkloadConfig{
+		Seed:     42,
+		Count:    400,
+		MeanSize: 16, // large transactions: frequent conflicts
+	}
+	fmt.Println("Single-site real-time database, 200 objects, mean size 16, hard deadlines.")
+	fmt.Println()
+	for _, proto := range []rtlock.Protocol{rtlock.Ceiling, rtlock.TwoPLPriority, rtlock.TwoPL} {
+		res, err := rtlock.RunSingleSite(rtlock.SingleSiteConfig{
+			Protocol:      proto,
+			Workload:      workload,
+			RecordHistory: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		serial := "n/a"
+		if res.Serializable != nil {
+			serial = fmt.Sprintf("%t", *res.Serializable)
+		}
+		fmt.Printf("%-3s %s serializable=%s\n", proto, res.Summary, serial)
+	}
+	fmt.Println()
+	fmt.Println("The ceiling protocol (C) trades some blocking for freedom from")
+	fmt.Println("deadlock: at this size it misses far fewer deadlines than two-phase")
+	fmt.Println("locking with (P) or without (L) priority scheduling.")
+}

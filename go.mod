@@ -1,0 +1,3 @@
+module rtlock
+
+go 1.22

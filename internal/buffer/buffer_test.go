@@ -1,0 +1,126 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtlock/internal/core"
+)
+
+func TestHitAfterMiss(t *testing.T) {
+	p := New(4)
+	if p.Access(1) {
+		t.Fatal("first access hit")
+	}
+	if !p.Access(1) {
+		t.Fatal("second access missed")
+	}
+	if p.Hits != 1 || p.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", p.Hits, p.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p := New(2)
+	p.Access(1)
+	p.Access(2)
+	p.Access(1) // 1 is now MRU; order [1, 2]
+	if p.Access(3) {
+		t.Fatal("3 hit unexpectedly")
+	}
+	// 3 evicted the LRU entry (2); 1 survived as MRU. Probe 1 first —
+	// probes install, so order matters.
+	if !p.Access(1) {
+		t.Fatal("MRU object evicted")
+	}
+	if p.Access(2) {
+		t.Fatal("evicted object still resident")
+	}
+	if p.Len() > 2 {
+		t.Fatalf("len = %d exceeds capacity", p.Len())
+	}
+}
+
+func TestZeroCapacityAlwaysMisses(t *testing.T) {
+	p := New(0)
+	for i := 0; i < 5; i++ {
+		if p.Access(1) {
+			t.Fatal("zero-capacity pool hit")
+		}
+	}
+	if p.HitRatio() != 0 {
+		t.Fatalf("hit ratio = %v", p.HitRatio())
+	}
+}
+
+func TestNilPoolSafe(t *testing.T) {
+	var p *Pool
+	if p.Access(1) {
+		t.Fatal("nil pool hit")
+	}
+	p.Invalidate(1)
+	if p.Len() != 0 || p.HitRatio() != 0 {
+		t.Fatal("nil pool misbehaved")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	p := New(4)
+	p.Access(7)
+	p.Invalidate(7)
+	if p.Access(7) {
+		t.Fatal("invalidated object still resident")
+	}
+	p.Invalidate(99) // absent: no-op
+}
+
+func TestHitRatio(t *testing.T) {
+	p := New(10)
+	p.Access(1)
+	p.Access(1)
+	p.Access(1)
+	p.Access(2)
+	// 2 hits out of 4.
+	if r := p.HitRatio(); r != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", r)
+	}
+}
+
+func TestPropNeverExceedsCapacity(t *testing.T) {
+	prop := func(capRaw uint8, accesses []uint8) bool {
+		capacity := int(capRaw%16) + 1
+		p := New(capacity)
+		for _, a := range accesses {
+			p.Access(core.ObjectID(a % 64))
+			if p.Len() > capacity {
+				return false
+			}
+		}
+		return p.Hits+p.Misses == len(accesses)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropWorkingSetFitsAllHits(t *testing.T) {
+	// Once the working set fits, every subsequent access hits.
+	prop := func(objsRaw uint8) bool {
+		n := int(objsRaw%8) + 1
+		p := New(n)
+		for i := 0; i < n; i++ {
+			p.Access(core.ObjectID(i))
+		}
+		for round := 0; round < 3; round++ {
+			for i := 0; i < n; i++ {
+				if !p.Access(core.ObjectID(i)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package check verifies conflict serializability of committed execution
+// histories. Every protocol in this repository follows strict two-phase
+// locking, so committed histories must always be conflict serializable;
+// the tests use this checker as an end-to-end correctness oracle.
+package check
+
+import (
+	"sort"
+
+	"rtlock/internal/core"
+	"rtlock/internal/sim"
+)
+
+// Op is one data access in the history.
+type Op struct {
+	Tx   int64
+	Obj  core.ObjectID
+	Mode core.Mode
+	At   sim.Time
+	Seq  int64
+}
+
+// History accumulates operations and commit decisions. It is not safe for
+// concurrent use; in the simulation all appends happen under the kernel's
+// single-runner discipline.
+type History struct {
+	ops       []Op
+	committed map[int64]bool
+	seq       int64
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{committed: make(map[int64]bool)}
+}
+
+// Record appends one access.
+func (h *History) Record(tx int64, obj core.ObjectID, mode core.Mode, at sim.Time) {
+	h.seq++
+	h.ops = append(h.ops, Op{Tx: tx, Obj: obj, Mode: mode, At: at, Seq: h.seq})
+}
+
+// Commit marks a transaction as committed; only committed transactions
+// participate in the serializability check (aborted ones are undone).
+func (h *History) Commit(tx int64) { h.committed[tx] = true }
+
+// Len returns the number of recorded operations.
+func (h *History) Len() int { return len(h.ops) }
+
+// Committed returns the number of committed transactions.
+func (h *History) Committed() int { return len(h.committed) }
+
+// ConflictSerializable builds the precedence graph over committed
+// transactions — an edge Ti→Tj for each pair of conflicting operations
+// where Ti's came first — and reports whether it is acyclic.
+func (h *History) ConflictSerializable() bool {
+	ops := make([]Op, 0, len(h.ops))
+	for _, op := range h.ops {
+		if h.committed[op.Tx] {
+			ops = append(ops, op)
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].At != ops[j].At {
+			return ops[i].At < ops[j].At
+		}
+		return ops[i].Seq < ops[j].Seq
+	})
+	edges := make(map[int64]map[int64]struct{})
+	byObj := make(map[core.ObjectID][]Op)
+	for _, op := range ops {
+		byObj[op.Obj] = append(byObj[op.Obj], op)
+	}
+	for _, seq := range byObj {
+		for i := 0; i < len(seq); i++ {
+			for j := i + 1; j < len(seq); j++ {
+				a, b := seq[i], seq[j]
+				if a.Tx == b.Tx {
+					continue
+				}
+				if a.Mode == core.Read && b.Mode == core.Read {
+					continue
+				}
+				m, ok := edges[a.Tx]
+				if !ok {
+					m = make(map[int64]struct{})
+					edges[a.Tx] = m
+				}
+				m[b.Tx] = struct{}{}
+			}
+		}
+	}
+	return acyclic(edges)
+}
+
+func acyclic(edges map[int64]map[int64]struct{}) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int64]int)
+	var visit func(n int64) bool
+	visit = func(n int64) bool {
+		color[n] = gray
+		for m := range edges[n] {
+			switch color[m] {
+			case gray:
+				return false
+			case white:
+				if !visit(m) {
+					return false
+				}
+			}
+		}
+		color[n] = black
+		return true
+	}
+	nodes := make([]int64, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		if color[n] == white && !visit(n) {
+			return false
+		}
+	}
+	return true
+}

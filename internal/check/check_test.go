@@ -1,0 +1,93 @@
+package check
+
+import (
+	"testing"
+
+	"rtlock/internal/core"
+)
+
+func TestSerializableSimple(t *testing.T) {
+	h := NewHistory()
+	// t1 then t2, fully ordered.
+	h.Record(1, 10, core.Write, 1)
+	h.Record(1, 11, core.Write, 2)
+	h.Record(2, 10, core.Write, 5)
+	h.Record(2, 11, core.Write, 6)
+	h.Commit(1)
+	h.Commit(2)
+	if !h.ConflictSerializable() {
+		t.Fatal("sequential history flagged non-serializable")
+	}
+}
+
+func TestNonSerializableCycle(t *testing.T) {
+	h := NewHistory()
+	// w1(x) w2(x) w2(y) w1(y): t1→t2 on x, t2→t1 on y.
+	h.Record(1, 1, core.Write, 1)
+	h.Record(2, 1, core.Write, 2)
+	h.Record(2, 2, core.Write, 3)
+	h.Record(1, 2, core.Write, 4)
+	h.Commit(1)
+	h.Commit(2)
+	if h.ConflictSerializable() {
+		t.Fatal("cyclic history passed")
+	}
+}
+
+func TestReadsDoNotConflict(t *testing.T) {
+	h := NewHistory()
+	h.Record(1, 1, core.Read, 1)
+	h.Record(2, 1, core.Read, 2)
+	h.Record(2, 2, core.Read, 3)
+	h.Record(1, 2, core.Read, 4)
+	h.Commit(1)
+	h.Commit(2)
+	if !h.ConflictSerializable() {
+		t.Fatal("read-only interleaving flagged")
+	}
+}
+
+func TestReadWriteConflictsCount(t *testing.T) {
+	h := NewHistory()
+	// r1(x) w2(x) r2(y)... w1(y): t1→t2 on x (r-w), t2→t1 on y (w-r? no:
+	// r2(y) then w1(y) gives t2→t1). Cycle.
+	h.Record(1, 1, core.Read, 1)
+	h.Record(2, 1, core.Write, 2)
+	h.Record(2, 2, core.Read, 3)
+	h.Record(1, 2, core.Write, 4)
+	h.Commit(1)
+	h.Commit(2)
+	if h.ConflictSerializable() {
+		t.Fatal("read-write cycle passed")
+	}
+}
+
+func TestAbortedTransactionsExcluded(t *testing.T) {
+	h := NewHistory()
+	// Same cycle as above, but t2 never commits.
+	h.Record(1, 1, core.Write, 1)
+	h.Record(2, 1, core.Write, 2)
+	h.Record(2, 2, core.Write, 3)
+	h.Record(1, 2, core.Write, 4)
+	h.Commit(1)
+	if !h.ConflictSerializable() {
+		t.Fatal("aborted transaction's operations affected the check")
+	}
+	if h.Committed() != 1 || h.Len() != 4 {
+		t.Fatalf("committed=%d len=%d", h.Committed(), h.Len())
+	}
+}
+
+func TestTieBreakBySeq(t *testing.T) {
+	h := NewHistory()
+	// Both ops at the same instant: recording order decides.
+	h.Record(1, 1, core.Write, 5)
+	h.Record(2, 1, core.Write, 5)
+	h.Record(1, 2, core.Write, 6)
+	h.Record(2, 2, core.Write, 7)
+	h.Commit(1)
+	h.Commit(2)
+	if !h.ConflictSerializable() {
+		t.Fatal("t1 before t2 on both objects; serializable")
+	}
+}

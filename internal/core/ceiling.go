@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rtlock/internal/sim"
+)
+
+// Ceiling implements the priority ceiling protocol of §3.2 (protocol C).
+//
+// Three ceilings are defined per data object over the currently
+// registered (active) transactions' declared access sets:
+//
+//   - write-priority ceiling: the priority of the highest-priority
+//     transaction that may write the object;
+//   - absolute-priority ceiling: the priority of the highest-priority
+//     transaction that may read or write the object;
+//   - rw-priority ceiling, set dynamically: equal to the absolute
+//     ceiling while the object is write-locked and to the write ceiling
+//     while it is read-locked.
+//
+// A transaction may lock an object only if its assigned priority is
+// strictly higher than the highest rw-ceiling among objects locked by
+// other transactions; otherwise it blocks and the holders of that
+// highest-ceiling lock inherit its priority. The protocol is free of
+// deadlock and blocks each transaction by at most one lower-priority
+// transaction.
+//
+// NewCeilingExclusive builds the §5 ablation variant (PCP-X) that drops
+// read/write semantics and treats every lock as exclusive, so the
+// rw-ceiling is always the absolute ceiling and readers never share.
+//
+// Ceilings are dynamic over the registered transaction population, as in
+// the paper's prototype. The deadlock-freedom theorem assumes the
+// transaction set (and thus the ceilings) is known when locks are
+// granted; with transactions arriving over time, a registration can
+// raise a ceiling above a lock that was already granted, and in
+// pathological interleavings mutual ceiling blocking becomes possible.
+// The experiments resolve such rare waits the same way the paper's hard
+// real-time model does: the deadline expires and the transaction is
+// aborted. With a static population (everything registered before
+// execution) the protocol is deadlock-free; the property tests exercise
+// exactly that guarantee.
+type Ceiling struct {
+	k         *sim.Kernel
+	exclusive bool
+	name      string
+
+	readers map[ObjectID]map[*TxState]struct{}
+	writers map[ObjectID]map[*TxState]struct{}
+	locks   map[ObjectID]*pcpLock
+	blocked []*pcpWaiter
+	graph   *inheritGraph
+	seq     uint64
+
+	registered map[*TxState]struct{}
+
+	// CeilingBlocks counts blocks where no direct lock conflict
+	// existed — the protocol's "insurance premium".
+	CeilingBlocks int
+	// DirectBlocks counts blocks where the requested object itself was
+	// held in a conflicting mode.
+	DirectBlocks int
+}
+
+var _ Manager = (*Ceiling)(nil)
+
+type pcpLock struct {
+	holders map[*TxState]Mode
+}
+
+type pcpWaiter struct {
+	tx   *TxState
+	obj  ObjectID
+	mode Mode
+	tok  *sim.Token
+	seq  uint64
+}
+
+// NewCeiling returns the priority ceiling protocol with read/write lock
+// semantics.
+func NewCeiling(k *sim.Kernel) *Ceiling { return newCeiling(k, false, "PCP") }
+
+// NewCeilingExclusive returns the exclusive-semantics variant: every lock
+// behaves as a write lock. The paper's conclusion raises the question of
+// whether read semantics help or hurt schedulability; this variant lets
+// the experiments answer it.
+func NewCeilingExclusive(k *sim.Kernel) *Ceiling { return newCeiling(k, true, "PCP-X") }
+
+func newCeiling(k *sim.Kernel, exclusive bool, name string) *Ceiling {
+	return &Ceiling{
+		k:          k,
+		exclusive:  exclusive,
+		name:       name,
+		readers:    make(map[ObjectID]map[*TxState]struct{}),
+		writers:    make(map[ObjectID]map[*TxState]struct{}),
+		locks:      make(map[ObjectID]*pcpLock),
+		graph:      newInheritGraph(),
+		registered: make(map[*TxState]struct{}),
+	}
+}
+
+// Name implements Manager.
+func (m *Ceiling) Name() string { return m.name }
+
+// Register implements Manager: the transaction's declared read and write
+// sets start contributing to the object ceilings.
+func (m *Ceiling) Register(tx *TxState) {
+	m.registered[tx] = struct{}{}
+	for _, obj := range tx.ReadSet {
+		addSet(m.readers, obj, tx)
+	}
+	for _, obj := range tx.WriteSet {
+		addSet(m.writers, obj, tx)
+	}
+}
+
+// Unregister implements Manager. Removing a transaction can lower
+// ceilings, so blocked waiters are re-evaluated.
+func (m *Ceiling) Unregister(tx *TxState) {
+	delete(m.registered, tx)
+	for _, obj := range tx.ReadSet {
+		delSet(m.readers, obj, tx)
+	}
+	for _, obj := range tx.WriteSet {
+		delSet(m.writers, obj, tx)
+	}
+	m.processBlocked()
+}
+
+// Acquire implements Manager.
+func (m *Ceiling) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
+	if _, ok := m.registered[tx]; !ok {
+		return fmt.Errorf("pcp: transaction %d acquired before Register", tx.ID)
+	}
+	if m.exclusive {
+		mode = Write
+	}
+	if held, ok := tx.held[obj]; ok && (held == Write || mode == Read) {
+		return nil
+	}
+	if m.grantable(tx, obj, mode) {
+		m.grant(tx, obj, mode)
+		return nil
+	}
+	m.seq++
+	w := &pcpWaiter{tx: tx, obj: obj, mode: mode, tok: &sim.Token{}, seq: m.seq}
+	m.blocked = append(m.blocked, w)
+	blamed := m.blameFor(tx, obj, mode)
+	if holdersOf(m.locks[obj], tx, mode) {
+		m.DirectBlocks++
+	} else {
+		m.CeilingBlocks++
+	}
+	tx.noteBlocked(m.k.Now(), blamed)
+	m.graph.setBlame(tx, blamed)
+	w.tok.OnCancel = func() { m.dropWaiter(w) }
+	err := p.Park(w.tok)
+	tx.noteUnblocked(m.k.Now())
+	return err
+}
+
+// ReleaseAll implements Manager.
+func (m *Ceiling) ReleaseAll(tx *TxState) {
+	for obj := range tx.held {
+		delete(tx.held, obj)
+		l := m.locks[obj]
+		if l == nil {
+			continue
+		}
+		delete(l.holders, tx)
+		if len(l.holders) == 0 {
+			delete(m.locks, obj)
+		}
+	}
+	m.graph.dropHolder(tx)
+	m.processBlocked()
+}
+
+// WriteCeiling returns the current write-priority ceiling of obj.
+func (m *Ceiling) WriteCeiling(obj ObjectID) sim.Priority {
+	ceil := sim.MinPriority
+	for t := range m.writers[obj] {
+		ceil = ceil.Max(t.Base)
+	}
+	return ceil
+}
+
+// AbsCeiling returns the current absolute-priority ceiling of obj.
+func (m *Ceiling) AbsCeiling(obj ObjectID) sim.Priority {
+	ceil := m.WriteCeiling(obj)
+	for t := range m.readers[obj] {
+		ceil = ceil.Max(t.Base)
+	}
+	return ceil
+}
+
+// RWCeiling returns the dynamic rw-priority ceiling of a locked object:
+// the absolute ceiling if write-locked, the write ceiling if read-locked,
+// and MinPriority if unlocked.
+func (m *Ceiling) RWCeiling(obj ObjectID) sim.Priority {
+	l := m.locks[obj]
+	if l == nil || len(l.holders) == 0 {
+		return sim.MinPriority
+	}
+	if m.exclusive {
+		return m.AbsCeiling(obj)
+	}
+	for _, mode := range l.holders {
+		if mode == Write {
+			return m.AbsCeiling(obj)
+		}
+	}
+	return m.WriteCeiling(obj)
+}
+
+// Waiting reports how many transactions are ceiling- or direct-blocked.
+func (m *Ceiling) Waiting() int { return len(m.blocked) }
+
+// LockedObjects reports how many objects are currently locked.
+func (m *Ceiling) LockedObjects() int { return len(m.locks) }
+
+// grantable applies the ceiling test: tx's assigned priority must be
+// strictly higher than every rw-ceiling among objects locked by other
+// transactions. Lock compatibility on the requested object is implied by
+// the ceiling test (the requester's own registration contributes to the
+// ceilings) but checked anyway as a safety net.
+func (m *Ceiling) grantable(tx *TxState, obj ObjectID, mode Mode) bool {
+	if holdersOf(m.locks[obj], tx, mode) {
+		return false
+	}
+	ceil, any := m.maxOtherCeiling(tx)
+	return !any || tx.Base.Higher(ceil)
+}
+
+// maxOtherCeiling returns the highest rw-ceiling among objects locked by
+// transactions other than tx, and whether any such object exists. Objects
+// tx itself holds (even shared with others) are excluded: a reader must
+// not be blocked by the ceiling of its own read lock, or two readers of a
+// high-ceiling object would deadlock each other.
+func (m *Ceiling) maxOtherCeiling(tx *TxState) (sim.Priority, bool) {
+	ceil := sim.MinPriority
+	any := false
+	for obj, l := range m.locks {
+		if _, mine := l.holders[tx]; mine {
+			continue
+		}
+		if !lockedByOther(l, tx) {
+			continue
+		}
+		any = true
+		ceil = ceil.Max(m.RWCeiling(obj))
+	}
+	return ceil, any
+}
+
+// blameFor identifies the holders of the highest-rw-ceiling object locked
+// by transactions other than tx — the transactions the paper says tx "is
+// blocked by". Ties break toward the lowest object id for determinism.
+// When the block is a direct conflict on the requested object with no
+// ceiling involvement, the conflicting holders are blamed.
+func (m *Ceiling) blameFor(tx *TxState, obj ObjectID, mode Mode) []*TxState {
+	best := sim.MinPriority
+	bestObj := ObjectID(-1)
+	objs := make([]ObjectID, 0, len(m.locks))
+	for obj := range m.locks {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	for _, obj := range objs {
+		l := m.locks[obj]
+		if _, mine := l.holders[tx]; mine {
+			continue
+		}
+		if !lockedByOther(l, tx) {
+			continue
+		}
+		c := m.RWCeiling(obj)
+		if bestObj < 0 || c.Higher(best) {
+			best = c
+			bestObj = obj
+		}
+	}
+	if bestObj < 0 {
+		// No ceiling-bearing lock: the wait is a direct conflict on
+		// the requested object (possible when the requester shares a
+		// read lock it now wants to upgrade, or when ceilings moved
+		// between test and re-test). Blame the conflicting holders.
+		if l := m.locks[obj]; l != nil {
+			var blamed []*TxState
+			for h, hm := range l.holders {
+				if h != tx && !compatible(hm, mode) {
+					blamed = append(blamed, h)
+				}
+			}
+			sort.Slice(blamed, func(i, j int) bool { return blamed[i].ID < blamed[j].ID })
+			return blamed
+		}
+		return nil
+	}
+	var blamed []*TxState
+	for h := range m.locks[bestObj].holders {
+		if h != tx {
+			blamed = append(blamed, h)
+		}
+	}
+	sort.Slice(blamed, func(i, j int) bool { return blamed[i].ID < blamed[j].ID })
+	return blamed
+}
+
+func (m *Ceiling) grant(tx *TxState, obj ObjectID, mode Mode) {
+	l := m.locks[obj]
+	if l == nil {
+		l = &pcpLock{holders: make(map[*TxState]Mode)}
+		m.locks[obj] = l
+	}
+	if cur, ok := l.holders[tx]; !ok || mode == Write && cur == Read {
+		l.holders[tx] = mode
+	}
+	if cur, ok := tx.held[obj]; !ok || mode == Write && cur == Read {
+		tx.held[obj] = mode
+	}
+}
+
+// processBlocked repeatedly grants the highest-effective-priority blocked
+// transaction that now passes the ceiling test, then re-blames the rest
+// so priority inheritance tracks the new lock state.
+func (m *Ceiling) processBlocked() {
+	for {
+		m.orderBlocked()
+		grantedIdx := -1
+		for i, w := range m.blocked {
+			if m.grantable(w.tx, w.obj, w.mode) {
+				grantedIdx = i
+				break
+			}
+		}
+		if grantedIdx < 0 {
+			break
+		}
+		w := m.blocked[grantedIdx]
+		m.blocked = append(m.blocked[:grantedIdx], m.blocked[grantedIdx+1:]...)
+		m.graph.clear(w.tx)
+		m.grant(w.tx, w.obj, w.mode)
+		w.tok.Wake(nil)
+	}
+	for _, w := range m.blocked {
+		m.graph.setBlame(w.tx, m.blameFor(w.tx, w.obj, w.mode))
+	}
+}
+
+func (m *Ceiling) orderBlocked() {
+	sort.SliceStable(m.blocked, func(i, j int) bool {
+		a, b := m.blocked[i], m.blocked[j]
+		if a.tx.Eff() != b.tx.Eff() {
+			return a.tx.Eff().Higher(b.tx.Eff())
+		}
+		return a.seq < b.seq
+	})
+}
+
+func (m *Ceiling) dropWaiter(w *pcpWaiter) {
+	for i, q := range m.blocked {
+		if q == w {
+			m.blocked = append(m.blocked[:i], m.blocked[i+1:]...)
+			break
+		}
+	}
+	m.graph.clear(w.tx)
+	// The departed waiter may have been the reason others could not be
+	// re-blamed correctly; recompute.
+	m.processBlocked()
+}
+
+// holdersOf reports whether l has a holder other than tx whose mode
+// conflicts with mode.
+func holdersOf(l *pcpLock, tx *TxState, mode Mode) bool {
+	if l == nil {
+		return false
+	}
+	for h, hm := range l.holders {
+		if h != tx && !compatible(hm, mode) {
+			return true
+		}
+	}
+	return false
+}
+
+func lockedByOther(l *pcpLock, tx *TxState) bool {
+	for h := range l.holders {
+		if h != tx {
+			return true
+		}
+	}
+	return false
+}
+
+func addSet(m map[ObjectID]map[*TxState]struct{}, obj ObjectID, tx *TxState) {
+	s, ok := m[obj]
+	if !ok {
+		s = make(map[*TxState]struct{})
+		m[obj] = s
+	}
+	s[tx] = struct{}{}
+}
+
+func delSet(m map[ObjectID]map[*TxState]struct{}, obj ObjectID, tx *TxState) {
+	s, ok := m[obj]
+	if !ok {
+		return
+	}
+	delete(s, tx)
+	if len(s) == 0 {
+		delete(m, obj)
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rtlock/internal/sim"
+)
+
+func TestCeilingValues(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	hi := NewTxState(1, sim.Priority{Deadline: 10, TxID: 1}, nil)
+	hi.ReadSet = []ObjectID{1}
+	lo := NewTxState(2, sim.Priority{Deadline: 20, TxID: 2}, nil)
+	lo.WriteSet = []ObjectID{1}
+	m.Register(hi)
+	m.Register(lo)
+	if got := m.AbsCeiling(1); got != hi.Base {
+		t.Fatalf("AbsCeiling = %v, want highest reader/writer %v", got, hi.Base)
+	}
+	if got := m.WriteCeiling(1); got != lo.Base {
+		t.Fatalf("WriteCeiling = %v, want highest writer %v", got, lo.Base)
+	}
+	if got := m.RWCeiling(1); got != sim.MinPriority {
+		t.Fatalf("RWCeiling of unlocked object = %v, want MinPriority", got)
+	}
+	m.Unregister(hi)
+	if got := m.AbsCeiling(1); got != lo.Base {
+		t.Fatalf("AbsCeiling after unregister = %v, want %v", got, lo.Base)
+	}
+}
+
+func TestCeilingRWSetDynamically(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	reader := &scriptTx{id: 1, deadline: 10, steps: []step{{obj: 1, mode: Read, work: 20 * sim.Millisecond}}}
+	writer := &scriptTx{id: 2, deadline: 20, pause: 40 * sim.Millisecond, steps: []step{{obj: 1, mode: Write, work: 20 * sim.Millisecond}}}
+	var readLocked, writeLocked sim.Priority
+	k.At(sim.Time(5*sim.Millisecond), func() { readLocked = m.RWCeiling(1) })
+	k.At(sim.Time(45*sim.Millisecond), func() { writeLocked = m.RWCeiling(1) })
+	runScript(t, k, m, []*scriptTx{reader, writer})
+	// While read-locked the rw ceiling is the write ceiling (writer's
+	// priority); while write-locked it is the absolute ceiling (the
+	// reader has departed by 45ms, so it is the writer's own priority).
+	if readLocked != (sim.Priority{Deadline: 20, TxID: 2}) {
+		t.Fatalf("rw ceiling while read-locked = %v, want write ceiling", readLocked)
+	}
+	if writeLocked != (sim.Priority{Deadline: 20, TxID: 2}) {
+		t.Fatalf("rw ceiling while write-locked = %v, want absolute ceiling", writeLocked)
+	}
+}
+
+// TestCeilingBlockingUnlockedObject reproduces the paper's §3.2 example:
+// the protocol may forbid locking an unlocked object — the "insurance
+// premium" that buys deadlock freedom and block-at-most-once.
+func TestCeilingBlockingUnlockedObject(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	// t3 (lowest priority) locks O3, whose ceiling is t1's priority
+	// because t1 accesses O3. t2 (middle priority) then tries to lock a
+	// DIFFERENT, unlocked object O2 and must be ceiling-blocked.
+	t1 := &scriptTx{id: 1, deadline: 1, pause: 100 * sim.Millisecond, steps: []step{{obj: 3, mode: Write, work: 5 * sim.Millisecond}}}
+	t2 := &scriptTx{id: 2, deadline: 2, pause: 10 * sim.Millisecond, steps: []step{{obj: 2, mode: Write, work: 5 * sim.Millisecond}}}
+	t3 := &scriptTx{id: 3, deadline: 3, steps: []step{{obj: 3, mode: Write, work: 50 * sim.Millisecond}}}
+	runScript(t, k, m, []*scriptTx{t1, t2, t3})
+	if !t2.done {
+		t.Fatalf("t2 stuck: %v", t2.err)
+	}
+	// t2 was blocked even though O2 was unlocked.
+	if t2.st.BlockedCount == 0 {
+		t.Fatal("t2 was not ceiling-blocked")
+	}
+	if m.CeilingBlocks == 0 {
+		t.Fatal("ceiling-block counter did not move")
+	}
+	// t2 resumed only after t3 released at 50ms.
+	if t2.doneAt != sim.Time(55*sim.Millisecond) {
+		t.Fatalf("t2 done at %v, want 55ms", t2.doneAt)
+	}
+}
+
+func TestCeilingInheritance(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	t3 := &scriptTx{id: 3, deadline: 30, steps: []step{{obj: 3, mode: Write, work: 50 * sim.Millisecond}}}
+	t2 := &scriptTx{id: 2, deadline: 20, start: 10 * sim.Millisecond, steps: []step{{obj: 2, mode: Write, work: 5 * sim.Millisecond}}}
+	t1 := &scriptTx{id: 1, deadline: 10, start: 20 * sim.Millisecond, steps: []step{{obj: 3, mode: Write, work: 5 * sim.Millisecond}}}
+	var t3Eff sim.Priority
+	k.At(sim.Time(30*sim.Millisecond), func() { t3Eff = t3.st.Eff() })
+	runScript(t, k, m, []*scriptTx{t1, t2, t3})
+	// At 30ms both t1 and t2 are blocked by t3; t3 inherits the highest.
+	want := sim.Priority{Deadline: 10, TxID: 1}
+	if t3Eff != want {
+		t.Fatalf("t3 effective priority = %v, want inherited %v", t3Eff, want)
+	}
+	if t3.st.Eff() != t3.st.Base {
+		t.Fatalf("t3 did not shed inherited priority after release: %v", t3.st.Eff())
+	}
+}
+
+// TestCeilingBlockAtMostOnce reproduces §3.1's chained-blocking scenario
+// and shows PCP bounds it: t1 needs O1 and O2, held by lower-priority t2
+// and t3. Under basic inheritance t1 would be blocked twice; under the
+// ceiling protocol at most once.
+func TestCeilingBlockAtMostOnce(t *testing.T) {
+	run := func(mgr func(*sim.Kernel) Manager) (*scriptTx, Manager) {
+		k := sim.NewKernel()
+		m := mgr(k)
+		t3 := &scriptTx{id: 3, deadline: 30, steps: []step{{obj: 2, mode: Write, work: 60 * sim.Millisecond}}}
+		t2 := &scriptTx{id: 2, deadline: 20, pause: 5 * sim.Millisecond, steps: []step{{obj: 1, mode: Write, work: 40 * sim.Millisecond}}}
+		t1 := &scriptTx{id: 1, deadline: 10, pause: 10 * sim.Millisecond, steps: []step{
+			{obj: 1, mode: Write, work: 5 * sim.Millisecond},
+			{obj: 2, mode: Write, work: 5 * sim.Millisecond},
+		}}
+		runScript(t, k, m, []*scriptTx{t1, t2, t3})
+		if !t1.done {
+			t.Fatalf("t1 stuck: %v", t1.err)
+		}
+		return t1, m
+	}
+
+	pcpT1, _ := run(func(k *sim.Kernel) Manager { return NewCeiling(k) })
+	if got := len(pcpT1.st.BlockedBy); got > 1 {
+		t.Fatalf("PCP blocked t1 by %d distinct lower-priority transactions, want <= 1", got)
+	}
+
+	piT1, _ := run(func(k *sim.Kernel) Manager { return NewTwoPLInherit(k) })
+	if got := len(piT1.st.BlockedBy); got != 2 {
+		t.Fatalf("basic inheritance should chain-block t1 twice, got %d", got)
+	}
+}
+
+// TestCeilingNoDeadlock uses the classic cross-order scenario that
+// deadlocks 2PL and shows PCP completes it.
+func TestCeilingNoDeadlock(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	a := &scriptTx{id: 1, deadline: 1, steps: []step{
+		{obj: 1, mode: Write, work: 10 * sim.Millisecond},
+		{obj: 2, mode: Write, work: 10 * sim.Millisecond},
+	}}
+	b := &scriptTx{id: 2, deadline: 2, start: 1 * sim.Millisecond, steps: []step{
+		{obj: 2, mode: Write, work: 10 * sim.Millisecond},
+		{obj: 1, mode: Write, work: 10 * sim.Millisecond},
+	}}
+	runScript(t, k, m, []*scriptTx{a, b})
+	if !a.done || !b.done {
+		t.Fatalf("PCP deadlocked: a=%v b=%v", a.done, b.done)
+	}
+}
+
+func TestCeilingReadSharing(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	// Two readers of the same object, no writers anywhere: the rw
+	// ceiling of the read-locked object is MinPriority (no writers), so
+	// the second reader passes the test and shares.
+	r1 := &scriptTx{id: 1, deadline: 10, steps: []step{{obj: 1, mode: Read, work: 20 * sim.Millisecond}}}
+	r2 := &scriptTx{id: 2, deadline: 20, start: 1 * sim.Millisecond, steps: []step{{obj: 1, mode: Read, work: 20 * sim.Millisecond}}}
+	runScript(t, k, m, []*scriptTx{r1, r2})
+	if r2.doneAt != sim.Time(21*sim.Millisecond) {
+		t.Fatalf("r2 done at %v, want 21ms (shared read)", r2.doneAt)
+	}
+	if r2.st.BlockedCount != 0 {
+		t.Fatal("second reader should not block")
+	}
+}
+
+func TestCeilingExclusiveNoSharing(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeilingExclusive(k)
+	r1 := &scriptTx{id: 1, deadline: 10, steps: []step{{obj: 1, mode: Read, work: 20 * sim.Millisecond}}}
+	r2 := &scriptTx{id: 2, deadline: 20, start: 1 * sim.Millisecond, steps: []step{{obj: 1, mode: Read, work: 20 * sim.Millisecond}}}
+	runScript(t, k, m, []*scriptTx{r1, r2})
+	if r2.doneAt != sim.Time(40*sim.Millisecond) {
+		t.Fatalf("r2 done at %v, want 40ms (exclusive semantics serialize readers)", r2.doneAt)
+	}
+}
+
+func TestCeilingWriterBlockedByReader(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	reader := &scriptTx{id: 1, deadline: 10, steps: []step{{obj: 1, mode: Read, work: 20 * sim.Millisecond}}}
+	writer := &scriptTx{id: 2, deadline: 5, start: 1 * sim.Millisecond, steps: []step{{obj: 1, mode: Write, work: 5 * sim.Millisecond}}}
+	runScript(t, k, m, []*scriptTx{reader, writer})
+	if writer.doneAt != sim.Time(25*sim.Millisecond) {
+		t.Fatalf("writer done at %v, want 25ms (waits for reader)", writer.doneAt)
+	}
+}
+
+func TestCeilingUnregisterWakesWaiters(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	// A very high priority transaction registers (raising ceilings) but
+	// never runs its steps until late; a holder plus the raised ceiling
+	// block a middle transaction; when the high one departs, ceilings
+	// drop. Scenario: t9 registered with write set {2}. t3 locks obj 2.
+	// t2 requests obj 1 (unlocked): blocked because rw-ceiling(2) = t9's
+	// priority. When t9 completes, ceilings drop but obj 2 is still
+	// locked by t3 whose write ceiling is now t3's own... then the test
+	// passes for t2 (its priority outranks t3's contribution).
+	t9 := &scriptTx{id: 9, deadline: 1, steps: []step{{obj: 2, mode: Write, work: 1 * sim.Millisecond}}}
+	t3 := &scriptTx{id: 3, deadline: 30, start: 2 * sim.Millisecond, steps: []step{{obj: 2, mode: Write, work: 100 * sim.Millisecond}}}
+	t2 := &scriptTx{id: 2, deadline: 20, start: 3 * sim.Millisecond, steps: []step{{obj: 1, mode: Write, work: 5 * sim.Millisecond}}}
+	// Keep t9 registered artificially long by giving it a long tail.
+	t9.steps = append(t9.steps, step{obj: 2, mode: Write, work: 20 * sim.Millisecond})
+	runScript(t, k, m, []*scriptTx{t9, t3, t2})
+	if !t2.done {
+		t.Fatalf("t2 stuck: %v", t2.err)
+	}
+	// t2 must finish before t3 releases at ~121ms: the departure of t9
+	// at ~22ms lowers rw-ceiling(2) below t2's priority.
+	if t2.doneAt >= t3.doneAt {
+		t.Fatalf("t2 done at %v, not unblocked by t9's departure (t3 done %v)", t2.doneAt, t3.doneAt)
+	}
+}
+
+func TestCeilingCancelBlockedWaiter(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	holder := &scriptTx{id: 2, deadline: 20, steps: []step{{obj: 1, mode: Write, work: 50 * sim.Millisecond}}}
+	victim := &scriptTx{id: 1, deadline: 10, start: 5 * sim.Millisecond, steps: []step{{obj: 1, mode: Write, work: 5 * sim.Millisecond}}}
+	errKill := errors.New("kill")
+	var holderEffAfter sim.Priority
+	k.At(sim.Time(20*sim.Millisecond), func() {
+		victim.st.Proc.Interrupt(errKill)
+	})
+	k.At(sim.Time(21*sim.Millisecond), func() { holderEffAfter = holder.st.Eff() })
+	runScript(t, k, m, []*scriptTx{holder, victim})
+	if !errors.Is(victim.err, errKill) {
+		t.Fatalf("victim err = %v", victim.err)
+	}
+	if holderEffAfter != holder.st.Base {
+		t.Fatalf("holder kept inherited priority %v after waiter aborted", holderEffAfter)
+	}
+	if m.Waiting() != 0 {
+		t.Fatalf("waiter leaked: %d", m.Waiting())
+	}
+}
+
+func TestCeilingAcquireBeforeRegister(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	var got error
+	k.Spawn("rogue", func(p *sim.Proc) {
+		st := NewTxState(1, sim.Priority{Deadline: 1, TxID: 1}, p)
+		got = m.Acquire(p, st, 1, Write)
+	})
+	k.Run()
+	if got == nil {
+		t.Fatal("Acquire before Register should fail")
+	}
+}
+
+func TestCeilingUpgradeSoleHolder(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	up := &scriptTx{id: 1, deadline: 1, steps: []step{
+		{obj: 1, mode: Read, work: 5 * sim.Millisecond},
+		{obj: 1, mode: Write, work: 5 * sim.Millisecond},
+	}}
+	runScript(t, k, m, []*scriptTx{up})
+	if !up.done {
+		t.Fatalf("upgrade failed: %v", up.err)
+	}
+}
+
+func TestCeilingUpgradeBlockedByCoReader(t *testing.T) {
+	// A lower-priority transaction read-locks an object it also
+	// intends to write; a higher-priority reader shares the lock (its
+	// priority beats the write ceiling). The upgrade must then wait as
+	// a DIRECT conflict: the ceiling test skips self-held objects, so
+	// only the compatibility safety net blocks it, and the blame falls
+	// on the co-reader.
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	up := &scriptTx{id: 2, deadline: 20, steps: []step{
+		{obj: 1, mode: Read, work: 2 * sim.Millisecond},
+		{obj: 1, mode: Write, work: 2 * sim.Millisecond},
+	}}
+	coReader := &scriptTx{id: 1, deadline: 10, pause: sim.Millisecond,
+		steps: []step{{obj: 1, mode: Read, work: 30 * sim.Millisecond}}}
+	runScript(t, k, m, []*scriptTx{up, coReader})
+	if !up.done {
+		t.Fatalf("upgrader stuck: %v", up.err)
+	}
+	if !coReader.done {
+		t.Fatalf("co-reader stuck: %v", coReader.err)
+	}
+	// The upgrade waits for the co-reader's release at 31ms.
+	if up.doneAt != sim.Time(33*sim.Millisecond) {
+		t.Fatalf("upgrader done at %v, want 33ms", up.doneAt)
+	}
+	if m.DirectBlocks != 1 {
+		t.Fatalf("DirectBlocks = %d, want 1 (upgrade conflict)", m.DirectBlocks)
+	}
+}
+
+func TestCeilingDirectBlockCounted(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewCeiling(k)
+	holder := &scriptTx{id: 2, deadline: 20, steps: []step{{obj: 1, mode: Write, work: 20 * sim.Millisecond}}}
+	waiter := &scriptTx{id: 1, deadline: 10, start: 5 * sim.Millisecond, steps: []step{{obj: 1, mode: Write, work: 5 * sim.Millisecond}}}
+	runScript(t, k, m, []*scriptTx{holder, waiter})
+	if m.DirectBlocks != 1 {
+		t.Fatalf("DirectBlocks = %d, want 1", m.DirectBlocks)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sort"
+
+	"rtlock/internal/sim"
+)
+
+// TwoPLCond is two-phase locking with the conditional-restart policy of
+// Abbott and Garcia-Molina ([Abb88] in the paper): a higher-priority
+// requester aborts a conflicting lower-priority holder only when it
+// cannot afford to wait — when its slack (time to its deadline) is
+// smaller than the holder's execution-time estimate. Otherwise it waits
+// like ordinary priority 2PL, avoiding the wasted work of an abort the
+// requester didn't need.
+type TwoPLCond struct {
+	k       *sim.Kernel
+	entries map[ObjectID]*lockEntry
+	seq     uint64
+
+	// Wounds counts holder aborts; Spared counts conflicts where the
+	// requester chose to wait instead.
+	Wounds int
+	Spared int
+}
+
+var _ Manager = (*TwoPLCond)(nil)
+
+// NewTwoPLCond returns the conditional-restart scheme.
+func NewTwoPLCond(k *sim.Kernel) *TwoPLCond {
+	return &TwoPLCond{k: k, entries: make(map[ObjectID]*lockEntry)}
+}
+
+// Name implements Manager.
+func (m *TwoPLCond) Name() string { return "2PL-CR" }
+
+// Register implements Manager.
+func (m *TwoPLCond) Register(tx *TxState) {}
+
+// Unregister implements Manager.
+func (m *TwoPLCond) Unregister(tx *TxState) {}
+
+// Acquire implements Manager.
+func (m *TwoPLCond) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
+	if held, ok := tx.held[obj]; ok && (held == Write || mode == Read) {
+		return nil
+	}
+	e := m.entry(obj)
+	conflicts := conflictingHolders(e, tx, mode)
+	if len(conflicts) == 0 && m.admissible(e, tx) {
+		m.grant(e, tx, obj, mode)
+		return nil
+	}
+	// Conditional wound: only lower-priority holders, and only when
+	// the requester's slack cannot absorb the holder's estimated
+	// execution time.
+	slack := sim.Duration(tx.Base.Deadline - int64(m.k.Now()))
+	for _, h := range conflicts {
+		if !h.Eff().Lower(tx.Eff()) {
+			continue
+		}
+		if slack > h.Estimate {
+			m.Spared++
+			continue
+		}
+		m.Wounds++
+		h.RequestWound(ErrRestart)
+	}
+	m.seq++
+	w := &lockWaiter{tx: tx, obj: obj, mode: mode, tok: &sim.Token{}, seq: m.seq}
+	e.queue = append(e.queue, w)
+	tx.noteBlocked(m.k.Now(), conflicts)
+	w.tok.OnCancel = func() { m.dropWaiter(e, w) }
+	err := p.Park(w.tok)
+	tx.noteUnblocked(m.k.Now())
+	return err
+}
+
+// ReleaseAll implements Manager.
+func (m *TwoPLCond) ReleaseAll(tx *TxState) {
+	if len(tx.held) == 0 {
+		return
+	}
+	affected := make([]ObjectID, 0, len(tx.held))
+	for obj := range tx.held {
+		affected = append(affected, obj)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	for _, obj := range affected {
+		delete(tx.held, obj)
+		if e := m.entries[obj]; e != nil {
+			delete(e.holders, tx)
+		}
+	}
+	for _, obj := range affected {
+		m.processQueue(obj)
+	}
+}
+
+// Waiting reports parked lock waiters, for tests.
+func (m *TwoPLCond) Waiting() int {
+	n := 0
+	for _, e := range m.entries {
+		n += len(e.queue)
+	}
+	return n
+}
+
+func (m *TwoPLCond) entry(obj ObjectID) *lockEntry {
+	e, ok := m.entries[obj]
+	if !ok {
+		e = &lockEntry{holders: make(map[*TxState]Mode)}
+		m.entries[obj] = e
+	}
+	return e
+}
+
+func (m *TwoPLCond) admissible(e *lockEntry, tx *TxState) bool {
+	for _, w := range e.queue {
+		if w.tx.Eff().Higher(tx.Eff()) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *TwoPLCond) grant(e *lockEntry, tx *TxState, obj ObjectID, mode Mode) {
+	if cur, ok := e.holders[tx]; !ok || mode == Write && cur == Read {
+		e.holders[tx] = mode
+	}
+	if cur, ok := tx.held[obj]; !ok || mode == Write && cur == Read {
+		tx.held[obj] = mode
+	}
+}
+
+func (m *TwoPLCond) processQueue(obj ObjectID) {
+	e := m.entries[obj]
+	if e == nil {
+		return
+	}
+	sort.SliceStable(e.queue, func(i, j int) bool {
+		a, b := e.queue[i], e.queue[j]
+		if a.tx.Eff() != b.tx.Eff() {
+			return a.tx.Eff().Higher(b.tx.Eff())
+		}
+		return a.seq < b.seq
+	})
+	granted := 0
+	for _, w := range e.queue {
+		if holdersConflict(e, w.tx, w.mode) {
+			break
+		}
+		m.grant(e, w.tx, obj, w.mode)
+		w.tok.Wake(nil)
+		granted++
+	}
+	e.queue = e.queue[granted:]
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(m.entries, obj)
+	}
+}
+
+func (m *TwoPLCond) dropWaiter(e *lockEntry, w *lockWaiter) {
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	m.processQueue(w.obj)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rtlock/internal/sim"
+)
+
+// condScript runs scripted transactions under TwoPLCond with explicit
+// execution estimates.
+func condScript(t *testing.T, txs []*scriptTx, estimates map[int64]sim.Duration) *TwoPLCond {
+	t.Helper()
+	k := sim.NewKernel()
+	m := NewTwoPLCond(k)
+	for _, tx := range txs {
+		tx := tx
+		est := estimates[tx.id]
+		k.Spawn("tx", func(p *sim.Proc) {
+			if err := p.Sleep(tx.start); err != nil {
+				tx.err = err
+				return
+			}
+			st := NewTxState(tx.id, sim.Priority{Deadline: tx.deadline, TxID: tx.id}, p)
+			st.Estimate = est
+			tx.st = st
+			m.Register(st)
+			defer m.Unregister(st)
+			defer m.ReleaseAll(st)
+			for _, s := range tx.steps {
+				if err := m.Acquire(p, st, s.obj, s.mode); err != nil {
+					tx.err = err
+					return
+				}
+				if err := p.Sleep(s.work); err != nil {
+					tx.err = err
+					return
+				}
+			}
+			tx.done = true
+			tx.doneAt = p.Now()
+		})
+	}
+	k.Run()
+	if err := k.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	return m
+}
+
+func TestCondSparesWhenSlackGenerous(t *testing.T) {
+	ms := sim.Millisecond
+	// Holder estimate 50ms; requester's deadline is 500ms away: it can
+	// afford to wait, so the holder is spared.
+	holder := &scriptTx{id: 2, deadline: int64(sim.Time(800 * ms)), steps: []step{{obj: 1, mode: Write, work: 50 * ms}}}
+	req := &scriptTx{id: 1, deadline: int64(sim.Time(500 * ms)), start: 10 * ms, steps: []step{{obj: 1, mode: Write, work: 5 * ms}}}
+	m := condScript(t, []*scriptTx{holder, req}, map[int64]sim.Duration{2: 50 * ms, 1: 5 * ms})
+	if !holder.done {
+		t.Fatalf("spared holder did not finish: %v", holder.err)
+	}
+	if !req.done || req.doneAt != sim.Time(55*ms) {
+		t.Fatalf("requester done=%v at %v, want 55ms (waited)", req.done, req.doneAt)
+	}
+	if m.Wounds != 0 || m.Spared != 1 {
+		t.Fatalf("wounds=%d spared=%d, want 0/1", m.Wounds, m.Spared)
+	}
+}
+
+func TestCondWoundsWhenSlackTight(t *testing.T) {
+	ms := sim.Millisecond
+	// Holder estimate 200ms; requester's deadline only 60ms away: it
+	// cannot wait, so the holder is wounded.
+	holder := &scriptTx{id: 2, deadline: int64(sim.Time(800 * ms)), steps: []step{{obj: 1, mode: Write, work: 200 * ms}}}
+	req := &scriptTx{id: 1, deadline: int64(sim.Time(60 * ms)), start: 10 * ms, steps: []step{{obj: 1, mode: Write, work: 5 * ms}}}
+	m := condScript(t, []*scriptTx{holder, req}, map[int64]sim.Duration{2: 200 * ms, 1: 5 * ms})
+	if !errors.Is(holder.err, ErrRestart) {
+		t.Fatalf("holder err = %v, want wounded", holder.err)
+	}
+	if !req.done || req.doneAt != sim.Time(15*ms) {
+		t.Fatalf("requester done=%v at %v, want 15ms", req.done, req.doneAt)
+	}
+	if m.Wounds != 1 {
+		t.Fatalf("wounds = %d, want 1", m.Wounds)
+	}
+}
+
+func TestCondNeverWoundsHigherPriority(t *testing.T) {
+	ms := sim.Millisecond
+	// The holder has the earlier deadline (higher priority); even a
+	// desperate lower-priority requester must wait.
+	holder := &scriptTx{id: 1, deadline: int64(sim.Time(100 * ms)), steps: []step{{obj: 1, mode: Write, work: 50 * ms}}}
+	req := &scriptTx{id: 2, deadline: int64(sim.Time(20 * ms)), start: 10 * ms, steps: []step{{obj: 1, mode: Write, work: 5 * ms}}}
+	// Note: req's deadline is EARLIER, so it is actually higher
+	// priority… invert: give req the later deadline but tiny slack is
+	// impossible then. Use ids to break the tie instead: same deadline,
+	// holder id 1 wins ties.
+	holder.deadline = int64(sim.Time(100 * ms))
+	req.deadline = int64(sim.Time(100 * ms))
+	m := condScript(t, []*scriptTx{holder, req}, map[int64]sim.Duration{1: 50 * ms, 2: 5 * ms})
+	if !holder.done {
+		t.Fatalf("higher-priority holder wounded: %v", holder.err)
+	}
+	if m.Wounds != 0 {
+		t.Fatalf("wounds = %d, want 0", m.Wounds)
+	}
+	if !req.done {
+		t.Fatalf("requester stuck: %v", req.err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package core implements the real-time locking protocols the paper
+// evaluates: two-phase locking without priority (protocol L), two-phase
+// locking with priority mode (protocol P), two-phase locking with basic
+// priority inheritance (§3.1), and the priority ceiling protocol (§3.2,
+// protocol C) with write-, absolute-, and rw-priority ceilings, ceiling
+// blocking, transitive priority inheritance, and the block-at-most-once
+// and deadlock-freedom properties.
+//
+// The package is transaction-system agnostic: callers hand it a TxState
+// per transaction (identity, assigned priority, declared read and write
+// sets) and receive lock grants by parking the transaction's simulated
+// process. Priority inheritance reaches the CPU scheduler through the
+// TxState's OnPrioChange hook.
+package core
+
+import (
+	"fmt"
+
+	"rtlock/internal/sim"
+)
+
+// ObjectID names a data object (the paper's lockable granule).
+type ObjectID int32
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes. Read locks are compatible with each other; write locks are
+// exclusive.
+const (
+	Read Mode = iota + 1
+	Write
+)
+
+// String renders the mode for traces.
+func (m Mode) String() string {
+	switch m {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// compatible reports whether a lock held in mode held allows another
+// transaction to acquire mode req.
+func compatible(held, req Mode) bool { return held == Read && req == Read }
+
+// Manager is a single-site concurrency-control protocol. The distributed
+// managers in internal/dist wrap Managers per site or globally.
+type Manager interface {
+	// Name identifies the protocol in reports ("2PL", "2PL-P",
+	// "2PL-PI", "PCP", "PCP-X").
+	Name() string
+	// Register declares a transaction and its read/write sets to the
+	// protocol; the ceiling protocol derives object ceilings from
+	// registered transactions. Register must precede the first Acquire.
+	Register(tx *TxState)
+	// Unregister removes a departed (committed or aborted)
+	// transaction. The caller must release its locks first.
+	Unregister(tx *TxState)
+	// Acquire obtains obj in the given mode on behalf of tx, parking p
+	// until the lock is granted. It returns nil on grant, or the
+	// cancellation error if the wait was interrupted (deadline abort).
+	// Re-acquiring a held lock (same or weaker mode) succeeds
+	// immediately; Read→Write upgrades are honored when permissible.
+	Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error
+	// ReleaseAll releases every lock tx holds, sheds any inherited
+	// priority, and wakes newly grantable waiters. Transactions follow
+	// strict two-phase locking, releasing only at commit or abort.
+	ReleaseAll(tx *TxState)
+}
+
+// TxState is the protocol-facing state of one transaction.
+type TxState struct {
+	// ID is unique per run and breaks priority ties.
+	ID int64
+	// Base is the assigned priority (earliest deadline = highest). The
+	// ceiling tests use Base; inheritance changes only Eff.
+	Base sim.Priority
+	// Proc is the simulated process executing the transaction.
+	Proc *sim.Proc
+	// ReadSet and WriteSet are the declared access sets, known at
+	// arrival as in the paper's prototyping environment.
+	ReadSet, WriteSet []ObjectID
+	// OnPrioChange, if set, is invoked whenever the effective priority
+	// changes, so the transaction layer can reprioritize the CPU.
+	OnPrioChange func(eff sim.Priority)
+	// Estimate is the transaction's total execution-time estimate
+	// (size × per-object cost), used by the conditional-restart
+	// policy to decide whether a requester can afford to wait for a
+	// holder.
+	Estimate sim.Duration
+
+	// BlockedCount and BlockedTime accumulate lock-wait statistics for
+	// the performance monitor.
+	BlockedCount int
+	BlockedTime  sim.Duration
+	// BlockedBy records the distinct lower-priority transactions that
+	// ever directly blocked this one; the ceiling protocol's
+	// block-at-most-once property bounds its size.
+	BlockedBy map[int64]struct{}
+
+	eff        sim.Priority
+	held       map[ObjectID]Mode
+	blockStart sim.Time
+	blocked    bool
+	wounded    error
+}
+
+// NewTxState returns transaction state with the given identity and
+// assigned priority. Read and write sets may be filled in afterwards but
+// before Register.
+func NewTxState(id int64, base sim.Priority, p *sim.Proc) *TxState {
+	return &TxState{
+		ID:        id,
+		Base:      base,
+		Proc:      p,
+		BlockedBy: make(map[int64]struct{}),
+		eff:       base,
+		held:      make(map[ObjectID]Mode),
+	}
+}
+
+// Eff returns the current effective (possibly inherited) priority.
+func (t *TxState) Eff() sim.Priority { return t.eff }
+
+// Holds reports the mode in which t holds obj, if any.
+func (t *TxState) Holds(obj ObjectID) (Mode, bool) {
+	m, ok := t.held[obj]
+	return m, ok
+}
+
+// HeldCount returns the number of locks currently held.
+func (t *TxState) HeldCount() int { return len(t.held) }
+
+// WantsWrite reports whether obj is in the declared write set.
+func (t *TxState) WantsWrite(obj ObjectID) bool {
+	for _, o := range t.WriteSet {
+		if o == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// setEff updates the effective priority, notifying the owner on change.
+func (t *TxState) setEff(p sim.Priority) {
+	if t.eff == p {
+		return
+	}
+	t.eff = p
+	if t.OnPrioChange != nil {
+		t.OnPrioChange(p)
+	}
+}
+
+// noteBlocked starts the blocked-interval clock and charges the blame set.
+func (t *TxState) noteBlocked(now sim.Time, blamed []*TxState) {
+	t.BlockedCount++
+	t.blockStart = now
+	t.blocked = true
+	for _, h := range blamed {
+		if h.Base.Lower(t.Base) {
+			t.BlockedBy[h.ID] = struct{}{}
+		}
+	}
+}
+
+// noteUnblocked stops the blocked-interval clock.
+func (t *TxState) noteUnblocked(now sim.Time) {
+	if !t.blocked {
+		return
+	}
+	t.blocked = false
+	t.BlockedTime += now.Sub(t.blockStart)
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"sort"
+
+	"rtlock/internal/sim"
+)
+
+// TwoPLHP is two-phase locking with the High-Priority conflict-resolution
+// scheme of Abbott and Garcia-Molina ([Abb88] in the paper): when a
+// transaction requests a lock held by strictly lower-priority
+// transactions, the holders are aborted (wounded) and restarted rather
+// than the requester waiting behind them. Higher- or equal-priority
+// holders block the requester as usual, with priority-ordered queues.
+//
+// Wounding guarantees the highest-priority transaction never waits for a
+// lower-priority one and makes deadlock impossible among transactions
+// with distinct priorities (every wait is toward higher priority), at
+// the price of wasted and redone work — the trade-off the paper's §5
+// raises when discussing preemption for real-time transactions.
+type TwoPLHP struct {
+	k       *sim.Kernel
+	entries map[ObjectID]*lockEntry
+	seq     uint64
+
+	// Wounds counts holder aborts issued, for reports and tests.
+	Wounds int
+}
+
+var _ Manager = (*TwoPLHP)(nil)
+
+// NewTwoPLHP returns the High-Priority scheme.
+func NewTwoPLHP(k *sim.Kernel) *TwoPLHP {
+	return &TwoPLHP{k: k, entries: make(map[ObjectID]*lockEntry)}
+}
+
+// Name implements Manager.
+func (m *TwoPLHP) Name() string { return "2PL-HP" }
+
+// Register implements Manager.
+func (m *TwoPLHP) Register(tx *TxState) {}
+
+// Unregister implements Manager.
+func (m *TwoPLHP) Unregister(tx *TxState) {}
+
+// Acquire implements Manager.
+func (m *TwoPLHP) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
+	if held, ok := tx.held[obj]; ok && (held == Write || mode == Read) {
+		return nil
+	}
+	e := m.entry(obj)
+	conflicts := conflictingHolders(e, tx, mode)
+	if len(conflicts) == 0 && m.admissible(e, tx) {
+		m.grant(e, tx, obj, mode)
+		return nil
+	}
+	// Wound every conflicting holder of strictly lower priority. If all
+	// conflicts are wounded the lock arrives as soon as they unwind;
+	// otherwise the requester waits behind the survivors.
+	for _, h := range conflicts {
+		if h.Eff().Lower(tx.Eff()) {
+			m.Wounds++
+			h.RequestWound(ErrRestart)
+		}
+	}
+	m.seq++
+	w := &lockWaiter{tx: tx, obj: obj, mode: mode, tok: &sim.Token{}, seq: m.seq}
+	e.queue = append(e.queue, w)
+	tx.noteBlocked(m.k.Now(), conflicts)
+	w.tok.OnCancel = func() { m.dropWaiter(e, w) }
+	err := p.Park(w.tok)
+	tx.noteUnblocked(m.k.Now())
+	return err
+}
+
+// ReleaseAll implements Manager.
+func (m *TwoPLHP) ReleaseAll(tx *TxState) {
+	if len(tx.held) == 0 {
+		return
+	}
+	affected := make([]ObjectID, 0, len(tx.held))
+	for obj := range tx.held {
+		affected = append(affected, obj)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	for _, obj := range affected {
+		delete(tx.held, obj)
+		if e := m.entries[obj]; e != nil {
+			delete(e.holders, tx)
+		}
+	}
+	for _, obj := range affected {
+		m.processQueue(obj)
+	}
+}
+
+// Waiting reports parked lock waiters, for tests.
+func (m *TwoPLHP) Waiting() int {
+	n := 0
+	for _, e := range m.entries {
+		n += len(e.queue)
+	}
+	return n
+}
+
+func (m *TwoPLHP) entry(obj ObjectID) *lockEntry {
+	e, ok := m.entries[obj]
+	if !ok {
+		e = &lockEntry{holders: make(map[*TxState]Mode)}
+		m.entries[obj] = e
+	}
+	return e
+}
+
+// admissible: a new compatible request may jump only strictly
+// lower-priority waiters.
+func (m *TwoPLHP) admissible(e *lockEntry, tx *TxState) bool {
+	for _, w := range e.queue {
+		if w.tx.Eff().Higher(tx.Eff()) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *TwoPLHP) grant(e *lockEntry, tx *TxState, obj ObjectID, mode Mode) {
+	if cur, ok := e.holders[tx]; !ok || mode == Write && cur == Read {
+		e.holders[tx] = mode
+	}
+	if cur, ok := tx.held[obj]; !ok || mode == Write && cur == Read {
+		tx.held[obj] = mode
+	}
+}
+
+func (m *TwoPLHP) processQueue(obj ObjectID) {
+	e := m.entries[obj]
+	if e == nil {
+		return
+	}
+	sort.SliceStable(e.queue, func(i, j int) bool {
+		a, b := e.queue[i], e.queue[j]
+		if a.tx.Eff() != b.tx.Eff() {
+			return a.tx.Eff().Higher(b.tx.Eff())
+		}
+		return a.seq < b.seq
+	})
+	granted := 0
+	for _, w := range e.queue {
+		if holdersConflict(e, w.tx, w.mode) {
+			break
+		}
+		m.grant(e, w.tx, obj, w.mode)
+		w.tok.Wake(nil)
+		granted++
+	}
+	e.queue = e.queue[granted:]
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(m.entries, obj)
+	}
+}
+
+func (m *TwoPLHP) dropWaiter(e *lockEntry, w *lockWaiter) {
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	m.processQueue(w.obj)
+}
+
+// conflictingHolders lists holders (other than tx) incompatible with the
+// requested mode, in deterministic order.
+func conflictingHolders(e *lockEntry, tx *TxState, mode Mode) []*TxState {
+	var out []*TxState
+	for h, hm := range e.holders {
+		if h != tx && !compatible(hm, mode) {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rtlock/internal/sim"
+)
+
+// hpScript runs scripted transactions under TwoPLHP, with wounded
+// attempts recorded (the core-level harness does not restart; the txn
+// layer owns that).
+func TestHPWoundsLowerPriorityHolder(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewTwoPLHP(k)
+	low := &scriptTx{id: 2, deadline: 100, steps: []step{{obj: 1, mode: Write, work: 100 * sim.Millisecond}}}
+	high := &scriptTx{id: 1, deadline: 1, start: 10 * sim.Millisecond, steps: []step{{obj: 1, mode: Write, work: 5 * sim.Millisecond}}}
+	runScript(t, k, m, []*scriptTx{low, high})
+	if !errors.Is(low.err, ErrRestart) {
+		t.Fatalf("low-priority holder err = %v, want ErrRestart (wounded)", low.err)
+	}
+	if !high.done {
+		t.Fatalf("high-priority requester stuck: %v", high.err)
+	}
+	// Wounded at 10ms, high then runs 5ms.
+	if high.doneAt != sim.Time(15*sim.Millisecond) {
+		t.Fatalf("high done at %v, want 15ms", high.doneAt)
+	}
+	if m.Wounds != 1 {
+		t.Fatalf("Wounds = %d, want 1", m.Wounds)
+	}
+}
+
+func TestHPHigherPriorityHolderBlocksRequester(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewTwoPLHP(k)
+	high := &scriptTx{id: 1, deadline: 1, steps: []step{{obj: 1, mode: Write, work: 30 * sim.Millisecond}}}
+	low := &scriptTx{id: 2, deadline: 100, start: 5 * sim.Millisecond, steps: []step{{obj: 1, mode: Write, work: 5 * sim.Millisecond}}}
+	runScript(t, k, m, []*scriptTx{high, low})
+	if high.err != nil || low.err != nil {
+		t.Fatalf("errs: high=%v low=%v", high.err, low.err)
+	}
+	if low.doneAt != sim.Time(35*sim.Millisecond) {
+		t.Fatalf("low done at %v, want 35ms (waits, no wound)", low.doneAt)
+	}
+	if m.Wounds != 0 {
+		t.Fatalf("Wounds = %d, want 0", m.Wounds)
+	}
+}
+
+func TestHPWoundsAllConflictingReaders(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewTwoPLHP(k)
+	r1 := &scriptTx{id: 2, deadline: 20, steps: []step{{obj: 1, mode: Read, work: 100 * sim.Millisecond}}}
+	r2 := &scriptTx{id: 3, deadline: 30, steps: []step{{obj: 1, mode: Read, work: 100 * sim.Millisecond}}}
+	w := &scriptTx{id: 1, deadline: 1, start: 10 * sim.Millisecond, steps: []step{{obj: 1, mode: Write, work: 5 * sim.Millisecond}}}
+	runScript(t, k, m, []*scriptTx{r1, r2, w})
+	if !errors.Is(r1.err, ErrRestart) || !errors.Is(r2.err, ErrRestart) {
+		t.Fatalf("reader errs: %v / %v, want both wounded", r1.err, r2.err)
+	}
+	if !w.done || w.doneAt != sim.Time(15*sim.Millisecond) {
+		t.Fatalf("writer done=%v at %v, want 15ms", w.done, w.doneAt)
+	}
+	if m.Wounds != 2 {
+		t.Fatalf("Wounds = %d, want 2", m.Wounds)
+	}
+}
+
+func TestHPNoDeadlockAmongDistinctPriorities(t *testing.T) {
+	// The classic cross-order scenario: under HP the higher-priority
+	// transaction wounds the lower one instead of deadlocking.
+	k := sim.NewKernel()
+	m := NewTwoPLHP(k)
+	a := &scriptTx{id: 1, deadline: 1, steps: []step{
+		{obj: 1, mode: Write, work: 10 * sim.Millisecond},
+		{obj: 2, mode: Write, work: 10 * sim.Millisecond},
+	}}
+	b := &scriptTx{id: 2, deadline: 2, start: 1 * sim.Millisecond, steps: []step{
+		{obj: 2, mode: Write, work: 10 * sim.Millisecond},
+		{obj: 1, mode: Write, work: 10 * sim.Millisecond},
+	}}
+	runScript(t, k, m, []*scriptTx{a, b})
+	if !a.done {
+		t.Fatalf("high-priority a stuck: %v", a.err)
+	}
+	if !errors.Is(b.err, ErrRestart) {
+		t.Fatalf("b err = %v, want wounded", b.err)
+	}
+}
+
+func TestHPPendingWoundWhenNotParked(t *testing.T) {
+	// RequestWound on a transaction that is not parked leaves the
+	// wound pending; Wounded() reports it.
+	st := NewTxState(1, sim.Priority{Deadline: 1, TxID: 1}, nil)
+	if st.Wounded() != nil {
+		t.Fatal("fresh state already wounded")
+	}
+	st.RequestWound(ErrRestart)
+	if !errors.Is(st.Wounded(), ErrRestart) {
+		t.Fatalf("Wounded = %v", st.Wounded())
+	}
+	// A second wound keeps the first error.
+	other := errors.New("other")
+	st.RequestWound(other)
+	if !errors.Is(st.Wounded(), ErrRestart) {
+		t.Fatal("second wound overwrote the first")
+	}
+}
+
+func TestHPReleaseWakesQueue(t *testing.T) {
+	k := sim.NewKernel()
+	m := NewTwoPLHP(k)
+	holder := &scriptTx{id: 1, deadline: 1, steps: []step{{obj: 1, mode: Write, work: 10 * sim.Millisecond}}}
+	waiter := &scriptTx{id: 2, deadline: 2, start: 1 * sim.Millisecond, steps: []step{{obj: 1, mode: Write, work: 10 * sim.Millisecond}}}
+	runScript(t, k, m, []*scriptTx{holder, waiter})
+	if !holder.done || !waiter.done {
+		t.Fatalf("holder=%v waiter=%v", holder.done, waiter.done)
+	}
+	if m.Waiting() != 0 {
+		t.Fatalf("leaked waiters: %d", m.Waiting())
+	}
+}

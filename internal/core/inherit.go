@@ -1,0 +1,109 @@
+package core
+
+// inheritGraph tracks which transactions are blocked by which lock
+// holders and propagates priority inheritance along the (possibly
+// transitive) blocking chain: a holder executes at the highest effective
+// priority of the transactions it blocks, and if the holder is itself
+// blocked, its own blockers inherit in turn.
+type inheritGraph struct {
+	// blockedOn[w] is the set of holders currently blamed for w's wait.
+	blockedOn map[*TxState]map[*TxState]struct{}
+	// waiters[h] is the inverse: transactions currently blocked by h.
+	waiters map[*TxState]map[*TxState]struct{}
+}
+
+func newInheritGraph() *inheritGraph {
+	return &inheritGraph{
+		blockedOn: make(map[*TxState]map[*TxState]struct{}),
+		waiters:   make(map[*TxState]map[*TxState]struct{}),
+	}
+}
+
+// setBlame replaces w's blame set with holders and recomputes effective
+// priorities of everyone affected.
+func (g *inheritGraph) setBlame(w *TxState, holders []*TxState) {
+	old := g.blockedOn[w]
+	g.clearEdges(w)
+	if len(holders) > 0 {
+		set := make(map[*TxState]struct{}, len(holders))
+		for _, h := range holders {
+			if h == w {
+				continue
+			}
+			set[h] = struct{}{}
+			ws, ok := g.waiters[h]
+			if !ok {
+				ws = make(map[*TxState]struct{})
+				g.waiters[h] = ws
+			}
+			ws[w] = struct{}{}
+		}
+		g.blockedOn[w] = set
+		for h := range set {
+			g.recompute(h, nil)
+		}
+	}
+	for h := range old {
+		g.recompute(h, nil)
+	}
+}
+
+// clear removes w from the graph entirely (granted, aborted, or departed)
+// and recomputes the priorities of its former blockers.
+func (g *inheritGraph) clear(w *TxState) {
+	old := g.blockedOn[w]
+	g.clearEdges(w)
+	for h := range old {
+		g.recompute(h, nil)
+	}
+}
+
+// clearEdges removes w's outgoing blame edges without recomputation.
+func (g *inheritGraph) clearEdges(w *TxState) {
+	for h := range g.blockedOn[w] {
+		delete(g.waiters[h], w)
+		if len(g.waiters[h]) == 0 {
+			delete(g.waiters, h)
+		}
+	}
+	delete(g.blockedOn, w)
+}
+
+// dropHolder removes every blame edge pointing at h (h released its
+// locks) and sheds h's inherited priority.
+func (g *inheritGraph) dropHolder(h *TxState) {
+	for w := range g.waiters[h] {
+		delete(g.blockedOn[w], h)
+		if len(g.blockedOn[w]) == 0 {
+			delete(g.blockedOn, w)
+		}
+	}
+	delete(g.waiters, h)
+	g.recompute(h, nil)
+}
+
+// recompute re-derives h's effective priority from its waiters and
+// propagates up the blocking chain. The visited set guards against
+// waits-for cycles (two-phase locking can deadlock; inheritance must not
+// loop forever when it does).
+func (g *inheritGraph) recompute(h *TxState, visited map[*TxState]struct{}) {
+	if visited == nil {
+		visited = make(map[*TxState]struct{})
+	}
+	if _, seen := visited[h]; seen {
+		return
+	}
+	visited[h] = struct{}{}
+	eff := h.Base
+	for w := range g.waiters[h] {
+		eff = eff.Max(w.Eff())
+	}
+	if eff == h.Eff() {
+		return
+	}
+	h.setEff(eff)
+	// The holder's new priority may need to flow to whoever blocks it.
+	for b := range g.blockedOn[h] {
+		g.recompute(b, visited)
+	}
+}

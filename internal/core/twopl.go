@@ -1,0 +1,409 @@
+package core
+
+import (
+	"sort"
+
+	"rtlock/internal/sim"
+)
+
+// QueuePolicy orders a lock's wait queue.
+type QueuePolicy int
+
+// Queue policies for the two-phase locking family.
+const (
+	// QueueFIFO serves lock waiters in arrival order and never lets a
+	// new request jump a non-empty queue (protocol L).
+	QueueFIFO QueuePolicy = iota + 1
+	// QueuePriority serves waiters in effective-priority order and
+	// lets a new request be granted ahead of lower-priority waiters
+	// (protocol P, and the base of the priority-inheritance variant).
+	QueuePriority
+)
+
+// TwoPL is the two-phase locking family: protocol L (FIFO, no priority),
+// protocol P (priority-ordered queues), and the basic priority
+// inheritance protocol of §3.1 (priority queues plus inheritance by
+// conflicting lock holders). Two-phase locking can deadlock; in the
+// paper's experiments deadlocked transactions simply miss their hard
+// deadlines and are aborted, which breaks the cycle. FindDeadlock exposes
+// waits-for cycle detection for tests and for optional detection.
+type TwoPL struct {
+	k       *sim.Kernel
+	policy  QueuePolicy
+	inherit bool
+	detect  bool
+	graph   *inheritGraph
+	entries map[ObjectID]*lockEntry
+	seq     uint64
+	name    string
+
+	// DeadlocksResolved counts waits-for cycles broken by the
+	// detection variant.
+	DeadlocksResolved int
+}
+
+var _ Manager = (*TwoPL)(nil)
+
+type lockEntry struct {
+	holders map[*TxState]Mode
+	queue   []*lockWaiter
+}
+
+type lockWaiter struct {
+	tx   *TxState
+	obj  ObjectID
+	mode Mode
+	tok  *sim.Token
+	seq  uint64
+}
+
+// NewTwoPL returns protocol L: plain two-phase locking with FIFO queues
+// and no priority support.
+func NewTwoPL(k *sim.Kernel) *TwoPL {
+	return &TwoPL{k: k, policy: QueueFIFO, entries: make(map[ObjectID]*lockEntry), name: "2PL"}
+}
+
+// NewTwoPLPriority returns protocol P: two-phase locking with
+// priority-ordered wait queues.
+func NewTwoPLPriority(k *sim.Kernel) *TwoPL {
+	return &TwoPL{k: k, policy: QueuePriority, entries: make(map[ObjectID]*lockEntry), name: "2PL-P"}
+}
+
+// NewTwoPLInherit returns two-phase locking with basic priority
+// inheritance (§3.1): a holder that blocks higher-priority transactions
+// executes at the highest priority of the transactions it blocks.
+// Blocking chains are still possible; the ceiling protocol exists to
+// bound them.
+func NewTwoPLInherit(k *sim.Kernel) *TwoPL {
+	return &TwoPL{
+		k:       k,
+		policy:  QueuePriority,
+		inherit: true,
+		graph:   newInheritGraph(),
+		entries: make(map[ObjectID]*lockEntry),
+		name:    "2PL-PI",
+	}
+}
+
+// NewTwoPLDetect returns two-phase locking with priority queues and
+// waits-for deadlock detection: whenever a new wait closes a cycle, the
+// lowest-priority transaction on the cycle is aborted (to restart) — the
+// conventional database resolution the paper's model omits in favor of
+// letting deadline expiry break cycles. It exists as an ablation of that
+// choice.
+func NewTwoPLDetect(k *sim.Kernel) *TwoPL {
+	return &TwoPL{
+		k:       k,
+		policy:  QueuePriority,
+		detect:  true,
+		entries: make(map[ObjectID]*lockEntry),
+		name:    "2PL-DD",
+	}
+}
+
+// Name implements Manager.
+func (m *TwoPL) Name() string { return m.name }
+
+// Register implements Manager. The 2PL family needs no a-priori access
+// set knowledge.
+func (m *TwoPL) Register(tx *TxState) {}
+
+// Unregister implements Manager.
+func (m *TwoPL) Unregister(tx *TxState) {}
+
+// Acquire implements Manager.
+func (m *TwoPL) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
+	if held, ok := tx.held[obj]; ok && (held == Write || mode == Read) {
+		return nil
+	}
+	e := m.entry(obj)
+	if m.admissible(e, tx, mode) {
+		m.grant(e, tx, obj, mode)
+		return nil
+	}
+	m.seq++
+	w := &lockWaiter{tx: tx, obj: obj, mode: mode, tok: &sim.Token{}, seq: m.seq}
+	e.queue = append(e.queue, w)
+	blamed := m.blameFor(e, w)
+	tx.noteBlocked(m.k.Now(), blamed)
+	if m.inherit {
+		m.graph.setBlame(tx, blamed)
+	}
+	if m.detect {
+		if cycle := m.FindDeadlock(); len(cycle) > 0 {
+			m.DeadlocksResolved++
+			victim := lowestPriority(cycle)
+			if victim == tx {
+				m.dropWaiter(e, w)
+				tx.noteUnblocked(m.k.Now())
+				return ErrRestart
+			}
+			victim.RequestWound(ErrRestart)
+		}
+	}
+	w.tok.OnCancel = func() { m.dropWaiter(e, w) }
+	err := p.Park(w.tok)
+	tx.noteUnblocked(m.k.Now())
+	return err
+}
+
+// lowestPriority picks the deadlock victim: the least urgent transaction
+// on the cycle, ties broken by id for determinism.
+func lowestPriority(cycle []*TxState) *TxState {
+	victim := cycle[0]
+	for _, t := range cycle[1:] {
+		if victim.Eff().Higher(t.Eff()) || victim.Eff() == t.Eff() && t.ID > victim.ID {
+			victim = t
+		}
+	}
+	return victim
+}
+
+// ReleaseAll implements Manager.
+func (m *TwoPL) ReleaseAll(tx *TxState) {
+	if len(tx.held) == 0 {
+		return
+	}
+	affected := make([]ObjectID, 0, len(tx.held))
+	for obj := range tx.held {
+		affected = append(affected, obj)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	for _, obj := range affected {
+		delete(tx.held, obj)
+		e := m.entries[obj]
+		if e == nil {
+			continue
+		}
+		delete(e.holders, tx)
+	}
+	if m.inherit {
+		m.graph.dropHolder(tx)
+	}
+	for _, obj := range affected {
+		m.processQueue(obj)
+	}
+}
+
+// HeldLocks reports how many objects are currently locked (for tests).
+func (m *TwoPL) HeldLocks() int {
+	n := 0
+	for _, e := range m.entries {
+		if len(e.holders) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Waiting reports how many transactions are parked in lock queues.
+func (m *TwoPL) Waiting() int {
+	n := 0
+	for _, e := range m.entries {
+		n += len(e.queue)
+	}
+	return n
+}
+
+// FindDeadlock returns the transactions on one waits-for cycle, or nil if
+// the lock table is deadlock-free right now. The waits-for relation
+// follows each waiter's current blame set.
+func (m *TwoPL) FindDeadlock() []*TxState {
+	edges := make(map[*TxState][]*TxState)
+	for _, e := range m.entries {
+		for _, w := range e.queue {
+			edges[w.tx] = append(edges[w.tx], m.blameFor(e, w)...)
+		}
+	}
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make(map[*TxState]int)
+	var stack []*TxState
+	var cycle []*TxState
+	var visit func(t *TxState) bool
+	visit = func(t *TxState) bool {
+		state[t] = inStack
+		stack = append(stack, t)
+		for _, next := range edges[t] {
+			switch state[next] {
+			case inStack:
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == next {
+						return true
+					}
+				}
+				return true
+			case unvisited:
+				if visit(next) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[t] = done
+		return false
+	}
+	// Deterministic iteration: order roots by transaction id.
+	roots := make([]*TxState, 0, len(edges))
+	for t := range edges {
+		roots = append(roots, t)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
+	for _, t := range roots {
+		if state[t] == unvisited && visit(t) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+func (m *TwoPL) entry(obj ObjectID) *lockEntry {
+	e, ok := m.entries[obj]
+	if !ok {
+		e = &lockEntry{holders: make(map[*TxState]Mode)}
+		m.entries[obj] = e
+	}
+	return e
+}
+
+// holdersConflict reports whether any holder other than tx is
+// incompatible with mode.
+func holdersConflict(e *lockEntry, tx *TxState, mode Mode) bool {
+	for h, hm := range e.holders {
+		if h == tx {
+			continue
+		}
+		if !compatible(hm, mode) {
+			return true
+		}
+	}
+	return false
+}
+
+// admissible reports whether a brand-new request may be granted
+// immediately, respecting the queue policy's fairness rule.
+func (m *TwoPL) admissible(e *lockEntry, tx *TxState, mode Mode) bool {
+	if holdersConflict(e, tx, mode) {
+		return false
+	}
+	switch m.policy {
+	case QueueFIFO:
+		// Never jump a non-empty queue.
+		return len(e.queue) == 0
+	case QueuePriority:
+		// May be granted ahead of strictly lower-priority waiters
+		// only.
+		for _, w := range e.queue {
+			if w.tx.Eff().Higher(tx.Eff()) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *TwoPL) grant(e *lockEntry, tx *TxState, obj ObjectID, mode Mode) {
+	if cur, ok := e.holders[tx]; !ok || mode == Write && cur == Read {
+		e.holders[tx] = mode
+	}
+	if cur, ok := tx.held[obj]; !ok || mode == Write && cur == Read {
+		tx.held[obj] = mode
+	}
+}
+
+// processQueue grants the maximal policy-ordered prefix of obj's queue
+// and, under inheritance, re-blames the waiters that remain blocked.
+func (m *TwoPL) processQueue(obj ObjectID) {
+	e := m.entries[obj]
+	if e == nil {
+		return
+	}
+	m.orderQueue(e)
+	granted := 0
+	for _, w := range e.queue {
+		if holdersConflict(e, w.tx, w.mode) {
+			break
+		}
+		m.grant(e, w.tx, obj, w.mode)
+		if m.inherit {
+			m.graph.clear(w.tx)
+		}
+		w.tok.Wake(nil)
+		granted++
+	}
+	e.queue = e.queue[granted:]
+	if m.inherit {
+		for _, w := range e.queue {
+			m.graph.setBlame(w.tx, m.blameFor(e, w))
+		}
+	}
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(m.entries, obj)
+	}
+}
+
+// orderQueue sorts the wait queue per policy: FIFO by arrival sequence,
+// priority by effective priority (ties by sequence). Effective priorities
+// can change while queued (inheritance), so ordering happens at grant
+// time rather than insert time.
+func (m *TwoPL) orderQueue(e *lockEntry) {
+	switch m.policy {
+	case QueueFIFO:
+		sort.SliceStable(e.queue, func(i, j int) bool { return e.queue[i].seq < e.queue[j].seq })
+	case QueuePriority:
+		sort.SliceStable(e.queue, func(i, j int) bool {
+			a, b := e.queue[i], e.queue[j]
+			if a.tx.Eff() != b.tx.Eff() {
+				return a.tx.Eff().Higher(b.tx.Eff())
+			}
+			return a.seq < b.seq
+		})
+	}
+}
+
+// blameFor computes the transactions responsible for w's wait: the
+// conflicting holders, or, when the wait is purely queue-order induced,
+// the conflicting waiters ahead of w.
+func (m *TwoPL) blameFor(e *lockEntry, w *lockWaiter) []*TxState {
+	var blamed []*TxState
+	for h, hm := range e.holders {
+		if h != w.tx && !compatible(hm, w.mode) {
+			blamed = append(blamed, h)
+		}
+	}
+	if len(blamed) > 0 {
+		sort.Slice(blamed, func(i, j int) bool { return blamed[i].ID < blamed[j].ID })
+		return blamed
+	}
+	for _, other := range e.queue {
+		if other == w {
+			continue
+		}
+		if other.seq < w.seq && !compatible(other.mode, w.mode) {
+			blamed = append(blamed, other.tx)
+		}
+	}
+	sort.Slice(blamed, func(i, j int) bool { return blamed[i].ID < blamed[j].ID })
+	return blamed
+}
+
+func (m *TwoPL) dropWaiter(e *lockEntry, w *lockWaiter) {
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	if m.inherit {
+		m.graph.clear(w.tx)
+	}
+	// Removing a waiter can unblock the queue (e.g. an aborted
+	// upgrader was at the head).
+	m.processQueue(w.obj)
+}

@@ -1,0 +1,29 @@
+package core
+
+import "errors"
+
+// ErrRestart tells the transaction layer to abort the current attempt,
+// release everything, and try again with the same deadline. It is how
+// abort-based protocols (the High-Priority wound scheme, timestamp
+// ordering, deadlock detection) reject work, in contrast to the
+// blocking-based protocols that park the requester. The paper's §5
+// discusses exactly this trade: an abort undoes completed work and the
+// redo may push this or other transactions past their deadlines.
+var ErrRestart = errors.New("core: transaction aborted; restart")
+
+// RequestWound asks the transaction to abort its current attempt with
+// err. If the transaction's process is parked (lock wait, CPU, I/O) it
+// is interrupted immediately; otherwise the wound is left pending and
+// the transaction layer observes it via Wounded at its next step
+// boundary.
+func (t *TxState) RequestWound(err error) {
+	if t.wounded == nil {
+		t.wounded = err
+	}
+	if t.Proc != nil {
+		t.Proc.Interrupt(err)
+	}
+}
+
+// Wounded returns the pending wound error, if any.
+func (t *TxState) Wounded() error { return t.wounded }

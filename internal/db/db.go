@@ -1,0 +1,142 @@
+// Package db models the database the transactions operate on: the object
+// catalog, the assignment of primary copies to sites, full replication
+// for the local-ceiling approach, and per-site stores with versioned
+// values so replica staleness (the paper's "temporal inconsistency") can
+// be measured.
+package db
+
+import (
+	"fmt"
+
+	"rtlock/internal/core"
+	"rtlock/internal/sim"
+)
+
+// SiteID identifies a site (node) in the distributed system.
+type SiteID int
+
+// Catalog describes the database layout: how many objects exist and which
+// site holds each primary copy. Objects are partitioned round-robin-free:
+// contiguous ranges per site, which makes "the objects of site s" easy to
+// reason about in workloads and tests.
+type Catalog struct {
+	sites   int
+	objects int
+}
+
+// NewCatalog lays out objects across sites. Objects are divided into
+// contiguous, nearly equal ranges; site i owns the i-th range as primary.
+func NewCatalog(sites, objects int) (*Catalog, error) {
+	if sites < 1 {
+		return nil, fmt.Errorf("db: sites must be >= 1, got %d", sites)
+	}
+	if objects < 1 {
+		return nil, fmt.Errorf("db: objects must be >= 1, got %d", objects)
+	}
+	return &Catalog{sites: sites, objects: objects}, nil
+}
+
+// Sites returns the number of sites.
+func (c *Catalog) Sites() int { return c.sites }
+
+// Objects returns the total number of data objects.
+func (c *Catalog) Objects() int { return c.objects }
+
+// PrimarySite returns the site holding the primary copy of obj.
+func (c *Catalog) PrimarySite(obj core.ObjectID) SiteID {
+	if int(obj) < 0 || int(obj) >= c.objects {
+		return 0
+	}
+	per := c.objects / c.sites
+	extra := c.objects % c.sites
+	// The first `extra` sites hold per+1 objects each.
+	idx := int(obj)
+	if idx < extra*(per+1) {
+		return SiteID(idx / (per + 1))
+	}
+	return SiteID(extra + (idx-extra*(per+1))/per)
+}
+
+// ObjectsAt returns the primary objects of a site, in ascending order.
+func (c *Catalog) ObjectsAt(site SiteID) []core.ObjectID {
+	var objs []core.ObjectID
+	for i := 0; i < c.objects; i++ {
+		if c.PrimarySite(core.ObjectID(i)) == site {
+			objs = append(objs, core.ObjectID(i))
+		}
+	}
+	return objs
+}
+
+// Version is one committed value of an object: a logical payload plus the
+// commit time of the write that produced it, used to measure staleness.
+type Version struct {
+	// Value is the logical payload (a counter in the simulation).
+	Value int64
+	// WrittenAt is the virtual commit time of the producing write.
+	WrittenAt sim.Time
+	// Seq is a monotonically increasing version number per object.
+	Seq int64
+}
+
+// Store holds one site's copies of data objects. In the local-ceiling
+// approach every site stores all objects (the local primary copies plus
+// replicated secondaries); in the global approach each site stores only
+// its primaries.
+type Store struct {
+	site     SiteID
+	versions map[core.ObjectID]Version
+}
+
+// NewStore returns an empty store for a site. Objects read before any
+// write observe the zero Version.
+func NewStore(site SiteID) *Store {
+	return &Store{site: site, versions: make(map[core.ObjectID]Version)}
+}
+
+// Site returns the owning site.
+func (s *Store) Site() SiteID { return s.site }
+
+// Read returns the current local version of obj.
+func (s *Store) Read(obj core.ObjectID) Version {
+	return s.versions[obj]
+}
+
+// Write installs a new version produced locally at time now, bumping the
+// sequence number.
+func (s *Store) Write(obj core.ObjectID, value int64, now sim.Time) Version {
+	v := Version{Value: value, WrittenAt: now, Seq: s.versions[obj].Seq + 1}
+	s.versions[obj] = v
+	return v
+}
+
+// Install applies a replicated version from another site. Out-of-order
+// deliveries are dropped: a version is installed only if its sequence
+// number advances the copy, which keeps replicas monotone.
+func (s *Store) Install(obj core.ObjectID, v Version) bool {
+	if v.Seq <= s.versions[obj].Seq {
+		return false
+	}
+	s.versions[obj] = v
+	return true
+}
+
+// State exports the committed values as a plain map, for checkpointing.
+func (s *Store) State() map[core.ObjectID]int64 {
+	out := make(map[core.ObjectID]int64, len(s.versions))
+	for obj, v := range s.versions {
+		out[obj] = v.Value
+	}
+	return out
+}
+
+// Staleness returns how far the local copy of obj lags behind a reference
+// version (typically the primary's): zero when up to date.
+func (s *Store) Staleness(obj core.ObjectID, primary Version, now sim.Time) sim.Duration {
+	local := s.versions[obj]
+	if local.Seq >= primary.Seq {
+		return 0
+	}
+	// The copy misses writes since primary.WrittenAt at the latest.
+	return now.Sub(local.WrittenAt)
+}

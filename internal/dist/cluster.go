@@ -1,0 +1,388 @@
+// Package dist implements the paper's two distributed real-time locking
+// architectures (§4):
+//
+//   - GlobalCeiling: a global ceiling manager at one site makes every
+//     ceiling-blocking decision; lock requests travel to it, locks are
+//     held across the network, data objects live at their primary sites,
+//     and updates commit with two-phase commit when they touch remote
+//     sites.
+//
+//   - LocalCeiling: every data object is fully replicated; update
+//     transactions are homed at the site holding their write set's
+//     primary copies (restriction 2); transactions synchronize only with
+//     their site's local ceiling manager; commits are local and remote
+//     secondary copies are updated asynchronously after commit
+//     (restriction 3), trading temporal consistency for responsiveness.
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"rtlock/internal/check"
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/netsim"
+	"rtlock/internal/sim"
+	"rtlock/internal/stats"
+	"rtlock/internal/workload"
+)
+
+// Approach selects the distributed locking architecture.
+type Approach int
+
+// The two architectures of §4.
+const (
+	GlobalCeiling Approach = iota + 1
+	LocalCeiling
+)
+
+// String names the approach in reports.
+func (a Approach) String() string {
+	switch a {
+	case GlobalCeiling:
+		return "global"
+	case LocalCeiling:
+		return "local"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// Config parameterizes a distributed run.
+type Config struct {
+	// Approach selects global or local ceiling management.
+	Approach Approach
+	// Sites is the number of fully interconnected sites.
+	Sites int
+	// Objects is the database size.
+	Objects int
+	// CommDelay is the one-way inter-site communication delay
+	// (uniform full mesh). Ignored when Topology is set.
+	CommDelay sim.Duration
+	// Topology, when non-nil, supplies per-pair delays (ring, star,
+	// custom) instead of the uniform full mesh.
+	Topology *netsim.Topology
+	// CPUPerObj is the CPU demand per object access. The distributed
+	// experiments simulate a memory-resident database: no I/O cost.
+	CPUPerObj sim.Duration
+	// SiteSpeed optionally scales each site's processor speed (the
+	// paper's UI exposes "the relative speed of CPU"): service demand
+	// at site i is divided by SiteSpeed[i]. Empty means every site
+	// runs at speed 1; otherwise one entry per site, each positive.
+	SiteSpeed []float64
+	// ApplyPerObj is the CPU demand to install one replicated update
+	// at a secondary site (LocalCeiling only).
+	ApplyPerObj sim.Duration
+	// GCMSite hosts the global ceiling manager (GlobalCeiling only).
+	GCMSite db.SiteID
+	// Multiversion makes read-only transactions in the local approach
+	// read a temporally consistent snapshot — for every object, the
+	// newest version written at or before (arrival − SnapshotLag) —
+	// instead of each replica's latest copy. This is the multi-version
+	// scheme the paper's §4 closes with: controlling the time lags of
+	// distributed versions so decisions rest on temporally consistent
+	// data.
+	Multiversion bool
+	// SnapshotLag is the snapshot age Δ; it should cover the
+	// propagation delay so snapshots are complete at every replica
+	// (zero means the default of 3×CommDelay + 10×ApplyPerObj).
+	SnapshotLag sim.Duration
+	// VersionsKept bounds each object's retained history (zero means
+	// the default of 32).
+	VersionsKept int
+	// InstallRetries bounds how many times a replica installer retries
+	// when its lock wait times out; afterwards the update is dropped
+	// and counted (zero means the default of 5).
+	InstallRetries int
+	// InstallTimeout is the per-attempt installer lock timeout (zero
+	// means the default of 50× ApplyPerObj, at least 10ms).
+	InstallTimeout sim.Duration
+	// RecordHistory keeps the access history for serializability
+	// checks in tests.
+	RecordHistory bool
+}
+
+func (c *Config) fill() error {
+	if c.Approach != GlobalCeiling && c.Approach != LocalCeiling {
+		return fmt.Errorf("dist: unknown approach %d", c.Approach)
+	}
+	if c.Sites < 1 {
+		return fmt.Errorf("dist: sites must be >= 1, got %d", c.Sites)
+	}
+	if c.Objects < 1 {
+		return fmt.Errorf("dist: objects must be >= 1, got %d", c.Objects)
+	}
+	if c.CPUPerObj <= 0 {
+		return fmt.Errorf("dist: CPUPerObj must be positive")
+	}
+	if c.CommDelay < 0 {
+		return fmt.Errorf("dist: negative communication delay")
+	}
+	if c.Topology != nil && c.Topology.Sites() != c.Sites {
+		return fmt.Errorf("dist: topology has %d sites, config has %d", c.Topology.Sites(), c.Sites)
+	}
+	if len(c.SiteSpeed) != 0 {
+		if len(c.SiteSpeed) != c.Sites {
+			return fmt.Errorf("dist: %d site speeds for %d sites", len(c.SiteSpeed), c.Sites)
+		}
+		for i, sp := range c.SiteSpeed {
+			if sp <= 0 {
+				return fmt.Errorf("dist: site %d speed %v must be positive", i, sp)
+			}
+		}
+	}
+	if int(c.GCMSite) < 0 || int(c.GCMSite) >= c.Sites {
+		return fmt.Errorf("dist: GCM site %d out of range", c.GCMSite)
+	}
+	if c.ApplyPerObj <= 0 {
+		c.ApplyPerObj = c.CPUPerObj / 2
+		if c.ApplyPerObj <= 0 {
+			c.ApplyPerObj = 1
+		}
+	}
+	if c.InstallRetries <= 0 {
+		c.InstallRetries = 5
+	}
+	if c.SnapshotLag <= 0 {
+		c.SnapshotLag = 3*c.CommDelay + 10*c.ApplyPerObj
+	}
+	if c.VersionsKept <= 0 {
+		c.VersionsKept = 32
+	}
+	if c.InstallTimeout <= 0 {
+		c.InstallTimeout = 50 * c.ApplyPerObj
+		if c.InstallTimeout < 10*sim.Millisecond {
+			c.InstallTimeout = 10 * sim.Millisecond
+		}
+	}
+	return nil
+}
+
+// site is one node: processor, store, and (local approach) its own
+// ceiling manager and versioned store.
+type site struct {
+	id    db.SiteID
+	cpu   *sim.CPU
+	speed float64
+	store *db.Store
+	mv    *db.MVStore
+	mgr   *core.Ceiling
+}
+
+// use consumes d of service demand on the site's processor, scaled by
+// its relative speed.
+func (s *site) use(p *sim.Proc, prio sim.Priority, d sim.Duration) error {
+	if s.speed != 1 {
+		d = sim.Duration(float64(d) / s.speed)
+	}
+	return s.cpu.Use(p, prio, d)
+}
+
+// ReplicationStats aggregates the local approach's replica behavior.
+type ReplicationStats struct {
+	// ReadSamples counts read operations that checked staleness.
+	ReadSamples int
+	// StaleReads counts reads that observed a copy older than the
+	// primary — the paper's temporal inconsistency.
+	StaleReads int
+	// TotalLag sums the observed staleness over stale reads.
+	TotalLag sim.Duration
+	// Installs counts successfully applied replica updates.
+	Installs int
+	// InstallDrops counts updates dropped after exhausting retries.
+	InstallDrops int
+
+	// ConsistentViews and InconsistentViews classify committed
+	// read-only transactions with at least two reads: a view is
+	// temporally consistent when a single instant exists at which
+	// every version it read was the newest one (checked against the
+	// primary copies' histories).
+	ConsistentViews   int
+	InconsistentViews int
+	// UnknownViews counts views that could not be classified because
+	// a read version was evicted from the bounded history.
+	UnknownViews int
+	// SnapshotMisses counts multiversion reads whose snapshot version
+	// had already been evicted (the reader fell back to the latest
+	// copy).
+	SnapshotMisses int
+}
+
+// Cluster is a distributed real-time database instance.
+type Cluster struct {
+	K       *sim.Kernel
+	Net     *netsim.Network
+	Catalog *db.Catalog
+	Monitor *stats.Monitor
+	History *check.History
+
+	cfg        Config
+	sites      []*site
+	gcm        *core.Ceiling
+	repl       ReplicationStats
+	installSeq int64
+	twopc      map[int64]*voteCollector
+	decisions  int
+}
+
+// NewCluster assembles a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	cat, err := db.NewCatalog(cfg.Sites, cfg.Objects)
+	if err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	net := netsim.NewNetwork(k, cfg.CommDelay)
+	if cfg.Topology != nil {
+		net = netsim.NewNetworkTopology(k, cfg.Topology)
+	}
+	c := &Cluster{
+		K:       k,
+		Net:     net,
+		Catalog: cat,
+		Monitor: stats.NewMonitor(),
+		cfg:     cfg,
+	}
+	if cfg.RecordHistory {
+		c.History = check.NewHistory()
+	}
+	for i := 0; i < cfg.Sites; i++ {
+		speed := 1.0
+		if len(cfg.SiteSpeed) > 0 {
+			speed = cfg.SiteSpeed[i]
+		}
+		s := &site{
+			id:    db.SiteID(i),
+			cpu:   sim.NewCPU(k, sim.PreemptivePriority),
+			speed: speed,
+			store: db.NewStore(db.SiteID(i)),
+		}
+		if cfg.Approach == LocalCeiling {
+			s.mgr = core.NewCeiling(k)
+			s.mv = db.NewMVStore(db.SiteID(i), cfg.VersionsKept)
+		}
+		c.sites = append(c.sites, s)
+	}
+	if cfg.Approach == GlobalCeiling {
+		c.gcm = core.NewCeiling(k)
+		c.twopc = make(map[int64]*voteCollector)
+		c.registerTwoPCHandlers()
+	}
+	if cfg.Approach == LocalCeiling {
+		c.registerInstallHandlers()
+	}
+	return c, nil
+}
+
+// TwoPCDecisions reports how many two-phase-commit decisions reached
+// participants (global approach).
+func (c *Cluster) TwoPCDecisions() int { return c.decisions }
+
+// FailSite schedules a site to become non-operational at the given
+// virtual time, recovering at recoverAt (no recovery if recoverAt is not
+// after at). Messages to the down site are dropped and synchronous
+// requests toward it time out, per the paper's message-server time-out
+// mechanism. The site's own processor keeps running (the failure models
+// reachability, not a crash of local work).
+func (c *Cluster) FailSite(site db.SiteID, at, recoverAt sim.Time) {
+	c.K.At(at, func() { c.Net.SetDown(site, true) })
+	if recoverAt > at {
+		c.K.At(recoverAt, func() { c.Net.SetDown(site, false) })
+	}
+}
+
+// Config returns the effective configuration (defaults filled in).
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Replication returns the replica statistics (meaningful for the local
+// approach).
+func (c *Cluster) Replication() ReplicationStats { return c.repl }
+
+// Site returns site i's store, for inspection in tests and examples.
+func (c *Cluster) Store(i db.SiteID) *db.Store { return c.sites[i].store }
+
+// Load schedules the transactions' arrivals.
+func (c *Cluster) Load(txs []*workload.Txn) {
+	for _, t := range txs {
+		t := t
+		c.K.At(t.Arrival, func() {
+			c.K.Spawn(fmt.Sprintf("tx%d", t.ID), func(p *sim.Proc) {
+				if c.cfg.Approach == GlobalCeiling {
+					c.execGlobal(p, t)
+				} else {
+					c.execLocal(p, t)
+				}
+			})
+		})
+	}
+}
+
+// Run drives the simulation to completion, tears down the message
+// servers, and returns the summary.
+func (c *Cluster) Run() stats.Summary {
+	c.K.Run()
+	c.Net.Shutdown()
+	c.K.Run()
+	if c.K.Live() > 0 {
+		// Stuck installers or transactions (should not happen: every
+		// transaction has a deadline timer and installers time out).
+		_ = c.K.Shutdown()
+	}
+	sum := c.Monitor.Summarize()
+	if h := c.Monitor.Horizon(); h > 0 {
+		var busy sim.Duration
+		for _, s := range c.sites {
+			busy += s.cpu.Busy()
+		}
+		sum.CPUUtil = busy.Seconds() / (sim.Duration(h).Seconds() * float64(len(c.sites)))
+	}
+	return sum
+}
+
+// newTxState builds the protocol state for a transaction, wiring priority
+// inheritance to every site's processor (the process may be queued at any
+// of them while executing remotely).
+func (c *Cluster) newTxState(p *sim.Proc, t *workload.Txn) *core.TxState {
+	st := core.NewTxState(t.ID, t.Priority(), p)
+	st.ReadSet = t.ReadSet()
+	st.WriteSet = t.WriteSet()
+	st.OnPrioChange = func(pr sim.Priority) {
+		for _, s := range c.sites {
+			s.cpu.Reprioritize(p, pr)
+		}
+	}
+	return st
+}
+
+// record finalizes the monitor record for a processed transaction.
+func (c *Cluster) record(p *sim.Proc, t *workload.Txn, st *core.TxState, err error, msgs int) {
+	if errors.Is(err, sim.ErrShutdown) {
+		return
+	}
+	rec := stats.TxRecord{
+		ID:           t.ID,
+		Site:         t.Home,
+		Size:         t.Size(),
+		ReadOnly:     t.Kind == workload.ReadOnly,
+		Arrival:      t.Arrival,
+		Start:        t.Arrival,
+		Deadline:     t.Deadline,
+		Finish:       p.Now(),
+		Blocked:      st.BlockedTime,
+		BlockedCount: st.BlockedCount,
+		Messages:     msgs,
+	}
+	if err == nil {
+		rec.Outcome = stats.Committed
+		if c.History != nil {
+			c.History.Commit(t.ID)
+		}
+	} else {
+		rec.Outcome = stats.DeadlineMissed
+	}
+	c.Monitor.Add(rec)
+}

@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"sort"
+
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/sim"
+	"rtlock/internal/txn"
+	"rtlock/internal/workload"
+)
+
+// execGlobal runs one transaction under the global ceiling manager:
+// every lock request travels to the GCM site and is decided against the
+// system-wide ceiling state; data accesses execute at the object's
+// primary site; commits that wrote at remote sites run two-phase commit;
+// locks are released at the GCM after the outcome, so they are held
+// across the network for the duration of the communication delays — the
+// cost the paper attributes to this approach.
+func (c *Cluster) execGlobal(p *sim.Proc, t *workload.Txn) {
+	st := c.newTxState(p, t)
+	home := t.Home
+	gcmSite := c.cfg.GCMSite
+	msgs := 0
+
+	// Announce the transaction (its access sets feed the ceilings) to
+	// the GCM. The registration message departs before the first lock
+	// request, so it is in effect when that request arrives.
+	if home == gcmSite {
+		c.gcm.Register(st)
+	} else {
+		msgs++
+		c.K.After(c.Net.Delay(home, gcmSite), func() { c.gcm.Register(st) })
+	}
+
+	deadlineEv := c.K.At(t.Deadline, func() { p.Interrupt(txn.ErrDeadlineMissed) })
+	err := c.globalBody(p, st, t, &msgs)
+	deadlineEv.Cancel()
+
+	// Release at the GCM. A remote transaction's release is one more
+	// message; the locks stay held while it travels.
+	if home == gcmSite {
+		c.gcm.ReleaseAll(st)
+		c.gcm.Unregister(st)
+	} else {
+		msgs++
+		c.K.After(c.Net.Delay(home, gcmSite), func() {
+			c.gcm.ReleaseAll(st)
+			c.gcm.Unregister(st)
+		})
+	}
+	if err == nil {
+		// Apply committed writes at their primary sites (writes were
+		// performed there during the access phase; the values become
+		// visible at commit).
+		for _, obj := range st.WriteSet {
+			c.sites[c.Catalog.PrimarySite(obj)].store.Write(obj, t.ID, p.Now())
+		}
+	}
+	c.record(p, t, st, err, msgs)
+}
+
+func (c *Cluster) globalBody(p *sim.Proc, st *core.TxState, t *workload.Txn, msgs *int) error {
+	home := t.Home
+	gcmSite := c.cfg.GCMSite
+	remoteWriters := make(map[int]bool)
+
+	for _, op := range t.Ops {
+		// Lock at the global ceiling manager.
+		if home != gcmSite {
+			*msgs += 2
+			if err := c.Net.Hop(p, home, gcmSite); err != nil {
+				return err
+			}
+		}
+		if err := c.gcm.Acquire(p, st, op.Obj, op.Mode); err != nil {
+			return err
+		}
+		if home != gcmSite {
+			if err := c.Net.Hop(p, gcmSite, home); err != nil {
+				return err
+			}
+		}
+		// Access the data object at its primary site.
+		owner := c.Catalog.PrimarySite(op.Obj)
+		if owner != home {
+			*msgs += 2
+			if err := c.Net.Hop(p, home, owner); err != nil {
+				return err
+			}
+		}
+		if err := c.sites[owner].use(p, st.Eff(), c.cfg.CPUPerObj); err != nil {
+			return err
+		}
+		if owner != home {
+			if err := c.Net.Hop(p, owner, home); err != nil {
+				return err
+			}
+		}
+		if c.History != nil {
+			c.History.Record(t.ID, op.Obj, op.Mode, p.Now())
+		}
+		if op.Mode == core.Write && owner != home {
+			remoteWriters[int(owner)] = true
+		}
+	}
+
+	// Two-phase commit when the transaction wrote at remote sites:
+	// prepares go out in parallel over the message servers, the
+	// coordinator parks for the votes, and decisions ship without
+	// waiting.
+	if len(remoteWriters) > 0 {
+		parts := make([]db.SiteID, 0, len(remoteWriters))
+		for site := range remoteWriters {
+			parts = append(parts, db.SiteID(site))
+		}
+		sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+		if err := c.runTwoPC(p, home, t.ID, parts, msgs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/netsim"
+	"rtlock/internal/sim"
+	"rtlock/internal/txn"
+	"rtlock/internal/workload"
+)
+
+// installPort is the message-server port replica updates arrive on.
+const installPort = "install"
+
+// errInstallTimeout aborts one installer attempt whose lock wait ran too
+// long; the installer retries.
+var errInstallTimeout = errors.New("dist: replica install attempt timed out")
+
+// installMsg carries one committed transaction's updates to a secondary
+// site.
+type installMsg struct {
+	origin   int64
+	deadline sim.Time
+	objs     []core.ObjectID
+	versions map[core.ObjectID]db.Version
+}
+
+// execLocal runs one transaction under the local ceiling approach: every
+// object is replicated at every site, so all reads and writes are local;
+// the site's own ceiling manager synchronizes them; the transaction
+// commits locally; and the written versions are then shipped to the
+// other sites' message servers for asynchronous installation
+// (restriction 3). Reads sample replica staleness — the temporal
+// inconsistency the approach trades for responsiveness.
+func (c *Cluster) execLocal(p *sim.Proc, t *workload.Txn) {
+	home := c.sites[t.Home]
+	st := core.NewTxState(t.ID, t.Priority(), p)
+	st.ReadSet = t.ReadSet()
+	st.WriteSet = t.WriteSet()
+	st.OnPrioChange = func(pr sim.Priority) { home.cpu.Reprioritize(p, pr) }
+
+	home.mgr.Register(st)
+	deadlineEv := c.K.At(t.Deadline, func() { p.Interrupt(txn.ErrDeadlineMissed) })
+	var reads []readSample
+	err := c.localBody(p, st, t, home, &reads)
+	deadlineEv.Cancel()
+
+	var versions map[core.ObjectID]db.Version
+	if err == nil && len(st.WriteSet) > 0 {
+		// Commit locally: install the new versions on the primary
+		// copies (which live here by restriction 2).
+		versions = make(map[core.ObjectID]db.Version, len(st.WriteSet))
+		for _, obj := range st.WriteSet {
+			v := home.store.Write(obj, t.ID, p.Now())
+			home.mv.Write(obj, t.ID, p.Now())
+			versions[obj] = v
+		}
+	}
+	if err == nil && t.Kind == workload.ReadOnly && len(reads) >= 2 {
+		c.classifyView(reads)
+	}
+	home.mgr.ReleaseAll(st)
+	home.mgr.Unregister(st)
+
+	msgs := 0
+	if versions != nil {
+		// Propagate to every other site after commit; the transaction
+		// does not wait (restriction 3 decouples primaries from
+		// secondaries).
+		msg := installMsg{origin: t.ID, deadline: t.Deadline, objs: st.WriteSet, versions: versions}
+		for _, other := range c.sites {
+			if other.id == home.id {
+				continue
+			}
+			msgs++
+			c.Net.Send(home.id, other.id, installPort, msg)
+		}
+	}
+	c.record(p, t, st, err, msgs)
+}
+
+// readSample records which version a read observed, for the temporal
+// consistency classification.
+type readSample struct {
+	obj core.ObjectID
+	seq int64
+}
+
+func (c *Cluster) localBody(p *sim.Proc, st *core.TxState, t *workload.Txn, home *site, reads *[]readSample) error {
+	// Snapshot reads pin the view to a single instant old enough for
+	// propagation to have completed everywhere.
+	snapshotAt := t.Arrival.Add(-c.cfg.SnapshotLag)
+	for _, op := range t.Ops {
+		if err := home.mgr.Acquire(p, st, op.Obj, op.Mode); err != nil {
+			return err
+		}
+		if op.Mode == core.Read {
+			c.sampleStaleness(home, op.Obj, p.Now())
+			*reads = append(*reads, c.readVersion(home, op.Obj, t, snapshotAt))
+		}
+		if err := home.use(p, st.Eff(), c.cfg.CPUPerObj); err != nil {
+			return err
+		}
+		if c.History != nil {
+			c.History.Record(t.ID, op.Obj, op.Mode, p.Now())
+		}
+	}
+	return nil
+}
+
+// readVersion resolves which version a read observes: the snapshot
+// version under the multiversion scheme (falling back to the latest on
+// a history miss), otherwise the replica's latest copy.
+func (c *Cluster) readVersion(s *site, obj core.ObjectID, t *workload.Txn, snapshotAt sim.Time) readSample {
+	if c.cfg.Multiversion && t.Kind == workload.ReadOnly {
+		if v, ok := s.mv.AsOf(obj, snapshotAt); ok {
+			return readSample{obj: obj, seq: v.Seq}
+		}
+		// The snapshot predates every retained version. If version 1
+		// is still retained (or nothing was ever written), the state
+		// at the snapshot is the implicit zero version; otherwise the
+		// needed version was evicted and the reader falls back to the
+		// latest copy.
+		if s.mv.FirstSeq(obj) <= 1 {
+			return readSample{obj: obj, seq: 0}
+		}
+		c.repl.SnapshotMisses++
+	}
+	return readSample{obj: obj, seq: s.mv.Latest(obj).Seq}
+}
+
+// classifyView checks whether a committed read-only transaction's reads
+// could all have been the newest versions at one instant, judged against
+// the primary copies' version histories.
+func (c *Cluster) classifyView(reads []readSample) {
+	const (
+		minTime = sim.Time(-1 << 62)
+		maxTime = sim.Time(1<<62 - 1)
+	)
+	lo, hi := minTime, maxTime
+	for _, r := range reads {
+		primary := c.sites[c.Catalog.PrimarySite(r.obj)]
+		start, end, known := primary.mv.Interval(r.obj, r.seq)
+		if !known {
+			c.repl.UnknownViews++
+			return
+		}
+		if start > lo {
+			lo = start
+		}
+		if end < hi {
+			hi = end
+		}
+	}
+	if lo < hi {
+		c.repl.ConsistentViews++
+	} else {
+		c.repl.InconsistentViews++
+	}
+}
+
+// sampleStaleness compares the local copy against the primary.
+func (c *Cluster) sampleStaleness(s *site, obj core.ObjectID, now sim.Time) {
+	c.repl.ReadSamples++
+	primarySite := c.Catalog.PrimarySite(obj)
+	if primarySite == s.id {
+		return
+	}
+	primary := c.sites[primarySite].store.Read(obj)
+	if lag := s.store.Staleness(obj, primary, now); lag > 0 {
+		c.repl.StaleReads++
+		c.repl.TotalLag += lag
+	}
+}
+
+// registerInstallHandlers wires every site's message server to spawn an
+// installer process per arriving update.
+func (c *Cluster) registerInstallHandlers() {
+	for _, s := range c.sites {
+		s := s
+		c.Net.Server(s.id).Handle(installPort, func(m netsim.Message) {
+			msg, ok := m.Payload.(installMsg)
+			if !ok {
+				return
+			}
+			c.K.Spawn(fmt.Sprintf("install-%d@%d", msg.origin, s.id), func(p *sim.Proc) {
+				c.install(p, s, msg)
+			})
+		})
+	}
+}
+
+// install applies one replicated update at a secondary site. The
+// installer synchronizes through the site's local ceiling manager with
+// the originating transaction's (deadline-derived) priority, consuming
+// apply CPU per object. Attempts that wait too long are timed out and
+// retried; after the retry budget the update is dropped and counted —
+// the copy stays at its previous version until a newer update lands,
+// which the monotone Install tolerates.
+func (c *Cluster) install(p *sim.Proc, s *site, msg installMsg) {
+	c.installSeq++
+	// Installer ids live far above transaction ids so priority
+	// tie-breaks favor real transactions.
+	id := int64(1)<<40 + c.installSeq
+	prio := sim.Priority{Deadline: int64(msg.deadline), TxID: id}
+	for attempt := 0; attempt < c.cfg.InstallRetries; attempt++ {
+		st := core.NewTxState(id, prio, p)
+		st.WriteSet = msg.objs
+		st.OnPrioChange = func(pr sim.Priority) { s.cpu.Reprioritize(p, pr) }
+		s.mgr.Register(st)
+		timeout := c.K.After(c.cfg.InstallTimeout, func() { p.Interrupt(errInstallTimeout) })
+		err := c.installBody(p, st, s, msg)
+		timeout.Cancel()
+		s.mgr.ReleaseAll(st)
+		s.mgr.Unregister(st)
+		switch {
+		case err == nil:
+			c.repl.Installs++
+			return
+		case errors.Is(err, sim.ErrShutdown):
+			return
+		}
+		if p.Sleep(c.cfg.InstallTimeout/4) != nil {
+			return
+		}
+	}
+	c.repl.InstallDrops++
+}
+
+func (c *Cluster) installBody(p *sim.Proc, st *core.TxState, s *site, msg installMsg) error {
+	for _, obj := range msg.objs {
+		if err := s.mgr.Acquire(p, st, obj, core.Write); err != nil {
+			return err
+		}
+		if err := s.use(p, st.Eff(), c.cfg.ApplyPerObj); err != nil {
+			return err
+		}
+	}
+	for _, obj := range msg.objs {
+		s.store.Install(obj, msg.versions[obj])
+		s.mv.Install(obj, msg.versions[obj])
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"rtlock/internal/db"
+	"rtlock/internal/netsim"
+	"rtlock/internal/sim"
+)
+
+// Two-phase commit over the message servers: the coordinator (the
+// transaction's process at its home site) sends prepare messages to
+// every participant, parks until all votes return, then ships the
+// decision without waiting — the paper's transaction manager "executes
+// the two-phase commit protocol to ensure that a transaction commits or
+// aborts globally".
+const (
+	preparePort  = "2pc-prepare"
+	votePort     = "2pc-vote"
+	decisionPort = "2pc-decision"
+)
+
+type prepareMsg struct {
+	txID  int64
+	coord db.SiteID
+}
+
+type voteMsg struct {
+	txID   int64
+	commit bool
+}
+
+type decisionMsg struct {
+	txID   int64
+	commit bool
+}
+
+// voteCollector gathers one transaction's votes at the coordinator.
+type voteCollector struct {
+	need  int
+	votes int
+	tok   *sim.Token
+}
+
+// registerTwoPCHandlers wires prepare/vote/decision ports at every site.
+func (c *Cluster) registerTwoPCHandlers() {
+	for _, s := range c.sites {
+		s := s
+		srv := c.Net.Server(s.id)
+		srv.Handle(preparePort, func(m netsim.Message) {
+			msg, ok := m.Payload.(prepareMsg)
+			if !ok {
+				return
+			}
+			// Memory-resident participants have no log force; they
+			// vote immediately.
+			c.Net.Send(s.id, msg.coord, votePort, voteMsg{txID: msg.txID, commit: true})
+		})
+		srv.Handle(votePort, func(m netsim.Message) {
+			msg, ok := m.Payload.(voteMsg)
+			if !ok {
+				return
+			}
+			col, ok := c.twopc[msg.txID]
+			if !ok {
+				return // coordinator aborted; late vote ignored
+			}
+			if !msg.commit {
+				col.tok.Wake(errVoteAbort)
+				return
+			}
+			col.votes++
+			if col.votes >= col.need {
+				col.tok.Wake(nil)
+			}
+		})
+		srv.Handle(decisionPort, func(m netsim.Message) {
+			if _, ok := m.Payload.(decisionMsg); ok {
+				c.decisions++
+			}
+		})
+	}
+}
+
+// errVoteAbort would flow from a participant voting no; with
+// memory-resident participants it never fires but the path is wired.
+var errVoteAbort = errDecisionAbort{}
+
+type errDecisionAbort struct{}
+
+func (errDecisionAbort) Error() string { return "dist: participant voted abort" }
+
+// runTwoPC coordinates commit across the participants. It returns nil
+// when every vote arrived, or the interruption error if the coordinator
+// was aborted mid-protocol (deadline); either way the decision is sent
+// to all participants.
+func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants []db.SiteID, msgs *int) error {
+	if len(participants) == 0 {
+		return nil
+	}
+	col := &voteCollector{need: len(participants), tok: &sim.Token{}}
+	c.twopc[txID] = col
+	col.tok.OnCancel = func() { delete(c.twopc, txID) }
+	for _, s := range participants {
+		*msgs += 2 // prepare out, vote back
+		c.Net.Send(home, s, preparePort, prepareMsg{txID: txID, coord: home})
+	}
+	err := p.Park(col.tok)
+	delete(c.twopc, txID)
+	commit := err == nil
+	for _, s := range participants {
+		*msgs++
+		c.Net.Send(home, s, decisionPort, decisionMsg{txID: txID, commit: commit})
+	}
+	return err
+}

@@ -1,0 +1,426 @@
+package experiments
+
+import (
+	"rtlock/internal/sim"
+	"rtlock/internal/stats"
+	"rtlock/internal/workload"
+)
+
+// RunCustom executes one configuration and returns its summary, backing
+// the CLI's -experiment custom mode.
+func RunCustom(p SingleSiteParams, proto Protocol, size int) (stats.Summary, error) {
+	var agg []stats.Summary
+	for r := 0; r < p.Runs; r++ {
+		sum, err := runSingle(p, proto, size, p.BaseSeed+int64(r)*7919)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		agg = append(agg, sum)
+	}
+	if len(agg) == 1 {
+		return agg[0], nil
+	}
+	// Average the headline metrics over runs.
+	var out stats.Summary
+	var thpts, missed []float64
+	for _, s := range agg {
+		out.Processed += s.Processed
+		out.Committed += s.Committed
+		out.Missed += s.Missed
+		thpts = append(thpts, s.Throughput)
+		missed = append(missed, s.MissedPct)
+	}
+	out.Throughput, _ = stats.MeanStd(thpts)
+	out.MissedPct, _ = stats.MeanStd(missed)
+	return out, nil
+}
+
+// DBSizeAblation reproduces the experiment the paper ran but omitted from
+// the figures (§3.3): varying the database size, and thus the conflict
+// probability, at a fixed transaction size. The paper reports it "only
+// confirms" the other experiments — the protocol ordering should not
+// change, with misses falling as the database grows.
+func DBSizeAblation(p SingleSiteParams) (Figure, error) {
+	fig := Figure{
+		Name:   "dbsize",
+		Title:  "Database-size sweep (omitted experiment): %missed at fixed size",
+		XLabel: "db objects",
+		YLabel: "% missed",
+	}
+	const fixedSize = 12
+	dbSizes := []int{60, 100, 150, 200, 300, 400, 600}
+	for _, proto := range p.Protocols {
+		s := Series{Label: string(proto)}
+		for _, dbs := range dbSizes {
+			q := p
+			q.DBSize = dbs
+			sums, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+				return runSingle(q, proto, fixedSize, p.BaseSeed+int64(r)*7919)
+			})
+			if err != nil {
+				return fig, err
+			}
+			mean, std := stats.MeanStd(missedOf(sums))
+			s.Points = append(s.Points, Point{X: float64(dbs), Y: mean, Std: std, Runs: p.Runs})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// SemanticsAblation answers the question the paper's conclusion raises:
+// does the read semantics of locks (shared read locks with the
+// write-priority ceiling) help or hurt schedulability compared with
+// exclusive-only semantics? It sweeps the read-only fraction of the
+// workload and compares the ceiling protocol (C) with its
+// exclusive-semantics variant (CX) on %missed.
+func SemanticsAblation(p SingleSiteParams) (Figure, error) {
+	fig := Figure{
+		Name:   "semantics",
+		Title:  "Read/write vs exclusive lock semantics in the ceiling protocol",
+		XLabel: "%read-only",
+		YLabel: "% missed",
+	}
+	const size = 10
+	mixes := []float64{0, 0.25, 0.5, 0.75, 0.9}
+	for _, proto := range []Protocol{ProtoCeiling, ProtoCeilingX} {
+		s := Series{Label: string(proto)}
+		for _, mix := range mixes {
+			q := p
+			q.ReadOnlyFrac = mix
+			sums, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+				return runSingle(q, proto, size, p.BaseSeed+int64(r)*7919)
+			})
+			if err != nil {
+				return fig, err
+			}
+			mean, std := stats.MeanStd(missedOf(sums))
+			s.Points = append(s.Points, Point{X: 100 * mix, Y: mean, Std: std, Runs: p.Runs})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RestartAblation explores the paper's §5 question about preemption in
+// real-time transaction scheduling: aborting a lock holder frees the
+// resource immediately but wastes its completed work and forces a redo
+// that may push it (or others) past their deadlines. It sweeps the size
+// axis comparing blocking-based protocols (C, P) against abort-based
+// ones: High-Priority wounding (HP), deadlock detection (DD), and
+// timestamp ordering (TO).
+func RestartAblation(p SingleSiteParams) (Figure, error) {
+	fig := Figure{
+		Name:   "restart",
+		Title:  "Blocking vs abort-based protocols: %missed",
+		XLabel: "size",
+		YLabel: "% missed",
+	}
+	for _, proto := range []Protocol{ProtoCeiling, ProtoTwoPLPrio, ProtoTwoPLHP, ProtoTwoPLCR, ProtoTwoPLDD, ProtoTimestamp} {
+		s := Series{Label: string(proto)}
+		for _, size := range p.Sizes {
+			size := size
+			sums, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+				return runSingle(p, proto, size, p.BaseSeed+int64(r)*7919)
+			})
+			if err != nil {
+				return fig, err
+			}
+			mean, std := stats.MeanStd(missedOf(sums))
+			s.Points = append(s.Points, Point{X: float64(size), Y: mean, Std: std, Runs: p.Runs})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// BufferAblation sweeps the page-buffer size at a fixed transaction
+// size: a larger buffer converts I/O delays into hits, shortening
+// lock-holding windows and reducing deadline misses for every protocol
+// (and shifting the workload from I/O-bound toward CPU-bound, the axis
+// the paper's Figure 2 discussion mentions).
+func BufferAblation(p SingleSiteParams) (Figure, error) {
+	fig := Figure{
+		Name:   "buffer",
+		Title:  "Page-buffer size sweep: %missed at fixed size",
+		XLabel: "buffer pages",
+		YLabel: "% missed",
+	}
+	const fixedSize = 14
+	bufSizes := []int{0, 25, 50, 100, 200}
+	for _, proto := range p.Protocols {
+		s := Series{Label: string(proto)}
+		for _, pages := range bufSizes {
+			pages := pages
+			sums, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+				return runSingleBuffered(p, proto, fixedSize, pages, p.BaseSeed+int64(r)*7919)
+			})
+			if err != nil {
+				return fig, err
+			}
+			mean, std := stats.MeanStd(missedOf(sums))
+			s.Points = append(s.Points, Point{X: float64(pages), Y: mean, Std: std, Runs: p.Runs})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// PriorityPolicyAblation sweeps the priority-assignment policy under the
+// ceiling protocol: earliest deadline first (the paper's choice),
+// first-come-first-served, least slack, and random. The deadline-miss
+// comparison shows how much of the ceiling protocol's performance comes
+// from deadline-cognizant priorities rather than from the protocol
+// machinery itself.
+func PriorityPolicyAblation(p SingleSiteParams) (Figure, error) {
+	fig := Figure{
+		Name:   "priority",
+		Title:  "Priority assignment policies under the ceiling protocol: %missed",
+		XLabel: "size",
+		YLabel: "% missed",
+	}
+	policies := []struct {
+		label  string
+		policy workload.PriorityPolicy
+	}{
+		{"EDF", workload.PriorityEDF},
+		{"FCFS", workload.PriorityFCFS},
+		{"SLACK", workload.PrioritySlack},
+		{"RANDOM", workload.PriorityRandom},
+	}
+	for _, pol := range policies {
+		s := Series{Label: pol.label}
+		q := p
+		q.Policy = pol.policy
+		for _, size := range p.Sizes {
+			size := size
+			sums, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+				return runSingle(q, ProtoCeiling, size, p.BaseSeed+int64(r)*7919)
+			})
+			if err != nil {
+				return fig, err
+			}
+			mean, std := stats.MeanStd(missedOf(sums))
+			s.Points = append(s.Points, Point{X: float64(size), Y: mean, Std: std, Runs: p.Runs})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// HotspotAblation skews object selection toward a small hot region
+// (contemporaneous simulators' standard contention knob) at a fixed
+// transaction size and compares the protocols as the conflict rate
+// rises: the direct-blocking protocols should suffer steeply, the
+// ceiling protocol — whose blocking is governed by active-transaction
+// ceilings rather than the objects actually touched — more gently.
+func HotspotAblation(p SingleSiteParams) (Figure, error) {
+	fig := Figure{
+		Name:   "hotspot",
+		Title:  "Hotspot skew sweep: %missed at fixed size",
+		XLabel: "%hot accesses",
+		YLabel: "% missed",
+	}
+	const fixedSize = 12
+	probs := []float64{0, 0.25, 0.5, 0.75, 0.9}
+	for _, proto := range p.Protocols {
+		s := Series{Label: string(proto)}
+		for _, prob := range probs {
+			prob := prob
+			sums, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+				return runSingleHotspot(p, proto, fixedSize, prob, p.BaseSeed+int64(r)*7919)
+			})
+			if err != nil {
+				return fig, err
+			}
+			mean, std := stats.MeanStd(missedOf(sums))
+			s.Points = append(s.Points, Point{X: 100 * prob, Y: mean, Std: std, Runs: p.Runs})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// PredictabilityAblation measures what the ceiling protocol actually
+// buys: bounded, predictable blocking. Across the size sweep it reports
+// the p99/p50 response-time ratio of committed transactions — a
+// protocol may post excellent averages (High-Priority wounding) while
+// its victims' redone work stretches the tail.
+func PredictabilityAblation(p SingleSiteParams) (Figure, error) {
+	fig := Figure{
+		Name:   "predictability",
+		Title:  "Response-time tail ratio (p99/p50) of committed transactions",
+		XLabel: "size",
+		YLabel: "p99/p50 response",
+	}
+	for _, proto := range []Protocol{ProtoCeiling, ProtoTwoPLPrio, ProtoTwoPLHP, ProtoTimestamp} {
+		s := Series{Label: string(proto)}
+		for _, size := range p.Sizes {
+			size := size
+			sums, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+				return runSingle(p, proto, size, p.BaseSeed+int64(r)*7919)
+			})
+			if err != nil {
+				return fig, err
+			}
+			var ratios []float64
+			for _, sum := range sums {
+				if sum.RespP50 > 0 {
+					ratios = append(ratios, float64(sum.RespP99)/float64(sum.RespP50))
+				}
+			}
+			mean, std := stats.MeanStd(ratios)
+			s.Points = append(s.Points, Point{X: float64(size), Y: mean, Std: std, Runs: len(ratios)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// PeriodicAblation sweeps the periodic/aperiodic transaction mix the
+// paper's UI exposes ("transaction types ... periodic/aperiodic"): the
+// tracking model's repetitive scans re-use one access set per stream
+// and carry implicit (next-period) deadlines. Stream reuse concentrates
+// conflicts on the streams' objects while the periodic deadlines are
+// typically looser than size-proportional ones.
+func PeriodicAblation(p SingleSiteParams) (Figure, error) {
+	fig := Figure{
+		Name:   "periodic",
+		Title:  "Periodic/aperiodic mix sweep: %missed at fixed size",
+		XLabel: "%periodic",
+		YLabel: "% missed",
+	}
+	const fixedSize = 12
+	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
+	for _, proto := range p.Protocols {
+		s := Series{Label: string(proto)}
+		for _, frac := range fracs {
+			frac := frac
+			sums, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+				return runSingleOpts(p, proto, fixedSize,
+					runOpts{periodicFrac: frac, implicitDeadlines: true},
+					p.BaseSeed+int64(r)*7919)
+			})
+			if err != nil {
+				return fig, err
+			}
+			mean, std := stats.MeanStd(missedOf(sums))
+			s.Points = append(s.Points, Point{X: 100 * frac, Y: mean, Std: std, Runs: p.Runs})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// OverheadAblation charges a CPU cost per lock operation and sweeps it:
+// protocol bookkeeping is not free, and a protocol's advantage must
+// survive its own overhead. All protocols pay the same per-operation
+// cost here; what differs is how many operations their outcomes buy.
+func OverheadAblation(p SingleSiteParams) (Figure, error) {
+	fig := Figure{
+		Name:   "overhead",
+		Title:  "Lock-operation CPU overhead sweep: %missed at fixed size",
+		XLabel: "overhead ms",
+		YLabel: "% missed",
+	}
+	const fixedSize = 12
+	overheads := []sim.Duration{0, sim.Millisecond / 2, sim.Millisecond, 2 * sim.Millisecond, 4 * sim.Millisecond}
+	for _, proto := range p.Protocols {
+		s := Series{Label: string(proto)}
+		for _, ov := range overheads {
+			ov := ov
+			sums, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+				return runSingleOpts(p, proto, fixedSize,
+					runOpts{lockOverhead: ov}, p.BaseSeed+int64(r)*7919)
+			})
+			if err != nil {
+				return fig, err
+			}
+			mean, std := stats.MeanStd(missedOf(sums))
+			s.Points = append(s.Points, Point{X: ov.Millis(), Y: mean, Std: std, Runs: p.Runs})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RecoveryAblation sweeps the checkpoint interval of the write-ahead
+// log and reports both sides of the classic trade-off under the ceiling
+// protocol: frequent checkpoints stall transactions (their snapshot CPU
+// runs at top priority) but bound the redo tail, so restart is fast;
+// rare checkpoints are cheap online but leave a long redo. The
+// "recovery_ms" series is the estimated restart time at the end of the
+// run (0.1ms/object snapshot load + 1ms/record redo).
+func RecoveryAblation(p SingleSiteParams) (Figure, error) {
+	fig := Figure{
+		Name:   "recovery",
+		Title:  "Checkpoint interval trade-off (ceiling protocol, WAL on)",
+		XLabel: "interval s",
+		YLabel: "%missed / recovery ms",
+	}
+	const size = 10
+	intervals := []sim.Duration{250 * sim.Millisecond, 500 * sim.Millisecond,
+		sim.Second, 2 * sim.Second, 4 * sim.Second, 0 /* no checkpoints */}
+	missed := Series{Label: "missed_pct"}
+	recovery := Series{Label: "recovery_ms"}
+	for _, every := range intervals {
+		every := every
+		var ms, rs []float64
+		type pair struct {
+			sum stats.Summary
+			rec sim.Duration
+		}
+		results := make([]pair, p.Runs)
+		_, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+			sum, rec, err := runSingleWAL(p, ProtoCeiling, size, every, p.BaseSeed+int64(r)*7919)
+			results[r] = pair{sum, rec}
+			return sum, err
+		})
+		if err != nil {
+			return fig, err
+		}
+		for _, res := range results {
+			ms = append(ms, res.sum.MissedPct)
+			rs = append(rs, res.rec.Millis())
+		}
+		x := sim.Duration(every).Seconds()
+		if every == 0 {
+			x = 99 // sentinel column for "never"
+		}
+		mMean, mStd := stats.MeanStd(ms)
+		rMean, rStd := stats.MeanStd(rs)
+		missed.Points = append(missed.Points, Point{X: x, Y: mMean, Std: mStd, Runs: p.Runs})
+		recovery.Points = append(recovery.Points, Point{X: x, Y: rMean, Std: rStd, Runs: p.Runs})
+	}
+	fig.Series = []Series{missed, recovery}
+	return fig, nil
+}
+
+// InheritAblation compares basic priority inheritance (§3.1) against the
+// ceiling protocol and plain priority two-phase locking across the size
+// sweep: inheritance bounds each blocking but still allows chains of
+// blocking and deadlock, so it should land between P and C.
+func InheritAblation(p SingleSiteParams) (Figure, error) {
+	fig := Figure{
+		Name:   "inherit",
+		Title:  "Basic priority inheritance vs priority ceiling: %missed",
+		XLabel: "size",
+		YLabel: "% missed",
+	}
+	for _, proto := range []Protocol{ProtoCeiling, ProtoInherit, ProtoTwoPLPrio} {
+		s := Series{Label: string(proto)}
+		for _, size := range p.Sizes {
+			size := size
+			sums, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+				return runSingle(p, proto, size, p.BaseSeed+int64(r)*7919)
+			})
+			if err != nil {
+				return fig, err
+			}
+			mean, std := stats.MeanStd(missedOf(sums))
+			s.Points = append(s.Points, Point{X: float64(size), Y: mean, Std: std, Runs: p.Runs})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

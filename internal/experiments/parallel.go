@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"rtlock/internal/stats"
+)
+
+// collectRuns executes fn for every run index concurrently (each run
+// builds its own kernel, so runs are independent) and returns the
+// summaries in run order, preserving determinism of every aggregate.
+// The first error wins.
+func collectRuns(runs int, fn func(r int) (stats.Summary, error)) ([]stats.Summary, error) {
+	if runs <= 0 {
+		return nil, nil
+	}
+	out := make([]stats.Summary, runs)
+	errs := make([]error, runs)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > runs {
+		workers = runs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				out[r], errs[r] = fn(r)
+			}
+		}()
+	}
+	for r := 0; r < runs; r++ {
+		next <- r
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// missedOf projects the miss percentages from summaries.
+func missedOf(sums []stats.Summary) []float64 {
+	out := make([]float64, len(sums))
+	for i, s := range sums {
+		out[i] = s.MissedPct
+	}
+	return out
+}
+
+// throughputOf projects the throughputs from summaries.
+func throughputOf(sums []stats.Summary) []float64 {
+	out := make([]float64, len(sums))
+	for i, s := range sums {
+		out[i] = s.Throughput
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotMarkers distinguish series in ASCII plots.
+var plotMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders the figure as an ASCII chart: y autoscaled, x mapped to
+// columns, one marker per series, overlaps shown as '?'. It lets the
+// CLI show curve shapes — who wins, where the crossover falls — without
+// leaving the terminal.
+func (f Figure) Plot() string {
+	const (
+		width  = 64
+		height = 20
+	)
+	xs := f.xs()
+	if len(xs) == 0 || len(f.Series) == 0 {
+		return "(empty figure)\n"
+	}
+	minX, maxX := xs[0], xs[len(xs)-1]
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if math.IsInf(p.Y, 0) || math.IsNaN(p.Y) {
+				continue
+			}
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minY, 0) {
+		return "(no finite data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((maxY - y) / (maxY - minY) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range f.Series {
+		marker := plotMarkers[si%len(plotMarkers)]
+		for _, p := range s.Points {
+			if math.IsInf(p.Y, 0) || math.IsNaN(p.Y) {
+				continue
+			}
+			r, c := row(p.Y), col(p.X)
+			switch grid[r][c] {
+			case ' ':
+				grid[r][c] = marker
+			case marker:
+			default:
+				grid[r][c] = '?'
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.Name), f.Title)
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", minY)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-10.4g%*s\n", "", minX, width-10, fmt.Sprintf("%.4g", maxX))
+	b.WriteString("          ")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%c=%s  ", plotMarkers[si%len(plotMarkers)], s.Label)
+	}
+	fmt.Fprintf(&b, "(x: %s, y: %s)\n", f.XLabel, f.YLabel)
+	return b.String()
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/sim"
+	"rtlock/internal/stats"
+	"rtlock/internal/txn"
+	"rtlock/internal/workload"
+)
+
+// Protocol names a concurrency-control protocol under test, using the
+// paper's letters.
+type Protocol string
+
+// The protocols of the study.
+const (
+	// ProtoCeiling is the priority ceiling protocol (C).
+	ProtoCeiling Protocol = "C"
+	// ProtoTwoPLPrio is two-phase locking with priority mode (P).
+	ProtoTwoPLPrio Protocol = "P"
+	// ProtoTwoPL is two-phase locking without priority mode (L).
+	ProtoTwoPL Protocol = "L"
+	// ProtoInherit is two-phase locking with basic priority
+	// inheritance (§3.1), used by the inheritance ablation.
+	ProtoInherit Protocol = "PI"
+	// ProtoCeilingX is the ceiling protocol with exclusive-only lock
+	// semantics, used by the §5 semantics ablation.
+	ProtoCeilingX Protocol = "CX"
+	// ProtoTwoPLHP is two-phase locking with High-Priority wounding
+	// ([Abb88]): conflicting lower-priority holders are aborted and
+	// restarted.
+	ProtoTwoPLHP Protocol = "HP"
+	// ProtoTwoPLDD is two-phase locking with waits-for deadlock
+	// detection; victims restart.
+	ProtoTwoPLDD Protocol = "DD"
+	// ProtoTimestamp is basic timestamp ordering, the environment's
+	// non-locking concurrency control.
+	ProtoTimestamp Protocol = "TO"
+	// ProtoTwoPLCR is two-phase locking with conditional restart
+	// ([Abb88]): wound a lower-priority holder only when the
+	// requester's slack cannot absorb the wait.
+	ProtoTwoPLCR Protocol = "CR"
+)
+
+// ManagerFor builds the protocol's lock manager constructor and the CPU
+// discipline the protocol runs under (L runs FIFO; the rest preemptive
+// priority).
+func ManagerFor(p Protocol) (func(*sim.Kernel) core.Manager, sim.Discipline, error) {
+	switch p {
+	case ProtoCeiling:
+		return func(k *sim.Kernel) core.Manager { return core.NewCeiling(k) }, sim.PreemptivePriority, nil
+	case ProtoCeilingX:
+		return func(k *sim.Kernel) core.Manager { return core.NewCeilingExclusive(k) }, sim.PreemptivePriority, nil
+	case ProtoTwoPLPrio:
+		return func(k *sim.Kernel) core.Manager { return core.NewTwoPLPriority(k) }, sim.PreemptivePriority, nil
+	case ProtoTwoPL:
+		return func(k *sim.Kernel) core.Manager { return core.NewTwoPL(k) }, sim.FIFO, nil
+	case ProtoInherit:
+		return func(k *sim.Kernel) core.Manager { return core.NewTwoPLInherit(k) }, sim.PreemptivePriority, nil
+	case ProtoTwoPLHP:
+		return func(k *sim.Kernel) core.Manager { return core.NewTwoPLHP(k) }, sim.PreemptivePriority, nil
+	case ProtoTwoPLDD:
+		return func(k *sim.Kernel) core.Manager { return core.NewTwoPLDetect(k) }, sim.PreemptivePriority, nil
+	case ProtoTimestamp:
+		return func(k *sim.Kernel) core.Manager { return core.NewTimestamp(k) }, sim.PreemptivePriority, nil
+	case ProtoTwoPLCR:
+		return func(k *sim.Kernel) core.Manager { return core.NewTwoPLCond(k) }, sim.PreemptivePriority, nil
+	default:
+		return nil, 0, fmt.Errorf("experiments: unknown protocol %q", p)
+	}
+}
+
+// SingleSiteParams configures the single-site experiments (Figures 2–3).
+// The defaults reproduce the paper's setting: a database of 200 objects;
+// transaction size swept up to 10% of the database so conflicts are
+// frequent; an arrival rate that keeps the system heavily loaded (both
+// CPU and I/O are saturated when the mean size reaches 20); deadlines
+// proportional to size; hard transactions aborted at their deadlines.
+type SingleSiteParams struct {
+	DBSize           int
+	CPUPerObj        sim.Duration
+	IOPerObj         sim.Duration
+	MeanInterarrival sim.Duration
+	SlackMin         float64
+	SlackMax         float64
+	ReadOnlyFrac     float64
+	Count            int // transactions per run
+	Runs             int // independent runs averaged per point
+	Sizes            []int
+	Protocols        []Protocol
+	BaseSeed         int64
+	// Policy assigns transaction priorities (zero value = earliest
+	// deadline first, the paper's choice).
+	Policy workload.PriorityPolicy
+}
+
+// DefaultSingleSite returns the calibrated configuration.
+func DefaultSingleSite() SingleSiteParams {
+	return SingleSiteParams{
+		DBSize:           200,
+		CPUPerObj:        10 * sim.Millisecond,
+		IOPerObj:         20 * sim.Millisecond,
+		MeanInterarrival: 450 * sim.Millisecond,
+		SlackMin:         4,
+		SlackMax:         8,
+		Count:            400,
+		Runs:             10,
+		Sizes:            []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20},
+		Protocols:        []Protocol{ProtoCeiling, ProtoTwoPLPrio, ProtoTwoPL},
+		BaseSeed:         1,
+	}
+}
+
+// Scale shrinks the run length for quick tests and benchmarks.
+func (p SingleSiteParams) Scale(countFrac float64, runs int) SingleSiteParams {
+	p.Count = int(float64(p.Count) * countFrac)
+	if p.Count < 20 {
+		p.Count = 20
+	}
+	p.Runs = runs
+	return p
+}
+
+// runOpts carries the per-cell knobs the ablations vary beyond the base
+// parameters.
+type runOpts struct {
+	bufferPages       int
+	hotspotFrac       float64
+	hotspotProb       float64
+	periodicFrac      float64
+	implicitDeadlines bool
+	lockOverhead      sim.Duration
+	wal               bool
+	checkpointEvery   sim.Duration
+}
+
+// runSingle executes one (protocol, size, seed) cell and returns the
+// summary.
+func runSingle(p SingleSiteParams, proto Protocol, size int, seed int64) (stats.Summary, error) {
+	return runSingleOpts(p, proto, size, runOpts{}, seed)
+}
+
+// runSingleBuffered is runSingle with an LRU page buffer of the given
+// size (0 disables buffering).
+func runSingleBuffered(p SingleSiteParams, proto Protocol, size, bufferPages int, seed int64) (stats.Summary, error) {
+	return runSingleOpts(p, proto, size, runOpts{bufferPages: bufferPages}, seed)
+}
+
+// runSingleHotspot is runSingle with skewed object selection: prob of an
+// access landing in the hottest 10% of the database.
+func runSingleHotspot(p SingleSiteParams, proto Protocol, size int, prob float64, seed int64) (stats.Summary, error) {
+	return runSingleOpts(p, proto, size, runOpts{hotspotFrac: 0.1, hotspotProb: prob}, seed)
+}
+
+func runSingleOpts(p SingleSiteParams, proto Protocol, size int, opts runOpts, seed int64) (stats.Summary, error) {
+	newMgr, disc, err := ManagerFor(proto)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	cat, err := db.NewCatalog(1, p.DBSize)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	load, err := workload.Generate(workload.Params{
+		Seed:              seed,
+		Catalog:           cat,
+		Count:             p.Count,
+		MeanInterarrival:  p.MeanInterarrival,
+		MeanSize:          size,
+		ReadOnlyFrac:      p.ReadOnlyFrac,
+		PerObjCost:        p.CPUPerObj + p.IOPerObj,
+		SlackMin:          p.SlackMin,
+		SlackMax:          p.SlackMax,
+		Policy:            p.Policy,
+		HotspotFrac:       opts.hotspotFrac,
+		HotspotProb:       opts.hotspotProb,
+		PeriodicFrac:      opts.periodicFrac,
+		ImplicitDeadlines: opts.implicitDeadlines,
+	})
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	sys, err := txn.NewSystem(txn.Config{
+		CPUPerObj:       p.CPUPerObj,
+		IOPerObj:        p.IOPerObj,
+		CPUDiscipline:   disc,
+		NewManager:      newMgr,
+		BufferPages:     opts.bufferPages,
+		LockOverhead:    opts.lockOverhead,
+		WAL:             opts.wal,
+		CheckpointEvery: opts.checkpointEvery,
+	})
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	sys.Load(load)
+	return sys.Run(), nil
+}
+
+// runSingleWAL runs one WAL-enabled cell and also returns the estimated
+// restart time at the end of the run.
+func runSingleWAL(p SingleSiteParams, proto Protocol, size int, checkpointEvery sim.Duration, seed int64) (stats.Summary, sim.Duration, error) {
+	newMgr, disc, err := ManagerFor(proto)
+	if err != nil {
+		return stats.Summary{}, 0, err
+	}
+	cat, err := db.NewCatalog(1, p.DBSize)
+	if err != nil {
+		return stats.Summary{}, 0, err
+	}
+	load, err := workload.Generate(workload.Params{
+		Seed:             seed,
+		Catalog:          cat,
+		Count:            p.Count,
+		MeanInterarrival: p.MeanInterarrival,
+		MeanSize:         size,
+		ReadOnlyFrac:     p.ReadOnlyFrac,
+		PerObjCost:       p.CPUPerObj + p.IOPerObj,
+		SlackMin:         p.SlackMin,
+		SlackMax:         p.SlackMax,
+	})
+	if err != nil {
+		return stats.Summary{}, 0, err
+	}
+	sys, err := txn.NewSystem(txn.Config{
+		CPUPerObj:       p.CPUPerObj,
+		IOPerObj:        p.IOPerObj,
+		CPUDiscipline:   disc,
+		NewManager:      newMgr,
+		WAL:             true,
+		CheckpointEvery: checkpointEvery,
+	})
+	if err != nil {
+		return stats.Summary{}, 0, err
+	}
+	sys.Load(load)
+	sum := sys.Run()
+	recovery := sys.Log.RecoveryTime(sim.Millisecond/10, sim.Millisecond)
+	return sum, recovery, nil
+}
+
+// SingleSiteSweep runs the full grid once and derives both Figure 2
+// (normalized throughput vs transaction size) and Figure 3 (% deadline
+// missing vs transaction size).
+func SingleSiteSweep(p SingleSiteParams) (fig2, fig3 Figure, err error) {
+	fig2 = Figure{
+		Name:   "fig2",
+		Title:  "Transaction Throughput (single site)",
+		XLabel: "size",
+		YLabel: "objects/second over committed transactions",
+	}
+	fig3 = Figure{
+		Name:   "fig3",
+		Title:  "Percentage of Deadline Missing Transactions (single site)",
+		XLabel: "size",
+		YLabel: "% missed = 100*missed/processed",
+	}
+	for _, proto := range p.Protocols {
+		thpt := Series{Label: string(proto)}
+		missed := Series{Label: string(proto)}
+		for _, size := range p.Sizes {
+			size := size
+			sums, err2 := collectRuns(p.Runs, func(r int) (stats.Summary, error) {
+				return runSingle(p, proto, size, p.BaseSeed+int64(r)*7919)
+			})
+			if err2 != nil {
+				return fig2, fig3, err2
+			}
+			tm, tstd := stats.MeanStd(throughputOf(sums))
+			mm, mstd := stats.MeanStd(missedOf(sums))
+			thpt.Points = append(thpt.Points, Point{X: float64(size), Y: tm, Std: tstd, Runs: p.Runs})
+			missed.Points = append(missed.Points, Point{X: float64(size), Y: mm, Std: mstd, Runs: p.Runs})
+		}
+		fig2.Series = append(fig2.Series, thpt)
+		fig3.Series = append(fig3.Series, missed)
+	}
+	return fig2, fig3, nil
+}
+
+// Fig2 reproduces the throughput figure alone.
+func Fig2(p SingleSiteParams) (Figure, error) {
+	f2, _, err := SingleSiteSweep(p)
+	return f2, err
+}
+
+// Fig3 reproduces the deadline-miss figure alone.
+func Fig3(p SingleSiteParams) (Figure, error) {
+	_, f3, err := SingleSiteSweep(p)
+	return f3, err
+}

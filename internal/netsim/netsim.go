@@ -1,0 +1,220 @@
+// Package netsim simulates the distributed environment of the paper's
+// prototyping environment: a Message Server per site listening on a
+// well-known port, with messages placed on the destination's queue after
+// a communication delay, plus a synchronous hop primitive for
+// rendezvous-style interactions. Intra-site communication does not go
+// through the message server (processes exchange directly), matching the
+// paper.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"rtlock/internal/db"
+	"rtlock/internal/sim"
+)
+
+// ErrSiteDown unblocks a sender whose destination site is not
+// operational — the paper's "if the receiving site is not operational, a
+// time-out mechanism will unblock the sender process".
+var ErrSiteDown = errors.New("netsim: destination site is down")
+
+// Message is one inter-site message.
+type Message struct {
+	From, To    db.SiteID
+	Port        string
+	Payload     any
+	SentAt      sim.Time
+	DeliveredAt sim.Time
+}
+
+// Handler consumes a delivered message. Handlers run in the destination
+// message server's process context and must not block for long; work
+// that waits (lock acquisition, CPU) should be spawned into its own
+// process.
+type Handler func(msg Message)
+
+// Network connects the sites and counts traffic. A zero delay still
+// defers delivery through the event queue, preserving deterministic
+// ordering. The default is a fully connected network with a uniform
+// delay; NewNetworkTopology accepts ring, star, or custom interconnects.
+type Network struct {
+	k       *sim.Kernel
+	delay   sim.Duration
+	topo    *Topology
+	servers map[db.SiteID]*Server
+	down    map[db.SiteID]bool
+
+	// Timeout is how long a synchronous sender waits before a down
+	// destination unblocks it with ErrSiteDown (zero picks a default
+	// of 4× the path delay plus 10ms).
+	Timeout sim.Duration
+
+	// Sent counts all inter-site messages (intra-site sends are free
+	// and uncounted, as in the paper).
+	Sent int
+	// DroppedDown counts messages discarded because the destination
+	// was down at delivery time.
+	DroppedDown int
+}
+
+// NewNetwork returns a fully connected network with the given inter-site
+// delay.
+func NewNetwork(k *sim.Kernel, delay sim.Duration) *Network {
+	return &Network{k: k, delay: delay, servers: make(map[db.SiteID]*Server), down: make(map[db.SiteID]bool)}
+}
+
+// NewNetworkTopology returns a network whose pairwise delays come from
+// the topology.
+func NewNetworkTopology(k *sim.Kernel, topo *Topology) *Network {
+	return &Network{k: k, topo: topo, servers: make(map[db.SiteID]*Server), down: make(map[db.SiteID]bool)}
+}
+
+// SetDown marks a site as non-operational (or back up). Messages
+// delivered to a down site are dropped; synchronous hops toward it time
+// out with ErrSiteDown.
+func (n *Network) SetDown(site db.SiteID, down bool) { n.down[site] = down }
+
+// Down reports whether a site is non-operational.
+func (n *Network) Down(site db.SiteID) bool { return n.down[site] }
+
+// Delay returns the one-way communication delay between two sites.
+func (n *Network) Delay(from, to db.SiteID) sim.Duration {
+	if from == to {
+		return 0
+	}
+	if n.topo != nil {
+		return n.topo.Delay(from, to)
+	}
+	return n.delay
+}
+
+// Server returns (creating on first use) the message server of a site.
+func (n *Network) Server(site db.SiteID) *Server {
+	s, ok := n.servers[site]
+	if !ok {
+		s = newServer(n.k, site)
+		n.servers[site] = s
+	}
+	return s
+}
+
+// Send queues a message for delivery to the destination site's message
+// server after the communication delay. Intra-site sends dispatch
+// directly (still via the event queue, so ordering stays deterministic).
+func (n *Network) Send(from, to db.SiteID, port string, payload any) {
+	msg := Message{From: from, To: to, Port: port, Payload: payload, SentAt: n.k.Now()}
+	if from != to {
+		n.Sent++
+	}
+	n.k.After(n.Delay(from, to), func() {
+		if n.down[to] {
+			n.DroppedDown++
+			return
+		}
+		msg.DeliveredAt = n.k.Now()
+		n.Server(to).enqueue(msg)
+	})
+}
+
+// Hop suspends p for the one-way delay between two sites, modeling the
+// travel of a synchronous request or reply the process itself waits on.
+// It is cancelable like any park (deadline aborts propagate). A hop
+// toward a down site blocks for the time-out and returns ErrSiteDown.
+func (n *Network) Hop(p *sim.Proc, from, to db.SiteID) error {
+	d := n.Delay(from, to)
+	if from != to {
+		n.Sent++
+	}
+	if from != to && n.down[to] {
+		timeout := n.Timeout
+		if timeout <= 0 {
+			timeout = 4*d + 10*sim.Millisecond
+		}
+		if err := p.Sleep(timeout); err != nil {
+			return err
+		}
+		return ErrSiteDown
+	}
+	return p.Sleep(d)
+}
+
+// Shutdown stops every message-server process.
+func (n *Network) Shutdown() {
+	for _, s := range n.servers {
+		s.stop()
+	}
+}
+
+// Server is a site's message server: it retrieves messages from its
+// queue in arrival order and forwards each to the handler registered on
+// the message's port.
+type Server struct {
+	k        *sim.Kernel
+	site     db.SiteID
+	handlers map[string]Handler
+	queue    []Message
+	avail    *sim.Semaphore
+	proc     *sim.Proc
+	stopped  bool
+
+	// Delivered counts messages dispatched to handlers.
+	Delivered int
+	// Dropped counts messages that arrived on a port with no handler.
+	Dropped int
+}
+
+func newServer(k *sim.Kernel, site db.SiteID) *Server {
+	s := &Server{
+		k:        k,
+		site:     site,
+		handlers: make(map[string]Handler),
+		avail:    sim.NewSemaphore(k, 0),
+	}
+	s.proc = k.Spawn(fmt.Sprintf("msgserver-%d", site), s.run)
+	return s
+}
+
+// Handle registers the handler for a port, replacing any previous one.
+func (s *Server) Handle(port string, h Handler) { s.handlers[port] = h }
+
+// Site returns the server's site.
+func (s *Server) Site() db.SiteID { return s.site }
+
+// QueueLen reports the number of undelivered messages.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+func (s *Server) enqueue(msg Message) {
+	if s.stopped {
+		s.Dropped++
+		return
+	}
+	s.queue = append(s.queue, msg)
+	s.avail.Signal()
+}
+
+func (s *Server) run(p *sim.Proc) {
+	for {
+		if err := s.avail.Wait(p); err != nil {
+			return // shutdown
+		}
+		if len(s.queue) == 0 {
+			continue
+		}
+		msg := s.queue[0]
+		s.queue = s.queue[1:]
+		h, ok := s.handlers[msg.Port]
+		if !ok {
+			s.Dropped++
+			continue
+		}
+		s.Delivered++
+		h(msg)
+	}
+}
+
+func (s *Server) stop() {
+	s.stopped = true
+	s.proc.Interrupt(sim.ErrShutdown)
+}

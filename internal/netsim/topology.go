@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"fmt"
+
+	"rtlock/internal/db"
+	"rtlock/internal/sim"
+)
+
+// Topology is a site interconnect with per-pair one-way delays. The
+// paper's user interface lets the experimenter pick the number of sites
+// and the topology; the constructors below build the common shapes, and
+// Custom accepts an explicit delay matrix. All topologies are symmetric
+// and have zero self-delay.
+type Topology struct {
+	n     int
+	delay [][]sim.Duration
+}
+
+// FullMesh connects every pair of sites directly with a uniform delay —
+// the paper's "fully interconnected communication network".
+func FullMesh(sites int, delay sim.Duration) (*Topology, error) {
+	if sites < 1 {
+		return nil, fmt.Errorf("netsim: sites must be >= 1, got %d", sites)
+	}
+	t := newTopology(sites)
+	for i := 0; i < sites; i++ {
+		for j := 0; j < sites; j++ {
+			if i != j {
+				t.delay[i][j] = delay
+			}
+		}
+	}
+	return t, nil
+}
+
+// Ring connects each site to its two neighbors; the delay between two
+// sites is the shorter way around times the link delay.
+func Ring(sites int, link sim.Duration) (*Topology, error) {
+	if sites < 1 {
+		return nil, fmt.Errorf("netsim: sites must be >= 1, got %d", sites)
+	}
+	t := newTopology(sites)
+	for i := 0; i < sites; i++ {
+		for j := 0; j < sites; j++ {
+			if i == j {
+				continue
+			}
+			hops := i - j
+			if hops < 0 {
+				hops = -hops
+			}
+			if other := sites - hops; other < hops {
+				hops = other
+			}
+			t.delay[i][j] = sim.Duration(hops) * link
+		}
+	}
+	return t, nil
+}
+
+// Star connects every site to a hub; hub↔leaf is one link, leaf↔leaf is
+// two.
+func Star(sites int, hub db.SiteID, link sim.Duration) (*Topology, error) {
+	if sites < 1 {
+		return nil, fmt.Errorf("netsim: sites must be >= 1, got %d", sites)
+	}
+	if int(hub) < 0 || int(hub) >= sites {
+		return nil, fmt.Errorf("netsim: hub %d out of range", hub)
+	}
+	t := newTopology(sites)
+	for i := 0; i < sites; i++ {
+		for j := 0; j < sites; j++ {
+			if i == j {
+				continue
+			}
+			if db.SiteID(i) == hub || db.SiteID(j) == hub {
+				t.delay[i][j] = link
+			} else {
+				t.delay[i][j] = 2 * link
+			}
+		}
+	}
+	return t, nil
+}
+
+// Custom builds a topology from an explicit one-way delay matrix. The
+// matrix must be square; self-delays are forced to zero.
+func Custom(delay [][]sim.Duration) (*Topology, error) {
+	n := len(delay)
+	if n == 0 {
+		return nil, fmt.Errorf("netsim: empty delay matrix")
+	}
+	t := newTopology(n)
+	for i, row := range delay {
+		if len(row) != n {
+			return nil, fmt.Errorf("netsim: delay matrix row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, d := range row {
+			if d < 0 {
+				return nil, fmt.Errorf("netsim: negative delay at [%d][%d]", i, j)
+			}
+			if i != j {
+				t.delay[i][j] = d
+			}
+		}
+	}
+	return t, nil
+}
+
+func newTopology(n int) *Topology {
+	t := &Topology{n: n, delay: make([][]sim.Duration, n)}
+	for i := range t.delay {
+		t.delay[i] = make([]sim.Duration, n)
+	}
+	return t
+}
+
+// Sites returns the number of sites.
+func (t *Topology) Sites() int { return t.n }
+
+// Delay returns the one-way delay between two sites (zero for unknown
+// sites, matching the uniform network's forgiving behavior).
+func (t *Topology) Delay(from, to db.SiteID) sim.Duration {
+	if from == to || int(from) < 0 || int(from) >= t.n || int(to) < 0 || int(to) >= t.n {
+		return 0
+	}
+	return t.delay[from][to]
+}
+
+// MaxDelay returns the largest pairwise delay, useful for sizing
+// deadline slack in experiments.
+func (t *Topology) MaxDelay() sim.Duration {
+	var maxD sim.Duration
+	for i := range t.delay {
+		for _, d := range t.delay[i] {
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD
+}

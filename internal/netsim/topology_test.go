@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"testing"
+
+	dbpkg "rtlock/internal/db"
+	"rtlock/internal/sim"
+)
+
+func TestFullMeshDelays(t *testing.T) {
+	topo, err := FullMesh(4, 7*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Sites() != 4 {
+		t.Fatalf("sites = %d", topo.Sites())
+	}
+	if d := topo.Delay(0, 3); d != 7*sim.Millisecond {
+		t.Fatalf("delay(0,3) = %v", d)
+	}
+	if d := topo.Delay(2, 2); d != 0 {
+		t.Fatalf("self delay = %v", d)
+	}
+	if _, err := FullMesh(0, 1); err == nil {
+		t.Fatal("0 sites accepted")
+	}
+}
+
+func TestRingDelays(t *testing.T) {
+	topo, err := Ring(5, 10*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b int
+		hops int
+	}{
+		{0, 1, 1}, {0, 2, 2}, {0, 3, 2}, {0, 4, 1}, {1, 4, 2}, {2, 4, 2},
+	}
+	for _, c := range cases {
+		want := sim.Duration(c.hops) * 10 * sim.Millisecond
+		if d := topo.Delay(site(c.a), site(c.b)); d != want {
+			t.Fatalf("ring delay(%d,%d) = %v, want %d hops", c.a, c.b, d, c.hops)
+		}
+		if topo.Delay(site(c.a), site(c.b)) != topo.Delay(site(c.b), site(c.a)) {
+			t.Fatal("ring not symmetric")
+		}
+	}
+	if topo.MaxDelay() != 20*sim.Millisecond {
+		t.Fatalf("max delay = %v", topo.MaxDelay())
+	}
+}
+
+func TestStarDelays(t *testing.T) {
+	topo, err := Star(4, 0, 5*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := topo.Delay(0, 2); d != 5*sim.Millisecond {
+		t.Fatalf("hub-leaf = %v", d)
+	}
+	if d := topo.Delay(1, 3); d != 10*sim.Millisecond {
+		t.Fatalf("leaf-leaf = %v", d)
+	}
+	if _, err := Star(3, 9, 1); err == nil {
+		t.Fatal("out-of-range hub accepted")
+	}
+}
+
+func TestCustomTopology(t *testing.T) {
+	ms := sim.Millisecond
+	topo, err := Custom([][]sim.Duration{
+		{0, 1 * ms, 2 * ms},
+		{1 * ms, 0, 3 * ms},
+		{2 * ms, 3 * ms, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := topo.Delay(1, 2); d != 3*ms {
+		t.Fatalf("delay(1,2) = %v", d)
+	}
+	if _, err := Custom(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := Custom([][]sim.Duration{{0, 1}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := Custom([][]sim.Duration{{0, -1}, {1, 0}}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestNetworkUsesTopology(t *testing.T) {
+	k := sim.NewKernel()
+	topo, err := Star(3, 0, 4*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNetworkTopology(k, topo)
+	if d := n.Delay(1, 2); d != 8*sim.Millisecond {
+		t.Fatalf("network delay(1,2) = %v", d)
+	}
+	var deliveredAt sim.Time
+	n.Server(2).Handle("x", func(m Message) { deliveredAt = k.Now() })
+	n.Send(1, 2, "x", nil)
+	k.Run()
+	if deliveredAt != sim.Time(8*sim.Millisecond) {
+		t.Fatalf("delivered at %v, want 8ms (leaf-leaf)", deliveredAt)
+	}
+	n.Shutdown()
+	k.Run()
+}
+
+// site shortens SiteID conversion in tests.
+func site(i int) dbpkg.SiteID { return dbpkg.SiteID(i) }

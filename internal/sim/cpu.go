@@ -1,0 +1,242 @@
+package sim
+
+import "container/heap"
+
+// Discipline selects how a CPU orders its ready queue.
+type Discipline int
+
+// CPU scheduling disciplines. The paper's protocol L (two-phase locking
+// without priority mode) runs on a FIFO processor; protocols P and C run
+// on a preemptive-priority processor where a higher-priority transaction
+// preempts lower-priority ones unless blocked by the locking protocol.
+const (
+	// PreemptivePriority dispatches the highest-priority request and
+	// preempts the running one when a more urgent request arrives or
+	// is promoted (priority inheritance).
+	PreemptivePriority Discipline = iota + 1
+	// FIFO dispatches in arrival order and never preempts.
+	FIFO
+)
+
+// CPU models a single processor at a site. Requests consume service time;
+// under PreemptivePriority a request's remaining service is tracked
+// across preemptions. Priority inheritance reaches the CPU through
+// Reprioritize.
+type CPU struct {
+	k     *Kernel
+	disc  Discipline
+	cur   *cpuReq
+	ready cpuQueue
+
+	busy Duration // total service delivered
+	seq  uint64
+}
+
+type cpuReq struct {
+	proc    *Proc
+	prio    Priority
+	rem     Duration
+	tok     *Token
+	runFrom Time
+	doneEv  *Event
+	seq     uint64
+	idx     int
+}
+
+// NewCPU returns a processor scheduled under disc.
+func NewCPU(k *Kernel, disc Discipline) *CPU {
+	return &CPU{k: k, disc: disc, ready: cpuQueue{disc: disc}}
+}
+
+// Use consumes d of service time on behalf of p at the given priority,
+// parking p until the service completes. It returns nil on completion or
+// the cancellation error if the request was interrupted (deadline abort,
+// shutdown). Zero or negative demand completes via the event queue so
+// ordering stays deterministic.
+func (c *CPU) Use(p *Proc, prio Priority, d Duration) error {
+	if d <= 0 {
+		return p.Sleep(0)
+	}
+	req := &cpuReq{proc: p, prio: prio, rem: d, tok: &Token{}}
+	req.tok.OnCancel = func() { c.remove(req) }
+	c.add(req)
+	return p.Park(req.tok)
+}
+
+// Reprioritize updates the priority of p's pending request, if any,
+// re-sorting the ready queue and preempting as needed. Lock managers call
+// it when a transaction inherits (or sheds) priority while waiting for or
+// holding the processor.
+func (c *CPU) Reprioritize(p *Proc, prio Priority) {
+	if c.disc != PreemptivePriority {
+		return
+	}
+	if c.cur != nil && c.cur.proc == p {
+		c.cur.prio = prio
+		c.maybePreemptCur()
+		return
+	}
+	for i, r := range c.ready.reqs {
+		if r.proc == p {
+			r.prio = prio
+			heap.Fix(&c.ready, i)
+			c.maybePreemptCur()
+			return
+		}
+	}
+}
+
+// Busy returns the total service time the CPU has delivered, for
+// utilization reporting.
+func (c *CPU) Busy() Duration {
+	b := c.busy
+	if c.cur != nil {
+		b += c.k.now.Sub(c.cur.runFrom)
+	}
+	return b
+}
+
+// QueueLen reports how many requests wait behind the running one.
+func (c *CPU) QueueLen() int { return c.ready.Len() }
+
+func (c *CPU) add(req *cpuReq) {
+	req.seq = c.nextSeq()
+	if c.cur == nil {
+		c.dispatch(req)
+		return
+	}
+	if c.disc == PreemptivePriority && req.prio.Higher(c.cur.prio) {
+		c.preemptCur()
+		c.dispatch(req)
+		return
+	}
+	c.ready.push(req)
+}
+
+func (c *CPU) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+func (c *CPU) dispatch(req *cpuReq) {
+	c.cur = req
+	req.runFrom = c.k.now
+	req.doneEv = c.k.After(req.rem, func() { c.complete(req) })
+}
+
+func (c *CPU) complete(req *cpuReq) {
+	c.busy += req.rem
+	req.rem = 0
+	c.cur = nil
+	req.tok.Wake(nil)
+	c.next()
+}
+
+func (c *CPU) preemptCur() {
+	req := c.cur
+	req.doneEv.Cancel()
+	used := c.k.now.Sub(req.runFrom)
+	c.busy += used
+	req.rem -= used
+	c.cur = nil
+	c.ready.push(req)
+}
+
+// maybePreemptCur preempts the running request if the ready queue now
+// holds a more urgent one (after a priority change).
+func (c *CPU) maybePreemptCur() {
+	if c.cur == nil || c.ready.Len() == 0 {
+		return
+	}
+	head := c.ready.reqs[0]
+	if head.prio.Higher(c.cur.prio) {
+		c.preemptCur()
+		c.next()
+	}
+}
+
+func (c *CPU) next() {
+	if c.cur != nil {
+		return
+	}
+	if req := c.ready.pop(); req != nil {
+		c.dispatch(req)
+	}
+}
+
+func (c *CPU) remove(req *cpuReq) {
+	if c.cur == req {
+		req.doneEv.Cancel()
+		used := c.k.now.Sub(req.runFrom)
+		c.busy += used
+		req.rem -= used
+		c.cur = nil
+		c.next()
+		return
+	}
+	c.ready.remove(req)
+}
+
+// cpuQueue is a ready queue ordered by priority (PreemptivePriority) or
+// arrival sequence (FIFO). It implements heap.Interface either way; under
+// FIFO the ordering key is just the sequence number.
+type cpuQueue struct {
+	disc Discipline
+	reqs []*cpuReq
+}
+
+func (q *cpuQueue) Len() int { return len(q.reqs) }
+
+func (q *cpuQueue) Less(i, j int) bool {
+	a, b := q.reqs[i], q.reqs[j]
+	if q.disc == PreemptivePriority {
+		if a.prio != b.prio {
+			return a.prio.Higher(b.prio)
+		}
+	}
+	return a.seq < b.seq
+}
+
+func (q *cpuQueue) Swap(i, j int) {
+	q.reqs[i], q.reqs[j] = q.reqs[j], q.reqs[i]
+	q.reqs[i].idx = i
+	q.reqs[j].idx = j
+}
+
+func (q *cpuQueue) Push(x any) {
+	r, ok := x.(*cpuReq)
+	if !ok {
+		return
+	}
+	r.idx = len(q.reqs)
+	q.reqs = append(q.reqs, r)
+}
+
+func (q *cpuQueue) Pop() any {
+	old := q.reqs
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	r.idx = -1
+	q.reqs = old[:n-1]
+	return r
+}
+
+func (q *cpuQueue) push(r *cpuReq) { heap.Push(q, r) }
+
+func (q *cpuQueue) pop() *cpuReq {
+	if q.Len() == 0 {
+		return nil
+	}
+	r, ok := heap.Pop(q).(*cpuReq)
+	if !ok {
+		return nil
+	}
+	return r
+}
+
+func (q *cpuQueue) remove(r *cpuReq) {
+	if r.idx >= 0 && r.idx < len(q.reqs) && q.reqs[r.idx] == r {
+		heap.Remove(q, r.idx)
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func prio(d int64) Priority { return Priority{Deadline: d, TxID: d} }
+
+func TestCPUSingleUse(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, PreemptivePriority)
+	var done Time
+	k.Spawn("t", func(p *Proc) {
+		if err := cpu.Use(p, prio(1), 250); err != nil {
+			t.Errorf("Use: %v", err)
+		}
+		done = p.Now()
+	})
+	k.Run()
+	if done != 250 {
+		t.Fatalf("completed at %d, want 250", done)
+	}
+	if cpu.Busy() != 250 {
+		t.Fatalf("busy = %d, want 250", cpu.Busy())
+	}
+}
+
+func TestCPUPreemption(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, PreemptivePriority)
+	var lowDone, highDone Time
+	k.Spawn("low", func(p *Proc) {
+		if err := cpu.Use(p, prio(100), 1000); err != nil {
+			t.Errorf("low Use: %v", err)
+		}
+		lowDone = p.Now()
+	})
+	k.Spawn("high", func(p *Proc) {
+		if err := p.Sleep(300); err != nil {
+			return
+		}
+		if err := cpu.Use(p, prio(1), 200); err != nil {
+			t.Errorf("high Use: %v", err)
+		}
+		highDone = p.Now()
+	})
+	k.Run()
+	if highDone != 500 {
+		t.Fatalf("high finished at %d, want 500 (preempts at 300)", highDone)
+	}
+	if lowDone != 1200 {
+		t.Fatalf("low finished at %d, want 1200 (resumes after preemption)", lowDone)
+	}
+}
+
+func TestCPUFIFONoPreemption(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, FIFO)
+	var lowDone, highDone Time
+	k.Spawn("low", func(p *Proc) {
+		if err := cpu.Use(p, prio(100), 1000); err != nil {
+			t.Errorf("low Use: %v", err)
+		}
+		lowDone = p.Now()
+	})
+	k.Spawn("high", func(p *Proc) {
+		if err := p.Sleep(300); err != nil {
+			return
+		}
+		if err := cpu.Use(p, prio(1), 200); err != nil {
+			t.Errorf("high Use: %v", err)
+		}
+		highDone = p.Now()
+	})
+	k.Run()
+	if lowDone != 1000 {
+		t.Fatalf("low finished at %d, want 1000 (FIFO never preempts)", lowDone)
+	}
+	if highDone != 1200 {
+		t.Fatalf("high finished at %d, want 1200 (queued behind low)", highDone)
+	}
+}
+
+func TestCPUPriorityDispatchOrder(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, PreemptivePriority)
+	var order []string
+	spawn := func(name string, pr Priority) {
+		k.Spawn(name, func(p *Proc) {
+			if err := cpu.Use(p, pr, 100); err != nil {
+				return
+			}
+			order = append(order, name)
+		})
+	}
+	// All arrive at time 0; the first gets the CPU, the rest queue by
+	// priority.
+	spawn("mid", prio(50))
+	spawn("low", prio(90))
+	spawn("high", prio(10))
+	k.Run()
+	// "mid" is dispatched first (CPU idle), then "high" preempts;
+	// among the queued, high priority runs before low.
+	want := []string{"high", "mid", "low"}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCPUReprioritizeWaiter(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, PreemptivePriority)
+	var order []string
+	var waiter *Proc
+	k.Spawn("running", func(p *Proc) {
+		if err := cpu.Use(p, prio(10), 500); err != nil {
+			return
+		}
+		order = append(order, "running")
+	})
+	waiter = k.Spawn("waiter", func(p *Proc) {
+		if err := cpu.Use(p, prio(90), 100); err != nil {
+			return
+		}
+		order = append(order, "waiter")
+	})
+	// At 200, the waiter inherits a very urgent priority and must
+	// preempt the running request.
+	k.At(200, func() { cpu.Reprioritize(waiter, prio(1)) })
+	k.Run()
+	if len(order) != 2 || order[0] != "waiter" {
+		t.Fatalf("order = %v, want waiter first after inheritance", order)
+	}
+}
+
+func TestCPUCancelRunning(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, PreemptivePriority)
+	errAbort := errors.New("abort")
+	var got error
+	var next Time
+	var victim *Proc
+	victim = k.Spawn("victim", func(p *Proc) {
+		got = cpu.Use(p, prio(1), 1000)
+	})
+	k.Spawn("next", func(p *Proc) {
+		if err := cpu.Use(p, prio(2), 100); err != nil {
+			t.Errorf("next Use: %v", err)
+		}
+		next = p.Now()
+	})
+	k.At(300, func() { victim.Interrupt(errAbort) })
+	k.Run()
+	if !errors.Is(got, errAbort) {
+		t.Fatalf("victim got %v, want abort", got)
+	}
+	if next != 400 {
+		t.Fatalf("next finished at %d, want 400 (dispatched at 300 for 100)", next)
+	}
+}
+
+func TestCPUCancelQueued(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, PreemptivePriority)
+	var got error
+	var victim *Proc
+	k.Spawn("running", func(p *Proc) {
+		if err := cpu.Use(p, prio(1), 1000); err != nil {
+			t.Errorf("running Use: %v", err)
+		}
+	})
+	victim = k.Spawn("queued", func(p *Proc) {
+		got = cpu.Use(p, prio(2), 100)
+	})
+	k.At(50, func() { victim.Interrupt(errors.New("die")) })
+	k.Run()
+	if got == nil {
+		t.Fatal("queued victim saw nil error")
+	}
+	if cpu.Busy() != 1000 {
+		t.Fatalf("busy = %d, want 1000 (victim consumed nothing)", cpu.Busy())
+	}
+}
+
+func TestCPUZeroDemand(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, PreemptivePriority)
+	ok := false
+	k.Spawn("z", func(p *Proc) {
+		if err := cpu.Use(p, prio(1), 0); err != nil {
+			t.Errorf("Use(0): %v", err)
+		}
+		ok = true
+	})
+	k.Run()
+	if !ok {
+		t.Fatal("zero-demand use did not complete")
+	}
+}
+
+func TestCPUBusyAccounting(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPU(k, PreemptivePriority)
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("t", func(p *Proc) {
+			if err := p.Sleep(Duration(i) * 10); err != nil {
+				return
+			}
+			if err := cpu.Use(p, prio(int64(i+1)), 100); err != nil {
+				t.Errorf("Use: %v", err)
+			}
+		})
+	}
+	k.Run()
+	if cpu.Busy() != 400 {
+		t.Fatalf("busy = %d, want 400", cpu.Busy())
+	}
+	if k.Now() != 400 {
+		t.Fatalf("end time = %d, want 400 (work-conserving)", k.Now())
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled kernel action. Events fire in (time, sequence)
+// order; the sequence number makes simultaneous events fire in the order
+// they were scheduled, which is what keeps runs deterministic.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	idx      int
+	canceled bool
+}
+
+// Cancel prevents the event from firing. It reports whether the event was
+// still pending; canceling an event that already fired or was already
+// canceled returns false.
+func (e *Event) Cancel() bool {
+	if e == nil || e.canceled || e.idx < 0 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// eventHeap orders events by (time, seq). It implements heap.Interface.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// push schedules e on the heap.
+func (h *eventHeap) push(e *Event) { heap.Push(h, e) }
+
+// pop removes and returns the earliest pending event, skipping canceled
+// ones. It returns nil when the heap is exhausted.
+func (h *eventHeap) pop() *Event {
+	for h.Len() > 0 {
+		e, ok := heap.Pop(h).(*Event)
+		if !ok {
+			continue
+		}
+		if e.canceled {
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// peek returns the earliest pending event without removing it, discarding
+// canceled events as it goes. It returns nil when the heap is exhausted.
+func (h *eventHeap) peek() *Event {
+	for h.Len() > 0 {
+		e := (*h)[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(h)
+	}
+	return nil
+}

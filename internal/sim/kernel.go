@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kernel errors delivered to parked processes.
+var (
+	// ErrShutdown wakes every parked process when the kernel shuts
+	// down; process bodies should unwind promptly when they see it.
+	ErrShutdown = errors.New("sim: kernel shutdown")
+)
+
+// Kernel is the discrete-event scheduler. It owns the virtual clock and
+// the event heap, and it hands control to at most one simulated process
+// at a time, so all simulation code runs single-threaded and every run
+// with the same inputs produces the same interleaving.
+//
+// A Kernel is not safe for concurrent use from multiple OS threads; all
+// interaction happens either before Run or from inside event handlers
+// and process bodies.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// yielded is signaled by the running process when it parks,
+	// terminates, or otherwise returns control to the kernel.
+	yielded chan struct{}
+	current *Proc
+	parked  map[*Proc]struct{}
+	nextPID int64
+	live    int
+}
+
+// NewKernel returns a kernel with the clock at zero and no pending events.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yielded: make(chan struct{}),
+		parked:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run in kernel context at virtual time t. Times in
+// the past are clamped to now. The returned event may be canceled.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.events.push(e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (k *Kernel) After(d Duration, fn func()) *Event {
+	return k.At(k.now.Add(d), fn)
+}
+
+// Run dispatches events until none remain. It returns the final virtual
+// time.
+func (k *Kernel) Run() Time {
+	for {
+		e := k.events.pop()
+		if e == nil {
+			return k.now
+		}
+		k.now = e.at
+		e.fn()
+	}
+}
+
+// RunUntil dispatches events with timestamps <= t, then advances the
+// clock to t. Events scheduled beyond t remain pending.
+func (k *Kernel) RunUntil(t Time) {
+	for {
+		e := k.events.peek()
+		if e == nil || e.at > t {
+			break
+		}
+		k.events.pop()
+		k.now = e.at
+		e.fn()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Steps dispatches up to n events and reports how many actually ran.
+// It exists for tests that want fine-grained control.
+func (k *Kernel) Steps(n int) int {
+	ran := 0
+	for ran < n {
+		e := k.events.pop()
+		if e == nil {
+			break
+		}
+		k.now = e.at
+		e.fn()
+		ran++
+	}
+	return ran
+}
+
+// Shutdown interrupts every parked process with ErrShutdown and runs the
+// resulting unwinding until no live processes remain (or a safety bound
+// is hit, which indicates a process that refuses to die). Tests that end
+// a simulation early use it to avoid leaking goroutines.
+func (k *Kernel) Shutdown() error {
+	const maxRounds = 100000
+	for round := 0; round < maxRounds; round++ {
+		if k.live == 0 {
+			return nil
+		}
+		for p := range k.parked {
+			p.Interrupt(ErrShutdown)
+		}
+		if k.Steps(1) == 0 {
+			// Live processes but nothing runnable: every live
+			// process must be parked; the next round interrupts
+			// them. If none are parked either, we are stuck.
+			if len(k.parked) == 0 {
+				return fmt.Errorf("sim: shutdown stuck with %d live processes", k.live)
+			}
+		}
+	}
+	return fmt.Errorf("sim: shutdown did not converge; %d live processes", k.live)
+}
+
+// Live reports the number of processes that have started and not yet
+// terminated.
+func (k *Kernel) Live() int { return k.live }
+
+// Pending reports the number of events still scheduled (including
+// canceled events not yet discarded).
+func (k *Kernel) Pending() int { return k.events.Len() }
+
+// switchTo transfers control to p and blocks the kernel until p yields
+// back (by parking or terminating).
+func (k *Kernel) switchTo(p *Proc) {
+	if p.dead {
+		return
+	}
+	k.current = p
+	p.resume <- struct{}{}
+	<-k.yielded
+	k.current = nil
+}
+
+// Current returns the process currently holding the kernel, or nil when
+// the kernel itself is running (e.g. inside a timer event).
+func (k *Kernel) Current() *Proc { return k.current }

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Priority is a totally ordered transaction priority. The paper assigns
+// the highest priority to the transaction with the earliest deadline and
+// assumes unique priorities (the ceiling tests are strict comparisons),
+// so ties on deadline are broken by transaction id: between two equal
+// deadlines the older (smaller id) transaction is the more urgent one.
+type Priority struct {
+	// Deadline is the virtual-time deadline backing the priority;
+	// smaller means more urgent.
+	Deadline int64
+	// TxID breaks deadline ties; smaller wins.
+	TxID int64
+}
+
+// MinPriority is lower than every real transaction priority. It is the
+// identity element when folding Max over a set of priorities, e.g. when
+// computing a priority ceiling over an empty set of lock holders.
+var MinPriority = Priority{Deadline: math.MaxInt64, TxID: math.MaxInt64}
+
+// MaxPriority is higher than every real transaction priority. System
+// chores that must never be blocked (such as replica installation at a
+// site that models an interrupt handler) may use it.
+var MaxPriority = Priority{Deadline: math.MinInt64, TxID: math.MinInt64}
+
+// Higher reports whether p is strictly more urgent than q.
+func (p Priority) Higher(q Priority) bool {
+	if p.Deadline != q.Deadline {
+		return p.Deadline < q.Deadline
+	}
+	return p.TxID < q.TxID
+}
+
+// Lower reports whether p is strictly less urgent than q.
+func (p Priority) Lower(q Priority) bool { return q.Higher(p) }
+
+// Max returns the more urgent of p and q.
+func (p Priority) Max(q Priority) Priority {
+	if q.Higher(p) {
+		return q
+	}
+	return p
+}
+
+// String renders the priority for traces and test failures.
+func (p Priority) String() string {
+	switch p {
+	case MinPriority:
+		return "prio(min)"
+	case MaxPriority:
+		return "prio(max)"
+	}
+	return fmt.Sprintf("prio(d=%d,tx=%d)", p.Deadline, p.TxID)
+}

@@ -1,0 +1,162 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that runs only when the kernel
+// hands it control, mirroring the paper's "separate process for each
+// transaction". A process advances virtual time by parking (Sleep, Park)
+// and is resumed by kernel events.
+type Proc struct {
+	k      *Kernel
+	id     int64
+	name   string
+	resume chan struct{}
+	dead   bool
+
+	// waiting is the token the process is currently parked on, nil
+	// while the process is running. Interrupt cancels it.
+	waiting *Token
+}
+
+// Token is a one-shot wake-up slot a process parks on. Whoever completes
+// the awaited condition calls Wake; whoever needs to cancel the wait
+// (deadline aborts, shutdown) calls Cancel, which first runs OnCancel so
+// the resource that enqueued the waiter can remove it.
+type Token struct {
+	// OnCancel, if set, detaches the waiter from whatever queue it
+	// sits in. It runs exactly once, before the process is woken with
+	// the cancellation error.
+	OnCancel func()
+
+	p     *Proc
+	fired bool
+	err   error
+	k     *Kernel
+}
+
+// Spawn creates a process named name and schedules it to start now. The
+// body runs in simulation context; when it returns the process
+// terminates.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	k.nextPID++
+	p := &Proc{
+		k:      k,
+		id:     k.nextPID,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	k.live++
+	k.After(0, func() {
+		go func() {
+			<-p.resume
+			body(p)
+			p.dead = true
+			k.live--
+			k.yielded <- struct{}{}
+		}()
+		k.switchTo(p)
+	})
+	return p
+}
+
+// ID returns the process id (unique per kernel).
+func (p *Proc) ID() int64 { return p.id }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// yield returns control to the kernel and blocks until resumed.
+func (p *Proc) yield() {
+	p.k.yielded <- struct{}{}
+	<-p.resume
+}
+
+// Park suspends the process until tok is woken or canceled. It returns
+// the error delivered with the wake-up (nil for a normal Wake). Each
+// token may be parked on at most once.
+func (p *Proc) Park(tok *Token) error {
+	if tok.p != nil {
+		panic(fmt.Sprintf("sim: token reused by process %q", p.name))
+	}
+	if p.k.current != p {
+		panic(fmt.Sprintf("sim: Park called by %q while not running", p.name))
+	}
+	tok.p = p
+	tok.k = p.k
+	if tok.fired {
+		// Woken before parking (e.g. a zero-length resource use
+		// completed inline). Consume the result without yielding.
+		return tok.err
+	}
+	p.waiting = tok
+	p.k.parked[p] = struct{}{}
+	p.yield()
+	p.waiting = nil
+	return tok.err
+}
+
+// Wake delivers err (nil for success) to the parked process. It reports
+// whether this call was the one that fired the token; later Wake/Cancel
+// calls on a fired token are no-ops returning false.
+//
+// Wake never transfers control immediately: it schedules the resumption
+// as an event at the current time, preserving the single-runner
+// discipline even when one process wakes another.
+func (t *Token) Wake(err error) bool {
+	if t.fired {
+		return false
+	}
+	t.fired = true
+	t.err = err
+	if t.p == nil {
+		// Not yet parked; Park will consume the result inline.
+		return true
+	}
+	k := t.k
+	proc := t.p
+	delete(k.parked, proc)
+	k.At(k.now, func() { k.switchTo(proc) })
+	return true
+}
+
+// Cancel detaches the waiter from its resource via OnCancel and wakes the
+// process with err. It reports whether the token was still pending.
+func (t *Token) Cancel(err error) bool {
+	if t.fired {
+		return false
+	}
+	if t.OnCancel != nil {
+		t.OnCancel()
+	}
+	return t.Wake(err)
+}
+
+// Interrupt cancels whatever wait the process is currently parked on,
+// delivering err. It reports whether an interruption happened; a running
+// or terminated process cannot be interrupted.
+func (p *Proc) Interrupt(err error) bool {
+	if p.waiting == nil {
+		return false
+	}
+	return p.waiting.Cancel(err)
+}
+
+// Sleep parks the process for d of virtual time. It returns nil when the
+// time elapsed or the interruption error if the sleep was canceled.
+func (p *Proc) Sleep(d Duration) error {
+	if d <= 0 {
+		// Even zero-length sleeps yield through the event queue so
+		// that simultaneous activities interleave deterministically.
+		d = 0
+	}
+	tok := &Token{}
+	ev := p.k.After(d, func() { tok.Wake(nil) })
+	tok.OnCancel = func() { ev.Cancel() }
+	return p.Park(tok)
+}

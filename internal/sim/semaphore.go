@@ -1,0 +1,64 @@
+package sim
+
+// Semaphore is a counting semaphore with a FIFO wait queue, matching the
+// StarLite kernel primitive the paper's message server blocks senders on.
+type Semaphore struct {
+	k *Kernel
+	n int
+	q []*Token
+}
+
+// NewSemaphore returns a semaphore with an initial count.
+func NewSemaphore(k *Kernel, initial int) *Semaphore {
+	return &Semaphore{k: k, n: initial}
+}
+
+// Wait decrements the count, parking p while the count is zero. It
+// returns nil once a unit is acquired, or the interruption error if the
+// wait was canceled.
+func (s *Semaphore) Wait(p *Proc) error {
+	if s.n > 0 {
+		s.n--
+		return nil
+	}
+	tok := &Token{}
+	s.q = append(s.q, tok)
+	tok.OnCancel = func() { s.drop(tok) }
+	return p.Park(tok)
+}
+
+// TryWait acquires a unit without blocking, reporting success.
+func (s *Semaphore) TryWait() bool {
+	if s.n > 0 {
+		s.n--
+		return true
+	}
+	return false
+}
+
+// Signal releases a unit, waking the longest-waiting process if any.
+func (s *Semaphore) Signal() {
+	for len(s.q) > 0 {
+		tok := s.q[0]
+		s.q = s.q[1:]
+		if tok.Wake(nil) {
+			return
+		}
+	}
+	s.n++
+}
+
+// Count returns the currently available units.
+func (s *Semaphore) Count() int { return s.n }
+
+// Waiting returns the number of parked waiters.
+func (s *Semaphore) Waiting() int { return len(s.q) }
+
+func (s *Semaphore) drop(tok *Token) {
+	for i, t := range s.q {
+		if t == tok {
+			s.q = append(s.q[:i], s.q[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel. It plays the role of the StarLite concurrent
+// programming kernel in the paper's prototyping environment: simulated
+// processes are created, readied, blocked, and terminated under a virtual
+// clock, and exactly one process runs at a time so every run is
+// reproducible.
+package sim
+
+// Time is an instant of virtual time, in ticks. One tick is one
+// microsecond of simulated time; the constants below give readable units.
+type Time int64
+
+// Duration is a span of virtual time, in ticks.
+type Duration int64
+
+// Virtual-time units. These mirror time.Duration's naming but are
+// independent of wall-clock time: the simulation advances only when the
+// kernel dispatches events.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds converts a virtual duration to floating-point seconds, for
+// reporting rates such as objects per second.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis converts a virtual duration to floating-point milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }

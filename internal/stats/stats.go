@@ -1,0 +1,272 @@
+// Package stats is the performance monitor: it records the paper's
+// per-transaction statistics (arrival and start times, total processing
+// time, blocked interval, deadline hit or miss, aborts) and derives the
+// two headline metrics of the evaluation — normalized transaction
+// throughput in data objects accessed per second for successful
+// transactions, and the percentage of deadline-missing transactions,
+// %missed = 100 × missed / processed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rtlock/internal/db"
+	"rtlock/internal/sim"
+)
+
+// Outcome classifies how a transaction left the system.
+type Outcome int
+
+// Transaction outcomes. Every processed transaction either commits or is
+// aborted at its deadline (transactions are hard: a missed deadline has
+// no residual value and the transaction disappears, §3.2).
+const (
+	Committed Outcome = iota + 1
+	DeadlineMissed
+)
+
+// TxRecord is the monitor's per-transaction record.
+type TxRecord struct {
+	ID       int64
+	Site     db.SiteID
+	Size     int
+	ReadOnly bool
+
+	Arrival  sim.Time
+	Start    sim.Time
+	Finish   sim.Time
+	Deadline sim.Time
+
+	Outcome      Outcome
+	Blocked      sim.Duration
+	BlockedCount int
+	Messages     int
+	// Restarts counts aborted-and-retried attempts under abort-based
+	// protocols (the paper's per-transaction "number of aborts").
+	Restarts int
+}
+
+// Monitor accumulates transaction records for one run.
+type Monitor struct {
+	records []TxRecord
+	horizon sim.Time
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor { return &Monitor{} }
+
+// Add records one processed transaction.
+func (m *Monitor) Add(r TxRecord) {
+	m.records = append(m.records, r)
+	if r.Finish > m.horizon {
+		m.horizon = r.Finish
+	}
+}
+
+// SetHorizon overrides the observation window end (defaults to the last
+// recorded finish time). Throughput normalizes by this window.
+func (m *Monitor) SetHorizon(t sim.Time) { m.horizon = t }
+
+// Records returns a copy of all records, ordered by transaction id.
+func (m *Monitor) Records() []TxRecord {
+	out := make([]TxRecord, len(m.records))
+	copy(out, m.records)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Processed returns the number of transactions that completed or were
+// aborted.
+func (m *Monitor) Processed() int { return len(m.records) }
+
+// CommittedCount returns the number of transactions that met their
+// deadline.
+func (m *Monitor) CommittedCount() int {
+	n := 0
+	for _, r := range m.records {
+		if r.Outcome == Committed {
+			n++
+		}
+	}
+	return n
+}
+
+// MissedCount returns the number of deadline-missing transactions.
+func (m *Monitor) MissedCount() int { return m.Processed() - m.CommittedCount() }
+
+// MissedPct returns 100 × missed / processed, the paper's %missed.
+func (m *Monitor) MissedPct() float64 {
+	if len(m.records) == 0 {
+		return 0
+	}
+	return 100 * float64(m.MissedCount()) / float64(m.Processed())
+}
+
+// Throughput returns the normalized throughput: data objects accessed per
+// second over successful (committed) transactions — the completion rate
+// multiplied by transaction size, as the paper normalizes to account for
+// bigger transactions doing more database work.
+func (m *Monitor) Throughput() float64 {
+	if m.horizon <= 0 {
+		return 0
+	}
+	objects := 0
+	for _, r := range m.records {
+		if r.Outcome == Committed {
+			objects += r.Size
+		}
+	}
+	return float64(objects) / sim.Duration(m.horizon).Seconds()
+}
+
+// AvgBlocked returns the mean blocked interval across processed
+// transactions.
+func (m *Monitor) AvgBlocked() sim.Duration {
+	if len(m.records) == 0 {
+		return 0
+	}
+	var total sim.Duration
+	for _, r := range m.records {
+		total += r.Blocked
+	}
+	return total / sim.Duration(len(m.records))
+}
+
+// AvgResponse returns the mean finish−arrival time over committed
+// transactions.
+func (m *Monitor) AvgResponse() sim.Duration {
+	n := 0
+	var total sim.Duration
+	for _, r := range m.records {
+		if r.Outcome == Committed {
+			total += r.Finish.Sub(r.Arrival)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / sim.Duration(n)
+}
+
+// ResponsePercentile returns the q-quantile (0 < q <= 1) of the
+// finish−arrival time over committed transactions, using the
+// nearest-rank method. Real-time systems care about the tail, not just
+// the mean; p95/p99 response times quantify predictability.
+func (m *Monitor) ResponsePercentile(q float64) sim.Duration {
+	if q <= 0 || q > 1 {
+		return 0
+	}
+	var resp []sim.Duration
+	for _, r := range m.records {
+		if r.Outcome == Committed {
+			resp = append(resp, r.Finish.Sub(r.Arrival))
+		}
+	}
+	if len(resp) == 0 {
+		return 0
+	}
+	sort.Slice(resp, func(i, j int) bool { return resp[i] < resp[j] })
+	rank := int(math.Ceil(q*float64(len(resp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(resp) {
+		rank = len(resp) - 1
+	}
+	return resp[rank]
+}
+
+// Restarts returns the total number of aborted-and-retried attempts.
+func (m *Monitor) Restarts() int {
+	n := 0
+	for _, r := range m.records {
+		n += r.Restarts
+	}
+	return n
+}
+
+// Messages returns the total message count across transactions.
+func (m *Monitor) Messages() int {
+	n := 0
+	for _, r := range m.records {
+		n += r.Messages
+	}
+	return n
+}
+
+// Summary is an aggregate snapshot convenient for tables.
+type Summary struct {
+	Processed  int
+	Committed  int
+	Missed     int
+	MissedPct  float64
+	Throughput float64 // objects/sec over committed transactions
+	AvgBlocked sim.Duration
+	AvgResp    sim.Duration
+	Restarts   int
+	// RespP50 and RespP99 are the median and 99th-percentile response
+	// times over committed transactions: the tail/median ratio
+	// measures predictability, the real-time property the ceiling
+	// protocol is designed for.
+	RespP50 sim.Duration
+	RespP99 sim.Duration
+	// CPUUtil is the mean processor utilization over the horizon
+	// (averaged across sites in distributed runs); the runtime fills
+	// it in.
+	CPUUtil float64
+	// IOUtil is the mean I/O utilization over the horizon (single-site
+	// runs; meaningful when I/O parallelism is bounded, otherwise it
+	// reports offered I/O load).
+	IOUtil float64
+}
+
+// Summarize computes the aggregate snapshot.
+func (m *Monitor) Summarize() Summary {
+	return Summary{
+		Processed:  m.Processed(),
+		Committed:  m.CommittedCount(),
+		Missed:     m.MissedCount(),
+		MissedPct:  m.MissedPct(),
+		Throughput: m.Throughput(),
+		AvgBlocked: m.AvgBlocked(),
+		AvgResp:    m.AvgResponse(),
+		Restarts:   m.Restarts(),
+		RespP50:    m.ResponsePercentile(0.5),
+		RespP99:    m.ResponsePercentile(0.99),
+	}
+}
+
+// Horizon returns the observation-window end used for normalization.
+func (m *Monitor) Horizon() sim.Time { return m.horizon }
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("processed=%d committed=%d missed=%d (%.1f%%) thpt=%.1f obj/s blocked=%.1fms resp=%.1fms restarts=%d cpu=%.0f%%",
+		s.Processed, s.Committed, s.Missed, s.MissedPct, s.Throughput,
+		s.AvgBlocked.Millis(), s.AvgResp.Millis(), s.Restarts, 100*s.CPUUtil)
+}
+
+// MeanStd returns the mean and standard deviation of xs; the experiment
+// harness averages each metric over independent runs as the paper does
+// (10 runs per point).
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}

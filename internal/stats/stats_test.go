@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"rtlock/internal/sim"
+)
+
+func TestEmptyMonitor(t *testing.T) {
+	m := NewMonitor()
+	if m.MissedPct() != 0 || m.Throughput() != 0 || m.AvgBlocked() != 0 || m.AvgResponse() != 0 {
+		t.Fatal("empty monitor must report zeros")
+	}
+}
+
+func TestMissedPct(t *testing.T) {
+	m := NewMonitor()
+	for i := 0; i < 4; i++ {
+		out := Committed
+		if i == 0 {
+			out = DeadlineMissed
+		}
+		m.Add(TxRecord{ID: int64(i), Size: 5, Outcome: out, Finish: sim.Time(sim.Second)})
+	}
+	if got := m.MissedPct(); got != 25 {
+		t.Fatalf("MissedPct = %v, want 25", got)
+	}
+	if m.Processed() != 4 || m.CommittedCount() != 3 || m.MissedCount() != 1 {
+		t.Fatalf("counts wrong: %+v", m.Summarize())
+	}
+}
+
+func TestThroughputNormalizedByObjects(t *testing.T) {
+	m := NewMonitor()
+	// Two committed transactions of size 10 within a 2-second horizon:
+	// 20 objects / 2 s = 10 obj/s. The missed one contributes nothing.
+	m.Add(TxRecord{ID: 1, Size: 10, Outcome: Committed, Finish: sim.Time(sim.Second)})
+	m.Add(TxRecord{ID: 2, Size: 10, Outcome: Committed, Finish: sim.Time(2 * sim.Second)})
+	m.Add(TxRecord{ID: 3, Size: 99, Outcome: DeadlineMissed, Finish: sim.Time(2 * sim.Second)})
+	if got := m.Throughput(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Throughput = %v, want 10", got)
+	}
+}
+
+func TestHorizonOverride(t *testing.T) {
+	m := NewMonitor()
+	m.Add(TxRecord{ID: 1, Size: 10, Outcome: Committed, Finish: sim.Time(sim.Second)})
+	m.SetHorizon(sim.Time(4 * sim.Second))
+	if got := m.Throughput(); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("Throughput = %v, want 2.5 over 4s horizon", got)
+	}
+}
+
+func TestAverages(t *testing.T) {
+	m := NewMonitor()
+	m.Add(TxRecord{ID: 1, Size: 1, Outcome: Committed, Arrival: 0, Finish: sim.Time(100), Blocked: 40})
+	m.Add(TxRecord{ID: 2, Size: 1, Outcome: Committed, Arrival: 100, Finish: sim.Time(300), Blocked: 0})
+	m.Add(TxRecord{ID: 3, Size: 1, Outcome: DeadlineMissed, Arrival: 0, Finish: sim.Time(999), Blocked: 20})
+	if got := m.AvgBlocked(); got != 20 {
+		t.Fatalf("AvgBlocked = %v, want 20", got)
+	}
+	// Response time averages only committed: (100 + 200) / 2.
+	if got := m.AvgResponse(); got != 150 {
+		t.Fatalf("AvgResponse = %v, want 150", got)
+	}
+}
+
+func TestRecordsSortedCopy(t *testing.T) {
+	m := NewMonitor()
+	m.Add(TxRecord{ID: 2})
+	m.Add(TxRecord{ID: 1})
+	recs := m.Records()
+	if recs[0].ID != 1 || recs[1].ID != 2 {
+		t.Fatalf("records not sorted: %+v", recs)
+	}
+	recs[0].ID = 99
+	if m.Records()[0].ID != 1 {
+		t.Fatal("Records returned internal storage, not a copy")
+	}
+}
+
+func TestResponsePercentile(t *testing.T) {
+	m := NewMonitor()
+	// Committed responses: 10, 20, ..., 100 (aborted ones excluded).
+	for i := 1; i <= 10; i++ {
+		m.Add(TxRecord{ID: int64(i), Size: 1, Outcome: Committed, Arrival: 0, Finish: sim.Time(i * 10)})
+	}
+	m.Add(TxRecord{ID: 99, Size: 1, Outcome: DeadlineMissed, Arrival: 0, Finish: sim.Time(99999)})
+	cases := []struct {
+		q    float64
+		want sim.Duration
+	}{
+		{0.5, 50}, {0.95, 100}, {0.99, 100}, {0.1, 10}, {1.0, 100},
+	}
+	for _, c := range cases {
+		if got := m.ResponsePercentile(c.q); got != c.want {
+			t.Fatalf("p%v = %v, want %v", c.q*100, got, c.want)
+		}
+	}
+	if m.ResponsePercentile(0) != 0 || m.ResponsePercentile(1.5) != 0 {
+		t.Fatal("invalid quantiles must return 0")
+	}
+	if NewMonitor().ResponsePercentile(0.5) != 0 {
+		t.Fatal("empty monitor percentile not 0")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(mean-5) > 1e-9 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(std-2.138089935) > 1e-6 {
+		t.Fatalf("std = %v", std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty MeanStd should be 0,0")
+	}
+	if m, s := MeanStd([]float64{3}); m != 3 || s != 0 {
+		t.Fatalf("single-sample MeanStd = %v,%v", m, s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	m := NewMonitor()
+	m.Add(TxRecord{ID: 1, Size: 2, Outcome: Committed, Finish: sim.Time(sim.Second)})
+	s := m.Summarize().String()
+	if s == "" {
+		t.Fatal("empty summary string")
+	}
+}

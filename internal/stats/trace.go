@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"rtlock/internal/sim"
+)
+
+// EventKind classifies trace events, mirroring what the paper's
+// Performance Monitor records: priority and read/write set per
+// transaction, the time each event occurred, blocked intervals, deadline
+// outcomes, and abort counts.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EvArrive EventKind = iota + 1
+	EvLockRequest
+	EvLockGrant
+	EvOpDone
+	EvCommit
+	EvDeadlineMiss
+	EvRestart
+	EvMessage
+)
+
+// String names the kind in timelines.
+func (k EventKind) String() string {
+	switch k {
+	case EvArrive:
+		return "arrive"
+	case EvLockRequest:
+		return "lock-request"
+	case EvLockGrant:
+		return "lock-grant"
+	case EvOpDone:
+		return "op-done"
+	case EvCommit:
+		return "commit"
+	case EvDeadlineMiss:
+		return "deadline-miss"
+	case EvRestart:
+		return "restart"
+	case EvMessage:
+		return "message"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	Tx   int64
+	Kind EventKind
+	// Obj is the object involved in lock/op events (-1 otherwise).
+	Obj int32
+	// Note carries free-form detail ("W", "blocked 12ms", …).
+	Note string
+}
+
+// String renders one event line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%10.3fms tx%-4d %-13s", sim.Duration(e.At).Millis(), e.Tx, e.Kind)
+	if e.Obj >= 0 {
+		s += fmt.Sprintf(" obj%-4d", e.Obj)
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Trace is a bounded in-order event log. A zero capacity means
+// unbounded; otherwise recording stops (silently) at the cap, keeping
+// long experiment runs cheap while short investigations see everything.
+type Trace struct {
+	cap    int
+	events []Event
+}
+
+// NewTrace returns a trace keeping at most capacity events (0 =
+// unbounded).
+func NewTrace(capacity int) *Trace { return &Trace{cap: capacity} }
+
+// Log appends an event if capacity remains. Pass obj -1 when no object
+// is involved.
+func (t *Trace) Log(at sim.Time, tx int64, kind EventKind, obj int32, note string) {
+	if t == nil {
+		return
+	}
+	if t.cap > 0 && len(t.events) >= t.cap {
+		return
+	}
+	t.events = append(t.events, Event{At: at, Tx: tx, Kind: kind, Obj: obj, Note: note})
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns a copy of the full log.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Timeline returns the events of one transaction, in order.
+func (t *Trace) Timeline(tx int64) []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range t.events {
+		if e.Tx == tx {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the whole log, one event per line.
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range t.events {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

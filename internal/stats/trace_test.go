@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"rtlock/internal/sim"
+)
+
+func TestTraceRecordsInOrder(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Log(10, 1, EvArrive, -1, "")
+	tr.Log(20, 1, EvLockRequest, 5, "W")
+	tr.Log(30, 2, EvArrive, -1, "")
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[1].Kind != EvLockRequest || evs[1].Obj != 5 || evs[1].Note != "W" {
+		t.Fatalf("event = %+v", evs[1])
+	}
+}
+
+func TestTraceCapBounds(t *testing.T) {
+	tr := NewTrace(2)
+	for i := 0; i < 5; i++ {
+		tr.Log(sim.Time(i), int64(i), EvArrive, -1, "")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want cap 2", tr.Len())
+	}
+}
+
+func TestTraceTimeline(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Log(1, 1, EvArrive, -1, "")
+	tr.Log(2, 2, EvArrive, -1, "")
+	tr.Log(3, 1, EvCommit, -1, "")
+	tl := tr.Timeline(1)
+	if len(tl) != 2 || tl[1].Kind != EvCommit {
+		t.Fatalf("timeline = %+v", tl)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Log(1, 1, EvArrive, -1, "") // must not panic
+	if tr.Len() != 0 || tr.Events() != nil || tr.Timeline(1) != nil || tr.String() != "" {
+		t.Fatal("nil trace misbehaved")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Log(sim.Time(1500), 7, EvLockGrant, 3, "W blocked 1.0ms")
+	s := tr.String()
+	if !strings.Contains(s, "tx7") || !strings.Contains(s, "lock-grant") || !strings.Contains(s, "obj3") {
+		t.Fatalf("rendered: %q", s)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvArrive, EvLockRequest, EvLockGrant, EvOpDone, EvCommit, EvDeadlineMiss, EvRestart, EvMessage}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "EventKind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if EventKind(99).String() != "EventKind(99)" {
+		t.Fatal("unknown kind fallback broken")
+	}
+}

@@ -1,0 +1,113 @@
+package txn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/sim"
+	"rtlock/internal/workload"
+)
+
+// protocolsUnderTest builds every single-site protocol.
+func protocolsUnderTest() map[string]func(*sim.Kernel) core.Manager {
+	return map[string]func(*sim.Kernel) core.Manager{
+		"PCP":    func(k *sim.Kernel) core.Manager { return core.NewCeiling(k) },
+		"PCP-X":  func(k *sim.Kernel) core.Manager { return core.NewCeilingExclusive(k) },
+		"2PL":    func(k *sim.Kernel) core.Manager { return core.NewTwoPL(k) },
+		"2PL-P":  func(k *sim.Kernel) core.Manager { return core.NewTwoPLPriority(k) },
+		"2PL-PI": func(k *sim.Kernel) core.Manager { return core.NewTwoPLInherit(k) },
+		"2PL-HP": func(k *sim.Kernel) core.Manager { return core.NewTwoPLHP(k) },
+		"2PL-CR": func(k *sim.Kernel) core.Manager { return core.NewTwoPLCond(k) },
+		"2PL-DD": func(k *sim.Kernel) core.Manager { return core.NewTwoPLDetect(k) },
+		"TO":     func(k *sim.Kernel) core.Manager { return core.NewTimestamp(k) },
+	}
+}
+
+// soakLoad generates a heavy mixed workload.
+func soakLoad(t *testing.T, seed int64, count int) []*workload.Txn {
+	t.Helper()
+	cat, err := db.NewCatalog(1, 60) // small database: high contention
+	if err != nil {
+		t.Fatal(err)
+	}
+	load, err := workload.Generate(workload.Params{
+		Seed:             seed,
+		Catalog:          cat,
+		Count:            count,
+		MeanInterarrival: 40 * sim.Millisecond,
+		MeanSize:         8,
+		ReadOnlyFrac:     0.4,
+		PerObjCost:       10 * sim.Millisecond,
+		SlackMin:         2,
+		SlackMax:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return load
+}
+
+// TestSoakAllProtocols runs a few thousand heavily contended
+// transactions through every protocol and checks the global invariants:
+// every transaction is processed exactly once, the committed history is
+// conflict serializable, and no simulated process leaks.
+func TestSoakAllProtocols(t *testing.T) {
+	count := 3000
+	if testing.Short() {
+		count = 300
+	}
+	for name, mgr := range protocolsUnderTest() {
+		name, mgr := name, mgr
+		t.Run(name, func(t *testing.T) {
+			s, err := NewSystem(Config{
+				CPUPerObj:     10 * sim.Millisecond,
+				IOPerObj:      10 * sim.Millisecond,
+				NewManager:    mgr,
+				RecordHistory: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Load(soakLoad(t, 42, count))
+			sum := s.Run()
+			if sum.Processed != count {
+				t.Fatalf("processed %d/%d", sum.Processed, count)
+			}
+			if !s.History.ConflictSerializable() {
+				t.Fatal("committed history not conflict serializable")
+			}
+			if s.K.Live() != 0 {
+				t.Fatalf("%d simulated processes leaked", s.K.Live())
+			}
+		})
+	}
+}
+
+// TestPropEveryProtocolSerializable is the strongest oracle: random
+// workloads through every protocol must always produce conflict-
+// serializable committed histories and process every transaction.
+func TestPropEveryProtocolSerializable(t *testing.T) {
+	for name, mgr := range protocolsUnderTest() {
+		name, mgr := name, mgr
+		t.Run(name, func(t *testing.T) {
+			prop := func(seed int64) bool {
+				s, err := NewSystem(Config{
+					CPUPerObj:     10 * sim.Millisecond,
+					NewManager:    mgr,
+					RecordHistory: true,
+				})
+				if err != nil {
+					return false
+				}
+				s.Load(soakLoad(t, seed, 60))
+				sum := s.Run()
+				return sum.Processed == 60 && s.History.ConflictSerializable() && s.K.Live() == 0
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,332 @@
+// Package txn is the transaction manager: it turns generated workload
+// transactions into simulated processes that register with a locking
+// protocol, acquire locks operation by operation, consume CPU and I/O,
+// and commit — or are aborted the instant their hard deadline expires,
+// wherever they are (waiting for a lock, on the CPU, in I/O). Aborted
+// transactions release their locks and disappear from the system, per
+// the paper's hard-transaction model.
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"rtlock/internal/buffer"
+	"rtlock/internal/check"
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/sim"
+	"rtlock/internal/stats"
+	"rtlock/internal/wal"
+	"rtlock/internal/workload"
+)
+
+// ErrDeadlineMissed aborts a transaction whose deadline expired.
+var ErrDeadlineMissed = errors.New("txn: deadline missed")
+
+// Config parameterizes a single-site system.
+type Config struct {
+	// CPUPerObj is the CPU service demand per object accessed.
+	CPUPerObj sim.Duration
+	// IOPerObj is the I/O time per object accessed. I/O is modeled as
+	// a pure delay ("parallel I/O processing" per §3.3); zero gives the
+	// memory-resident database of the distributed experiments.
+	IOPerObj sim.Duration
+	// CPUDiscipline selects the processor scheduler; protocol L runs
+	// FIFO, protocols P and C run preemptive priority.
+	CPUDiscipline sim.Discipline
+	// NewManager constructs the concurrency-control protocol under
+	// test.
+	NewManager func(*sim.Kernel) core.Manager
+	// RecordHistory, when true, keeps the full access history for the
+	// serializability checker (tests); large runs leave it off.
+	RecordHistory bool
+	// RestartDelay spaces restart attempts of abort-based protocols
+	// (High-Priority wounding, timestamp ordering, deadlock
+	// detection). Zero retries immediately.
+	RestartDelay sim.Duration
+	// Trace, when non-nil, receives per-transaction events (arrival,
+	// lock request/grant with blocked interval, operation completion,
+	// commit, deadline miss, restarts) — the paper's performance
+	// monitor log.
+	Trace *stats.Trace
+	// BufferPages sizes the LRU object buffer: accesses that hit skip
+	// the I/O delay. Zero disables buffering (every access pays I/O),
+	// which is the calibrated experiments' behavior.
+	BufferPages int
+	// IODisks bounds I/O parallelism: misses queue FIFO for one of
+	// this many disks. Zero keeps the paper's parallel-I/O assumption
+	// (unbounded).
+	IODisks int
+	// LockOverhead is the CPU cost of each lock operation (the
+	// protocol bookkeeping the paper's environment executes in the
+	// resource manager). Zero models free lock management.
+	LockOverhead sim.Duration
+	// WAL enables the redo-only write-ahead log: every update
+	// transaction forces a commit record (costing LogWritePerObj of
+	// CPU per written object) before its writes become visible, and a
+	// checkpointer snapshots the committed state every CheckpointEvery
+	// (costing CheckpointPerObj per stored object at top priority).
+	WAL bool
+	// CheckpointEvery spaces checkpoints (zero disables the
+	// checkpointer; the redo tail then grows unboundedly).
+	CheckpointEvery sim.Duration
+	// LogWritePerObj is the commit-record force cost per written
+	// object (default 1ms when WAL is on).
+	LogWritePerObj sim.Duration
+	// CheckpointPerObj is the snapshot cost per stored object (default
+	// 0.1ms when WAL is on).
+	CheckpointPerObj sim.Duration
+}
+
+// System is a single-site real-time database system instance: one
+// processor, one lock manager, one store, and a performance monitor.
+type System struct {
+	K       *sim.Kernel
+	CPU     *sim.CPU
+	Mgr     core.Manager
+	Store   *db.Store
+	Monitor *stats.Monitor
+	History *check.History
+	Buffer  *buffer.Pool
+	IO      *sim.Station
+	Log     *wal.Log
+
+	cfg       Config
+	remaining int
+}
+
+// NewSystem assembles a system from the configuration.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.NewManager == nil {
+		return nil, errors.New("txn: Config.NewManager is required")
+	}
+	if cfg.CPUPerObj <= 0 {
+		return nil, fmt.Errorf("txn: CPUPerObj must be positive, got %d", cfg.CPUPerObj)
+	}
+	if cfg.CPUDiscipline == 0 {
+		cfg.CPUDiscipline = sim.PreemptivePriority
+	}
+	k := sim.NewKernel()
+	s := &System{
+		K:       k,
+		CPU:     sim.NewCPU(k, cfg.CPUDiscipline),
+		Mgr:     cfg.NewManager(k),
+		Store:   db.NewStore(0),
+		Monitor: stats.NewMonitor(),
+		Buffer:  buffer.New(cfg.BufferPages),
+		IO:      sim.NewStation(k, cfg.IODisks),
+		cfg:     cfg,
+	}
+	if cfg.RecordHistory {
+		s.History = check.NewHistory()
+	}
+	if cfg.WAL {
+		if s.cfg.LogWritePerObj <= 0 {
+			s.cfg.LogWritePerObj = sim.Millisecond
+		}
+		if s.cfg.CheckpointPerObj <= 0 {
+			s.cfg.CheckpointPerObj = sim.Millisecond / 10
+		}
+		s.Log = wal.NewLog()
+	}
+	return s, nil
+}
+
+// Load schedules the transactions' arrivals and, with a write-ahead log
+// configured, the checkpointer.
+func (s *System) Load(txs []*workload.Txn) {
+	s.remaining += len(txs)
+	for _, t := range txs {
+		t := t
+		s.K.At(t.Arrival, func() {
+			s.K.Spawn(fmt.Sprintf("tx%d", t.ID), func(p *sim.Proc) {
+				s.exec(p, t)
+				s.remaining--
+			})
+		})
+	}
+	if s.Log != nil && s.cfg.CheckpointEvery > 0 {
+		s.K.Spawn("checkpointer", s.checkpointer)
+	}
+}
+
+// checkpointer periodically snapshots the committed state into the log,
+// consuming CPU at top priority (the snapshot stalls lower-priority
+// work, which is the cost side of the recovery trade-off). It exits once
+// no transactions remain so the simulation can drain.
+func (s *System) checkpointer(p *sim.Proc) {
+	for {
+		if err := p.Sleep(s.cfg.CheckpointEvery); err != nil {
+			return
+		}
+		if s.remaining == 0 {
+			return
+		}
+		state := s.Store.State()
+		cost := sim.Duration(len(state)) * s.cfg.CheckpointPerObj
+		if err := s.CPU.Use(p, sim.MaxPriority, cost); err != nil {
+			return
+		}
+		s.Log.Checkpoint(p.Now(), s.Store.State())
+	}
+}
+
+// Run drives the simulation to completion and returns the summary.
+func (s *System) Run() stats.Summary {
+	s.K.Run()
+	sum := s.Monitor.Summarize()
+	if h := s.Monitor.Horizon(); h > 0 {
+		horizon := sim.Duration(h).Seconds()
+		sum.CPUUtil = s.CPU.Busy().Seconds() / horizon
+		servers := s.IO.Servers()
+		if servers == 0 {
+			servers = 1 // unbounded I/O: report offered load per notional disk
+		}
+		sum.IOUtil = s.IO.Busy().Seconds() / (horizon * float64(servers))
+	}
+	return sum
+}
+
+// exec runs one transaction to commit or deadline abort, restarting
+// attempts that abort-based protocols reject.
+func (s *System) exec(p *sim.Proc, t *workload.Txn) {
+	rec := stats.TxRecord{
+		ID:       t.ID,
+		Site:     0,
+		Size:     t.Size(),
+		ReadOnly: t.Kind == workload.ReadOnly,
+		Arrival:  p.Now(),
+		Start:    p.Now(),
+		Deadline: t.Deadline,
+	}
+	deadlineEv := s.K.At(t.Deadline, func() { p.Interrupt(ErrDeadlineMissed) })
+	s.cfg.Trace.Log(p.Now(), t.ID, stats.EvArrive, -1,
+		fmt.Sprintf("size=%d deadline=%.1fms", t.Size(), sim.Duration(t.Deadline).Millis()))
+
+	var err error
+	var lastAttempt *core.TxState
+	var attempt []attemptOp
+	for {
+		st := core.NewTxState(t.ID, t.Priority(), p)
+		st.ReadSet = t.ReadSet()
+		st.WriteSet = t.WriteSet()
+		st.Estimate = sim.Duration(t.Size()) * (s.cfg.CPUPerObj + s.cfg.IOPerObj)
+		st.OnPrioChange = func(pr sim.Priority) { s.CPU.Reprioritize(p, pr) }
+		lastAttempt = st
+		attempt = attempt[:0]
+
+		s.Mgr.Register(st)
+		err = s.body(p, st, t, &attempt)
+		if err == nil && s.Log != nil && len(st.WriteSet) > 0 {
+			// Write-ahead: force the commit record while still
+			// holding the write locks, before the writes become
+			// visible. An interruption here (deadline, wound)
+			// aborts the attempt with no record and no visible
+			// writes.
+			force := sim.Duration(len(st.WriteSet)) * s.cfg.LogWritePerObj
+			if err = s.CPU.Use(p, st.Eff(), force); err == nil {
+				images := make([]wal.WriteImage, 0, len(st.WriteSet))
+				for _, obj := range st.WriteSet {
+					images = append(images, wal.WriteImage{Obj: obj, Value: t.ID})
+				}
+				s.Log.AppendCommit(t.ID, p.Now(), images)
+			}
+		}
+		s.Mgr.ReleaseAll(st)
+		s.Mgr.Unregister(st)
+		rec.Blocked += st.BlockedTime
+		rec.BlockedCount += st.BlockedCount
+
+		if !errors.Is(err, core.ErrRestart) {
+			break
+		}
+		rec.Restarts++
+		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvRestart, -1, "")
+		if s.cfg.RestartDelay > 0 {
+			if err = p.Sleep(s.cfg.RestartDelay); err != nil {
+				break
+			}
+		}
+	}
+	deadlineEv.Cancel()
+
+	if errors.Is(err, sim.ErrShutdown) {
+		return // simulation torn down; nothing to record
+	}
+	rec.Finish = p.Now()
+	switch {
+	case err == nil:
+		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvCommit, -1, "")
+		rec.Outcome = stats.Committed
+		for _, obj := range lastAttempt.WriteSet {
+			s.Store.Write(obj, t.ID, p.Now())
+		}
+		if s.History != nil {
+			// Only the committed attempt's accesses enter the
+			// history; aborted attempts were undone.
+			for _, op := range attempt {
+				s.History.Record(t.ID, op.obj, op.mode, op.at)
+			}
+			s.History.Commit(t.ID)
+		}
+	case errors.Is(err, ErrDeadlineMissed):
+		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvDeadlineMiss, -1, "")
+		rec.Outcome = stats.DeadlineMissed
+	default:
+		// Unexpected protocol error: surface it as a miss but keep
+		// the record so it is visible in reports.
+		rec.Outcome = stats.DeadlineMissed
+	}
+	s.Monitor.Add(rec)
+}
+
+// attemptOp is one access of the current attempt, buffered for the
+// history so that only committed attempts are checked.
+type attemptOp struct {
+	obj  core.ObjectID
+	mode core.Mode
+	at   sim.Time
+}
+
+// body performs the access sequence: lock (or timestamp validation),
+// then CPU, then I/O per object. A pending wound that missed its
+// interrupt window is honored at the next step boundary.
+func (s *System) body(p *sim.Proc, st *core.TxState, t *workload.Txn, attempt *[]attemptOp) error {
+	for _, op := range t.Ops {
+		if w := st.Wounded(); w != nil {
+			return w
+		}
+		requested := p.Now()
+		s.cfg.Trace.Log(requested, t.ID, stats.EvLockRequest, int32(op.Obj), op.Mode.String())
+		if s.cfg.LockOverhead > 0 {
+			if err := s.CPU.Use(p, st.Eff(), s.cfg.LockOverhead); err != nil {
+				return err
+			}
+		}
+		if err := s.Mgr.Acquire(p, st, op.Obj, op.Mode); err != nil {
+			return err
+		}
+		note := op.Mode.String()
+		if wait := p.Now().Sub(requested); wait > 0 {
+			note = fmt.Sprintf("%s blocked %.1fms", note, wait.Millis())
+		}
+		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvLockGrant, int32(op.Obj), note)
+		if s.History != nil {
+			*attempt = append(*attempt, attemptOp{obj: op.Obj, mode: op.Mode, at: p.Now()})
+		}
+		if err := s.CPU.Use(p, st.Eff(), s.cfg.CPUPerObj); err != nil {
+			return err
+		}
+		if s.cfg.IOPerObj > 0 && !s.Buffer.Access(op.Obj) {
+			if err := s.IO.Serve(p, s.cfg.IOPerObj); err != nil {
+				return err
+			}
+		}
+		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvOpDone, int32(op.Obj), "")
+	}
+	if w := st.Wounded(); w != nil {
+		return w
+	}
+	return nil
+}

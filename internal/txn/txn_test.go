@@ -1,0 +1,228 @@
+package txn
+
+import (
+	"testing"
+
+	"rtlock/internal/core"
+	"rtlock/internal/sim"
+	"rtlock/internal/stats"
+	"rtlock/internal/workload"
+)
+
+func newPCPSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(Config{
+		CPUPerObj:     10 * sim.Millisecond,
+		IOPerObj:      0,
+		CPUDiscipline: sim.PreemptivePriority,
+		NewManager:    func(k *sim.Kernel) core.Manager { return core.NewCeiling(k) },
+		RecordHistory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mkTxn(id int64, arrival, deadline sim.Time, objs []core.ObjectID, mode core.Mode) *workload.Txn {
+	t := &workload.Txn{ID: id, Kind: workload.Update, Arrival: arrival, Deadline: deadline}
+	if mode == core.Read {
+		t.Kind = workload.ReadOnly
+	}
+	for _, o := range objs {
+		t.Ops = append(t.Ops, workload.Op{Obj: o, Mode: mode})
+	}
+	return t
+}
+
+func TestSystemConfigValidation(t *testing.T) {
+	if _, err := NewSystem(Config{CPUPerObj: 1}); err == nil {
+		t.Fatal("missing NewManager accepted")
+	}
+	if _, err := NewSystem(Config{NewManager: func(k *sim.Kernel) core.Manager { return core.NewCeiling(k) }}); err == nil {
+		t.Fatal("zero CPUPerObj accepted")
+	}
+}
+
+func TestCommitWithinDeadline(t *testing.T) {
+	s := newPCPSystem(t)
+	tx := mkTxn(1, 0, sim.Time(sim.Second), []core.ObjectID{1, 2, 3}, core.Write)
+	s.Load([]*workload.Txn{tx})
+	sum := s.Run()
+	if sum.Committed != 1 || sum.Missed != 0 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	// 3 objects × 10ms CPU.
+	rec := s.Monitor.Records()[0]
+	if rec.Finish != sim.Time(30*sim.Millisecond) {
+		t.Fatalf("finish = %v, want 30ms", rec.Finish)
+	}
+	// Committed writes reach the store.
+	if v := s.Store.Read(2); v.Seq != 1 || v.Value != 1 {
+		t.Fatalf("store version %+v", v)
+	}
+}
+
+func TestDeadlineAbortReleasesLocksAndDisappears(t *testing.T) {
+	s := newPCPSystem(t)
+	// tx1 needs 50ms of CPU but has a 25ms deadline.
+	doomed := mkTxn(1, 0, sim.Time(25*sim.Millisecond), []core.ObjectID{1, 2, 3, 4, 5}, core.Write)
+	// tx2 wants the same first object afterwards and must get it.
+	after := mkTxn(2, sim.Time(40*sim.Millisecond), sim.Time(sim.Second), []core.ObjectID{1}, core.Write)
+	s.Load([]*workload.Txn{doomed, after})
+	sum := s.Run()
+	if sum.Missed != 1 || sum.Committed != 1 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	recs := s.Monitor.Records()
+	if recs[0].Outcome != stats.DeadlineMissed || recs[0].Finish != sim.Time(25*sim.Millisecond) {
+		t.Fatalf("doomed record: %+v", recs[0])
+	}
+	// Aborted writes never reach the store.
+	if v := s.Store.Read(1); v.Seq != 1 || v.Value != 2 {
+		t.Fatalf("store should hold only tx2's write, got %+v", v)
+	}
+}
+
+func TestDeadlineAbortWhileBlocked(t *testing.T) {
+	s := newPCPSystem(t)
+	holder := mkTxn(1, 0, sim.Time(sim.Second), []core.ObjectID{1}, core.Write)
+	// Needs obj 1 but will be blocked past its deadline. Note holder
+	// has the earlier... later deadline; make waiter arrive during
+	// holder's CPU burst with a deadline that expires mid-wait.
+	waiter := mkTxn(2, sim.Time(2*sim.Millisecond), sim.Time(6*sim.Millisecond), []core.ObjectID{1}, core.Write)
+	s.Load([]*workload.Txn{holder, waiter})
+	sum := s.Run()
+	if sum.Missed != 1 || sum.Committed != 1 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	rec := s.Monitor.Records()[1]
+	if rec.Outcome != stats.DeadlineMissed {
+		t.Fatalf("waiter outcome %v", rec.Outcome)
+	}
+	if rec.Finish != sim.Time(6*sim.Millisecond) {
+		t.Fatalf("aborted at %v, want exactly its 6ms deadline", rec.Finish)
+	}
+	if rec.Blocked == 0 {
+		t.Fatal("blocked interval not recorded")
+	}
+}
+
+func TestHistorySerializable(t *testing.T) {
+	s := newPCPSystem(t)
+	var txs []*workload.Txn
+	for i := int64(1); i <= 20; i++ {
+		objs := []core.ObjectID{core.ObjectID(i % 5), core.ObjectID((i + 1) % 5), core.ObjectID((i + 2) % 5)}
+		txs = append(txs, mkTxn(i, sim.Time(i)*sim.Time(5*sim.Millisecond), sim.Time(10*sim.Second), objs, core.Write))
+	}
+	s.Load(txs)
+	sum := s.Run()
+	if sum.Committed != 20 {
+		t.Fatalf("committed %d/20", sum.Committed)
+	}
+	if !s.History.ConflictSerializable() {
+		t.Fatal("PCP produced a non-serializable committed history")
+	}
+}
+
+func TestPreemptionByPriority(t *testing.T) {
+	s := newPCPSystem(t)
+	// Long low-priority transaction on disjoint objects; short urgent
+	// one arrives mid-run and must preempt on the CPU.
+	long := mkTxn(1, 0, sim.Time(10*sim.Second), []core.ObjectID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, core.Write)
+	urgent := mkTxn(2, sim.Time(15*sim.Millisecond), sim.Time(60*sim.Millisecond), []core.ObjectID{50}, core.Write)
+	s.Load([]*workload.Txn{long, urgent})
+	sum := s.Run()
+	if sum.Missed != 0 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	rec := s.Monitor.Records()[1]
+	// Urgent preempts at 15ms and runs its single 10ms burst.
+	if rec.Finish != sim.Time(25*sim.Millisecond) {
+		t.Fatalf("urgent finished at %v, want 25ms (preempts)", rec.Finish)
+	}
+}
+
+func TestFIFODisciplineNoPreemption(t *testing.T) {
+	s, err := NewSystem(Config{
+		CPUPerObj:     10 * sim.Millisecond,
+		CPUDiscipline: sim.FIFO,
+		NewManager:    func(k *sim.Kernel) core.Manager { return core.NewTwoPL(k) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := mkTxn(1, 0, sim.Time(10*sim.Second), []core.ObjectID{1, 2, 3, 4, 5}, core.Write)
+	urgent := mkTxn(2, sim.Time(5*sim.Millisecond), sim.Time(10*sim.Second), []core.ObjectID{50}, core.Write)
+	s.Load([]*workload.Txn{long, urgent})
+	s.Run()
+	rec := s.Monitor.Records()[1]
+	// Under FIFO the urgent transaction waits for long's current...
+	// every burst: long queues its next burst only after urgent's?
+	// FIFO per burst: long's first burst ends at 10ms, urgent's burst
+	// runs 10–20ms.
+	if rec.Finish != sim.Time(20*sim.Millisecond) {
+		t.Fatalf("urgent finished at %v, want 20ms (no preemption)", rec.Finish)
+	}
+}
+
+func TestIOPerObjAddsDelay(t *testing.T) {
+	s, err := NewSystem(Config{
+		CPUPerObj:  10 * sim.Millisecond,
+		IOPerObj:   20 * sim.Millisecond,
+		NewManager: func(k *sim.Kernel) core.Manager { return core.NewCeiling(k) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := mkTxn(1, 0, sim.Time(sim.Second), []core.ObjectID{1, 2}, core.Write)
+	s.Load([]*workload.Txn{tx})
+	s.Run()
+	rec := s.Monitor.Records()[0]
+	if rec.Finish != sim.Time(60*sim.Millisecond) {
+		t.Fatalf("finish = %v, want 60ms (2 × (10 CPU + 20 I/O))", rec.Finish)
+	}
+}
+
+func TestBufferSkipsIO(t *testing.T) {
+	s, err := NewSystem(Config{
+		CPUPerObj:   10 * sim.Millisecond,
+		IOPerObj:    20 * sim.Millisecond,
+		BufferPages: 8,
+		NewManager:  func(k *sim.Kernel) core.Manager { return core.NewCeiling(k) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sequential transactions touching the same two objects: the
+	// first pays I/O (misses), the second hits the buffer and pays
+	// only CPU.
+	first := mkTxn(1, 0, sim.Time(sim.Second), []core.ObjectID{1, 2}, core.Write)
+	second := mkTxn(2, sim.Time(100*sim.Millisecond), sim.Time(2*sim.Second), []core.ObjectID{1, 2}, core.Write)
+	s.Load([]*workload.Txn{first, second})
+	s.Run()
+	recs := s.Monitor.Records()
+	if d := recs[0].Finish.Sub(recs[0].Arrival); d != 60*sim.Millisecond {
+		t.Fatalf("first transaction took %v, want 60ms (2×(CPU+I/O))", d)
+	}
+	if d := recs[1].Finish.Sub(recs[1].Arrival); d != 20*sim.Millisecond {
+		t.Fatalf("second transaction took %v, want 20ms (buffer hits skip I/O)", d)
+	}
+	if s.Buffer.Hits != 2 || s.Buffer.Misses != 2 {
+		t.Fatalf("buffer hits=%d misses=%d, want 2/2", s.Buffer.Hits, s.Buffer.Misses)
+	}
+}
+
+func TestThroughputNormalization(t *testing.T) {
+	s := newPCPSystem(t)
+	txs := []*workload.Txn{
+		mkTxn(1, 0, sim.Time(sim.Second), []core.ObjectID{1, 2, 3, 4}, core.Write),
+		mkTxn(2, sim.Time(sim.Second)-1, sim.Time(2*sim.Second), []core.ObjectID{5, 6, 7, 8}, core.Write),
+	}
+	s.Load(txs)
+	sum := s.Run()
+	// 8 objects over the horizon (last finish ≈ 1.04s).
+	if sum.Throughput < 7 || sum.Throughput > 9 {
+		t.Fatalf("throughput = %v, want ≈ 8 obj/s", sum.Throughput)
+	}
+}

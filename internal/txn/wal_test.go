@@ -1,0 +1,184 @@
+package txn
+
+import (
+	"testing"
+
+	"rtlock/internal/core"
+	"rtlock/internal/sim"
+	"rtlock/internal/workload"
+)
+
+func newWALSystem(t *testing.T, checkpointEvery sim.Duration) *System {
+	t.Helper()
+	s, err := NewSystem(Config{
+		CPUPerObj:       10 * sim.Millisecond,
+		NewManager:      func(k *sim.Kernel) core.Manager { return core.NewCeiling(k) },
+		WAL:             true,
+		CheckpointEvery: checkpointEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWALRecoverEqualsStore(t *testing.T) {
+	s := newWALSystem(t, 0)
+	var txs []*workload.Txn
+	for i := int64(1); i <= 30; i++ {
+		objs := []core.ObjectID{core.ObjectID(i % 7), core.ObjectID((i + 3) % 7)}
+		txs = append(txs, mkTxn(i, sim.Time(i)*sim.Time(20*sim.Millisecond), sim.Time(10*sim.Second), objs, core.Write))
+	}
+	s.Load(txs)
+	sum := s.Run()
+	if sum.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	recovered := s.Log.Recover()
+	store := s.Store.State()
+	if len(recovered) != len(store) {
+		t.Fatalf("recovered %d objects, store has %d", len(recovered), len(store))
+	}
+	for obj, v := range store {
+		if recovered[obj] != v {
+			t.Fatalf("object %d: recovered %d, store %d", obj, recovered[obj], v)
+		}
+	}
+}
+
+func TestWALCrashMidRunRecoversCommittedState(t *testing.T) {
+	s := newWALSystem(t, 0)
+	var txs []*workload.Txn
+	for i := int64(1); i <= 30; i++ {
+		objs := []core.ObjectID{core.ObjectID(i % 7)}
+		txs = append(txs, mkTxn(i, sim.Time(i)*sim.Time(20*sim.Millisecond), sim.Time(10*sim.Second), objs, core.Write))
+	}
+	s.Load(txs)
+	// Crash mid-run: in-flight transactions never wrote the store
+	// (deferred updates), so the store holds exactly the committed
+	// state, and the log must recover it.
+	s.K.RunUntil(sim.Time(300 * sim.Millisecond))
+	recovered := s.Log.Recover()
+	store := s.Store.State()
+	if len(store) == 0 {
+		t.Fatal("nothing committed before the crash point")
+	}
+	for obj, v := range store {
+		if recovered[obj] != v {
+			t.Fatalf("object %d: recovered %d, want committed %d", obj, recovered[obj], v)
+		}
+	}
+	if len(recovered) != len(store) {
+		t.Fatalf("recovered %d objects, store %d", len(recovered), len(store))
+	}
+	if err := s.K.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALCheckpointerBoundsRedoTail(t *testing.T) {
+	run := func(every sim.Duration) int {
+		s := newWALSystem(t, every)
+		var txs []*workload.Txn
+		for i := int64(1); i <= 50; i++ {
+			objs := []core.ObjectID{core.ObjectID(i % 9)}
+			txs = append(txs, mkTxn(i, sim.Time(i)*sim.Time(20*sim.Millisecond), sim.Time(10*sim.Second), objs, core.Write))
+		}
+		s.Load(txs)
+		s.Run()
+		if s.Log.Records() == 0 {
+			t.Fatal("no commit records written")
+		}
+		return s.Log.RedoLength()
+	}
+	unbounded := run(0)
+	bounded := run(100 * sim.Millisecond)
+	if bounded >= unbounded {
+		t.Fatalf("checkpointing did not shrink the redo tail: %d vs %d", bounded, unbounded)
+	}
+	if unbounded != 50 {
+		t.Fatalf("without checkpoints the tail should hold all 50 commits, got %d", unbounded)
+	}
+}
+
+func TestWALForceCostDelaysCommit(t *testing.T) {
+	s := newWALSystem(t, 0)
+	// 2 writes: 20ms CPU + 2ms log force.
+	tx := mkTxn(1, 0, sim.Time(sim.Second), []core.ObjectID{1, 2}, core.Write)
+	s.Load([]*workload.Txn{tx})
+	s.Run()
+	rec := s.Monitor.Records()[0]
+	if rec.Finish != sim.Time(22*sim.Millisecond) {
+		t.Fatalf("finish = %v, want 22ms (CPU + log force)", rec.Finish)
+	}
+}
+
+func TestWALDeadlineDuringForceAborts(t *testing.T) {
+	s := newWALSystem(t, 0)
+	// CPU needs 20ms, force 2ms; deadline at 21ms lands mid-force.
+	tx := mkTxn(1, 0, sim.Time(21*sim.Millisecond), []core.ObjectID{1, 2}, core.Write)
+	s.Load([]*workload.Txn{tx})
+	sum := s.Run()
+	if sum.Missed != 1 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	if s.Log.Records() != 0 {
+		t.Fatal("aborted transaction left a commit record")
+	}
+	if len(s.Store.State()) != 0 {
+		t.Fatal("aborted transaction's writes visible")
+	}
+}
+
+func TestWALWoundDuringForceRestartsCleanly(t *testing.T) {
+	// Under High-Priority wounding with the WAL on, a victim wounded
+	// while forcing its commit record must leave no record and no
+	// visible writes, restart, and commit exactly once.
+	s, err := NewSystem(Config{
+		CPUPerObj:  10 * sim.Millisecond,
+		NewManager: func(k *sim.Kernel) core.Manager { return core.NewTwoPLHP(k) },
+		WAL:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Victim: 2 writes → CPU done at 20ms, force runs 20–22ms. The
+	// wounder arrives at 21ms, conflicts on object 1, and has higher
+	// priority → wound lands mid-force.
+	victim := mkTxn(2, 0, sim.Time(2*sim.Second), []core.ObjectID{1, 2}, core.Write)
+	wounder := mkTxn(1, sim.Time(21*sim.Millisecond), sim.Time(200*sim.Millisecond), []core.ObjectID{1}, core.Write)
+	s.Load([]*workload.Txn{victim, wounder})
+	sum := s.Run()
+	if sum.Committed != 2 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	if s.Monitor.Restarts() != 1 {
+		t.Fatalf("restarts = %d, want 1", s.Monitor.Restarts())
+	}
+	// Exactly two commit records (one per transaction, none from the
+	// aborted attempt), and recovery equals the store.
+	if s.Log.Records() != 2 {
+		t.Fatalf("log records = %d, want 2", s.Log.Records())
+	}
+	recovered := s.Log.Recover()
+	for obj, v := range s.Store.State() {
+		if recovered[obj] != v {
+			t.Fatalf("object %d: recovered %d, store %d", obj, recovered[obj], v)
+		}
+	}
+	// The victim redid its work, so object 2's final value is the
+	// victim's id; object 1 belongs to whoever committed last.
+	if recovered[2] != 2 {
+		t.Fatalf("object 2 = %d, want victim's write", recovered[2])
+	}
+}
+
+func TestWALReadOnlyWritesNoRecord(t *testing.T) {
+	s := newWALSystem(t, 0)
+	tx := mkTxn(1, 0, sim.Time(sim.Second), []core.ObjectID{1, 2}, core.Read)
+	s.Load([]*workload.Txn{tx})
+	s.Run()
+	if s.Log.Records() != 0 {
+		t.Fatalf("read-only transaction logged %d records", s.Log.Records())
+	}
+}

@@ -1,0 +1,363 @@
+// Package workload generates transaction loads per the paper's model:
+// transactions enter the system with exponentially distributed
+// interarrival times; the data objects accessed are chosen uniformly
+// from the database; the total processing time is directly related to
+// the number of objects accessed; each deadline is set in proportion to
+// the transaction's size and the system workload; and the transaction
+// with the earliest deadline is assigned the highest priority.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/sim"
+)
+
+// Kind distinguishes the paper's transaction types.
+type Kind int
+
+// Transaction kinds.
+const (
+	// Update transactions write every object they access (the
+	// tracking-update model of §4: a station updates its view).
+	Update Kind = iota + 1
+	// ReadOnly transactions only read.
+	ReadOnly
+)
+
+// PriorityPolicy selects how transaction priorities are assigned. The
+// paper's experiments assign the highest priority to the earliest
+// deadline; the environment lets the experimenter choose, so the
+// alternatives studied by contemporaneous work ([Abb88]) are available
+// as ablations.
+type PriorityPolicy int
+
+// Priority assignment policies.
+const (
+	// PriorityEDF: earliest deadline first (the paper's choice).
+	PriorityEDF PriorityPolicy = iota + 1
+	// PriorityFCFS: earliest arrival first.
+	PriorityFCFS
+	// PriorityRandom: arbitrary fixed order, the no-information
+	// baseline.
+	PriorityRandom
+	// PrioritySlack: least slack (deadline minus estimated execution
+	// time) first.
+	PrioritySlack
+)
+
+// Txn is one generated transaction: its timing constraints, home site,
+// and declared access sets. The runtime in internal/txn executes it.
+type Txn struct {
+	ID       int64
+	Kind     Kind
+	Periodic bool
+	Arrival  sim.Time
+	Deadline sim.Time
+	Home     db.SiteID
+	// Ops is the access sequence; under strict two-phase locking each
+	// object appears once.
+	Ops []Op
+	// Prio, when non-zero, overrides the default earliest-deadline
+	// priority (set by non-EDF policies or by hand-crafted loads).
+	Prio sim.Priority
+}
+
+// Op is one access in a transaction's sequence.
+type Op struct {
+	Obj  core.ObjectID
+	Mode core.Mode
+}
+
+// Size returns the number of objects the transaction accesses.
+func (t *Txn) Size() int { return len(t.Ops) }
+
+// Priority returns the transaction's fixed priority: the explicit Prio
+// if one was assigned, otherwise earliest-deadline-highest.
+func (t *Txn) Priority() sim.Priority {
+	if t.Prio != (sim.Priority{}) {
+		return t.Prio
+	}
+	return sim.Priority{Deadline: int64(t.Deadline), TxID: t.ID}
+}
+
+// ReadSet returns the objects read, ascending.
+func (t *Txn) ReadSet() []core.ObjectID { return t.set(core.Read) }
+
+// WriteSet returns the objects written, ascending.
+func (t *Txn) WriteSet() []core.ObjectID { return t.set(core.Write) }
+
+func (t *Txn) set(mode core.Mode) []core.ObjectID {
+	var objs []core.ObjectID
+	for _, op := range t.Ops {
+		if op.Mode == mode {
+			objs = append(objs, op.Obj)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	return objs
+}
+
+// Params configures generation.
+type Params struct {
+	// Seed drives the deterministic random stream; experiments vary it
+	// per run and average, as the paper averages over 10 runs.
+	Seed int64
+	// Catalog lays out the database.
+	Catalog *db.Catalog
+	// Count is the number of transactions to generate.
+	Count int
+	// MeanInterarrival is the mean of the exponential interarrival
+	// distribution.
+	MeanInterarrival sim.Duration
+	// MeanSize is the average number of objects accessed. Individual
+	// sizes are uniform on [MeanSize/2, 3*MeanSize/2] (clamped to at
+	// least 1 and at most the database size).
+	MeanSize int
+	// ReadOnlyFrac is the fraction of read-only transactions; the rest
+	// are updates. The paper's single-site experiments use updates
+	// (ReadOnlyFrac 0); the distributed experiments sweep the mix.
+	ReadOnlyFrac float64
+	// PerObjCost is the estimated processing cost per object used in
+	// the deadline formula (CPU plus I/O for a disk-resident database).
+	PerObjCost sim.Duration
+	// SlackMin and SlackMax bound the uniform slack factor: deadline =
+	// arrival + slack × size × PerObjCost. Tighter slack means harder
+	// deadlines.
+	SlackMin, SlackMax float64
+	// LocalWriteSets, when true, draws each update transaction's
+	// objects from a single site's primary partition and homes the
+	// transaction there (the local-ceiling approach's restriction 2:
+	// objects to be updated must be primary copies at the updating
+	// transaction's site). Read-only transactions are assigned to a
+	// uniformly random site either way.
+	LocalWriteSets bool
+	// PeriodicFrac is the fraction of update transactions generated as
+	// periodic task instances (the tracking model's repetitive scans);
+	// they re-use one access set per stream and arrive on a fixed
+	// period with the same size and deadline slack.
+	PeriodicFrac float64
+	// Period is the period of periodic streams (defaults to
+	// 10×MeanInterarrival when zero).
+	Period sim.Duration
+	// ImplicitDeadlines gives periodic instances the classic implicit
+	// deadline — the start of the next period — instead of the
+	// size-proportional one.
+	ImplicitDeadlines bool
+	// Policy assigns priorities (default PriorityEDF).
+	Policy PriorityPolicy
+	// HotspotFrac and HotspotProb skew object selection: with
+	// probability HotspotProb an access lands uniformly inside the
+	// first HotspotFrac of the database (per partition under
+	// LocalWriteSets). Both zero keeps the paper's uniform choice.
+	HotspotFrac float64
+	// HotspotProb is the probability an access targets the hotspot.
+	HotspotProb float64
+}
+
+func (p Params) validate() error {
+	if p.Catalog == nil {
+		return fmt.Errorf("workload: nil catalog")
+	}
+	if p.Count <= 0 {
+		return fmt.Errorf("workload: count must be positive, got %d", p.Count)
+	}
+	if p.MeanInterarrival <= 0 {
+		return fmt.Errorf("workload: mean interarrival must be positive")
+	}
+	if p.MeanSize < 1 {
+		return fmt.Errorf("workload: mean size must be >= 1, got %d", p.MeanSize)
+	}
+	if p.ReadOnlyFrac < 0 || p.ReadOnlyFrac > 1 {
+		return fmt.Errorf("workload: read-only fraction %v out of [0,1]", p.ReadOnlyFrac)
+	}
+	if p.SlackMin <= 0 || p.SlackMax < p.SlackMin {
+		return fmt.Errorf("workload: slack bounds (%v,%v) invalid", p.SlackMin, p.SlackMax)
+	}
+	if p.PerObjCost <= 0 {
+		return fmt.Errorf("workload: per-object cost must be positive")
+	}
+	if p.HotspotFrac < 0 || p.HotspotFrac > 1 || p.HotspotProb < 0 || p.HotspotProb > 1 {
+		return fmt.Errorf("workload: hotspot parameters (%v,%v) out of [0,1]", p.HotspotFrac, p.HotspotProb)
+	}
+	return nil
+}
+
+// Generate produces the transaction load, ordered by arrival time.
+func Generate(p Params) ([]*Txn, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	period := p.Period
+	if period <= 0 {
+		period = 10 * p.MeanInterarrival
+	}
+
+	txs := make([]*Txn, 0, p.Count)
+	now := sim.Time(0)
+	var id int64
+
+	// Periodic streams are materialized lazily: each new periodic
+	// instance either continues an existing stream or starts one.
+	type stream struct {
+		home db.SiteID
+		ops  []Op
+		next sim.Time
+	}
+	var streams []*stream
+
+	for len(txs) < p.Count {
+		now = now.Add(expDuration(rng, p.MeanInterarrival))
+		id++
+		kind := Update
+		if rng.Float64() < p.ReadOnlyFrac {
+			kind = ReadOnly
+		}
+		t := &Txn{ID: id, Kind: kind, Arrival: now}
+
+		if kind == Update && p.PeriodicFrac > 0 && rng.Float64() < p.PeriodicFrac {
+			t.Periodic = true
+			var s *stream
+			// Reuse the stream whose next instance is due.
+			for _, cand := range streams {
+				if cand.next <= now {
+					s = cand
+					break
+				}
+			}
+			if s == nil {
+				s = &stream{
+					home: db.SiteID(rng.Intn(p.Catalog.Sites())),
+				}
+				s.ops = pickOps(rng, p, Update, s.home)
+				streams = append(streams, s)
+			}
+			s.next = now.Add(sim.Duration(period))
+			t.Home = s.home
+			t.Ops = append([]Op(nil), s.ops...)
+		} else {
+			t.Home = db.SiteID(rng.Intn(p.Catalog.Sites()))
+			t.Ops = pickOps(rng, p, kind, t.Home)
+		}
+		slack := p.SlackMin + rng.Float64()*(p.SlackMax-p.SlackMin)
+		exec := sim.Duration(float64(t.Size()) * float64(p.PerObjCost) * slack)
+		t.Deadline = t.Arrival.Add(exec)
+		if t.Periodic && p.ImplicitDeadlines {
+			t.Deadline = t.Arrival.Add(period)
+		}
+		switch p.Policy {
+		case PriorityFCFS:
+			t.Prio = sim.Priority{Deadline: int64(t.Arrival), TxID: t.ID}
+		case PriorityRandom:
+			t.Prio = sim.Priority{Deadline: rng.Int63(), TxID: t.ID}
+		case PrioritySlack:
+			est := sim.Duration(t.Size()) * p.PerObjCost
+			t.Prio = sim.Priority{Deadline: int64(t.Deadline.Sub(t.Arrival) - est), TxID: t.ID}
+		}
+		txs = append(txs, t)
+	}
+	return txs, nil
+}
+
+// pickOps draws a transaction's access set: size uniform around the mean,
+// objects uniform without replacement from the whole database (or, for
+// update transactions under LocalWriteSets, from the home site's primary
+// partition), in random request order.
+func pickOps(rng *rand.Rand, p Params, kind Kind, home db.SiteID) []Op {
+	pool := p.Catalog.Objects()
+	var partition []core.ObjectID
+	if kind == Update && p.LocalWriteSets {
+		partition = p.Catalog.ObjectsAt(home)
+		pool = len(partition)
+	}
+	lo := p.MeanSize / 2
+	if lo < 1 {
+		lo = 1
+	}
+	hi := p.MeanSize + p.MeanSize/2
+	if hi < lo {
+		hi = lo
+	}
+	if hi > pool {
+		hi = pool
+	}
+	if lo > hi {
+		lo = hi
+	}
+	size := lo + rng.Intn(hi-lo+1)
+
+	mode := core.Write
+	if kind == ReadOnly {
+		mode = core.Read
+	}
+	picked := pickIndexes(rng, p, pool, size)
+	ops := make([]Op, 0, size)
+	for _, idx := range picked {
+		obj := core.ObjectID(idx)
+		if partition != nil {
+			obj = partition[idx]
+		}
+		ops = append(ops, Op{Obj: obj, Mode: mode})
+	}
+	return ops
+}
+
+// pickIndexes draws size distinct indexes from [0, pool): uniformly, or
+// skewed toward the hotspot prefix when configured.
+func pickIndexes(rng *rand.Rand, p Params, pool, size int) []int {
+	if p.HotspotProb <= 0 || p.HotspotFrac <= 0 {
+		return rng.Perm(pool)[:size]
+	}
+	hot := int(p.HotspotFrac * float64(pool))
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= pool {
+		return rng.Perm(pool)[:size]
+	}
+	used := make(map[int]bool, size)
+	out := make([]int, 0, size)
+	hotUsed, coldUsed := 0, 0
+	for len(out) < size {
+		fromHot := rng.Float64() < p.HotspotProb
+		// When one region is exhausted, draw from the other so the
+		// loop always terminates (size never exceeds the pool).
+		if hotUsed == hot {
+			fromHot = false
+		} else if coldUsed == pool-hot {
+			fromHot = true
+		}
+		var idx int
+		if fromHot {
+			idx = rng.Intn(hot)
+		} else {
+			idx = hot + rng.Intn(pool-hot)
+		}
+		if used[idx] {
+			continue
+		}
+		used[idx] = true
+		if fromHot {
+			hotUsed++
+		} else {
+			coldUsed++
+		}
+		out = append(out, idx)
+	}
+	return out
+}
+
+// expDuration draws from an exponential distribution with the given mean.
+func expDuration(rng *rand.Rand, mean sim.Duration) sim.Duration {
+	d := sim.Duration(math.Round(rng.ExpFloat64() * float64(mean)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,591 @@
+// Package rtlock is a simulation library for real-time database locking
+// protocols, reproducing Son & Chang, "Performance Evaluation of
+// Real-Time Locking Protocols using a Distributed Software Prototyping
+// Environment".
+//
+// The library bundles a deterministic process-oriented discrete-event
+// kernel (the StarLite role in the paper's prototyping environment), a
+// real-time transaction runtime with hard deadlines and restarts, nine
+// concurrency-control protocols — the priority ceiling protocol (with
+// read/write or exclusive lock semantics), two-phase locking with and
+// without priority, basic priority inheritance, High-Priority and
+// conditional-restart wounding, waits-for deadlock detection, and basic
+// timestamp ordering — and the two distributed architectures of the
+// paper: a global ceiling manager (with message-based two-phase commit)
+// and local ceiling managers over fully replicated data with
+// asynchronous update propagation, optional multi-version snapshot
+// reads, configurable topologies, and site-failure injection.
+//
+// Quick start:
+//
+//	res, err := rtlock.RunSingleSite(rtlock.SingleSiteConfig{
+//		Protocol: rtlock.Ceiling,
+//		Workload: rtlock.WorkloadConfig{Count: 500, MeanSize: 8},
+//	})
+//	fmt.Println(res.Summary)
+//
+// The experiment harness in ReproduceAll (or per-figure functions)
+// regenerates every table and figure of the paper's evaluation; the
+// rtdbsim command wraps them on the command line.
+package rtlock
+
+import (
+	"fmt"
+
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/dist"
+	"rtlock/internal/experiments"
+	"rtlock/internal/netsim"
+	"rtlock/internal/sim"
+	"rtlock/internal/stats"
+	"rtlock/internal/txn"
+	"rtlock/internal/workload"
+)
+
+// Protocol selects a concurrency-control protocol, using the paper's
+// letters.
+type Protocol = experiments.Protocol
+
+// The protocols of the study.
+const (
+	// Ceiling is the priority ceiling protocol (C in the paper).
+	Ceiling = experiments.ProtoCeiling
+	// CeilingExclusive is the ceiling protocol with exclusive-only
+	// lock semantics (the §5 ablation).
+	CeilingExclusive = experiments.ProtoCeilingX
+	// TwoPLPriority is two-phase locking with priority mode (P).
+	TwoPLPriority = experiments.ProtoTwoPLPrio
+	// TwoPL is two-phase locking without priority mode (L).
+	TwoPL = experiments.ProtoTwoPL
+	// TwoPLInherit is two-phase locking with basic priority
+	// inheritance (§3.1).
+	TwoPLInherit = experiments.ProtoInherit
+	// TwoPLHighPriority is two-phase locking with High-Priority
+	// wounding: conflicting lower-priority holders are aborted and
+	// restarted.
+	TwoPLHighPriority = experiments.ProtoTwoPLHP
+	// TwoPLDetect is two-phase locking with waits-for deadlock
+	// detection; victims restart.
+	TwoPLDetect = experiments.ProtoTwoPLDD
+	// TimestampOrdering is basic timestamp ordering — non-blocking,
+	// abort-based.
+	TimestampOrdering = experiments.ProtoTimestamp
+	// TwoPLConditional is two-phase locking with conditional restart:
+	// wound a lower-priority holder only when the requester's slack
+	// cannot absorb the wait.
+	TwoPLConditional = experiments.ProtoTwoPLCR
+)
+
+// Re-exported workload types, so callers can hand-craft transactions.
+type (
+	// Txn is one transaction: timing constraints, home site, and
+	// access sequence.
+	Txn = workload.Txn
+	// Op is one access in a transaction.
+	Op = workload.Op
+	// Kind distinguishes update from read-only transactions.
+	Kind = workload.Kind
+	// ObjectID names a data object.
+	ObjectID = core.ObjectID
+	// Mode is a lock mode.
+	Mode = core.Mode
+	// SiteID identifies a site.
+	SiteID = db.SiteID
+	// Duration is simulated time; use the Millisecond/Second
+	// constants.
+	Duration = sim.Duration
+	// Time is a simulated instant.
+	Time = sim.Time
+	// Summary is the aggregate result of a run.
+	Summary = stats.Summary
+	// TxRecord is the performance monitor's per-transaction record.
+	TxRecord = stats.TxRecord
+	// Figure is one reproduced table/figure.
+	Figure = experiments.Figure
+	// Outcome classifies how a transaction left the system.
+	Outcome = stats.Outcome
+	// Trace is the performance monitor's event log.
+	Trace = stats.Trace
+	// TraceEvent is one recorded occurrence in a Trace.
+	TraceEvent = stats.Event
+	// Topology is a site interconnect with per-pair delays.
+	Topology = netsim.Topology
+	// ReplicationStats aggregates the local approach's replica
+	// behavior.
+	ReplicationStats = dist.ReplicationStats
+)
+
+// Convenience re-exports.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+
+	Read  = core.Read
+	Write = core.Write
+
+	Update   = workload.Update
+	ReadOnly = workload.ReadOnly
+
+	// Committed and DeadlineMissed are the transaction outcomes.
+	Committed      = stats.Committed
+	DeadlineMissed = stats.DeadlineMissed
+
+	// Trace event kinds.
+	TraceEventArrive       = stats.EvArrive
+	TraceEventLockRequest  = stats.EvLockRequest
+	TraceEventLockGrant    = stats.EvLockGrant
+	TraceEventOpDone       = stats.EvOpDone
+	TraceEventCommit       = stats.EvCommit
+	TraceEventDeadlineMiss = stats.EvDeadlineMiss
+	TraceEventRestart      = stats.EvRestart
+)
+
+// WorkloadConfig describes the generated transaction load, following the
+// paper's model: exponential interarrival, uniform object selection,
+// deadlines proportional to size, earliest-deadline-highest priorities.
+type WorkloadConfig struct {
+	// Seed drives the deterministic random stream (default 1).
+	Seed int64
+	// Count is the number of transactions (default 500).
+	Count int
+	// MeanInterarrival is the mean arrival spacing (default 450ms
+	// single-site, 30ms distributed — the calibrated heavy loads).
+	MeanInterarrival Duration
+	// MeanSize is the mean number of objects accessed (default 10
+	// single-site, 6 distributed).
+	MeanSize int
+	// ReadOnlyFrac is the fraction of read-only transactions
+	// (default 0).
+	ReadOnlyFrac float64
+	// SlackMin and SlackMax bound the uniform deadline slack factor
+	// (defaults 4 and 8).
+	SlackMin, SlackMax float64
+	// PeriodicFrac generates that fraction of update transactions as
+	// periodic task instances (default 0).
+	PeriodicFrac float64
+	// Period is the period of periodic streams (default
+	// 10×MeanInterarrival).
+	Period Duration
+	// ImplicitDeadlines gives periodic instances the start of the next
+	// period as their deadline.
+	ImplicitDeadlines bool
+	// Transactions, when non-nil, bypasses generation entirely and
+	// runs exactly these transactions.
+	Transactions []*Txn
+}
+
+// SingleSiteConfig configures a single-site run (the setting of the
+// paper's Figures 2–3).
+type SingleSiteConfig struct {
+	// Protocol under test (default Ceiling).
+	Protocol Protocol
+	// DBSize is the number of data objects (default 200).
+	DBSize int
+	// CPUPerObj is the CPU demand per object accessed (default 10ms).
+	CPUPerObj Duration
+	// IOPerObj is the I/O delay per object accessed, served in
+	// parallel (default 20ms).
+	IOPerObj Duration
+	// MemoryResident forces IOPerObj to zero, modeling the
+	// memory-resident database of the distributed experiments.
+	MemoryResident bool
+	// Workload describes the load.
+	Workload WorkloadConfig
+	// RecordHistory keeps the access history and reports whether the
+	// committed history was conflict serializable.
+	RecordHistory bool
+	// TraceEvents, when positive, records up to that many
+	// per-transaction events (arrivals, lock requests and grants with
+	// blocked intervals, commits, misses, restarts) into Result.Trace.
+	TraceEvents int
+	// BufferPages sizes the LRU object buffer; accesses that hit skip
+	// the I/O delay. Zero disables buffering.
+	BufferPages int
+	// IODisks bounds I/O parallelism (misses queue FIFO for a disk).
+	// Zero keeps the paper's unbounded parallel-I/O assumption.
+	IODisks int
+	// WAL enables the redo-only write-ahead log: commits force a log
+	// record before their writes become visible, and Result.Recovery
+	// reports the restart cost.
+	WAL bool
+	// CheckpointEvery spaces WAL checkpoints (zero disables the
+	// checkpointer).
+	CheckpointEvery Duration
+}
+
+// DistributedConfig configures a distributed run (the setting of
+// Figures 4–6).
+type DistributedConfig struct {
+	// Global selects the global-ceiling-manager architecture; false
+	// (the default) selects local ceilings with full replication.
+	Global bool
+	// Sites is the number of fully interconnected sites (default 3).
+	Sites int
+	// DBSize is the number of data objects (default 200).
+	DBSize int
+	// CommDelay is the one-way inter-site delay over a uniform full
+	// mesh (default 20ms). Ignored when Topology is set.
+	CommDelay Duration
+	// Topology, when non-nil, supplies per-pair delays; build one with
+	// NewFullMesh, NewRing, NewStar, or NewCustomTopology.
+	Topology *Topology
+	// GCMSite places the global ceiling manager (global mode only).
+	GCMSite SiteID
+	// CPUPerObj is the CPU demand per object (default 10ms); the
+	// distributed database is memory-resident.
+	CPUPerObj Duration
+	// ApplyPerObj is the replica-installation CPU per object for the
+	// local approach (default CPUPerObj/2).
+	ApplyPerObj Duration
+	// Multiversion gives read-only transactions in the local approach
+	// temporally consistent snapshot reads (the paper's §4 closing
+	// multi-version idea) instead of latest-copy reads.
+	Multiversion bool
+	// Failures schedules sites to become unreachable: messages toward
+	// a down site are dropped and synchronous requests time out (the
+	// paper's message-server time-out mechanism).
+	Failures []SiteFailure
+	// SiteSpeed optionally scales each site's processor speed; empty
+	// means uniform speed 1.
+	SiteSpeed []float64
+	// SnapshotLag is the snapshot age for multiversion reads (zero
+	// uses a default covering typical propagation).
+	SnapshotLag Duration
+	// Workload describes the load. Updates are homed at their write
+	// set's primary site, read-only transactions at random sites.
+	Workload WorkloadConfig
+	// RecordHistory keeps the access history (meaningful for the
+	// global approach; the local approach's stale replica reads are
+	// intentionally not serializable system-wide).
+	RecordHistory bool
+}
+
+// RecoveryInfo summarizes the write-ahead log after a WAL-enabled run.
+type RecoveryInfo struct {
+	// Records is the total number of commit records forced.
+	Records int
+	// Checkpoints is the number of checkpoints taken.
+	Checkpoints int
+	// RedoTail is the number of records a restart would replay.
+	RedoTail int
+	// EstimatedRestart is the modeled restart duration (snapshot load
+	// plus redo replay).
+	EstimatedRestart Duration
+}
+
+// SiteFailure makes a site unreachable from At until RecoverAt (no
+// recovery when RecoverAt is not after At).
+type SiteFailure struct {
+	Site      SiteID
+	At        Time
+	RecoverAt Time
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Summary aggregates throughput and deadline misses.
+	Summary Summary
+	// Records lists every processed transaction.
+	Records []TxRecord
+	// Serializable reports whether the committed history was conflict
+	// serializable; it is nil unless RecordHistory was set.
+	Serializable *bool
+	// Replication holds replica statistics for distributed local-
+	// ceiling runs, nil otherwise.
+	Replication *ReplicationStats
+	// Trace holds the event log when tracing was requested.
+	Trace *Trace
+	// Recovery summarizes the write-ahead log at the end of a WAL run,
+	// nil otherwise.
+	Recovery *RecoveryInfo
+	// Messages is the total inter-site message count (distributed
+	// runs).
+	Messages int
+}
+
+func (w *WorkloadConfig) fill(singleSite bool) {
+	if w.Seed == 0 {
+		w.Seed = 1
+	}
+	if w.Count == 0 {
+		w.Count = 500
+	}
+	if w.MeanInterarrival == 0 {
+		if singleSite {
+			w.MeanInterarrival = 450 * Millisecond
+		} else {
+			w.MeanInterarrival = 30 * Millisecond
+		}
+	}
+	if w.MeanSize == 0 {
+		if singleSite {
+			w.MeanSize = 10
+		} else {
+			w.MeanSize = 6
+		}
+	}
+	if w.SlackMin == 0 {
+		w.SlackMin = 4
+	}
+	if w.SlackMax == 0 {
+		w.SlackMax = 8
+	}
+}
+
+// RunSingleSite executes one single-site simulation.
+func RunSingleSite(cfg SingleSiteConfig) (*Result, error) {
+	if cfg.Protocol == "" {
+		cfg.Protocol = Ceiling
+	}
+	if cfg.DBSize == 0 {
+		cfg.DBSize = 200
+	}
+	if cfg.CPUPerObj == 0 {
+		cfg.CPUPerObj = 10 * Millisecond
+	}
+	if cfg.IOPerObj == 0 {
+		cfg.IOPerObj = 20 * Millisecond
+	}
+	if cfg.MemoryResident {
+		cfg.IOPerObj = 0
+	}
+	cfg.Workload.fill(true)
+
+	newMgr, disc, err := experiments.ManagerFor(cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	load, err := buildLoad(cfg.Workload, 1, cfg.DBSize, cfg.CPUPerObj+cfg.IOPerObj, false)
+	if err != nil {
+		return nil, err
+	}
+	var trace *stats.Trace
+	if cfg.TraceEvents > 0 {
+		trace = stats.NewTrace(cfg.TraceEvents)
+	}
+	sys, err := txn.NewSystem(txn.Config{
+		CPUPerObj:       cfg.CPUPerObj,
+		IOPerObj:        cfg.IOPerObj,
+		CPUDiscipline:   disc,
+		NewManager:      newMgr,
+		RecordHistory:   cfg.RecordHistory,
+		Trace:           trace,
+		BufferPages:     cfg.BufferPages,
+		IODisks:         cfg.IODisks,
+		WAL:             cfg.WAL,
+		CheckpointEvery: cfg.CheckpointEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.Load(load)
+	sum := sys.Run()
+	res := &Result{Summary: sum, Records: sys.Monitor.Records(), Trace: trace}
+	if sys.Log != nil {
+		res.Recovery = &RecoveryInfo{
+			Records:          sys.Log.Records(),
+			Checkpoints:      sys.Log.Checkpoints(),
+			RedoTail:         sys.Log.RedoLength(),
+			EstimatedRestart: sys.Log.RecoveryTime(Millisecond/10, Millisecond),
+		}
+	}
+	if sys.History != nil {
+		ok := sys.History.ConflictSerializable()
+		res.Serializable = &ok
+	}
+	return res, nil
+}
+
+// RunDistributed executes one distributed simulation.
+func RunDistributed(cfg DistributedConfig) (*Result, error) {
+	if cfg.Sites == 0 {
+		cfg.Sites = 3
+	}
+	if cfg.DBSize == 0 {
+		cfg.DBSize = 200
+	}
+	if cfg.CPUPerObj == 0 {
+		cfg.CPUPerObj = 10 * Millisecond
+	}
+	if cfg.CommDelay == 0 {
+		cfg.CommDelay = 20 * Millisecond
+	}
+	cfg.Workload.fill(false)
+
+	approach := dist.LocalCeiling
+	if cfg.Global {
+		approach = dist.GlobalCeiling
+	}
+	cluster, err := dist.NewCluster(dist.Config{
+		Approach:      approach,
+		Sites:         cfg.Sites,
+		Objects:       cfg.DBSize,
+		CommDelay:     cfg.CommDelay,
+		Topology:      cfg.Topology,
+		GCMSite:       cfg.GCMSite,
+		CPUPerObj:     cfg.CPUPerObj,
+		ApplyPerObj:   cfg.ApplyPerObj,
+		Multiversion:  cfg.Multiversion,
+		SnapshotLag:   cfg.SnapshotLag,
+		SiteSpeed:     cfg.SiteSpeed,
+		RecordHistory: cfg.RecordHistory,
+	})
+	if err != nil {
+		return nil, err
+	}
+	load := cfg.Workload.Transactions
+	if load == nil {
+		load, err = workload.Generate(workload.Params{
+			Seed:              cfg.Workload.Seed,
+			Catalog:           cluster.Catalog,
+			Count:             cfg.Workload.Count,
+			MeanInterarrival:  cfg.Workload.MeanInterarrival,
+			MeanSize:          cfg.Workload.MeanSize,
+			ReadOnlyFrac:      cfg.Workload.ReadOnlyFrac,
+			PerObjCost:        cfg.CPUPerObj,
+			SlackMin:          cfg.Workload.SlackMin,
+			SlackMax:          cfg.Workload.SlackMax,
+			LocalWriteSets:    true,
+			PeriodicFrac:      cfg.Workload.PeriodicFrac,
+			Period:            cfg.Workload.Period,
+			ImplicitDeadlines: cfg.Workload.ImplicitDeadlines,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range cfg.Failures {
+		cluster.FailSite(f.Site, f.At, f.RecoverAt)
+	}
+	cluster.Load(load)
+	sum := cluster.Run()
+	res := &Result{
+		Summary:  sum,
+		Records:  cluster.Monitor.Records(),
+		Messages: cluster.Net.Sent,
+	}
+	if approach == dist.LocalCeiling {
+		repl := cluster.Replication()
+		res.Replication = &repl
+	}
+	if cluster.History != nil {
+		ok := cluster.History.ConflictSerializable()
+		res.Serializable = &ok
+	}
+	return res, nil
+}
+
+// experimentsManagerFor lets spec validation reuse the protocol
+// registry.
+func experimentsManagerFor(p Protocol) (func(*sim.Kernel) core.Manager, sim.Discipline, error) {
+	return experiments.ManagerFor(p)
+}
+
+// buildLoad generates (or passes through) the transaction load.
+func buildLoad(w WorkloadConfig, sites, dbSize int, perObjCost Duration, localWriteSets bool) ([]*Txn, error) {
+	if w.Transactions != nil {
+		return w.Transactions, nil
+	}
+	cat, err := db.NewCatalog(sites, dbSize)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(workload.Params{
+		Seed:              w.Seed,
+		Catalog:           cat,
+		Count:             w.Count,
+		MeanInterarrival:  w.MeanInterarrival,
+		MeanSize:          w.MeanSize,
+		ReadOnlyFrac:      w.ReadOnlyFrac,
+		PerObjCost:        perObjCost,
+		SlackMin:          w.SlackMin,
+		SlackMax:          w.SlackMax,
+		LocalWriteSets:    localWriteSets,
+		PeriodicFrac:      w.PeriodicFrac,
+		Period:            w.Period,
+		ImplicitDeadlines: w.ImplicitDeadlines,
+	})
+}
+
+// NewFullMesh builds a fully connected topology with a uniform delay.
+func NewFullMesh(sites int, delay Duration) (*Topology, error) {
+	return netsim.FullMesh(sites, delay)
+}
+
+// NewRing builds a ring topology; delay between sites is the shorter way
+// around times the link delay.
+func NewRing(sites int, link Duration) (*Topology, error) {
+	return netsim.Ring(sites, link)
+}
+
+// NewStar builds a star topology around a hub site.
+func NewStar(sites int, hub SiteID, link Duration) (*Topology, error) {
+	return netsim.Star(sites, hub, link)
+}
+
+// NewCustomTopology builds a topology from an explicit one-way delay
+// matrix.
+func NewCustomTopology(delay [][]Duration) (*Topology, error) {
+	return netsim.Custom(delay)
+}
+
+// SingleSiteParams re-exports the Figures 2–3 experiment configuration.
+type SingleSiteParams = experiments.SingleSiteParams
+
+// DistParams re-exports the Figures 4–6 experiment configuration.
+type DistParams = experiments.DistParams
+
+// DefaultSingleSiteParams returns the calibrated single-site experiment
+// configuration.
+func DefaultSingleSiteParams() SingleSiteParams { return experiments.DefaultSingleSite() }
+
+// DefaultDistParams returns the calibrated distributed experiment
+// configuration.
+func DefaultDistParams() DistParams { return experiments.DefaultDistributed() }
+
+// ReproduceFig2 regenerates the paper's Figure 2 (single-site normalized
+// throughput vs transaction size).
+func ReproduceFig2(p SingleSiteParams) (Figure, error) { return experiments.Fig2(p) }
+
+// ReproduceFig3 regenerates Figure 3 (single-site % deadline-missing vs
+// transaction size).
+func ReproduceFig3(p SingleSiteParams) (Figure, error) { return experiments.Fig3(p) }
+
+// ReproduceFig4 regenerates Figure 4 (local/global throughput ratio vs
+// transaction mix).
+func ReproduceFig4(p DistParams) (Figure, error) { return experiments.Fig4(p) }
+
+// ReproduceFig5 regenerates Figure 5 (global/local deadline-missing
+// ratio vs communication delay).
+func ReproduceFig5(p DistParams) (Figure, error) { return experiments.Fig5(p) }
+
+// ReproduceFig6 regenerates Figure 6 (distributed % deadline-missing vs
+// transaction mix at two delays).
+func ReproduceFig6(p DistParams) (Figure, error) { return experiments.Fig6(p) }
+
+// ReproduceAll regenerates every figure and ablation.
+func ReproduceAll(sp SingleSiteParams, dp DistParams) ([]Figure, error) {
+	f2, f3, err := experiments.SingleSiteSweep(sp)
+	if err != nil {
+		return nil, fmt.Errorf("single-site sweep: %w", err)
+	}
+	f4, f5, f6, err := experiments.DistributedSweep(dp)
+	if err != nil {
+		return nil, fmt.Errorf("distributed sweep: %w", err)
+	}
+	fa, err := experiments.DBSizeAblation(sp)
+	if err != nil {
+		return nil, fmt.Errorf("dbsize ablation: %w", err)
+	}
+	fb, err := experiments.SemanticsAblation(sp)
+	if err != nil {
+		return nil, fmt.Errorf("semantics ablation: %w", err)
+	}
+	fc, err := experiments.InheritAblation(sp)
+	if err != nil {
+		return nil, fmt.Errorf("inherit ablation: %w", err)
+	}
+	return []Figure{f2, f3, f4, f5, f6, fa, fb, fc}, nil
+}
