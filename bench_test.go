@@ -452,3 +452,42 @@ func BenchmarkDistributedRun(b *testing.B) {
 		_ = res
 	}
 }
+
+// BenchmarkJournaledRun measures the same single-site simulation with
+// the replay journal recording every kernel-level event — the delta
+// against BenchmarkSingleSiteRun is the journaling overhead.
+func BenchmarkJournaledRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunSingleSite(SingleSiteConfig{
+			Journal:  true,
+			Workload: WorkloadConfig{Count: 200, MeanSize: 10, Seed: int64(i + 1)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkAuditReplay measures replaying one recorded journal through
+// the full single-site auditor set.
+func BenchmarkAuditReplay(b *testing.B) {
+	res, err := RunSingleSite(SingleSiteConfig{
+		Journal:  true,
+		Workload: WorkloadConfig{Count: 200, MeanSize: 10},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Auditors are stateful; each replay needs a fresh set.
+		auds, err := AuditorsForProtocol(Ceiling)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if vs := AuditJournal(res.Journal, auds...); len(vs) > 0 {
+			b.Fatalf("violations: %v", vs)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package rtlock
+
+// A short benchmark smoke run for CI: when BENCH_OUT names a file, a
+// handful of representative workloads are timed once each and the
+// wall-clock results written as JSON, so every PR leaves a comparable
+// performance record without the cost of a full -bench sweep.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+type benchSmokeResult struct {
+	Name      string  `json:"name"`
+	Millis    float64 `json:"ms"`
+	Committed int     `json:"committed,omitempty"`
+	Records   int     `json:"journalRecords,omitempty"`
+}
+
+func TestBenchSmoke(t *testing.T) {
+	out := os.Getenv("BENCH_OUT")
+	if out == "" {
+		t.Skip("set BENCH_OUT=<file> to write the benchmark smoke JSON")
+	}
+	var results []benchSmokeResult
+	timed := func(name string, run func() (committed, records int)) {
+		start := time.Now()
+		committed, records := run()
+		results = append(results, benchSmokeResult{
+			Name:      name,
+			Millis:    float64(time.Since(start).Microseconds()) / 1000,
+			Committed: committed,
+			Records:   records,
+		})
+	}
+	timed("single/C/plain", func() (int, int) {
+		res, err := RunSingleSite(SingleSiteConfig{Workload: WorkloadConfig{Count: 200}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary.Committed, 0
+	})
+	timed("single/C/journal", func() (int, int) {
+		res, err := RunSingleSite(SingleSiteConfig{Journal: true, Workload: WorkloadConfig{Count: 200}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary.Committed, res.Journal.Len()
+	})
+	timed("single/HP/audit", func() (int, int) {
+		res, err := RunSingleSite(SingleSiteConfig{Protocol: TwoPLHighPriority, Audit: true,
+			Workload: WorkloadConfig{Count: 200}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("violations: %v", res.Violations)
+		}
+		return res.Summary.Committed, res.Journal.Len()
+	})
+	timed("dist/local/audit", func() (int, int) {
+		res, err := RunDistributed(DistributedConfig{Audit: true,
+			Workload: WorkloadConfig{Count: 150}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("violations: %v", res.Violations)
+		}
+		return res.Summary.Committed, res.Journal.Len()
+	})
+	timed("dist/global/audit", func() (int, int) {
+		res, err := RunDistributed(DistributedConfig{Global: true, Audit: true,
+			Workload: WorkloadConfig{Count: 150}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("violations: %v", res.Violations)
+		}
+		return res.Summary.Committed, res.Journal.Len()
+	})
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -7,6 +7,13 @@
 //	rtdbsim -experiment fig2            # any of fig2..fig6, dbsize, semantics, inherit, all
 //	rtdbsim -experiment fig3 -runs 3 -count 200 -csv
 //	rtdbsim -experiment custom -protocol C -size 12 -runs 5
+//
+// Two subcommands wrap the deterministic replay journal:
+//
+//	rtdbsim audit -protocol HP -count 200      # run + check protocol invariants
+//	rtdbsim audit -spec run.json -chrome t.json
+//	rtdbsim replay -protocol C -runs 3         # prove byte-identical journals
+//	rtdbsim replay -spec run.json -against saved.jsonl
 package main
 
 import (
@@ -28,6 +35,14 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "audit":
+			return runAudit(args[1:])
+		case "replay":
+			return runReplay(args[1:])
+		}
+	}
 	fs := flag.NewFlagSet("rtdbsim", flag.ContinueOnError)
 	var (
 		experiment = fs.String("experiment", "all", "which experiment: fig2..fig6, dbsize, semantics, inherit, restart, priority, buffer, hotspot, predictability, consistency, placement, custom, all")
@@ -41,6 +56,7 @@ func run(args []string) error {
 		size       = fs.Int("size", 10, "custom: mean transaction size")
 		spec       = fs.String("spec", "", "run a JSON specification file instead of a named experiment")
 		trace      = fs.Int("trace", 0, "with -spec single mode: print up to N trace events")
+		auditRuns  = fs.Bool("audit", false, "record a replay journal for every run and fail on invariant violations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +70,9 @@ func run(args []string) error {
 		if *trace > 0 {
 			s.TraceEvents = *trace
 		}
+		if *auditRuns {
+			s.Audit = true
+		}
 		res, err := s.Run()
 		if err != nil {
 			return err
@@ -61,6 +80,15 @@ func run(args []string) error {
 		fmt.Println(res.Summary)
 		if res.Serializable != nil {
 			fmt.Printf("serializable=%t\n", *res.Serializable)
+		}
+		if res.Violations != nil {
+			for _, v := range res.Violations {
+				fmt.Println(v)
+			}
+			if n := len(res.Violations); n > 0 {
+				return fmt.Errorf("audit: %d invariant violations", n)
+			}
+			fmt.Println("audit: all invariants hold")
 		}
 		if res.Replication != nil {
 			fmt.Printf("replication: %+v\n", *res.Replication)
@@ -83,6 +111,8 @@ func run(args []string) error {
 		single.Count = *count
 		dp.Count = *count
 	}
+	single.Audit = *auditRuns
+	dp.Audit = *auditRuns
 
 	var emitErr error
 	emit := func(figs ...experiments.Figure) {

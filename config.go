@@ -47,6 +47,12 @@ type Spec struct {
 	BufferPages   int  `json:"bufferPages,omitempty"`
 	IODisks       int  `json:"ioDisks,omitempty"`
 
+	// Journal records a deterministic replay journal into
+	// Result.Journal; Audit additionally replays it through the
+	// protocol invariant auditors into Result.Violations.
+	Journal bool `json:"journal,omitempty"`
+	Audit   bool `json:"audit,omitempty"`
+
 	WAL               bool    `json:"wal,omitempty"`
 	CheckpointEveryMs float64 `json:"checkpointEveryMs,omitempty"`
 }
@@ -129,6 +135,8 @@ func (s *Spec) Run() (*Result, error) {
 			IODisks:         s.IODisks,
 			WAL:             s.WAL,
 			CheckpointEvery: ms(s.CheckpointEveryMs),
+			Journal:         s.Journal,
+			Audit:           s.Audit,
 		})
 	}
 	var failures []SiteFailure
@@ -152,6 +160,8 @@ func (s *Spec) Run() (*Result, error) {
 		SiteSpeed:     s.SiteSpeed,
 		Workload:      wl,
 		RecordHistory: s.RecordHistory,
+		Journal:       s.Journal,
+		Audit:         s.Audit,
 	})
 }
 

@@ -1,0 +1,50 @@
+package rtlock_test
+
+// Fuzzing for the JSON run-specification parser: arbitrary input must be
+// rejected with an error or produce a validated spec — never a panic —
+// and every accepted spec must survive a marshal/re-parse round trip.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rtlock"
+)
+
+func FuzzConfig(f *testing.F) {
+	f.Add([]byte(`{"mode":"single","protocol":"C","workload":{"count":50,"meanSize":8}}`))
+	f.Add([]byte(`{"mode":"single","protocol":"HP","dbSize":100,"wal":true,"audit":true}`))
+	f.Add([]byte(`{"mode":"distributed","global":true,"sites":3,"workload":{"seed":2,"readOnlyFrac":0.5}}`))
+	f.Add([]byte(`{"mode":"distributed","multiversion":true,"failures":[{"site":1,"atMs":50}]}`))
+	f.Add([]byte(`{"mode":"nope"}`))
+	f.Add([]byte(`{"mode":"single","protocol":"ZZ"}`))
+	f.Add([]byte(`{"mode":"single","workload":{"readOnlyFrac":2}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := rtlock.ParseSpec(data)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("ParseSpec returned both a spec and error %v", err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("ParseSpec returned nil spec without error")
+		}
+		if s.Mode != "single" && s.Mode != "distributed" {
+			t.Fatalf("accepted spec with mode %q", s.Mode)
+		}
+		if ro := s.Workload.ReadOnlyFrac; ro < 0 || ro > 1 {
+			t.Fatalf("accepted spec with readOnlyFrac %v", ro)
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal accepted spec: %v", err)
+		}
+		if _, err := rtlock.ParseSpec(out); err != nil {
+			t.Fatalf("accepted spec does not re-parse: %v\n%s", err, out)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rtlock/internal/journal"
 	"rtlock/internal/sim"
 )
 
@@ -62,7 +63,19 @@ type Ceiling struct {
 	// DirectBlocks counts blocks where the requested object itself was
 	// held in a conflicting mode.
 	DirectBlocks int
+
+	// lastCeil tracks the last journaled system ceiling so KCeiling
+	// records appear only on change.
+	lastCeil sim.Priority
+	ceilInit bool
+	// jsite tags journal records; distributed runs give each site's
+	// manager its site id (several managers share one kernel there).
+	jsite int32
 }
+
+// SetJournalSite tags this manager's journal records with a site id.
+// Single-site systems leave the zero default.
+func (m *Ceiling) SetJournalSite(site int32) { m.jsite = site }
 
 var _ Manager = (*Ceiling)(nil)
 
@@ -114,6 +127,7 @@ func (m *Ceiling) Register(tx *TxState) {
 	for _, obj := range tx.WriteSet {
 		addSet(m.writers, obj, tx)
 	}
+	m.emitCeilingChange()
 }
 
 // Unregister implements Manager. Removing a transaction can lower
@@ -126,6 +140,7 @@ func (m *Ceiling) Unregister(tx *TxState) {
 	for _, obj := range tx.WriteSet {
 		delSet(m.writers, obj, tx)
 	}
+	m.emitCeilingChange()
 	m.processBlocked()
 }
 
@@ -137,7 +152,9 @@ func (m *Ceiling) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 	if m.exclusive {
 		mode = Write
 	}
+	emitRequest(m.k, m.jsite, tx, obj, mode)
 	if held, ok := tx.held[obj]; ok && (held == Write || mode == Read) {
+		emitGrant(m.k, m.jsite, tx, obj, mode)
 		return nil
 	}
 	if m.grantable(tx, obj, mode) {
@@ -148,11 +165,13 @@ func (m *Ceiling) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 	w := &pcpWaiter{tx: tx, obj: obj, mode: mode, tok: &sim.Token{}, seq: m.seq}
 	m.blocked = append(m.blocked, w)
 	blamed := m.blameFor(tx, obj, mode)
-	if holdersOf(m.locks[obj], tx, mode) {
-		m.DirectBlocks++
-	} else {
+	ceilingBlock := !holdersOf(m.locks[obj], tx, mode)
+	if ceilingBlock {
 		m.CeilingBlocks++
+	} else {
+		m.DirectBlocks++
 	}
+	emitBlock(m.k, m.jsite, tx, obj, blamed, ceilingBlock)
 	tx.noteBlocked(m.k.Now(), blamed)
 	m.graph.setBlame(tx, blamed)
 	w.tok.OnCancel = func() { m.dropWaiter(w) }
@@ -163,8 +182,15 @@ func (m *Ceiling) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 
 // ReleaseAll implements Manager.
 func (m *Ceiling) ReleaseAll(tx *TxState) {
+	// Sorted iteration keeps the journal's release order deterministic.
+	affected := make([]ObjectID, 0, len(tx.held))
 	for obj := range tx.held {
+		affected = append(affected, obj)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	for _, obj := range affected {
 		delete(tx.held, obj)
+		emitRelease(m.k, m.jsite, tx, obj)
 		l := m.locks[obj]
 		if l == nil {
 			continue
@@ -174,6 +200,7 @@ func (m *Ceiling) ReleaseAll(tx *TxState) {
 			delete(m.locks, obj)
 		}
 	}
+	m.emitCeilingChange()
 	m.graph.dropHolder(tx)
 	m.processBlocked()
 }
@@ -321,6 +348,27 @@ func (m *Ceiling) grant(tx *TxState, obj ObjectID, mode Mode) {
 	if cur, ok := tx.held[obj]; !ok || mode == Write && cur == Read {
 		tx.held[obj] = mode
 	}
+	emitGrant(m.k, m.jsite, tx, obj, mode)
+	m.emitCeilingChange()
+}
+
+// emitCeilingChange journals the system ceiling — the highest rw-ceiling
+// over all locked objects — whenever it moves. Folding Max over the lock
+// map is order-independent, so the record stream stays deterministic.
+func (m *Ceiling) emitCeilingChange() {
+	if m.k.Journal() == nil {
+		return
+	}
+	ceil := sim.MinPriority
+	for obj := range m.locks {
+		ceil = ceil.Max(m.RWCeiling(obj))
+	}
+	if m.ceilInit && ceil == m.lastCeil {
+		return
+	}
+	m.ceilInit = true
+	m.lastCeil = ceil
+	m.k.Emit(journal.KCeiling, 0, 0, ceil.Deadline, ceil.TxID, "")
 }
 
 // processBlocked repeatedly grants the highest-effective-priority blocked
@@ -346,7 +394,9 @@ func (m *Ceiling) processBlocked() {
 		w.tok.Wake(nil)
 	}
 	for _, w := range m.blocked {
-		m.graph.setBlame(w.tx, m.blameFor(w.tx, w.obj, w.mode))
+		blamed := m.blameFor(w.tx, w.obj, w.mode)
+		emitBlame(m.k, m.jsite, w.tx, w.obj, blamed, !holdersOf(m.locks[w.obj], w.tx, w.mode))
+		m.graph.setBlame(w.tx, blamed)
 	}
 }
 

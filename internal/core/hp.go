@@ -45,7 +45,9 @@ func (m *TwoPLHP) Unregister(tx *TxState) {}
 
 // Acquire implements Manager.
 func (m *TwoPLHP) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
+	emitRequest(m.k, 0, tx, obj, mode)
 	if held, ok := tx.held[obj]; ok && (held == Write || mode == Read) {
+		emitGrant(m.k, 0, tx, obj, mode)
 		return nil
 	}
 	e := m.entry(obj)
@@ -60,12 +62,14 @@ func (m *TwoPLHP) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 	for _, h := range conflicts {
 		if h.Eff().Lower(tx.Eff()) {
 			m.Wounds++
+			emitWound(m.k, 0, h, tx)
 			h.RequestWound(ErrRestart)
 		}
 	}
 	m.seq++
 	w := &lockWaiter{tx: tx, obj: obj, mode: mode, tok: &sim.Token{}, seq: m.seq}
 	e.queue = append(e.queue, w)
+	emitBlock(m.k, 0, tx, obj, conflicts, false)
 	tx.noteBlocked(m.k.Now(), conflicts)
 	w.tok.OnCancel = func() { m.dropWaiter(e, w) }
 	err := p.Park(w.tok)
@@ -85,6 +89,7 @@ func (m *TwoPLHP) ReleaseAll(tx *TxState) {
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 	for _, obj := range affected {
 		delete(tx.held, obj)
+		emitRelease(m.k, 0, tx, obj)
 		if e := m.entries[obj]; e != nil {
 			delete(e.holders, tx)
 		}
@@ -130,6 +135,7 @@ func (m *TwoPLHP) grant(e *lockEntry, tx *TxState, obj ObjectID, mode Mode) {
 	if cur, ok := tx.held[obj]; !ok || mode == Write && cur == Read {
 		tx.held[obj] = mode
 	}
+	emitGrant(m.k, 0, tx, obj, mode)
 }
 
 func (m *TwoPLHP) processQueue(obj ObjectID) {

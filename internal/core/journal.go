@@ -1,0 +1,68 @@
+package core
+
+import (
+	"rtlock/internal/journal"
+
+	"rtlock/internal/sim"
+)
+
+// Journal emission helpers shared by the lock managers. All of them are
+// no-ops when the kernel has no journal attached (Append is nil-safe),
+// so the hot paths pay only a nil check. The site parameter tags
+// records in distributed runs where several managers share one kernel;
+// single-site managers pass 0.
+
+func emitRequest(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, mode Mode) {
+	k.Journal().Append(int64(k.Now()), journal.KLockRequest, site, tx.ID, int32(obj), int64(mode), 0, "")
+}
+
+func emitGrant(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, mode Mode) {
+	k.Journal().Append(int64(k.Now()), journal.KLockGrant, site, tx.ID, int32(obj), int64(mode), 0, "")
+}
+
+// emitBlock records that tx blocked on obj, one record per blamed
+// holder (A = blamer id), or a single record with A = -1 when no
+// specific transaction is identifiable. B carries 1 for a ceiling block
+// and 0 for a direct conflict. The blamed slice must already be in
+// deterministic order (the managers sort it by transaction id).
+func emitBlock(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, blamed []*TxState, ceiling bool) {
+	flag := int64(0)
+	if ceiling {
+		flag = 1
+	}
+	if len(blamed) == 0 {
+		k.Journal().Append(int64(k.Now()), journal.KLockBlock, site, tx.ID, int32(obj), -1, flag, "")
+		return
+	}
+	for _, h := range blamed {
+		k.Journal().Append(int64(k.Now()), journal.KLockBlock, site, tx.ID, int32(obj), h.ID, flag, "")
+	}
+}
+
+// emitBlame records that a parked waiter's blame set was recomputed
+// (re-blame after a partial release). The streaming auditors replace
+// the waiter's outgoing waits-for edges with the new set. B carries the
+// same ceiling flag as emitBlock: ceiling-blocked waiters resume when
+// the system ceiling drops, so their blame is attribution rather than a
+// hard wait on the blamed holder.
+func emitBlame(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, blamed []*TxState, ceiling bool) {
+	flag := int64(0)
+	if ceiling {
+		flag = 1
+	}
+	if len(blamed) == 0 {
+		k.Journal().Append(int64(k.Now()), journal.KBlame, site, tx.ID, int32(obj), -1, flag, "")
+		return
+	}
+	for _, h := range blamed {
+		k.Journal().Append(int64(k.Now()), journal.KBlame, site, tx.ID, int32(obj), h.ID, flag, "")
+	}
+}
+
+func emitRelease(k *sim.Kernel, site int32, tx *TxState, obj ObjectID) {
+	k.Journal().Append(int64(k.Now()), journal.KLockRelease, site, tx.ID, int32(obj), 0, 0, "")
+}
+
+func emitWound(k *sim.Kernel, site int32, victim *TxState, aggressor *TxState) {
+	k.Journal().Append(int64(k.Now()), journal.KWound, site, victim.ID, 0, aggressor.ID, 0, "")
+}

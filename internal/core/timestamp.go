@@ -1,6 +1,10 @@
 package core
 
-import "rtlock/internal/sim"
+import (
+	"sort"
+
+	"rtlock/internal/sim"
+)
 
 // Timestamp implements basic timestamp ordering, the third concurrency
 // control the paper's prototyping environment offers ("locking,
@@ -57,6 +61,7 @@ func (m *Timestamp) Unregister(tx *TxState) { delete(m.ts, tx) }
 // access (recording it in the timestamp table) or rejects the attempt
 // with ErrRestart.
 func (m *Timestamp) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
+	emitRequest(m.k, 0, tx, obj, mode)
 	t, ok := m.ts[tx]
 	if !ok {
 		// Defensive: treat an unregistered attempt as stale.
@@ -84,14 +89,22 @@ func (m *Timestamp) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) e
 	if cur, okHeld := tx.held[obj]; !okHeld || mode == Write && cur == Read {
 		tx.held[obj] = mode
 	}
+	emitGrant(m.k, 0, tx, obj, mode)
 	return nil
 }
 
 // ReleaseAll implements Manager. TO holds no locks; only the
-// transaction-local access record is cleared.
+// transaction-local access record is cleared (in sorted order, so the
+// journal's release records stay deterministic).
 func (m *Timestamp) ReleaseAll(tx *TxState) {
+	affected := make([]ObjectID, 0, len(tx.held))
 	for obj := range tx.held {
+		affected = append(affected, obj)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	for _, obj := range affected {
 		delete(tx.held, obj)
+		emitRelease(m.k, 0, tx, obj)
 	}
 }
 

@@ -113,7 +113,9 @@ func (m *TwoPL) Unregister(tx *TxState) {}
 
 // Acquire implements Manager.
 func (m *TwoPL) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
+	emitRequest(m.k, 0, tx, obj, mode)
 	if held, ok := tx.held[obj]; ok && (held == Write || mode == Read) {
+		emitGrant(m.k, 0, tx, obj, mode)
 		return nil
 	}
 	e := m.entry(obj)
@@ -125,6 +127,7 @@ func (m *TwoPL) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error
 	w := &lockWaiter{tx: tx, obj: obj, mode: mode, tok: &sim.Token{}, seq: m.seq}
 	e.queue = append(e.queue, w)
 	blamed := m.blameFor(e, w)
+	emitBlock(m.k, 0, tx, obj, blamed, false)
 	tx.noteBlocked(m.k.Now(), blamed)
 	if m.inherit {
 		m.graph.setBlame(tx, blamed)
@@ -133,6 +136,7 @@ func (m *TwoPL) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error
 		if cycle := m.FindDeadlock(); len(cycle) > 0 {
 			m.DeadlocksResolved++
 			victim := lowestPriority(cycle)
+			emitWound(m.k, 0, victim, tx)
 			if victim == tx {
 				m.dropWaiter(e, w)
 				tx.noteUnblocked(m.k.Now())
@@ -171,6 +175,7 @@ func (m *TwoPL) ReleaseAll(tx *TxState) {
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 	for _, obj := range affected {
 		delete(tx.held, obj)
+		emitRelease(m.k, 0, tx, obj)
 		e := m.entries[obj]
 		if e == nil {
 			continue
@@ -315,6 +320,7 @@ func (m *TwoPL) grant(e *lockEntry, tx *TxState, obj ObjectID, mode Mode) {
 	if cur, ok := tx.held[obj]; !ok || mode == Write && cur == Read {
 		tx.held[obj] = mode
 	}
+	emitGrant(m.k, 0, tx, obj, mode)
 }
 
 // processQueue grants the maximal policy-ordered prefix of obj's queue
@@ -340,7 +346,9 @@ func (m *TwoPL) processQueue(obj ObjectID) {
 	e.queue = e.queue[granted:]
 	if m.inherit {
 		for _, w := range e.queue {
-			m.graph.setBlame(w.tx, m.blameFor(e, w))
+			blamed := m.blameFor(e, w)
+			emitBlame(m.k, 0, w.tx, obj, blamed, false)
+			m.graph.setBlame(w.tx, blamed)
 		}
 	}
 	if len(e.holders) == 0 && len(e.queue) == 0 {

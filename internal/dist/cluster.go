@@ -22,6 +22,7 @@ import (
 	"rtlock/internal/check"
 	"rtlock/internal/core"
 	"rtlock/internal/db"
+	"rtlock/internal/journal"
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
@@ -101,6 +102,16 @@ type Config struct {
 	// RecordHistory keeps the access history for serializability
 	// checks in tests.
 	RecordHistory bool
+	// Journal, when non-nil, receives every kernel-level event of the
+	// run (scheduling, locking, 2PC, replication) for deterministic
+	// replay and invariant auditing.
+	Journal *journal.Journal
+	// VoteFault, when non-nil, is consulted by each two-phase-commit
+	// participant: returning true makes that site vote abort for the
+	// transaction. Used by tests to exercise the global abort path;
+	// production participants are memory-resident and always vote
+	// commit.
+	VoteFault func(site db.SiteID, txID int64) bool
 }
 
 func (c *Config) fill() error {
@@ -236,6 +247,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	k := sim.NewKernel()
+	k.SetJournal(cfg.Journal, 0)
 	net := netsim.NewNetwork(k, cfg.CommDelay)
 	if cfg.Topology != nil {
 		net = netsim.NewNetworkTopology(k, cfg.Topology)
@@ -263,12 +275,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		if cfg.Approach == LocalCeiling {
 			s.mgr = core.NewCeiling(k)
+			s.mgr.SetJournalSite(int32(i))
 			s.mv = db.NewMVStore(db.SiteID(i), cfg.VersionsKept)
 		}
 		c.sites = append(c.sites, s)
 	}
 	if cfg.Approach == GlobalCeiling {
 		c.gcm = core.NewCeiling(k)
+		c.gcm.SetJournalSite(int32(cfg.GCMSite))
 		c.twopc = make(map[int64]*voteCollector)
 		c.registerTwoPCHandlers()
 	}
@@ -358,6 +372,21 @@ func (c *Cluster) newTxState(p *sim.Proc, t *workload.Txn) *core.TxState {
 	return st
 }
 
+// emit appends a site-tagged record to the cluster's journal (a no-op
+// without one). Dist-layer events carry the transaction's home site or
+// the site where the event physically happens, unlike the kernel's own
+// records which use the kernel-wide default site.
+func (c *Cluster) emit(site db.SiteID, kind journal.Kind, tx int64, obj int32, a, b int64, note string) {
+	c.K.Journal().Append(int64(c.K.Now()), kind, int32(site), tx, obj, a, b, note)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // record finalizes the monitor record for a processed transaction.
 func (c *Cluster) record(p *sim.Proc, t *workload.Txn, st *core.TxState, err error, msgs int) {
 	if errors.Is(err, sim.ErrShutdown) {
@@ -378,11 +407,13 @@ func (c *Cluster) record(p *sim.Proc, t *workload.Txn, st *core.TxState, err err
 	}
 	if err == nil {
 		rec.Outcome = stats.Committed
+		c.emit(t.Home, journal.KCommit, t.ID, 0, 0, 0, "")
 		if c.History != nil {
 			c.History.Commit(t.ID)
 		}
 	} else {
 		rec.Outcome = stats.DeadlineMissed
+		c.emit(t.Home, journal.KDeadlineMiss, t.ID, 0, 0, 0, "")
 	}
 	c.Monitor.Add(rec)
 }

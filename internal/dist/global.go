@@ -5,6 +5,7 @@ import (
 
 	"rtlock/internal/core"
 	"rtlock/internal/db"
+	"rtlock/internal/journal"
 	"rtlock/internal/sim"
 	"rtlock/internal/txn"
 	"rtlock/internal/workload"
@@ -22,15 +23,20 @@ func (c *Cluster) execGlobal(p *sim.Proc, t *workload.Txn) {
 	home := t.Home
 	gcmSite := c.cfg.GCMSite
 	msgs := 0
+	c.emit(home, journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
 
 	// Announce the transaction (its access sets feed the ceilings) to
 	// the GCM. The registration message departs before the first lock
 	// request, so it is in effect when that request arrives.
 	if home == gcmSite {
+		c.emit(gcmSite, journal.KRegister, t.ID, 0, 0, 0, "")
 		c.gcm.Register(st)
 	} else {
 		msgs++
-		c.K.After(c.Net.Delay(home, gcmSite), func() { c.gcm.Register(st) })
+		c.K.After(c.Net.Delay(home, gcmSite), func() {
+			c.emit(gcmSite, journal.KRegister, t.ID, 0, 0, 0, "")
+			c.gcm.Register(st)
+		})
 	}
 
 	deadlineEv := c.K.At(t.Deadline, func() { p.Interrupt(txn.ErrDeadlineMissed) })
@@ -42,11 +48,13 @@ func (c *Cluster) execGlobal(p *sim.Proc, t *workload.Txn) {
 	if home == gcmSite {
 		c.gcm.ReleaseAll(st)
 		c.gcm.Unregister(st)
+		c.emit(gcmSite, journal.KUnregister, t.ID, 0, 0, 0, "")
 	} else {
 		msgs++
 		c.K.After(c.Net.Delay(home, gcmSite), func() {
 			c.gcm.ReleaseAll(st)
 			c.gcm.Unregister(st)
+			c.emit(gcmSite, journal.KUnregister, t.ID, 0, 0, 0, "")
 		})
 	}
 	if err == nil {
@@ -97,6 +105,7 @@ func (c *Cluster) globalBody(p *sim.Proc, st *core.TxState, t *workload.Txn, msg
 				return err
 			}
 		}
+		c.emit(home, journal.KOp, t.ID, int32(op.Obj), int64(op.Mode), 0, "")
 		if c.History != nil {
 			c.History.Record(t.ID, op.Obj, op.Mode, p.Now())
 		}

@@ -6,6 +6,7 @@ import (
 
 	"rtlock/internal/core"
 	"rtlock/internal/db"
+	"rtlock/internal/journal"
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
 	"rtlock/internal/txn"
@@ -42,6 +43,8 @@ func (c *Cluster) execLocal(p *sim.Proc, t *workload.Txn) {
 	st.WriteSet = t.WriteSet()
 	st.OnPrioChange = func(pr sim.Priority) { home.cpu.Reprioritize(p, pr) }
 
+	c.emit(home.id, journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
+	c.emit(home.id, journal.KRegister, t.ID, 0, 0, 0, "")
 	home.mgr.Register(st)
 	deadlineEv := c.K.At(t.Deadline, func() { p.Interrupt(txn.ErrDeadlineMissed) })
 	var reads []readSample
@@ -64,6 +67,7 @@ func (c *Cluster) execLocal(p *sim.Proc, t *workload.Txn) {
 	}
 	home.mgr.ReleaseAll(st)
 	home.mgr.Unregister(st)
+	c.emit(home.id, journal.KUnregister, t.ID, 0, 0, 0, "")
 
 	msgs := 0
 	if versions != nil {
@@ -104,6 +108,7 @@ func (c *Cluster) localBody(p *sim.Proc, st *core.TxState, t *workload.Txn, home
 		if err := home.use(p, st.Eff(), c.cfg.CPUPerObj); err != nil {
 			return err
 		}
+		c.emit(home.id, journal.KOp, t.ID, int32(op.Obj), int64(op.Mode), 0, "")
 		if c.History != nil {
 			c.History.Record(t.ID, op.Obj, op.Mode, p.Now())
 		}
@@ -210,15 +215,18 @@ func (c *Cluster) install(p *sim.Proc, s *site, msg installMsg) {
 		st := core.NewTxState(id, prio, p)
 		st.WriteSet = msg.objs
 		st.OnPrioChange = func(pr sim.Priority) { s.cpu.Reprioritize(p, pr) }
+		c.emit(s.id, journal.KRegister, id, 0, int64(attempt), 0, "install")
 		s.mgr.Register(st)
 		timeout := c.K.After(c.cfg.InstallTimeout, func() { p.Interrupt(errInstallTimeout) })
 		err := c.installBody(p, st, s, msg)
 		timeout.Cancel()
 		s.mgr.ReleaseAll(st)
 		s.mgr.Unregister(st)
+		c.emit(s.id, journal.KUnregister, id, 0, int64(attempt), 0, "install")
 		switch {
 		case err == nil:
 			c.repl.Installs++
+			c.emit(s.id, journal.KInstall, msg.origin, 0, id, int64(attempt), "")
 			return
 		case errors.Is(err, sim.ErrShutdown):
 			return
@@ -228,6 +236,7 @@ func (c *Cluster) install(p *sim.Proc, s *site, msg installMsg) {
 		}
 	}
 	c.repl.InstallDrops++
+	c.emit(s.id, journal.KInstallDrop, msg.origin, 0, id, 0, "")
 }
 
 func (c *Cluster) installBody(p *sim.Proc, st *core.TxState, s *site, msg installMsg) error {

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"rtlock/internal/db"
+	"rtlock/internal/journal"
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
 )
@@ -51,8 +52,12 @@ func (c *Cluster) registerTwoPCHandlers() {
 				return
 			}
 			// Memory-resident participants have no log force; they
-			// vote immediately.
-			c.Net.Send(s.id, msg.coord, votePort, voteMsg{txID: msg.txID, commit: true})
+			// vote immediately. A configured VoteFault lets tests
+			// force the abort vote this site would otherwise never
+			// cast.
+			commit := c.cfg.VoteFault == nil || !c.cfg.VoteFault(s.id, msg.txID)
+			c.emit(s.id, journal.KTwoPCVote, msg.txID, 0, b2i(commit), 0, "")
+			c.Net.Send(s.id, msg.coord, votePort, voteMsg{txID: msg.txID, commit: commit})
 		})
 		srv.Handle(votePort, func(m netsim.Message) {
 			msg, ok := m.Payload.(voteMsg)
@@ -73,8 +78,9 @@ func (c *Cluster) registerTwoPCHandlers() {
 			}
 		})
 		srv.Handle(decisionPort, func(m netsim.Message) {
-			if _, ok := m.Payload.(decisionMsg); ok {
+			if msg, ok := m.Payload.(decisionMsg); ok {
 				c.decisions++
+				c.emit(s.id, journal.KTwoPCDecision, msg.txID, 0, b2i(msg.commit), 0, "")
 			}
 		})
 	}
@@ -101,11 +107,13 @@ func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants
 	col.tok.OnCancel = func() { delete(c.twopc, txID) }
 	for _, s := range participants {
 		*msgs += 2 // prepare out, vote back
+		c.emit(home, journal.KTwoPCPrepare, txID, 0, int64(s), 0, "")
 		c.Net.Send(home, s, preparePort, prepareMsg{txID: txID, coord: home})
 	}
 	err := p.Park(col.tok)
 	delete(c.twopc, txID)
 	commit := err == nil
+	c.emit(home, journal.KTwoPCDecision, txID, 0, b2i(commit), 0, "coord")
 	for _, s := range participants {
 		*msgs++
 		c.Net.Send(home, s, decisionPort, decisionMsg{txID: txID, commit: commit})

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The Audit flag turns every experiment cell into a correctness check:
+// a journal is recorded and replayed through the protocol's invariant
+// auditors, and any violation fails the run. Exhaustive per-protocol
+// determinism coverage lives in the root package's determinism tests;
+// these check the plumbing at the experiments layer.
+
+func TestAuditFlagSingleSite(t *testing.T) {
+	p := DefaultSingleSite().Scale(0.25, 2)
+	p.Audit = true
+	for _, proto := range []Protocol{ProtoCeiling, ProtoTwoPLHP, ProtoTwoPLDD} {
+		if _, err := runSingle(p, proto, 12, 1); err != nil {
+			t.Errorf("%s: %v", proto, err)
+		}
+	}
+}
+
+func TestAuditFlagDistributed(t *testing.T) {
+	p := DefaultDistributed().Scale(0.25, 2)
+	p.Audit = true
+	if _, err := runDist(p, 1, 0.5, 2, 1); err != nil {
+		t.Errorf("global: %v", err)
+	}
+	if _, err := runDist(p, 2, 0.5, 2, 1); err != nil {
+		t.Errorf("local: %v", err)
+	}
+}
+
+// TestAuditFlagUnknownProtocol checks the failure plumbing: an unknown
+// protocol must surface an error, not a silent skip.
+func TestAuditFlagUnknownProtocol(t *testing.T) {
+	p := DefaultSingleSite().Scale(0.25, 1)
+	p.Audit = true
+	if _, err := runSingle(p, Protocol("nope"), 12, 1); err == nil ||
+		!strings.Contains(err.Error(), "unknown protocol") {
+		t.Errorf("want unknown-protocol error, got %v", err)
+	}
+}

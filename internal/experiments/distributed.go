@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"rtlock/internal/audit"
 	"rtlock/internal/db"
 	"rtlock/internal/dist"
+	"rtlock/internal/journal"
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
@@ -36,6 +38,10 @@ type DistParams struct {
 	// Figure 6 shows.
 	Fig6Delays []float64
 	BaseSeed   int64
+	// Audit records a replay journal for every run and replays it
+	// through the approach's invariant auditors; any violation fails
+	// the run.
+	Audit bool
 }
 
 // DefaultDistributed returns the calibrated configuration.
@@ -75,12 +81,17 @@ type cell struct {
 
 // runDist executes one distributed run.
 func runDist(p DistParams, approach dist.Approach, mix, delayUnits float64, seed int64) (stats.Summary, error) {
+	var jrn *journal.Journal
+	if p.Audit {
+		jrn = journal.New(seed, fmt.Sprintf("dist/%s/mix=%g/delay=%g", approach, mix, delayUnits))
+	}
 	c, err := dist.NewCluster(dist.Config{
 		Approach:  approach,
 		Sites:     p.Sites,
 		Objects:   p.DBSize,
 		CommDelay: sim.Duration(delayUnits * float64(p.CPUPerObj)),
 		CPUPerObj: p.CPUPerObj,
+		Journal:   jrn,
 	})
 	if err != nil {
 		return stats.Summary{}, err
@@ -101,7 +112,14 @@ func runDist(p DistParams, approach dist.Approach, mix, delayUnits float64, seed
 		return stats.Summary{}, err
 	}
 	c.Load(load)
-	return c.Run(), nil
+	sum := c.Run()
+	if jrn != nil {
+		if vs := audit.Run(jrn, audit.ForApproach(approach.String())...); len(vs) > 0 {
+			return sum, fmt.Errorf("experiments: %s mix=%g delay=%g seed=%d: %d invariant violations, first: %s",
+				approach, mix, delayUnits, seed, len(vs), vs[0])
+		}
+	}
+	return sum, nil
 }
 
 // runGrid evaluates one grid cell averaged over runs.

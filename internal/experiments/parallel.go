@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -10,7 +11,8 @@ import (
 // collectRuns executes fn for every run index concurrently (each run
 // builds its own kernel, so runs are independent) and returns the
 // summaries in run order, preserving determinism of every aggregate.
-// The first error wins.
+// The first error (by run index) wins. A panicking run is surfaced as
+// an error carrying its run index instead of crashing the sweep.
 func collectRuns(runs int, fn func(r int) (stats.Summary, error)) ([]stats.Summary, error) {
 	if runs <= 0 {
 		return nil, nil
@@ -22,13 +24,16 @@ func collectRuns(runs int, fn func(r int) (stats.Summary, error)) ([]stats.Summa
 		workers = runs
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
+	// Buffered to capacity: the feeder below can never block, so a
+	// worker dying early cannot strand it (with an unbuffered channel a
+	// lost worker would deadlock the whole sweep).
+	next := make(chan int, runs)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for r := range next {
-				out[r], errs[r] = fn(r)
+				runOne(r, fn, out, errs)
 			}
 		}()
 	}
@@ -43,6 +48,17 @@ func collectRuns(runs int, fn func(r int) (stats.Summary, error)) ([]stats.Summa
 		}
 	}
 	return out, nil
+}
+
+// runOne executes a single run, converting a panic into an error that
+// names the run index.
+func runOne(r int, fn func(r int) (stats.Summary, error), out []stats.Summary, errs []error) {
+	defer func() {
+		if p := recover(); p != nil {
+			errs[r] = fmt.Errorf("experiments: run %d panicked: %v", r, p)
+		}
+	}()
+	out[r], errs[r] = fn(r)
 }
 
 // missedOf projects the miss percentages from summaries.

@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"rtlock/internal/audit"
 	"rtlock/internal/core"
 	"rtlock/internal/db"
+	"rtlock/internal/journal"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
 	"rtlock/internal/txn"
@@ -95,6 +97,11 @@ type SingleSiteParams struct {
 	// Policy assigns transaction priorities (zero value = earliest
 	// deadline first, the paper's choice).
 	Policy workload.PriorityPolicy
+	// Audit records a replay journal for every run and replays it
+	// through the protocol's invariant auditors; any violation fails
+	// the run. It turns every experiment cell into a correctness test
+	// at modest memory cost.
+	Audit bool
 }
 
 // DefaultSingleSite returns the calibrated configuration.
@@ -183,6 +190,10 @@ func runSingleOpts(p SingleSiteParams, proto Protocol, size int, opts runOpts, s
 	if err != nil {
 		return stats.Summary{}, err
 	}
+	var jrn *journal.Journal
+	if p.Audit {
+		jrn = journal.New(seed, fmt.Sprintf("single/%s/size=%d", proto, size))
+	}
 	sys, err := txn.NewSystem(txn.Config{
 		CPUPerObj:       p.CPUPerObj,
 		IOPerObj:        p.IOPerObj,
@@ -192,12 +203,20 @@ func runSingleOpts(p SingleSiteParams, proto Protocol, size int, opts runOpts, s
 		LockOverhead:    opts.lockOverhead,
 		WAL:             opts.wal,
 		CheckpointEvery: opts.checkpointEvery,
+		Journal:         jrn,
 	})
 	if err != nil {
 		return stats.Summary{}, err
 	}
 	sys.Load(load)
-	return sys.Run(), nil
+	sum := sys.Run()
+	if jrn != nil {
+		if vs := audit.Run(jrn, audit.ForManager(sys.Mgr.Name())...); len(vs) > 0 {
+			return sum, fmt.Errorf("experiments: %s size=%d seed=%d: %d invariant violations, first: %s",
+				proto, size, seed, len(vs), vs[0])
+		}
+	}
+	return sum, nil
 }
 
 // runSingleWAL runs one WAL-enabled cell and also returns the estimated

@@ -1,0 +1,552 @@
+// Package journal is the deterministic replay journal: a compact,
+// append-only record of every kernel-level event a simulation run emits
+// (scheduling, lock requests/grants/blocks, inheritance, ceiling
+// changes, aborts and restarts, 2PC votes and decisions, message
+// traffic). A journal is keyed by (seed, config hash); the canonical
+// encodings are byte-stable, so byte-identity of two journals for the
+// same key IS the determinism proof, and the streaming auditors in
+// internal/audit consume the record sequence to verify protocol
+// invariants.
+//
+// The package is a dependency-free leaf: timestamps are raw int64
+// simulation ticks (1 tick = 1µs, matching internal/sim), so every
+// layer — sim, core, netsim, dist, txn, stats — can import it without
+// cycles.
+//
+// A Journal is not safe for concurrent use. That is by construction:
+// each simulation run is single-threaded (the kernel hands control to
+// one process at a time), and each run owns its own journal.
+package journal
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// Kind identifies the event class of a Record. Values are part of the
+// canonical encoding; never renumber existing kinds.
+type Kind uint8
+
+// Event kinds. The A and B payload fields are kind-specific; the table
+// below documents their meaning (0 when unused).
+const (
+	// KSpawn: process creation. Tx = pid, Note = process name.
+	KSpawn Kind = 1
+	// KProcEnd: process termination. Tx = pid.
+	KProcEnd Kind = 2
+	// KArrive: a transaction attempt begins. Tx = transaction id,
+	// A = deadline (ticks), B = attempt number (0 = first).
+	KArrive Kind = 3
+	// KRegister: transaction registered with a lock manager (PCP
+	// ceilings recomputed). Tx = transaction id.
+	KRegister Kind = 4
+	// KUnregister: transaction left the lock manager. Tx = id.
+	KUnregister Kind = 5
+	// KLockRequest: lock requested. Tx = requester, Obj = object,
+	// A = mode (1 = read, 2 = write).
+	KLockRequest Kind = 6
+	// KLockGrant: lock granted. Tx = requester, Obj = object,
+	// A = mode.
+	KLockGrant Kind = 7
+	// KLockBlock: requester blocked. Tx = requester, Obj = object,
+	// A = blamed (blocking) transaction id or -1 when blocked on a
+	// ceiling with no identified holder, B = 1 when the block is a
+	// ceiling block (PCP), 0 for a direct conflict.
+	KLockBlock Kind = 8
+	// KBlame: a parked waiter's blame edge moved to a new holder
+	// (re-blame after a partial release). Tx = waiter, Obj = object,
+	// A = new blamed id or -1 when the edge cleared.
+	KBlame Kind = 9
+	// KLockRelease: one object released at transaction end.
+	// Tx = holder, Obj = object.
+	KLockRelease Kind = 10
+	// KInherit: effective priority change (inheritance or restoration).
+	// Tx = transaction, A = new effective deadline, B = new effective
+	// tie-break id.
+	KInherit Kind = 11
+	// KWound: holder wounded by a higher-priority requester.
+	// Tx = victim, A = aggressor id.
+	KWound Kind = 12
+	// KRestart: attempt aborted, transaction will retry.
+	// Tx = transaction, A = attempt number that failed.
+	KRestart Kind = 13
+	// KCommit: transaction committed. Tx = transaction.
+	KCommit Kind = 14
+	// KDeadlineMiss: transaction aborted at its deadline. Tx = id.
+	KDeadlineMiss Kind = 15
+	// KOp: one data operation performed (after lock grant).
+	// Tx = transaction, Obj = object, A = mode.
+	KOp Kind = 16
+	// KCPUDispatch: a request starts (or resumes) on the processor.
+	// Tx = pid, A = remaining service (ticks).
+	KCPUDispatch Kind = 17
+	// KCPUPreempt: the running request is preempted. Tx = pid,
+	// A = remaining service (ticks).
+	KCPUPreempt Kind = 18
+	// KMsgSend: message sent. Site = sender, A = destination site,
+	// Note = port.
+	KMsgSend Kind = 19
+	// KMsgRecv: message delivered. Site = destination, A = sender
+	// site, Note = port.
+	KMsgRecv Kind = 20
+	// KTwoPCPrepare: coordinator sends prepare. Tx = transaction,
+	// Site = coordinator, A = participant site.
+	KTwoPCPrepare Kind = 21
+	// KTwoPCVote: participant votes. Tx = transaction,
+	// Site = participant, A = 1 commit / 0 abort.
+	KTwoPCVote Kind = 22
+	// KTwoPCDecision: decision at a site. Tx = transaction,
+	// Site = deciding/receiving site, A = 1 commit / 0 abort.
+	KTwoPCDecision Kind = 23
+	// KInstall: an update installed at a replica (local-ceiling
+	// replication). Tx = transaction, Site = replica, Obj = object.
+	KInstall Kind = 24
+	// KInstallDrop: an install message gave up (timeout/site down).
+	// Tx = transaction, Site = replica, Obj = object.
+	KInstallDrop Kind = 25
+	// KCeiling: the system ceiling at a site changed. Site = site,
+	// A = new ceiling deadline, B = new ceiling tie-break id
+	// (MaxInt64 values mean "no ceiling").
+	KCeiling Kind = 26
+)
+
+var kindNames = map[Kind]string{
+	KSpawn:         "spawn",
+	KProcEnd:       "procend",
+	KArrive:        "arrive",
+	KRegister:      "register",
+	KUnregister:    "unregister",
+	KLockRequest:   "lockreq",
+	KLockGrant:     "lockgrant",
+	KLockBlock:     "lockblock",
+	KBlame:         "blame",
+	KLockRelease:   "lockrel",
+	KInherit:       "inherit",
+	KWound:         "wound",
+	KRestart:       "restart",
+	KCommit:        "commit",
+	KDeadlineMiss:  "miss",
+	KOp:            "op",
+	KCPUDispatch:   "dispatch",
+	KCPUPreempt:    "preempt",
+	KMsgSend:       "send",
+	KMsgRecv:       "recv",
+	KTwoPCPrepare:  "prepare",
+	KTwoPCVote:     "vote",
+	KTwoPCDecision: "decision",
+	KInstall:       "install",
+	KInstallDrop:   "installdrop",
+	KCeiling:       "ceiling",
+}
+
+var kindValues = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// String returns the canonical lower-case name of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindFromString maps a canonical name back to its Kind.
+func KindFromString(s string) (Kind, bool) {
+	k, ok := kindValues[s]
+	return k, ok
+}
+
+// Record is one journal entry. Seq is assigned by Append and is dense
+// (0, 1, 2, ...); At is the virtual time in ticks. Site/Tx/Obj identify
+// the actors (0 / -1 style sentinels per kind); A and B carry
+// kind-specific payloads documented on the Kind constants.
+type Record struct {
+	Seq  uint64 `json:"seq"`
+	At   int64  `json:"at"`
+	Kind Kind   `json:"-"`
+	Site int32  `json:"site"`
+	Tx   int64  `json:"tx"`
+	Obj  int32  `json:"obj"`
+	A    int64  `json:"a"`
+	B    int64  `json:"b"`
+	Note string `json:"note,omitempty"`
+}
+
+// jsonRecord is Record with the kind spelled out, giving the JSONL form
+// a fixed field order via struct-order marshaling.
+type jsonRecord struct {
+	Seq  uint64 `json:"seq"`
+	At   int64  `json:"at"`
+	Kind string `json:"kind"`
+	Site int32  `json:"site"`
+	Tx   int64  `json:"tx"`
+	Obj  int32  `json:"obj"`
+	A    int64  `json:"a"`
+	B    int64  `json:"b"`
+	Note string `json:"note,omitempty"`
+}
+
+// Journal accumulates the records of one simulation run, keyed by the
+// run's seed and a canonical configuration string.
+type Journal struct {
+	seed    int64
+	config  string
+	records []Record
+}
+
+// New returns an empty journal for the given seed and canonical config
+// string. The config string should be a stable rendering of every
+// parameter that shapes the run (protocol, sizes, rates, ...).
+func New(seed int64, config string) *Journal {
+	return &Journal{seed: seed, config: config}
+}
+
+// Seed returns the run seed the journal is keyed by.
+func (j *Journal) Seed() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.seed
+}
+
+// Config returns the canonical config string.
+func (j *Journal) Config() string {
+	if j == nil {
+		return ""
+	}
+	return j.config
+}
+
+// ConfigHash returns the FNV-64a hash of the config string; together
+// with the seed it keys the journal.
+func (j *Journal) ConfigHash() uint64 {
+	if j == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, j.config)
+	return h.Sum64()
+}
+
+// Append adds one record, assigning its sequence number. It is safe to
+// call on a nil journal (a no-op), so emission sites need no nil
+// checks.
+func (j *Journal) Append(at int64, kind Kind, site int32, tx int64, obj int32, a, b int64, note string) {
+	if j == nil {
+		return
+	}
+	j.records = append(j.records, Record{
+		Seq:  uint64(len(j.records)),
+		At:   at,
+		Kind: kind,
+		Site: site,
+		Tx:   tx,
+		Obj:  obj,
+		A:    a,
+		B:    b,
+		Note: note,
+	})
+}
+
+// Len returns the number of records.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.records)
+}
+
+// Records returns the record slice. Callers must not mutate it.
+func (j *Journal) Records() []Record {
+	if j == nil {
+		return nil
+	}
+	return j.records
+}
+
+// binaryMagic opens the canonical binary encoding.
+const binaryMagic = "RTJ1"
+
+// EncodeBinary writes the canonical binary form: a fixed magic,
+// the (seed, config hash, record count) key, then each record as
+// varint-packed fields. The encoding is byte-stable: the same record
+// sequence always produces the same bytes.
+func (j *Journal) EncodeBinary(w io.Writer) error {
+	buf := j.appendBinary(nil)
+	_, err := w.Write(buf)
+	return err
+}
+
+func (j *Journal) appendBinary(buf []byte) []byte {
+	buf = append(buf, binaryMagic...)
+	buf = binary.AppendVarint(buf, j.Seed())
+	buf = binary.AppendUvarint(buf, j.ConfigHash())
+	buf = binary.AppendUvarint(buf, uint64(j.Len()))
+	for i := range j.Records() {
+		r := &j.records[i]
+		buf = binary.AppendVarint(buf, r.At)
+		buf = append(buf, byte(r.Kind))
+		buf = binary.AppendVarint(buf, int64(r.Site))
+		buf = binary.AppendVarint(buf, r.Tx)
+		buf = binary.AppendVarint(buf, int64(r.Obj))
+		buf = binary.AppendVarint(buf, r.A)
+		buf = binary.AppendVarint(buf, r.B)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Note)))
+		buf = append(buf, r.Note...)
+	}
+	return buf
+}
+
+// Hash returns the SHA-256 digest of the canonical binary encoding.
+// Two runs are provably identical when their hashes match.
+func (j *Journal) Hash() [32]byte {
+	return sha256.Sum256(j.appendBinary(nil))
+}
+
+// HashString returns Hash as lower-case hex.
+func (j *Journal) HashString() string {
+	h := j.Hash()
+	return fmt.Sprintf("%x", h[:])
+}
+
+// jsonHeader is the first line of the JSONL encoding.
+type jsonHeader struct {
+	V          int    `json:"v"`
+	Seed       int64  `json:"seed"`
+	Config     string `json:"config"`
+	ConfigHash string `json:"confighash"`
+	Records    int    `json:"records"`
+}
+
+// EncodeJSONL writes the canonical JSONL form: one header line with the
+// journal key, then one line per record with a fixed field order. Like
+// the binary form it is byte-stable for a given record sequence.
+func (j *Journal) EncodeJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := jsonHeader{
+		V:          1,
+		Seed:       j.Seed(),
+		Config:     j.Config(),
+		ConfigHash: fmt.Sprintf("%016x", j.ConfigHash()),
+		Records:    j.Len(),
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for i := range j.Records() {
+		r := &j.records[i]
+		jr := jsonRecord{
+			Seq: r.Seq, At: r.At, Kind: r.Kind.String(),
+			Site: r.Site, Tx: r.Tx, Obj: r.Obj, A: r.A, B: r.B,
+			Note: r.Note,
+		}
+		if err := enc.Encode(jr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJSONL reads a journal previously written by EncodeJSONL.
+func DecodeJSONL(r io.Reader) (*Journal, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("journal: empty input")
+	}
+	var hdr jsonHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("journal: bad header: %w", err)
+	}
+	if hdr.V != 1 {
+		return nil, fmt.Errorf("journal: unsupported version %d", hdr.V)
+	}
+	j := New(hdr.Seed, hdr.Config)
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var jr jsonRecord
+		if err := json.Unmarshal(sc.Bytes(), &jr); err != nil {
+			return nil, fmt.Errorf("journal: line %d: %w", line, err)
+		}
+		kind, ok := KindFromString(jr.Kind)
+		if !ok {
+			return nil, fmt.Errorf("journal: line %d: unknown kind %q", line, jr.Kind)
+		}
+		j.records = append(j.records, Record{
+			Seq: jr.Seq, At: jr.At, Kind: kind,
+			Site: jr.Site, Tx: jr.Tx, Obj: jr.Obj, A: jr.A, B: jr.B,
+			Note: jr.Note,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if hdr.Records != len(j.records) {
+		return nil, fmt.Errorf("journal: header says %d records, read %d", hdr.Records, len(j.records))
+	}
+	return j, nil
+}
+
+// Equal reports whether two journals have the same key and identical
+// record sequences. It is the in-memory form of byte-identity: Equal
+// journals produce identical binary and JSONL encodings.
+func Equal(a, b *Journal) bool {
+	if a.Seed() != b.Seed() || a.Config() != b.Config() || a.Len() != b.Len() {
+		return false
+	}
+	ar, br := a.Records(), b.Records()
+	for i := range ar {
+		if ar[i] != br[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a short description of the first divergence between two
+// journals, or "" when they are Equal. It exists to make determinism
+// test failures actionable.
+func Diff(a, b *Journal) string {
+	if a.Seed() != b.Seed() {
+		return fmt.Sprintf("seed %d vs %d", a.Seed(), b.Seed())
+	}
+	if a.Config() != b.Config() {
+		return "config strings differ"
+	}
+	ar, br := a.Records(), b.Records()
+	n := len(ar)
+	if len(br) < n {
+		n = len(br)
+	}
+	for i := 0; i < n; i++ {
+		if ar[i] != br[i] {
+			return fmt.Sprintf("record %d: %+v vs %+v", i, ar[i], br[i])
+		}
+	}
+	if len(ar) != len(br) {
+		return fmt.Sprintf("length %d vs %d", len(ar), len(br))
+	}
+	return ""
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing, Perfetto). Times are microseconds, which matches
+// simulation ticks one-to-one.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int32          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// EncodeChromeTrace writes the journal in Chrome trace_event JSON
+// format for visual inspection in chrome://tracing or Perfetto.
+// Transactions become "threads" (tid = transaction id) of their site's
+// "process"; attempts and lock-wait intervals render as duration
+// events, everything else as instant events.
+func (j *Journal) EncodeChromeTrace(w io.Writer) error {
+	var evs []chromeEvent
+	type key struct {
+		tx  int64
+		obj int32
+	}
+	type open struct {
+		at   int64
+		site int32
+	}
+	blockStart := map[key]open{}
+	attemptStart := map[int64]open{}
+	for i := range j.Records() {
+		r := &j.records[i]
+		switch r.Kind {
+		case KArrive:
+			attemptStart[r.Tx] = open{at: r.At, site: r.Site}
+		case KCommit, KDeadlineMiss, KRestart:
+			if s, ok := attemptStart[r.Tx]; ok {
+				name := "attempt:" + r.Kind.String()
+				evs = append(evs, chromeEvent{
+					Name: name, Cat: "txn", Ph: "X",
+					Ts: s.at, Dur: maxInt64(r.At-s.at, 1),
+					Pid: s.site, Tid: r.Tx,
+				})
+				delete(attemptStart, r.Tx)
+			}
+		case KLockBlock:
+			blockStart[key{r.Tx, r.Obj}] = open{at: r.At, site: r.Site}
+		case KLockGrant:
+			if s, ok := blockStart[key{r.Tx, r.Obj}]; ok {
+				evs = append(evs, chromeEvent{
+					Name: fmt.Sprintf("wait obj %d", r.Obj), Cat: "lock", Ph: "X",
+					Ts: s.at, Dur: maxInt64(r.At-s.at, 1),
+					Pid: s.site, Tid: r.Tx,
+				})
+				delete(blockStart, key{r.Tx, r.Obj})
+			}
+		}
+		switch r.Kind {
+		case KArrive, KLockBlock: // interval starts handled above
+		default:
+			evs = append(evs, chromeEvent{
+				Name: r.Kind.String(), Cat: "journal", Ph: "i",
+				Ts: r.At, Pid: r.Site, Tid: r.Tx, S: "t",
+				Args: map[string]any{"obj": r.Obj, "a": r.A, "b": r.B, "seq": r.Seq},
+			})
+		}
+	}
+	// Deterministic output order: by timestamp, then original sequence
+	// (the args carry seq, and append order already follows it).
+	sort.SliceStable(evs, func(i, k int) bool { return evs[i].Ts < evs[k].Ts })
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range evs {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -10,8 +10,10 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"rtlock/internal/db"
+	"rtlock/internal/journal"
 	"rtlock/internal/sim"
 )
 
@@ -108,12 +110,14 @@ func (n *Network) Send(from, to db.SiteID, port string, payload any) {
 	if from != to {
 		n.Sent++
 	}
+	n.k.Journal().Append(int64(n.k.Now()), journal.KMsgSend, int32(from), 0, 0, int64(to), 0, port)
 	n.k.After(n.Delay(from, to), func() {
 		if n.down[to] {
 			n.DroppedDown++
 			return
 		}
 		msg.DeliveredAt = n.k.Now()
+		n.k.Journal().Append(int64(n.k.Now()), journal.KMsgRecv, int32(to), 0, 0, int64(from), 0, port)
 		n.Server(to).enqueue(msg)
 	})
 }
@@ -126,6 +130,7 @@ func (n *Network) Hop(p *sim.Proc, from, to db.SiteID) error {
 	d := n.Delay(from, to)
 	if from != to {
 		n.Sent++
+		n.k.Journal().Append(int64(n.k.Now()), journal.KMsgSend, int32(from), 0, 0, int64(to), 0, "hop")
 	}
 	if from != to && n.down[to] {
 		timeout := n.Timeout
@@ -140,10 +145,17 @@ func (n *Network) Hop(p *sim.Proc, from, to db.SiteID) error {
 	return p.Sleep(d)
 }
 
-// Shutdown stops every message-server process.
+// Shutdown stops every message-server process, in site order: map
+// iteration order would otherwise leak into the teardown interleaving
+// and break journal byte-identity across runs.
 func (n *Network) Shutdown() {
-	for _, s := range n.servers {
-		s.stop()
+	sites := make([]db.SiteID, 0, len(n.servers))
+	for site := range n.servers {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, site := range sites {
+		n.servers[site].stop()
 	}
 }
 

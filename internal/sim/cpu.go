@@ -1,6 +1,10 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"rtlock/internal/journal"
+)
 
 // Discipline selects how a CPU orders its ready queue.
 type Discipline int
@@ -121,6 +125,7 @@ func (c *CPU) nextSeq() uint64 {
 func (c *CPU) dispatch(req *cpuReq) {
 	c.cur = req
 	req.runFrom = c.k.now
+	c.k.Emit(journal.KCPUDispatch, req.proc.id, 0, int64(req.rem), 0, "")
 	req.doneEv = c.k.After(req.rem, func() { c.complete(req) })
 }
 
@@ -139,6 +144,7 @@ func (c *CPU) preemptCur() {
 	c.busy += used
 	req.rem -= used
 	c.cur = nil
+	c.k.Emit(journal.KCPUPreempt, req.proc.id, 0, int64(req.rem), 0, "")
 	c.ready.push(req)
 }
 

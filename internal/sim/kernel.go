@@ -3,6 +3,9 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
+
+	"rtlock/internal/journal"
 )
 
 // Kernel errors delivered to parked processes.
@@ -32,6 +35,33 @@ type Kernel struct {
 	parked  map[*Proc]struct{}
 	nextPID int64
 	live    int
+
+	// jrn, when set, receives process lifecycle records; jrnSite tags
+	// them with the site this kernel simulates (0 single-site).
+	jrn     *journal.Journal
+	jrnSite int32
+}
+
+// SetJournal attaches a replay journal to the kernel; process spawn and
+// termination events are recorded to it, tagged with the given site id.
+// A nil journal detaches.
+func (k *Kernel) SetJournal(j *journal.Journal, site int32) {
+	k.jrn = j
+	k.jrnSite = site
+}
+
+// Journal returns the attached journal (nil when none).
+func (k *Kernel) Journal() *journal.Journal { return k.jrn }
+
+// JournalSite returns the site id journal records are tagged with.
+func (k *Kernel) JournalSite() int32 { return k.jrnSite }
+
+// Emit appends a record to the attached journal (a no-op when none) at
+// the current virtual time, tagged with the kernel's site. Subsystems
+// that hold a kernel reference use it instead of tracking the journal
+// themselves.
+func (k *Kernel) Emit(kind journal.Kind, tx int64, obj int32, a, b int64, note string) {
+	k.jrn.Append(int64(k.now), kind, k.jrnSite, tx, obj, a, b, note)
 }
 
 // NewKernel returns a kernel with the clock at zero and no pending events.
@@ -118,7 +148,15 @@ func (k *Kernel) Shutdown() error {
 		if k.live == 0 {
 			return nil
 		}
+		// Interrupt in process-id order: map iteration order would
+		// otherwise leak into the wake ordering (and the journal's
+		// procend sequence) of processes dying at the same instant.
+		procs := make([]*Proc, 0, len(k.parked))
 		for p := range k.parked {
+			procs = append(procs, p)
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+		for _, p := range procs {
 			p.Interrupt(ErrShutdown)
 		}
 		if k.Steps(1) == 0 {

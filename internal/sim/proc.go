@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"rtlock/internal/journal"
+)
 
 // Proc is a simulated process: a goroutine that runs only when the kernel
 // hands it control, mirroring the paper's "separate process for each
@@ -46,12 +50,14 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 	}
 	k.live++
+	k.Emit(journal.KSpawn, p.id, 0, 0, 0, name)
 	k.After(0, func() {
 		go func() {
 			<-p.resume
 			body(p)
 			p.dead = true
 			k.live--
+			k.Emit(journal.KProcEnd, p.id, 0, 0, 0, "")
 			k.yielded <- struct{}{}
 		}()
 		k.switchTo(p)

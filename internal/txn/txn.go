@@ -15,6 +15,7 @@ import (
 	"rtlock/internal/check"
 	"rtlock/internal/core"
 	"rtlock/internal/db"
+	"rtlock/internal/journal"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
 	"rtlock/internal/wal"
@@ -50,6 +51,10 @@ type Config struct {
 	// commit, deadline miss, restarts) — the paper's performance
 	// monitor log.
 	Trace *stats.Trace
+	// Journal, when non-nil, receives the machine-checkable replay
+	// journal: every kernel, lock-manager, and transaction lifecycle
+	// event, in deterministic order. internal/audit consumes it.
+	Journal *journal.Journal
 	// BufferPages sizes the LRU object buffer: accesses that hit skip
 	// the I/O delay. Zero disables buffering (every access pays I/O),
 	// which is the calibrated experiments' behavior.
@@ -108,6 +113,7 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg.CPUDiscipline = sim.PreemptivePriority
 	}
 	k := sim.NewKernel()
+	k.SetJournal(cfg.Journal, 0)
 	s := &System{
 		K:       k,
 		CPU:     sim.NewCPU(k, cfg.CPUDiscipline),
@@ -203,6 +209,7 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 	deadlineEv := s.K.At(t.Deadline, func() { p.Interrupt(ErrDeadlineMissed) })
 	s.cfg.Trace.Log(p.Now(), t.ID, stats.EvArrive, -1,
 		fmt.Sprintf("size=%d deadline=%.1fms", t.Size(), sim.Duration(t.Deadline).Millis()))
+	s.K.Emit(journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
 
 	var err error
 	var lastAttempt *core.TxState
@@ -212,10 +219,14 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 		st.ReadSet = t.ReadSet()
 		st.WriteSet = t.WriteSet()
 		st.Estimate = sim.Duration(t.Size()) * (s.cfg.CPUPerObj + s.cfg.IOPerObj)
-		st.OnPrioChange = func(pr sim.Priority) { s.CPU.Reprioritize(p, pr) }
+		st.OnPrioChange = func(pr sim.Priority) {
+			s.K.Emit(journal.KInherit, t.ID, 0, pr.Deadline, pr.TxID, "")
+			s.CPU.Reprioritize(p, pr)
+		}
 		lastAttempt = st
 		attempt = attempt[:0]
 
+		s.K.Emit(journal.KRegister, t.ID, 0, 0, 0, "")
 		s.Mgr.Register(st)
 		err = s.body(p, st, t, &attempt)
 		if err == nil && s.Log != nil && len(st.WriteSet) > 0 {
@@ -235,12 +246,14 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 		}
 		s.Mgr.ReleaseAll(st)
 		s.Mgr.Unregister(st)
+		s.K.Emit(journal.KUnregister, t.ID, 0, 0, 0, "")
 		rec.Blocked += st.BlockedTime
 		rec.BlockedCount += st.BlockedCount
 
 		if !errors.Is(err, core.ErrRestart) {
 			break
 		}
+		s.K.Emit(journal.KRestart, t.ID, 0, int64(rec.Restarts), 0, "")
 		rec.Restarts++
 		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvRestart, -1, "")
 		if s.cfg.RestartDelay > 0 {
@@ -257,6 +270,7 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 	rec.Finish = p.Now()
 	switch {
 	case err == nil:
+		s.K.Emit(journal.KCommit, t.ID, 0, 0, 0, "")
 		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvCommit, -1, "")
 		rec.Outcome = stats.Committed
 		for _, obj := range lastAttempt.WriteSet {
@@ -271,6 +285,7 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 			s.History.Commit(t.ID)
 		}
 	case errors.Is(err, ErrDeadlineMissed):
+		s.K.Emit(journal.KDeadlineMiss, t.ID, 0, 0, 0, "")
 		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvDeadlineMiss, -1, "")
 		rec.Outcome = stats.DeadlineMissed
 	default:
@@ -312,6 +327,7 @@ func (s *System) body(p *sim.Proc, st *core.TxState, t *workload.Txn, attempt *[
 			note = fmt.Sprintf("%s blocked %.1fms", note, wait.Millis())
 		}
 		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvLockGrant, int32(op.Obj), note)
+		s.K.Emit(journal.KOp, t.ID, int32(op.Obj), int64(op.Mode), 0, "")
 		if s.History != nil {
 			*attempt = append(*attempt, attemptOp{obj: op.Obj, mode: op.Mode, at: p.Now()})
 		}

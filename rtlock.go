@@ -32,10 +32,12 @@ package rtlock
 import (
 	"fmt"
 
+	"rtlock/internal/audit"
 	"rtlock/internal/core"
 	"rtlock/internal/db"
 	"rtlock/internal/dist"
 	"rtlock/internal/experiments"
+	"rtlock/internal/journal"
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
@@ -213,6 +215,13 @@ type SingleSiteConfig struct {
 	// CheckpointEvery spaces WAL checkpoints (zero disables the
 	// checkpointer).
 	CheckpointEvery Duration
+	// Journal records every kernel-level event into Result.Journal;
+	// byte-identical journals across runs prove determinism.
+	Journal bool
+	// Audit implies Journal and additionally replays the journal
+	// through the protocol's invariant auditors; violations land in
+	// Result.Violations.
+	Audit bool
 }
 
 // DistributedConfig configures a distributed run (the setting of
@@ -260,6 +269,12 @@ type DistributedConfig struct {
 	// global approach; the local approach's stale replica reads are
 	// intentionally not serializable system-wide).
 	RecordHistory bool
+	// Journal records every kernel-level event into Result.Journal.
+	Journal bool
+	// Audit implies Journal and replays the journal through the
+	// architecture's invariant auditors; violations land in
+	// Result.Violations.
+	Audit bool
 }
 
 // RecoveryInfo summarizes the write-ahead log after a WAL-enabled run.
@@ -303,6 +318,12 @@ type Result struct {
 	// Messages is the total inter-site message count (distributed
 	// runs).
 	Messages int
+	// Journal is the deterministic replay journal, nil unless the
+	// Journal or Audit flag was set.
+	Journal *Journal
+	// Violations lists invariant violations found by the auditors; it
+	// is non-nil (possibly empty) exactly when Audit was set.
+	Violations []Violation
 }
 
 func (w *WorkloadConfig) fill(singleSite bool) {
@@ -365,6 +386,13 @@ func RunSingleSite(cfg SingleSiteConfig) (*Result, error) {
 	if cfg.TraceEvents > 0 {
 		trace = stats.NewTrace(cfg.TraceEvents)
 	}
+	var jrn *journal.Journal
+	if cfg.Journal || cfg.Audit {
+		jrn = journal.New(cfg.Workload.Seed, fmt.Sprintf(
+			"single/%s/db=%d/cpu=%d/io=%d/count=%d/size=%d/ro=%g",
+			cfg.Protocol, cfg.DBSize, int64(cfg.CPUPerObj), int64(cfg.IOPerObj),
+			cfg.Workload.Count, cfg.Workload.MeanSize, cfg.Workload.ReadOnlyFrac))
+	}
 	sys, err := txn.NewSystem(txn.Config{
 		CPUPerObj:       cfg.CPUPerObj,
 		IOPerObj:        cfg.IOPerObj,
@@ -376,13 +404,20 @@ func RunSingleSite(cfg SingleSiteConfig) (*Result, error) {
 		IODisks:         cfg.IODisks,
 		WAL:             cfg.WAL,
 		CheckpointEvery: cfg.CheckpointEvery,
+		Journal:         jrn,
 	})
 	if err != nil {
 		return nil, err
 	}
 	sys.Load(load)
 	sum := sys.Run()
-	res := &Result{Summary: sum, Records: sys.Monitor.Records(), Trace: trace}
+	res := &Result{Summary: sum, Records: sys.Monitor.Records(), Trace: trace, Journal: jrn}
+	if cfg.Audit {
+		res.Violations = audit.Run(jrn, audit.ForManager(sys.Mgr.Name())...)
+		if res.Violations == nil {
+			res.Violations = []Violation{}
+		}
+	}
 	if sys.Log != nil {
 		res.Recovery = &RecoveryInfo{
 			Records:          sys.Log.Records(),
@@ -418,6 +453,14 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 	if cfg.Global {
 		approach = dist.GlobalCeiling
 	}
+	var jrn *journal.Journal
+	if cfg.Journal || cfg.Audit {
+		jrn = journal.New(cfg.Workload.Seed, fmt.Sprintf(
+			"dist/%s/sites=%d/db=%d/delay=%d/count=%d/size=%d/ro=%g/mv=%t",
+			approach, cfg.Sites, cfg.DBSize, int64(cfg.CommDelay),
+			cfg.Workload.Count, cfg.Workload.MeanSize, cfg.Workload.ReadOnlyFrac,
+			cfg.Multiversion))
+	}
 	cluster, err := dist.NewCluster(dist.Config{
 		Approach:      approach,
 		Sites:         cfg.Sites,
@@ -431,6 +474,7 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 		SnapshotLag:   cfg.SnapshotLag,
 		SiteSpeed:     cfg.SiteSpeed,
 		RecordHistory: cfg.RecordHistory,
+		Journal:       jrn,
 	})
 	if err != nil {
 		return nil, err
@@ -465,6 +509,13 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 		Summary:  sum,
 		Records:  cluster.Monitor.Records(),
 		Messages: cluster.Net.Sent,
+		Journal:  jrn,
+	}
+	if cfg.Audit {
+		res.Violations = audit.Run(jrn, audit.ForApproach(approach.String())...)
+		if res.Violations == nil {
+			res.Violations = []Violation{}
+		}
 	}
 	if approach == dist.LocalCeiling {
 		repl := cluster.Replication()
