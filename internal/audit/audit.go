@@ -252,6 +252,7 @@ func (d *DeadlockFree) findCycle(start int64) []int64 {
 	for {
 		next, found := int64(0), false
 		// Deterministic walk: smallest successor first.
+		//rtlint:allow maprange min fold selects the smallest successor regardless of visit order
 		for n := range d.edges[cur] {
 			if !found || n < next {
 				next, found = n, true
@@ -439,13 +440,20 @@ func (t *TwoPCConsistent) Finish() []Violation {
 		if first.A != 1 {
 			continue
 		}
+		// Report abort-vote conflicts in site order, not map order, so
+		// two audits of the same journal emit identical reports.
+		abortSites := make([]int32, 0, len(t.votes[tx]))
 		for site, vote := range t.votes[tx] {
 			if vote == 0 {
-				v = append(v, Violation{
-					Rule: t.Name(), Seq: first.Seq, At: first.At, Tx: tx,
-					Detail: fmt.Sprintf("committed despite abort vote from site %d", site),
-				})
+				abortSites = append(abortSites, site)
 			}
+		}
+		sort.Slice(abortSites, func(i, j int) bool { return abortSites[i] < abortSites[j] })
+		for _, site := range abortSites {
+			v = append(v, Violation{
+				Rule: t.Name(), Seq: first.Seq, At: first.At, Tx: tx,
+				Detail: fmt.Sprintf("committed despite abort vote from site %d", site),
+			})
 		}
 		parts := make([]int64, 0, len(t.prepares[tx]))
 		for p := range t.prepares[tx] {

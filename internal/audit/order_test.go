@@ -1,0 +1,74 @@
+package audit
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rtlock/internal/journal"
+)
+
+// feedCommitDespiteAborts builds a TwoPCConsistent auditor that has seen
+// a transaction prepare at sites 0..n-1, receive an abort vote from
+// every site, and commit anyway — n violations whose emission order is
+// the behavior under test.
+func feedCommitDespiteAborts(n int) *TwoPCConsistent {
+	a := NewTwoPCConsistent()
+	seq := uint64(1)
+	for site := 0; site < n; site++ {
+		a.Observe(journal.Record{Seq: seq, Kind: journal.KTwoPCPrepare, Tx: 7, A: int64(site)})
+		seq++
+	}
+	for site := 0; site < n; site++ {
+		a.Observe(journal.Record{Seq: seq, Kind: journal.KTwoPCVote, Tx: 7, Site: int32(site), A: 0})
+		seq++
+	}
+	a.Observe(journal.Record{Seq: seq, Kind: journal.KTwoPCDecision, Tx: 7, A: 1})
+	return a
+}
+
+// TestAbortVoteViolationOrderDeterministic is the "after" half of the
+// maprange fix in TwoPCConsistent.Finish: auditing the same journal
+// repeatedly must emit the abort-vote violations in the same (site)
+// order every time, even though the votes live in a map.
+func TestAbortVoteViolationOrderDeterministic(t *testing.T) {
+	const sites = 12
+	ref := feedCommitDespiteAborts(sites).Finish()
+	if len(ref) < sites {
+		t.Fatalf("expected at least %d violations, got %d", sites, len(ref))
+	}
+	for trial := 0; trial < 50; trial++ {
+		got := feedCommitDespiteAborts(sites).Finish()
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("trial %d: violation order diverged:\n got %v\nwant %v", trial, got, ref)
+		}
+	}
+}
+
+// TestUnsortedMapOrderDiverges is the "before" half: it re-creates the
+// pre-fix pattern — emitting one line per abort vote directly in map
+// iteration order — and checks that it actually diverges across fresh
+// maps. This pins down that the runtime randomizes map order here, i.e.
+// the sort in Finish is load-bearing, not decorative.
+func TestUnsortedMapOrderDiverges(t *testing.T) {
+	emit := func() string {
+		votes := make(map[int32]int64)
+		for site := int32(0); site < 12; site++ {
+			votes[site] = 0
+		}
+		out := ""
+		for site, vote := range votes { //rtlint:allow maprange deliberately unsorted to demonstrate the bug class
+			if vote == 0 {
+				out += fmt.Sprintf("site %d;", site)
+			}
+		}
+		return out
+	}
+	first := emit()
+	for trial := 0; trial < 100; trial++ {
+		if emit() != first {
+			return // diverged, as the buggy pattern does
+		}
+	}
+	t.Skip("map iteration order did not vary in 100 trials on this runtime")
+}

@@ -208,6 +208,7 @@ func (m *Ceiling) ReleaseAll(tx *TxState) {
 // WriteCeiling returns the current write-priority ceiling of obj.
 func (m *Ceiling) WriteCeiling(obj ObjectID) sim.Priority {
 	ceil := sim.MinPriority
+	//rtlint:allow maprange commutative Max fold over base priorities, no side effects
 	for t := range m.writers[obj] {
 		ceil = ceil.Max(t.Base)
 	}
@@ -217,6 +218,7 @@ func (m *Ceiling) WriteCeiling(obj ObjectID) sim.Priority {
 // AbsCeiling returns the current absolute-priority ceiling of obj.
 func (m *Ceiling) AbsCeiling(obj ObjectID) sim.Priority {
 	ceil := m.WriteCeiling(obj)
+	//rtlint:allow maprange commutative Max fold over base priorities, no side effects
 	for t := range m.readers[obj] {
 		ceil = ceil.Max(t.Base)
 	}
@@ -234,6 +236,7 @@ func (m *Ceiling) RWCeiling(obj ObjectID) sim.Priority {
 	if m.exclusive {
 		return m.AbsCeiling(obj)
 	}
+	//rtlint:allow maprange any-write detection; result is the same whichever holder is seen first
 	for _, mode := range l.holders {
 		if mode == Write {
 			return m.AbsCeiling(obj)
@@ -269,6 +272,7 @@ func (m *Ceiling) grantable(tx *TxState, obj ObjectID, mode Mode) bool {
 func (m *Ceiling) maxOtherCeiling(tx *TxState) (sim.Priority, bool) {
 	ceil := sim.MinPriority
 	any := false
+	//rtlint:allow maprange commutative Max fold plus an existence flag, no side effects
 	for obj, l := range m.locks {
 		if _, mine := l.holders[tx]; mine {
 			continue
@@ -360,6 +364,7 @@ func (m *Ceiling) emitCeilingChange() {
 		return
 	}
 	ceil := sim.MinPriority
+	//rtlint:allow maprange commutative Max fold; RWCeiling reads lock state without mutating it
 	for obj := range m.locks {
 		ceil = ceil.Max(m.RWCeiling(obj))
 	}

@@ -1,5 +1,7 @@
 package core
 
+import "sort"
+
 // inheritGraph tracks which transactions are blocked by which lock
 // holders and propagates priority inheritance along the (possibly
 // transitive) blocking chain: a holder executes at the highest effective
@@ -39,13 +41,28 @@ func (g *inheritGraph) setBlame(w *TxState, holders []*TxState) {
 			ws[w] = struct{}{}
 		}
 		g.blockedOn[w] = set
-		for h := range set {
+		// Recompute in id order: the propagation below cuts cycles with
+		// a visited set, so traversal order is observable (it decides
+		// where a waits-for cycle is cut and in which order effective
+		// priorities move, which reaches CPU requeueing).
+		for _, h := range sortedTxSet(set) {
 			g.recompute(h, nil)
 		}
 	}
-	for h := range old {
+	for _, h := range sortedTxSet(old) {
 		g.recompute(h, nil)
 	}
+}
+
+// sortedTxSet flattens a transaction set into id order, keeping every
+// graph walk deterministic.
+func sortedTxSet(set map[*TxState]struct{}) []*TxState {
+	out := make([]*TxState, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // clear removes w from the graph entirely (granted, aborted, or departed)
@@ -53,7 +70,7 @@ func (g *inheritGraph) setBlame(w *TxState, holders []*TxState) {
 func (g *inheritGraph) clear(w *TxState) {
 	old := g.blockedOn[w]
 	g.clearEdges(w)
-	for h := range old {
+	for _, h := range sortedTxSet(old) {
 		g.recompute(h, nil)
 	}
 }
@@ -95,6 +112,8 @@ func (g *inheritGraph) recompute(h *TxState, visited map[*TxState]struct{}) {
 	}
 	visited[h] = struct{}{}
 	eff := h.Base
+	// Folding Max over the waiter set is order-independent.
+	//rtlint:allow maprange commutative Max fold with no side effects
 	for w := range g.waiters[h] {
 		eff = eff.Max(w.Eff())
 	}
@@ -103,7 +122,9 @@ func (g *inheritGraph) recompute(h *TxState, visited map[*TxState]struct{}) {
 	}
 	h.setEff(eff)
 	// The holder's new priority may need to flow to whoever blocks it.
-	for b := range g.blockedOn[h] {
+	// Recurse in id order: the shared visited set makes traversal order
+	// observable at waits-for cycles.
+	for _, b := range sortedTxSet(g.blockedOn[h]) {
 		g.recompute(b, visited)
 	}
 }

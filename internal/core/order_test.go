@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSortedTxSetDeterministic covers the "after" half of the maprange
+// fixes in inherit.go: flattening the same transaction set repeatedly —
+// and sets built in different insertion orders — always yields ID
+// order, so the inheritance graph walks (setBlame, clear, recompute)
+// visit transactions identically on every run.
+func TestSortedTxSetDeterministic(t *testing.T) {
+	txs := make([]*TxState, 16)
+	for i := range txs {
+		txs[i] = &TxState{ID: int64(100 - i)}
+	}
+	build := func(order []int) map[*TxState]struct{} {
+		set := make(map[*TxState]struct{})
+		for _, i := range order {
+			set[txs[i]] = struct{}{}
+		}
+		return set
+	}
+	forward := make([]int, len(txs))
+	backward := make([]int, len(txs))
+	for i := range txs {
+		forward[i] = i
+		backward[i] = len(txs) - 1 - i
+	}
+	ref := sortedTxSet(build(forward))
+	for i := 1; i < len(ref); i++ {
+		if ref[i-1].ID >= ref[i].ID {
+			t.Fatalf("sortedTxSet not in ascending ID order at %d: %d >= %d", i, ref[i-1].ID, ref[i].ID)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		order := forward
+		if trial%2 == 1 {
+			order = backward
+		}
+		got := sortedTxSet(build(order))
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: length %d, want %d", trial, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: order diverged at %d: tx %d, want %d", trial, i, got[i].ID, ref[i].ID)
+			}
+		}
+	}
+}
+
+// TestUnsortedTxSetDiverges is the matching "before" demonstration: the
+// pre-fix pattern ranged over the set directly, and with pointer keys
+// the iteration order varies run to run — which reached the journal via
+// inheritance-donation order at waits-for cycles.
+func TestUnsortedTxSetDiverges(t *testing.T) {
+	walk := func() []int64 {
+		set := make(map[*TxState]struct{})
+		for i := 0; i < 16; i++ {
+			set[&TxState{ID: int64(i)}] = struct{}{}
+		}
+		var order []int64
+		for tx := range set { //rtlint:allow maprange deliberately unsorted to demonstrate the bug class
+			order = append(order, tx.ID)
+		}
+		return order
+	}
+	first := walk()
+	for trial := 0; trial < 100; trial++ {
+		next := walk()
+		for i := range next {
+			if next[i] != first[i] {
+				return // diverged, as the buggy pattern does
+			}
+		}
+	}
+	t.Skip("map iteration order did not vary in 100 trials on this runtime")
+}

@@ -214,8 +214,18 @@ func (m *TwoPL) Waiting() int {
 // the lock table is deadlock-free right now. The waits-for relation
 // follows each waiter's current blame set.
 func (m *TwoPL) FindDeadlock() []*TxState {
+	// Build edges in object order. Each waiter sits in exactly one
+	// queue, so the edge sets would come out equal either way, but map
+	// order here would still decide edge-slice ordering if a transaction
+	// ever waited twice — sort instead of relying on that invariant.
+	objs := make([]ObjectID, 0, len(m.entries))
+	for obj := range m.entries {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
 	edges := make(map[*TxState][]*TxState)
-	for _, e := range m.entries {
+	for _, obj := range objs {
+		e := m.entries[obj]
 		for _, w := range e.queue {
 			edges[w.tx] = append(edges[w.tx], m.blameFor(e, w)...)
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"rtlock/internal/audit"
 	"rtlock/internal/db"
@@ -172,7 +173,24 @@ func DistributedSweep(p DistParams) (fig4, fig5, fig6 Figure, err error) {
 			}
 		}
 	}
+	// Sweep the grid in a fixed order. Each cell builds its own kernel,
+	// so results are per-cell deterministic either way, but map order
+	// would still reorder progress output and first-error selection.
+	cells := make([]key, 0, len(need))
 	for k := range need {
+		cells = append(cells, k)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.approach != b.approach {
+			return a.approach < b.approach
+		}
+		if a.mix != b.mix {
+			return a.mix < b.mix
+		}
+		return a.delay < b.delay
+	})
+	for _, k := range cells {
 		c, err2 := runGrid(p, k.approach, k.mix, k.delay)
 		if err2 != nil {
 			return fig4, fig5, fig6, err2

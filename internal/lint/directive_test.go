@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseDirectiveValid(t *testing.T) {
+	d, ok, err := ParseDirective("//rtlint:allow maprange commutative Max fold, no side effects")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if d.Analyzer != "maprange" {
+		t.Errorf("analyzer = %q", d.Analyzer)
+	}
+	if d.Reason != "commutative Max fold, no side effects" {
+		t.Errorf("reason = %q", d.Reason)
+	}
+}
+
+func TestParseDirectiveNotADirective(t *testing.T) {
+	for _, text := range []string{
+		"// plain comment",
+		"//go:generate stringer",
+		"//nolint:errcheck",
+		"/* block */",
+		"//",
+	} {
+		if _, ok, err := ParseDirective(text); ok || err != nil {
+			t.Errorf("%q: ok=%v err=%v, want inert", text, ok, err)
+		}
+	}
+}
+
+// TestParseDirectiveMalformed pins down that broken directives are
+// reported, never silently ignored: each is recognized as an attempted
+// directive (ok=true) carrying an error.
+func TestParseDirectiveMalformed(t *testing.T) {
+	cases := []struct {
+		text string
+		want error
+	}{
+		{"//rtlint:allow", ErrDirectiveAnalyzer},
+		{"//rtlint:allow   ", ErrDirectiveAnalyzer},
+		{"//rtlint:allow maprange", ErrDirectiveReason},
+		{"//rtlint:allow maprange   ", ErrDirectiveReason},
+		{"//rtlint:allow map-range because", ErrDirectiveBadName},
+		{"//rtlint:allow MapRange because", ErrDirectiveBadName},
+		{"//rtlint:allow 2maprange because", ErrDirectiveBadName},
+		{"//rtlint:deny maprange because", ErrDirectiveVerb},
+		{"//rtlint:allowmaprange because", ErrDirectiveVerb},
+		{"//rtlint:", ErrDirectiveVerb},
+		{"// rtlint:allow maprange because", ErrDirectiveSpace},
+		{"//  rtlint:allow maprange because", ErrDirectiveSpace},
+		{"/*rtlint:allow maprange because*/", ErrDirectiveSpace},
+	}
+	for _, c := range cases {
+		_, ok, err := ParseDirective(c.text)
+		if !ok {
+			t.Errorf("%q: not recognized as a directive attempt", c.text)
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("%q: err = %v, want %v", c.text, err, c.want)
+		}
+	}
+}
+
+// TestDirectiveTrailingReasonKept checks that everything after the
+// analyzer name is the reason, whitespace-normalized.
+func TestDirectiveTrailingReasonKept(t *testing.T) {
+	d, ok, err := ParseDirective("//rtlint:allow selectorder   reason   with\tmixed   spacing")
+	if !ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if d.Reason != "reason with mixed spacing" {
+		t.Errorf("reason = %q", d.Reason)
+	}
+}
+
+// FuzzDirective asserts the parser never panics and never both accepts
+// and errors inconsistently, for arbitrary comment text.
+func FuzzDirective(f *testing.F) {
+	seeds := []string{
+		"//rtlint:allow maprange commutative fold",
+		"//rtlint:allow wallclock reason",
+		"//rtlint:allow maprange",
+		"//rtlint:allow",
+		"//rtlint:deny maprange x",
+		"//rtlint:",
+		"//rtlint:allow map-range why",
+		"// rtlint:allow maprange why",
+		"/*rtlint:allow maprange why*/",
+		"// want \"foo\"",
+		"//go:build linux",
+		"//",
+		"",
+		"//rtlint:allow maprange \x00\xff",
+		"//rtlint:allow m reason",
+		"//rtlint:allow maprange\treason",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok, err := ParseDirective(text)
+		if !ok && err != nil {
+			t.Fatalf("%q: error %v on a non-directive", text, err)
+		}
+		if ok && err == nil {
+			if !validAnalyzerName(d.Analyzer) {
+				t.Fatalf("%q: accepted invalid analyzer name %q", text, d.Analyzer)
+			}
+			if strings.TrimSpace(d.Reason) == "" {
+				t.Fatalf("%q: accepted empty reason", text)
+			}
+			if !strings.HasPrefix(text, "//rtlint:allow") {
+				t.Fatalf("%q: accepted without the canonical prefix", text)
+			}
+		}
+	})
+}

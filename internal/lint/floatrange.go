@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatRange flags floating-point accumulation inside a map range.
+// Float addition is not associative: summing the same values in two
+// different map orders yields different low bits, which then reach
+// reported aggregates (miss percentages, throughput means) and break
+// replay comparisons. Accumulate over a sorted slice instead, or fold
+// with an order-insensitive operation.
+var FloatRange = &Analyzer{
+	Name: "floatrange",
+	Doc:  "flags floating-point accumulation inside map ranges, where summation order changes the result",
+	Run:  runFloatRange,
+}
+
+func runFloatRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass.Info, rs) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(bn ast.Node) bool {
+				as, ok := bn.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				if pos, ok := floatAccumulation(pass, as); ok {
+					pass.Reportf(pos, "floating-point accumulation inside a map range depends on iteration order; sum over a sorted slice instead")
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// floatAccumulation matches `x += e`, `x -= e`, `x *= e`, `x /= e`, and
+// `x = x + e` forms with a float-typed target.
+func floatAccumulation(pass *Pass, as *ast.AssignStmt) (token.Pos, bool) {
+	if len(as.Lhs) != 1 {
+		return token.NoPos, false
+	}
+	lhs := as.Lhs[0]
+	t := pass.Info.TypeOf(lhs)
+	if t == nil || !isFloatType(t) {
+		return token.NoPos, false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return as.TokPos, true
+	case token.ASSIGN:
+	default:
+		return token.NoPos, false
+	}
+	// x = x <op> e (or x = e <op> x): the target feeds its own update.
+	lid, ok := lhs.(*ast.Ident)
+	if !ok {
+		return token.NoPos, false
+	}
+	lobj := declOrUseObj(pass.Info, lid)
+	if lobj == nil || len(as.Rhs) != 1 {
+		return token.NoPos, false
+	}
+	bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+	if !ok {
+		return token.NoPos, false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return token.NoPos, false
+	}
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		if id, ok := side.(*ast.Ident); ok && pass.Info.Uses[id] == lobj {
+			return as.TokPos, true
+		}
+	}
+	return token.NoPos, false
+}

@@ -1,0 +1,48 @@
+package lint
+
+// GlobalRand forbids the top-level math/rand convenience functions in
+// simulation packages. They draw from a process-global, unseeded (or
+// racily shared) source, so two runs with the same configuration
+// diverge. Randomness must flow from a seeded *rand.Rand owned by the
+// run — exactly how internal/workload threads Params.Seed through
+// rand.New(rand.NewSource(seed)). The constructors stay legal; it is
+// the package-level draws that are banned.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbids top-level math/rand draws; use a seeded *rand.Rand as internal/workload does",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed names the math/rand package-level functions that do
+// not touch the global source.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runGlobalRand(pass *Pass) error {
+	report := collectUses(pass, func(pkgPath, name string) bool {
+		if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+			return false
+		}
+		if globalRandAllowed[name] {
+			return false
+		}
+		// Types (Rand, Source, Zipf, PCG...) are fine; only the
+		// package-level draw functions and Seed are nondeterministic.
+		// Matching on the exported funcs by exclusion keeps the list
+		// short: anything not a constructor is a draw or Seed.
+		return name[0] >= 'A' && name[0] <= 'Z' && !globalRandTypes[name]
+	})
+	for _, u := range report {
+		pass.Reportf(u.pos, "rand.%s draws from the process-global source; plumb a seeded *rand.Rand through the run instead", u.name)
+	}
+	return nil
+}
+
+// globalRandTypes are math/rand names that are types, legal to mention.
+var globalRandTypes = map[string]bool{
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+	"PCG": true, "ChaCha8": true,
+}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `range` statements over maps whose iteration order can
+// escape the loop: in simulation code any map-ordered effect — a wake-up,
+// a journal record, an element appended to a slice — makes two identical
+// runs diverge. The analyzer recognizes the two shapes that cannot leak
+// order:
+//
+//   - the collect-then-sort idiom Kernel.Shutdown uses: the body only
+//     appends keys/values to slices that are sorted later in the same
+//     block;
+//   - pure order-insensitive accumulation: integer counters, deletes,
+//     per-key map stores, constant flag assignments, and constant-only
+//     early returns (the "any element matches" pattern).
+//
+// Everything else needs either a sort or a justified
+// //rtlint:allow maprange suppression.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flags nondeterministic map iteration whose order can reach scheduling, journal emission, or aggregate state",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass.Info, rs) {
+				return true
+			}
+			checkMapRange(pass, parents, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, parents parentMap, rs *ast.RangeStmt) {
+	b := &benignChecker{info: pass.Info, loopVars: rangeVarObjs(pass.Info, rs)}
+	if !b.stmts(rs.Body.List) {
+		pass.Reportf(rs.For,
+			"range over map %s has nondeterministic iteration order; collect and sort keys first (as sim.Kernel.Shutdown does) or justify with //rtlint:allow maprange <reason>",
+			exprString(rs.X))
+		return
+	}
+	// Every slice the loop collected into must be sorted before the
+	// enclosing block does anything else with it.
+	for _, target := range b.collected {
+		if !sortedAfter(pass.Info, parents, rs, target) {
+			pass.Reportf(rs.For,
+				"range over map %s collects into %s in map order but never sorts it in this block; add a sort.Slice (or similar) after the loop",
+				exprString(rs.X), target.Name())
+		}
+	}
+}
+
+// rangeVarObjs returns the objects bound to the range's key and value
+// variables (nil entries for _ or absent).
+func rangeVarObjs(info *types.Info, rs *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := declOrUseObj(info, id); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// benignChecker decides whether a loop body is provably
+// order-insensitive, collecting the append targets it sees.
+type benignChecker struct {
+	info      *types.Info
+	loopVars  []types.Object
+	collected []types.Object
+}
+
+func (b *benignChecker) stmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if !b.stmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *benignChecker) stmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return true
+	case *ast.BlockStmt:
+		return b.stmts(s.List)
+	case *ast.BranchStmt:
+		// continue just skips an element; break makes "which elements
+		// ran" order-dependent.
+		return s.Tok == token.CONTINUE
+	case *ast.IfStmt:
+		if s.Init != nil && !b.stmt(s.Init) {
+			return false
+		}
+		if !b.stmts(s.Body.List) {
+			return false
+		}
+		return s.Else == nil || b.stmt(s.Else)
+	case *ast.IncDecStmt:
+		t := b.info.TypeOf(s.X)
+		return t != nil && isIntegerType(t)
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		// delete(m, k) is commutative across iterations.
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if bi, ok := b.info.Uses[id].(*types.Builtin); ok && bi.Name() == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.AssignStmt:
+		return b.assign(s)
+	case *ast.ReturnStmt:
+		// Early return is benign only when it carries no order
+		// information: every result is a constant (true/false/nil/lit).
+		for _, r := range s.Results {
+			if !isConstExpr(b.info, r) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (b *benignChecker) assign(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Integer accumulation is associative and commutative;
+		// floating-point is floatrange's concern and not benign here.
+		if len(s.Lhs) != 1 {
+			return false
+		}
+		t := b.info.TypeOf(s.Lhs[0])
+		return t != nil && isIntegerType(t)
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return false
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	// s = append(s, ...): collect, to be sorted after the loop.
+	if target, ok := b.appendTarget(lhs, rhs); ok {
+		b.collected = append(b.collected, target)
+		return true
+	}
+	// m[k] = v keyed by a loop variable writes a per-element slot, so
+	// iteration order cannot alias two writes.
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		if t := b.info.TypeOf(ix.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap && b.usesLoopVar(ix.Index) {
+				return true
+			}
+		}
+	}
+	// x = true / x = 0: idempotent constant store.
+	if _, ok := lhs.(*ast.Ident); ok && isConstExpr(b.info, rhs) {
+		return true
+	}
+	return false
+}
+
+// appendTarget matches `s = append(s, ...)` and returns s's object.
+func (b *benignChecker) appendTarget(lhs, rhs ast.Expr) (types.Object, bool) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if bi, ok := b.info.Uses[id].(*types.Builtin); !ok || bi.Name() != "append" {
+		return nil, false
+	}
+	lid, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	aid, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	lobj := declOrUseObj(b.info, lid)
+	if lobj == nil || lobj != b.info.Uses[aid] {
+		return nil, false
+	}
+	return lobj, true
+}
+
+func (b *benignChecker) usesLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := b.info.Uses[id]
+			for _, lv := range b.loopVars {
+				if obj == lv {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isConstExpr reports whether e is a compile-time constant (literal,
+// true/false, nil, or a named constant).
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok {
+		if tv.Value != nil || tv.IsNil() {
+			return true
+		}
+	}
+	return false
+}
+
+// sortFuncs are the callees accepted as "sorting the collected slice".
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Ints": true, "Strings": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether some statement after rs in its enclosing
+// block sorts the collected slice.
+func sortedAfter(info *types.Info, parents parentMap, rs *ast.RangeStmt, target types.Object) bool {
+	list, idx, ok := enclosingStmts(parents, rs)
+	if !ok {
+		return false
+	}
+	for _, s := range list[idx+1:] {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			names, ok := sortFuncs[pn.Imported().Path()]
+			if !ok || !names[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				argFound := false
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && info.Uses[id] == target {
+						argFound = true
+					}
+					return !argFound
+				})
+				if argFound {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

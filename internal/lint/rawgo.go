@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// RawGo forbids `go` statements in simulation packages outside the
+// kernel's process-spawn handshake. The kernel guarantees at most one
+// runnable goroutine at a time by pairing every spawn with the
+// resume/yield channel protocol in internal/sim/proc.go; a goroutine
+// created anywhere else runs unsynchronized with virtual time and races
+// the journal. The parallel experiment runner is the one other
+// allow-listed site: it fans out whole independent kernels and joins
+// them by run index, never sharing simulation state.
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc:  "forbids go statements outside the kernel spawn handshake and the allow-listed parallel sweep runner",
+	Run:  runRawGo,
+}
+
+func runRawGo(pass *Pass) error {
+	allowed := func(filename string) bool {
+		slash := filepath.ToSlash(filename)
+		for _, suffix := range pass.Config.GoSpawnAllowlist {
+			if strings.HasSuffix(slash, suffix) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		if allowed(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Go, "go statement outside the kernel spawn handshake; use Kernel.Spawn so the scheduler keeps one runnable process")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+// Package floatrange is a golden fixture for the float-accumulation
+// analyzer.
+package floatrange
+
+// Flagged: float sum in map order.
+func mean(samples map[int64]float64) float64 {
+	total := 0.0
+	for _, v := range samples {
+		total += v // want "accumulation inside a map range"
+	}
+	return total / float64(len(samples))
+}
+
+// Flagged: explicit self-assignment form.
+func product(samples map[int64]float64) float64 {
+	p := 1.0
+	for _, v := range samples {
+		p = p * v // want "accumulation inside a map range"
+	}
+	return p
+}
+
+// Flagged: subtraction is order-sensitive too.
+func drain(budget map[string]float64) float64 {
+	left := 100.0
+	for _, cost := range budget {
+		left -= cost // want "accumulation inside a map range"
+	}
+	return left
+}
+
+// OK: integer accumulation commutes.
+func total(counts map[string]int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// OK: float accumulation over an ordered slice.
+func sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// OK: float assignment that is not self-accumulating.
+func last(samples map[int64]float64) bool {
+	seen := false
+	for range samples {
+		seen = true
+	}
+	return seen
+}

@@ -1,0 +1,34 @@
+// Package globalrand is a golden fixture for the global-rand analyzer.
+package globalrand
+
+import "math/rand"
+
+// Flagged: draws from the process-global source.
+func roll() int {
+	return rand.Intn(6) // want "process-global source"
+}
+
+// Flagged: global float draw.
+func jitter() float64 {
+	return rand.Float64() // want "process-global source"
+}
+
+// Flagged: reseeding the global source is still global state.
+func reseed() {
+	rand.Seed(42) // want "process-global source"
+}
+
+// Flagged: global shuffle.
+func mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global source"
+}
+
+// OK: a seeded source owned by the caller, the internal/workload way.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// OK: method draws on an owned generator.
+func draw(rng *rand.Rand) int {
+	return rng.Intn(6)
+}

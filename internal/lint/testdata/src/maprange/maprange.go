@@ -1,0 +1,127 @@
+// Package maprange is a golden fixture: `// want` comments mark the
+// lines the analyzer must flag; unmarked map ranges must stay silent.
+package maprange
+
+import "sort"
+
+func sideEffect(id int64) {}
+
+// Flagged: the loop body calls out, so iteration order escapes.
+func leakyCall(m map[int64]string) {
+	for id := range m { // want "nondeterministic iteration order"
+		sideEffect(id)
+	}
+}
+
+// Flagged: appending values in map order without sorting afterwards.
+func collectNoSort(m map[int64]string) []string {
+	var out []string
+	for _, v := range m { // want "never sorts it in this block"
+		out = append(out, v)
+	}
+	return out
+}
+
+// OK: the Kernel.Shutdown idiom — collect, then sort in the same block.
+func collectThenSort(m map[int64]string) []int64 {
+	ids := make([]int64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// OK: conditional collect followed by a sort.
+func conditionalCollect(m map[int64]int64) []int64 {
+	var big []int64
+	for id, v := range m {
+		if v > 10 {
+			big = append(big, id)
+		}
+	}
+	sort.Slice(big, func(i, j int) bool { return big[i] < big[j] })
+	return big
+}
+
+// OK: integer counters commute.
+func count(m map[int64]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// OK: integer accumulation commutes.
+func sumInts(m map[int64]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// OK: any-match early return carries no order information.
+func anyNegative(m map[int64]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// OK: per-key map store cannot alias across iterations.
+func invert(m map[int64]string) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for id, name := range m {
+		out[name] = id
+	}
+	return out
+}
+
+// OK: deletes commute.
+func drop(m, cond map[int64]bool) {
+	for id := range cond {
+		delete(m, id)
+	}
+}
+
+// Flagged: break makes the visited subset order-dependent.
+func stopEarly(m map[int64]int) int {
+	n := 0
+	for _, v := range m { // want "nondeterministic iteration order"
+		if v == 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Flagged: returning a ranged element leaks order.
+func pickOne(m map[int64]string) string {
+	for _, v := range m { // want "nondeterministic iteration order"
+		return v
+	}
+	return ""
+}
+
+// Flagged: float accumulation is order-sensitive (maprange view).
+func sumFloats(m map[int64]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "nondeterministic iteration order"
+		total += v
+	}
+	return total
+}
+
+// OK: ranging a slice is ordered; nothing to flag.
+func slices_(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,30 @@
+// Package selectorder is a golden fixture for the select analyzer.
+package selectorder
+
+// Flagged: two ready cases race.
+func race(a, b chan int) int {
+	select { // want "chooses a ready case at random"
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	}
+}
+
+// Flagged: default turns a receive into a nondeterministic poll.
+func poll(c chan int) (int, bool) {
+	select { // want "polls nondeterministically"
+	case x := <-c:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+// OK: a single-case select is just a blocking receive.
+func recv(c chan int) int {
+	select {
+	case x := <-c:
+		return x
+	}
+}

@@ -1,0 +1,32 @@
+// Package wallclock is a golden fixture for the wall-clock analyzer.
+package wallclock
+
+import "time"
+
+// Flagged: reads the real clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "reads the wall clock"
+}
+
+// Flagged: sleeps against the real clock.
+func pause() {
+	time.Sleep(time.Millisecond) // want "reads the wall clock"
+}
+
+// Flagged: timers race virtual time.
+func timer() *time.Timer { // want "reads the wall clock"
+	return time.NewTimer(time.Second) // want "reads the wall clock"
+}
+
+// Flagged: measuring elapsed real time.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "reads the wall clock"
+}
+
+// OK: durations are plain numbers.
+const tick = 10 * time.Millisecond
+
+// OK: formatting a provided time value reads no clock.
+func format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}

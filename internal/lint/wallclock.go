@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+// WallClock forbids reading or waiting on the real clock inside
+// simulation packages. The discrete-event kernel owns time: virtual
+// sim.Time advances only through the event heap, so a time.Now or
+// time.Sleep smuggles wall-clock nondeterminism into an execution that
+// must replay byte-identically. time.Duration constants remain legal —
+// they are plain numbers.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/Sleep/After/Since and timer types in simulation packages; use virtual sim.Time",
+	Run:  runWallClock,
+}
+
+// wallClockBanned lists the package-level names of "time" that read or
+// schedule against the real clock.
+var wallClockBanned = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+	"Timer": true, "Ticker": true,
+}
+
+func runWallClock(pass *Pass) error {
+	report := collectUses(pass, func(pkgPath, name string) bool {
+		return pkgPath == "time" && wallClockBanned[name]
+	})
+	for _, u := range report {
+		pass.Reportf(u.pos, "time.%s reads the wall clock; simulation code must use virtual sim.Time (kernel After/Sleep)", u.name)
+	}
+	return nil
+}
+
+// use is one flagged identifier occurrence.
+type use struct {
+	pos  token.Pos
+	name string
+}
+
+// collectUses scans the package's resolved identifier uses and returns
+// the matching ones in stable position order (types.Info maps iterate
+// randomly; sorting here keeps rtlint's own output deterministic).
+func collectUses(pass *Pass, match func(pkgPath, name string) bool) []use {
+	var out []use
+	//rtlint:allow maprange uses are gathered into a slice and sorted by position below
+	for id, obj := range pass.Info.Uses {
+		if obj == nil || obj.Pkg() == nil {
+			continue
+		}
+		if obj.Parent() != obj.Pkg().Scope() {
+			continue // methods, fields, locals — not package-level names
+		}
+		if match(obj.Pkg().Path(), obj.Name()) {
+			out = append(out, use{pos: id.Pos(), name: obj.Name()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
