@@ -14,6 +14,12 @@
 //	rtdbsim audit -spec run.json -chrome t.json
 //	rtdbsim replay -protocol C -runs 3         # prove byte-identical journals
 //	rtdbsim replay -spec run.json -against saved.jsonl
+//
+// A third subcommand runs distributed configurations under deterministic
+// fault injection (site crashes, message loss, partitions):
+//
+//	rtdbsim faults -plan examples/specs/faultplan.json -approach global
+//	rtdbsim faults -severities 0,0.5,1 -runs 4 -count 120
 package main
 
 import (
@@ -41,11 +47,13 @@ func run(args []string) error {
 			return runAudit(args[1:])
 		case "replay":
 			return runReplay(args[1:])
+		case "faults":
+			return runFaults(args[1:])
 		}
 	}
 	fs := flag.NewFlagSet("rtdbsim", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "which experiment: fig2..fig6, dbsize, semantics, inherit, restart, priority, buffer, hotspot, predictability, consistency, placement, custom, all")
+		experiment = fs.String("experiment", "all", "which experiment: fig2..fig6, dbsize, semantics, inherit, restart, priority, buffer, hotspot, predictability, consistency, placement, faultsweep, custom, all")
 		runs       = fs.Int("runs", 0, "override runs per point (0 keeps the default)")
 		count      = fs.Int("count", 0, "override transactions per run (0 keeps the default)")
 		seed       = fs.Int64("seed", 1, "base random seed")
@@ -89,6 +97,9 @@ func run(args []string) error {
 				return fmt.Errorf("audit: %d invariant violations", n)
 			}
 			fmt.Println("audit: all invariants hold")
+		}
+		if res.Net != nil {
+			fmt.Printf("net: %s\n", res.Net)
 		}
 		if res.Replication != nil {
 			fmt.Printf("replication: %+v\n", *res.Replication)
@@ -199,6 +210,21 @@ func run(args []string) error {
 		emit(f)
 	case "consistency":
 		f, err := experiments.ConsistencyAblation(dp)
+		if err != nil {
+			return err
+		}
+		emit(f)
+	case "faultsweep":
+		fp := experiments.DefaultFaults()
+		fp.BaseSeed = *seed
+		fp.Audit = *auditRuns
+		if *runs > 0 {
+			fp.Runs = *runs
+		}
+		if *count > 0 {
+			fp.Count = *count
+		}
+		f, err := experiments.FaultSweep(fp)
 		if err != nil {
 			return err
 		}

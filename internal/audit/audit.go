@@ -109,6 +109,28 @@ func ForApproach(approach string) []Auditor {
 	return auds
 }
 
+// ForFaults returns the auditors applicable to a distributed run with a
+// fault plan attached. Crash, loss, and partition events do not weaken
+// lock safety, strict two-phase locking, deadlock freedom, or two-phase
+// commit agreement — those must hold across any plan. Global
+// serializability is the exception: while the global ceiling manager's
+// site is down, transactions degrade to their home sites' failover
+// managers, and histories synchronized by different managers carry no
+// cross-manager ordering guarantee (see DESIGN.md, "Fault model"). The
+// local approach keeps its per-site serializability: each judged
+// history is guarded by a single site's manager throughout.
+func ForFaults(approach string) []Auditor {
+	if approach != "global" {
+		return ForApproach(approach)
+	}
+	return []Auditor{
+		NewStrictTwoPhase(),
+		NewLockSafety(),
+		NewDeadlockFree(),
+		NewTwoPCConsistent(),
+	}
+}
+
 // grouper detects the record-group convention the emitters use: a
 // blocking (or re-blame) episode with several blamed transactions is
 // written as consecutive records sharing kind, transaction, object, and
@@ -321,7 +343,9 @@ func (s *StrictTwoPhase) Finish() []Violation { return s.v }
 // LockSafety checks grant compatibility: at no instant do two
 // transactions hold conflicting locks on the same (site, object). This
 // is the ground-level guarantee the lock managers provide and every
-// other property builds on.
+// other property builds on. A site crash (KSiteCrash, fault runs only)
+// discards that site's volatile lock table without individual release
+// records, so the auditor clears the site's holders there too.
 type LockSafety struct {
 	holders map[lockKey]map[int64]int64 // (site,obj) -> tx -> mode
 	v       []Violation
@@ -368,6 +392,12 @@ func (l *LockSafety) Observe(r journal.Record) {
 		}
 	case journal.KLockRelease:
 		delete(l.holders[key], r.Tx)
+	case journal.KSiteCrash:
+		for k := range l.holders {
+			if k.site == r.Site {
+				delete(l.holders, k)
+			}
+		}
 	}
 }
 

@@ -18,16 +18,24 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"rtlock/internal/check"
 	"rtlock/internal/core"
 	"rtlock/internal/db"
+	"rtlock/internal/faults"
 	"rtlock/internal/journal"
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
+	"rtlock/internal/wal"
 	"rtlock/internal/workload"
 )
+
+// ErrSiteCrashed aborts work resident at a site the fault plan crashed:
+// its volatile state is gone, so in-flight transactions and installers
+// there are killed (and recorded as missed).
+var ErrSiteCrashed = errors.New("dist: home site crashed")
 
 // Approach selects the distributed locking architecture.
 type Approach int
@@ -112,6 +120,14 @@ type Config struct {
 	// production participants are memory-resident and always vote
 	// commit.
 	VoteFault func(site db.SiteID, txID int64) bool
+	// TwoPCRetries bounds the coordinator's prepare re-sends and a
+	// recovering participant's decision-resolution attempts when a
+	// fault plan is attached (zero means the default of 3).
+	TwoPCRetries int
+	// TwoPCTimeout is the per-phase 2PC timeout under an attached
+	// fault plan (zero picks 4× the farthest participant delay plus
+	// 10ms, doubling per retry).
+	TwoPCTimeout sim.Duration
 }
 
 func (c *Config) fill() error {
@@ -166,6 +182,9 @@ func (c *Config) fill() error {
 		if c.InstallTimeout < 10*sim.Millisecond {
 			c.InstallTimeout = 10 * sim.Millisecond
 		}
+	}
+	if c.TwoPCRetries <= 0 {
+		c.TwoPCRetries = 3
 	}
 	return nil
 }
@@ -235,6 +254,43 @@ type Cluster struct {
 	installSeq int64
 	twopc      map[int64]*voteCollector
 	decisions  int
+
+	// Fault-plan state, inert until AttachFaults is called. faultsOn
+	// gates every behavioral addition so a cluster without a plan is
+	// byte-identical to earlier revisions.
+	faultsOn   bool
+	injector   *faults.Injector
+	crashed    []bool
+	failover   []*core.Ceiling
+	gcmDown    bool
+	wals       []*wal.Log
+	prepared   []map[int64]*preparedTx
+	resolveTok map[resolveKey]*sim.Token
+	liveTx     []map[int64]*sim.Proc
+	gcmReg     map[int64]*gcmEntry
+}
+
+// preparedTx is a participant's volatile state for an in-doubt
+// transaction: it voted yes (the vote is on its WAL) and awaits the
+// decision; timeout fires a resolver if the decision never arrives.
+type preparedTx struct {
+	coord   db.SiteID
+	objs    []core.ObjectID
+	timeout *sim.Event
+}
+
+// resolveKey identifies one participant's decision-resolution attempt.
+type resolveKey struct {
+	site db.SiteID
+	tx   int64
+}
+
+// gcmEntry tracks a registration at the global ceiling manager so a
+// crash can evict orphaned state.
+type gcmEntry struct {
+	st   *core.TxState
+	home db.SiteID
+	p    *sim.Proc
 }
 
 // NewCluster assembles a cluster.
@@ -309,6 +365,166 @@ func (c *Cluster) FailSite(site db.SiteID, at, recoverAt sim.Time) {
 	}
 }
 
+// AttachFaults wires a fault plan into the cluster before Run: the
+// plan's injector becomes the network's per-message fault source, its
+// crash/partition windows are scheduled as kernel events, and the
+// crash-aware protocol paths switch on — participant votes are WAL-
+// forced and redone on recovery, the coordinator retries prepares with
+// bounded backoff and presumes abort, and (global approach) lock
+// traffic fails over to per-site local ceiling managers while the GCM
+// site is down. Attaching an empty plan enables the same machinery but
+// injects nothing; the run's journal stays byte-identical to one
+// without the plan.
+func (c *Cluster) AttachFaults(plan *faults.Plan, seed int64) error {
+	if err := plan.Validate(c.cfg.Sites); err != nil {
+		return err
+	}
+	if !c.faultsOn {
+		c.faultsOn = true
+		c.crashed = make([]bool, c.cfg.Sites)
+		c.resolveTok = make(map[resolveKey]*sim.Token)
+		c.liveTx = make([]map[int64]*sim.Proc, c.cfg.Sites)
+		c.wals = make([]*wal.Log, c.cfg.Sites)
+		c.prepared = make([]map[int64]*preparedTx, c.cfg.Sites)
+		for i := 0; i < c.cfg.Sites; i++ {
+			c.liveTx[i] = make(map[int64]*sim.Proc)
+			c.wals[i] = wal.NewLog()
+			c.prepared[i] = make(map[int64]*preparedTx)
+		}
+		if c.cfg.Approach == GlobalCeiling {
+			c.gcmReg = make(map[int64]*gcmEntry)
+			c.failover = make([]*core.Ceiling, c.cfg.Sites)
+			for i := range c.failover {
+				c.failover[i] = c.newFailoverMgr(i)
+			}
+		}
+	}
+	c.injector = faults.New(plan, seed)
+	c.injector.Install(c.K, c.Net, c.cfg.Sites, faults.Hooks{
+		OnCrash:   c.onCrash,
+		OnRecover: c.onRecover,
+	})
+	return nil
+}
+
+// WAL returns a site's write-ahead log (nil before AttachFaults), for
+// inspection in tests and reports.
+func (c *Cluster) WAL(site db.SiteID) *wal.Log {
+	if c.wals == nil {
+		return nil
+	}
+	return c.wals[site]
+}
+
+func (c *Cluster) newFailoverMgr(site int) *core.Ceiling {
+	m := core.NewCeiling(c.K)
+	m.SetJournalSite(int32(site))
+	return m
+}
+
+// onCrash loses a site's volatile state: resident transactions and
+// installers die, un-decided 2PC bookkeeping vanishes (the WAL
+// survives), and — global approach — the GCM evicts the site's
+// registrations, or is itself marked down when the crashed site hosts
+// it. Network unreachability is flipped by the injector before this
+// hook runs.
+func (c *Cluster) onCrash(siteID db.SiteID) {
+	c.crashed[siteID] = true
+
+	// Kill resident transactions, in id order for determinism.
+	ids := make([]int64, 0, len(c.liveTx[siteID]))
+	for id := range c.liveTx[siteID] {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c.liveTx[siteID][id].Interrupt(ErrSiteCrashed)
+	}
+
+	// Wipe volatile 2PC participant state; pending decision timers die
+	// with it. The WAL keeps the forced votes for recovery.
+	ptIDs := make([]int64, 0, len(c.prepared[siteID]))
+	for id := range c.prepared[siteID] {
+		ptIDs = append(ptIDs, id)
+	}
+	sort.Slice(ptIDs, func(i, j int) bool { return ptIDs[i] < ptIDs[j] })
+	for _, id := range ptIDs {
+		if ev := c.prepared[siteID][id].timeout; ev != nil {
+			ev.Cancel()
+		}
+	}
+	c.prepared[siteID] = make(map[int64]*preparedTx)
+
+	if c.cfg.Approach == GlobalCeiling {
+		if siteID == c.cfg.GCMSite {
+			c.gcmDown = true
+		} else {
+			// The GCM detects the crash and releases the site's
+			// orphaned registrations (the killed transactions skip
+			// their own release).
+			evictIDs := make([]int64, 0)
+			for id, e := range c.gcmReg {
+				if e.home == siteID {
+					evictIDs = append(evictIDs, id)
+				}
+			}
+			sort.Slice(evictIDs, func(i, j int) bool { return evictIDs[i] < evictIDs[j] })
+			for _, id := range evictIDs {
+				e := c.gcmReg[id]
+				c.gcm.ReleaseAll(e.st)
+				c.gcm.Unregister(e.st)
+				delete(c.gcmReg, id)
+			}
+			c.emit(c.cfg.GCMSite, journal.KResync, 0, 0, int64(len(evictIDs)), int64(siteID), "evict")
+		}
+		// The crashed site's failover manager state is volatile too.
+		c.failover[siteID] = c.newFailoverMgr(int(siteID))
+	}
+	if c.cfg.Approach == LocalCeiling {
+		// The local ceiling manager's lock table is volatile: recovery
+		// restarts it empty (killed residents skip their releases).
+		s := c.sites[siteID]
+		s.mgr = core.NewCeiling(c.K)
+		s.mgr.SetJournalSite(int32(siteID))
+	}
+}
+
+// onRecover brings a site back: it replays the WAL's in-doubt votes
+// into fresh prepared state and spawns resolvers to settle them with
+// their coordinators; a recovering GCM site purges registrations whose
+// transactions died while it was down and resumes global locking.
+func (c *Cluster) onRecover(siteID db.SiteID) {
+	c.crashed[siteID] = false
+	if c.cfg.Approach != GlobalCeiling {
+		return
+	}
+	pending := c.wals[siteID].PendingVotes()
+	c.emit(siteID, journal.KWALRedo, 0, 0, int64(len(pending)), 0, "")
+	for _, v := range pending {
+		c.prepared[siteID][v.Tx] = &preparedTx{coord: db.SiteID(v.Coord), objs: v.Objs}
+	}
+	for _, v := range pending {
+		c.spawnResolver(siteID, v.Tx)
+	}
+	if siteID == c.cfg.GCMSite {
+		c.gcmDown = false
+		purgeIDs := make([]int64, 0)
+		for id, e := range c.gcmReg {
+			if e.p.Dead() {
+				purgeIDs = append(purgeIDs, id)
+			}
+		}
+		sort.Slice(purgeIDs, func(i, j int) bool { return purgeIDs[i] < purgeIDs[j] })
+		for _, id := range purgeIDs {
+			e := c.gcmReg[id]
+			c.gcm.ReleaseAll(e.st)
+			c.gcm.Unregister(e.st)
+			delete(c.gcmReg, id)
+		}
+		c.emit(siteID, journal.KResync, 0, 0, int64(len(purgeIDs)), int64(siteID), "resync")
+	}
+}
+
 // Config returns the effective configuration (defaults filled in).
 func (c *Cluster) Config() Config { return c.cfg }
 
@@ -316,15 +532,52 @@ func (c *Cluster) Config() Config { return c.cfg }
 // approach).
 func (c *Cluster) Replication() ReplicationStats { return c.repl }
 
+// NetReport aggregates the run's message-layer counters: the network's
+// send and loss counts plus every site's message-server delivery and
+// no-handler counts.
+func (c *Cluster) NetReport() stats.NetReport {
+	r := stats.NetReport{
+		Sent:         c.Net.Sent,
+		DroppedDown:  c.Net.DroppedDown,
+		DroppedCut:   c.Net.DroppedCut,
+		DroppedFault: c.Net.DroppedFault,
+		Duplicated:   c.Net.Duplicated,
+	}
+	for _, s := range c.sites {
+		srv := c.Net.Server(s.id)
+		r.Delivered += srv.Delivered
+		r.DroppedNoHandler += srv.Dropped
+	}
+	return r
+}
+
 // Site returns site i's store, for inspection in tests and examples.
 func (c *Cluster) Store(i db.SiteID) *db.Store { return c.sites[i].store }
 
-// Load schedules the transactions' arrivals.
+// Load schedules the transactions' arrivals. An arrival at a crashed
+// site is lost with the site's volatile state: it is recorded as an
+// immediate miss and never spawns a process.
 func (c *Cluster) Load(txs []*workload.Txn) {
 	for _, t := range txs {
 		t := t
 		c.K.At(t.Arrival, func() {
+			if c.faultsOn && c.crashed[t.Home] {
+				c.emit(t.Home, journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
+				c.emit(t.Home, journal.KDeadlineMiss, t.ID, 0, 0, 0, "crashed")
+				c.Monitor.Add(stats.TxRecord{
+					ID: t.ID, Site: t.Home, Size: t.Size(),
+					ReadOnly: t.Kind == workload.ReadOnly,
+					Arrival:  t.Arrival, Start: t.Arrival,
+					Deadline: t.Deadline, Finish: c.K.Now(),
+					Outcome: stats.DeadlineMissed,
+				})
+				return
+			}
 			c.K.Spawn(fmt.Sprintf("tx%d", t.ID), func(p *sim.Proc) {
+				if c.faultsOn {
+					c.liveTx[t.Home][t.ID] = p
+					defer delete(c.liveTx[t.Home], t.ID)
+				}
 				if c.cfg.Approach == GlobalCeiling {
 					c.execGlobal(p, t)
 				} else {
@@ -413,7 +666,11 @@ func (c *Cluster) record(p *sim.Proc, t *workload.Txn, st *core.TxState, err err
 		}
 	} else {
 		rec.Outcome = stats.DeadlineMissed
-		c.emit(t.Home, journal.KDeadlineMiss, t.ID, 0, 0, 0, "")
+		note := ""
+		if errors.Is(err, ErrSiteCrashed) {
+			note = "crashed"
+		}
+		c.emit(t.Home, journal.KDeadlineMiss, t.ID, 0, 0, 0, note)
 	}
 	c.Monitor.Add(rec)
 }

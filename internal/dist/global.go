@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"errors"
 	"sort"
 
 	"rtlock/internal/core"
@@ -18,74 +19,130 @@ import (
 // locks are released at the GCM after the outcome, so they are held
 // across the network for the duration of the communication delays — the
 // cost the paper attributes to this approach.
+//
+// With a fault plan attached, a transaction arriving while the GCM site
+// is down degrades gracefully: it registers with its home site's
+// failover ceiling manager instead (journaled as KFailover) and keeps
+// all locking local for that attempt. The choice is sticky per attempt,
+// preserving strict two-phase locking against a single manager; global
+// serializability across managers is deliberately not promised during
+// degraded windows (see DESIGN.md, "Fault model").
 func (c *Cluster) execGlobal(p *sim.Proc, t *workload.Txn) {
 	st := c.newTxState(p, t)
 	home := t.Home
-	gcmSite := c.cfg.GCMSite
+	mgr, mgrSite := c.gcm, c.cfg.GCMSite
+	degraded := false
+	if c.faultsOn && c.gcmDown && home != c.cfg.GCMSite {
+		mgr, mgrSite, degraded = c.failover[home], home, true
+	}
 	msgs := 0
 	c.emit(home, journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
+	if degraded {
+		c.emit(home, journal.KFailover, t.ID, 0, int64(c.cfg.GCMSite), 0, "")
+	}
 
 	// Announce the transaction (its access sets feed the ceilings) to
-	// the GCM. The registration message departs before the first lock
-	// request, so it is in effect when that request arrives.
-	if home == gcmSite {
-		c.emit(gcmSite, journal.KRegister, t.ID, 0, 0, 0, "")
-		c.gcm.Register(st)
+	// the manager. The registration message departs before the first
+	// lock request, so it is in effect when that request arrives.
+	if home == mgrSite {
+		c.emit(mgrSite, journal.KRegister, t.ID, 0, 0, 0, "")
+		mgr.Register(st)
+		c.trackGCMReg(mgr, t.ID, home, p, st)
 	} else {
 		msgs++
-		c.K.After(c.Net.Delay(home, gcmSite), func() {
-			c.emit(gcmSite, journal.KRegister, t.ID, 0, 0, 0, "")
-			c.gcm.Register(st)
+		c.K.After(c.Net.Delay(home, mgrSite), func() {
+			if c.faultsOn && !c.Net.Reachable(home, mgrSite) {
+				return // the registration message is lost
+			}
+			c.emit(mgrSite, journal.KRegister, t.ID, 0, 0, 0, "")
+			mgr.Register(st)
+			c.trackGCMReg(mgr, t.ID, home, p, st)
 		})
 	}
 
 	deadlineEv := c.K.At(t.Deadline, func() { p.Interrupt(txn.ErrDeadlineMissed) })
-	err := c.globalBody(p, st, t, &msgs)
+	err := c.globalBody(p, st, t, mgr, mgrSite, &msgs)
 	deadlineEv.Cancel()
 
-	// Release at the GCM. A remote transaction's release is one more
-	// message; the locks stay held while it travels.
-	if home == gcmSite {
-		c.gcm.ReleaseAll(st)
-		c.gcm.Unregister(st)
-		c.emit(gcmSite, journal.KUnregister, t.ID, 0, 0, 0, "")
+	// Release at the manager. A remote transaction's release is one
+	// more message; the locks stay held while it travels. A transaction
+	// killed by its home site's crash skips the release — the GCM
+	// evicted its registration when it detected the crash.
+	if c.faultsOn && errors.Is(err, ErrSiteCrashed) {
+		c.record(p, t, st, err, msgs)
+		return
+	}
+	if home == mgrSite {
+		mgr.ReleaseAll(st)
+		mgr.Unregister(st)
+		c.emit(mgrSite, journal.KUnregister, t.ID, 0, 0, 0, "")
+		c.untrackGCMReg(mgr, t.ID)
 	} else {
 		msgs++
-		c.K.After(c.Net.Delay(home, gcmSite), func() {
-			c.gcm.ReleaseAll(st)
-			c.gcm.Unregister(st)
-			c.emit(gcmSite, journal.KUnregister, t.ID, 0, 0, 0, "")
+		c.K.After(c.Net.Delay(home, mgrSite), func() {
+			if c.faultsOn && !c.Net.Reachable(home, mgrSite) {
+				return // the release message is lost; resync reclaims it
+			}
+			mgr.ReleaseAll(st)
+			mgr.Unregister(st)
+			c.emit(mgrSite, journal.KUnregister, t.ID, 0, 0, 0, "")
+			c.untrackGCMReg(mgr, t.ID)
 		})
 	}
 	if err == nil {
 		// Apply committed writes at their primary sites (writes were
 		// performed there during the access phase; the values become
-		// visible at commit).
+		// visible at commit). Under a fault plan, remote primaries are
+		// 2PC participants and install their own share when the commit
+		// decision reaches them.
 		for _, obj := range st.WriteSet {
-			c.sites[c.Catalog.PrimarySite(obj)].store.Write(obj, t.ID, p.Now())
+			owner := c.Catalog.PrimarySite(obj)
+			if c.faultsOn && owner != home {
+				continue
+			}
+			c.sites[owner].store.Write(obj, t.ID, p.Now())
 		}
 	}
 	c.record(p, t, st, err, msgs)
 }
 
-func (c *Cluster) globalBody(p *sim.Proc, st *core.TxState, t *workload.Txn, msgs *int) error {
+// trackGCMReg remembers a registration at the real GCM so crash
+// detection can evict it; failover-manager registrations die with their
+// (volatile, rebuilt-on-crash) manager instead.
+func (c *Cluster) trackGCMReg(mgr *core.Ceiling, txID int64, home db.SiteID, p *sim.Proc, st *core.TxState) {
+	if c.faultsOn && mgr == c.gcm {
+		c.gcmReg[txID] = &gcmEntry{st: st, home: home, p: p}
+	}
+}
+
+func (c *Cluster) untrackGCMReg(mgr *core.Ceiling, txID int64) {
+	if c.faultsOn && mgr == c.gcm {
+		delete(c.gcmReg, txID)
+	}
+}
+
+func (c *Cluster) globalBody(p *sim.Proc, st *core.TxState, t *workload.Txn, mgr *core.Ceiling, mgrSite db.SiteID, msgs *int) error {
 	home := t.Home
-	gcmSite := c.cfg.GCMSite
 	remoteWriters := make(map[int]bool)
 
 	for _, op := range t.Ops {
-		// Lock at the global ceiling manager.
-		if home != gcmSite {
+		if c.faultsOn && c.crashed[home] {
+			// The home site crashed while this process had a wake in
+			// flight; it must not keep executing.
+			return ErrSiteCrashed
+		}
+		// Lock at the ceiling manager.
+		if home != mgrSite {
 			*msgs += 2
-			if err := c.Net.Hop(p, home, gcmSite); err != nil {
+			if err := c.Net.Hop(p, home, mgrSite); err != nil {
 				return err
 			}
 		}
-		if err := c.gcm.Acquire(p, st, op.Obj, op.Mode); err != nil {
+		if err := mgr.Acquire(p, st, op.Obj, op.Mode); err != nil {
 			return err
 		}
-		if home != gcmSite {
-			if err := c.Net.Hop(p, gcmSite, home); err != nil {
+		if home != mgrSite {
+			if err := c.Net.Hop(p, mgrSite, home); err != nil {
 				return err
 			}
 		}
@@ -124,7 +181,20 @@ func (c *Cluster) globalBody(p *sim.Proc, st *core.TxState, t *workload.Txn, msg
 			parts = append(parts, db.SiteID(site))
 		}
 		sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
-		if err := c.runTwoPC(p, home, t.ID, parts, msgs); err != nil {
+		objsBySite := make(map[db.SiteID][]core.ObjectID)
+		if c.faultsOn {
+			// Each participant's share of the write-set rides in its
+			// prepare, so it can install the writes itself when the
+			// commit decision (possibly resolved after a crash)
+			// reaches it.
+			for _, obj := range st.WriteSet {
+				owner := c.Catalog.PrimarySite(obj)
+				if owner != home {
+					objsBySite[owner] = append(objsBySite[owner], obj)
+				}
+			}
+		}
+		if err := c.runTwoPC(p, home, t.ID, parts, objsBySite, msgs); err != nil {
 			return err
 		}
 	}

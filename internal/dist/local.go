@@ -38,6 +38,10 @@ type installMsg struct {
 // inconsistency the approach trades for responsiveness.
 func (c *Cluster) execLocal(p *sim.Proc, t *workload.Txn) {
 	home := c.sites[t.Home]
+	// Pin the manager instance for the whole attempt: a crash replaces
+	// the site's (volatile) manager, and registration/release must pair
+	// up against the same one.
+	mgr := home.mgr
 	st := core.NewTxState(t.ID, t.Priority(), p)
 	st.ReadSet = t.ReadSet()
 	st.WriteSet = t.WriteSet()
@@ -45,11 +49,17 @@ func (c *Cluster) execLocal(p *sim.Proc, t *workload.Txn) {
 
 	c.emit(home.id, journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
 	c.emit(home.id, journal.KRegister, t.ID, 0, 0, 0, "")
-	home.mgr.Register(st)
+	mgr.Register(st)
 	deadlineEv := c.K.At(t.Deadline, func() { p.Interrupt(txn.ErrDeadlineMissed) })
 	var reads []readSample
-	err := c.localBody(p, st, t, home, &reads)
+	err := c.localBody(p, st, t, home, mgr, &reads)
 	deadlineEv.Cancel()
+	if c.faultsOn && errors.Is(err, ErrSiteCrashed) {
+		// The home site crashed: its manager (with this registration)
+		// was already discarded wholesale.
+		c.record(p, t, st, err, 0)
+		return
+	}
 
 	var versions map[core.ObjectID]db.Version
 	if err == nil && len(st.WriteSet) > 0 {
@@ -65,8 +75,8 @@ func (c *Cluster) execLocal(p *sim.Proc, t *workload.Txn) {
 	if err == nil && t.Kind == workload.ReadOnly && len(reads) >= 2 {
 		c.classifyView(reads)
 	}
-	home.mgr.ReleaseAll(st)
-	home.mgr.Unregister(st)
+	mgr.ReleaseAll(st)
+	mgr.Unregister(st)
 	c.emit(home.id, journal.KUnregister, t.ID, 0, 0, 0, "")
 
 	msgs := 0
@@ -93,12 +103,17 @@ type readSample struct {
 	seq int64
 }
 
-func (c *Cluster) localBody(p *sim.Proc, st *core.TxState, t *workload.Txn, home *site, reads *[]readSample) error {
+func (c *Cluster) localBody(p *sim.Proc, st *core.TxState, t *workload.Txn, home *site, mgr *core.Ceiling, reads *[]readSample) error {
 	// Snapshot reads pin the view to a single instant old enough for
 	// propagation to have completed everywhere.
 	snapshotAt := t.Arrival.Add(-c.cfg.SnapshotLag)
 	for _, op := range t.Ops {
-		if err := home.mgr.Acquire(p, st, op.Obj, op.Mode); err != nil {
+		if c.faultsOn && c.crashed[home.id] {
+			// A wake was already in flight when the site crashed; the
+			// process must not keep executing there.
+			return ErrSiteCrashed
+		}
+		if err := mgr.Acquire(p, st, op.Obj, op.Mode); err != nil {
 			return err
 		}
 		if op.Mode == core.Read {
@@ -212,16 +227,22 @@ func (c *Cluster) install(p *sim.Proc, s *site, msg installMsg) {
 	id := int64(1)<<40 + c.installSeq
 	prio := sim.Priority{Deadline: int64(msg.deadline), TxID: id}
 	for attempt := 0; attempt < c.cfg.InstallRetries; attempt++ {
+		if c.faultsOn && c.crashed[s.id] {
+			return // the replica crashed; the update dies with it
+		}
+		// Pin the manager per attempt: a crash replaces it, and this
+		// attempt's release must pair with its own registration.
+		mgr := s.mgr
 		st := core.NewTxState(id, prio, p)
 		st.WriteSet = msg.objs
 		st.OnPrioChange = func(pr sim.Priority) { s.cpu.Reprioritize(p, pr) }
 		c.emit(s.id, journal.KRegister, id, 0, int64(attempt), 0, "install")
-		s.mgr.Register(st)
+		mgr.Register(st)
 		timeout := c.K.After(c.cfg.InstallTimeout, func() { p.Interrupt(errInstallTimeout) })
-		err := c.installBody(p, st, s, msg)
+		err := c.installBody(p, st, s, mgr, msg)
 		timeout.Cancel()
-		s.mgr.ReleaseAll(st)
-		s.mgr.Unregister(st)
+		mgr.ReleaseAll(st)
+		mgr.Unregister(st)
 		c.emit(s.id, journal.KUnregister, id, 0, int64(attempt), 0, "install")
 		switch {
 		case err == nil:
@@ -229,6 +250,8 @@ func (c *Cluster) install(p *sim.Proc, s *site, msg installMsg) {
 			c.emit(s.id, journal.KInstall, msg.origin, 0, id, int64(attempt), "")
 			return
 		case errors.Is(err, sim.ErrShutdown):
+			return
+		case c.faultsOn && errors.Is(err, ErrSiteCrashed):
 			return
 		}
 		if p.Sleep(c.cfg.InstallTimeout/4) != nil {
@@ -239,9 +262,12 @@ func (c *Cluster) install(p *sim.Proc, s *site, msg installMsg) {
 	c.emit(s.id, journal.KInstallDrop, msg.origin, 0, id, 0, "")
 }
 
-func (c *Cluster) installBody(p *sim.Proc, st *core.TxState, s *site, msg installMsg) error {
+func (c *Cluster) installBody(p *sim.Proc, st *core.TxState, s *site, mgr *core.Ceiling, msg installMsg) error {
 	for _, obj := range msg.objs {
-		if err := s.mgr.Acquire(p, st, obj, core.Write); err != nil {
+		if c.faultsOn && c.crashed[s.id] {
+			return ErrSiteCrashed
+		}
+		if err := mgr.Acquire(p, st, obj, core.Write); err != nil {
 			return err
 		}
 		if err := s.use(p, st.Eff(), c.cfg.ApplyPerObj); err != nil {

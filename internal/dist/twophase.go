@@ -1,6 +1,10 @@
 package dist
 
 import (
+	"errors"
+	"fmt"
+
+	"rtlock/internal/core"
 	"rtlock/internal/db"
 	"rtlock/internal/journal"
 	"rtlock/internal/netsim"
@@ -13,19 +17,32 @@ import (
 // decision without waiting — the paper's transaction manager "executes
 // the two-phase commit protocol to ensure that a transaction commits or
 // aborts globally".
+//
+// With a fault plan attached the protocol hardens to presumed-abort:
+// participants force their yes-votes to the write-ahead log (becoming
+// prepared — no unilateral abort afterwards), the coordinator forces
+// commit decisions before shipping them and retries unanswered prepares
+// with bounded doubling backoff, and a prepared participant whose
+// decision never arrives resolves it with the coordinator's site —
+// which answers from its log, or "pending" while the vote round is
+// still open, or abort by presumption.
 const (
 	preparePort  = "2pc-prepare"
 	votePort     = "2pc-vote"
 	decisionPort = "2pc-decision"
+	resolvePort  = "2pc-resolve"
+	resolvedPort = "2pc-resolved"
 )
 
 type prepareMsg struct {
 	txID  int64
 	coord db.SiteID
+	objs  []core.ObjectID
 }
 
 type voteMsg struct {
 	txID   int64
+	from   db.SiteID
 	commit bool
 }
 
@@ -34,12 +51,36 @@ type decisionMsg struct {
 	commit bool
 }
 
+// resolveMsg asks a coordinator's site for a transaction's outcome.
+type resolveMsg struct {
+	txID int64
+	from db.SiteID
+}
+
+// Resolution statuses carried by resolvedMsg.
+const (
+	statusAbort   = 0
+	statusCommit  = 1
+	statusPending = 2
+)
+
+type resolvedMsg struct {
+	txID   int64
+	status int
+}
+
 // voteCollector gathers one transaction's votes at the coordinator.
+// Votes are deduplicated per participant so injected duplicates and
+// retry re-votes cannot satisfy the count early.
 type voteCollector struct {
 	need  int
-	votes int
+	voted map[db.SiteID]bool
 	tok   *sim.Token
 }
+
+// errPhaseTimeout unparks a coordinator whose vote round went
+// unanswered; it retries or presumes abort.
+var errPhaseTimeout = errors.New("dist: 2pc phase timed out")
 
 // registerTwoPCHandlers wires prepare/vote/decision ports at every site.
 func (c *Cluster) registerTwoPCHandlers() {
@@ -51,13 +92,7 @@ func (c *Cluster) registerTwoPCHandlers() {
 			if !ok {
 				return
 			}
-			// Memory-resident participants have no log force; they
-			// vote immediately. A configured VoteFault lets tests
-			// force the abort vote this site would otherwise never
-			// cast.
-			commit := c.cfg.VoteFault == nil || !c.cfg.VoteFault(s.id, msg.txID)
-			c.emit(s.id, journal.KTwoPCVote, msg.txID, 0, b2i(commit), 0, "")
-			c.Net.Send(s.id, msg.coord, votePort, voteMsg{txID: msg.txID, commit: commit})
+			c.handlePrepare(s.id, msg)
 		})
 		srv.Handle(votePort, func(m netsim.Message) {
 			msg, ok := m.Payload.(voteMsg)
@@ -72,8 +107,11 @@ func (c *Cluster) registerTwoPCHandlers() {
 				col.tok.Wake(errVoteAbort)
 				return
 			}
-			col.votes++
-			if col.votes >= col.need {
+			if col.voted[msg.from] {
+				return // duplicate (injected copy or retry re-vote)
+			}
+			col.voted[msg.from] = true
+			if len(col.voted) >= col.need {
 				col.tok.Wake(nil)
 			}
 		})
@@ -81,9 +119,155 @@ func (c *Cluster) registerTwoPCHandlers() {
 			if msg, ok := m.Payload.(decisionMsg); ok {
 				c.decisions++
 				c.emit(s.id, journal.KTwoPCDecision, msg.txID, 0, b2i(msg.commit), 0, "")
+				if c.faultsOn {
+					c.applyDecision(s.id, msg.txID, msg.commit)
+				}
+			}
+		})
+		srv.Handle(resolvePort, func(m netsim.Message) {
+			msg, ok := m.Payload.(resolveMsg)
+			if !ok || !c.faultsOn {
+				return
+			}
+			// Presumed-abort resolution at the coordinator's site: a
+			// logged commit answers commit; an open vote round answers
+			// pending; everything else is an abort by presumption.
+			status := statusAbort
+			if commit, known := c.wals[s.id].Decision(msg.txID); known && commit {
+				status = statusCommit
+			} else if _, active := c.twopc[msg.txID]; active {
+				status = statusPending
+			}
+			c.Net.Send(s.id, msg.from, resolvedPort, resolvedMsg{txID: msg.txID, status: status})
+		})
+		srv.Handle(resolvedPort, func(m netsim.Message) {
+			msg, ok := m.Payload.(resolvedMsg)
+			if !ok || !c.faultsOn {
+				return
+			}
+			switch msg.status {
+			case statusCommit, statusAbort:
+				commit := msg.status == statusCommit
+				c.decisions++
+				c.emit(s.id, journal.KTwoPCDecision, msg.txID, 0, b2i(commit), 0, "resolved")
+				c.applyDecision(s.id, msg.txID, commit)
+			case statusPending:
+				if tok := c.resolveTok[resolveKey{site: s.id, tx: msg.txID}]; tok != nil {
+					tok.Wake(errPhaseTimeout)
+				}
 			}
 		})
 	}
+}
+
+// handlePrepare is a participant's side of the vote round.
+func (c *Cluster) handlePrepare(siteID db.SiteID, msg prepareMsg) {
+	if c.faultsOn {
+		if commit, known := c.wals[siteID].Decision(msg.txID); known {
+			// Already settled here (duplicate prepare after the
+			// decision): restate the outcome without re-voting.
+			c.Net.Send(siteID, msg.coord, votePort, voteMsg{txID: msg.txID, from: siteID, commit: commit})
+			return
+		}
+		if c.prepared[siteID][msg.txID] != nil {
+			// Duplicate prepare while in doubt: the vote is already
+			// forced; just re-send it.
+			c.emit(siteID, journal.KTwoPCVote, msg.txID, 0, 1, 1, "dup")
+			c.Net.Send(siteID, msg.coord, votePort, voteMsg{txID: msg.txID, from: siteID, commit: true})
+			return
+		}
+	}
+	// Memory-resident participants have no log force in the fault-free
+	// mode; they vote immediately. A configured VoteFault lets tests
+	// force the abort vote this site would otherwise never cast.
+	commit := c.cfg.VoteFault == nil || !c.cfg.VoteFault(siteID, msg.txID)
+	c.emit(siteID, journal.KTwoPCVote, msg.txID, 0, b2i(commit), 0, "")
+	if c.faultsOn && commit {
+		// Force the vote: from here on this participant is prepared
+		// and may only learn the outcome, never presume it.
+		c.wals[siteID].AppendVote(msg.txID, c.K.Now(), int(msg.coord), msg.objs)
+		pt := &preparedTx{coord: msg.coord, objs: msg.objs}
+		c.prepared[siteID][msg.txID] = pt
+		site, tx := siteID, msg.txID
+		pt.timeout = c.K.After(2*c.phaseTimeout(siteID, msg.coord), func() {
+			c.spawnResolver(site, tx)
+		})
+	}
+	c.Net.Send(siteID, msg.coord, votePort, voteMsg{txID: msg.txID, from: siteID, commit: commit})
+}
+
+// applyDecision settles an in-doubt transaction at a participant:
+// the outcome is logged, the writes install on commit, and any waiting
+// resolver is released. Unprepared (or already settled) participants
+// ignore it.
+func (c *Cluster) applyDecision(siteID db.SiteID, tx int64, commit bool) {
+	pt := c.prepared[siteID][tx]
+	if pt == nil {
+		return
+	}
+	c.wals[siteID].AppendDecision(tx, commit)
+	if pt.timeout != nil {
+		pt.timeout.Cancel()
+	}
+	delete(c.prepared[siteID], tx)
+	if commit {
+		for _, obj := range pt.objs {
+			c.sites[siteID].store.Write(obj, tx, c.K.Now())
+		}
+	}
+	if tok := c.resolveTok[resolveKey{site: siteID, tx: tx}]; tok != nil {
+		tok.Wake(nil)
+	}
+}
+
+// spawnResolver starts a bounded resolution loop for one in-doubt
+// transaction: ask the coordinator's site, back off, retry. On
+// exhaustion the participant stays prepared — it never unilaterally
+// aborts — awaiting a duplicate decision or the next recovery.
+func (c *Cluster) spawnResolver(siteID db.SiteID, tx int64) {
+	key := resolveKey{site: siteID, tx: tx}
+	if c.resolveTok[key] != nil {
+		return // already resolving
+	}
+	pt := c.prepared[siteID][tx]
+	if pt == nil || c.crashed[siteID] {
+		return
+	}
+	coord := pt.coord
+	c.resolveTok[key] = &sim.Token{} // reserve before the proc first runs
+	c.K.Spawn(fmt.Sprintf("resolve-%d@%d", tx, siteID), func(p *sim.Proc) {
+		defer delete(c.resolveTok, key)
+		for attempt := 0; attempt <= c.cfg.TwoPCRetries; attempt++ {
+			if c.prepared[siteID][tx] == nil || c.crashed[siteID] {
+				return // settled meanwhile, or we crashed again
+			}
+			c.emit(siteID, journal.KRetry, tx, 0, int64(attempt), 0, "resolve")
+			c.Net.Send(siteID, coord, resolvePort, resolveMsg{txID: tx, from: siteID})
+			tok := &sim.Token{}
+			c.resolveTok[key] = tok
+			tev := c.K.After(c.phaseTimeout(siteID, coord)<<uint(attempt), func() {
+				tok.Wake(errPhaseTimeout)
+			})
+			err := p.Park(tok)
+			tev.Cancel()
+			if err == nil {
+				return // decision arrived and was applied
+			}
+			if !errors.Is(err, errPhaseTimeout) {
+				return // shutdown or crash interrupt
+			}
+		}
+	})
+}
+
+// phaseTimeout is the per-phase 2PC timeout for one link: the
+// configured value, or 4× the link delay plus 10ms (mirroring the
+// network's synchronous time-out default).
+func (c *Cluster) phaseTimeout(a, b db.SiteID) sim.Duration {
+	if c.cfg.TwoPCTimeout > 0 {
+		return c.cfg.TwoPCTimeout
+	}
+	return 4*c.Net.Delay(a, b) + 10*sim.Millisecond
 }
 
 // errVoteAbort would flow from a participant voting no; with
@@ -95,24 +279,80 @@ type errDecisionAbort struct{}
 func (errDecisionAbort) Error() string { return "dist: participant voted abort" }
 
 // runTwoPC coordinates commit across the participants. It returns nil
-// when every vote arrived, or the interruption error if the coordinator
-// was aborted mid-protocol (deadline); either way the decision is sent
-// to all participants.
-func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants []db.SiteID, msgs *int) error {
+// when every vote arrived, or the error that aborted the coordinator
+// mid-protocol (deadline, crash, exhausted retries); the decision is
+// shipped to every participant unless the coordinator's own site
+// crashed — then the decision is left to presumed-abort resolution.
+func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants []db.SiteID, objsBySite map[db.SiteID][]core.ObjectID, msgs *int) error {
 	if len(participants) == 0 {
 		return nil
 	}
-	col := &voteCollector{need: len(participants), tok: &sim.Token{}}
+	col := &voteCollector{need: len(participants), voted: make(map[db.SiteID]bool)}
 	c.twopc[txID] = col
-	col.tok.OnCancel = func() { delete(c.twopc, txID) }
+	var maxd sim.Duration
 	for _, s := range participants {
-		*msgs += 2 // prepare out, vote back
-		c.emit(home, journal.KTwoPCPrepare, txID, 0, int64(s), 0, "")
-		c.Net.Send(home, s, preparePort, prepareMsg{txID: txID, coord: home})
+		if d := c.Net.Delay(home, s); d > maxd {
+			maxd = d
+		}
 	}
-	err := p.Park(col.tok)
+	base := c.cfg.TwoPCTimeout
+	if base <= 0 {
+		base = 4*maxd + 10*sim.Millisecond
+	}
+	attempts := 1
+	if c.faultsOn {
+		attempts = 1 + c.cfg.TwoPCRetries
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.emit(home, journal.KRetry, txID, 0, int64(attempt), 0, "prepare")
+		}
+		for _, s := range participants {
+			if col.voted[s] {
+				continue // already has this participant's yes-vote
+			}
+			*msgs += 2 // prepare out, vote back
+			c.emit(home, journal.KTwoPCPrepare, txID, 0, int64(s), int64(attempt), "")
+			c.Net.Send(home, s, preparePort, prepareMsg{txID: txID, coord: home, objs: objsBySite[s]})
+		}
+		tok := &sim.Token{}
+		tok.OnCancel = func() { delete(c.twopc, txID) }
+		col.tok = tok
+		var tev *sim.Event
+		if c.faultsOn {
+			// Doubling backoff per retry round.
+			tev = c.K.After(base<<uint(attempt), func() { tok.Wake(errPhaseTimeout) })
+		}
+		err = p.Park(tok)
+		if tev != nil {
+			tev.Cancel()
+		}
+		if err == nil {
+			break
+		}
+		if !c.faultsOn || !errors.Is(err, errPhaseTimeout) {
+			break // abort vote, deadline, crash, shutdown
+		}
+		if len(col.voted) >= col.need {
+			// The last vote landed as the timer fired.
+			err = nil
+			break
+		}
+	}
 	delete(c.twopc, txID)
 	commit := err == nil
+	if c.faultsOn && errors.Is(err, ErrSiteCrashed) {
+		// The coordinator's site crashed: it cannot decide or ship.
+		// Prepared participants resolve against its log — which has no
+		// commit record — and presume abort.
+		return err
+	}
+	if c.faultsOn && commit {
+		// Presumed-abort: only the commit decision is forced to the
+		// coordinator's log (aborts are presumed from its absence).
+		c.wals[home].AppendDecision(txID, true)
+	}
 	c.emit(home, journal.KTwoPCDecision, txID, 0, b2i(commit), 0, "coord")
 	for _, s := range participants {
 		*msgs++

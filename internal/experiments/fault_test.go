@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+// TestFaultSoak is the CI soak: a short randomized-plan severity sweep
+// with auditing on. FaultSweep fails on the first invariant violation,
+// so a green run certifies that every generated plan — crashes,
+// partitions, loss — left the protocol auditors satisfied for both
+// architectures.
+func TestFaultSoak(t *testing.T) {
+	p := DefaultFaults().Scale(0.1, 2)
+	p.Audit = true
+	p.Severities = []float64{0, 0.5, 1}
+	for _, seed := range []int64{1, 99} {
+		p.BaseSeed = seed
+		fig, err := FaultSweep(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(fig.Series) == 0 {
+			t.Fatalf("seed %d: empty figure", seed)
+		}
+	}
+}
+
+func TestFaultSweepScale(t *testing.T) {
+	p := DefaultFaults()
+	s := p.Scale(0.01, 1)
+	if s.Count < 20 {
+		t.Fatalf("Count = %d, want the floor of 20", s.Count)
+	}
+	if s.Runs != 1 {
+		t.Fatalf("Runs = %d", s.Runs)
+	}
+}

@@ -1,0 +1,199 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// declarative Plan of site crash/recovery windows, per-link message
+// faults (drop, duplicate, delay jitter), and symmetric network
+// partitions, compiled into an Injector that the network consults on
+// every inter-site message. All randomness — both when generating a
+// plan and when rolling per-message fates — comes from seeded PRNG
+// streams consumed in deterministic kernel order, so identical
+// (seed, config, plan) triples produce byte-identical replay journals.
+//
+// An empty plan is a strict no-op: it draws no random numbers,
+// schedules no events, and appends no journal records, so a run with
+// an empty plan is byte-identical to a run without the subsystem.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Times in a plan are virtual-time ticks (1 tick = 1µs), matching the
+// simulation kernel, so plans are plain integers in JSON.
+
+// Crash takes a site down at At and (optionally) brings it back at
+// RecoverAt. A crash loses the site's volatile state — in-flight
+// transactions and unresolved commit-protocol bookkeeping — while its
+// write-ahead log survives and is replayed on recovery. RecoverAt <= At
+// means the site stays down for the rest of the run.
+type Crash struct {
+	Site      int   `json:"site"`
+	At        int64 `json:"at"`
+	RecoverAt int64 `json:"recover_at,omitempty"`
+}
+
+// LinkFault injects message-level faults on a directed link while
+// active. From/To of -1 match any site. A message rolled on an active
+// rule is dropped with probability Drop; surviving messages are
+// duplicated with probability Dup and each delivered copy gains an
+// independent uniform delay in [0, JitterMax] ticks. End <= Start means
+// the rule stays active for the rest of the run.
+type LinkFault struct {
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Start     int64   `json:"start,omitempty"`
+	End       int64   `json:"end,omitempty"`
+	Drop      float64 `json:"drop,omitempty"`
+	Dup       float64 `json:"dup,omitempty"`
+	JitterMax int64   `json:"jitter_max,omitempty"`
+}
+
+// Partition symmetrically cuts every link between the sites in GroupA
+// and the rest of the cluster from At until HealAt (HealAt <= At means
+// it never heals). Sites within a group communicate normally.
+type Partition struct {
+	GroupA []int `json:"group_a"`
+	At     int64 `json:"at"`
+	HealAt int64 `json:"heal_at,omitempty"`
+}
+
+// Plan is one run's declarative fault schedule.
+type Plan struct {
+	Crashes    []Crash     `json:"crashes,omitempty"`
+	Links      []LinkFault `json:"links,omitempty"`
+	Partitions []Partition `json:"partitions,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing at all.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Crashes) == 0 && len(p.Links) == 0 && len(p.Partitions) == 0)
+}
+
+// Validate checks the plan against a cluster size. Partition bitmasks
+// ride in journal records, so sites must number below 64.
+func (p *Plan) Validate(sites int) error {
+	if p == nil {
+		return nil
+	}
+	if sites < 1 {
+		return fmt.Errorf("faults: sites must be >= 1, got %d", sites)
+	}
+	if sites > 63 {
+		return fmt.Errorf("faults: at most 63 sites supported, got %d", sites)
+	}
+	for i, c := range p.Crashes {
+		if c.Site < 0 || c.Site >= sites {
+			return fmt.Errorf("faults: crash %d: site %d out of range [0,%d)", i, c.Site, sites)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("faults: crash %d: negative time %d", i, c.At)
+		}
+	}
+	for i, l := range p.Links {
+		if l.From < -1 || l.From >= sites {
+			return fmt.Errorf("faults: link %d: from %d out of range", i, l.From)
+		}
+		if l.To < -1 || l.To >= sites {
+			return fmt.Errorf("faults: link %d: to %d out of range", i, l.To)
+		}
+		if l.Start < 0 {
+			return fmt.Errorf("faults: link %d: negative start %d", i, l.Start)
+		}
+		if l.Drop < 0 || l.Drop > 1 {
+			return fmt.Errorf("faults: link %d: drop %v outside [0,1]", i, l.Drop)
+		}
+		if l.Dup < 0 || l.Dup > 1 {
+			return fmt.Errorf("faults: link %d: dup %v outside [0,1]", i, l.Dup)
+		}
+		if l.JitterMax < 0 {
+			return fmt.Errorf("faults: link %d: negative jitter %d", i, l.JitterMax)
+		}
+	}
+	for i, pt := range p.Partitions {
+		if len(pt.GroupA) == 0 {
+			return fmt.Errorf("faults: partition %d: empty group", i)
+		}
+		if pt.At < 0 {
+			return fmt.Errorf("faults: partition %d: negative time %d", i, pt.At)
+		}
+		seen := make(map[int]bool, len(pt.GroupA))
+		for _, s := range pt.GroupA {
+			if s < 0 || s >= sites {
+				return fmt.Errorf("faults: partition %d: site %d out of range [0,%d)", i, s, sites)
+			}
+			if seen[s] {
+				return fmt.Errorf("faults: partition %d: duplicate site %d", i, s)
+			}
+			seen[s] = true
+		}
+		if len(pt.GroupA) == sites {
+			return fmt.Errorf("faults: partition %d: group A contains every site", i)
+		}
+	}
+	return nil
+}
+
+// mask returns the group-A bitmask of a partition (sites < 64, enforced
+// by Validate).
+func (pt *Partition) mask() int64 {
+	var m int64
+	for _, s := range pt.GroupA {
+		m |= 1 << uint(s)
+	}
+	return m
+}
+
+// String renders the plan canonically — a stable, compact form suitable
+// for journal config keys, so the plan is part of the determinism key.
+func (p *Plan) String() string {
+	if p.Empty() {
+		return "faults{}"
+	}
+	var b strings.Builder
+	b.WriteString("faults{")
+	for i, c := range p.Crashes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "crash(%d@%d-%d)", c.Site, c.At, c.RecoverAt)
+	}
+	if len(p.Crashes) > 0 && len(p.Links) > 0 {
+		b.WriteByte(';')
+	}
+	for i, l := range p.Links {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "link(%d>%d@%d-%d,drop=%g,dup=%g,jit=%d)", l.From, l.To, l.Start, l.End, l.Drop, l.Dup, l.JitterMax)
+	}
+	if (len(p.Crashes) > 0 || len(p.Links) > 0) && len(p.Partitions) > 0 {
+		b.WriteByte(';')
+	}
+	for i, pt := range p.Partitions {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		groups := append([]int(nil), pt.GroupA...)
+		sort.Ints(groups)
+		fmt.Fprintf(&b, "part(%v@%d-%d)", groups, pt.At, pt.HealAt)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Parse decodes a JSON plan, rejecting unknown fields so typos in plan
+// files fail loudly instead of silently injecting nothing.
+func Parse(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("faults: parse plan: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, fmt.Errorf("faults: trailing data after plan")
+	}
+	return &p, nil
+}

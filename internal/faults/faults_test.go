@@ -1,0 +1,180 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rtlock/internal/sim"
+)
+
+func validPlan() *Plan {
+	return &Plan{
+		Crashes: []Crash{{Site: 1, At: 3 * int64(sim.Millisecond), RecoverAt: 5 * int64(sim.Millisecond)}},
+		Links: []LinkFault{{
+			From: -1, To: -1,
+			Start: int64(sim.Millisecond), End: 9 * int64(sim.Millisecond),
+			Drop: 0.05, Dup: 0.02, JitterMax: 2000,
+		}},
+		Partitions: []Partition{{GroupA: []int{0}, At: 6 * int64(sim.Millisecond), HealAt: 7 * int64(sim.Millisecond)}},
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan should be empty")
+	}
+	if !(&Plan{}).Empty() {
+		t.Error("zero plan should be empty")
+	}
+	if validPlan().Empty() {
+		t.Error("populated plan reported empty")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := validPlan().Validate(3); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"crash site out of range", Plan{Crashes: []Crash{{Site: 3, At: 0}}}},
+		{"crash negative site", Plan{Crashes: []Crash{{Site: -1, At: 0}}}},
+		{"crash negative at", Plan{Crashes: []Crash{{Site: 0, At: -1}}}},
+		{"link from out of range", Plan{Links: []LinkFault{{From: 3, To: -1}}}},
+		{"link drop above one", Plan{Links: []LinkFault{{From: -1, To: -1, Drop: 1.5}}}},
+		{"link negative dup", Plan{Links: []LinkFault{{From: -1, To: -1, Dup: -0.1}}}},
+		{"link negative jitter", Plan{Links: []LinkFault{{From: -1, To: -1, JitterMax: -1}}}},
+		{"partition empty group", Plan{Partitions: []Partition{{GroupA: nil, At: 0}}}},
+		{"partition duplicate member", Plan{Partitions: []Partition{{GroupA: []int{0, 0}, At: 0}}}},
+		{"partition all sites", Plan{Partitions: []Partition{{GroupA: []int{0, 1, 2}, At: 0}}}},
+		{"partition member out of range", Plan{Partitions: []Partition{{GroupA: []int{5}, At: 0}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(3); err == nil {
+			t.Errorf("%s: expected a validation error", tc.name)
+		}
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	if got := (&Plan{}).String(); got != "faults{}" {
+		t.Fatalf("empty plan String = %q", got)
+	}
+	p := validPlan()
+	s := p.String()
+	if s != p.String() {
+		t.Fatal("String is not stable across calls")
+	}
+	for _, want := range []string{"crash(1@", "link(-1>-1@", "part([0]@"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p := validPlan()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestParseRejectsUnknownField(t *testing.T) {
+	if _, err := Parse([]byte(`{"crashes":[],"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestParseRejectsTrailingData(t *testing.T) {
+	if _, err := Parse([]byte(`{} {"crashes":[]}`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := GenParams{Sites: 3, Horizon: 10 * int64(sim.Millisecond), Severity: 0.6}
+	a, err := Generate(42, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(42, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%s\n%s", a, b)
+	}
+	c, err := Generate(43, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans (suspicious)")
+	}
+	if err := a.Validate(g.Sites); err != nil {
+		t.Errorf("generated plan fails validation: %v", err)
+	}
+}
+
+func TestGenerateZeroSeverityEmpty(t *testing.T) {
+	p, err := Generate(1, GenParams{Sites: 3, Horizon: int64(sim.Second), Severity: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Fatalf("severity 0 plan not empty: %s", p)
+	}
+}
+
+func TestNewEmptyPlanNil(t *testing.T) {
+	if New(nil, 1) != nil {
+		t.Error("New(nil) should return nil")
+	}
+	if New(&Plan{}, 1) != nil {
+		t.Error("New(empty) should return nil")
+	}
+	if New(validPlan(), 1) == nil {
+		t.Error("New(populated) returned nil")
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	p := validPlan()
+	run := func() [][]sim.Duration {
+		in := New(p, 7)
+		var out [][]sim.Duration
+		for i := 0; i < 200; i++ {
+			now := sim.Time(i * int(sim.Millisecond) / 20)
+			out = append(out, in.Deliveries(now, 0, 2))
+		}
+		return out
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("injector fates differ across identically seeded runs")
+	}
+}
+
+func TestInjectorOutsideWindowDeliversClean(t *testing.T) {
+	in := New(validPlan(), 7)
+	// The link fault window is [1ms, 9ms); at 20ms every delivery is a
+	// single on-time copy.
+	for i := 0; i < 50; i++ {
+		fates := in.Deliveries(sim.Time(20*sim.Millisecond), 0, 2)
+		if len(fates) != 1 || fates[0] != 0 {
+			t.Fatalf("fates outside window = %v", fates)
+		}
+	}
+}

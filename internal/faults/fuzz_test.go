@@ -1,0 +1,44 @@
+package faults
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFaultPlan checks that arbitrary bytes never panic the plan
+// parser, and that any plan which parses survives a canonical
+// marshal → re-parse round trip with a stable String form.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"crashes":[{"site":1,"at":3000000,"recover_at":5000000}]}`))
+	f.Add([]byte(`{"crashes":[{"site":1,"at":3000000,"recover_at":5000000}],` +
+		`"links":[{"from":-1,"to":-1,"start":1000000,"end":9000000,"drop":0.05,"dup":0.02,"jitter_max":2000}],` +
+		`"partitions":[{"group_a":[0],"at":6500000,"heal_at":7500000}]}`))
+	f.Add([]byte(`{"links":[{"from":0,"to":2,"drop":1}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"bogus":true}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Validation must not panic whatever the parsed contents are.
+		_ = p.Validate(63)
+		s := p.String()
+		if s != p.String() {
+			t.Fatalf("String unstable: %q", s)
+		}
+		out, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("marshal parsed plan: %v", err)
+		}
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled plan failed: %v\n%s", err, out)
+		}
+		if again.String() != s {
+			t.Fatalf("round trip changed plan:\n before %s\n after  %s", s, again.String())
+		}
+	})
+}

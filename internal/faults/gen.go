@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenParams shapes a generated plan.
+type GenParams struct {
+	// Sites is the cluster size (must be >= 1).
+	Sites int
+	// Horizon is the run length in ticks; fault windows land inside it.
+	Horizon int64
+	// Severity in [0,1] scales everything: 0 generates the empty plan,
+	// 1 the harshest one (crashes at every site, heavy loss, a
+	// partition).
+	Severity float64
+	// JitterMax is the per-message delay jitter at severity 1, in
+	// ticks (zero picks a default of 2ms).
+	JitterMax int64
+}
+
+// Generate derives a fault plan from a seed. The PRNG stream is the
+// plan: the same (seed, params) always yield the identical plan, and
+// the draw order is fixed, so generated plans are part of the
+// determinism key like everything else.
+func Generate(seed int64, g GenParams) (*Plan, error) {
+	if g.Sites < 1 {
+		return nil, fmt.Errorf("faults: generate: sites must be >= 1, got %d", g.Sites)
+	}
+	if g.Horizon <= 0 {
+		return nil, fmt.Errorf("faults: generate: horizon must be positive, got %d", g.Horizon)
+	}
+	sev := g.Severity
+	if sev < 0 {
+		sev = 0
+	}
+	if sev > 1 {
+		sev = 1
+	}
+	if sev == 0 {
+		return &Plan{}, nil
+	}
+	jitterMax := g.JitterMax
+	if jitterMax <= 0 {
+		jitterMax = 2000 // 2ms in ticks
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{}
+
+	// Crashes: about severity×sites of them, starting in the first
+	// two-thirds of the run, each down for a severity-scaled window so
+	// recovery (and WAL redo) is exercised before the run ends.
+	h := float64(g.Horizon)
+	nCrash := int(sev*float64(g.Sites) + 0.5)
+	for i := 0; i < nCrash; i++ {
+		at := int64((0.10 + 0.50*rng.Float64()) * h)
+		down := int64((0.05 + 0.20*sev*rng.Float64()) * h)
+		p.Crashes = append(p.Crashes, Crash{
+			Site:      rng.Intn(g.Sites),
+			At:        at,
+			RecoverAt: at + down,
+		})
+	}
+
+	// One cluster-wide lossy-link rule, active for the whole run.
+	p.Links = append(p.Links, LinkFault{
+		From:      -1,
+		To:        -1,
+		Drop:      sev * (0.10 + 0.15*rng.Float64()),
+		Dup:       sev * (0.05 + 0.10*rng.Float64()),
+		JitterMax: int64(sev * float64(jitterMax) * rng.Float64()),
+	})
+
+	// A single symmetric partition once severity crosses one half:
+	// isolate one site mid-run, heal before the end.
+	if sev >= 0.5 && g.Sites >= 2 {
+		at := int64((0.30 + 0.20*rng.Float64()) * h)
+		dur := int64((0.05 + 0.10*rng.Float64()) * h)
+		p.Partitions = append(p.Partitions, Partition{
+			GroupA: []int{rng.Intn(g.Sites)},
+			At:     at,
+			HealAt: at + dur,
+		})
+	}
+
+	if err := p.Validate(g.Sites); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

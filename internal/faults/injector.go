@@ -1,0 +1,177 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+
+	"rtlock/internal/db"
+	"rtlock/internal/journal"
+	"rtlock/internal/netsim"
+	"rtlock/internal/sim"
+)
+
+// Hooks lets the protocol layer react to scheduled site faults: the
+// cluster wipes volatile state (and kills resident work) on crash, and
+// replays its write-ahead log on recovery. Either hook may be nil.
+type Hooks struct {
+	OnCrash   func(site db.SiteID)
+	OnRecover func(site db.SiteID)
+}
+
+// Injector is a compiled plan plus its per-message PRNG stream. It
+// implements netsim.FaultInjector; the network consults it once per
+// inter-site message, in deterministic kernel order, so the fate
+// sequence is a pure function of (plan, seed).
+type Injector struct {
+	plan *Plan
+	rng  *rand.Rand
+}
+
+// New compiles a plan. It returns nil for an empty plan so callers can
+// hand the result straight to netsim.Network.SetInjector and keep the
+// fault-free fast path (a nil injector draws nothing).
+func New(plan *Plan, seed int64) *Injector {
+	if plan.Empty() {
+		return nil
+	}
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Plan returns the compiled plan (nil receiver allowed).
+func (in *Injector) Plan() *Plan {
+	if in == nil {
+		return nil
+	}
+	return in.plan
+}
+
+// oneCopy is the fate of an unaffected message: a single copy with no
+// extra delay. Callers must not mutate it.
+var oneCopy = []sim.Duration{0}
+
+// rule returns the first link rule active at now that matches the link,
+// or nil. First-match-wins keeps overlapping rules deterministic.
+func (in *Injector) rule(now int64, from, to int) *LinkFault {
+	for i := range in.plan.Links {
+		l := &in.plan.Links[i]
+		if l.From != -1 && l.From != from {
+			continue
+		}
+		if l.To != -1 && l.To != to {
+			continue
+		}
+		if now < l.Start {
+			continue
+		}
+		if l.End > l.Start && now >= l.End {
+			continue
+		}
+		return l
+	}
+	return nil
+}
+
+// Deliveries rolls one message's fate: nil means the message is
+// dropped; otherwise one entry per delivered copy carrying that copy's
+// extra delay (a single zero entry is a normal delivery). PRNG draws
+// are guarded by plan fields, so the draw sequence depends only on
+// (plan, message order).
+func (in *Injector) Deliveries(now sim.Time, from, to db.SiteID) []sim.Duration {
+	r := in.rule(int64(now), int(from), int(to))
+	if r == nil {
+		return oneCopy
+	}
+	if r.Drop > 0 && in.rng.Float64() < r.Drop {
+		return nil
+	}
+	copies := 1
+	if r.Dup > 0 && in.rng.Float64() < r.Dup {
+		copies = 2
+	}
+	if r.JitterMax <= 0 {
+		if copies == 1 {
+			return oneCopy
+		}
+		return make([]sim.Duration, copies)
+	}
+	out := make([]sim.Duration, copies)
+	for i := range out {
+		out[i] = sim.Duration(in.rng.Int63n(r.JitterMax + 1))
+	}
+	return out
+}
+
+// Install wires the plan into a run of `sites` sites: the injector
+// becomes the network's per-message fault source, and every crash,
+// recovery, partition, and heal is scheduled as a kernel event that
+// journals itself, flips the network state, and invokes the protocol
+// hooks. Installing a nil injector is a no-op.
+func (in *Injector) Install(k *sim.Kernel, n *netsim.Network, sites int, hooks Hooks) {
+	if in == nil {
+		return
+	}
+	n.SetInjector(in)
+	for i := range in.plan.Crashes {
+		c := in.plan.Crashes[i]
+		site := db.SiteID(c.Site)
+		recover := c.RecoverAt
+		if recover <= c.At {
+			recover = -1
+		}
+		k.At(sim.Time(c.At), func() {
+			k.Journal().Append(int64(k.Now()), journal.KSiteCrash, int32(site), 0, 0, recover, 0, "")
+			n.SetDown(site, true)
+			if hooks.OnCrash != nil {
+				hooks.OnCrash(site)
+			}
+		})
+		if recover > 0 {
+			k.At(sim.Time(recover), func() {
+				k.Journal().Append(int64(k.Now()), journal.KSiteRecover, int32(site), 0, 0, 0, 0, "")
+				n.SetDown(site, false)
+				if hooks.OnRecover != nil {
+					hooks.OnRecover(site)
+				}
+			})
+		}
+	}
+	for i := range in.plan.Partitions {
+		pt := in.plan.Partitions[i]
+		mask := pt.mask()
+		pairs := partitionPairs(pt.GroupA, sites)
+		k.At(sim.Time(pt.At), func() {
+			k.Journal().Append(int64(k.Now()), journal.KPartition, 0, 0, 0, mask, 0, "")
+			for _, pr := range pairs {
+				n.SetCut(pr[0], pr[1], true)
+			}
+		})
+		if pt.HealAt > pt.At {
+			k.At(sim.Time(pt.HealAt), func() {
+				k.Journal().Append(int64(k.Now()), journal.KHeal, 0, 0, 0, mask, 0, "")
+				for _, pr := range pairs {
+					n.SetCut(pr[0], pr[1], false)
+				}
+			})
+		}
+	}
+}
+
+// partitionPairs enumerates the cross-partition links to cut, in sorted
+// order so the cut sequence is deterministic.
+func partitionPairs(groupA []int, sites int) [][2]db.SiteID {
+	inA := make(map[int]bool, len(groupA))
+	for _, s := range groupA {
+		inA[s] = true
+	}
+	a := append([]int(nil), groupA...)
+	sort.Ints(a)
+	var pairs [][2]db.SiteID
+	for _, x := range a {
+		for y := 0; y < sites; y++ {
+			if !inA[y] {
+				pairs = append(pairs, [2]db.SiteID{db.SiteID(x), db.SiteID(y)})
+			}
+		}
+	}
+	return pairs
+}

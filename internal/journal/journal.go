@@ -114,6 +114,42 @@ const (
 	// A = new ceiling deadline, B = new ceiling tie-break id
 	// (MaxInt64 values mean "no ceiling").
 	KCeiling Kind = 26
+	// KSiteCrash: a site crashed (volatile state lost, WAL survives).
+	// Site = crashed site, A = scheduled recovery time in ticks
+	// (-1 when the site never recovers within the plan).
+	KSiteCrash Kind = 27
+	// KSiteRecover: a crashed site came back up. Site = site.
+	KSiteRecover Kind = 28
+	// KPartition: a symmetric network partition started. A = bitmask
+	// of the sites in group A (sites must be < 64); everything else is
+	// group B.
+	KPartition Kind = 29
+	// KHeal: a partition healed. A = the bitmask it was opened with.
+	KHeal Kind = 30
+	// KMsgDrop: a message was lost. Site = intended destination,
+	// A = sender site, B = reason (1 = destination down, 2 = link cut
+	// by a partition, 3 = injected fault), Note = port.
+	KMsgDrop Kind = 31
+	// KMsgDup: a message was duplicated by the fault injector.
+	// Site = sender, A = destination site, B = total delivered copies,
+	// Note = port.
+	KMsgDup Kind = 32
+	// KFailover: a transaction registered with its home site's
+	// failover ceiling manager because the global manager's site was
+	// down. Tx = transaction, Site = home site.
+	KFailover Kind = 33
+	// KResync: global ceiling manager state reconciled with a fault.
+	// Site = GCM site, A = number of registrations purged,
+	// B = the crashed/recovered site, Note = "evict" (a participant
+	// site crashed) or "resync" (the GCM site itself recovered).
+	KResync Kind = 34
+	// KRetry: a bounded retry on a synchronous fault path (2PC
+	// prepare re-send or decision resolution). Tx = transaction,
+	// Site = retrying site, A = attempt number, Note = phase.
+	KRetry Kind = 35
+	// KWALRedo: recovery replayed the write-ahead log. Site = site,
+	// A = number of pending (undecided) votes restored.
+	KWALRedo Kind = 36
 )
 
 var kindNames = map[Kind]string{
@@ -143,6 +179,16 @@ var kindNames = map[Kind]string{
 	KInstall:       "install",
 	KInstallDrop:   "installdrop",
 	KCeiling:       "ceiling",
+	KSiteCrash:     "sitecrash",
+	KSiteRecover:   "siterecover",
+	KPartition:     "partition",
+	KHeal:          "heal",
+	KMsgDrop:       "msgdrop",
+	KMsgDup:        "msgdup",
+	KFailover:      "failover",
+	KResync:        "resync",
+	KRetry:         "retry",
+	KWALRedo:       "walredo",
 }
 
 var kindValues = func() map[string]Kind {

@@ -132,6 +132,7 @@ var SimCriticalPkgs = []string{
 	"internal/core",
 	"internal/dist",
 	"internal/netsim",
+	"internal/faults",
 	"internal/txn",
 	"internal/journal",
 	"internal/audit",

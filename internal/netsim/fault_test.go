@@ -1,0 +1,290 @@
+package netsim
+
+// Fault-path coverage: journaled drops (messages lost to down sites,
+// cut links, or the injector are recorded, never silent), the arrival
+// re-check on synchronous hops, partition cuts, and injected
+// drop/duplicate/jitter fates.
+
+import (
+	"errors"
+	"testing"
+
+	"rtlock/internal/db"
+	"rtlock/internal/journal"
+	"rtlock/internal/sim"
+)
+
+// dropRecords extracts the KMsgDrop records of a journal.
+func dropRecords(j *journal.Journal) []journal.Record {
+	var out []journal.Record
+	for _, r := range j.Records() {
+		if r.Kind == journal.KMsgDrop {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// fakeInjector scripts Deliveries responses in call order.
+type fakeInjector struct {
+	fates [][]sim.Duration
+	calls int
+}
+
+func (f *fakeInjector) Deliveries(now sim.Time, from, to db.SiteID) []sim.Duration {
+	i := f.calls
+	f.calls++
+	if i < len(f.fates) {
+		return f.fates[i]
+	}
+	return []sim.Duration{0}
+}
+
+func TestSendToDownSiteJournalsDrop(t *testing.T) {
+	k := sim.NewKernel()
+	j := journal.New(1, "send-drop")
+	k.SetJournal(j, 0)
+	n := NewNetwork(k, sim.Millisecond)
+	n.Server(1).Handle("p", func(m Message) {})
+	n.SetDown(1, true)
+	n.Send(0, 1, "p", nil)
+	k.Run()
+	drops := dropRecords(j)
+	if len(drops) != 1 {
+		t.Fatalf("drop records = %d, want 1 (drop must be journaled, not silent)", len(drops))
+	}
+	d := drops[0]
+	if d.Site != 1 || d.A != 0 || d.B != DropDown || d.Note != "p" {
+		t.Fatalf("drop record = %+v", d)
+	}
+	if n.DroppedDown != 1 {
+		t.Fatalf("DroppedDown = %d", n.DroppedDown)
+	}
+	n.Shutdown()
+	k.Run()
+}
+
+func TestSendFromDownSourceDropped(t *testing.T) {
+	k := sim.NewKernel()
+	j := journal.New(1, "send-drop-src")
+	k.SetJournal(j, 0)
+	n := NewNetwork(k, sim.Millisecond)
+	delivered := 0
+	n.Server(1).Handle("p", func(m Message) { delivered++ })
+	n.SetDown(0, true)
+	n.Send(0, 1, "p", nil)
+	k.Run()
+	if delivered != 0 || n.DroppedDown != 1 || len(dropRecords(j)) != 1 {
+		t.Fatalf("delivered=%d DroppedDown=%d drops=%d", delivered, n.DroppedDown, len(dropRecords(j)))
+	}
+	n.Shutdown()
+	k.Run()
+}
+
+func TestSendLostInFlight(t *testing.T) {
+	// The destination goes down while the message is on the wire: the
+	// delivery-time re-check loses it.
+	k := sim.NewKernel()
+	j := journal.New(1, "send-inflight")
+	k.SetJournal(j, 0)
+	n := NewNetwork(k, 5*sim.Millisecond)
+	delivered := 0
+	n.Server(1).Handle("p", func(m Message) { delivered++ })
+	k.At(0, func() { n.Send(0, 1, "p", nil) })
+	k.At(sim.Time(2*sim.Millisecond), func() { n.SetDown(1, true) })
+	k.Run()
+	if delivered != 0 || n.DroppedDown != 1 {
+		t.Fatalf("delivered=%d DroppedDown=%d", delivered, n.DroppedDown)
+	}
+	drops := dropRecords(j)
+	if len(drops) != 1 || drops[0].At != int64(5*sim.Millisecond) {
+		t.Fatalf("drops = %+v, want one at 5ms", drops)
+	}
+	n.Shutdown()
+	k.Run()
+}
+
+func TestHopLostAtArrival(t *testing.T) {
+	// Regression: liveness used to be checked only at send time, so a
+	// site crashing while the hop was in flight still "delivered" it.
+	k := sim.NewKernel()
+	j := journal.New(1, "hop-arrival")
+	k.SetJournal(j, 0)
+	n := NewNetwork(k, 5*sim.Millisecond)
+	var got error
+	var woke sim.Time
+	k.Spawn("caller", func(p *sim.Proc) {
+		got = n.Hop(p, 0, 1)
+		woke = p.Now()
+	})
+	k.At(sim.Time(2*sim.Millisecond), func() { n.SetDown(1, true) })
+	k.Run()
+	if got != ErrSiteDown {
+		t.Fatalf("Hop returned %v, want ErrSiteDown", got)
+	}
+	// Full timeout burned: default 4×5ms + 10ms = 30ms.
+	if woke != sim.Time(30*sim.Millisecond) {
+		t.Fatalf("woke at %v, want 30ms", woke)
+	}
+	drops := dropRecords(j)
+	if len(drops) != 1 || drops[0].At != int64(5*sim.Millisecond) || drops[0].B != DropDown || drops[0].Note != "hop" {
+		t.Fatalf("drops = %+v, want one DropDown hop record at 5ms", drops)
+	}
+}
+
+func TestHopInterruptedDuringTimeoutSleep(t *testing.T) {
+	// A deadline abort must propagate out of the time-out sleep
+	// immediately instead of being swallowed into ErrSiteDown.
+	errDeadline := errors.New("deadline")
+	k := sim.NewKernel()
+	n := NewNetwork(k, 5*sim.Millisecond)
+	n.SetDown(1, true)
+	var got error
+	var woke sim.Time
+	p := k.Spawn("caller", func(p *sim.Proc) {
+		got = n.Hop(p, 0, 1)
+		woke = p.Now()
+	})
+	k.At(sim.Time(12*sim.Millisecond), func() { p.Interrupt(errDeadline) })
+	k.Run()
+	if got != errDeadline {
+		t.Fatalf("Hop returned %v, want the interrupt error", got)
+	}
+	if woke != sim.Time(12*sim.Millisecond) {
+		t.Fatalf("woke at %v, want 12ms (no residual time-out sleep)", woke)
+	}
+}
+
+func TestCutLinkDropsBothDirections(t *testing.T) {
+	k := sim.NewKernel()
+	j := journal.New(1, "cut")
+	k.SetJournal(j, 0)
+	n := NewNetwork(k, sim.Millisecond)
+	delivered := 0
+	n.Server(0).Handle("p", func(m Message) { delivered++ })
+	n.Server(1).Handle("p", func(m Message) { delivered++ })
+	n.SetCut(0, 1, true)
+	if n.Reachable(0, 1) || n.Reachable(1, 0) {
+		t.Fatal("cut link still reachable")
+	}
+	n.Send(0, 1, "p", nil)
+	n.Send(1, 0, "p", nil)
+	k.Run()
+	if delivered != 0 || n.DroppedCut != 2 {
+		t.Fatalf("delivered=%d DroppedCut=%d", delivered, n.DroppedCut)
+	}
+	for _, d := range dropRecords(j) {
+		if d.B != DropCut {
+			t.Fatalf("drop reason = %d, want DropCut", d.B)
+		}
+	}
+	// Cuts nest: two layers need two heals.
+	n.SetCut(1, 0, true)
+	n.SetCut(0, 1, false)
+	if !n.Cut(0, 1) {
+		t.Fatal("nested cut healed after one layer")
+	}
+	n.SetCut(0, 1, false)
+	if n.Cut(0, 1) {
+		t.Fatal("link still cut after both layers healed")
+	}
+	n.Send(0, 1, "p", nil)
+	k.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered=%d after heal", delivered)
+	}
+	n.Shutdown()
+	k.Run()
+}
+
+func TestInjectedDropIsJournaled(t *testing.T) {
+	k := sim.NewKernel()
+	j := journal.New(1, "inj-drop")
+	k.SetJournal(j, 0)
+	n := NewNetwork(k, sim.Millisecond)
+	delivered := 0
+	n.Server(1).Handle("p", func(m Message) { delivered++ })
+	n.SetInjector(&fakeInjector{fates: [][]sim.Duration{nil}})
+	n.Send(0, 1, "p", nil)
+	k.Run()
+	if delivered != 0 || n.DroppedFault != 1 {
+		t.Fatalf("delivered=%d DroppedFault=%d", delivered, n.DroppedFault)
+	}
+	drops := dropRecords(j)
+	if len(drops) != 1 || drops[0].B != DropFault {
+		t.Fatalf("drops = %+v", drops)
+	}
+	n.Shutdown()
+	k.Run()
+}
+
+func TestInjectedDuplicateAndJitter(t *testing.T) {
+	k := sim.NewKernel()
+	j := journal.New(1, "inj-dup")
+	k.SetJournal(j, 0)
+	n := NewNetwork(k, 5*sim.Millisecond)
+	var arrivals []sim.Time
+	n.Server(1).Handle("p", func(m Message) { arrivals = append(arrivals, k.Now()) })
+	n.SetInjector(&fakeInjector{fates: [][]sim.Duration{{0, 2 * sim.Millisecond}}})
+	k.At(0, func() { n.Send(0, 1, "p", nil) })
+	k.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v, want 2 copies", arrivals)
+	}
+	if arrivals[0] != sim.Time(5*sim.Millisecond) || arrivals[1] != sim.Time(7*sim.Millisecond) {
+		t.Fatalf("arrivals = %v, want 5ms and 7ms", arrivals)
+	}
+	if n.Duplicated != 1 {
+		t.Fatalf("Duplicated = %d", n.Duplicated)
+	}
+	dups := 0
+	for _, r := range j.Records() {
+		if r.Kind == journal.KMsgDup {
+			dups++
+			if r.B != 2 {
+				t.Fatalf("KMsgDup copies = %d, want 2", r.B)
+			}
+		}
+	}
+	if dups != 1 {
+		t.Fatalf("KMsgDup records = %d", dups)
+	}
+	n.Shutdown()
+	k.Run()
+}
+
+func TestHopInjectedDropTimesOut(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNetwork(k, 5*sim.Millisecond)
+	n.SetInjector(&fakeInjector{fates: [][]sim.Duration{nil}})
+	var got error
+	var woke sim.Time
+	k.Spawn("caller", func(p *sim.Proc) {
+		got = n.Hop(p, 0, 1)
+		woke = p.Now()
+	})
+	k.Run()
+	if got != ErrSiteDown || woke != sim.Time(30*sim.Millisecond) {
+		t.Fatalf("got=%v woke=%v, want ErrSiteDown at 30ms", got, woke)
+	}
+	if n.DroppedFault != 1 {
+		t.Fatalf("DroppedFault = %d", n.DroppedFault)
+	}
+}
+
+func TestHopInjectedJitterDelays(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNetwork(k, 5*sim.Millisecond)
+	n.SetInjector(&fakeInjector{fates: [][]sim.Duration{{3 * sim.Millisecond}}})
+	var woke sim.Time
+	k.Spawn("caller", func(p *sim.Proc) {
+		if err := n.Hop(p, 0, 1); err != nil {
+			t.Errorf("Hop: %v", err)
+		}
+		woke = p.Now()
+	})
+	k.Run()
+	if woke != sim.Time(8*sim.Millisecond) {
+		t.Fatalf("woke at %v, want 8ms (5ms delay + 3ms jitter)", woke)
+	}
+}

@@ -37,16 +37,37 @@ type Message struct {
 // process.
 type Handler func(msg Message)
 
+// FaultInjector decides per-message fates for the fault-injection
+// subsystem (internal/faults). Deliveries is consulted once per
+// inter-site message, in deterministic kernel order: nil means the
+// message is dropped, otherwise each entry is one delivered copy's
+// extra delay (a single zero entry is a normal delivery).
+type FaultInjector interface {
+	Deliveries(now sim.Time, from, to db.SiteID) []sim.Duration
+}
+
+// Drop reasons recorded in KMsgDrop's B field.
+const (
+	// DropDown: the destination (or source) site was down.
+	DropDown int64 = 1
+	// DropCut: the link was cut by a partition.
+	DropCut int64 = 2
+	// DropFault: the fault injector rolled a message loss.
+	DropFault int64 = 3
+)
+
 // Network connects the sites and counts traffic. A zero delay still
 // defers delivery through the event queue, preserving deterministic
 // ordering. The default is a fully connected network with a uniform
 // delay; NewNetworkTopology accepts ring, star, or custom interconnects.
 type Network struct {
-	k       *sim.Kernel
-	delay   sim.Duration
-	topo    *Topology
-	servers map[db.SiteID]*Server
-	down    map[db.SiteID]bool
+	k        *sim.Kernel
+	delay    sim.Duration
+	topo     *Topology
+	servers  map[db.SiteID]*Server
+	down     map[db.SiteID]bool
+	cut      map[[2]db.SiteID]int
+	injector FaultInjector
 
 	// Timeout is how long a synchronous sender waits before a down
 	// destination unblocks it with ErrSiteDown (zero picks a default
@@ -56,21 +77,28 @@ type Network struct {
 	// Sent counts all inter-site messages (intra-site sends are free
 	// and uncounted, as in the paper).
 	Sent int
-	// DroppedDown counts messages discarded because the destination
-	// was down at delivery time.
+	// DroppedDown counts messages discarded because an endpoint site
+	// was down (at send or delivery time).
 	DroppedDown int
+	// DroppedCut counts messages discarded because the link was cut
+	// by a partition.
+	DroppedCut int
+	// DroppedFault counts messages the fault injector dropped.
+	DroppedFault int
+	// Duplicated counts extra copies the fault injector delivered.
+	Duplicated int
 }
 
 // NewNetwork returns a fully connected network with the given inter-site
 // delay.
 func NewNetwork(k *sim.Kernel, delay sim.Duration) *Network {
-	return &Network{k: k, delay: delay, servers: make(map[db.SiteID]*Server), down: make(map[db.SiteID]bool)}
+	return &Network{k: k, delay: delay, servers: make(map[db.SiteID]*Server), down: make(map[db.SiteID]bool), cut: make(map[[2]db.SiteID]int)}
 }
 
 // NewNetworkTopology returns a network whose pairwise delays come from
 // the topology.
 func NewNetworkTopology(k *sim.Kernel, topo *Topology) *Network {
-	return &Network{k: k, topo: topo, servers: make(map[db.SiteID]*Server), down: make(map[db.SiteID]bool)}
+	return &Network{k: k, topo: topo, servers: make(map[db.SiteID]*Server), down: make(map[db.SiteID]bool), cut: make(map[[2]db.SiteID]int)}
 }
 
 // SetDown marks a site as non-operational (or back up). Messages
@@ -80,6 +108,52 @@ func (n *Network) SetDown(site db.SiteID, down bool) { n.down[site] = down }
 
 // Down reports whether a site is non-operational.
 func (n *Network) Down(site db.SiteID) bool { return n.down[site] }
+
+// SetInjector installs (or, with nil, removes) the per-message fault
+// source. A nil injector is the fault-free fast path: no fate rolls,
+// no extra records.
+func (n *Network) SetInjector(inj FaultInjector) { n.injector = inj }
+
+// SetCut opens or closes a symmetric cut on the link between two sites
+// (both directions). Cuts nest: overlapping partitions each add one
+// layer and the link heals when the last layer lifts.
+func (n *Network) SetCut(a, b db.SiteID, cut bool) {
+	if a == b {
+		return
+	}
+	if b < a {
+		a, b = b, a
+	}
+	key := [2]db.SiteID{a, b}
+	if cut {
+		n.cut[key]++
+		return
+	}
+	if n.cut[key] > 0 {
+		n.cut[key]--
+	}
+	if n.cut[key] == 0 {
+		delete(n.cut, key)
+	}
+}
+
+// Cut reports whether the link between two sites is severed by a
+// partition.
+func (n *Network) Cut(a, b db.SiteID) bool {
+	if a == b {
+		return false
+	}
+	if b < a {
+		a, b = b, a
+	}
+	return n.cut[[2]db.SiteID{a, b}] > 0
+}
+
+// Reachable reports whether a message from one site can currently
+// arrive at the other: both endpoints up and the link uncut.
+func (n *Network) Reachable(from, to db.SiteID) bool {
+	return !n.down[from] && !n.down[to] && !n.Cut(from, to)
+}
 
 // Delay returns the one-way communication delay between two sites.
 func (n *Network) Delay(from, to db.SiteID) sim.Duration {
@@ -105,44 +179,141 @@ func (n *Network) Server(site db.SiteID) *Server {
 // Send queues a message for delivery to the destination site's message
 // server after the communication delay. Intra-site sends dispatch
 // directly (still via the event queue, so ordering stays deterministic).
+// Inter-site messages pass the fault path: a down endpoint, a cut link,
+// or an injected fault can drop (or duplicate, or delay) the message,
+// each loss journaled as a KMsgDrop record.
 func (n *Network) Send(from, to db.SiteID, port string, payload any) {
 	msg := Message{From: from, To: to, Port: port, Payload: payload, SentAt: n.k.Now()}
 	if from != to {
 		n.Sent++
 	}
 	n.k.Journal().Append(int64(n.k.Now()), journal.KMsgSend, int32(from), 0, 0, int64(to), 0, port)
-	n.k.After(n.Delay(from, to), func() {
+	d := n.Delay(from, to)
+	if from != to {
+		switch {
+		case n.down[from]:
+			// A crashed source never gets the message onto the wire.
+			n.dropMsg(from, to, DropDown, port)
+			return
+		case n.Cut(from, to):
+			n.dropMsg(from, to, DropCut, port)
+			return
+		}
+		if n.injector != nil {
+			fates := n.injector.Deliveries(n.k.Now(), from, to)
+			if len(fates) == 0 {
+				n.dropMsg(from, to, DropFault, port)
+				return
+			}
+			if len(fates) > 1 {
+				n.Duplicated += len(fates) - 1
+				n.k.Journal().Append(int64(n.k.Now()), journal.KMsgDup, int32(from), 0, 0, int64(to), int64(len(fates)), port)
+			}
+			for _, extra := range fates {
+				n.deliverAfter(msg, d+extra)
+			}
+			return
+		}
+	}
+	n.deliverAfter(msg, d)
+}
+
+// deliverAfter schedules one copy's arrival, re-checking liveness and
+// partition state at delivery time: a message in flight toward a site
+// that goes down (or across a link that gets cut) is lost, and the loss
+// is journaled rather than silent.
+func (n *Network) deliverAfter(msg Message, d sim.Duration) {
+	from, to := msg.From, msg.To
+	n.k.After(d, func() {
 		if n.down[to] {
-			n.DroppedDown++
+			n.dropMsg(from, to, DropDown, msg.Port)
+			return
+		}
+		if from != to && n.Cut(from, to) {
+			n.dropMsg(from, to, DropCut, msg.Port)
 			return
 		}
 		msg.DeliveredAt = n.k.Now()
-		n.k.Journal().Append(int64(n.k.Now()), journal.KMsgRecv, int32(to), 0, 0, int64(from), 0, port)
+		n.k.Journal().Append(int64(n.k.Now()), journal.KMsgRecv, int32(to), 0, 0, int64(from), 0, msg.Port)
 		n.Server(to).enqueue(msg)
 	})
+}
+
+// dropMsg counts and journals one lost message.
+func (n *Network) dropMsg(from, to db.SiteID, reason int64, port string) {
+	switch reason {
+	case DropCut:
+		n.DroppedCut++
+	case DropFault:
+		n.DroppedFault++
+	default:
+		n.DroppedDown++
+	}
+	n.k.Journal().Append(int64(n.k.Now()), journal.KMsgDrop, int32(to), 0, 0, int64(from), reason, port)
 }
 
 // Hop suspends p for the one-way delay between two sites, modeling the
 // travel of a synchronous request or reply the process itself waits on.
 // It is cancelable like any park (deadline aborts propagate). A hop
-// toward a down site blocks for the time-out and returns ErrSiteDown.
+// that is lost — destination down or link cut at send or at arrival, or
+// an injected drop — blocks for the time-out and returns ErrSiteDown.
 func (n *Network) Hop(p *sim.Proc, from, to db.SiteID) error {
 	d := n.Delay(from, to)
-	if from != to {
-		n.Sent++
-		n.k.Journal().Append(int64(n.k.Now()), journal.KMsgSend, int32(from), 0, 0, int64(to), 0, "hop")
+	if from == to {
+		return p.Sleep(d)
 	}
-	if from != to && n.down[to] {
-		timeout := n.Timeout
-		if timeout <= 0 {
-			timeout = 4*d + 10*sim.Millisecond
+	n.Sent++
+	n.k.Journal().Append(int64(n.k.Now()), journal.KMsgSend, int32(from), 0, 0, int64(to), 0, "hop")
+	timeout := n.Timeout
+	if timeout <= 0 {
+		timeout = 4*d + 10*sim.Millisecond
+	}
+	reason := int64(0)
+	extra := sim.Duration(0)
+	switch {
+	case n.down[from] || n.down[to]:
+		reason = DropDown
+	case n.Cut(from, to):
+		reason = DropCut
+	default:
+		if n.injector != nil {
+			// A duplicate is meaningless for a rendezvous; only the
+			// first copy's fate applies.
+			fates := n.injector.Deliveries(n.k.Now(), from, to)
+			if len(fates) == 0 {
+				reason = DropFault
+			} else {
+				extra = fates[0]
+			}
 		}
+	}
+	if reason != 0 {
+		n.dropMsg(from, to, reason, "hop")
 		if err := p.Sleep(timeout); err != nil {
 			return err
 		}
 		return ErrSiteDown
 	}
-	return p.Sleep(d)
+	if err := p.Sleep(d + extra); err != nil {
+		return err
+	}
+	// Re-check at arrival: a site that went down (or a link that was
+	// cut) while the hop was in flight loses the request; the sender
+	// still burns the rest of its time-out before unblocking.
+	if n.down[to] || n.Cut(from, to) {
+		reason = DropCut
+		if n.down[to] {
+			reason = DropDown
+		}
+		n.dropMsg(from, to, reason, "hop")
+		if rem := timeout - d - extra; rem > 0 {
+			if err := p.Sleep(rem); err != nil {
+				return err
+			}
+		}
+		return ErrSiteDown
+	}
+	return nil
 }
 
 // Shutdown stops every message-server process, in site order: map

@@ -71,6 +71,11 @@ func (p *Proc) ID() int64 { return p.id }
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
 
+// Dead reports whether the process body has finished. Crash-recovery
+// bookkeeping uses it to purge registrations owned by processes that
+// died while a manager's site was unreachable.
+func (p *Proc) Dead() bool { return p.dead }
+
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }
 

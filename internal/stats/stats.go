@@ -249,6 +249,46 @@ func (s Summary) String() string {
 		s.AvgBlocked.Millis(), s.AvgResp.Millis(), s.Restarts, 100*s.CPUUtil)
 }
 
+// NetReport aggregates the message-layer counters of a distributed run:
+// how many inter-site messages were sent, how many reached a handler,
+// and where the rest were lost. Fault-free runs show zeros in every
+// loss column except DroppedNoHandler (which counts late replies to
+// ports whose waiter already gave up); fault runs attribute each loss
+// to its cause — endpoint site down, link cut by a partition, or the
+// injector's random loss.
+type NetReport struct {
+	// Sent counts inter-site messages handed to the network.
+	Sent int
+	// Delivered counts messages dispatched to a registered handler.
+	Delivered int
+	// DroppedNoHandler counts messages that arrived on a port with no
+	// handler registered.
+	DroppedNoHandler int
+	// DroppedDown counts messages discarded because an endpoint site
+	// was down at send or delivery time.
+	DroppedDown int
+	// DroppedCut counts messages discarded because the link was cut by
+	// a partition.
+	DroppedCut int
+	// DroppedFault counts messages the fault injector dropped.
+	DroppedFault int
+	// Duplicated counts extra copies the fault injector delivered.
+	Duplicated int
+}
+
+// Lost returns the total number of messages that never reached a
+// handler.
+func (n NetReport) Lost() int {
+	return n.DroppedNoHandler + n.DroppedDown + n.DroppedCut + n.DroppedFault
+}
+
+// String renders the report on one line.
+func (n NetReport) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d lost=%d (nohandler=%d down=%d cut=%d fault=%d) dup=%d",
+		n.Sent, n.Delivered, n.Lost(),
+		n.DroppedNoHandler, n.DroppedDown, n.DroppedCut, n.DroppedFault, n.Duplicated)
+}
+
 // MeanStd returns the mean and standard deviation of xs; the experiment
 // harness averages each metric over independent runs as the paper does
 // (10 runs per point).

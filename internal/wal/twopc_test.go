@@ -1,0 +1,77 @@
+package wal
+
+// The two-phase-commit records: forced yes-votes, logged decisions, and
+// the in-doubt set restart must resolve.
+
+import (
+	"reflect"
+	"testing"
+
+	"rtlock/internal/core"
+)
+
+func TestAppendVoteIdempotent(t *testing.T) {
+	l := NewLog()
+	objs := []core.ObjectID{3, 5}
+	lsn1 := l.AppendVote(7, 10, 1, objs)
+	lsn2 := l.AppendVote(7, 20, 1, objs)
+	if lsn1 != lsn2 {
+		t.Fatalf("duplicate vote got a new LSN: %d then %d", lsn1, lsn2)
+	}
+	if l.Records() != 1 {
+		t.Fatalf("records written = %d, want 1", l.Records())
+	}
+	// The logged write-set is a copy, immune to caller mutation.
+	objs[0] = 99
+	if got := l.PendingVotes()[0].Objs; !reflect.DeepEqual(got, []core.ObjectID{3, 5}) {
+		t.Fatalf("vote write-set aliased the caller's slice: %v", got)
+	}
+}
+
+func TestDecisionSettlesVote(t *testing.T) {
+	l := NewLog()
+	l.AppendVote(1, 10, 0, []core.ObjectID{1})
+	l.AppendVote(2, 11, 0, []core.ObjectID{2})
+	l.AppendVote(3, 12, 0, []core.ObjectID{3})
+	l.AppendDecision(2, true)
+	l.AppendDecision(3, false)
+
+	if commit, known := l.Decision(2); !known || !commit {
+		t.Fatalf("Decision(2) = %t,%t", commit, known)
+	}
+	if commit, known := l.Decision(3); !known || commit {
+		t.Fatalf("Decision(3) = %t,%t", commit, known)
+	}
+	if _, known := l.Decision(1); known {
+		t.Fatal("undecided transaction reported a decision")
+	}
+
+	pending := l.PendingVotes()
+	if len(pending) != 1 || pending[0].Tx != 1 {
+		t.Fatalf("pending votes = %+v, want only tx 1", pending)
+	}
+}
+
+func TestPendingVotesLSNOrder(t *testing.T) {
+	l := NewLog()
+	for tx := int64(5); tx >= 1; tx-- {
+		l.AppendVote(tx, 0, 0, nil)
+	}
+	prev := int64(0)
+	for _, v := range l.PendingVotes() {
+		if v.LSN <= prev {
+			t.Fatalf("pending votes out of LSN order: %+v", l.PendingVotes())
+		}
+		prev = v.LSN
+	}
+}
+
+func TestDecisionRewriteKeepsRecordCount(t *testing.T) {
+	l := NewLog()
+	l.AppendDecision(4, true)
+	n := l.Records()
+	l.AppendDecision(4, true)
+	if l.Records() != n {
+		t.Fatalf("re-logging a decision wrote a new record: %d -> %d", n, l.Records())
+	}
+}

@@ -35,13 +35,33 @@ type CommitRecord struct {
 	Writes []WriteImage
 }
 
+// VoteRecord is a two-phase-commit participant's forced yes-vote: once
+// it is on the log the participant is prepared and may no longer
+// unilaterally abort. Coord is the coordinator's home site and Objs the
+// participant's share of the write-set, so recovery can finish the
+// transaction after a crash. Abort votes are never logged
+// (presumed-abort: absence of a vote record means the participant never
+// promised anything).
+type VoteRecord struct {
+	LSN   int64
+	Tx    int64
+	At    sim.Time
+	Coord int
+	Objs  []core.ObjectID
+}
+
 // Log is a redo-only write-ahead log with sharp checkpoints. It models
 // the recovery component of a memory-resident real-time database: the
 // durable state is the latest checkpoint snapshot plus the commit
-// records after it.
+// records after it. For distributed runs it also carries the
+// two-phase-commit records — participant yes-votes and final decisions
+// — that survive a site crash.
 type Log struct {
 	lsn     int64
 	records []CommitRecord
+
+	votes     []VoteRecord
+	decisions map[int64]bool
 
 	checkpointLSN  int64
 	checkpointAt   sim.Time
@@ -53,7 +73,57 @@ type Log struct {
 // NewLog returns an empty log (the implicit initial checkpoint is the
 // empty database at time zero).
 func NewLog() *Log {
-	return &Log{snapshot: make(map[core.ObjectID]int64)}
+	return &Log{snapshot: make(map[core.ObjectID]int64), decisions: make(map[int64]bool)}
+}
+
+// AppendVote forces a participant's yes-vote to the log and returns its
+// LSN. It is idempotent per transaction: a duplicate prepare re-votes
+// without writing a second record.
+func (l *Log) AppendVote(tx int64, at sim.Time, coord int, objs []core.ObjectID) int64 {
+	for i := range l.votes {
+		if l.votes[i].Tx == tx {
+			return l.votes[i].LSN
+		}
+	}
+	l.lsn++
+	l.recordsWritten++
+	l.votes = append(l.votes, VoteRecord{
+		LSN: l.lsn, Tx: tx, At: at, Coord: coord,
+		Objs: append([]core.ObjectID(nil), objs...),
+	})
+	return l.lsn
+}
+
+// AppendDecision logs the final outcome of a two-phase commit the site
+// took part in (as coordinator or participant). Under presumed-abort
+// only commits strictly need the force, but participants also log their
+// aborts so recovery does not re-resolve settled transactions.
+func (l *Log) AppendDecision(tx int64, commit bool) int64 {
+	if _, ok := l.decisions[tx]; !ok {
+		l.recordsWritten++
+	}
+	l.lsn++
+	l.decisions[tx] = commit
+	return l.lsn
+}
+
+// Decision reports the logged outcome for a transaction, if any.
+func (l *Log) Decision(tx int64) (commit, known bool) {
+	commit, known = l.decisions[tx]
+	return commit, known
+}
+
+// PendingVotes returns the yes-votes with no logged decision, in LSN
+// order — exactly the in-doubt transactions restart must resolve with
+// the coordinator.
+func (l *Log) PendingVotes() []VoteRecord {
+	var out []VoteRecord
+	for i := range l.votes {
+		if _, ok := l.decisions[l.votes[i].Tx]; !ok {
+			out = append(out, l.votes[i])
+		}
+	}
+	return out
 }
 
 // AppendCommit logs a committed transaction's write-set and returns its

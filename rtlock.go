@@ -37,6 +37,7 @@ import (
 	"rtlock/internal/db"
 	"rtlock/internal/dist"
 	"rtlock/internal/experiments"
+	"rtlock/internal/faults"
 	"rtlock/internal/journal"
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
@@ -116,7 +117,35 @@ type (
 	// ReplicationStats aggregates the local approach's replica
 	// behavior.
 	ReplicationStats = dist.ReplicationStats
+	// NetReport aggregates a distributed run's message-layer counters:
+	// sends, deliveries, and per-cause losses.
+	NetReport = stats.NetReport
+	// FaultPlan is a deterministic fault-injection schedule: site
+	// crash/recover windows, per-link loss/duplication/jitter, and
+	// symmetric partitions. Identical (seed, config, plan) triples
+	// replay byte-identically.
+	FaultPlan = faults.Plan
+	// FaultCrash schedules one site crash (and optional recovery).
+	FaultCrash = faults.Crash
+	// FaultLink degrades messages on matching links for a window.
+	FaultLink = faults.LinkFault
+	// FaultPartition splits the sites into two groups for a window.
+	FaultPartition = faults.Partition
+	// FaultGenParams parameterizes GenerateFaultPlan.
+	FaultGenParams = faults.GenParams
 )
+
+// ParseFaultPlan decodes a JSON fault plan (strict: unknown fields are
+// errors) and validates nothing beyond syntax; RunDistributed validates
+// against the cluster's site count.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) { return faults.Parse(data) }
+
+// GenerateFaultPlan derives a random-but-reproducible fault plan from a
+// seed and a severity knob; the same arguments always yield the same
+// plan.
+func GenerateFaultPlan(seed int64, p FaultGenParams) (*FaultPlan, error) {
+	return faults.Generate(seed, p)
+}
 
 // Convenience re-exports.
 const (
@@ -256,6 +285,19 @@ type DistributedConfig struct {
 	// a down site are dropped and synchronous requests time out (the
 	// paper's message-server time-out mechanism).
 	Failures []SiteFailure
+	// Faults, when non-nil, attaches a deterministic fault-injection
+	// plan: sites crash (losing volatile state) and recover, links
+	// drop/duplicate/delay messages, partitions cut the mesh. Attaching
+	// a plan also arms the crash-recovery machinery — write-ahead-
+	// logged 2PC votes with redo, presumed-abort coordination with
+	// bounded retries, and (global approach) failover to per-site local
+	// ceiling managers while the GCM site is down. An empty plan arms
+	// the machinery but injects nothing; the journal stays byte-
+	// identical to a run without it.
+	Faults *FaultPlan
+	// FaultSeed seeds the fault injector's random stream (defaults to
+	// the workload seed).
+	FaultSeed int64
 	// SiteSpeed optionally scales each site's processor speed; empty
 	// means uniform speed 1.
 	SiteSpeed []float64
@@ -318,6 +360,10 @@ type Result struct {
 	// Messages is the total inter-site message count (distributed
 	// runs).
 	Messages int
+	// Net breaks the message traffic down by outcome (distributed
+	// runs), attributing every loss to its cause; nil for single-site
+	// runs.
+	Net *NetReport
 	// Journal is the deterministic replay journal, nil unless the
 	// Journal or Audit flag was set.
 	Journal *Journal
@@ -455,11 +501,17 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 	}
 	var jrn *journal.Journal
 	if cfg.Journal || cfg.Audit {
-		jrn = journal.New(cfg.Workload.Seed, fmt.Sprintf(
+		key := fmt.Sprintf(
 			"dist/%s/sites=%d/db=%d/delay=%d/count=%d/size=%d/ro=%g/mv=%t",
 			approach, cfg.Sites, cfg.DBSize, int64(cfg.CommDelay),
 			cfg.Workload.Count, cfg.Workload.MeanSize, cfg.Workload.ReadOnlyFrac,
-			cfg.Multiversion))
+			cfg.Multiversion)
+		if !cfg.Faults.Empty() {
+			// An empty plan keeps the fault-free config key so its
+			// journal stays byte-identical to a run without one.
+			key += "/" + cfg.Faults.String()
+		}
+		jrn = journal.New(cfg.Workload.Seed, key)
 	}
 	cluster, err := dist.NewCluster(dist.Config{
 		Approach:      approach,
@@ -500,19 +552,34 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 			return nil, err
 		}
 	}
+	if cfg.Faults != nil {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Workload.Seed
+		}
+		if err := cluster.AttachFaults(cfg.Faults, seed); err != nil {
+			return nil, err
+		}
+	}
 	for _, f := range cfg.Failures {
 		cluster.FailSite(f.Site, f.At, f.RecoverAt)
 	}
 	cluster.Load(load)
 	sum := cluster.Run()
+	net := cluster.NetReport()
 	res := &Result{
 		Summary:  sum,
 		Records:  cluster.Monitor.Records(),
 		Messages: cluster.Net.Sent,
+		Net:      &net,
 		Journal:  jrn,
 	}
 	if cfg.Audit {
-		res.Violations = audit.Run(jrn, audit.ForApproach(approach.String())...)
+		auds := audit.ForApproach(approach.String())
+		if cfg.Faults != nil && !cfg.Faults.Empty() {
+			auds = audit.ForFaults(approach.String())
+		}
+		res.Violations = audit.Run(jrn, auds...)
 		if res.Violations == nil {
 			res.Violations = []Violation{}
 		}
