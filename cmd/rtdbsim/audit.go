@@ -89,9 +89,10 @@ func runAudit(args []string) error {
 	var sel specSelection
 	sel.register(fs)
 	var (
-		jsonl    = fs.String("jsonl", "", "also write the journal as JSONL to this file")
-		chrome   = fs.String("chrome", "", "also write a Chrome trace_event file (load in chrome://tracing or Perfetto)")
-		maxPrint = fs.Int("max", 20, "print at most this many violations")
+		jsonl      = fs.String("jsonl", "", "also write the journal as JSONL to this file")
+		chrome     = fs.String("chrome", "", "also write a Chrome trace_event file (load in chrome://tracing or Perfetto)")
+		maxPrint   = fs.Int("max", 20, "print at most this many violations")
+		metricsDir = fs.String("metrics", "", "also sample virtual-time metrics and export the bundle into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,9 +102,17 @@ func runAudit(args []string) error {
 		return err
 	}
 	s.Audit = true
+	if *metricsDir != "" {
+		s.Metrics = true
+	}
 	res, err := s.Run()
 	if err != nil {
 		return err
+	}
+	if *metricsDir != "" {
+		if err := writeMetricsBundle(*metricsDir, "audit", res); err != nil {
+			return err
+		}
 	}
 	j := res.Journal
 	fmt.Printf("journal: %d records  seed=%d  config=%q\n", j.Len(), j.Seed(), j.Config())
@@ -134,10 +143,11 @@ func runReplay(args []string) error {
 	var sel specSelection
 	sel.register(fs)
 	var (
-		runs    = fs.Int("runs", 2, "independent executions to compare")
-		against = fs.String("against", "", "compare against this saved journal JSONL instead of re-running")
-		jsonl   = fs.String("jsonl", "", "also write the first run's journal as JSONL to this file")
-		chrome  = fs.String("chrome", "", "also write the first run's Chrome trace_event file")
+		runs       = fs.Int("runs", 2, "independent executions to compare")
+		against    = fs.String("against", "", "compare against this saved journal JSONL instead of re-running")
+		jsonl      = fs.String("jsonl", "", "also write the first run's journal as JSONL to this file")
+		chrome     = fs.String("chrome", "", "also write the first run's Chrome trace_event file")
+		metricsDir = fs.String("metrics", "", "also sample virtual-time metrics and export the first run's bundle into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -147,9 +157,17 @@ func runReplay(args []string) error {
 		return err
 	}
 	s.Journal = true
+	if *metricsDir != "" {
+		s.Metrics = true
+	}
 	res, err := s.Run()
 	if err != nil {
 		return err
+	}
+	if *metricsDir != "" {
+		if err := writeMetricsBundle(*metricsDir, "replay", res); err != nil {
+			return err
+		}
 	}
 	first := res.Journal
 	fmt.Printf("journal: %d records  seed=%d  config=%q\n", first.Len(), first.Seed(), first.Config())

@@ -20,6 +20,16 @@
 //
 //	rtdbsim faults -plan examples/specs/faultplan.json -approach global
 //	rtdbsim faults -severities 0,0.5,1 -runs 4 -count 120
+//
+// A fourth exports the deterministic virtual-time observability bundle
+// (Prometheus exposition, CSV time series, folded blocking-chain stacks,
+// HTML report); -spec accepts a run spec or a fault plan:
+//
+//	rtdbsim metrics -protocol C -count 200 -out metrics-out
+//	rtdbsim metrics -spec examples/specs/faultplan.json -runs 2
+//
+// The main -spec path and the audit/replay subcommands accept a
+// -metrics directory to export the same bundle alongside their output.
 package main
 
 import (
@@ -49,6 +59,8 @@ func run(args []string) error {
 			return runReplay(args[1:])
 		case "faults":
 			return runFaults(args[1:])
+		case "metrics":
+			return runMetrics(args[1:])
 		}
 	}
 	fs := flag.NewFlagSet("rtdbsim", flag.ContinueOnError)
@@ -65,6 +77,7 @@ func run(args []string) error {
 		spec       = fs.String("spec", "", "run a JSON specification file instead of a named experiment")
 		trace      = fs.Int("trace", 0, "with -spec single mode: print up to N trace events")
 		auditRuns  = fs.Bool("audit", false, "record a replay journal for every run and fail on invariant violations")
+		metricsDir = fs.String("metrics", "", "with -spec: sample virtual-time metrics and export the bundle into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,9 +94,17 @@ func run(args []string) error {
 		if *auditRuns {
 			s.Audit = true
 		}
+		if *metricsDir != "" {
+			s.Metrics = true
+		}
 		res, err := s.Run()
 		if err != nil {
 			return err
+		}
+		if *metricsDir != "" {
+			if err := writeMetricsBundle(*metricsDir, filepath.Base(*spec), res); err != nil {
+				return err
+			}
 		}
 		fmt.Println(res.Summary)
 		if res.Serializable != nil {

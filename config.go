@@ -53,6 +53,12 @@ type Spec struct {
 	Journal bool `json:"journal,omitempty"`
 	Audit   bool `json:"audit,omitempty"`
 
+	// Metrics samples a deterministic virtual-time metrics registry
+	// into Result.Metrics (implies Journal); MetricsIntervalMs spaces
+	// the snapshots (zero picks the 100ms default).
+	Metrics           bool    `json:"metrics,omitempty"`
+	MetricsIntervalMs float64 `json:"metricsIntervalMs,omitempty"`
+
 	WAL               bool    `json:"wal,omitempty"`
 	CheckpointEveryMs float64 `json:"checkpointEveryMs,omitempty"`
 }
@@ -137,6 +143,8 @@ func (s *Spec) Run() (*Result, error) {
 			CheckpointEvery: ms(s.CheckpointEveryMs),
 			Journal:         s.Journal,
 			Audit:           s.Audit,
+			Metrics:         s.Metrics,
+			MetricsInterval: ms(s.MetricsIntervalMs),
 		})
 	}
 	var failures []SiteFailure
@@ -148,20 +156,22 @@ func (s *Spec) Run() (*Result, error) {
 		})
 	}
 	return RunDistributed(DistributedConfig{
-		Global:        s.Global,
-		Sites:         s.Sites,
-		DBSize:        s.DBSize,
-		CommDelay:     ms(s.CommDelayMs),
-		CPUPerObj:     ms(s.CPUPerObjMs),
-		ApplyPerObj:   ms(s.ApplyPerObjMs),
-		Multiversion:  s.Multiversion,
-		SnapshotLag:   ms(s.SnapshotLagMs),
-		Failures:      failures,
-		SiteSpeed:     s.SiteSpeed,
-		Workload:      wl,
-		RecordHistory: s.RecordHistory,
-		Journal:       s.Journal,
-		Audit:         s.Audit,
+		Global:          s.Global,
+		Sites:           s.Sites,
+		DBSize:          s.DBSize,
+		CommDelay:       ms(s.CommDelayMs),
+		CPUPerObj:       ms(s.CPUPerObjMs),
+		ApplyPerObj:     ms(s.ApplyPerObjMs),
+		Multiversion:    s.Multiversion,
+		SnapshotLag:     ms(s.SnapshotLagMs),
+		Failures:        failures,
+		SiteSpeed:       s.SiteSpeed,
+		Workload:        wl,
+		RecordHistory:   s.RecordHistory,
+		Journal:         s.Journal,
+		Audit:           s.Audit,
+		Metrics:         s.Metrics,
+		MetricsInterval: ms(s.MetricsIntervalMs),
 	})
 }
 

@@ -1,8 +1,10 @@
-// Monitor demonstrates the performance monitor's event log: it runs a
-// small contended workload under the priority ceiling protocol and
-// prints the timeline the paper's Performance Monitor records — arrival,
-// lock requests and grants (with blocked intervals), operation
-// completions, and commit or deadline-miss, per transaction.
+// Monitor demonstrates the performance monitor: it runs a small
+// contended workload under the priority ceiling protocol and prints the
+// timeline the paper's Performance Monitor records — arrival, lock
+// requests and grants (with blocked intervals), operation completions,
+// and commit or deadline-miss, per transaction — followed by the
+// deterministic virtual-time metrics the same run sampled and the
+// journal-derived lock-contention profile.
 package main
 
 import (
@@ -36,6 +38,7 @@ func main() {
 		MemoryResident: true,
 		Workload:       rtlock.WorkloadConfig{Transactions: txs},
 		TraceEvents:    100,
+		Metrics:        true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -49,4 +52,9 @@ func main() {
 	fmt.Println("tx2's lock-grant line shows its blocked interval behind tx1; tx3")
 	fmt.Println("was ceiling-blocked on an unlocked object — the protocol's")
 	fmt.Println("insurance premium against deadlock and chained blocking.")
+	fmt.Println()
+	fmt.Println("Virtual-time metrics (final registry state):")
+	fmt.Print(res.Metrics.FinalString())
+	fmt.Println()
+	fmt.Print(res.LockProfile.String())
 }

@@ -176,7 +176,7 @@ func (m *Ceiling) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 	m.graph.setBlame(tx, blamed)
 	w.tok.OnCancel = func() { m.dropWaiter(w) }
 	err := p.Park(w.tok)
-	tx.noteUnblocked(m.k.Now())
+	observeUnblocked(m.k, tx)
 	return err
 }
 

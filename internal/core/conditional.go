@@ -76,7 +76,7 @@ func (m *TwoPLCond) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) e
 	tx.noteBlocked(m.k.Now(), conflicts)
 	w.tok.OnCancel = func() { m.dropWaiter(e, w) }
 	err := p.Park(w.tok)
-	tx.noteUnblocked(m.k.Now())
+	observeUnblocked(m.k, tx)
 	return err
 }
 

@@ -169,11 +169,14 @@ func (t *TxState) noteBlocked(now sim.Time, blamed []*TxState) {
 	}
 }
 
-// noteUnblocked stops the blocked-interval clock.
-func (t *TxState) noteUnblocked(now sim.Time) {
+// noteUnblocked stops the blocked-interval clock and returns the
+// interval's length (zero when the transaction was not blocked).
+func (t *TxState) noteUnblocked(now sim.Time) sim.Duration {
 	if !t.blocked {
-		return
+		return 0
 	}
 	t.blocked = false
-	t.BlockedTime += now.Sub(t.blockStart)
+	d := now.Sub(t.blockStart)
+	t.BlockedTime += d
+	return d
 }

@@ -73,7 +73,7 @@ func (m *TwoPLHP) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 	tx.noteBlocked(m.k.Now(), conflicts)
 	w.tok.OnCancel = func() { m.dropWaiter(e, w) }
 	err := p.Park(w.tok)
-	tx.noteUnblocked(m.k.Now())
+	observeUnblocked(m.k, tx)
 	return err
 }
 

@@ -13,10 +13,12 @@ import (
 // single-site managers pass 0.
 
 func emitRequest(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, mode Mode) {
+	lockCounter(k, "lock_requests_total", "Lock acquisitions requested.").Inc()
 	k.Journal().Append(int64(k.Now()), journal.KLockRequest, site, tx.ID, int32(obj), int64(mode), 0, "")
 }
 
 func emitGrant(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, mode Mode) {
+	lockCounter(k, "lock_grants_total", "Lock acquisitions granted.").Inc()
 	k.Journal().Append(int64(k.Now()), journal.KLockGrant, site, tx.ID, int32(obj), int64(mode), 0, "")
 }
 
@@ -30,6 +32,8 @@ func emitBlock(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, blamed []*T
 	if ceiling {
 		flag = 1
 	}
+	lockCounter(k, "lock_blocks_total", "Lock requests that blocked, by block kind.",
+		blockKindLabel(ceiling)).Inc()
 	if len(blamed) == 0 {
 		k.Journal().Append(int64(k.Now()), journal.KLockBlock, site, tx.ID, int32(obj), -1, flag, "")
 		return
@@ -60,9 +64,11 @@ func emitBlame(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, blamed []*T
 }
 
 func emitRelease(k *sim.Kernel, site int32, tx *TxState, obj ObjectID) {
+	lockCounter(k, "lock_releases_total", "Lock releases.").Inc()
 	k.Journal().Append(int64(k.Now()), journal.KLockRelease, site, tx.ID, int32(obj), 0, 0, "")
 }
 
 func emitWound(k *sim.Kernel, site int32, victim *TxState, aggressor *TxState) {
+	lockCounter(k, "lock_wounds_total", "Waiters or holders wounded by a higher-priority transaction.").Inc()
 	k.Journal().Append(int64(k.Now()), journal.KWound, site, victim.ID, 0, aggressor.ID, 0, "")
 }

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"rtlock/internal/metrics"
+	"rtlock/internal/sim"
+)
+
+// Metrics probes for the lock managers. They piggyback on the journal
+// emission choke points (journal.go) so every protocol reports the same
+// counters without per-manager wiring; like the journal, all of them
+// are no-ops when the kernel has no registry attached.
+
+// Histogram/counter names shared by the probes and their tests.
+const (
+	metricLockWaitTicks = "lock_wait_ticks"
+)
+
+func lockCounter(k *sim.Kernel, name, help string, labels ...metrics.Label) metrics.Counter {
+	return k.Metrics().Counter(name, help, labels...)
+}
+
+// blockKindLabel distinguishes ceiling blocks from direct conflicts.
+func blockKindLabel(ceiling bool) metrics.Label {
+	if ceiling {
+		return metrics.L("kind", "ceiling")
+	}
+	return metrics.L("kind", "conflict")
+}
+
+// observeUnblocked closes tx's blocked interval and feeds its length to
+// the lock-wait histogram. Managers call it wherever a parked waiter
+// resumes (grant, wound, restart, cancellation).
+func observeUnblocked(k *sim.Kernel, tx *TxState) {
+	if d := tx.noteUnblocked(k.Now()); d > 0 {
+		k.Metrics().Histogram(metricLockWaitTicks,
+			"Blocked-interval lengths of lock waiters, in ticks.", nil).Observe(int64(d))
+	}
+}

@@ -139,7 +139,7 @@ func (m *TwoPL) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error
 			emitWound(m.k, 0, victim, tx)
 			if victim == tx {
 				m.dropWaiter(e, w)
-				tx.noteUnblocked(m.k.Now())
+				observeUnblocked(m.k, tx)
 				return ErrRestart
 			}
 			victim.RequestWound(ErrRestart)
@@ -147,7 +147,7 @@ func (m *TwoPL) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error
 	}
 	w.tok.OnCancel = func() { m.dropWaiter(e, w) }
 	err := p.Park(w.tok)
-	tx.noteUnblocked(m.k.Now())
+	observeUnblocked(m.k, tx)
 	return err
 }
 

@@ -25,6 +25,7 @@ import (
 	"rtlock/internal/db"
 	"rtlock/internal/faults"
 	"rtlock/internal/journal"
+	"rtlock/internal/metrics"
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
@@ -128,6 +129,14 @@ type Config struct {
 	// fault plan (zero picks 4× the farthest participant delay plus
 	// 10ms, doubling per retry).
 	TwoPCTimeout sim.Duration
+	// Metrics, when non-nil, receives virtual-time metric series from
+	// every layer (kernel, CPUs, network, lock managers, 2PC,
+	// replication), sampled every MetricsInterval of virtual time.
+	// Metrics never touch the journal.
+	Metrics *metrics.Registry
+	// MetricsInterval spaces registry snapshots (zero picks
+	// sim.DefaultSampleInterval).
+	MetricsInterval sim.Duration
 }
 
 func (c *Config) fill() error {
@@ -268,6 +277,15 @@ type Cluster struct {
 	resolveTok map[resolveKey]*sim.Token
 	liveTx     []map[int64]*sim.Proc
 	gcmReg     map[int64]*gcmEntry
+
+	// Probe handles, cached at construction (no-ops without a
+	// registry).
+	mInflight  sim.Gauge
+	mCommits   sim.Counter
+	mMissDead  sim.Counter
+	mMissCrash sim.Counter
+	mGCMDown   sim.Gauge
+	mFailovers sim.Counter
 }
 
 // preparedTx is a participant's volatile state for an in-doubt
@@ -277,6 +295,9 @@ type preparedTx struct {
 	coord   db.SiteID
 	objs    []core.ObjectID
 	timeout *sim.Event
+	// at is when this participant became prepared (vote forced or
+	// redone), the start of its in-doubt window.
+	at sim.Time
 }
 
 // resolveKey identifies one participant's decision-resolution attempt.
@@ -304,6 +325,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	k := sim.NewKernel()
 	k.SetJournal(cfg.Journal, 0)
+	// Attach metrics before the network and per-site CPUs are built:
+	// their constructors cache probe handles from the kernel's registry.
+	k.SetMetrics(cfg.Metrics, cfg.MetricsInterval)
 	net := netsim.NewNetwork(k, cfg.CommDelay)
 	if cfg.Topology != nil {
 		net = netsim.NewNetworkTopology(k, cfg.Topology)
@@ -318,6 +342,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.RecordHistory {
 		c.History = check.NewHistory()
 	}
+	m := k.Metrics()
+	c.mInflight = m.Gauge("txn_inflight", "Transactions between arrival and commit/abort.")
+	c.mCommits = m.Counter("txn_commits_total", "Transactions that committed by their deadline.")
+	c.mMissDead = m.Counter("txn_deadline_misses_total", "Transactions aborted at their deadline.", metrics.L("reason", "deadline"))
+	c.mMissCrash = m.Counter("txn_deadline_misses_total", "Transactions aborted at their deadline.", metrics.L("reason", "crashed"))
+	c.mGCMDown = m.Gauge("dist_gcm_down", "1 while the global ceiling manager's site is crashed.")
+	c.mFailovers = m.Counter("dist_failovers_total", "Lock requests served by a failover manager while the GCM was down.")
 	for i := 0; i < cfg.Sites; i++ {
 		speed := 1.0
 		if len(cfg.SiteSpeed) > 0 {
@@ -458,6 +489,7 @@ func (c *Cluster) onCrash(siteID db.SiteID) {
 	if c.cfg.Approach == GlobalCeiling {
 		if siteID == c.cfg.GCMSite {
 			c.gcmDown = true
+			c.mGCMDown.Set(1)
 		} else {
 			// The GCM detects the crash and releases the site's
 			// orphaned registrations (the killed transactions skip
@@ -501,13 +533,14 @@ func (c *Cluster) onRecover(siteID db.SiteID) {
 	pending := c.wals[siteID].PendingVotes()
 	c.emit(siteID, journal.KWALRedo, 0, 0, int64(len(pending)), 0, "")
 	for _, v := range pending {
-		c.prepared[siteID][v.Tx] = &preparedTx{coord: db.SiteID(v.Coord), objs: v.Objs}
+		c.prepared[siteID][v.Tx] = &preparedTx{coord: db.SiteID(v.Coord), objs: v.Objs, at: c.K.Now()}
 	}
 	for _, v := range pending {
 		c.spawnResolver(siteID, v.Tx)
 	}
 	if siteID == c.cfg.GCMSite {
 		c.gcmDown = false
+		c.mGCMDown.Set(0)
 		purgeIDs := make([]int64, 0)
 		for id, e := range c.gcmReg {
 			if e.p.Dead() {
@@ -564,6 +597,7 @@ func (c *Cluster) Load(txs []*workload.Txn) {
 			if c.faultsOn && c.crashed[t.Home] {
 				c.emit(t.Home, journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
 				c.emit(t.Home, journal.KDeadlineMiss, t.ID, 0, 0, 0, "crashed")
+				c.mMissCrash.Inc()
 				c.Monitor.Add(stats.TxRecord{
 					ID: t.ID, Site: t.Home, Size: t.Size(),
 					ReadOnly: t.Kind == workload.ReadOnly,
@@ -574,6 +608,8 @@ func (c *Cluster) Load(txs []*workload.Txn) {
 				return
 			}
 			c.K.Spawn(fmt.Sprintf("tx%d", t.ID), func(p *sim.Proc) {
+				c.mInflight.Add(1)
+				defer c.mInflight.Add(-1)
 				if c.faultsOn {
 					c.liveTx[t.Home][t.ID] = p
 					defer delete(c.liveTx[t.Home], t.ID)
@@ -660,6 +696,7 @@ func (c *Cluster) record(p *sim.Proc, t *workload.Txn, st *core.TxState, err err
 	}
 	if err == nil {
 		rec.Outcome = stats.Committed
+		c.mCommits.Inc()
 		c.emit(t.Home, journal.KCommit, t.ID, 0, 0, 0, "")
 		if c.History != nil {
 			c.History.Commit(t.ID)
@@ -669,6 +706,9 @@ func (c *Cluster) record(p *sim.Proc, t *workload.Txn, st *core.TxState, err err
 		note := ""
 		if errors.Is(err, ErrSiteCrashed) {
 			note = "crashed"
+			c.mMissCrash.Inc()
+		} else {
+			c.mMissDead.Inc()
 		}
 		c.emit(t.Home, journal.KDeadlineMiss, t.ID, 0, 0, 0, note)
 	}

@@ -38,6 +38,7 @@ func (c *Cluster) execGlobal(p *sim.Proc, t *workload.Txn) {
 	msgs := 0
 	c.emit(home, journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
 	if degraded {
+		c.mFailovers.Inc()
 		c.emit(home, journal.KFailover, t.ID, 0, int64(c.cfg.GCMSite), 0, "")
 	}
 

@@ -247,6 +247,7 @@ func (c *Cluster) install(p *sim.Proc, s *site, msg installMsg) {
 		switch {
 		case err == nil:
 			c.repl.Installs++
+			c.twopcCounter("repl_installs_total", "Replica updates applied at secondary sites.").Inc()
 			c.emit(s.id, journal.KInstall, msg.origin, 0, id, int64(attempt), "")
 			return
 		case errors.Is(err, sim.ErrShutdown):
@@ -259,6 +260,7 @@ func (c *Cluster) install(p *sim.Proc, s *site, msg installMsg) {
 		}
 	}
 	c.repl.InstallDrops++
+	c.twopcCounter("repl_install_drops_total", "Replica updates dropped after exhausting retries.").Inc()
 	c.emit(s.id, journal.KInstallDrop, msg.origin, 0, id, 0, "")
 }
 

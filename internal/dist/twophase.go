@@ -7,9 +7,24 @@ import (
 	"rtlock/internal/core"
 	"rtlock/internal/db"
 	"rtlock/internal/journal"
+	"rtlock/internal/metrics"
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
 )
+
+// twopcCounter fetches a 2PC probe handle (no-op without a registry).
+func (c *Cluster) twopcCounter(name, help string, labels ...metrics.Label) sim.Counter {
+	return c.K.Metrics().Counter(name, help, labels...)
+}
+
+// observeInDoubt feeds one settled participant's in-doubt window length
+// to the histogram.
+func (c *Cluster) observeInDoubt(pt *preparedTx) {
+	if d := c.K.Now().Sub(pt.at); d >= 0 {
+		c.K.Metrics().Histogram("twopc_indoubt_ticks",
+			"In-doubt windows of prepared participants, in ticks.", nil).Observe(int64(d))
+	}
+}
 
 // Two-phase commit over the message servers: the coordinator (the
 // transaction's process at its home site) sends prepare messages to
@@ -118,6 +133,8 @@ func (c *Cluster) registerTwoPCHandlers() {
 		srv.Handle(decisionPort, func(m netsim.Message) {
 			if msg, ok := m.Payload.(decisionMsg); ok {
 				c.decisions++
+				c.twopcCounter("twopc_decisions_total", "2PC decisions learned, by role.",
+					metrics.L("role", "participant")).Inc()
 				c.emit(s.id, journal.KTwoPCDecision, msg.txID, 0, b2i(msg.commit), 0, "")
 				if c.faultsOn {
 					c.applyDecision(s.id, msg.txID, msg.commit)
@@ -149,6 +166,8 @@ func (c *Cluster) registerTwoPCHandlers() {
 			case statusCommit, statusAbort:
 				commit := msg.status == statusCommit
 				c.decisions++
+				c.twopcCounter("twopc_decisions_total", "2PC decisions learned, by role.",
+					metrics.L("role", "participant")).Inc()
 				c.emit(s.id, journal.KTwoPCDecision, msg.txID, 0, b2i(commit), 0, "resolved")
 				c.applyDecision(s.id, msg.txID, commit)
 			case statusPending:
@@ -181,12 +200,18 @@ func (c *Cluster) handlePrepare(siteID db.SiteID, msg prepareMsg) {
 	// mode; they vote immediately. A configured VoteFault lets tests
 	// force the abort vote this site would otherwise never cast.
 	commit := c.cfg.VoteFault == nil || !c.cfg.VoteFault(siteID, msg.txID)
+	voteLabel := metrics.L("vote", "abort")
+	if commit {
+		voteLabel = metrics.L("vote", "commit")
+	}
+	c.twopcCounter("twopc_votes_total", "2PC votes cast by participants, by outcome.", voteLabel).Inc()
 	c.emit(siteID, journal.KTwoPCVote, msg.txID, 0, b2i(commit), 0, "")
 	if c.faultsOn && commit {
 		// Force the vote: from here on this participant is prepared
 		// and may only learn the outcome, never presume it.
+		c.twopcCounter("wal_forces_total", "WAL forces, by record kind.", metrics.L("kind", "vote")).Inc()
 		c.wals[siteID].AppendVote(msg.txID, c.K.Now(), int(msg.coord), msg.objs)
-		pt := &preparedTx{coord: msg.coord, objs: msg.objs}
+		pt := &preparedTx{coord: msg.coord, objs: msg.objs, at: c.K.Now()}
 		c.prepared[siteID][msg.txID] = pt
 		site, tx := siteID, msg.txID
 		pt.timeout = c.K.After(2*c.phaseTimeout(siteID, msg.coord), func() {
@@ -205,7 +230,9 @@ func (c *Cluster) applyDecision(siteID db.SiteID, tx int64, commit bool) {
 	if pt == nil {
 		return
 	}
+	c.twopcCounter("wal_forces_total", "WAL forces, by record kind.", metrics.L("kind", "decision")).Inc()
 	c.wals[siteID].AppendDecision(tx, commit)
+	c.observeInDoubt(pt)
 	if pt.timeout != nil {
 		pt.timeout.Cancel()
 	}
@@ -240,6 +267,10 @@ func (c *Cluster) spawnResolver(siteID db.SiteID, tx int64) {
 		for attempt := 0; attempt <= c.cfg.TwoPCRetries; attempt++ {
 			if c.prepared[siteID][tx] == nil || c.crashed[siteID] {
 				return // settled meanwhile, or we crashed again
+			}
+			if attempt > 0 {
+				c.twopcCounter("twopc_retries_total", "2PC retry rounds, by phase.",
+					metrics.L("phase", "resolve")).Inc()
 			}
 			c.emit(siteID, journal.KRetry, tx, 0, int64(attempt), 0, "resolve")
 			c.Net.Send(siteID, coord, resolvePort, resolveMsg{txID: tx, from: siteID})
@@ -287,6 +318,8 @@ func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants
 	if len(participants) == 0 {
 		return nil
 	}
+	c.twopcCounter("twopc_rounds_total", "Two-phase commits coordinated.").Inc()
+	started := c.K.Now()
 	col := &voteCollector{need: len(participants), voted: make(map[db.SiteID]bool)}
 	c.twopc[txID] = col
 	var maxd sim.Duration
@@ -306,6 +339,8 @@ func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			c.twopcCounter("twopc_retries_total", "2PC retry rounds, by phase.",
+				metrics.L("phase", "prepare")).Inc()
 			c.emit(home, journal.KRetry, txID, 0, int64(attempt), 0, "prepare")
 		}
 		for _, s := range participants {
@@ -342,6 +377,11 @@ func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants
 	}
 	delete(c.twopc, txID)
 	commit := err == nil
+	if commit {
+		c.K.Metrics().Histogram("twopc_roundtrip_ticks",
+			"Vote-round durations at the coordinator (prepare out to last vote in), in ticks.",
+			nil).Observe(int64(c.K.Now().Sub(started)))
+	}
 	if c.faultsOn && errors.Is(err, ErrSiteCrashed) {
 		// The coordinator's site crashed: it cannot decide or ship.
 		// Prepared participants resolve against its log — which has no
@@ -351,8 +391,11 @@ func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants
 	if c.faultsOn && commit {
 		// Presumed-abort: only the commit decision is forced to the
 		// coordinator's log (aborts are presumed from its absence).
+		c.twopcCounter("wal_forces_total", "WAL forces, by record kind.", metrics.L("kind", "decision")).Inc()
 		c.wals[home].AppendDecision(txID, true)
 	}
+	c.twopcCounter("twopc_decisions_total", "2PC decisions learned, by role.",
+		metrics.L("role", "coord")).Inc()
 	c.emit(home, journal.KTwoPCDecision, txID, 0, b2i(commit), 0, "coord")
 	for _, s := range participants {
 		*msgs++

@@ -137,4 +137,5 @@ var SimCriticalPkgs = []string{
 	"internal/journal",
 	"internal/audit",
 	"internal/experiments",
+	"internal/metrics",
 }

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// csvColumn is one exported CSV column bound to its series.
+type csvColumn struct {
+	name string
+	s    *series
+	sum  bool // histogram: emit the running sum instead of the count
+	hist bool
+}
+
+// WriteCSV renders the sampled time series as CSV: one row per sample,
+// first column the virtual timestamp in ticks, then one column per
+// counter/gauge series and two per histogram series (its cumulative
+// observation count and sum). Series created after sampling started
+// report zero for the rows that predate them. Column order is the
+// sorted column name, so the output is byte-stable.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var cols []csvColumn
+	for _, f := range r.order {
+		for _, s := range f.order {
+			base := f.name + s.key
+			if f.typ == histogramType {
+				cols = append(cols, csvColumn{name: base + "_count", s: s, hist: true})
+				cols = append(cols, csvColumn{name: base + "_sum", s: s, hist: true, sum: true})
+				continue
+			}
+			cols = append(cols, csvColumn{name: base, s: s})
+		}
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
+
+	var b bytes.Buffer
+	b.WriteString("time_us")
+	for _, c := range cols {
+		b.WriteByte(',')
+		b.WriteString(csvQuote(c.name))
+	}
+	b.WriteByte('\n')
+	for i, at := range r.times {
+		b.WriteString(strconv.FormatInt(at, 10))
+		for _, c := range cols {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatInt(c.at(i), 10))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// at returns the column's value at sample index i (0 before the series
+// existed).
+func (c csvColumn) at(i int) int64 {
+	j := i - c.s.firstIdx
+	if j < 0 {
+		return 0
+	}
+	if c.hist {
+		if j >= len(c.s.hpoints) {
+			return 0
+		}
+		if c.sum {
+			return c.s.hpoints[j][1]
+		}
+		return c.s.hpoints[j][0]
+	}
+	if j >= len(c.s.points) {
+		return 0
+	}
+	return c.s.points[j]
+}
+
+// csvQuote quotes a column name when it contains CSV metacharacters
+// (label renderings contain commas and quotes).
+func csvQuote(s string) string {
+	need := false
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' || s[i] == '"' || s[i] == '\n' {
+			need = true
+			break
+		}
+	}
+	if !need {
+		return s
+	}
+	var b bytes.Buffer
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			b.WriteByte('"')
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// CSV returns the time-series export as a byte slice.
+func (r *Registry) CSV() []byte {
+	var b bytes.Buffer
+	_ = r.WriteCSV(&b)
+	return b.Bytes()
+}
+
+// FinalString summarizes the registry's end state for logs: every
+// counter/gauge series and histogram count/sum, one per line, sorted.
+func (r *Registry) FinalString() string {
+	if r == nil {
+		return ""
+	}
+	var lines []string
+	for _, f := range r.order {
+		for _, s := range f.order {
+			if f.typ == histogramType {
+				lines = append(lines, fmt.Sprintf("%s%s count=%d sum=%d", f.name, s.key, s.count, s.sum))
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%s%s %d", f.name, s.key, s.val))
+		}
+	}
+	sort.Strings(lines)
+	var b bytes.Buffer
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,326 @@
+// Package metrics is the simulator's deterministic observability layer:
+// a registry of counters, gauges, and fixed-bucket histograms sampled on
+// virtual time. Nothing in this package reads the wall clock or any
+// other ambient state — sample rows are appended only when the kernel
+// crosses a virtual-time sampling boundary — so two runs of the same
+// (seed, config) pair produce byte-identical metric output, and the
+// exporters (Prometheus text, CSV, HTML) are pure functions of the
+// registry contents.
+//
+// Probe sites hold typed handles (Counter, Gauge, Histogram) obtained
+// from the registry once and updated on the hot path. Every handle and
+// the registry itself are nil-safe: a subsystem wired for metrics but
+// running without a registry pays only a nil check per update, and the
+// replay journal is never touched, so enabling metrics cannot perturb a
+// run's event interleaving.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is one key/value dimension of a series. Labels are sorted by
+// key when the series is created, so the same set in any order names
+// the same series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type metricType int
+
+const (
+	counterType metricType = iota + 1
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	case histogramType:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// DefDurationBounds is the default histogram bucketing for virtual-time
+// durations, in ticks (1 tick = 1µs): roughly exponential from 100µs to
+// 5s, matching the simulator's millisecond-scale service times.
+var DefDurationBounds = []int64{
+	100, 250, 500,
+	1_000, 2_500, 5_000,
+	10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000,
+}
+
+// family is one named metric with a fixed type and any number of
+// labeled series.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	bounds []int64 // histogram upper bounds, exclusive of +Inf
+
+	byKey map[string]*series
+	order []*series // creation order; exporters sort by key
+}
+
+// series is one (family, label set) time series.
+type series struct {
+	key    string // canonical label rendering, "" for unlabeled
+	labels []Label
+
+	// firstIdx is how many registry samples had been taken when the
+	// series was created; its i-th point belongs to sample firstIdx+i.
+	firstIdx int
+
+	// Live state.
+	val       int64   // counter/gauge current value
+	buckets   []int64 // histogram per-bound counts (non-cumulative)
+	boundsRef []int64 // the family's bounds, mirrored for Observe
+	sum       int64
+	count     int64
+
+	// Sampled state: one entry per registry sample since firstIdx.
+	points  []int64    // counter/gauge snapshots
+	hpoints [][2]int64 // histogram {count, sum} snapshots
+}
+
+// Registry holds the metric families and the virtual-time sample rows.
+// All methods are nil-safe on a nil *Registry, returning no-op handles,
+// so disabled metrics cost only nil checks at the probe sites.
+type Registry struct {
+	families map[string]*family
+	order    []*family // creation order; exporters sort by name
+	times    []int64   // virtual timestamps of the samples taken
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns (creating on first use) the counter series for the
+// given name and labels.
+func (r *Registry) Counter(name, help string, labels ...Label) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{s: r.series(name, help, counterType, nil, labels)}
+}
+
+// Gauge returns (creating on first use) the gauge series for the given
+// name and labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{s: r.series(name, help, gaugeType, nil, labels)}
+}
+
+// Histogram returns (creating on first use) the histogram series for
+// the given name and labels. bounds are the inclusive upper bucket
+// bounds (+Inf is implicit); nil picks DefDurationBounds. The bounds of
+// the first registration win.
+func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	if bounds == nil {
+		bounds = DefDurationBounds
+	}
+	return Histogram{s: r.series(name, help, histogramType, bounds, labels)}
+}
+
+func (r *Registry) series(name, help string, typ metricType, bounds []int64, labels []Label) *series {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, bounds: bounds, byKey: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, f)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	key := renderLabels(labels)
+	s, ok := f.byKey[key]
+	if !ok {
+		s = &series{key: key, labels: canonLabels(labels), firstIdx: len(r.times)}
+		if typ == histogramType {
+			s.buckets = make([]int64, len(f.bounds))
+			s.boundsRef = f.bounds
+		}
+		f.byKey[key] = s
+		f.order = append(f.order, s)
+	}
+	return s
+}
+
+// Sample appends one row: the current value of every series, stamped
+// with the given virtual time. The kernel calls it on sampling
+// boundaries; timestamps must be non-decreasing for the CSV export to
+// make sense, which the kernel's monotonic clock guarantees.
+func (r *Registry) Sample(at int64) {
+	if r == nil {
+		return
+	}
+	r.times = append(r.times, at)
+	for _, f := range r.order {
+		for _, s := range f.order {
+			if f.typ == histogramType {
+				s.hpoints = append(s.hpoints, [2]int64{s.count, s.sum})
+			} else {
+				s.points = append(s.points, s.val)
+			}
+		}
+	}
+}
+
+// Samples reports how many rows have been taken.
+func (r *Registry) Samples() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.times)
+}
+
+// canonLabels returns a sorted copy of the labels.
+func canonLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// renderLabels produces the canonical `{k="v",…}` rendering ("" when
+// unlabeled), used both as the series key and in the exposition output.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := canonLabels(labels)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Counter is a monotonically increasing series handle.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c Counter) Add(n int64) {
+	if c.s == nil || n < 0 {
+		return
+	}
+	c.s.val += n
+}
+
+// Value returns the current count.
+func (c Counter) Value() int64 {
+	if c.s == nil {
+		return 0
+	}
+	return c.s.val
+}
+
+// Gauge is an up/down series handle.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g Gauge) Set(v int64) {
+	if g.s == nil {
+		return
+	}
+	g.s.val = v
+}
+
+// Add adjusts the value by n (may be negative).
+func (g Gauge) Add(n int64) {
+	if g.s == nil {
+		return
+	}
+	g.s.val += n
+}
+
+// Value returns the current value.
+func (g Gauge) Value() int64 {
+	if g.s == nil {
+		return 0
+	}
+	return g.s.val
+}
+
+// Histogram is a fixed-bucket distribution handle.
+type Histogram struct{ s *series }
+
+// Observe records one value.
+func (h Histogram) Observe(v int64) {
+	if h.s == nil {
+		return
+	}
+	h.s.count++
+	h.s.sum += v
+	for i, ub := range h.s.bucketsBounds() {
+		if v <= ub {
+			h.s.buckets[i]++
+			return
+		}
+	}
+	// Above every bound: counted in +Inf only (count/sum above).
+}
+
+// Count returns the number of observations.
+func (h Histogram) Count() int64 {
+	if h.s == nil {
+		return 0
+	}
+	return h.s.count
+}
+
+// Sum returns the sum of observations.
+func (h Histogram) Sum() int64 {
+	if h.s == nil {
+		return 0
+	}
+	return h.s.sum
+}
+
+// bucketsBounds returns the family's bucket bounds, mirrored onto the
+// series at creation so Observe never chases the family pointer.
+func (s *series) bucketsBounds() []int64 { return s.boundsRef }

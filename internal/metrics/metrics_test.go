@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "help")
+	g := r.Gauge("g", "help")
+	h := r.Histogram("h", "help", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(100)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil-registry handles must read zero")
+	}
+	r.Sample(10)
+	if r.Samples() != 0 {
+		t.Fatal("nil registry must not record samples")
+	}
+	if got := r.Prometheus(); len(got) != 0 {
+		t.Fatalf("nil registry exposition: %q", got)
+	}
+	if got := r.CSV(); len(got) != 0 {
+		t.Fatalf("nil registry CSV: %q", got)
+	}
+	if got := r.FinalString(); got != "" {
+		t.Fatalf("nil registry FinalString: %q", got)
+	}
+}
+
+func TestCounterGaugeSemantics(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters only go up: ignored
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	// Re-registration returns the same series.
+	if r.Counter("reqs_total", "requests").Value() != 5 {
+		t.Fatal("re-registered counter lost its value")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering counter name as gauge must panic")
+		}
+	}()
+	r.Gauge("m", "help")
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := New()
+	a := r.Counter("c", "h", L("b", "2"), L("a", "1"))
+	b := r.Counter("c", "h", L("a", "1"), L("b", "2"))
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatalf("labels in different orders must name the same series; got %d", a.Value())
+	}
+	if !strings.Contains(string(r.Prometheus()), `c{a="1",b="2"} 2`) {
+		t.Fatalf("labels not rendered canonically:\n%s", r.Prometheus())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "latency", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 50, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 5065 {
+		t.Fatalf("count=%d sum=%d, want 4/5065", h.Count(), h.Sum())
+	}
+	prom := string(r.Prometheus())
+	for _, want := range []string{
+		`lat_bucket{le="10"} 2`,   // 5, 10 (bounds inclusive)
+		`lat_bucket{le="100"} 3`,  // + 50, cumulative
+		`lat_bucket{le="1000"} 3`, // 5000 overflows
+		`lat_bucket{le="+Inf"} 4`,
+		`lat_sum 5065`,
+		`lat_count 4`,
+	} {
+		if !strings.Contains(prom, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+func TestGoldenPrometheusExposition(t *testing.T) {
+	r := New()
+	// Registration order deliberately unsorted: exporters must sort.
+	r.Gauge("zz_depth", "Ready-queue depth.").Set(3)
+	r.Counter("aa_total", "Things counted.", L("kind", "x")).Add(2)
+	r.Counter("aa_total", "Things counted.", L("kind", "w")).Add(7)
+	h := r.Histogram("mid_ticks", "A duration.", []int64{10, 20})
+	h.Observe(15)
+	const want = `# HELP aa_total Things counted.
+# TYPE aa_total counter
+aa_total{kind="w"} 7
+aa_total{kind="x"} 2
+# HELP mid_ticks A duration.
+# TYPE mid_ticks histogram
+mid_ticks_bucket{le="10"} 0
+mid_ticks_bucket{le="20"} 1
+mid_ticks_bucket{le="+Inf"} 1
+mid_ticks_sum 15
+mid_ticks_count 1
+# HELP zz_depth Ready-queue depth.
+# TYPE zz_depth gauge
+zz_depth 3
+`
+	if got := string(r.Prometheus()); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCSVSampling(t *testing.T) {
+	r := New()
+	c := r.Counter("c", "h")
+	c.Inc()
+	r.Sample(100)
+	// A series created after sampling started back-fills zeros.
+	g := r.Gauge("g", "h")
+	g.Set(9)
+	c.Add(2)
+	r.Sample(200)
+	const want = "time_us,c,g\n100,1,0\n200,3,9\n"
+	if got := string(r.CSV()); got != want {
+		t.Errorf("CSV mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if r.Samples() != 2 {
+		t.Fatalf("Samples() = %d, want 2", r.Samples())
+	}
+}
+
+func TestCSVHistogramColumnsAndQuoting(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "h", []int64{10}, L("link", "a,b"))
+	h.Observe(4)
+	r.Sample(50)
+	got := string(r.CSV())
+	wantHeader := `time_us,"lat{link=""a,b""}_count","lat{link=""a,b""}_sum"`
+	if !strings.HasPrefix(got, wantHeader+"\n") {
+		t.Fatalf("CSV header mismatch:\ngot  %q\nwant %q", strings.SplitN(got, "\n", 2)[0], wantHeader)
+	}
+	if !strings.Contains(got, "\n50,1,4\n") {
+		t.Fatalf("CSV row mismatch:\n%s", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("c", "h", L("v", "a\"b\\c\nd")).Inc()
+	prom := string(r.Prometheus())
+	if !strings.Contains(prom, `c{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", prom)
+	}
+}
+
+func TestHTMLReportRenders(t *testing.T) {
+	r := New()
+	r.Counter("c_total", "Things.", L("kind", "x")).Add(3)
+	r.Sample(1000)
+	var b bytes.Buffer
+	if err := WriteHTML(&b, "test report", r, FromJournal(nil, 0)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<html", "test report", "c_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+	if got := HTML("test report", r, FromJournal(nil, 0)); !bytes.Equal(got, b.Bytes()) {
+		t.Error("HTML() and WriteHTML disagree")
+	}
+}

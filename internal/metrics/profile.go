@@ -1,0 +1,329 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"rtlock/internal/journal"
+)
+
+// The lock-contention profiler derives per-object hold/wait breakdowns
+// and blocking-chain stacks from the replay journal rather than from
+// live probes: the journal already carries every lock request, grant,
+// block (with blamed holders), and release in deterministic order, so
+// the profile is exact, adds zero cost to the simulation, and two
+// identical runs profile byte-identically.
+
+// ObjectProfile aggregates one (site, object) pair's lock behavior.
+type ObjectProfile struct {
+	Site int32
+	Obj  int32
+	// Requests/Grants/Releases count lock operations on the object.
+	Requests, Grants, Releases int64
+	// Blocks counts blocking events (one per waiter per block, however
+	// many holders were blamed).
+	Blocks int64
+	// HoldTicks is the total virtual time locks on the object were
+	// held; WaitTicks the total time transactions sat blocked on it.
+	HoldTicks, WaitTicks int64
+	// MaxWaitTicks is the longest single blocked interval.
+	MaxWaitTicks int64
+	// InversionTicks is the waiting time during which the first blamed
+	// holder had a later deadline than the waiter — priority-inversion
+	// exposure in the paper's earliest-deadline priority order.
+	InversionTicks int64
+}
+
+// CauseCount is one abort/restart cause tally.
+type CauseCount struct {
+	Cause string
+	Count int64
+}
+
+// StackSample is one folded blocking-chain stack with its accumulated
+// waiting time: "tx<holder>;tx<w1>@obj<o1>;…" rooted at the holding
+// transaction, leaf at the blocked one, pprof-folded so flamegraph
+// tooling consumes it directly.
+type StackSample struct {
+	Stack string
+	Ticks int64
+}
+
+// Profile is the journal-derived contention report.
+type Profile struct {
+	// TopK bounds Objects; every object is still aggregated into the
+	// totals.
+	TopK int
+	// Objects holds the K hottest objects by waiting time (ties broken
+	// by holding time, then site and object id).
+	Objects []ObjectProfile
+	// Stacks are the folded blocking chains, sorted by stack string.
+	Stacks []StackSample
+	// Causes tallies abort/restart causes (wound, restart,
+	// deadline_miss, site_crash), sorted by cause.
+	Causes []CauseCount
+	// ChainMax is the longest blocking chain observed (in transactions,
+	// including the holder).
+	ChainMax int
+	// Totals across every object.
+	TotalWaitTicks, TotalHoldTicks, TotalInversionTicks int64
+	TotalObjects                                        int
+}
+
+type objKey struct {
+	site int32
+	obj  int32
+}
+
+type holdKey struct {
+	site int32
+	tx   int64
+	obj  int32
+}
+
+// waitState is one transaction's open blocked interval.
+type waitState struct {
+	site     int32
+	obj      int32
+	start    int64
+	blamed   int64 // first blamed holder, -1 when anonymous
+	inverted bool
+	stack    string
+	depth    int
+}
+
+// FromJournal builds the contention profile from a replay journal. A
+// nil or empty journal yields an empty profile. topK bounds the object
+// table (<= 0 picks 10).
+func FromJournal(j *journal.Journal, topK int) *Profile {
+	if topK <= 0 {
+		topK = 10
+	}
+	p := &Profile{TopK: topK}
+	if j == nil {
+		return p
+	}
+	objs := make(map[objKey]*ObjectProfile)
+	holds := make(map[holdKey]int64)
+	waits := make(map[int64]*waitState) // by waiter tx id
+	deadlines := make(map[int64]int64)
+	stacks := make(map[string]int64)
+	causes := make(map[string]int64)
+
+	obj := func(site, o int32) *ObjectProfile {
+		k := objKey{site: site, obj: o}
+		op, ok := objs[k]
+		if !ok {
+			op = &ObjectProfile{Site: site, Obj: o}
+			objs[k] = op
+		}
+		return op
+	}
+	closeWait := func(ws *waitState, tx, at int64) {
+		elapsed := at - ws.start
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		op := obj(ws.site, ws.obj)
+		op.WaitTicks += elapsed
+		if elapsed > op.MaxWaitTicks {
+			op.MaxWaitTicks = elapsed
+		}
+		if ws.inverted {
+			op.InversionTicks += elapsed
+		}
+		stacks[ws.stack] += elapsed
+		delete(waits, tx)
+	}
+
+	for _, rec := range j.Records() {
+		switch rec.Kind {
+		case journal.KArrive:
+			if _, ok := deadlines[rec.Tx]; !ok {
+				deadlines[rec.Tx] = rec.A
+			}
+		case journal.KLockRequest:
+			obj(rec.Site, rec.Obj).Requests++
+		case journal.KLockGrant:
+			obj(rec.Site, rec.Obj).Grants++
+			holds[holdKey{site: rec.Site, tx: rec.Tx, obj: rec.Obj}] = rec.At
+			if ws, ok := waits[rec.Tx]; ok && ws.site == rec.Site && ws.obj == rec.Obj {
+				closeWait(ws, rec.Tx, rec.At)
+			}
+		case journal.KLockBlock:
+			if ws, ok := waits[rec.Tx]; ok {
+				if ws.site == rec.Site && ws.obj == rec.Obj && ws.start == rec.At {
+					break // additional blamed holder of the same event
+				}
+				// A new block before the old one closed (restart path):
+				// close the stale interval at its own start.
+				closeWait(ws, rec.Tx, rec.At)
+			}
+			ws := &waitState{site: rec.Site, obj: rec.Obj, start: rec.At, blamed: rec.A}
+			ws.inverted = rec.A >= 0 && deadlines[rec.A] > deadlines[rec.Tx]
+			ws.stack, ws.depth = foldChain(rec.Tx, rec.Obj, rec.A, waits)
+			if ws.depth > p.ChainMax {
+				p.ChainMax = ws.depth
+			}
+			waits[rec.Tx] = ws
+			obj(rec.Site, rec.Obj).Blocks++
+		case journal.KLockRelease:
+			op := obj(rec.Site, rec.Obj)
+			op.Releases++
+			hk := holdKey{site: rec.Site, tx: rec.Tx, obj: rec.Obj}
+			if from, ok := holds[hk]; ok {
+				op.HoldTicks += rec.At - from
+				delete(holds, hk)
+			}
+		case journal.KUnregister:
+			if ws, ok := waits[rec.Tx]; ok {
+				closeWait(ws, rec.Tx, rec.At)
+			}
+		case journal.KWound:
+			causes["wound"]++
+		case journal.KRestart:
+			causes["restart"]++
+		case journal.KDeadlineMiss:
+			if rec.Note == "crashed" {
+				causes["site_crash"]++
+			} else {
+				causes["deadline_miss"]++
+			}
+		}
+	}
+
+	// Aggregate totals and pick the top K, sorting outside the map
+	// range so iteration order cannot leak.
+	all := make([]*ObjectProfile, 0, len(objs))
+	for _, op := range objs {
+		all = append(all, op)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.WaitTicks != b.WaitTicks {
+			return a.WaitTicks > b.WaitTicks
+		}
+		if a.HoldTicks != b.HoldTicks {
+			return a.HoldTicks > b.HoldTicks
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Obj < b.Obj
+	})
+	p.TotalObjects = len(all)
+	for _, op := range all {
+		p.TotalWaitTicks += op.WaitTicks
+		p.TotalHoldTicks += op.HoldTicks
+		p.TotalInversionTicks += op.InversionTicks
+	}
+	if len(all) > topK {
+		all = all[:topK]
+	}
+	for _, op := range all {
+		p.Objects = append(p.Objects, *op)
+	}
+
+	stackKeys := make([]string, 0, len(stacks))
+	for s := range stacks {
+		stackKeys = append(stackKeys, s)
+	}
+	sort.Strings(stackKeys)
+	for _, s := range stackKeys {
+		if stacks[s] > 0 {
+			p.Stacks = append(p.Stacks, StackSample{Stack: s, Ticks: stacks[s]})
+		}
+	}
+
+	causeKeys := make([]string, 0, len(causes))
+	for cause := range causes {
+		causeKeys = append(causeKeys, cause)
+	}
+	sort.Strings(causeKeys)
+	for _, cause := range causeKeys {
+		p.Causes = append(p.Causes, CauseCount{Cause: cause, Count: causes[cause]})
+	}
+	return p
+}
+
+// foldChain renders the blocking chain for a waiter blamed on holder
+// `blamed` as a folded stack rooted at the ultimate holder, following
+// transitive waits through the currently open block table. It returns
+// the stack and the chain length in transactions.
+func foldChain(tx int64, obj int32, blamed int64, waits map[int64]*waitState) (string, int) {
+	// Leaf-to-root frames: the waiter, then each blocked transaction on
+	// the blame path, then the transaction actually holding a lock.
+	frames := []string{fmt.Sprintf("tx%d@obj%d", tx, obj)}
+	seen := map[int64]bool{tx: true}
+	cur := blamed
+	for cur >= 0 && !seen[cur] {
+		seen[cur] = true
+		ws, ok := waits[cur]
+		if !ok {
+			frames = append(frames, fmt.Sprintf("tx%d", cur))
+			break
+		}
+		frames = append(frames, fmt.Sprintf("tx%d@obj%d", cur, ws.obj))
+		cur = ws.blamed
+	}
+	if blamed < 0 {
+		frames = append(frames, "ceiling")
+	}
+	var b bytes.Buffer
+	for i := len(frames) - 1; i >= 0; i-- {
+		if b.Len() > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(frames[i])
+	}
+	return b.String(), len(frames)
+}
+
+// WriteFolded renders the blocking chains in pprof's folded-stack
+// format — `frame;frame;frame ticks` per line, sorted — ready for
+// flamegraph tooling.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	var b bytes.Buffer
+	for _, s := range p.Stacks {
+		fmt.Fprintf(&b, "%s %d\n", s.Stack, s.Ticks)
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// Folded returns the folded-stack export as a byte slice.
+func (p *Profile) Folded() []byte {
+	var b bytes.Buffer
+	_ = p.WriteFolded(&b)
+	return b.Bytes()
+}
+
+// String renders the top-K hot-object table and cause tallies as an
+// aligned text report.
+func (p *Profile) String() string {
+	if p == nil {
+		return ""
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "lock contention: %d objects contended, wait=%.1fms hold=%.1fms inversion=%.1fms chain<=%d\n",
+		p.TotalObjects, float64(p.TotalWaitTicks)/1000, float64(p.TotalHoldTicks)/1000,
+		float64(p.TotalInversionTicks)/1000, p.ChainMax)
+	if len(p.Objects) > 0 {
+		fmt.Fprintf(&b, "%-6s %-6s %8s %8s %8s %12s %12s %12s\n",
+			"site", "obj", "reqs", "blocks", "grants", "wait_ms", "hold_ms", "maxwait_ms")
+		for _, o := range p.Objects {
+			fmt.Fprintf(&b, "%-6d %-6d %8d %8d %8d %12.1f %12.1f %12.1f\n",
+				o.Site, o.Obj, o.Requests, o.Blocks, o.Grants,
+				float64(o.WaitTicks)/1000, float64(o.HoldTicks)/1000, float64(o.MaxWaitTicks)/1000)
+		}
+	}
+	for _, c := range p.Causes {
+		fmt.Fprintf(&b, "cause %-14s %d\n", c.Cause, c.Count)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry's final state in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name,
+// series sorted by label key, histograms expanded into cumulative
+// _bucket/_sum/_count series. The output is a pure function of the
+// registry contents, so identical runs render byte-identical text.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	fams := make([]*family, len(r.order))
+	copy(fams, r.order)
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var b bytes.Buffer
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		sers := make([]*series, len(f.order))
+		copy(sers, f.order)
+		sort.Slice(sers, func(i, j int) bool { return sers[i].key < sers[j].key })
+		for _, s := range sers {
+			if f.typ == histogramType {
+				writePromHistogram(&b, f, s)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %d\n", f.name, s.key, s.val)
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// writePromHistogram expands one histogram series into cumulative
+// buckets plus the _sum and _count samples.
+func writePromHistogram(b *bytes.Buffer, f *family, s *series) {
+	cum := int64(0)
+	for i, ub := range f.bounds {
+		cum += s.buckets[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, mergeLE(s.key, strconv.FormatInt(ub, 10)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, mergeLE(s.key, "+Inf"), s.count)
+	fmt.Fprintf(b, "%s_sum%s %d\n", f.name, s.key, s.sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, s.key, s.count)
+}
+
+// mergeLE appends the le label to an already-rendered label key. The
+// series keys are canonical (sorted), and "le" is appended last, which
+// the text format permits: label order within a sample is free.
+func mergeLE(key, le string) string {
+	if key == "" {
+		return `{le="` + le + `"}`
+	}
+	return key[:len(key)-1] + `,le="` + le + `"}`
+}
+
+// Prometheus returns the exposition text as a byte slice.
+func (r *Registry) Prometheus() []byte {
+	var b bytes.Buffer
+	_ = r.WritePrometheus(&b)
+	return b.Bytes()
+}

@@ -14,6 +14,7 @@ import (
 
 	"rtlock/internal/db"
 	"rtlock/internal/journal"
+	"rtlock/internal/metrics"
 	"rtlock/internal/sim"
 )
 
@@ -87,18 +88,51 @@ type Network struct {
 	DroppedFault int
 	// Duplicated counts extra copies the fault injector delivered.
 	Duplicated int
+
+	// Probe handles, cached at construction (no-ops without a
+	// registry). Per-link latency histograms are looked up per delivery
+	// because their label set depends on the endpoints.
+	mSent      sim.Counter
+	mDelivered sim.Counter
+	mDup       sim.Counter
+	mDropDown  sim.Counter
+	mDropCut   sim.Counter
+	mDropFault sim.Counter
+	mInflight  sim.Gauge
 }
 
 // NewNetwork returns a fully connected network with the given inter-site
 // delay.
 func NewNetwork(k *sim.Kernel, delay sim.Duration) *Network {
-	return &Network{k: k, delay: delay, servers: make(map[db.SiteID]*Server), down: make(map[db.SiteID]bool), cut: make(map[[2]db.SiteID]int)}
+	n := &Network{k: k, delay: delay, servers: make(map[db.SiteID]*Server), down: make(map[db.SiteID]bool), cut: make(map[[2]db.SiteID]int)}
+	n.initProbes()
+	return n
 }
 
 // NewNetworkTopology returns a network whose pairwise delays come from
 // the topology.
 func NewNetworkTopology(k *sim.Kernel, topo *Topology) *Network {
-	return &Network{k: k, topo: topo, servers: make(map[db.SiteID]*Server), down: make(map[db.SiteID]bool), cut: make(map[[2]db.SiteID]int)}
+	n := &Network{k: k, topo: topo, servers: make(map[db.SiteID]*Server), down: make(map[db.SiteID]bool), cut: make(map[[2]db.SiteID]int)}
+	n.initProbes()
+	return n
+}
+
+func (n *Network) initProbes() {
+	m := n.k.Metrics()
+	n.mSent = m.Counter("net_msgs_sent_total", "Inter-site messages put on the wire (including hops).")
+	n.mDelivered = m.Counter("net_msgs_delivered_total", "Messages delivered to a site's message server.")
+	n.mDup = m.Counter("net_msgs_duplicated_total", "Extra message copies the fault injector delivered.")
+	n.mDropDown = m.Counter("net_msgs_dropped_total", "Messages lost in transit, by reason.", metrics.L("reason", "down"))
+	n.mDropCut = m.Counter("net_msgs_dropped_total", "Messages lost in transit, by reason.", metrics.L("reason", "cut"))
+	n.mDropFault = m.Counter("net_msgs_dropped_total", "Messages lost in transit, by reason.", metrics.L("reason", "fault"))
+	n.mInflight = m.Gauge("net_inflight", "Asynchronous message copies currently in transit.")
+}
+
+// observeLatency feeds one delivered copy's transit time to the
+// per-link latency histogram.
+func (n *Network) observeLatency(from, to db.SiteID, d sim.Duration) {
+	n.k.Metrics().Histogram("net_latency_ticks", "Message transit times per directed link, in ticks.",
+		nil, metrics.L("link", fmt.Sprintf("%d->%d", from, to))).Observe(int64(d))
 }
 
 // SetDown marks a site as non-operational (or back up). Messages
@@ -186,6 +220,7 @@ func (n *Network) Send(from, to db.SiteID, port string, payload any) {
 	msg := Message{From: from, To: to, Port: port, Payload: payload, SentAt: n.k.Now()}
 	if from != to {
 		n.Sent++
+		n.mSent.Inc()
 	}
 	n.k.Journal().Append(int64(n.k.Now()), journal.KMsgSend, int32(from), 0, 0, int64(to), 0, port)
 	d := n.Delay(from, to)
@@ -207,6 +242,7 @@ func (n *Network) Send(from, to db.SiteID, port string, payload any) {
 			}
 			if len(fates) > 1 {
 				n.Duplicated += len(fates) - 1
+				n.mDup.Add(int64(len(fates) - 1))
 				n.k.Journal().Append(int64(n.k.Now()), journal.KMsgDup, int32(from), 0, 0, int64(to), int64(len(fates)), port)
 			}
 			for _, extra := range fates {
@@ -224,7 +260,9 @@ func (n *Network) Send(from, to db.SiteID, port string, payload any) {
 // is journaled rather than silent.
 func (n *Network) deliverAfter(msg Message, d sim.Duration) {
 	from, to := msg.From, msg.To
+	n.mInflight.Add(1)
 	n.k.After(d, func() {
+		n.mInflight.Add(-1)
 		if n.down[to] {
 			n.dropMsg(from, to, DropDown, msg.Port)
 			return
@@ -234,6 +272,10 @@ func (n *Network) deliverAfter(msg Message, d sim.Duration) {
 			return
 		}
 		msg.DeliveredAt = n.k.Now()
+		n.mDelivered.Inc()
+		if from != to {
+			n.observeLatency(from, to, msg.DeliveredAt.Sub(msg.SentAt))
+		}
 		n.k.Journal().Append(int64(n.k.Now()), journal.KMsgRecv, int32(to), 0, 0, int64(from), 0, msg.Port)
 		n.Server(to).enqueue(msg)
 	})
@@ -244,10 +286,13 @@ func (n *Network) dropMsg(from, to db.SiteID, reason int64, port string) {
 	switch reason {
 	case DropCut:
 		n.DroppedCut++
+		n.mDropCut.Inc()
 	case DropFault:
 		n.DroppedFault++
+		n.mDropFault.Inc()
 	default:
 		n.DroppedDown++
+		n.mDropDown.Inc()
 	}
 	n.k.Journal().Append(int64(n.k.Now()), journal.KMsgDrop, int32(to), 0, 0, int64(from), reason, port)
 }
@@ -263,6 +308,7 @@ func (n *Network) Hop(p *sim.Proc, from, to db.SiteID) error {
 		return p.Sleep(d)
 	}
 	n.Sent++
+	n.mSent.Inc()
 	n.k.Journal().Append(int64(n.k.Now()), journal.KMsgSend, int32(from), 0, 0, int64(to), 0, "hop")
 	timeout := n.Timeout
 	if timeout <= 0 {

@@ -34,6 +34,14 @@ type CPU struct {
 
 	busy Duration // total service delivered
 	seq  uint64
+
+	// Probe handles, cached at construction (no-ops without a
+	// registry). Distributed clusters share the series across their
+	// per-site CPUs, so the counters aggregate the whole machine.
+	mDispatch Counter
+	mPreempt  Counter
+	mBusy     Counter
+	mReady    Gauge
 }
 
 type cpuReq struct {
@@ -49,7 +57,14 @@ type cpuReq struct {
 
 // NewCPU returns a processor scheduled under disc.
 func NewCPU(k *Kernel, disc Discipline) *CPU {
-	return &CPU{k: k, disc: disc, ready: cpuQueue{disc: disc}}
+	m := k.Metrics()
+	return &CPU{
+		k: k, disc: disc, ready: cpuQueue{disc: disc},
+		mDispatch: m.Counter("cpu_dispatches_total", "CPU dispatches (service starts and resumptions)."),
+		mPreempt:  m.Counter("cpu_preemptions_total", "CPU preemptions of the running request."),
+		mBusy:     m.Counter("cpu_busy_ticks_total", "Virtual time of CPU service delivered."),
+		mReady:    m.Gauge("cpu_ready_queue", "Requests waiting behind the running one."),
+	}
 }
 
 // Use consumes d of service time on behalf of p at the given priority,
@@ -115,6 +130,7 @@ func (c *CPU) add(req *cpuReq) {
 		return
 	}
 	c.ready.push(req)
+	c.mReady.Add(1)
 }
 
 func (c *CPU) nextSeq() uint64 {
@@ -125,12 +141,14 @@ func (c *CPU) nextSeq() uint64 {
 func (c *CPU) dispatch(req *cpuReq) {
 	c.cur = req
 	req.runFrom = c.k.now
+	c.mDispatch.Inc()
 	c.k.Emit(journal.KCPUDispatch, req.proc.id, 0, int64(req.rem), 0, "")
 	req.doneEv = c.k.After(req.rem, func() { c.complete(req) })
 }
 
 func (c *CPU) complete(req *cpuReq) {
 	c.busy += req.rem
+	c.mBusy.Add(int64(req.rem))
 	req.rem = 0
 	c.cur = nil
 	req.tok.Wake(nil)
@@ -142,10 +160,13 @@ func (c *CPU) preemptCur() {
 	req.doneEv.Cancel()
 	used := c.k.now.Sub(req.runFrom)
 	c.busy += used
+	c.mBusy.Add(int64(used))
 	req.rem -= used
 	c.cur = nil
+	c.mPreempt.Inc()
 	c.k.Emit(journal.KCPUPreempt, req.proc.id, 0, int64(req.rem), 0, "")
 	c.ready.push(req)
+	c.mReady.Add(1)
 }
 
 // maybePreemptCur preempts the running request if the ready queue now
@@ -166,6 +187,7 @@ func (c *CPU) next() {
 		return
 	}
 	if req := c.ready.pop(); req != nil {
+		c.mReady.Add(-1)
 		c.dispatch(req)
 	}
 }
@@ -175,12 +197,15 @@ func (c *CPU) remove(req *cpuReq) {
 		req.doneEv.Cancel()
 		used := c.k.now.Sub(req.runFrom)
 		c.busy += used
+		c.mBusy.Add(int64(used))
 		req.rem -= used
 		c.cur = nil
 		c.next()
 		return
 	}
-	c.ready.remove(req)
+	if c.ready.remove(req) {
+		c.mReady.Add(-1)
+	}
 }
 
 // cpuQueue is a ready queue ordered by priority (PreemptivePriority) or
@@ -241,8 +266,10 @@ func (q *cpuQueue) pop() *cpuReq {
 	return r
 }
 
-func (q *cpuQueue) remove(r *cpuReq) {
+func (q *cpuQueue) remove(r *cpuReq) bool {
 	if r.idx >= 0 && r.idx < len(q.reqs) && q.reqs[r.idx] == r {
 		heap.Remove(q, r.idx)
+		return true
 	}
+	return false
 }

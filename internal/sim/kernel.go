@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"rtlock/internal/journal"
+	"rtlock/internal/metrics"
 )
 
 // Kernel errors delivered to parked processes.
@@ -40,6 +41,84 @@ type Kernel struct {
 	// them with the site this kernel simulates (0 single-site).
 	jrn     *journal.Journal
 	jrnSite int32
+
+	// met, when set, receives virtual-time samples: the dispatch loop
+	// takes one registry snapshot per sampleEvery of virtual time (plus
+	// a final row when the event heap drains). Sampling is driven by
+	// event timestamps, never by extra scheduled events, so attaching
+	// metrics cannot change the event interleaving or the journal.
+	met         *metrics.Registry
+	sampleEvery Duration
+	nextSample  Time
+	flushedAt   Time
+
+	// Kernel-owned probe handles (no-ops without a registry).
+	mEvents Counter
+	mProcs  Gauge
+	mSpawns Counter
+}
+
+// Metric handle aliases, so subsystems in this package and its
+// dependents can hold probe handles without importing metrics
+// everywhere.
+type (
+	// Counter is a monotonically increasing metric handle.
+	Counter = metrics.Counter
+	// Gauge is an up/down metric handle.
+	Gauge = metrics.Gauge
+	// Histogram is a fixed-bucket distribution handle.
+	Histogram = metrics.Histogram
+)
+
+// DefaultSampleInterval spaces metric samples when the caller does not
+// choose: 100ms of virtual time.
+const DefaultSampleInterval = 100 * Millisecond
+
+// SetMetrics attaches a metrics registry, sampled every `every` of
+// virtual time (zero or negative picks DefaultSampleInterval). It must
+// be called before the subsystems whose constructors cache probe
+// handles (CPU, stations, network) are built. A nil registry detaches.
+func (k *Kernel) SetMetrics(m *metrics.Registry, every Duration) {
+	k.met = m
+	k.mEvents = m.Counter("sim_events_total", "Kernel events dispatched.")
+	k.mProcs = m.Gauge("sim_procs_live", "Simulated processes currently alive.")
+	k.mSpawns = m.Counter("sim_procs_spawned_total", "Simulated processes spawned.")
+	if m == nil {
+		k.sampleEvery = 0
+		return
+	}
+	if every <= 0 {
+		every = DefaultSampleInterval
+	}
+	k.sampleEvery = every
+	k.nextSample = k.now.Add(every)
+	k.flushedAt = -1
+}
+
+// Metrics returns the attached registry (nil when none). Probe sites
+// call it once at construction; all registry methods are nil-safe.
+func (k *Kernel) Metrics() *metrics.Registry { return k.met }
+
+// sampleTo takes every due registry snapshot strictly before advancing
+// the clock to t: a sample at time T reflects the state after all
+// events earlier than T and before any event at T.
+func (k *Kernel) sampleTo(t Time) {
+	for k.nextSample <= t {
+		k.met.Sample(int64(k.nextSample))
+		k.flushedAt = k.nextSample
+		k.nextSample = k.nextSample.Add(k.sampleEvery)
+	}
+}
+
+// flushSample records one final row at the current time when the event
+// heap drains, so short runs (and the tail beyond the last boundary)
+// still appear in the time series. Repeated drains at the same instant
+// (Cluster.Run re-enters Run after shutdown) add nothing.
+func (k *Kernel) flushSample() {
+	if k.now > k.flushedAt {
+		k.met.Sample(int64(k.now))
+		k.flushedAt = k.now
+	}
 }
 
 // SetJournal attaches a replay journal to the kernel; process spawn and
@@ -95,10 +174,18 @@ func (k *Kernel) After(d Duration, fn func()) *Event {
 // Run dispatches events until none remain. It returns the final virtual
 // time.
 func (k *Kernel) Run() Time {
+	sampling := k.met != nil && k.sampleEvery > 0
 	for {
 		e := k.events.pop()
 		if e == nil {
+			if sampling {
+				k.flushSample()
+			}
 			return k.now
+		}
+		if sampling {
+			k.sampleTo(e.at)
+			k.mEvents.Inc()
 		}
 		k.now = e.at
 		e.fn()

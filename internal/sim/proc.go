@@ -50,6 +50,8 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 	}
 	k.live++
+	k.mSpawns.Inc()
+	k.mProcs.Add(1)
 	k.Emit(journal.KSpawn, p.id, 0, 0, 0, name)
 	k.After(0, func() {
 		go func() {
@@ -57,6 +59,7 @@ func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 			body(p)
 			p.dead = true
 			k.live--
+			k.mProcs.Add(-1)
 			k.Emit(journal.KProcEnd, p.id, 0, 0, 0, "")
 			k.yielded <- struct{}{}
 		}()

@@ -12,6 +12,12 @@ type Station struct {
 
 	busy Duration
 	jobs int
+
+	// Probe handles, cached at construction (no-ops without a
+	// registry).
+	mJobs      Counter
+	mBusy      Counter
+	mInService Gauge
 }
 
 // NewStation returns a service center with the given number of servers
@@ -21,6 +27,10 @@ func NewStation(k *Kernel, servers int) *Station {
 	if servers > 0 {
 		s.sem = NewSemaphore(k, servers)
 	}
+	m := k.Metrics()
+	s.mJobs = m.Counter("io_jobs_total", "I/O service requests accepted.")
+	s.mBusy = m.Counter("io_busy_ticks_total", "Virtual time of I/O service delivered.")
+	s.mInService = m.Gauge("io_in_service", "I/O requests being served or queued.")
 	return s
 }
 
@@ -30,8 +40,12 @@ func NewStation(k *Kernel, servers int) *Station {
 // frees its server.
 func (s *Station) Serve(p *Proc, d Duration) error {
 	s.jobs++
+	s.mJobs.Inc()
+	s.mInService.Add(1)
+	defer s.mInService.Add(-1)
 	if s.sem == nil {
 		s.busy += d
+		s.mBusy.Add(int64(d))
 		return p.Sleep(d)
 	}
 	if err := s.sem.Wait(p); err != nil {
@@ -40,6 +54,7 @@ func (s *Station) Serve(p *Proc, d Duration) error {
 	err := p.Sleep(d)
 	if err == nil {
 		s.busy += d
+		s.mBusy.Add(int64(d))
 	} else {
 		// Partial service: the exact consumed amount is unknown to
 		// the station (the sleep was cut short); charge nothing.

@@ -16,6 +16,7 @@ import (
 	"rtlock/internal/core"
 	"rtlock/internal/db"
 	"rtlock/internal/journal"
+	"rtlock/internal/metrics"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
 	"rtlock/internal/wal"
@@ -82,6 +83,15 @@ type Config struct {
 	// CheckpointPerObj is the snapshot cost per stored object (default
 	// 0.1ms when WAL is on).
 	CheckpointPerObj sim.Duration
+	// Metrics, when non-nil, receives virtual-time metric series from
+	// every layer (kernel, CPU, I/O, lock manager, transactions),
+	// sampled every MetricsInterval of virtual time. Metrics never
+	// touch the journal, so journals are byte-identical with or
+	// without a registry attached.
+	Metrics *metrics.Registry
+	// MetricsInterval spaces registry snapshots (zero picks
+	// sim.DefaultSampleInterval).
+	MetricsInterval sim.Duration
 }
 
 // System is a single-site real-time database system instance: one
@@ -99,6 +109,11 @@ type System struct {
 
 	cfg       Config
 	remaining int
+
+	mInflight sim.Gauge
+	mCommits  sim.Counter
+	mMissDead sim.Counter
+	mRestarts sim.Counter
 }
 
 // NewSystem assembles a system from the configuration.
@@ -114,6 +129,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	k := sim.NewKernel()
 	k.SetJournal(cfg.Journal, 0)
+	// Attach metrics before the CPU and I/O station are built: their
+	// constructors cache probe handles from the kernel's registry.
+	k.SetMetrics(cfg.Metrics, cfg.MetricsInterval)
 	s := &System{
 		K:       k,
 		CPU:     sim.NewCPU(k, cfg.CPUDiscipline),
@@ -127,6 +145,11 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.RecordHistory {
 		s.History = check.NewHistory()
 	}
+	m := k.Metrics()
+	s.mInflight = m.Gauge("txn_inflight", "Transactions between arrival and commit/abort.")
+	s.mCommits = m.Counter("txn_commits_total", "Transactions that committed by their deadline.")
+	s.mMissDead = m.Counter("txn_deadline_misses_total", "Transactions aborted at their deadline.", metrics.L("reason", "deadline"))
+	s.mRestarts = m.Counter("txn_restarts_total", "Attempt restarts (wounds, deadlock victims, conditional aborts).")
 	if cfg.WAL {
 		if s.cfg.LogWritePerObj <= 0 {
 			s.cfg.LogWritePerObj = sim.Millisecond
@@ -206,6 +229,8 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 		Start:    p.Now(),
 		Deadline: t.Deadline,
 	}
+	s.mInflight.Add(1)
+	defer s.mInflight.Add(-1)
 	deadlineEv := s.K.At(t.Deadline, func() { p.Interrupt(ErrDeadlineMissed) })
 	s.cfg.Trace.Log(p.Now(), t.ID, stats.EvArrive, -1,
 		fmt.Sprintf("size=%d deadline=%.1fms", t.Size(), sim.Duration(t.Deadline).Millis()))
@@ -254,6 +279,7 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 			break
 		}
 		s.K.Emit(journal.KRestart, t.ID, 0, int64(rec.Restarts), 0, "")
+		s.mRestarts.Inc()
 		rec.Restarts++
 		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvRestart, -1, "")
 		if s.cfg.RestartDelay > 0 {
@@ -272,6 +298,7 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 	case err == nil:
 		s.K.Emit(journal.KCommit, t.ID, 0, 0, 0, "")
 		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvCommit, -1, "")
+		s.mCommits.Inc()
 		rec.Outcome = stats.Committed
 		for _, obj := range lastAttempt.WriteSet {
 			s.Store.Write(obj, t.ID, p.Now())
@@ -287,6 +314,7 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 	case errors.Is(err, ErrDeadlineMissed):
 		s.K.Emit(journal.KDeadlineMiss, t.ID, 0, 0, 0, "")
 		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvDeadlineMiss, -1, "")
+		s.mMissDead.Inc()
 		rec.Outcome = stats.DeadlineMissed
 	default:
 		// Unexpected protocol error: surface it as a miss but keep

@@ -39,6 +39,7 @@ import (
 	"rtlock/internal/experiments"
 	"rtlock/internal/faults"
 	"rtlock/internal/journal"
+	"rtlock/internal/metrics"
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
@@ -133,7 +134,25 @@ type (
 	FaultPartition = faults.Partition
 	// FaultGenParams parameterizes GenerateFaultPlan.
 	FaultGenParams = faults.GenParams
+	// MetricsRegistry is the deterministic virtual-time metrics
+	// registry a run fills when the Metrics flag is set. Export it
+	// with WritePrometheus, WriteCSV, or WriteHTML (internal/metrics).
+	MetricsRegistry = metrics.Registry
+	// LockProfile is the journal-derived lock-contention profile: per-
+	// object wait/hold/inversion totals, abort causes, and folded
+	// blocking-chain stacks.
+	LockProfile = metrics.Profile
+	// ObjectProfile is one contended object's row in a LockProfile.
+	ObjectProfile = metrics.ObjectProfile
 )
+
+// HTMLReport renders the static self-contained HTML observability
+// report for a completed metrics-enabled run: the registry's final
+// state plus the lock-contention profile, no scripts or timestamps, so
+// identical runs render byte-identical reports.
+func HTMLReport(title string, reg *MetricsRegistry, prof *LockProfile) []byte {
+	return metrics.HTML(title, reg, prof)
+}
 
 // ParseFaultPlan decodes a JSON fault plan (strict: unknown fields are
 // errors) and validates nothing beyond syntax; RunDistributed validates
@@ -251,6 +270,14 @@ type SingleSiteConfig struct {
 	// through the protocol's invariant auditors; violations land in
 	// Result.Violations.
 	Audit bool
+	// Metrics implies Journal and additionally samples a deterministic
+	// virtual-time metrics registry into Result.Metrics and derives the
+	// lock-contention profile into Result.LockProfile. Identical
+	// (seed, config) runs export byte-identical metrics.
+	Metrics bool
+	// MetricsInterval spaces registry snapshots in virtual time (zero
+	// picks the 100ms default).
+	MetricsInterval Duration
 }
 
 // DistributedConfig configures a distributed run (the setting of
@@ -317,6 +344,13 @@ type DistributedConfig struct {
 	// architecture's invariant auditors; violations land in
 	// Result.Violations.
 	Audit bool
+	// Metrics implies Journal and additionally samples a deterministic
+	// virtual-time metrics registry into Result.Metrics and derives the
+	// lock-contention profile into Result.LockProfile.
+	Metrics bool
+	// MetricsInterval spaces registry snapshots in virtual time (zero
+	// picks the 100ms default).
+	MetricsInterval Duration
 }
 
 // RecoveryInfo summarizes the write-ahead log after a WAL-enabled run.
@@ -370,6 +404,12 @@ type Result struct {
 	// Violations lists invariant violations found by the auditors; it
 	// is non-nil (possibly empty) exactly when Audit was set.
 	Violations []Violation
+	// Metrics is the sampled virtual-time registry, nil unless the
+	// Metrics flag was set.
+	Metrics *MetricsRegistry
+	// LockProfile is the journal-derived contention profile, nil
+	// unless the Metrics flag was set.
+	LockProfile *LockProfile
 }
 
 func (w *WorkloadConfig) fill(singleSite bool) {
@@ -433,11 +473,15 @@ func RunSingleSite(cfg SingleSiteConfig) (*Result, error) {
 		trace = stats.NewTrace(cfg.TraceEvents)
 	}
 	var jrn *journal.Journal
-	if cfg.Journal || cfg.Audit {
+	if cfg.Journal || cfg.Audit || cfg.Metrics {
 		jrn = journal.New(cfg.Workload.Seed, fmt.Sprintf(
 			"single/%s/db=%d/cpu=%d/io=%d/count=%d/size=%d/ro=%g",
 			cfg.Protocol, cfg.DBSize, int64(cfg.CPUPerObj), int64(cfg.IOPerObj),
 			cfg.Workload.Count, cfg.Workload.MeanSize, cfg.Workload.ReadOnlyFrac))
+	}
+	var reg *metrics.Registry
+	if cfg.Metrics {
+		reg = metrics.New()
 	}
 	sys, err := txn.NewSystem(txn.Config{
 		CPUPerObj:       cfg.CPUPerObj,
@@ -451,6 +495,8 @@ func RunSingleSite(cfg SingleSiteConfig) (*Result, error) {
 		WAL:             cfg.WAL,
 		CheckpointEvery: cfg.CheckpointEvery,
 		Journal:         jrn,
+		Metrics:         reg,
+		MetricsInterval: cfg.MetricsInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -458,6 +504,10 @@ func RunSingleSite(cfg SingleSiteConfig) (*Result, error) {
 	sys.Load(load)
 	sum := sys.Run()
 	res := &Result{Summary: sum, Records: sys.Monitor.Records(), Trace: trace, Journal: jrn}
+	if cfg.Metrics {
+		res.Metrics = reg
+		res.LockProfile = metrics.FromJournal(jrn, 0)
+	}
 	if cfg.Audit {
 		res.Violations = audit.Run(jrn, audit.ForManager(sys.Mgr.Name())...)
 		if res.Violations == nil {
@@ -500,7 +550,7 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 		approach = dist.GlobalCeiling
 	}
 	var jrn *journal.Journal
-	if cfg.Journal || cfg.Audit {
+	if cfg.Journal || cfg.Audit || cfg.Metrics {
 		key := fmt.Sprintf(
 			"dist/%s/sites=%d/db=%d/delay=%d/count=%d/size=%d/ro=%g/mv=%t",
 			approach, cfg.Sites, cfg.DBSize, int64(cfg.CommDelay),
@@ -513,20 +563,26 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 		}
 		jrn = journal.New(cfg.Workload.Seed, key)
 	}
+	var reg *metrics.Registry
+	if cfg.Metrics {
+		reg = metrics.New()
+	}
 	cluster, err := dist.NewCluster(dist.Config{
-		Approach:      approach,
-		Sites:         cfg.Sites,
-		Objects:       cfg.DBSize,
-		CommDelay:     cfg.CommDelay,
-		Topology:      cfg.Topology,
-		GCMSite:       cfg.GCMSite,
-		CPUPerObj:     cfg.CPUPerObj,
-		ApplyPerObj:   cfg.ApplyPerObj,
-		Multiversion:  cfg.Multiversion,
-		SnapshotLag:   cfg.SnapshotLag,
-		SiteSpeed:     cfg.SiteSpeed,
-		RecordHistory: cfg.RecordHistory,
-		Journal:       jrn,
+		Approach:        approach,
+		Sites:           cfg.Sites,
+		Objects:         cfg.DBSize,
+		CommDelay:       cfg.CommDelay,
+		Topology:        cfg.Topology,
+		GCMSite:         cfg.GCMSite,
+		CPUPerObj:       cfg.CPUPerObj,
+		ApplyPerObj:     cfg.ApplyPerObj,
+		Multiversion:    cfg.Multiversion,
+		SnapshotLag:     cfg.SnapshotLag,
+		SiteSpeed:       cfg.SiteSpeed,
+		RecordHistory:   cfg.RecordHistory,
+		Journal:         jrn,
+		Metrics:         reg,
+		MetricsInterval: cfg.MetricsInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -573,6 +629,10 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 		Messages: cluster.Net.Sent,
 		Net:      &net,
 		Journal:  jrn,
+	}
+	if cfg.Metrics {
+		res.Metrics = reg
+		res.LockProfile = metrics.FromJournal(jrn, 0)
 	}
 	if cfg.Audit {
 		auds := audit.ForApproach(approach.String())
