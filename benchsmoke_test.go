@@ -13,10 +13,12 @@ import (
 )
 
 type benchSmokeResult struct {
-	Name      string  `json:"name"`
-	Millis    float64 `json:"ms"`
-	Committed int     `json:"committed,omitempty"`
-	Records   int     `json:"journalRecords,omitempty"`
+	Name            string  `json:"name"`
+	Millis          float64 `json:"ms"`
+	Committed       int     `json:"committed,omitempty"`
+	Records         int     `json:"journalRecords,omitempty"`
+	Schedules       int     `json:"schedules,omitempty"`
+	SchedulesPerSec float64 `json:"schedulesPerSec,omitempty"`
 }
 
 func TestBenchSmoke(t *testing.T) {
@@ -82,6 +84,28 @@ func TestBenchSmoke(t *testing.T) {
 		}
 		return res.Summary.Committed, res.Journal.Len()
 	})
+	// Explorer throughput: schedules executed per wall-clock second at
+	// the CI smoke shape (DFS, 4 workers).
+	{
+		start := time.Now()
+		rep, err := Explore(ExploreConfig{
+			Protocol: Ceiling,
+			Options:  ExploreOptions{Strategy: ExploreDFS, Schedules: 64, MaxDepth: 16, Branch: 2, Workers: 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Counterexamples) > 0 {
+			t.Fatalf("explore counterexamples: %s", rep.Summary())
+		}
+		elapsed := time.Since(start)
+		results = append(results, benchSmokeResult{
+			Name:            "explore/single/C",
+			Millis:          float64(elapsed.Microseconds()) / 1000,
+			Schedules:       rep.Explored,
+			SchedulesPerSec: float64(rep.Explored) / elapsed.Seconds(),
+		})
+	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		t.Fatal(err)

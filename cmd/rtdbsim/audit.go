@@ -94,7 +94,7 @@ func runAudit(args []string) error {
 		maxPrint   = fs.Int("max", 20, "print at most this many violations")
 		metricsDir = fs.String("metrics", "", "also sample virtual-time metrics and export the bundle into this directory")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	s, err := sel.load()
@@ -149,7 +149,7 @@ func runReplay(args []string) error {
 		chrome     = fs.String("chrome", "", "also write the first run's Chrome trace_event file")
 		metricsDir = fs.String("metrics", "", "also sample virtual-time metrics and export the first run's bundle into this directory")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	s, err := sel.load()

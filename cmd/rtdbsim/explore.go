@@ -1,0 +1,135 @@
+// The explore subcommand: systematic schedule-space exploration over
+// the deterministic kernel. It drives one protocol configuration (or,
+// with -all, every protocol of the study plus both distributed
+// architectures) through alternative scheduling decisions and fails
+// with exit code 1 if any explored schedule violates the protocol's
+// invariants, printing the minimized decision schedule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rtlock"
+	"rtlock/internal/experiments"
+	"rtlock/internal/explore"
+)
+
+func runExplore(args []string) error {
+	fs := flag.NewFlagSet("rtdbsim explore", flag.ContinueOnError)
+	var (
+		strategy    = fs.String("strategy", "dfs", "exploration strategy: dfs|random")
+		schedules   = fs.Int("schedules", 64, "schedule budget per target")
+		depth       = fs.Int("depth", 24, "max decision positions that may deviate from canonical")
+		branch      = fs.Int("branch", 3, "max alternatives per decision position (canonical included)")
+		workers     = fs.Int("workers", 1, "parallel schedule runners (never affects the explored set)")
+		seed        = fs.Int64("seed", 1, "exploration seed (random strategy) and workload seed")
+		minimize    = fs.Bool("minimize", true, "shrink counterexamples to locally minimal schedules")
+		protocol    = fs.String("protocol", "C", "single-site protocol C|P|L|PI|CX|HP|CR|DD|TO")
+		distributed = fs.Bool("distributed", false, "explore a distributed cluster instead of a single site")
+		global      = fs.Bool("global", false, "with -distributed: global-ceiling architecture (default local)")
+		all         = fs.Bool("all", false, "explore every protocol plus both distributed architectures")
+		jsonl       = fs.String("jsonl", "", "write the byte-stable JSONL verdict stream to this file (\"-\" = stdout)")
+		minout      = fs.String("minout", "", "write each minimized counterexample as JSON into this directory")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *strategy != string(explore.DFS) && *strategy != string(explore.Random) {
+		return usagef("unknown strategy %q (want dfs or random)", *strategy)
+	}
+
+	opts := rtlock.ExploreOptions{
+		Strategy:  rtlock.ExploreStrategy(*strategy),
+		Schedules: *schedules,
+		MaxDepth:  *depth,
+		Branch:    *branch,
+		Workers:   *workers,
+		Seed:      *seed,
+		Minimize:  *minimize,
+	}
+	var cfgs []rtlock.ExploreConfig
+	if *all {
+		for _, p := range experiments.AllProtocols() {
+			cfgs = append(cfgs, rtlock.ExploreConfig{Protocol: rtlock.Protocol(p), Seed: *seed, Options: opts})
+		}
+		for _, g := range []bool{false, true} {
+			cfgs = append(cfgs, rtlock.ExploreConfig{Distributed: true, Global: g, Seed: *seed, Options: opts})
+		}
+	} else {
+		cfgs = append(cfgs, rtlock.ExploreConfig{
+			Protocol:    rtlock.Protocol(*protocol),
+			Distributed: *distributed,
+			Global:      *global,
+			Seed:        *seed,
+			Options:     opts,
+		})
+	}
+
+	var verdictOut *os.File
+	if *jsonl != "" {
+		if *jsonl == "-" {
+			verdictOut = os.Stdout
+		} else {
+			f, err := os.Create(*jsonl)
+			if err != nil {
+				return fmt.Errorf("create verdict file: %w", err)
+			}
+			defer f.Close()
+			verdictOut = f
+		}
+	}
+
+	counterexamples := 0
+	for _, cfg := range cfgs {
+		rep, err := rtlock.Explore(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Summary())
+		if verdictOut != nil {
+			if err := explore.WriteVerdict(verdictOut, rep); err != nil {
+				return fmt.Errorf("write verdict: %w", err)
+			}
+		}
+		for i, ce := range rep.Counterexamples {
+			counterexamples++
+			fmt.Printf("  counterexample %d: rule=%s schedule=%v minimized=%t\n", i, ce.Rule, ce.Schedule, ce.Minimized)
+			for _, v := range ce.Violations {
+				fmt.Printf("    %s\n", v)
+			}
+			if *minout != "" {
+				if err := writeCounterexample(*minout, rep.Target, i, ce); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if counterexamples > 0 {
+		return fmt.Errorf("explore: %d counterexample(s) across %d target(s)", counterexamples, len(cfgs))
+	}
+	return nil
+}
+
+// writeCounterexample persists one minimized counterexample as a JSONL
+// artifact (header + counterexample), named after the target and index.
+func writeCounterexample(dir, target string, idx int, ce rtlock.ExploreCounterexample) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create counterexample dir: %w", err)
+	}
+	name := fmt.Sprintf("%s-%d.json", strings.ReplaceAll(target, "/", "-"), idx)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write counterexample: %w", err)
+	}
+	defer f.Close()
+	rep := &rtlock.ExploreReport{Target: target, Counterexamples: []rtlock.ExploreCounterexample{ce}}
+	if err := explore.WriteVerdict(f, rep); err != nil {
+		return fmt.Errorf("write counterexample %s: %w", path, err)
+	}
+	return nil
+}

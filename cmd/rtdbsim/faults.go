@@ -17,7 +17,7 @@ import (
 
 // runFaults implements "rtdbsim faults".
 func runFaults(args []string) error {
-	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
+	fs := flag.NewFlagSet("rtdbsim faults", flag.ContinueOnError)
 	var (
 		plan       = fs.String("plan", "", "JSON fault-plan file; empty runs the generated-plan severity sweep")
 		approach   = fs.String("approach", "global", "architecture under test: global|local (plan mode), or both (sweep mode ignores this)")
@@ -29,7 +29,7 @@ func runFaults(args []string) error {
 		auditRuns  = fs.Bool("audit", true, "record a replay journal and fail on invariant violations")
 		csv        = fs.Bool("csv", false, "sweep: also print CSV")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 

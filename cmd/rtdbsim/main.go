@@ -30,9 +30,17 @@
 //
 // The main -spec path and the audit/replay subcommands accept a
 // -metrics directory to export the same bundle alongside their output.
+//
+// A fifth explores the schedule space: alternative scheduling decisions
+// instead of the single canonical order, every explored schedule
+// audited, violations shrunk to minimal decision traces:
+//
+//	rtdbsim explore -protocol C -schedules 64 -minimize
+//	rtdbsim explore -all -jsonl verdict.jsonl -minout counterexamples
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,25 +51,81 @@ import (
 	"rtlock/internal/experiments"
 )
 
+// Exit codes: 0 success (including -h/-help), 1 runtime failure
+// (experiment error, invariant violation, counterexample found), 2 usage
+// error (unknown subcommand or flag, stray positional argument).
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintln(os.Stderr, "rtdbsim:", err)
-		os.Exit(1)
+	}
+	os.Exit(exitCode(err))
+}
+
+// usageError marks command-line mistakes so main can exit 2 instead of
+// 1; the underlying flag machinery has already printed the usage text.
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+func usagef(format string, a ...any) error {
+	return &usageError{fmt.Errorf(format, a...)}
+}
+
+// exitCode maps a run error to the process exit code.
+func exitCode(err error) int {
+	var ue *usageError
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.As(err, &ue):
+		return 2
+	default:
+		return 1
 	}
 }
 
-func run(args []string) error {
-	if len(args) > 0 {
-		switch args[0] {
-		case "audit":
-			return runAudit(args[1:])
-		case "replay":
-			return runReplay(args[1:])
-		case "faults":
-			return runFaults(args[1:])
-		case "metrics":
-			return runMetrics(args[1:])
+// parseFlags parses uniformly for every subcommand: -h/-help surfaces
+// flag.ErrHelp (exit 0), unknown flags become usage errors (exit 2),
+// and stray positional arguments are rejected with the usage text.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
 		}
+		return &usageError{err}
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(fs.Output(), "%s: unexpected argument %q\n", fs.Name(), fs.Arg(0))
+		fs.Usage()
+		return usagef("unexpected argument %q", fs.Arg(0))
+	}
+	return nil
+}
+
+// subcommands is the dispatch table; run rejects anything else that
+// does not look like a flag.
+var subcommands = map[string]func([]string) error{
+	"audit":   runAudit,
+	"replay":  runReplay,
+	"faults":  runFaults,
+	"metrics": runMetrics,
+	"explore": runExplore,
+}
+
+func subcommandNames() []string {
+	return []string{"audit", "replay", "faults", "metrics", "explore"}
+}
+
+func run(args []string) error {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, ok := subcommands[args[0]]
+		if !ok {
+			return usagef("unknown subcommand %q (want one of %s, or flags; see -h)",
+				args[0], strings.Join(subcommandNames(), ", "))
+		}
+		return sub(args[1:])
 	}
 	fs := flag.NewFlagSet("rtdbsim", flag.ContinueOnError)
 	var (
@@ -79,7 +143,7 @@ func run(args []string) error {
 		auditRuns  = fs.Bool("audit", false, "record a replay journal for every run and fail on invariant violations")
 		metricsDir = fs.String("metrics", "", "with -spec: sample virtual-time metrics and export the bundle into this directory")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 
@@ -363,7 +427,7 @@ func run(args []string) error {
 		}
 		emit(fm)
 	default:
-		return fmt.Errorf("unknown experiment %q", *experiment)
+		return usagef("unknown experiment %q", *experiment)
 	}
 	return emitErr
 }

@@ -67,3 +67,68 @@ func TestRunSpecFromFile(t *testing.T) {
 		t.Fatal("missing spec accepted")
 	}
 }
+
+// TestExitCodes pins the subcommand UX contract: help exits 0, usage
+// mistakes (unknown subcommand/flag/experiment, stray positionals) exit
+// 2, runtime failures exit 1 — uniformly across subcommands.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"help", []string{"-h"}, 0},
+		{"explore help", []string{"explore", "-h"}, 0},
+		{"audit help", []string{"audit", "-h"}, 0},
+		{"unknown subcommand", []string{"bogus"}, 2},
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"unknown experiment", []string{"-experiment", "nope"}, 2},
+		{"stray positional", []string{"-experiment", "custom", "stray"}, 2},
+		{"explore unknown flag", []string{"explore", "-bogus"}, 2},
+		{"explore stray positional", []string{"explore", "stray"}, 2},
+		{"explore bad strategy", []string{"explore", "-strategy", "bfs"}, 2},
+		{"faults unknown flag", []string{"faults", "-bogus"}, 2},
+		{"metrics stray positional", []string{"metrics", "stray"}, 2},
+		{"replay unknown flag", []string{"replay", "-bogus"}, 2},
+		{"runtime bad protocol", []string{"-experiment", "custom", "-protocol", "ZZ", "-runs", "1", "-count", "20"}, 1},
+		{"explore runtime bad protocol", []string{"explore", "-protocol", "ZZ"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := exitCode(run(tc.args)); got != tc.want {
+				t.Fatalf("run(%v) exit code = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunExploreTiny runs a small clean-tree exploration through the
+// subcommand and checks the verdict and artifact outputs.
+func TestRunExploreTiny(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "verdict.jsonl")
+	args := []string{"explore", "-schedules", "6", "-depth", "10", "-branch", "2", "-workers", "2", "-jsonl", jsonl}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("verdict file is empty")
+	}
+	// Byte-identical across runs and worker counts.
+	jsonl2 := filepath.Join(dir, "verdict2.jsonl")
+	args2 := []string{"explore", "-schedules", "6", "-depth", "10", "-branch", "2", "-workers", "4", "-jsonl", jsonl2}
+	if err := run(args2); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(jsonl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("verdict output differs across worker counts")
+	}
+}

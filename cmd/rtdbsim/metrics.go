@@ -39,7 +39,7 @@ func runMetrics(args []string) error {
 		approach = fs.String("approach", "global", "fault-plan mode: architecture under test, global|local")
 		sites    = fs.Int("sites", 3, "fault-plan mode: number of sites")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *runs < 1 {

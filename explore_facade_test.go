@@ -1,0 +1,47 @@
+package rtlock
+
+import "testing"
+
+// TestExploreFacadeSingleSite: the facade explores a single-site
+// protocol clean and reports non-vacuous coverage.
+func TestExploreFacadeSingleSite(t *testing.T) {
+	rep, err := Explore(ExploreConfig{
+		Protocol: Ceiling,
+		Options:  ExploreOptions{Strategy: ExploreDFS, Schedules: 12, MaxDepth: 12, Branch: 2, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Counterexamples) != 0 {
+		t.Fatalf("clean tree produced counterexamples: %s", rep.Summary())
+	}
+	if rep.Explored == 0 || rep.Deepest == 0 {
+		t.Fatalf("vacuous exploration: %s", rep.Summary())
+	}
+}
+
+// TestExploreFacadeDistributed: the facade explores the distributed
+// architectures through the same entry point.
+func TestExploreFacadeDistributed(t *testing.T) {
+	rep, err := Explore(ExploreConfig{
+		Distributed: true,
+		Global:      true,
+		Options:     ExploreOptions{Strategy: ExploreRandom, Schedules: 6, MaxDepth: 16, Branch: 2, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Counterexamples) != 0 {
+		t.Fatalf("clean tree produced counterexamples: %s", rep.Summary())
+	}
+	if rep.Target != "dist/global" {
+		t.Fatalf("target = %q, want dist/global", rep.Target)
+	}
+}
+
+// TestExploreFacadeBadProtocol: unknown protocols error.
+func TestExploreFacadeBadProtocol(t *testing.T) {
+	if _, err := Explore(ExploreConfig{Protocol: "ZZ"}); err == nil {
+		t.Fatal("expected error for unknown protocol")
+	}
+}

@@ -260,9 +260,28 @@ func (m *Ceiling) grantable(tx *TxState, obj ObjectID, mode Mode) bool {
 	if holdersOf(m.locks[obj], tx, mode) {
 		return false
 	}
+	if testCeilingBypass != nil && testCeilingBypass(tx.ID) {
+		// Mutation hook: skip the ceiling comparison (the direct-conflict
+		// check above still holds, so LockSafety stays intact while the
+		// ceiling discipline is broken). Test-only; nil in production.
+		return true
+	}
 	ceil, any := m.maxOtherCeiling(tx)
 	return !any || tx.Base.Higher(ceil)
 }
+
+// testCeilingBypass, when non-nil, makes grantable skip the ceiling test
+// for matching transactions. It exists solely so the schedule explorer's
+// seeded-mutation self-test can prove it detects a broken protocol;
+// see SetCeilingBypassForTest.
+var testCeilingBypass func(txID int64) bool
+
+// SetCeilingBypassForTest installs (nil removes) a predicate that
+// disables the priority-ceiling comparison for matching transaction ids.
+// FOR TESTS ONLY: it intentionally breaks the protocol's deadlock- and
+// blocked-at-most-once guarantees so exploration self-tests have a real
+// violation to find. Callers must restore nil before other tests run.
+func SetCeilingBypassForTest(f func(txID int64) bool) { testCeilingBypass = f }
 
 // maxOtherCeiling returns the highest rw-ceiling among objects locked by
 // transactions other than tx, and whether any such object exists. Objects

@@ -319,6 +319,15 @@ func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants
 		return nil
 	}
 	c.twopcCounter("twopc_rounds_total", "Two-phase commits coordinated.").Inc()
+	// Schedule exploration may rotate the prepare fan-out (and hence the
+	// canonical vote arrival order): any rotation of the participant
+	// list is a legal coordinator behavior.
+	if r := c.K.Choose(sim.ChooseVote, len(participants)); r != 0 {
+		rot := make([]db.SiteID, 0, len(participants))
+		rot = append(rot, participants[r:]...)
+		rot = append(rot, participants[:r]...)
+		participants = rot
+	}
 	started := c.K.Now()
 	col := &voteCollector{need: len(participants), voted: make(map[db.SiteID]bool)}
 	c.twopc[txID] = col

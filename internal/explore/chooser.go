@@ -1,0 +1,70 @@
+package explore
+
+import (
+	"math/rand"
+
+	"rtlock/internal/sim"
+)
+
+// traceChooser replays a fixed pick prefix, then extends: canonically
+// (DFS expansion, counterexample replay) or with a seeded RNG (random
+// walks). Every consulted decision is recorded, so after the run the
+// engine can branch the schedule at any position.
+//
+// Replayed picks are clamped into [0, n): a prefix recorded against a
+// schedule that has since diverged degrades to canonical picks instead
+// of panicking, which is what makes the shrinker's speculative
+// truncations safe.
+type traceChooser struct {
+	prefix []int
+	rng    *rand.Rand // nil = canonical extension
+	depth  int        // positions past which even the RNG stays canonical
+	branch int        // RNG pick cap (mirrors Options.Branch)
+	trace  []Decision
+	pos    int
+}
+
+// replayChooser returns a chooser reproducing picks then continuing
+// canonically — the schedule identified by picks.
+func replayChooser(picks []int) *traceChooser {
+	return &traceChooser{prefix: picks}
+}
+
+// randomChooser returns a chooser drawing up to depth picks (each below
+// branch) from the given stream, then continuing canonically.
+func randomChooser(seed int64, depth, branch int) *traceChooser {
+	return &traceChooser{rng: rand.New(rand.NewSource(seed)), depth: depth, branch: branch}
+}
+
+// Choose implements sim.Chooser.
+func (c *traceChooser) Choose(p sim.ChoicePoint, n int) int {
+	pick := 0
+	switch {
+	case c.pos < len(c.prefix):
+		pick = c.prefix[c.pos]
+		if pick < 0 {
+			pick = 0
+		}
+		if pick >= n {
+			pick = n - 1
+		}
+	case c.rng != nil && c.pos < c.depth:
+		w := n
+		if c.branch > 0 && c.branch < w {
+			w = c.branch
+		}
+		pick = c.rng.Intn(w)
+	}
+	c.trace = append(c.trace, Decision{Point: p, N: n, Pick: pick})
+	c.pos++
+	return pick
+}
+
+// picks returns the trace's pick sequence, trailing canonicals trimmed.
+func (c *traceChooser) picks() []int {
+	out := make([]int, len(c.trace))
+	for i, d := range c.trace {
+		out[i] = d.Pick
+	}
+	return trimPicks(out)
+}

@@ -1,0 +1,68 @@
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// runBatch executes n jobs on up to `workers` goroutines and returns
+// the results in input order. The job set and its order are decided by
+// the caller before runBatch starts, and results are index-addressed,
+// so worker count (and OS scheduling) affect wall-clock time only —
+// never which jobs run or how their results are observed. A panicking
+// job is captured as that slot's error instead of tearing down the
+// process.
+//
+// This file is the package's only goroutine spawn site and is listed in
+// rtlint's raw-go allowlist; everything else in the package runs on the
+// caller's goroutine.
+func runBatch[T any](n, workers int, job func(i int) (T, error)) []batchResult[T] {
+	out := make([]batchResult[T], n)
+	if n == 0 {
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = guardedJob(i, job)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// batchResult is one job's slot: the value or the error (including a
+// recovered panic).
+type batchResult[T any] struct {
+	val T
+	err error
+}
+
+func guardedJob[T any](i int, job func(i int) (T, error)) (res batchResult[T]) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.err = fmt.Errorf("explore: schedule job %d panicked: %v", i, r)
+		}
+	}()
+	res.val, res.err = job(i)
+	return res
+}

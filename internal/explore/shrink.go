@@ -1,0 +1,72 @@
+package explore
+
+// Shrink reduces a failing pick sequence to a locally minimal one: it
+// returns a schedule that still satisfies fails, from which no tail can
+// be dropped, no single pick canonicalized to 0, and no single pick
+// decremented without losing the failure (up to the run budget). fails
+// must report whether a candidate schedule still exhibits the failure;
+// Shrink calls it at most budget times and assumes the input itself
+// fails (it is never re-run unmodified).
+//
+// The reduction is delta-debugging shaped: a halving truncation pass
+// finds a short failing prefix fast, then per-position canonicalization
+// and decrement passes sweep right-to-left until a full round makes no
+// progress. complete reports whether that fixed point was reached
+// within budget — when false the result is smaller but not proven
+// minimal.
+func Shrink(picks []int, budget int, fails func([]int) bool) (min []int, runs int, complete bool) {
+	cur := append([]int(nil), trimPicks(picks)...)
+	starved := false // a candidate was skipped for lack of budget
+	try := func(cand []int) bool {
+		if runs >= budget {
+			starved = true
+			return false
+		}
+		runs++
+		return fails(cand)
+	}
+	changed := true
+	for changed && !starved {
+		changed = false
+		// Truncation, halving: drop the biggest failing tail first.
+		for cut := len(cur) / 2; cut > 0; {
+			cand := trimPicks(cur[:len(cur)-cut])
+			if try(append([]int(nil), cand...)) {
+				cur = append([]int(nil), cand...)
+				changed = true
+				cut = len(cur) / 2
+			} else {
+				cut /= 2
+			}
+		}
+		// Canonicalize single picks, newest decision first.
+		for i := len(cur) - 1; i >= 0 && !starved; i-- {
+			if i >= len(cur) || cur[i] == 0 {
+				continue
+			}
+			cand := append([]int(nil), cur...)
+			cand[i] = 0
+			cand = trimPicks(cand)
+			if try(cand) {
+				cur = append([]int(nil), cand...)
+				changed = true
+			}
+		}
+		// Decrement surviving picks toward canonical.
+		for i := len(cur) - 1; i >= 0 && !starved; i-- {
+			if i >= len(cur) {
+				continue
+			}
+			for cur[i] > 1 && !starved {
+				cand := append([]int(nil), cur...)
+				cand[i]--
+				if !try(cand) {
+					break
+				}
+				cur = cand
+				changed = true
+			}
+		}
+	}
+	return trimPicks(cur), runs, !changed && !starved
+}

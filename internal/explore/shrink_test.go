@@ -1,0 +1,65 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShrinkConvergesToSinglePick: one decision is necessary and
+// sufficient; everything else must shrink away.
+func TestShrinkConvergesToSinglePick(t *testing.T) {
+	fails := func(p []int) bool { return len(p) > 1 && p[1] >= 1 }
+	min, runs, complete := Shrink([]int{2, 1, 0, 2, 0, 1}, 500, fails)
+	if !complete {
+		t.Fatalf("shrink incomplete after %d runs", runs)
+	}
+	if want := []int{0, 1}; !reflect.DeepEqual(min, want) {
+		t.Fatalf("shrunk to %v, want %v", min, want)
+	}
+}
+
+// TestShrinkKeepsAllNecessaryPicks: two decisions are jointly
+// necessary; neither may be dropped, but their values must reach the
+// lowest failing alternatives.
+func TestShrinkKeepsAllNecessaryPicks(t *testing.T) {
+	fails := func(p []int) bool {
+		return len(p) > 4 && p[1] >= 1 && p[4] >= 2
+	}
+	min, _, complete := Shrink([]int{0, 3, 2, 0, 3, 1, 2}, 500, fails)
+	if !complete {
+		t.Fatal("shrink incomplete")
+	}
+	if want := []int{0, 1, 0, 0, 2}; !reflect.DeepEqual(min, want) {
+		t.Fatalf("shrunk to %v, want %v", min, want)
+	}
+}
+
+// TestShrinkRespectsBudget: the shrinker never exceeds its run budget
+// and reports incompleteness when it runs out.
+func TestShrinkRespectsBudget(t *testing.T) {
+	calls := 0
+	fails := func(p []int) bool {
+		calls++
+		return len(p) > 7 && p[7] >= 1
+	}
+	min, runs, complete := Shrink([]int{1, 1, 1, 1, 1, 1, 1, 1}, 3, fails)
+	if calls > 3 || runs > 3 {
+		t.Fatalf("budget 3 exceeded: %d calls, %d reported runs", calls, runs)
+	}
+	if complete {
+		t.Fatalf("shrink claimed completeness after %d of many needed runs (min=%v)", runs, min)
+	}
+}
+
+// TestShrinkIsIdempotentOnMinimalInput: an already-minimal schedule
+// survives unchanged.
+func TestShrinkIsIdempotentOnMinimalInput(t *testing.T) {
+	fails := func(p []int) bool { return len(p) == 3 && p[0] == 0 && p[1] == 0 && p[2] == 1 }
+	min, _, complete := Shrink([]int{0, 0, 1}, 100, fails)
+	if !complete {
+		t.Fatal("shrink incomplete")
+	}
+	if want := []int{0, 0, 1}; !reflect.DeepEqual(min, want) {
+		t.Fatalf("minimal input changed to %v", min)
+	}
+}

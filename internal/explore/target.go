@@ -1,0 +1,228 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"rtlock/internal/audit"
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/dist"
+	"rtlock/internal/journal"
+	"rtlock/internal/sim"
+	"rtlock/internal/txn"
+	"rtlock/internal/workload"
+)
+
+// Exploration workloads default to small, high-contention runs: the
+// engine executes hundreds of full simulations per exploration, and
+// contention — not load volume — is what makes decision points matter.
+// The read-only fraction matters most: shared read locks are what make
+// one release wake several waiters on the same tick, and those group
+// wakes are the densest ChooseEvent sites in a single-site run.
+const (
+	defaultCount     = 24
+	defaultDBSize    = 8
+	defaultMeanSize  = 5
+	defaultCPUPerObj = 5 * sim.Millisecond
+	defaultInterarr  = 10 * sim.Millisecond
+	defaultReadOnly  = 0.4
+)
+
+// SingleSiteOpts configures a single-site exploration target. The
+// protocol arrives as an injected constructor (typically from
+// experiments.ManagerFor) so this package stays independent of the
+// protocol registry — experiments itself imports explore for the
+// sweep.
+type SingleSiteOpts struct {
+	// Proto labels the protocol in reports and the journal config key
+	// (the paper's letter, e.g. "C").
+	Proto string
+	// NewManager constructs the lock manager under test (required).
+	NewManager func(*sim.Kernel) core.Manager
+	// Discipline is the CPU scheduling discipline the protocol runs on.
+	Discipline sim.Discipline
+	// Seed drives the workload stream (default 1).
+	Seed int64
+	// Count, DBSize, MeanSize, CPUPerObj, IOPerObj, MeanInterarrival,
+	// and ReadOnlyFrac shape the workload (exploration-sized defaults).
+	// ReadOnlyFrac zero takes the contention-tuned default; pass a
+	// negative value for a workload with no read-only transactions.
+	Count            int
+	DBSize           int
+	MeanSize         int
+	CPUPerObj        sim.Duration
+	IOPerObj         sim.Duration
+	MeanInterarrival sim.Duration
+	ReadOnlyFrac     float64
+}
+
+// SingleSiteTarget builds the exploration target for one single-site
+// protocol. Each Run constructs an entirely fresh simulation (catalog,
+// workload, journal, kernel), so concurrent schedule executions share
+// nothing.
+func SingleSiteTarget(o SingleSiteOpts) (Target, error) {
+	if o.NewManager == nil {
+		return Target{}, errors.New("explore: SingleSiteOpts.NewManager is required")
+	}
+	if o.Discipline == 0 {
+		o.Discipline = sim.PreemptivePriority
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Count <= 0 {
+		o.Count = defaultCount
+	}
+	if o.DBSize <= 0 {
+		o.DBSize = defaultDBSize
+	}
+	if o.MeanSize <= 0 {
+		o.MeanSize = defaultMeanSize
+	}
+	if o.CPUPerObj <= 0 {
+		o.CPUPerObj = defaultCPUPerObj
+	}
+	if o.MeanInterarrival <= 0 {
+		o.MeanInterarrival = defaultInterarr
+	}
+	switch {
+	case o.ReadOnlyFrac == 0:
+		o.ReadOnlyFrac = defaultReadOnly
+	case o.ReadOnlyFrac < 0:
+		o.ReadOnlyFrac = 0
+	}
+	key := fmt.Sprintf("explore/single/%s/db=%d/count=%d/size=%d/ro=%g",
+		o.Proto, o.DBSize, o.Count, o.MeanSize, o.ReadOnlyFrac)
+	return Target{
+		Name: "single/" + o.Proto,
+		Run: func(ch sim.Chooser) (*Outcome, error) {
+			cat, err := db.NewCatalog(1, o.DBSize)
+			if err != nil {
+				return nil, err
+			}
+			load, err := workload.Generate(workload.Params{
+				Seed:             o.Seed,
+				Catalog:          cat,
+				Count:            o.Count,
+				MeanInterarrival: o.MeanInterarrival,
+				MeanSize:         o.MeanSize,
+				ReadOnlyFrac:     o.ReadOnlyFrac,
+				PerObjCost:       o.CPUPerObj + o.IOPerObj,
+				SlackMin:         4,
+				SlackMax:         8,
+			})
+			if err != nil {
+				return nil, err
+			}
+			jrn := journal.New(o.Seed, key)
+			sys, err := txn.NewSystem(txn.Config{
+				CPUPerObj:     o.CPUPerObj,
+				IOPerObj:      o.IOPerObj,
+				CPUDiscipline: o.Discipline,
+				NewManager:    o.NewManager,
+				Journal:       jrn,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sys.K.SetChooser(ch)
+			sys.Load(load)
+			sys.Run()
+			return &Outcome{
+				JournalHash: jrn.HashString(),
+				Violations:  audit.Run(jrn, audit.ForManager(sys.Mgr.Name())...),
+			}, nil
+		},
+	}, nil
+}
+
+// DistributedOpts configures a distributed exploration target.
+type DistributedOpts struct {
+	// Global selects the global-ceiling-manager architecture; false
+	// selects local ceilings over full replication.
+	Global bool
+	// Seed drives the workload stream (default 1).
+	Seed int64
+	// Sites, Count, DBSize, MeanSize, CommDelay, CPUPerObj, and
+	// ReadOnlyFrac shape the cluster and workload.
+	Sites        int
+	Count        int
+	DBSize       int
+	MeanSize     int
+	CommDelay    sim.Duration
+	CPUPerObj    sim.Duration
+	ReadOnlyFrac float64
+}
+
+// DistributedTarget builds the exploration target for one distributed
+// architecture. The distributed decision points (message delivery
+// order, 2PC prepare rotation) only exist here.
+func DistributedTarget(o DistributedOpts) (Target, error) {
+	approach := dist.LocalCeiling
+	if o.Global {
+		approach = dist.GlobalCeiling
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Sites <= 0 {
+		o.Sites = 3
+	}
+	if o.Count <= 0 {
+		o.Count = 10
+	}
+	if o.DBSize <= 0 {
+		o.DBSize = defaultDBSize
+	}
+	if o.MeanSize <= 0 {
+		o.MeanSize = 3
+	}
+	if o.CommDelay <= 0 {
+		o.CommDelay = 10 * sim.Millisecond
+	}
+	if o.CPUPerObj <= 0 {
+		o.CPUPerObj = defaultCPUPerObj
+	}
+	key := fmt.Sprintf("explore/dist/%s/sites=%d/db=%d/count=%d/size=%d/ro=%g",
+		approach, o.Sites, o.DBSize, o.Count, o.MeanSize, o.ReadOnlyFrac)
+	return Target{
+		Name: "dist/" + approach.String(),
+		Run: func(ch sim.Chooser) (*Outcome, error) {
+			jrn := journal.New(o.Seed, key)
+			cluster, err := dist.NewCluster(dist.Config{
+				Approach:  approach,
+				Sites:     o.Sites,
+				Objects:   o.DBSize,
+				CommDelay: o.CommDelay,
+				CPUPerObj: o.CPUPerObj,
+				Journal:   jrn,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cluster.K.SetChooser(ch)
+			load, err := workload.Generate(workload.Params{
+				Seed:             o.Seed,
+				Catalog:          cluster.Catalog,
+				Count:            o.Count,
+				MeanInterarrival: 30 * sim.Millisecond,
+				MeanSize:         o.MeanSize,
+				ReadOnlyFrac:     o.ReadOnlyFrac,
+				PerObjCost:       o.CPUPerObj,
+				SlackMin:         4,
+				SlackMax:         8,
+				LocalWriteSets:   true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cluster.Load(load)
+			cluster.Run()
+			return &Outcome{
+				JournalHash: jrn.HashString(),
+				Violations:  audit.Run(jrn, audit.ForApproach(approach.String())...),
+			}, nil
+		},
+	}, nil
+}

@@ -1,0 +1,95 @@
+package explore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteVerdict renders a report as JSON Lines: a header line describing
+// the exploration, one line per counterexample, and a summary line. The
+// encoding is byte-stable — fixed field order, no timestamps, no
+// environment — so identical explorations (any worker count, any
+// GOMAXPROCS) write identical files; that byte identity is the
+// determinism proof the tests pin.
+func WriteVerdict(w io.Writer, r *Report) error {
+	bw := bufio.NewWriter(w)
+	head := verdictHeader{
+		Kind:      "explore",
+		Target:    r.Target,
+		Strategy:  string(r.Strategy),
+		Seed:      r.Seed,
+		Schedules: r.Schedules,
+		MaxDepth:  r.MaxDepth,
+		Branch:    r.Branch,
+	}
+	if err := writeLine(bw, head); err != nil {
+		return err
+	}
+	for i, ce := range r.Counterexamples {
+		if err := writeLine(bw, verdictCE{Kind: "counterexample", Index: i, Counterexample: ce}); err != nil {
+			return err
+		}
+	}
+	sum := verdictSummary{
+		Kind:            "summary",
+		Explored:        r.Explored,
+		Distinct:        r.Distinct,
+		Pruned:          r.Pruned,
+		Frontier:        r.Frontier,
+		Deepest:         r.Deepest,
+		Counterexamples: len(r.Counterexamples),
+	}
+	if err := writeLine(bw, sum); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeLine(w *bufio.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+type verdictHeader struct {
+	Kind      string `json:"kind"`
+	Target    string `json:"target"`
+	Strategy  string `json:"strategy"`
+	Seed      int64  `json:"seed"`
+	Schedules int    `json:"schedules"`
+	MaxDepth  int    `json:"max_depth"`
+	Branch    int    `json:"branch"`
+}
+
+type verdictCE struct {
+	Kind  string `json:"kind"`
+	Index int    `json:"index"`
+	Counterexample
+}
+
+type verdictSummary struct {
+	Kind            string `json:"kind"`
+	Explored        int    `json:"explored"`
+	Distinct        int    `json:"distinct"`
+	Pruned          int    `json:"pruned"`
+	Frontier        int    `json:"frontier"`
+	Deepest         int    `json:"deepest"`
+	Counterexamples int    `json:"counterexamples"`
+}
+
+// Summary returns the one-line human rendering used by the CLI.
+func (r *Report) Summary() string {
+	verdict := "OK"
+	if len(r.Counterexamples) > 0 {
+		verdict = fmt.Sprintf("FAIL (%d counterexample(s))", len(r.Counterexamples))
+	}
+	return fmt.Sprintf("%s: %s strategy=%s explored=%d distinct=%d pruned=%d frontier=%d deepest=%d",
+		r.Target, verdict, r.Strategy, r.Explored, r.Distinct, r.Pruned, r.Frontier, r.Deepest)
+}

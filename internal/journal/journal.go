@@ -150,6 +150,12 @@ const (
 	// KWALRedo: recovery replayed the write-ahead log. Site = site,
 	// A = number of pending (undecided) votes restored.
 	KWALRedo Kind = 36
+	// KChoice: a schedule-exploration chooser overrode a scheduling
+	// decision point. A = decision point kind (sim.ChoicePoint), B =
+	// alternative index picked (never 0: canonical picks are not
+	// recorded, so a chooser that always picks canonically leaves the
+	// journal byte-identical to a chooser-less run). Note = point name.
+	KChoice Kind = 37
 )
 
 var kindNames = map[Kind]string{
@@ -189,6 +195,7 @@ var kindNames = map[Kind]string{
 	KResync:        "resync",
 	KRetry:         "retry",
 	KWALRedo:       "walredo",
+	KChoice:        "choice",
 }
 
 var kindValues = func() map[string]Kind {

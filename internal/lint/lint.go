@@ -88,10 +88,12 @@ type Config struct {
 
 // DefaultGoSpawnAllowlist names the only files where a raw `go`
 // statement is part of the deterministic machinery: the kernel's
-// spawn/park handshake and the run-indexed parallel sweep runner.
+// spawn/park handshake, the run-indexed parallel sweep runner, and the
+// schedule explorer's index-slotted batch pool.
 var DefaultGoSpawnAllowlist = []string{
 	"internal/sim/proc.go",
 	"internal/experiments/parallel.go",
+	"internal/explore/pool.go",
 }
 
 // DefaultConfig returns the policy rtlint ships with.
@@ -138,4 +140,5 @@ var SimCriticalPkgs = []string{
 	"internal/audit",
 	"internal/experiments",
 	"internal/metrics",
+	"internal/explore",
 }

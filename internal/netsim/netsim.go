@@ -431,8 +431,13 @@ func (s *Server) run(p *sim.Proc) {
 		if len(s.queue) == 0 {
 			continue
 		}
-		msg := s.queue[0]
-		s.queue = s.queue[1:]
+		// Schedule exploration may reorder delivery: canonical order is
+		// arrival order (index 0), but any queued message is a legal
+		// next delivery since the network guarantees no ordering across
+		// senders anyway.
+		i := s.k.Choose(sim.ChooseMsg, len(s.queue))
+		msg := s.queue[i]
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
 		h, ok := s.handlers[msg.Port]
 		if !ok {
 			s.Dropped++

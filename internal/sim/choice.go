@@ -1,0 +1,120 @@
+package sim
+
+import "rtlock/internal/journal"
+
+// ChoicePoint identifies one kind of scheduling decision the kernel (or
+// a subsystem holding a kernel reference) exposes to schedule-space
+// exploration. At each point the canonical simulator has exactly one
+// fixed ordering; a Chooser may substitute any of the n legal
+// alternatives, turning the single canonical interleaving into a tree of
+// schedules.
+type ChoicePoint int32
+
+// The decision-point taxonomy. Alternative 0 is always the canonical
+// pick, so a chooser that returns 0 everywhere reproduces the canonical
+// run exactly (byte-identical journal included: canonical picks are
+// never journaled).
+const (
+	// ChooseEvent orders simultaneous kernel events: which of the n
+	// events sharing the minimum timestamp fires first.
+	ChooseEvent ChoicePoint = 1
+	// ChooseReady breaks CPU ready-queue ties: which of the n
+	// equal-priority ready requests is dispatched next.
+	ChooseReady ChoicePoint = 2
+	// ChooseMsg orders message delivery: which of the n queued
+	// messages a netsim server handles next.
+	ChooseMsg ChoicePoint = 3
+	// ChooseVote orders 2PC prepare fan-out (and hence vote arrival):
+	// which rotation of the participant list the coordinator uses.
+	ChooseVote ChoicePoint = 4
+)
+
+// String returns the stable short name used in KChoice journal notes.
+func (p ChoicePoint) String() string {
+	switch p {
+	case ChooseEvent:
+		return "event"
+	case ChooseReady:
+		return "ready"
+	case ChooseMsg:
+		return "msg"
+	case ChooseVote:
+		return "vote"
+	default:
+		return "choice?"
+	}
+}
+
+// Chooser supplies scheduling decisions. Choose is called with the
+// decision-point kind and the number of legal alternatives n (always
+// >= 2; unary decisions are not surfaced) and must return an index in
+// [0, n). Out-of-range returns are clamped by the kernel, which makes
+// replaying a recorded decision trace against a slightly divergent
+// schedule safe: the trace degrades to canonical instead of panicking.
+//
+// Choose runs on the single kernel dispatch thread; implementations
+// need no locking but must be deterministic functions of their own
+// state and the call sequence.
+type Chooser interface {
+	Choose(p ChoicePoint, n int) int
+}
+
+// SetChooser attaches a schedule chooser to the kernel (nil detaches,
+// restoring canonical order). It must be installed before Run; swapping
+// choosers mid-run yields well-defined but unnamed hybrids.
+func (k *Kernel) SetChooser(c Chooser) { k.chooser = c }
+
+// Chooser returns the attached chooser (nil when none).
+func (k *Kernel) Chooser() Chooser { return k.chooser }
+
+// Choose asks the attached chooser to pick among n alternatives at
+// decision point p. Without a chooser, or with fewer than two
+// alternatives, it returns the canonical pick 0 without consulting
+// anything — so decision sites may call it unconditionally on hot paths.
+// A non-canonical pick is journaled as KChoice (A = point kind, B =
+// pick); canonical picks are not journaled, keeping canonical-chooser
+// runs byte-identical to chooser-less runs.
+func (k *Kernel) Choose(p ChoicePoint, n int) int {
+	if k.chooser == nil || n < 2 {
+		return 0
+	}
+	pick := k.chooser.Choose(p, n)
+	if pick <= 0 {
+		return 0
+	}
+	if pick >= n {
+		pick = n - 1
+	}
+	k.Emit(journal.KChoice, 0, 0, int64(p), int64(pick), p.String())
+	return pick
+}
+
+// chooseNext widens a just-popped event into the full set of pending
+// events sharing its timestamp, lets the chooser pick which fires first,
+// and re-pushes the rest (their (time, seq) keys are untouched, so the
+// canonical relative order among the deferred events is preserved and
+// re-chosen at the next dispatch). Called only when a chooser is
+// attached.
+func (k *Kernel) chooseNext(e *Event) *Event {
+	if p := k.events.peek(); p == nil || p.at != e.at {
+		return e
+	}
+	// The clock is about to advance to e.at anyway; advance it first so
+	// the KChoice record carries the decision's virtual time.
+	k.now = e.at
+	batch := []*Event{e}
+	for {
+		p := k.events.peek()
+		if p == nil || p.at != e.at {
+			break
+		}
+		batch = append(batch, k.events.pop())
+	}
+	pick := k.Choose(ChooseEvent, len(batch))
+	for i, b := range batch {
+		if i != pick {
+			k.events.push(b)
+		}
+	}
+	return batch[pick]
+}

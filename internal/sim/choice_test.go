@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"rtlock/internal/journal"
+)
+
+// pickChooser returns scripted picks, then canonical.
+type pickChooser struct {
+	picks []int
+	calls []int // n of each consulted decision
+	pos   int
+}
+
+func (c *pickChooser) Choose(p ChoicePoint, n int) int {
+	c.calls = append(c.calls, n)
+	pick := 0
+	if c.pos < len(c.picks) {
+		pick = c.picks[c.pos]
+	}
+	c.pos++
+	return pick
+}
+
+// TestChooseEventOrdersSimultaneousEvents: three events on the same
+// tick are surfaced as a 3-way then 2-way choice, and the picked order
+// is honored.
+func TestChooseEventOrdersSimultaneousEvents(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		k.At(5, func() { order = append(order, name) })
+	}
+	ch := &pickChooser{picks: []int{2, 1}}
+	k.SetChooser(ch)
+	k.Run()
+	if want := []string{"c", "b", "a"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	if want := []int{3, 2}; !reflect.DeepEqual(ch.calls, want) {
+		t.Fatalf("consulted %v, want %v", ch.calls, want)
+	}
+}
+
+// TestCanonicalChooserMatchesNoChooser: a chooser that always picks 0
+// reproduces the chooser-less run exactly, journal included (KChoice is
+// only emitted for non-canonical picks).
+func TestCanonicalChooserMatchesNoChooser(t *testing.T) {
+	run := func(attach bool) (*journal.Journal, []string) {
+		k := NewKernel()
+		j := journal.New(1, "choice-test")
+		k.SetJournal(j, 0)
+		var order []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			k.At(5, func() {
+				order = append(order, name)
+				k.Emit(journal.KArrive, int64(len(order)), 0, 0, 0, name)
+			})
+		}
+		k.At(7, func() { order = append(order, "d") })
+		if attach {
+			k.SetChooser(&pickChooser{})
+		}
+		k.Run()
+		return j, order
+	}
+	j1, o1 := run(false)
+	j2, o2 := run(true)
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatalf("orders differ: %v vs %v", o1, o2)
+	}
+	if j1.HashString() != j2.HashString() {
+		t.Fatalf("canonical chooser changed the journal:\n%s", journal.Diff(j1, j2))
+	}
+}
+
+// TestNonCanonicalPickIsJournaled: deviating picks land in the journal
+// as KChoice records carrying the point kind and pick.
+func TestNonCanonicalPickIsJournaled(t *testing.T) {
+	k := NewKernel()
+	j := journal.New(1, "choice-test")
+	k.SetJournal(j, 0)
+	k.At(5, func() {})
+	k.At(5, func() {})
+	k.SetChooser(&pickChooser{picks: []int{1}})
+	k.Run()
+	var found *journal.Record
+	for _, r := range j.Records() {
+		if r.Kind == journal.KChoice {
+			r := r
+			found = &r
+		}
+	}
+	if found == nil {
+		t.Fatal("no KChoice record for a non-canonical pick")
+	}
+	if found.A != int64(ChooseEvent) || found.B != 1 || found.Note != "event" {
+		t.Fatalf("KChoice record = %+v, want A=%d B=1 note=event", found, ChooseEvent)
+	}
+	if found.At != 5 {
+		t.Fatalf("KChoice at t=%d, want the decision's virtual time 5", found.At)
+	}
+}
+
+// TestChooseClampsOutOfRangePicks: picks outside [0, n) degrade to the
+// nearest legal alternative instead of panicking, so stale decision
+// traces replay safely.
+func TestChooseClampsOutOfRangePicks(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	for _, name := range []string{"a", "b"} {
+		name := name
+		k.At(1, func() { order = append(order, name) })
+	}
+	k.At(2, func() { order = append(order, "c") })
+	k.At(2, func() { order = append(order, "d") })
+	k.SetChooser(&pickChooser{picks: []int{99, -7}})
+	k.Run()
+	// 99 clamps to n-1=1 (pick "b"); -7 clamps to canonical 0.
+	if want := []string{"b", "a", "c", "d"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+}
+
+// TestChoiceCancellationSafe: canceled events never reach the chooser
+// as alternatives.
+func TestChoiceCancellationSafe(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	ev := k.At(3, func() { order = append(order, "x") })
+	k.At(3, func() { order = append(order, "y") })
+	ev.Cancel()
+	ch := &pickChooser{}
+	k.SetChooser(ch)
+	k.Run()
+	if want := []string{"y"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	if len(ch.calls) != 0 {
+		t.Fatalf("chooser consulted %v times for a unary decision", ch.calls)
+	}
+}

@@ -186,10 +186,41 @@ func (c *CPU) next() {
 	if c.cur != nil {
 		return
 	}
-	if req := c.ready.pop(); req != nil {
-		c.mReady.Add(-1)
-		c.dispatch(req)
+	req := c.ready.pop()
+	if req == nil {
+		return
 	}
+	if c.k.chooser != nil && c.disc == PreemptivePriority {
+		req = c.chooseTie(req)
+	}
+	c.mReady.Add(-1)
+	c.dispatch(req)
+}
+
+// chooseTie widens the popped ready-queue head into the set of requests
+// sharing its exact priority and lets the attached chooser pick which
+// dispatches; the rest are re-pushed with their sequence numbers intact,
+// preserving the canonical relative order. Priorities embed the
+// transaction id as a tie-break, so ties arise only between processes
+// acting for the same transaction (or under inherited/system
+// priorities) — rare, but exactly the orderings a fixed seq-based pick
+// would never vary. FIFO queues are excluded: arrival order there is
+// protocol semantics (protocol L), not an arbitrary tie-break.
+func (c *CPU) chooseTie(req *cpuReq) *cpuReq {
+	if c.ready.Len() == 0 || c.ready.reqs[0].prio != req.prio {
+		return req
+	}
+	ties := []*cpuReq{req}
+	for c.ready.Len() > 0 && c.ready.reqs[0].prio == req.prio {
+		ties = append(ties, c.ready.pop())
+	}
+	pick := c.k.Choose(ChooseReady, len(ties))
+	for i, r := range ties {
+		if i != pick {
+			c.ready.push(r)
+		}
+	}
+	return ties[pick]
 }
 
 func (c *CPU) remove(req *cpuReq) {

@@ -56,6 +56,10 @@ type Kernel struct {
 	mEvents Counter
 	mProcs  Gauge
 	mSpawns Counter
+
+	// chooser, when set, overrides scheduling decision points (see
+	// choice.go); nil means canonical order.
+	chooser Chooser
 }
 
 // Metric handle aliases, so subsystems in this package and its
@@ -182,6 +186,9 @@ func (k *Kernel) Run() Time {
 				k.flushSample()
 			}
 			return k.now
+		}
+		if k.chooser != nil {
+			e = k.chooseNext(e)
 		}
 		if sampling {
 			k.sampleTo(e.at)

@@ -37,6 +37,7 @@ import (
 	"rtlock/internal/db"
 	"rtlock/internal/dist"
 	"rtlock/internal/experiments"
+	"rtlock/internal/explore"
 	"rtlock/internal/faults"
 	"rtlock/internal/journal"
 	"rtlock/internal/metrics"
@@ -767,3 +768,92 @@ func ReproduceAll(sp SingleSiteParams, dp DistParams) ([]Figure, error) {
 	}
 	return []Figure{f2, f3, f4, f5, f6, fa, fb, fc}, nil
 }
+
+// Schedule-space exploration re-exports: the systematic concurrency
+// testing engine of internal/explore, surfaced so library callers can
+// explore their own configurations without reaching into internals.
+type (
+	// ExploreStrategy selects how the schedule space is walked.
+	ExploreStrategy = explore.Strategy
+	// ExploreOptions bounds one exploration (budgets, workers, seed).
+	ExploreOptions = explore.Options
+	// ExploreReport summarizes one exploration: coverage counters and
+	// any counterexamples.
+	ExploreReport = explore.Report
+	// ExploreCounterexample is one violating schedule, minimized when
+	// shrinking was enabled.
+	ExploreCounterexample = explore.Counterexample
+	// ExploreTarget is a replayable simulation under exploration.
+	ExploreTarget = explore.Target
+)
+
+// Exploration strategies.
+const (
+	// ExploreDFS walks deviations from the canonical schedule
+	// depth-first, deepest decision first.
+	ExploreDFS = explore.DFS
+	// ExploreRandom runs seeded random walks plus the canonical
+	// schedule.
+	ExploreRandom = explore.Random
+)
+
+// ExploreConfig selects what to explore: one single-site protocol, or
+// one distributed architecture when Distributed is set.
+type ExploreConfig struct {
+	// Protocol is the single-site protocol to explore (default
+	// Ceiling). Ignored when Distributed is set.
+	Protocol Protocol
+	// Distributed explores a three-site cluster instead of a
+	// single-site system; Global selects the global-ceiling-manager
+	// architecture (false = local ceilings over full replication).
+	Distributed bool
+	Global      bool
+	// Seed drives the workload stream (default 1).
+	Seed int64
+	// Options bounds the exploration (explore defaults when zero).
+	Options ExploreOptions
+}
+
+// Explore runs the schedule-space exploration engine against one
+// protocol configuration and returns its report. Counterexamples on an
+// unmodified tree indicate protocol bugs; the report carries the
+// minimized decision schedules for replay.
+func Explore(cfg ExploreConfig) (*ExploreReport, error) {
+	var tgt ExploreTarget
+	var err error
+	if cfg.Distributed {
+		tgt, err = explore.DistributedTarget(explore.DistributedOpts{Global: cfg.Global, Seed: cfg.Seed})
+	} else {
+		if cfg.Protocol == "" {
+			cfg.Protocol = Ceiling
+		}
+		var mk func(*sim.Kernel) core.Manager
+		var disc sim.Discipline
+		mk, disc, err = experimentsManagerFor(cfg.Protocol)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err = explore.SingleSiteTarget(explore.SingleSiteOpts{
+			Proto:      string(cfg.Protocol),
+			NewManager: mk,
+			Discipline: disc,
+			Seed:       cfg.Seed,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return explore.Run(tgt, cfg.Options)
+}
+
+// ExploreSweepParams re-exports the exploration sweep configuration.
+type ExploreSweepParams = experiments.ExploreParams
+
+// DefaultExploreSweepParams returns the calibrated exploration sweep
+// configuration.
+func DefaultExploreSweepParams() ExploreSweepParams { return experiments.DefaultExplore() }
+
+// RunExploreSweep explores every protocol at a range of schedule
+// budgets and reports coverage; any invariant violation fails the
+// sweep.
+func RunExploreSweep(p ExploreSweepParams) (Figure, error) { return experiments.ExploreSweep(p) }
