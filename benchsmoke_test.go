@@ -3,11 +3,17 @@ package rtlock
 // A short benchmark smoke run for CI: when BENCH_OUT names a file, a
 // handful of representative workloads are timed once each and the
 // wall-clock results written as JSON, so every PR leaves a comparable
-// performance record without the cost of a full -bench sweep.
+// performance record without the cost of a full -bench sweep. When
+// BENCH_BASE names a previously committed smoke JSON, each line is
+// compared against it and the test fails on a >10% regression —
+// wall-clock lines must not get slower, the explorer must not get
+// slower in schedules/sec, and the allocation line must not grow.
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -19,6 +25,7 @@ type benchSmokeResult struct {
 	Records         int     `json:"journalRecords,omitempty"`
 	Schedules       int     `json:"schedules,omitempty"`
 	SchedulesPerSec float64 `json:"schedulesPerSec,omitempty"`
+	AllocsPerTx     float64 `json:"allocsPerTx,omitempty"`
 }
 
 func TestBenchSmoke(t *testing.T) {
@@ -27,15 +34,24 @@ func TestBenchSmoke(t *testing.T) {
 		t.Skip("set BENCH_OUT=<file> to write the benchmark smoke JSON")
 	}
 	var results []benchSmokeResult
+	// Each line reports the best of three runs: one-shot wall-clock
+	// numbers on a shared CI runner vary by far more than the 10%
+	// regression slack, while the per-line minimum is stable — the
+	// fastest run is the one least disturbed by unrelated load.
+	const benchRuns = 3
 	timed := func(name string, run func() (committed, records int)) {
-		start := time.Now()
-		committed, records := run()
-		results = append(results, benchSmokeResult{
-			Name:      name,
-			Millis:    float64(time.Since(start).Microseconds()) / 1000,
-			Committed: committed,
-			Records:   records,
-		})
+		best := benchSmokeResult{Name: name}
+		for i := 0; i < benchRuns; i++ {
+			start := time.Now()
+			committed, records := run()
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if i == 0 || ms < best.Millis {
+				best.Millis = ms
+				best.Committed = committed
+				best.Records = records
+			}
+		}
+		results = append(results, best)
 	}
 	timed("single/C/plain", func() (int, int) {
 		res, err := RunSingleSite(SingleSiteConfig{Workload: WorkloadConfig{Count: 200}})
@@ -85,25 +101,51 @@ func TestBenchSmoke(t *testing.T) {
 		return res.Summary.Committed, res.Journal.Len()
 	})
 	// Explorer throughput: schedules executed per wall-clock second at
-	// the CI smoke shape (DFS, 4 workers).
+	// the CI smoke shape (DFS, 4 workers); best of three runs.
 	{
-		start := time.Now()
-		rep, err := Explore(ExploreConfig{
-			Protocol: Ceiling,
-			Options:  ExploreOptions{Strategy: ExploreDFS, Schedules: 64, MaxDepth: 16, Branch: 2, Workers: 4},
-		})
-		if err != nil {
+		best := benchSmokeResult{Name: "explore/single/C"}
+		for i := 0; i < benchRuns; i++ {
+			start := time.Now()
+			rep, err := Explore(ExploreConfig{
+				Protocol: Ceiling,
+				Options:  ExploreOptions{Strategy: ExploreDFS, Schedules: 64, MaxDepth: 16, Branch: 2, Workers: 4},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Counterexamples) > 0 {
+				t.Fatalf("explore counterexamples: %s", rep.Summary())
+			}
+			elapsed := time.Since(start)
+			perSec := float64(rep.Explored) / elapsed.Seconds()
+			if i == 0 || perSec > best.SchedulesPerSec {
+				best.Millis = float64(elapsed.Microseconds()) / 1000
+				best.Schedules = rep.Explored
+				best.SchedulesPerSec = perSec
+			}
+		}
+		results = append(results, best)
+	}
+	// Steady-state allocation cost per transaction on the journaled
+	// single-site path (warm run measured, see alloc_gate_test.go).
+	{
+		cfg := SingleSiteConfig{Journal: true, Workload: WorkloadConfig{Count: 200}}
+		if _, err := RunSingleSite(cfg); err != nil {
 			t.Fatal(err)
 		}
-		if len(rep.Counterexamples) > 0 {
-			t.Fatalf("explore counterexamples: %s", rep.Summary())
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if _, err := RunSingleSite(cfg); err != nil {
+			t.Fatal(err)
 		}
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
 		results = append(results, benchSmokeResult{
-			Name:            "explore/single/C",
-			Millis:          float64(elapsed.Microseconds()) / 1000,
-			Schedules:       rep.Explored,
-			SchedulesPerSec: float64(rep.Explored) / elapsed.Seconds(),
+			Name:        "alloc/single/C/journal",
+			Millis:      float64(elapsed.Microseconds()) / 1000,
+			AllocsPerTx: float64(after.Mallocs-before.Mallocs) / float64(cfg.Workload.Count),
 		})
 	}
 	data, err := json.MarshalIndent(results, "", "  ")
@@ -114,4 +156,67 @@ func TestBenchSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", out)
+	if base := os.Getenv("BENCH_BASE"); base != "" {
+		compareBenchSmoke(t, base, results)
+	}
+}
+
+// compareBenchSmoke fails the test when any line regresses more than
+// 10% against the baseline smoke JSON: wall-clock lines by ms, the
+// explorer by schedules/sec, the allocation line by allocs/tx. Lines
+// present in only one of the two files are reported but not fatal, so
+// adding a new benchmark does not break the first comparison run.
+func compareBenchSmoke(t *testing.T, basePath string, results []benchSmokeResult) {
+	t.Helper()
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatalf("BENCH_BASE: %v", err)
+	}
+	var baseline []benchSmokeResult
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("BENCH_BASE %s: %v", basePath, err)
+	}
+	baseByName := make(map[string]benchSmokeResult, len(baseline))
+	for _, b := range baseline {
+		baseByName[b.Name] = b
+	}
+	const slack = 1.10
+	for _, r := range results {
+		b, ok := baseByName[r.Name]
+		if !ok {
+			t.Logf("%s: no baseline line in %s (new benchmark, skipping)", r.Name, basePath)
+			continue
+		}
+		type dim struct {
+			what       string
+			base, got  float64
+			lowerIsBad bool // true when a drop is the regression
+		}
+		var checks []dim
+		switch {
+		case r.SchedulesPerSec > 0 || b.SchedulesPerSec > 0:
+			checks = append(checks, dim{"schedules/sec", b.SchedulesPerSec, r.SchedulesPerSec, true})
+		case r.AllocsPerTx > 0 || b.AllocsPerTx > 0:
+			checks = append(checks, dim{"allocs/tx", b.AllocsPerTx, r.AllocsPerTx, false})
+		default:
+			checks = append(checks, dim{"ms", b.Millis, r.Millis, false})
+		}
+		for _, c := range checks {
+			if c.base <= 0 {
+				continue
+			}
+			var regressed bool
+			if c.lowerIsBad {
+				regressed = c.got < c.base/slack
+			} else {
+				regressed = c.got > c.base*slack
+			}
+			msg := fmt.Sprintf("%s: %s %.2f vs baseline %.2f", r.Name, c.what, c.got, c.base)
+			if regressed {
+				t.Errorf("regression >10%%: %s", msg)
+			} else {
+				t.Logf("ok: %s", msg)
+			}
+		}
+	}
 }

@@ -1,0 +1,148 @@
+package rtlock
+
+// Golden byte-identity tests: the canonical binary journal of every
+// protocol and both distributed architectures is pinned to committed
+// fixtures under testdata/journals/. The hot-path optimizations (event
+// pooling, index heap, batched encoding, choice-point elision) are only
+// legal because these bytes cannot move; any divergence from the
+// pre-optimization encodings fails here with the first differing record.
+//
+// Regenerate (only when an intentional journal-format change lands):
+//
+//	RTLOCK_REGEN_GOLDEN=1 go test -run TestGoldenJournals .
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtlock/internal/journal"
+)
+
+// goldenProtocols lists all nine single-site protocols.
+var goldenProtocols = []Protocol{
+	Ceiling, CeilingExclusive, TwoPLPriority, TwoPL, TwoPLInherit,
+	TwoPLHighPriority, TwoPLDetect, TimestampOrdering, TwoPLConditional,
+}
+
+// goldenSingle runs the fixture-sized single-site workload for one
+// protocol. Small enough to keep fixtures compact, large enough that
+// blocking, inheritance, restarts, and deadline misses all occur.
+func goldenSingle(t testing.TB, p Protocol) *journal.Journal {
+	t.Helper()
+	res, err := RunSingleSite(SingleSiteConfig{
+		Protocol: p,
+		Journal:  true,
+		Workload: WorkloadConfig{Count: 60, MeanSize: 8, ReadOnlyFrac: 0.3},
+	})
+	if err != nil {
+		t.Fatalf("single-site %s: %v", p, err)
+	}
+	return res.Journal
+}
+
+// goldenDist runs the fixture-sized distributed workload for one
+// architecture.
+func goldenDist(t testing.TB, global bool) *journal.Journal {
+	t.Helper()
+	res, err := RunDistributed(DistributedConfig{
+		Global:   global,
+		Journal:  true,
+		Workload: WorkloadConfig{Count: 40, MeanSize: 4},
+	})
+	if err != nil {
+		t.Fatalf("distributed global=%t: %v", global, err)
+	}
+	return res.Journal
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "journals", name+".bin")
+}
+
+// checkGolden encodes jrn canonically and compares it byte-for-byte
+// against the committed fixture (or rewrites the fixture when
+// RTLOCK_REGEN_GOLDEN is set).
+func checkGolden(t *testing.T, name string, jrn *journal.Journal) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := jrn.EncodeBinary(&buf); err != nil {
+		t.Fatalf("encode %s: %v", name, err)
+	}
+	got := buf.Bytes()
+	path := goldenPath(name)
+	if os.Getenv("RTLOCK_REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes, %d records)", path, len(got), jrn.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture %s (run with RTLOCK_REGEN_GOLDEN=1 to create): %v", path, err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	// Bytes diverged: decode nothing, but point at the first divergent
+	// offset and record so the failure is actionable.
+	off := 0
+	for off < len(got) && off < len(want) && got[off] == want[off] {
+		off++
+	}
+	t.Errorf("%s: journal bytes diverged from fixture at offset %d (got %d bytes, want %d); first divergent record context: %s",
+		name, off, len(got), len(want), describeRecordAt(jrn, off))
+}
+
+// describeRecordAt re-encodes the journal record by record to find which
+// record covers byte offset off, making byte-level failures readable.
+func describeRecordAt(jrn *journal.Journal, off int) string {
+	var buf bytes.Buffer
+	if err := jrn.EncodeBinary(&buf); err != nil {
+		return "encode error"
+	}
+	// Binary layout: magic + header varints, then records. Walk by
+	// re-encoding prefixes; cheap at fixture sizes.
+	recs := jrn.Records()
+	for i := range recs {
+		sub := journal.New(jrn.Seed(), jrn.Config())
+		for j := 0; j <= i; j++ {
+			r := recs[j]
+			sub.Append(r.At, r.Kind, r.Site, r.Tx, r.Obj, r.A, r.B, r.Note)
+		}
+		var sb bytes.Buffer
+		if err := sub.EncodeBinary(&sb); err != nil {
+			return "encode error"
+		}
+		if sb.Len() > off {
+			return fmt.Sprintf("record %d: %+v", i, recs[i])
+		}
+	}
+	return "past last record (length divergence)"
+}
+
+// TestGoldenJournals pins the canonical journal bytes of all nine
+// protocols and both distributed architectures to committed fixtures.
+func TestGoldenJournals(t *testing.T) {
+	for _, p := range goldenProtocols {
+		p := p
+		t.Run("single/"+string(p), func(t *testing.T) {
+			t.Parallel()
+			checkGolden(t, "single_"+string(p), goldenSingle(t, p))
+		})
+	}
+	t.Run("dist/local", func(t *testing.T) {
+		t.Parallel()
+		checkGolden(t, "dist_local", goldenDist(t, false))
+	})
+	t.Run("dist/global", func(t *testing.T) {
+		t.Parallel()
+		checkGolden(t, "dist_global", goldenDist(t, true))
+	})
+}

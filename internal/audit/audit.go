@@ -14,6 +14,7 @@ package audit
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"rtlock/internal/check"
 	"rtlock/internal/core"
@@ -45,7 +46,7 @@ type Auditor interface {
 	// Name identifies the rule in reports.
 	Name() string
 	// Observe feeds one record, in journal order.
-	Observe(r journal.Record)
+	Observe(r *journal.Record)
 	// Finish runs end-of-journal checks and returns all violations.
 	Finish() []Violation
 }
@@ -53,7 +54,9 @@ type Auditor interface {
 // Run replays a journal through the auditors and returns every
 // violation, ordered by exposing sequence number.
 func Run(j *journal.Journal, auds ...Auditor) []Violation {
-	for _, r := range j.Records() {
+	records := j.Records()
+	for i := range records {
+		r := &records[i]
 		for _, a := range auds {
 			a.Observe(r)
 		}
@@ -144,7 +147,7 @@ type grouper struct {
 	at    int64
 }
 
-func (g *grouper) first(r journal.Record) bool {
+func (g *grouper) first(r *journal.Record) bool {
 	same := g.valid && r.Seq == g.seq+1 && r.Kind == g.kind &&
 		r.Tx == g.tx && r.Obj == g.obj && r.At == g.at
 	g.valid = true
@@ -169,9 +172,9 @@ type BlockedAtMostOnce struct {
 // NewBlockedAtMostOnce returns the PCP blocking-bound auditor.
 func NewBlockedAtMostOnce() *BlockedAtMostOnce {
 	return &BlockedAtMostOnce{
-		prio:     make(map[int64]sim.Priority),
-		episodes: make(map[int64]int),
-		counted:  make(map[int64]bool),
+		prio:     make(map[int64]sim.Priority, 64),
+		episodes: make(map[int64]int, 64),
+		counted:  make(map[int64]bool, 64),
 	}
 }
 
@@ -179,7 +182,7 @@ func NewBlockedAtMostOnce() *BlockedAtMostOnce {
 func (b *BlockedAtMostOnce) Name() string { return "pcp-blocked-at-most-once" }
 
 // Observe implements Auditor.
-func (b *BlockedAtMostOnce) Observe(r journal.Record) {
+func (b *BlockedAtMostOnce) Observe(r *journal.Record) {
 	switch r.Kind {
 	case journal.KArrive:
 		b.prio[r.Tx] = sim.Priority{Deadline: r.A, TxID: r.Tx}
@@ -225,34 +228,47 @@ func (b *BlockedAtMostOnce) Finish() []Violation { return b.v }
 // that the in-flight abort resolves).
 type DeadlockFree struct {
 	g     grouper
-	edges map[int64]map[int64]struct{}
+	edges map[int64][]int64
 	v     []Violation
+
+	// findCycle scratch, reused across the per-block walks so the hot
+	// Observe path allocates nothing in steady state.
+	seen map[int64]bool
+	path []int64
 }
 
 // NewDeadlockFree returns the waits-for cycle auditor.
 func NewDeadlockFree() *DeadlockFree {
-	return &DeadlockFree{edges: make(map[int64]map[int64]struct{})}
+	return &DeadlockFree{
+		edges: make(map[int64][]int64, 64),
+		seen:  make(map[int64]bool, 64),
+	}
 }
 
 // Name implements Auditor.
 func (d *DeadlockFree) Name() string { return "deadlock-free" }
 
 // Observe implements Auditor.
-func (d *DeadlockFree) Observe(r journal.Record) {
+func (d *DeadlockFree) Observe(r *journal.Record) {
 	switch r.Kind {
 	case journal.KLockBlock, journal.KBlame:
 		if d.g.first(r) {
-			delete(d.edges, r.Tx)
+			d.dropEdges(r.Tx)
 		}
 		if r.A < 0 || r.B != 0 {
 			return
 		}
-		m, ok := d.edges[r.Tx]
-		if !ok {
-			m = make(map[int64]struct{})
-			d.edges[r.Tx] = m
+		es := d.edges[r.Tx]
+		dup := false
+		for _, e := range es {
+			if e == r.A {
+				dup = true
+				break
+			}
 		}
-		m[r.A] = struct{}{}
+		if !dup {
+			d.edges[r.Tx] = append(es, r.A)
+		}
 		if cycle := d.findCycle(r.Tx); cycle != nil {
 			d.v = append(d.v, Violation{
 				Rule: d.Name(), Seq: r.Seq, At: r.At, Tx: r.Tx,
@@ -261,40 +277,59 @@ func (d *DeadlockFree) Observe(r journal.Record) {
 		}
 	case journal.KLockGrant, journal.KRestart, journal.KCommit,
 		journal.KDeadlineMiss, journal.KUnregister, journal.KWound:
-		delete(d.edges, r.Tx)
+		d.dropEdges(r.Tx)
+	}
+}
+
+// dropEdges clears tx's outgoing edge set, keeping the slice for reuse.
+func (d *DeadlockFree) dropEdges(tx int64) {
+	if es, ok := d.edges[tx]; ok {
+		d.edges[tx] = es[:0]
 	}
 }
 
 // findCycle walks the waits-for edges from start and returns the cycle
-// through start, if any.
+// through start, if any. The returned slice aliases the walk scratch;
+// callers consume it (format it) before the next Observe.
 func (d *DeadlockFree) findCycle(start int64) []int64 {
-	seen := map[int64]bool{start: true}
-	path := []int64{start}
+	d.seen[start] = true
+	path := append(d.path[:0], start)
 	cur := start
+	found := false
+	var result []int64
 	for {
-		next, found := int64(0), false
+		next, ok := int64(0), false
 		// Deterministic walk: smallest successor first.
-		//rtlint:allow maprange min fold selects the smallest successor regardless of visit order
-		for n := range d.edges[cur] {
-			if !found || n < next {
-				next, found = n, true
+		for _, n := range d.edges[cur] {
+			if !ok || n < next {
+				next, ok = n, true
 			}
 		}
-		if !found {
-			return nil
+		if !ok {
+			break
 		}
 		if next == start {
-			return append(path, start)
+			result = append(path, start)
+			found = true
+			break
 		}
-		if seen[next] {
+		if d.seen[next] {
 			// Cycle not through start; it will be reported when one of
 			// its own members gains an edge.
-			return nil
+			break
 		}
-		seen[next] = true
+		d.seen[next] = true
 		path = append(path, next)
 		cur = next
 	}
+	for _, n := range path {
+		delete(d.seen, n)
+	}
+	d.path = path[:0]
+	if !found {
+		return nil
+	}
+	return result
 }
 
 // Finish implements Auditor.
@@ -312,14 +347,14 @@ type StrictTwoPhase struct {
 
 // NewStrictTwoPhase returns the strict-2PL auditor.
 func NewStrictTwoPhase() *StrictTwoPhase {
-	return &StrictTwoPhase{released: make(map[int64]uint64)}
+	return &StrictTwoPhase{released: make(map[int64]uint64, 64)}
 }
 
 // Name implements Auditor.
 func (s *StrictTwoPhase) Name() string { return "strict-two-phase" }
 
 // Observe implements Auditor.
-func (s *StrictTwoPhase) Observe(r journal.Record) {
+func (s *StrictTwoPhase) Observe(r *journal.Record) {
 	switch r.Kind {
 	case journal.KLockRelease:
 		if _, ok := s.released[r.Tx]; !ok {
@@ -347,7 +382,7 @@ func (s *StrictTwoPhase) Finish() []Violation { return s.v }
 // discards that site's volatile lock table without individual release
 // records, so the auditor clears the site's holders there too.
 type LockSafety struct {
-	holders map[lockKey]map[int64]int64 // (site,obj) -> tx -> mode
+	holders map[lockKey][]txMode // (site,obj) -> held modes, grant order
 	v       []Violation
 }
 
@@ -356,24 +391,32 @@ type lockKey struct {
 	obj  int32
 }
 
+// txMode is one holder of a lock: the transaction and its strongest
+// granted mode. Holder sets are tiny (one writer or a few readers), so
+// slices beat the per-object maps they replaced.
+type txMode struct {
+	tx   int64
+	mode int64
+}
+
 // NewLockSafety returns the grant-compatibility auditor.
 func NewLockSafety() *LockSafety {
-	return &LockSafety{holders: make(map[lockKey]map[int64]int64)}
+	return &LockSafety{holders: make(map[lockKey][]txMode, 64)}
 }
 
 // Name implements Auditor.
 func (l *LockSafety) Name() string { return "lock-safety" }
 
 // Observe implements Auditor.
-func (l *LockSafety) Observe(r journal.Record) {
+func (l *LockSafety) Observe(r *journal.Record) {
 	key := lockKey{site: r.Site, obj: r.Obj}
 	switch r.Kind {
 	case journal.KLockGrant:
 		hs := l.holders[key]
 		var conflicts []int64
-		for h, hm := range hs {
-			if h != r.Tx && (hm == int64(core.Write) || r.A == int64(core.Write)) {
-				conflicts = append(conflicts, h)
+		for _, h := range hs {
+			if h.tx != r.Tx && (h.mode == int64(core.Write) || r.A == int64(core.Write)) {
+				conflicts = append(conflicts, h.tx)
 			}
 		}
 		if len(conflicts) > 0 {
@@ -383,15 +426,27 @@ func (l *LockSafety) Observe(r journal.Record) {
 				Detail: fmt.Sprintf("mode %d grant on site %d obj %d conflicts with holders %v", r.A, r.Site, r.Obj, conflicts),
 			})
 		}
-		if hs == nil {
-			hs = make(map[int64]int64)
-			l.holders[key] = hs
+		upgraded := false
+		for i := range hs {
+			if hs[i].tx == r.Tx {
+				if hs[i].mode < r.A {
+					hs[i].mode = r.A
+				}
+				upgraded = true
+				break
+			}
 		}
-		if hs[r.Tx] < r.A {
-			hs[r.Tx] = r.A
+		if !upgraded {
+			l.holders[key] = append(hs, txMode{tx: r.Tx, mode: r.A})
 		}
 	case journal.KLockRelease:
-		delete(l.holders[key], r.Tx)
+		hs := l.holders[key]
+		for i := range hs {
+			if hs[i].tx == r.Tx {
+				l.holders[key] = append(hs[:i], hs[i+1:]...)
+				break
+			}
+		}
 	case journal.KSiteCrash:
 		for k := range l.holders {
 			if k.site == r.Site {
@@ -428,7 +483,7 @@ func NewTwoPCConsistent() *TwoPCConsistent {
 func (t *TwoPCConsistent) Name() string { return "twopc-consistent" }
 
 // Observe implements Auditor.
-func (t *TwoPCConsistent) Observe(r journal.Record) {
+func (t *TwoPCConsistent) Observe(r *journal.Record) {
 	switch r.Kind {
 	case journal.KTwoPCPrepare:
 		m, ok := t.prepares[r.Tx]
@@ -446,7 +501,7 @@ func (t *TwoPCConsistent) Observe(r journal.Record) {
 		}
 		m[r.Site] = r.A
 	case journal.KTwoPCDecision:
-		t.decisions[r.Tx] = append(t.decisions[r.Tx], r)
+		t.decisions[r.Tx] = append(t.decisions[r.Tx], *r)
 	}
 }
 
@@ -513,6 +568,11 @@ type Serializable struct {
 	hist    map[int32]*check.History
 	lastSeq uint64
 	lastAt  int64
+
+	// free recycles pending-op buffers of finished attempts; without it
+	// every restarted or committed transaction leaks its slice to the
+	// garbage collector.
+	free [][]pendingOp
 }
 
 type pendingOp struct {
@@ -522,13 +582,19 @@ type pendingOp struct {
 	at   sim.Time
 }
 
+// historyPool recycles committed histories across audit runs: the
+// explorer audits hundreds of journals per exploration, and each
+// history's op buffer and checker scratch would otherwise be regrown
+// from nothing. Finish returns each history after its verdict.
+var historyPool = sync.Pool{New: func() any { return check.NewHistory() }}
+
 // NewSerializable returns the committed-history serializability
 // auditor.
 func NewSerializable(perSite bool) *Serializable {
 	return &Serializable{
 		perSite: perSite,
-		pending: make(map[int64][]pendingOp),
-		hist:    make(map[int32]*check.History),
+		pending: make(map[int64][]pendingOp, 64),
+		hist:    make(map[int32]*check.History, 4),
 	}
 }
 
@@ -536,18 +602,23 @@ func NewSerializable(perSite bool) *Serializable {
 func (s *Serializable) Name() string { return "serializable" }
 
 // Observe implements Auditor.
-func (s *Serializable) Observe(r journal.Record) {
+func (s *Serializable) Observe(r *journal.Record) {
 	s.lastSeq, s.lastAt = r.Seq, r.At
 	switch r.Kind {
 	case journal.KOp:
-		s.pending[r.Tx] = append(s.pending[r.Tx], pendingOp{
+		ops, ok := s.pending[r.Tx]
+		if !ok && len(s.free) > 0 {
+			ops = s.free[len(s.free)-1]
+			s.free = s.free[:len(s.free)-1]
+		}
+		s.pending[r.Tx] = append(ops, pendingOp{
 			site: r.Site,
 			obj:  core.ObjectID(r.Obj),
 			mode: core.Mode(r.A),
 			at:   sim.Time(r.At),
 		})
 	case journal.KRestart, journal.KDeadlineMiss:
-		delete(s.pending, r.Tx)
+		s.dropPending(r.Tx)
 	case journal.KCommit:
 		for _, op := range s.pending[r.Tx] {
 			site := int32(0)
@@ -556,13 +627,23 @@ func (s *Serializable) Observe(r journal.Record) {
 			}
 			h, ok := s.hist[site]
 			if !ok {
-				h = check.NewHistory()
+				h = historyPool.Get().(*check.History)
 				s.hist[site] = h
 			}
 			h.Record(r.Tx, op.obj, op.mode, op.at)
 			h.Commit(r.Tx)
 		}
-		delete(s.pending, r.Tx)
+		s.dropPending(r.Tx)
+	}
+}
+
+// dropPending retires tx's buffered operations, recycling the buffer.
+func (s *Serializable) dropPending(tx int64) {
+	if ops, ok := s.pending[tx]; ok {
+		if cap(ops) > 0 {
+			s.free = append(s.free, ops[:0])
+		}
+		delete(s.pending, tx)
 	}
 }
 
@@ -575,7 +656,12 @@ func (s *Serializable) Finish() []Violation {
 	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
 	var v []Violation
 	for _, site := range sites {
-		if !s.hist[site].ConflictSerializable() {
+		h := s.hist[site]
+		serializable := h.ConflictSerializable()
+		h.Reset()
+		historyPool.Put(h)
+		delete(s.hist, site)
+		if !serializable {
 			v = append(v, Violation{
 				Rule: s.Name(), Seq: s.lastSeq, At: s.lastAt,
 				Detail: fmt.Sprintf("committed history at site %d is not conflict serializable", site),

@@ -16,14 +16,14 @@ func feedCommitDespiteAborts(n int) *TwoPCConsistent {
 	a := NewTwoPCConsistent()
 	seq := uint64(1)
 	for site := 0; site < n; site++ {
-		a.Observe(journal.Record{Seq: seq, Kind: journal.KTwoPCPrepare, Tx: 7, A: int64(site)})
+		a.Observe(&journal.Record{Seq: seq, Kind: journal.KTwoPCPrepare, Tx: 7, A: int64(site)})
 		seq++
 	}
 	for site := 0; site < n; site++ {
-		a.Observe(journal.Record{Seq: seq, Kind: journal.KTwoPCVote, Tx: 7, Site: int32(site), A: 0})
+		a.Observe(&journal.Record{Seq: seq, Kind: journal.KTwoPCVote, Tx: 7, Site: int32(site), A: 0})
 		seq++
 	}
-	a.Observe(journal.Record{Seq: seq, Kind: journal.KTwoPCDecision, Tx: 7, A: 1})
+	a.Observe(&journal.Record{Seq: seq, Kind: journal.KTwoPCDecision, Tx: 7, A: 1})
 	return a
 }
 

@@ -27,11 +27,27 @@ type History struct {
 	ops       []Op
 	committed map[int64]bool
 	seq       int64
+
+	// scratch, edges, pendingReads, and color are reused by
+	// ConflictSerializable so a pooled history checks without
+	// steady-state allocation.
+	scratch      []Op
+	edges        map[int64][]int64
+	pendingReads []int64
+	color        map[int64]int
 }
 
 // NewHistory returns an empty history.
 func NewHistory() *History {
 	return &History{committed: make(map[int64]bool)}
+}
+
+// Reset clears the history for reuse, keeping the operation buffer and
+// scratch storage.
+func (h *History) Reset() {
+	h.ops = h.ops[:0]
+	clear(h.committed)
+	h.seq = 0
 }
 
 // Record appends one access.
@@ -54,56 +70,106 @@ func (h *History) Committed() int { return len(h.committed) }
 // transactions — an edge Ti→Tj for each pair of conflicting operations
 // where Ti's came first — and reports whether it is acyclic.
 func (h *History) ConflictSerializable() bool {
-	ops := make([]Op, 0, len(h.ops))
+	ops := h.scratch[:0]
 	for _, op := range h.ops {
 		if h.committed[op.Tx] {
 			ops = append(ops, op)
 		}
 	}
-	sort.Slice(ops, func(i, j int) bool {
-		if ops[i].At != ops[j].At {
-			return ops[i].At < ops[j].At
-		}
-		return ops[i].Seq < ops[j].Seq
-	})
-	edges := make(map[int64]map[int64]struct{})
-	byObj := make(map[core.ObjectID][]Op)
-	for _, op := range ops {
-		byObj[op.Obj] = append(byObj[op.Obj], op)
+	h.scratch = ops
+	// One sort keyed (Obj, At, Seq) groups each object's accesses
+	// contiguously in time order, replacing the per-object map of
+	// slices the pairwise pass used to build.
+	sort.Sort(opsByObjTime(ops))
+	// Emit the transitive reduction of each object's conflict order
+	// instead of all conflicting pairs: consecutive writes chain, each
+	// write points at the reads that follow it (until the next write),
+	// and each read points at the next write. Every all-pairs conflict
+	// edge a→b is then implied by a path — writes between a and b chain
+	// through, and same-transaction hops are the same graph node — so
+	// the graph is acyclic exactly when the full precedence graph is,
+	// at O(ops) edges per object instead of O(ops²).
+	if h.edges == nil {
+		h.edges = make(map[int64][]int64)
+	} else {
+		clear(h.edges)
 	}
-	for _, seq := range byObj {
-		for i := 0; i < len(seq); i++ {
-			for j := i + 1; j < len(seq); j++ {
-				a, b := seq[i], seq[j]
-				if a.Tx == b.Tx {
-					continue
-				}
-				if a.Mode == core.Read && b.Mode == core.Read {
-					continue
-				}
-				m, ok := edges[a.Tx]
-				if !ok {
-					m = make(map[int64]struct{})
-					edges[a.Tx] = m
-				}
-				m[b.Tx] = struct{}{}
+	edges := h.edges
+	addEdge := func(from, to int64) {
+		if from == to {
+			return
+		}
+		es := edges[from]
+		for _, e := range es {
+			if e == to {
+				return
 			}
 		}
+		edges[from] = append(es, to)
 	}
-	return acyclic(edges)
+	pendingReads := h.pendingReads[:0]
+	for lo := 0; lo < len(ops); {
+		hi := lo + 1
+		for hi < len(ops) && ops[hi].Obj == ops[lo].Obj {
+			hi++
+		}
+		prevWrite := int64(-1)
+		hasWrite := false
+		pendingReads = pendingReads[:0]
+		for i := lo; i < hi; i++ {
+			op := ops[i]
+			if op.Mode == core.Read {
+				if hasWrite {
+					addEdge(prevWrite, op.Tx)
+				}
+				pendingReads = append(pendingReads, op.Tx)
+				continue
+			}
+			if hasWrite {
+				addEdge(prevWrite, op.Tx)
+			}
+			for _, r := range pendingReads {
+				addEdge(r, op.Tx)
+			}
+			pendingReads = pendingReads[:0]
+			prevWrite, hasWrite = op.Tx, true
+		}
+		lo = hi
+	}
+	h.pendingReads = pendingReads
+	if h.color == nil {
+		h.color = make(map[int64]int, len(edges))
+	} else {
+		clear(h.color)
+	}
+	return acyclic(edges, h.color)
 }
 
-func acyclic(edges map[int64]map[int64]struct{}) bool {
+// opsByObjTime sorts operations by object, then time, then sequence.
+type opsByObjTime []Op
+
+func (s opsByObjTime) Len() int      { return len(s) }
+func (s opsByObjTime) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s opsByObjTime) Less(i, j int) bool {
+	if s[i].Obj != s[j].Obj {
+		return s[i].Obj < s[j].Obj
+	}
+	if s[i].At != s[j].At {
+		return s[i].At < s[j].At
+	}
+	return s[i].Seq < s[j].Seq
+}
+
+func acyclic(edges map[int64][]int64, color map[int64]int) bool {
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
-	color := make(map[int64]int)
 	var visit func(n int64) bool
 	visit = func(n int64) bool {
 		color[n] = gray
-		for m := range edges[n] {
+		for _, m := range edges[n] {
 			switch color[m] {
 			case gray:
 				return false
@@ -116,12 +182,10 @@ func acyclic(edges map[int64]map[int64]struct{}) bool {
 		color[n] = black
 		return true
 	}
-	nodes := make([]int64, 0, len(edges))
+	// Acyclicity is independent of visit order, so iterating the
+	// adjacency map directly is deterministic in outcome.
+	//rtlint:allow maprange boolean acyclicity result is visit-order independent
 	for n := range edges {
-		nodes = append(nodes, n)
-	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	for _, n := range nodes {
 		if color[n] == white && !visit(n) {
 			return false
 		}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"rtlock/internal/journal"
 	"rtlock/internal/sim"
@@ -43,19 +42,49 @@ import (
 // aborted. With a static population (everything registered before
 // execution) the protocol is deadlock-free; the property tests exercise
 // exactly that guarantee.
+//
+// Hot-path note: the per-object write and absolute ceilings are cached
+// (ceilW/ceilA) instead of folded over the registration sets on every
+// query, and lock records live in an object-indexed slice with a compact
+// list of locked objects. Every cached value equals the commutative Max
+// fold it replaces, so journal bytes are unchanged; the golden fixtures
+// under testdata/journals pin that equivalence.
 type Ceiling struct {
 	k         *sim.Kernel
+	pr        lockProbes
 	exclusive bool
 	name      string
 
-	readers map[ObjectID]map[*TxState]struct{}
-	writers map[ObjectID]map[*TxState]struct{}
-	locks   map[ObjectID]*pcpLock
-	blocked []*pcpWaiter
-	graph   *inheritGraph
-	seq     uint64
+	// readers/writers are the registered transactions that declared the
+	// object in their read/write set, indexed by object id. ceilW and
+	// ceilA cache the write- and absolute-priority ceiling folds over
+	// those sets; Register raises them incrementally and Unregister
+	// recomputes the departed transaction's objects.
+	readers, writers [][]*TxState
+	ceilW, ceilA     []sim.Priority
+
+	// locks[obj] is the lock record of a locked object (nil when
+	// unlocked); lockedObjs lists the locked object ids, unordered, so
+	// ceiling folds touch only locked objects. freeLocks recycles lock
+	// records: a record is reachable only through locks[obj] between
+	// grant and last release, so reuse cannot alias.
+	locks      []*pcpLock
+	lockedObjs []ObjectID
+	freeLocks  []*pcpLock
+
+	blocked     []*pcpWaiter
+	freeWaiters []*pcpWaiter
+	graph       *inheritGraph
+	seq         uint64
 
 	registered map[*TxState]struct{}
+
+	// scratchObjs is reused by blameFor's sorted-object walk and
+	// scratchBlame by its result: the inheritance graph copies blame
+	// sets into its own id-sorted storage and the journal helpers only
+	// iterate, so each result is fully consumed before the next call.
+	scratchObjs  []ObjectID
+	scratchBlame []*TxState
 
 	// CeilingBlocks counts blocks where no direct lock conflict
 	// existed — the protocol's "insurance premium".
@@ -79,16 +108,50 @@ func (m *Ceiling) SetJournalSite(site int32) { m.jsite = site }
 
 var _ Manager = (*Ceiling)(nil)
 
-type pcpLock struct {
-	holders map[*TxState]Mode
+// lockHolder is one holder of a lock record. Holder sets are tiny (one
+// writer or a few readers), so a linear slice beats a map.
+type lockHolder struct {
+	tx   *TxState
+	mode Mode
 }
 
+type pcpLock struct {
+	holders   []lockHolder
+	writers   int // holders in Write mode
+	obj       ObjectID
+	lockedIdx int // position in Ceiling.lockedObjs
+}
+
+func (l *pcpLock) find(tx *TxState) int {
+	for i := range l.holders {
+		if l.holders[i].tx == tx {
+			return i
+		}
+	}
+	return -1
+}
+
+func (l *pcpLock) holdsTx(tx *TxState) bool { return l.find(tx) >= 0 }
+
+// pcpWaiter is one parked lock waiter. Waiters are pooled on the
+// manager (freeWaiters): by the time Acquire's Park returns, the grant
+// and cancel paths have both removed every reference (blocked list,
+// inheritance graph, token), so recycling cannot alias a live wait. The
+// token is embedded by value and the cancel hook is the static-function
+// form, so a blocking episode allocates nothing after warm-up.
 type pcpWaiter struct {
+	m    *Ceiling
 	tx   *TxState
 	obj  ObjectID
 	mode Mode
-	tok  *sim.Token
+	tok  sim.Token
 	seq  uint64
+}
+
+// pcpCancel is pcpWaiter's static cancel hook.
+func pcpCancel(arg any) {
+	w := arg.(*pcpWaiter)
+	w.m.dropWaiter(w)
 }
 
 // NewCeiling returns the priority ceiling protocol with read/write lock
@@ -104,11 +167,9 @@ func NewCeilingExclusive(k *sim.Kernel) *Ceiling { return newCeiling(k, true, "P
 func newCeiling(k *sim.Kernel, exclusive bool, name string) *Ceiling {
 	return &Ceiling{
 		k:          k,
+		pr:         newLockProbes(k),
 		exclusive:  exclusive,
 		name:       name,
-		readers:    make(map[ObjectID]map[*TxState]struct{}),
-		writers:    make(map[ObjectID]map[*TxState]struct{}),
-		locks:      make(map[ObjectID]*pcpLock),
 		graph:      newInheritGraph(),
 		registered: make(map[*TxState]struct{}),
 	}
@@ -117,15 +178,43 @@ func newCeiling(k *sim.Kernel, exclusive bool, name string) *Ceiling {
 // Name implements Manager.
 func (m *Ceiling) Name() string { return m.name }
 
+// growTo ensures the object-indexed slices cover obj.
+func (m *Ceiling) growTo(obj ObjectID) {
+	need := int(obj) + 1
+	if need <= len(m.locks) {
+		return
+	}
+	for len(m.locks) < need {
+		m.locks = append(m.locks, nil)
+		m.readers = append(m.readers, nil)
+		m.writers = append(m.writers, nil)
+		m.ceilW = append(m.ceilW, sim.MinPriority)
+		m.ceilA = append(m.ceilA, sim.MinPriority)
+	}
+}
+
+// lockAt returns the lock record of obj, nil when unlocked or unseen.
+func (m *Ceiling) lockAt(obj ObjectID) *pcpLock {
+	if int(obj) >= len(m.locks) {
+		return nil
+	}
+	return m.locks[obj]
+}
+
 // Register implements Manager: the transaction's declared read and write
 // sets start contributing to the object ceilings.
 func (m *Ceiling) Register(tx *TxState) {
 	m.registered[tx] = struct{}{}
 	for _, obj := range tx.ReadSet {
-		addSet(m.readers, obj, tx)
+		m.growTo(obj)
+		m.readers[obj] = append(m.readers[obj], tx)
+		m.ceilA[obj] = m.ceilA[obj].Max(tx.Base)
 	}
 	for _, obj := range tx.WriteSet {
-		addSet(m.writers, obj, tx)
+		m.growTo(obj)
+		m.writers[obj] = append(m.writers[obj], tx)
+		m.ceilW[obj] = m.ceilW[obj].Max(tx.Base)
+		m.ceilA[obj] = m.ceilA[obj].Max(tx.Base)
 	}
 	m.emitCeilingChange()
 }
@@ -134,14 +223,53 @@ func (m *Ceiling) Register(tx *TxState) {
 // ceilings, so blocked waiters are re-evaluated.
 func (m *Ceiling) Unregister(tx *TxState) {
 	delete(m.registered, tx)
+	// A departing transaction can only lower a ceiling it was setting:
+	// the cached values are Max folds, so when tx.Base sits strictly
+	// below the cache the fold result cannot move and the recompute is
+	// skipped.
 	for _, obj := range tx.ReadSet {
-		delSet(m.readers, obj, tx)
+		m.readers[obj] = removeTx(m.readers[obj], tx)
+		if tx.Base == m.ceilA[obj] {
+			m.recomputeCeil(obj)
+		}
 	}
 	for _, obj := range tx.WriteSet {
-		delSet(m.writers, obj, tx)
+		m.writers[obj] = removeTx(m.writers[obj], tx)
+		if tx.Base == m.ceilW[obj] || tx.Base == m.ceilA[obj] {
+			m.recomputeCeil(obj)
+		}
 	}
 	m.emitCeilingChange()
 	m.processBlocked()
+}
+
+// removeTx deletes one occurrence of tx from the set (order-insensitive:
+// the sets feed only commutative Max folds).
+func removeTx(set []*TxState, tx *TxState) []*TxState {
+	for i, t := range set {
+		if t == tx {
+			last := len(set) - 1
+			set[i] = set[last]
+			set[last] = nil
+			return set[:last]
+		}
+	}
+	return set
+}
+
+// recomputeCeil refreshes obj's cached write/absolute ceilings from its
+// registration sets after a removal.
+func (m *Ceiling) recomputeCeil(obj ObjectID) {
+	w := sim.MinPriority
+	for _, t := range m.writers[obj] {
+		w = w.Max(t.Base)
+	}
+	a := w
+	for _, t := range m.readers[obj] {
+		a = a.Max(t.Base)
+	}
+	m.ceilW[obj] = w
+	m.ceilA[obj] = a
 }
 
 // Acquire implements Manager.
@@ -152,9 +280,9 @@ func (m *Ceiling) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 	if m.exclusive {
 		mode = Write
 	}
-	emitRequest(m.k, m.jsite, tx, obj, mode)
-	if held, ok := tx.held[obj]; ok && (held == Write || mode == Read) {
-		emitGrant(m.k, m.jsite, tx, obj, mode)
+	m.pr.emitRequest(m.k, m.jsite, tx, obj, mode)
+	if held, ok := tx.Holds(obj); ok && (held == Write || mode == Read) {
+		m.pr.emitGrant(m.k, m.jsite, tx, obj, mode)
 		return nil
 	}
 	if m.grantable(tx, obj, mode) {
@@ -162,85 +290,115 @@ func (m *Ceiling) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 		return nil
 	}
 	m.seq++
-	w := &pcpWaiter{tx: tx, obj: obj, mode: mode, tok: &sim.Token{}, seq: m.seq}
+	w := m.getWaiter()
+	w.tx, w.obj, w.mode, w.seq = tx, obj, mode, m.seq
 	m.blocked = append(m.blocked, w)
 	blamed := m.blameFor(tx, obj, mode)
-	ceilingBlock := !holdersOf(m.locks[obj], tx, mode)
+	ceilingBlock := !pcpConflict(m.lockAt(obj), tx, mode)
 	if ceilingBlock {
 		m.CeilingBlocks++
 	} else {
 		m.DirectBlocks++
 	}
-	emitBlock(m.k, m.jsite, tx, obj, blamed, ceilingBlock)
+	m.pr.emitBlock(m.k, m.jsite, tx, obj, blamed, ceilingBlock)
 	tx.noteBlocked(m.k.Now(), blamed)
 	m.graph.setBlame(tx, blamed)
-	w.tok.OnCancel = func() { m.dropWaiter(w) }
-	err := p.Park(w.tok)
-	observeUnblocked(m.k, tx)
+	w.tok.SetCancel(pcpCancel, w)
+	err := p.Park(&w.tok)
+	m.pr.observeUnblocked(m.k, tx)
+	m.putWaiter(w)
 	return err
+}
+
+// getWaiter hands out a reset waiter from the pool.
+func (m *Ceiling) getWaiter() *pcpWaiter {
+	if n := len(m.freeWaiters); n > 0 {
+		w := m.freeWaiters[n-1]
+		m.freeWaiters[n-1] = nil
+		m.freeWaiters = m.freeWaiters[:n-1]
+		return w
+	}
+	return &pcpWaiter{m: m}
+}
+
+// putWaiter recycles a waiter whose Park has returned.
+func (m *Ceiling) putWaiter(w *pcpWaiter) {
+	w.tx = nil
+	w.tok.Reset()
+	m.freeWaiters = append(m.freeWaiters, w)
 }
 
 // ReleaseAll implements Manager.
 func (m *Ceiling) ReleaseAll(tx *TxState) {
-	// Sorted iteration keeps the journal's release order deterministic.
-	affected := make([]ObjectID, 0, len(tx.held))
-	for obj := range tx.held {
-		affected = append(affected, obj)
-	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
-	for _, obj := range affected {
-		delete(tx.held, obj)
-		emitRelease(m.k, m.jsite, tx, obj)
-		l := m.locks[obj]
+	// tx.held is sorted by object id, keeping the journal's release
+	// order deterministic.
+	for i := range tx.held {
+		obj := tx.held[i].obj
+		m.pr.emitRelease(m.k, m.jsite, tx, obj)
+		l := m.lockAt(obj)
 		if l == nil {
 			continue
 		}
-		delete(l.holders, tx)
+		if i := l.find(tx); i >= 0 {
+			if l.holders[i].mode == Write {
+				l.writers--
+			}
+			last := len(l.holders) - 1
+			l.holders[i] = l.holders[last]
+			l.holders[last] = lockHolder{}
+			l.holders = l.holders[:last]
+		}
 		if len(l.holders) == 0 {
-			delete(m.locks, obj)
+			m.detachLock(l)
 		}
 	}
+	tx.clearHeld()
 	m.emitCeilingChange()
 	m.graph.dropHolder(tx)
 	m.processBlocked()
 }
 
+// detachLock removes l from the locked-object list and recycles it.
+func (m *Ceiling) detachLock(l *pcpLock) {
+	m.locks[l.obj] = nil
+	last := len(m.lockedObjs) - 1
+	if l.lockedIdx != last {
+		moved := m.lockedObjs[last]
+		m.lockedObjs[l.lockedIdx] = moved
+		m.locks[moved].lockedIdx = l.lockedIdx
+	}
+	m.lockedObjs = m.lockedObjs[:last]
+	l.holders = l.holders[:0]
+	l.writers = 0
+	m.freeLocks = append(m.freeLocks, l)
+}
+
 // WriteCeiling returns the current write-priority ceiling of obj.
 func (m *Ceiling) WriteCeiling(obj ObjectID) sim.Priority {
-	ceil := sim.MinPriority
-	//rtlint:allow maprange commutative Max fold over base priorities, no side effects
-	for t := range m.writers[obj] {
-		ceil = ceil.Max(t.Base)
+	if int(obj) >= len(m.ceilW) {
+		return sim.MinPriority
 	}
-	return ceil
+	return m.ceilW[obj]
 }
 
 // AbsCeiling returns the current absolute-priority ceiling of obj.
 func (m *Ceiling) AbsCeiling(obj ObjectID) sim.Priority {
-	ceil := m.WriteCeiling(obj)
-	//rtlint:allow maprange commutative Max fold over base priorities, no side effects
-	for t := range m.readers[obj] {
-		ceil = ceil.Max(t.Base)
+	if int(obj) >= len(m.ceilA) {
+		return sim.MinPriority
 	}
-	return ceil
+	return m.ceilA[obj]
 }
 
 // RWCeiling returns the dynamic rw-priority ceiling of a locked object:
 // the absolute ceiling if write-locked, the write ceiling if read-locked,
 // and MinPriority if unlocked.
 func (m *Ceiling) RWCeiling(obj ObjectID) sim.Priority {
-	l := m.locks[obj]
+	l := m.lockAt(obj)
 	if l == nil || len(l.holders) == 0 {
 		return sim.MinPriority
 	}
-	if m.exclusive {
+	if m.exclusive || l.writers > 0 {
 		return m.AbsCeiling(obj)
-	}
-	//rtlint:allow maprange any-write detection; result is the same whichever holder is seen first
-	for _, mode := range l.holders {
-		if mode == Write {
-			return m.AbsCeiling(obj)
-		}
 	}
 	return m.WriteCeiling(obj)
 }
@@ -249,7 +407,7 @@ func (m *Ceiling) RWCeiling(obj ObjectID) sim.Priority {
 func (m *Ceiling) Waiting() int { return len(m.blocked) }
 
 // LockedObjects reports how many objects are currently locked.
-func (m *Ceiling) LockedObjects() int { return len(m.locks) }
+func (m *Ceiling) LockedObjects() int { return len(m.lockedObjs) }
 
 // grantable applies the ceiling test: tx's assigned priority must be
 // strictly higher than every rw-ceiling among objects locked by other
@@ -257,7 +415,7 @@ func (m *Ceiling) LockedObjects() int { return len(m.locks) }
 // the ceiling test (the requester's own registration contributes to the
 // ceilings) but checked anyway as a safety net.
 func (m *Ceiling) grantable(tx *TxState, obj ObjectID, mode Mode) bool {
-	if holdersOf(m.locks[obj], tx, mode) {
+	if pcpConflict(m.lockAt(obj), tx, mode) {
 		return false
 	}
 	if testCeilingBypass != nil && testCeilingBypass(tx.ID) {
@@ -291,12 +449,12 @@ func SetCeilingBypassForTest(f func(txID int64) bool) { testCeilingBypass = f }
 func (m *Ceiling) maxOtherCeiling(tx *TxState) (sim.Priority, bool) {
 	ceil := sim.MinPriority
 	any := false
-	//rtlint:allow maprange commutative Max fold plus an existence flag, no side effects
-	for obj, l := range m.locks {
-		if _, mine := l.holders[tx]; mine {
-			continue
-		}
-		if !lockedByOther(l, tx) {
+	// Commutative Max fold: lockedObjs order is irrelevant. Every entry
+	// has at least one holder, so an object tx does not hold is locked
+	// by another transaction by construction.
+	for _, obj := range m.lockedObjs {
+		l := m.locks[obj]
+		if l.holdsTx(tx) {
 			continue
 		}
 		any = true
@@ -313,17 +471,12 @@ func (m *Ceiling) maxOtherCeiling(tx *TxState) (sim.Priority, bool) {
 func (m *Ceiling) blameFor(tx *TxState, obj ObjectID, mode Mode) []*TxState {
 	best := sim.MinPriority
 	bestObj := ObjectID(-1)
-	objs := make([]ObjectID, 0, len(m.locks))
-	for obj := range m.locks {
-		objs = append(objs, obj)
-	}
-	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	objs := append(m.scratchObjs[:0], m.lockedObjs...)
+	m.scratchObjs = objs[:0]
+	sortObjIDs(objs)
 	for _, obj := range objs {
 		l := m.locks[obj]
-		if _, mine := l.holders[tx]; mine {
-			continue
-		}
-		if !lockedByOther(l, tx) {
+		if l.holdsTx(tx) {
 			continue
 		}
 		c := m.RWCeiling(obj)
@@ -337,54 +490,71 @@ func (m *Ceiling) blameFor(tx *TxState, obj ObjectID, mode Mode) []*TxState {
 		// the requested object (possible when the requester shares a
 		// read lock it now wants to upgrade, or when ceilings moved
 		// between test and re-test). Blame the conflicting holders.
-		if l := m.locks[obj]; l != nil {
-			var blamed []*TxState
-			for h, hm := range l.holders {
-				if h != tx && !compatible(hm, mode) {
-					blamed = append(blamed, h)
+		if l := m.lockAt(obj); l != nil {
+			blamed := m.scratchBlame[:0]
+			for _, h := range l.holders {
+				if h.tx != tx && !compatible(h.mode, mode) {
+					blamed = append(blamed, h.tx)
 				}
 			}
-			sort.Slice(blamed, func(i, j int) bool { return blamed[i].ID < blamed[j].ID })
+			m.scratchBlame = blamed
+			sortTxByID(blamed)
 			return blamed
 		}
 		return nil
 	}
-	var blamed []*TxState
-	for h := range m.locks[bestObj].holders {
-		if h != tx {
-			blamed = append(blamed, h)
+	l := m.locks[bestObj]
+	blamed := m.scratchBlame[:0]
+	for _, h := range l.holders {
+		if h.tx != tx {
+			blamed = append(blamed, h.tx)
 		}
 	}
-	sort.Slice(blamed, func(i, j int) bool { return blamed[i].ID < blamed[j].ID })
+	m.scratchBlame = blamed
+	sortTxByID(blamed)
 	return blamed
 }
 
 func (m *Ceiling) grant(tx *TxState, obj ObjectID, mode Mode) {
+	m.growTo(obj)
 	l := m.locks[obj]
 	if l == nil {
-		l = &pcpLock{holders: make(map[*TxState]Mode)}
+		if n := len(m.freeLocks); n > 0 {
+			l = m.freeLocks[n-1]
+			m.freeLocks[n-1] = nil
+			m.freeLocks = m.freeLocks[:n-1]
+		} else {
+			l = &pcpLock{}
+		}
+		l.obj = obj
+		l.lockedIdx = len(m.lockedObjs)
+		m.lockedObjs = append(m.lockedObjs, obj)
 		m.locks[obj] = l
 	}
-	if cur, ok := l.holders[tx]; !ok || mode == Write && cur == Read {
-		l.holders[tx] = mode
+	if i := l.find(tx); i < 0 {
+		l.holders = append(l.holders, lockHolder{tx: tx, mode: mode})
+		if mode == Write {
+			l.writers++
+		}
+	} else if mode == Write && l.holders[i].mode == Read {
+		l.holders[i].mode = Write
+		l.writers++
 	}
-	if cur, ok := tx.held[obj]; !ok || mode == Write && cur == Read {
-		tx.held[obj] = mode
-	}
-	emitGrant(m.k, m.jsite, tx, obj, mode)
+	tx.setHeld(obj, mode)
+	m.pr.emitGrant(m.k, m.jsite, tx, obj, mode)
 	m.emitCeilingChange()
 }
 
 // emitCeilingChange journals the system ceiling — the highest rw-ceiling
-// over all locked objects — whenever it moves. Folding Max over the lock
-// map is order-independent, so the record stream stays deterministic.
+// over all locked objects — whenever it moves. Folding Max over the
+// locked-object list is order-independent, so the record stream stays
+// deterministic.
 func (m *Ceiling) emitCeilingChange() {
 	if m.k.Journal() == nil {
 		return
 	}
 	ceil := sim.MinPriority
-	//rtlint:allow maprange commutative Max fold; RWCeiling reads lock state without mutating it
-	for obj := range m.locks {
+	for _, obj := range m.lockedObjs {
 		ceil = ceil.Max(m.RWCeiling(obj))
 	}
 	if m.ceilInit && ceil == m.lastCeil {
@@ -419,20 +589,12 @@ func (m *Ceiling) processBlocked() {
 	}
 	for _, w := range m.blocked {
 		blamed := m.blameFor(w.tx, w.obj, w.mode)
-		emitBlame(m.k, m.jsite, w.tx, w.obj, blamed, !holdersOf(m.locks[w.obj], w.tx, w.mode))
+		m.pr.emitBlame(m.k, m.jsite, w.tx, w.obj, blamed, !pcpConflict(m.lockAt(w.obj), w.tx, w.mode))
 		m.graph.setBlame(w.tx, blamed)
 	}
 }
 
-func (m *Ceiling) orderBlocked() {
-	sort.SliceStable(m.blocked, func(i, j int) bool {
-		a, b := m.blocked[i], m.blocked[j]
-		if a.tx.Eff() != b.tx.Eff() {
-			return a.tx.Eff().Higher(b.tx.Eff())
-		}
-		return a.seq < b.seq
-	})
-}
+func (m *Ceiling) orderBlocked() { sortPCPWaiters(m.blocked) }
 
 func (m *Ceiling) dropWaiter(w *pcpWaiter) {
 	for i, q := range m.blocked {
@@ -447,45 +609,16 @@ func (m *Ceiling) dropWaiter(w *pcpWaiter) {
 	m.processBlocked()
 }
 
-// holdersOf reports whether l has a holder other than tx whose mode
+// pcpConflict reports whether l has a holder other than tx whose mode
 // conflicts with mode.
-func holdersOf(l *pcpLock, tx *TxState, mode Mode) bool {
+func pcpConflict(l *pcpLock, tx *TxState, mode Mode) bool {
 	if l == nil {
 		return false
 	}
-	for h, hm := range l.holders {
-		if h != tx && !compatible(hm, mode) {
+	for _, h := range l.holders {
+		if h.tx != tx && !compatible(h.mode, mode) {
 			return true
 		}
 	}
 	return false
-}
-
-func lockedByOther(l *pcpLock, tx *TxState) bool {
-	for h := range l.holders {
-		if h != tx {
-			return true
-		}
-	}
-	return false
-}
-
-func addSet(m map[ObjectID]map[*TxState]struct{}, obj ObjectID, tx *TxState) {
-	s, ok := m[obj]
-	if !ok {
-		s = make(map[*TxState]struct{})
-		m[obj] = s
-	}
-	s[tx] = struct{}{}
-}
-
-func delSet(m map[ObjectID]map[*TxState]struct{}, obj ObjectID, tx *TxState) {
-	s, ok := m[obj]
-	if !ok {
-		return
-	}
-	delete(s, tx)
-	if len(s) == 0 {
-		delete(m, obj)
-	}
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"rtlock/internal/sim"
 )
 
@@ -14,9 +12,10 @@ import (
 // like ordinary priority 2PL, avoiding the wasted work of an abort the
 // requester didn't need.
 type TwoPLCond struct {
-	k       *sim.Kernel
-	entries map[ObjectID]*lockEntry
-	seq     uint64
+	k     *sim.Kernel
+	pr    lockProbes
+	table lockTable
+	seq   uint64
 
 	// Wounds counts holder aborts; Spared counts conflicts where the
 	// requester chose to wait instead.
@@ -28,7 +27,7 @@ var _ Manager = (*TwoPLCond)(nil)
 
 // NewTwoPLCond returns the conditional-restart scheme.
 func NewTwoPLCond(k *sim.Kernel) *TwoPLCond {
-	return &TwoPLCond{k: k, entries: make(map[ObjectID]*lockEntry)}
+	return &TwoPLCond{k: k, pr: newLockProbes(k)}
 }
 
 // Name implements Manager.
@@ -42,12 +41,12 @@ func (m *TwoPLCond) Unregister(tx *TxState) {}
 
 // Acquire implements Manager.
 func (m *TwoPLCond) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
-	emitRequest(m.k, 0, tx, obj, mode)
-	if held, ok := tx.held[obj]; ok && (held == Write || mode == Read) {
-		emitGrant(m.k, 0, tx, obj, mode)
+	m.pr.emitRequest(m.k, 0, tx, obj, mode)
+	if held, ok := tx.Holds(obj); ok && (held == Write || mode == Read) {
+		m.pr.emitGrant(m.k, 0, tx, obj, mode)
 		return nil
 	}
-	e := m.entry(obj)
+	e := m.table.get(obj)
 	conflicts := conflictingHolders(e, tx, mode)
 	if len(conflicts) == 0 && m.admissible(e, tx) {
 		m.grant(e, tx, obj, mode)
@@ -66,17 +65,22 @@ func (m *TwoPLCond) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) e
 			continue
 		}
 		m.Wounds++
-		emitWound(m.k, 0, h, tx)
+		m.pr.emitWound(m.k, 0, h, tx)
 		h.RequestWound(ErrRestart)
 	}
 	m.seq++
-	w := &lockWaiter{tx: tx, obj: obj, mode: mode, tok: &sim.Token{}, seq: m.seq}
+	w := m.table.getWaiter()
+	if w.drop == nil {
+		w.drop = m.dropWaiter
+	}
+	w.tx, w.obj, w.mode, w.seq, w.e = tx, obj, mode, m.seq, e
 	e.queue = append(e.queue, w)
-	emitBlock(m.k, 0, tx, obj, conflicts, false)
+	m.pr.emitBlock(m.k, 0, tx, obj, conflicts, false)
 	tx.noteBlocked(m.k.Now(), conflicts)
-	w.tok.OnCancel = func() { m.dropWaiter(e, w) }
-	err := p.Park(w.tok)
-	observeUnblocked(m.k, tx)
+	w.tok.SetCancel(lockWaiterCancel, w)
+	err := p.Park(&w.tok)
+	m.pr.observeUnblocked(m.k, tx)
+	m.table.putWaiter(w)
 	return err
 }
 
@@ -85,39 +89,30 @@ func (m *TwoPLCond) ReleaseAll(tx *TxState) {
 	if len(tx.held) == 0 {
 		return
 	}
-	affected := make([]ObjectID, 0, len(tx.held))
-	for obj := range tx.held {
-		affected = append(affected, obj)
-	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
-	for _, obj := range affected {
-		delete(tx.held, obj)
-		emitRelease(m.k, 0, tx, obj)
-		if e := m.entries[obj]; e != nil {
-			delete(e.holders, tx)
+	// tx.held is sorted by object id, keeping release order
+	// deterministic.
+	for i := range tx.held {
+		obj := tx.held[i].obj
+		m.pr.emitRelease(m.k, 0, tx, obj)
+		if e := m.table.at(obj); e != nil {
+			e.removeHolder(tx)
 		}
 	}
-	for _, obj := range affected {
-		m.processQueue(obj)
+	for i := range tx.held {
+		m.processQueue(tx.held[i].obj)
 	}
+	tx.clearHeld()
 }
 
 // Waiting reports parked lock waiters, for tests.
 func (m *TwoPLCond) Waiting() int {
 	n := 0
-	for _, e := range m.entries {
-		n += len(e.queue)
+	for _, e := range m.table.entries {
+		if e != nil {
+			n += len(e.queue)
+		}
 	}
 	return n
-}
-
-func (m *TwoPLCond) entry(obj ObjectID) *lockEntry {
-	e, ok := m.entries[obj]
-	if !ok {
-		e = &lockEntry{holders: make(map[*TxState]Mode)}
-		m.entries[obj] = e
-	}
-	return e
 }
 
 func (m *TwoPLCond) admissible(e *lockEntry, tx *TxState) bool {
@@ -130,27 +125,17 @@ func (m *TwoPLCond) admissible(e *lockEntry, tx *TxState) bool {
 }
 
 func (m *TwoPLCond) grant(e *lockEntry, tx *TxState, obj ObjectID, mode Mode) {
-	if cur, ok := e.holders[tx]; !ok || mode == Write && cur == Read {
-		e.holders[tx] = mode
-	}
-	if cur, ok := tx.held[obj]; !ok || mode == Write && cur == Read {
-		tx.held[obj] = mode
-	}
-	emitGrant(m.k, 0, tx, obj, mode)
+	e.setHolder(tx, mode)
+	tx.setHeld(obj, mode)
+	m.pr.emitGrant(m.k, 0, tx, obj, mode)
 }
 
 func (m *TwoPLCond) processQueue(obj ObjectID) {
-	e := m.entries[obj]
+	e := m.table.at(obj)
 	if e == nil {
 		return
 	}
-	sort.SliceStable(e.queue, func(i, j int) bool {
-		a, b := e.queue[i], e.queue[j]
-		if a.tx.Eff() != b.tx.Eff() {
-			return a.tx.Eff().Higher(b.tx.Eff())
-		}
-		return a.seq < b.seq
-	})
+	sortWaitersByPrio(e.queue)
 	granted := 0
 	for _, w := range e.queue {
 		if holdersConflict(e, w.tx, w.mode) {
@@ -162,7 +147,7 @@ func (m *TwoPLCond) processQueue(obj ObjectID) {
 	}
 	e.queue = e.queue[granted:]
 	if len(e.holders) == 0 && len(e.queue) == 0 {
-		delete(m.entries, obj)
+		m.table.drop(e)
 	}
 }
 

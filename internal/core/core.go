@@ -100,14 +100,32 @@ type TxState struct {
 	BlockedTime  sim.Duration
 	// BlockedBy records the distinct lower-priority transactions that
 	// ever directly blocked this one; the ceiling protocol's
-	// block-at-most-once property bounds its size.
+	// block-at-most-once property bounds its size. Allocated lazily on
+	// the first qualifying block (most transactions are never blocked).
 	BlockedBy map[int64]struct{}
 
 	eff        sim.Priority
-	held       map[ObjectID]Mode
+	held       []heldLock
 	blockStart sim.Time
 	blocked    bool
 	wounded    error
+
+	// igBlockedOn / igWaiters are this transaction's edges in its
+	// manager's priority-inheritance graph (inherit.go), id-sorted. They
+	// live here instead of in pointer-keyed maps because graph updates
+	// are hot-path work and every TxState belongs to exactly one
+	// manager (distributed sites build their own cohort states).
+	igBlockedOn []*TxState
+	igWaiters   []*TxState
+}
+
+// heldLock is one entry of a transaction's held-lock set, kept sorted by
+// object id so release iteration is deterministic without per-release
+// sorting. The sets are small (a transaction's access set), so lookups
+// scan linearly.
+type heldLock struct {
+	obj  ObjectID
+	mode Mode
 }
 
 // NewTxState returns transaction state with the given identity and
@@ -115,13 +133,36 @@ type TxState struct {
 // before Register.
 func NewTxState(id int64, base sim.Priority, p *sim.Proc) *TxState {
 	return &TxState{
-		ID:        id,
-		Base:      base,
-		Proc:      p,
-		BlockedBy: make(map[int64]struct{}),
-		eff:       base,
-		held:      make(map[ObjectID]Mode),
+		ID:   id,
+		Base: base,
+		Proc: p,
+		eff:  base,
 	}
+}
+
+// ResetFor prepares a pooled transaction state for a fresh attempt,
+// equivalent to NewTxState plus zeroed statistics. Only legal once the
+// state has fully left its manager — released, unregistered, no parked
+// waits — so the held-lock set and inheritance-graph edges are already
+// empty and truncation just keeps their capacity.
+func (t *TxState) ResetFor(id int64, base sim.Priority, p *sim.Proc) {
+	t.ID = id
+	t.Base = base
+	t.Proc = p
+	t.ReadSet = nil
+	t.WriteSet = nil
+	t.OnPrioChange = nil
+	t.Estimate = 0
+	t.BlockedCount = 0
+	t.BlockedTime = 0
+	clear(t.BlockedBy)
+	t.eff = base
+	t.held = t.held[:0]
+	t.blockStart = 0
+	t.blocked = false
+	t.wounded = nil
+	t.igBlockedOn = t.igBlockedOn[:0]
+	t.igWaiters = t.igWaiters[:0]
 }
 
 // Eff returns the current effective (possibly inherited) priority.
@@ -129,9 +170,35 @@ func (t *TxState) Eff() sim.Priority { return t.eff }
 
 // Holds reports the mode in which t holds obj, if any.
 func (t *TxState) Holds(obj ObjectID) (Mode, bool) {
-	m, ok := t.held[obj]
-	return m, ok
+	for i := range t.held {
+		if t.held[i].obj == obj {
+			return t.held[i].mode, true
+		}
+	}
+	return 0, false
 }
+
+// setHeld records obj as held in mode, inserting in object order or
+// upgrading Read to Write; weaker re-acquisitions are ignored.
+func (t *TxState) setHeld(obj ObjectID, mode Mode) {
+	i := 0
+	for i < len(t.held) && t.held[i].obj < obj {
+		i++
+	}
+	if i < len(t.held) && t.held[i].obj == obj {
+		if mode == Write && t.held[i].mode == Read {
+			t.held[i].mode = Write
+		}
+		return
+	}
+	t.held = append(t.held, heldLock{})
+	copy(t.held[i+1:], t.held[i:])
+	t.held[i] = heldLock{obj: obj, mode: mode}
+}
+
+// clearHeld empties the held set (keeping its capacity for the next
+// attempt that reuses this TxState).
+func (t *TxState) clearHeld() { t.held = t.held[:0] }
 
 // HeldCount returns the number of locks currently held.
 func (t *TxState) HeldCount() int { return len(t.held) }
@@ -164,6 +231,9 @@ func (t *TxState) noteBlocked(now sim.Time, blamed []*TxState) {
 	t.blocked = true
 	for _, h := range blamed {
 		if h.Base.Lower(t.Base) {
+			if t.BlockedBy == nil {
+				t.BlockedBy = make(map[int64]struct{})
+			}
 			t.BlockedBy[h.ID] = struct{}{}
 		}
 	}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"rtlock/internal/sim"
 )
 
@@ -19,9 +17,10 @@ import (
 // the price of wasted and redone work — the trade-off the paper's §5
 // raises when discussing preemption for real-time transactions.
 type TwoPLHP struct {
-	k       *sim.Kernel
-	entries map[ObjectID]*lockEntry
-	seq     uint64
+	k     *sim.Kernel
+	pr    lockProbes
+	table lockTable
+	seq   uint64
 
 	// Wounds counts holder aborts issued, for reports and tests.
 	Wounds int
@@ -31,7 +30,7 @@ var _ Manager = (*TwoPLHP)(nil)
 
 // NewTwoPLHP returns the High-Priority scheme.
 func NewTwoPLHP(k *sim.Kernel) *TwoPLHP {
-	return &TwoPLHP{k: k, entries: make(map[ObjectID]*lockEntry)}
+	return &TwoPLHP{k: k, pr: newLockProbes(k)}
 }
 
 // Name implements Manager.
@@ -45,12 +44,12 @@ func (m *TwoPLHP) Unregister(tx *TxState) {}
 
 // Acquire implements Manager.
 func (m *TwoPLHP) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
-	emitRequest(m.k, 0, tx, obj, mode)
-	if held, ok := tx.held[obj]; ok && (held == Write || mode == Read) {
-		emitGrant(m.k, 0, tx, obj, mode)
+	m.pr.emitRequest(m.k, 0, tx, obj, mode)
+	if held, ok := tx.Holds(obj); ok && (held == Write || mode == Read) {
+		m.pr.emitGrant(m.k, 0, tx, obj, mode)
 		return nil
 	}
-	e := m.entry(obj)
+	e := m.table.get(obj)
 	conflicts := conflictingHolders(e, tx, mode)
 	if len(conflicts) == 0 && m.admissible(e, tx) {
 		m.grant(e, tx, obj, mode)
@@ -62,18 +61,23 @@ func (m *TwoPLHP) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 	for _, h := range conflicts {
 		if h.Eff().Lower(tx.Eff()) {
 			m.Wounds++
-			emitWound(m.k, 0, h, tx)
+			m.pr.emitWound(m.k, 0, h, tx)
 			h.RequestWound(ErrRestart)
 		}
 	}
 	m.seq++
-	w := &lockWaiter{tx: tx, obj: obj, mode: mode, tok: &sim.Token{}, seq: m.seq}
+	w := m.table.getWaiter()
+	if w.drop == nil {
+		w.drop = m.dropWaiter
+	}
+	w.tx, w.obj, w.mode, w.seq, w.e = tx, obj, mode, m.seq, e
 	e.queue = append(e.queue, w)
-	emitBlock(m.k, 0, tx, obj, conflicts, false)
+	m.pr.emitBlock(m.k, 0, tx, obj, conflicts, false)
 	tx.noteBlocked(m.k.Now(), conflicts)
-	w.tok.OnCancel = func() { m.dropWaiter(e, w) }
-	err := p.Park(w.tok)
-	observeUnblocked(m.k, tx)
+	w.tok.SetCancel(lockWaiterCancel, w)
+	err := p.Park(&w.tok)
+	m.pr.observeUnblocked(m.k, tx)
+	m.table.putWaiter(w)
 	return err
 }
 
@@ -82,39 +86,30 @@ func (m *TwoPLHP) ReleaseAll(tx *TxState) {
 	if len(tx.held) == 0 {
 		return
 	}
-	affected := make([]ObjectID, 0, len(tx.held))
-	for obj := range tx.held {
-		affected = append(affected, obj)
-	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
-	for _, obj := range affected {
-		delete(tx.held, obj)
-		emitRelease(m.k, 0, tx, obj)
-		if e := m.entries[obj]; e != nil {
-			delete(e.holders, tx)
+	// tx.held is sorted by object id, keeping release order
+	// deterministic.
+	for i := range tx.held {
+		obj := tx.held[i].obj
+		m.pr.emitRelease(m.k, 0, tx, obj)
+		if e := m.table.at(obj); e != nil {
+			e.removeHolder(tx)
 		}
 	}
-	for _, obj := range affected {
-		m.processQueue(obj)
+	for i := range tx.held {
+		m.processQueue(tx.held[i].obj)
 	}
+	tx.clearHeld()
 }
 
 // Waiting reports parked lock waiters, for tests.
 func (m *TwoPLHP) Waiting() int {
 	n := 0
-	for _, e := range m.entries {
-		n += len(e.queue)
+	for _, e := range m.table.entries {
+		if e != nil {
+			n += len(e.queue)
+		}
 	}
 	return n
-}
-
-func (m *TwoPLHP) entry(obj ObjectID) *lockEntry {
-	e, ok := m.entries[obj]
-	if !ok {
-		e = &lockEntry{holders: make(map[*TxState]Mode)}
-		m.entries[obj] = e
-	}
-	return e
 }
 
 // admissible: a new compatible request may jump only strictly
@@ -129,27 +124,17 @@ func (m *TwoPLHP) admissible(e *lockEntry, tx *TxState) bool {
 }
 
 func (m *TwoPLHP) grant(e *lockEntry, tx *TxState, obj ObjectID, mode Mode) {
-	if cur, ok := e.holders[tx]; !ok || mode == Write && cur == Read {
-		e.holders[tx] = mode
-	}
-	if cur, ok := tx.held[obj]; !ok || mode == Write && cur == Read {
-		tx.held[obj] = mode
-	}
-	emitGrant(m.k, 0, tx, obj, mode)
+	e.setHolder(tx, mode)
+	tx.setHeld(obj, mode)
+	m.pr.emitGrant(m.k, 0, tx, obj, mode)
 }
 
 func (m *TwoPLHP) processQueue(obj ObjectID) {
-	e := m.entries[obj]
+	e := m.table.at(obj)
 	if e == nil {
 		return
 	}
-	sort.SliceStable(e.queue, func(i, j int) bool {
-		a, b := e.queue[i], e.queue[j]
-		if a.tx.Eff() != b.tx.Eff() {
-			return a.tx.Eff().Higher(b.tx.Eff())
-		}
-		return a.seq < b.seq
-	})
+	sortWaitersByPrio(e.queue)
 	granted := 0
 	for _, w := range e.queue {
 		if holdersConflict(e, w.tx, w.mode) {
@@ -161,7 +146,7 @@ func (m *TwoPLHP) processQueue(obj ObjectID) {
 	}
 	e.queue = e.queue[granted:]
 	if len(e.holders) == 0 && len(e.queue) == 0 {
-		delete(m.entries, obj)
+		m.table.drop(e)
 	}
 }
 
@@ -179,11 +164,12 @@ func (m *TwoPLHP) dropWaiter(e *lockEntry, w *lockWaiter) {
 // requested mode, in deterministic order.
 func conflictingHolders(e *lockEntry, tx *TxState, mode Mode) []*TxState {
 	var out []*TxState
-	for h, hm := range e.holders {
-		if h != tx && !compatible(hm, mode) {
-			out = append(out, h)
+	for i := range e.holders {
+		h := &e.holders[i]
+		if h.tx != tx && !compatible(h.mode, mode) {
+			out = append(out, h.tx)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sortTxByID(out)
 	return out
 }

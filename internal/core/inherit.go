@@ -7,114 +7,158 @@ import "sort"
 // transitive) blocking chain: a holder executes at the highest effective
 // priority of the transactions it blocks, and if the holder is itself
 // blocked, its own blockers inherit in turn.
+//
+// Edge sets are kept as slices sorted by transaction id. The sorted order
+// is not a luxury: the recompute walk cuts waits-for cycles with a
+// visited set, so traversal order is observable (it decides where a cycle
+// is cut and in which order effective priorities move, which reaches CPU
+// requeueing). The adjacency lives directly on TxState (igBlockedOn /
+// igWaiters) rather than in pointer-keyed maps: every transaction state
+// belongs to exactly one manager — distributed runs give each site's
+// cohort its own TxState — and the graph's edge updates were the hottest
+// map traffic in exploration profiles.
 type inheritGraph struct {
-	// blockedOn[w] is the set of holders currently blamed for w's wait.
-	blockedOn map[*TxState]map[*TxState]struct{}
-	// waiters[h] is the inverse: transactions currently blocked by h.
-	waiters map[*TxState]map[*TxState]struct{}
+	// freeSets recycles blame-set slices; a slice is reachable only
+	// through one transaction's igBlockedOn at a time, so reuse cannot
+	// alias.
+	freeSets [][]*TxState
+	// visited is the reused recursion guard for recompute (blocking
+	// chains are short; linear scan beats a map).
+	visited []*TxState
 }
 
 func newInheritGraph() *inheritGraph {
-	return &inheritGraph{
-		blockedOn: make(map[*TxState]map[*TxState]struct{}),
-		waiters:   make(map[*TxState]map[*TxState]struct{}),
+	return &inheritGraph{}
+}
+
+func (g *inheritGraph) getSet() []*TxState {
+	if n := len(g.freeSets); n > 0 {
+		s := g.freeSets[n-1]
+		g.freeSets[n-1] = nil
+		g.freeSets = g.freeSets[:n-1]
+		return s[:0]
 	}
+	return nil
+}
+
+func (g *inheritGraph) putSet(s []*TxState) {
+	if s == nil {
+		return
+	}
+	for i := range s {
+		s[i] = nil
+	}
+	g.freeSets = append(g.freeSets, s[:0])
+}
+
+// insertTx adds t to an id-sorted set, keeping order; no-op if present.
+func insertTx(s []*TxState, t *TxState) []*TxState {
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID >= t.ID })
+	for j := i; j < len(s) && s[j].ID == t.ID; j++ {
+		if s[j] == t {
+			return s
+		}
+	}
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = t
+	return s
+}
+
+// deleteTx removes t from an id-sorted set, keeping order.
+func deleteTx(s []*TxState, t *TxState) []*TxState {
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID >= t.ID })
+	for ; i < len(s) && s[i].ID == t.ID; i++ {
+		if s[i] == t {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			return s[:len(s)-1]
+		}
+	}
+	return s
 }
 
 // setBlame replaces w's blame set with holders and recomputes effective
 // priorities of everyone affected.
 func (g *inheritGraph) setBlame(w *TxState, holders []*TxState) {
-	old := g.blockedOn[w]
-	g.clearEdges(w)
+	old := w.igBlockedOn
+	for _, h := range old {
+		h.igWaiters = deleteTx(h.igWaiters, w)
+	}
+	w.igBlockedOn = nil
 	if len(holders) > 0 {
-		set := make(map[*TxState]struct{}, len(holders))
+		set := g.getSet()
 		for _, h := range holders {
 			if h == w {
 				continue
 			}
-			set[h] = struct{}{}
-			ws, ok := g.waiters[h]
-			if !ok {
-				ws = make(map[*TxState]struct{})
-				g.waiters[h] = ws
-			}
-			ws[w] = struct{}{}
+			set = insertTx(set, h)
+			h.igWaiters = insertTx(h.igWaiters, w)
 		}
-		g.blockedOn[w] = set
-		// Recompute in id order: the propagation below cuts cycles with
-		// a visited set, so traversal order is observable (it decides
-		// where a waits-for cycle is cut and in which order effective
-		// priorities move, which reaches CPU requeueing).
-		for _, h := range sortedTxSet(set) {
-			g.recompute(h, nil)
+		w.igBlockedOn = set
+		// Recompute in id order (the set is id-sorted): the propagation
+		// below cuts cycles with a visited set, so traversal order is
+		// observable.
+		for _, h := range set {
+			g.recompute(h, false)
 		}
 	}
-	for _, h := range sortedTxSet(old) {
-		g.recompute(h, nil)
+	for _, h := range old {
+		g.recompute(h, false)
 	}
-}
-
-// sortedTxSet flattens a transaction set into id order, keeping every
-// graph walk deterministic.
-func sortedTxSet(set map[*TxState]struct{}) []*TxState {
-	out := make([]*TxState, 0, len(set))
-	for t := range set {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	g.putSet(old)
 }
 
 // clear removes w from the graph entirely (granted, aborted, or departed)
 // and recomputes the priorities of its former blockers.
 func (g *inheritGraph) clear(w *TxState) {
-	old := g.blockedOn[w]
-	g.clearEdges(w)
-	for _, h := range sortedTxSet(old) {
-		g.recompute(h, nil)
+	old := w.igBlockedOn
+	for _, h := range old {
+		h.igWaiters = deleteTx(h.igWaiters, w)
 	}
-}
-
-// clearEdges removes w's outgoing blame edges without recomputation.
-func (g *inheritGraph) clearEdges(w *TxState) {
-	for h := range g.blockedOn[w] {
-		delete(g.waiters[h], w)
-		if len(g.waiters[h]) == 0 {
-			delete(g.waiters, h)
-		}
+	w.igBlockedOn = nil
+	for _, h := range old {
+		g.recompute(h, false)
 	}
-	delete(g.blockedOn, w)
+	g.putSet(old)
 }
 
 // dropHolder removes every blame edge pointing at h (h released its
-// locks) and sheds h's inherited priority.
+// locks) and sheds h's inherited priority. The emptied waiter slice
+// stays on h, keeping its capacity for the next blocking episode.
 func (g *inheritGraph) dropHolder(h *TxState) {
-	for w := range g.waiters[h] {
-		delete(g.blockedOn[w], h)
-		if len(g.blockedOn[w]) == 0 {
-			delete(g.blockedOn, w)
-		}
+	ws := h.igWaiters
+	for _, w := range ws {
+		w.igBlockedOn = deleteTx(w.igBlockedOn, h)
 	}
-	delete(g.waiters, h)
-	g.recompute(h, nil)
+	for i := range ws {
+		ws[i] = nil
+	}
+	h.igWaiters = ws[:0]
+	g.recompute(h, false)
 }
 
 // recompute re-derives h's effective priority from its waiters and
 // propagates up the blocking chain. The visited set guards against
 // waits-for cycles (two-phase locking can deadlock; inheritance must not
-// loop forever when it does).
-func (g *inheritGraph) recompute(h *TxState, visited map[*TxState]struct{}) {
-	if visited == nil {
-		visited = make(map[*TxState]struct{})
+// loop forever when it does). nested is false at the entry point, which
+// resets the shared visited scratch.
+func (g *inheritGraph) recompute(h *TxState, nested bool) {
+	if !nested {
+		for i := range g.visited {
+			g.visited[i] = nil
+		}
+		g.visited = g.visited[:0]
 	}
-	if _, seen := visited[h]; seen {
-		return
+	for _, v := range g.visited {
+		if v == h {
+			return
+		}
 	}
-	visited[h] = struct{}{}
+	g.visited = append(g.visited, h)
 	eff := h.Base
 	// Folding Max over the waiter set is order-independent.
-	//rtlint:allow maprange commutative Max fold with no side effects
-	for w := range g.waiters[h] {
+	for _, w := range h.igWaiters {
 		eff = eff.Max(w.Eff())
 	}
 	if eff == h.Eff() {
@@ -122,9 +166,9 @@ func (g *inheritGraph) recompute(h *TxState, visited map[*TxState]struct{}) {
 	}
 	h.setEff(eff)
 	// The holder's new priority may need to flow to whoever blocks it.
-	// Recurse in id order: the shared visited set makes traversal order
-	// observable at waits-for cycles.
-	for _, b := range sortedTxSet(g.blockedOn[h]) {
-		g.recompute(b, visited)
+	// Recurse in id order (the set is id-sorted): the shared visited set
+	// makes traversal order observable at waits-for cycles.
+	for _, b := range h.igBlockedOn {
+		g.recompute(b, true)
 	}
 }

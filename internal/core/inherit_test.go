@@ -164,7 +164,7 @@ func TestTxStateAccessors(t *testing.T) {
 	if _, ok := st.Holds(3); ok {
 		t.Fatal("Holds on fresh state")
 	}
-	st.held[3] = Write
+	st.setHeld(3, Write)
 	if m, ok := st.Holds(3); !ok || m != Write {
 		t.Fatal("Holds after grant")
 	}

@@ -6,19 +6,20 @@ import (
 	"rtlock/internal/sim"
 )
 
-// Journal emission helpers shared by the lock managers. All of them are
-// no-ops when the kernel has no journal attached (Append is nil-safe),
-// so the hot paths pay only a nil check. The site parameter tags
-// records in distributed runs where several managers share one kernel;
+// Journal emission helpers shared by the lock managers, bundled with
+// the cached metric probe handles (probes.go). All of them are no-ops
+// when the kernel has no journal attached (Append is nil-safe), so the
+// hot paths pay only a nil check. The site parameter tags records in
+// distributed runs where several managers share one kernel;
 // single-site managers pass 0.
 
-func emitRequest(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, mode Mode) {
-	lockCounter(k, "lock_requests_total", "Lock acquisitions requested.").Inc()
+func (p *lockProbes) emitRequest(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, mode Mode) {
+	p.requests.Inc()
 	k.Journal().Append(int64(k.Now()), journal.KLockRequest, site, tx.ID, int32(obj), int64(mode), 0, "")
 }
 
-func emitGrant(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, mode Mode) {
-	lockCounter(k, "lock_grants_total", "Lock acquisitions granted.").Inc()
+func (p *lockProbes) emitGrant(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, mode Mode) {
+	p.grants.Inc()
 	k.Journal().Append(int64(k.Now()), journal.KLockGrant, site, tx.ID, int32(obj), int64(mode), 0, "")
 }
 
@@ -27,13 +28,14 @@ func emitGrant(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, mode Mode) 
 // specific transaction is identifiable. B carries 1 for a ceiling block
 // and 0 for a direct conflict. The blamed slice must already be in
 // deterministic order (the managers sort it by transaction id).
-func emitBlock(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, blamed []*TxState, ceiling bool) {
+func (p *lockProbes) emitBlock(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, blamed []*TxState, ceiling bool) {
 	flag := int64(0)
 	if ceiling {
+		p.blocksCeiling.Inc()
 		flag = 1
+	} else {
+		p.blocksConflict.Inc()
 	}
-	lockCounter(k, "lock_blocks_total", "Lock requests that blocked, by block kind.",
-		blockKindLabel(ceiling)).Inc()
 	if len(blamed) == 0 {
 		k.Journal().Append(int64(k.Now()), journal.KLockBlock, site, tx.ID, int32(obj), -1, flag, "")
 		return
@@ -49,7 +51,7 @@ func emitBlock(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, blamed []*T
 // same ceiling flag as emitBlock: ceiling-blocked waiters resume when
 // the system ceiling drops, so their blame is attribution rather than a
 // hard wait on the blamed holder.
-func emitBlame(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, blamed []*TxState, ceiling bool) {
+func (p *lockProbes) emitBlame(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, blamed []*TxState, ceiling bool) {
 	flag := int64(0)
 	if ceiling {
 		flag = 1
@@ -63,12 +65,12 @@ func emitBlame(k *sim.Kernel, site int32, tx *TxState, obj ObjectID, blamed []*T
 	}
 }
 
-func emitRelease(k *sim.Kernel, site int32, tx *TxState, obj ObjectID) {
-	lockCounter(k, "lock_releases_total", "Lock releases.").Inc()
+func (p *lockProbes) emitRelease(k *sim.Kernel, site int32, tx *TxState, obj ObjectID) {
+	p.releases.Inc()
 	k.Journal().Append(int64(k.Now()), journal.KLockRelease, site, tx.ID, int32(obj), 0, 0, "")
 }
 
-func emitWound(k *sim.Kernel, site int32, victim *TxState, aggressor *TxState) {
-	lockCounter(k, "lock_wounds_total", "Waiters or holders wounded by a higher-priority transaction.").Inc()
+func (p *lockProbes) emitWound(k *sim.Kernel, site int32, victim *TxState, aggressor *TxState) {
+	p.wounds.Inc()
 	k.Journal().Append(int64(k.Now()), journal.KWound, site, victim.ID, 0, aggressor.ID, 0, "")
 }

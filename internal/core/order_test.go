@@ -4,20 +4,21 @@ import (
 	"testing"
 )
 
-// TestSortedTxSetDeterministic covers the "after" half of the maprange
-// fixes in inherit.go: flattening the same transaction set repeatedly —
-// and sets built in different insertion orders — always yields ID
-// order, so the inheritance graph walks (setBlame, clear, recompute)
-// visit transactions identically on every run.
+// TestSortedTxSetDeterministic covers the invariant the inheritance
+// graph walks (setBlame, clear, recompute) depend on: edge sets built
+// with insertTx stay in ascending ID order and deduplicated regardless
+// of insertion order, so every graph traversal visits transactions
+// identically on every run.
 func TestSortedTxSetDeterministic(t *testing.T) {
 	txs := make([]*TxState, 16)
 	for i := range txs {
 		txs[i] = &TxState{ID: int64(100 - i)}
 	}
-	build := func(order []int) map[*TxState]struct{} {
-		set := make(map[*TxState]struct{})
+	build := func(order []int) []*TxState {
+		var set []*TxState
 		for _, i := range order {
-			set[txs[i]] = struct{}{}
+			set = insertTx(set, txs[i])
+			set = insertTx(set, txs[i]) // duplicate insert must be a no-op
 		}
 		return set
 	}
@@ -27,10 +28,13 @@ func TestSortedTxSetDeterministic(t *testing.T) {
 		forward[i] = i
 		backward[i] = len(txs) - 1 - i
 	}
-	ref := sortedTxSet(build(forward))
+	ref := build(forward)
+	if len(ref) != len(txs) {
+		t.Fatalf("insertTx did not deduplicate: %d entries, want %d", len(ref), len(txs))
+	}
 	for i := 1; i < len(ref); i++ {
 		if ref[i-1].ID >= ref[i].ID {
-			t.Fatalf("sortedTxSet not in ascending ID order at %d: %d >= %d", i, ref[i-1].ID, ref[i].ID)
+			t.Fatalf("insertTx set not in ascending ID order at %d: %d >= %d", i, ref[i-1].ID, ref[i].ID)
 		}
 	}
 	for trial := 0; trial < 50; trial++ {
@@ -38,7 +42,7 @@ func TestSortedTxSetDeterministic(t *testing.T) {
 		if trial%2 == 1 {
 			order = backward
 		}
-		got := sortedTxSet(build(order))
+		got := build(order)
 		if len(got) != len(ref) {
 			t.Fatalf("trial %d: length %d, want %d", trial, len(got), len(ref))
 		}
@@ -47,6 +51,25 @@ func TestSortedTxSetDeterministic(t *testing.T) {
 				t.Fatalf("trial %d: order diverged at %d: tx %d, want %d", trial, i, got[i].ID, ref[i].ID)
 			}
 		}
+	}
+	// deleteTx removes exactly the requested element and keeps order.
+	got := build(forward)
+	got = deleteTx(got, txs[7])
+	if len(got) != len(txs)-1 {
+		t.Fatalf("deleteTx: length %d, want %d", len(got), len(txs)-1)
+	}
+	for _, tx := range got {
+		if tx == txs[7] {
+			t.Fatal("deleteTx left the removed element in the set")
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID >= got[i].ID {
+			t.Fatalf("deleteTx broke ID order at %d", i)
+		}
+	}
+	if res := deleteTx(got, txs[7]); len(res) != len(got) {
+		t.Fatal("deleteTx of absent element changed the set")
 	}
 }
 

@@ -5,34 +5,52 @@ import (
 	"rtlock/internal/sim"
 )
 
-// Metrics probes for the lock managers. They piggyback on the journal
-// emission choke points (journal.go) so every protocol reports the same
-// counters without per-manager wiring; like the journal, all of them
-// are no-ops when the kernel has no registry attached.
+// Metrics probes for the lock managers. Every manager caches one
+// lockProbes at construction, so the emission choke points (journal.go)
+// update pre-resolved series handles instead of re-looking the series
+// up in the registry per event; like the journal, all handles are
+// no-ops when the kernel has no registry attached.
 
 // Histogram/counter names shared by the probes and their tests.
 const (
 	metricLockWaitTicks = "lock_wait_ticks"
 )
 
-func lockCounter(k *sim.Kernel, name, help string, labels ...metrics.Label) metrics.Counter {
-	return k.Metrics().Counter(name, help, labels...)
+// lockProbes is the per-manager bundle of cached metric handles.
+type lockProbes struct {
+	requests       metrics.Counter
+	grants         metrics.Counter
+	blocksCeiling  metrics.Counter
+	blocksConflict metrics.Counter
+	releases       metrics.Counter
+	wounds         metrics.Counter
+	waitHist       metrics.Histogram
 }
 
-// blockKindLabel distinguishes ceiling blocks from direct conflicts.
-func blockKindLabel(ceiling bool) metrics.Label {
-	if ceiling {
-		return metrics.L("kind", "ceiling")
+// newLockProbes resolves the shared lock-manager series once. Managers
+// must be constructed after the kernel's registry is attached (or the
+// handles stay no-ops, matching a metrics-less run).
+func newLockProbes(k *sim.Kernel) lockProbes {
+	m := k.Metrics()
+	return lockProbes{
+		requests: m.Counter("lock_requests_total", "Lock acquisitions requested."),
+		grants:   m.Counter("lock_grants_total", "Lock acquisitions granted."),
+		blocksCeiling: m.Counter("lock_blocks_total", "Lock requests that blocked, by block kind.",
+			metrics.L("kind", "ceiling")),
+		blocksConflict: m.Counter("lock_blocks_total", "Lock requests that blocked, by block kind.",
+			metrics.L("kind", "conflict")),
+		releases: m.Counter("lock_releases_total", "Lock releases."),
+		wounds:   m.Counter("lock_wounds_total", "Waiters or holders wounded by a higher-priority transaction."),
+		waitHist: m.Histogram(metricLockWaitTicks,
+			"Blocked-interval lengths of lock waiters, in ticks.", nil),
 	}
-	return metrics.L("kind", "conflict")
 }
 
 // observeUnblocked closes tx's blocked interval and feeds its length to
 // the lock-wait histogram. Managers call it wherever a parked waiter
 // resumes (grant, wound, restart, cancellation).
-func observeUnblocked(k *sim.Kernel, tx *TxState) {
+func (p *lockProbes) observeUnblocked(k *sim.Kernel, tx *TxState) {
 	if d := tx.noteUnblocked(k.Now()); d > 0 {
-		k.Metrics().Histogram(metricLockWaitTicks,
-			"Blocked-interval lengths of lock waiters, in ticks.", nil).Observe(int64(d))
+		p.waitHist.Observe(int64(d))
 	}
 }

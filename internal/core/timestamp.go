@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"rtlock/internal/sim"
 )
 
@@ -22,6 +20,7 @@ import (
 // restarts, never a serializability violation among committed attempts.
 type Timestamp struct {
 	k    *sim.Kernel
+	pr   lockProbes
 	next int64
 	ts   map[*TxState]int64
 	rts  map[ObjectID]int64
@@ -37,6 +36,7 @@ var _ Manager = (*Timestamp)(nil)
 func NewTimestamp(k *sim.Kernel) *Timestamp {
 	return &Timestamp{
 		k:   k,
+		pr:  newLockProbes(k),
 		ts:  make(map[*TxState]int64),
 		rts: make(map[ObjectID]int64),
 		wts: make(map[ObjectID]int64),
@@ -61,7 +61,7 @@ func (m *Timestamp) Unregister(tx *TxState) { delete(m.ts, tx) }
 // access (recording it in the timestamp table) or rejects the attempt
 // with ErrRestart.
 func (m *Timestamp) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
-	emitRequest(m.k, 0, tx, obj, mode)
+	m.pr.emitRequest(m.k, 0, tx, obj, mode)
 	t, ok := m.ts[tx]
 	if !ok {
 		// Defensive: treat an unregistered attempt as stale.
@@ -86,10 +86,8 @@ func (m *Timestamp) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) e
 	}
 	// Track the access so ReleaseAll and monitors see a consistent
 	// picture (TO holds no locks; held doubles as the access set).
-	if cur, okHeld := tx.held[obj]; !okHeld || mode == Write && cur == Read {
-		tx.held[obj] = mode
-	}
-	emitGrant(m.k, 0, tx, obj, mode)
+	tx.setHeld(obj, mode)
+	m.pr.emitGrant(m.k, 0, tx, obj, mode)
 	return nil
 }
 
@@ -97,15 +95,12 @@ func (m *Timestamp) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) e
 // transaction-local access record is cleared (in sorted order, so the
 // journal's release records stay deterministic).
 func (m *Timestamp) ReleaseAll(tx *TxState) {
-	affected := make([]ObjectID, 0, len(tx.held))
-	for obj := range tx.held {
-		affected = append(affected, obj)
+	// tx.held is sorted by object id, keeping the journal's release
+	// records deterministic.
+	for i := range tx.held {
+		m.pr.emitRelease(m.k, 0, tx, tx.held[i].obj)
 	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
-	for _, obj := range affected {
-		delete(tx.held, obj)
-		emitRelease(m.k, 0, tx, obj)
-	}
+	tx.clearHeld()
 }
 
 // ObjectTimestamps exposes the read/write timestamps of an object for

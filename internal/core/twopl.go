@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"rtlock/internal/sim"
 )
 
@@ -29,11 +27,12 @@ const (
 // waits-for cycle detection for tests and for optional detection.
 type TwoPL struct {
 	k       *sim.Kernel
+	pr      lockProbes
 	policy  QueuePolicy
 	inherit bool
 	detect  bool
 	graph   *inheritGraph
-	entries map[ObjectID]*lockEntry
+	table   lockTable
 	seq     uint64
 	name    string
 
@@ -44,29 +43,149 @@ type TwoPL struct {
 
 var _ Manager = (*TwoPL)(nil)
 
+// lockEntry is one object's lock record in the two-phase locking family.
+// Holders are a small unordered slice (every consumer either reduces
+// them to a boolean or sorts by transaction id); entries are pooled via
+// lockTable, which makes the create/drop churn of short lock lifetimes
+// allocation-free.
 type lockEntry struct {
-	holders map[*TxState]Mode
+	obj     ObjectID
+	holders []lockHolder
 	queue   []*lockWaiter
 }
 
+func (e *lockEntry) findHolder(tx *TxState) int {
+	for i := range e.holders {
+		if e.holders[i].tx == tx {
+			return i
+		}
+	}
+	return -1
+}
+
+// setHolder records tx as holding in mode, upgrading Read to Write;
+// weaker re-acquisitions are ignored.
+func (e *lockEntry) setHolder(tx *TxState, mode Mode) {
+	if i := e.findHolder(tx); i >= 0 {
+		if mode == Write && e.holders[i].mode == Read {
+			e.holders[i].mode = Write
+		}
+		return
+	}
+	e.holders = append(e.holders, lockHolder{tx: tx, mode: mode})
+}
+
+func (e *lockEntry) removeHolder(tx *TxState) {
+	if i := e.findHolder(tx); i >= 0 {
+		last := len(e.holders) - 1
+		e.holders[i] = e.holders[last]
+		e.holders[last] = lockHolder{}
+		e.holders = e.holders[:last]
+	}
+}
+
+// lockTable is an object-indexed store of lock entries with a free list.
+// An entry is reachable only through its table slot between get and
+// drop, so pooling cannot alias live state.
+type lockTable struct {
+	entries []*lockEntry
+	free    []*lockEntry
+	// freeWaiters recycles parked-waiter records (see lockWaiter).
+	freeWaiters []*lockWaiter
+}
+
+// getWaiter hands out a reset waiter from the pool. The caller must set
+// the drop hook on a fresh waiter (w.drop == nil); pooled waiters keep
+// theirs, which is constant per manager.
+func (t *lockTable) getWaiter() *lockWaiter {
+	if n := len(t.freeWaiters); n > 0 {
+		w := t.freeWaiters[n-1]
+		t.freeWaiters[n-1] = nil
+		t.freeWaiters = t.freeWaiters[:n-1]
+		return w
+	}
+	return &lockWaiter{}
+}
+
+// putWaiter recycles a waiter whose wait has fully ended (Park returned
+// or the waiter was dropped before parking).
+func (t *lockTable) putWaiter(w *lockWaiter) {
+	w.tx = nil
+	w.e = nil
+	w.tok.Reset()
+	t.freeWaiters = append(t.freeWaiters, w)
+}
+
+// at returns obj's entry, nil when absent.
+func (t *lockTable) at(obj ObjectID) *lockEntry {
+	if int(obj) >= len(t.entries) {
+		return nil
+	}
+	return t.entries[obj]
+}
+
+// get returns obj's entry, creating (from the pool) when absent.
+func (t *lockTable) get(obj ObjectID) *lockEntry {
+	for int(obj) >= len(t.entries) {
+		t.entries = append(t.entries, nil)
+	}
+	e := t.entries[obj]
+	if e == nil {
+		if n := len(t.free); n > 0 {
+			e = t.free[n-1]
+			t.free[n-1] = nil
+			t.free = t.free[:n-1]
+		} else {
+			e = &lockEntry{}
+		}
+		e.obj = obj
+		t.entries[obj] = e
+	}
+	return e
+}
+
+// drop recycles an entry that has no holders and no waiters.
+func (t *lockTable) drop(e *lockEntry) {
+	t.entries[e.obj] = nil
+	e.holders = e.holders[:0]
+	e.queue = e.queue[:0]
+	t.free = append(t.free, e)
+}
+
+// lockWaiter is one parked waiter of the two-phase locking family.
+// Waiters are pooled on the lockTable: by the time Acquire's Park
+// returns, the grant and cancel paths have both detached the waiter
+// from its queue, so recycling cannot alias a live wait. The drop hook
+// (set per manager) lets the static cancel function route back to the
+// owning manager's dropWaiter without a per-block closure; the entry
+// pointer stays valid for the waiter's whole life because entries are
+// only recycled once their queue is empty.
 type lockWaiter struct {
 	tx   *TxState
 	obj  ObjectID
 	mode Mode
-	tok  *sim.Token
+	tok  sim.Token
 	seq  uint64
+	e    *lockEntry
+	drop func(e *lockEntry, w *lockWaiter)
+}
+
+// lockWaiterCancel is the shared static cancel hook.
+func lockWaiterCancel(arg any) {
+	w := arg.(*lockWaiter)
+	w.drop(w.e, w)
 }
 
 // NewTwoPL returns protocol L: plain two-phase locking with FIFO queues
 // and no priority support.
 func NewTwoPL(k *sim.Kernel) *TwoPL {
-	return &TwoPL{k: k, policy: QueueFIFO, entries: make(map[ObjectID]*lockEntry), name: "2PL"}
+	return &TwoPL{k: k, pr: newLockProbes(k), policy: QueueFIFO, name: "2PL"}
 }
 
 // NewTwoPLPriority returns protocol P: two-phase locking with
 // priority-ordered wait queues.
 func NewTwoPLPriority(k *sim.Kernel) *TwoPL {
-	return &TwoPL{k: k, policy: QueuePriority, entries: make(map[ObjectID]*lockEntry), name: "2PL-P"}
+	return &TwoPL{k: k, pr: newLockProbes(k), policy: QueuePriority, name: "2PL-P"}
 }
 
 // NewTwoPLInherit returns two-phase locking with basic priority
@@ -77,10 +196,10 @@ func NewTwoPLPriority(k *sim.Kernel) *TwoPL {
 func NewTwoPLInherit(k *sim.Kernel) *TwoPL {
 	return &TwoPL{
 		k:       k,
+		pr:      newLockProbes(k),
 		policy:  QueuePriority,
 		inherit: true,
 		graph:   newInheritGraph(),
-		entries: make(map[ObjectID]*lockEntry),
 		name:    "2PL-PI",
 	}
 }
@@ -93,11 +212,11 @@ func NewTwoPLInherit(k *sim.Kernel) *TwoPL {
 // choice.
 func NewTwoPLDetect(k *sim.Kernel) *TwoPL {
 	return &TwoPL{
-		k:       k,
-		policy:  QueuePriority,
-		detect:  true,
-		entries: make(map[ObjectID]*lockEntry),
-		name:    "2PL-DD",
+		k:      k,
+		pr:     newLockProbes(k),
+		policy: QueuePriority,
+		detect: true,
+		name:   "2PL-DD",
 	}
 }
 
@@ -113,21 +232,25 @@ func (m *TwoPL) Unregister(tx *TxState) {}
 
 // Acquire implements Manager.
 func (m *TwoPL) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
-	emitRequest(m.k, 0, tx, obj, mode)
-	if held, ok := tx.held[obj]; ok && (held == Write || mode == Read) {
-		emitGrant(m.k, 0, tx, obj, mode)
+	m.pr.emitRequest(m.k, 0, tx, obj, mode)
+	if held, ok := tx.Holds(obj); ok && (held == Write || mode == Read) {
+		m.pr.emitGrant(m.k, 0, tx, obj, mode)
 		return nil
 	}
-	e := m.entry(obj)
+	e := m.table.get(obj)
 	if m.admissible(e, tx, mode) {
 		m.grant(e, tx, obj, mode)
 		return nil
 	}
 	m.seq++
-	w := &lockWaiter{tx: tx, obj: obj, mode: mode, tok: &sim.Token{}, seq: m.seq}
+	w := m.table.getWaiter()
+	if w.drop == nil {
+		w.drop = m.dropWaiter
+	}
+	w.tx, w.obj, w.mode, w.seq, w.e = tx, obj, mode, m.seq, e
 	e.queue = append(e.queue, w)
 	blamed := m.blameFor(e, w)
-	emitBlock(m.k, 0, tx, obj, blamed, false)
+	m.pr.emitBlock(m.k, 0, tx, obj, blamed, false)
 	tx.noteBlocked(m.k.Now(), blamed)
 	if m.inherit {
 		m.graph.setBlame(tx, blamed)
@@ -136,18 +259,20 @@ func (m *TwoPL) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error
 		if cycle := m.FindDeadlock(); len(cycle) > 0 {
 			m.DeadlocksResolved++
 			victim := lowestPriority(cycle)
-			emitWound(m.k, 0, victim, tx)
+			m.pr.emitWound(m.k, 0, victim, tx)
 			if victim == tx {
 				m.dropWaiter(e, w)
-				observeUnblocked(m.k, tx)
+				m.pr.observeUnblocked(m.k, tx)
+				m.table.putWaiter(w)
 				return ErrRestart
 			}
 			victim.RequestWound(ErrRestart)
 		}
 	}
-	w.tok.OnCancel = func() { m.dropWaiter(e, w) }
-	err := p.Park(w.tok)
-	observeUnblocked(m.k, tx)
+	w.tok.SetCancel(lockWaiterCancel, w)
+	err := p.Park(&w.tok)
+	m.pr.observeUnblocked(m.k, tx)
+	m.table.putWaiter(w)
 	return err
 }
 
@@ -168,33 +293,29 @@ func (m *TwoPL) ReleaseAll(tx *TxState) {
 	if len(tx.held) == 0 {
 		return
 	}
-	affected := make([]ObjectID, 0, len(tx.held))
-	for obj := range tx.held {
-		affected = append(affected, obj)
-	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
-	for _, obj := range affected {
-		delete(tx.held, obj)
-		emitRelease(m.k, 0, tx, obj)
-		e := m.entries[obj]
-		if e == nil {
-			continue
+	// tx.held is sorted by object id, so the release order (and the
+	// journal's release records) stays deterministic.
+	for i := range tx.held {
+		obj := tx.held[i].obj
+		m.pr.emitRelease(m.k, 0, tx, obj)
+		if e := m.table.at(obj); e != nil {
+			e.removeHolder(tx)
 		}
-		delete(e.holders, tx)
 	}
 	if m.inherit {
 		m.graph.dropHolder(tx)
 	}
-	for _, obj := range affected {
-		m.processQueue(obj)
+	for i := range tx.held {
+		m.processQueue(tx.held[i].obj)
 	}
+	tx.clearHeld()
 }
 
 // HeldLocks reports how many objects are currently locked (for tests).
 func (m *TwoPL) HeldLocks() int {
 	n := 0
-	for _, e := range m.entries {
-		if len(e.holders) > 0 {
+	for _, e := range m.table.entries {
+		if e != nil && len(e.holders) > 0 {
 			n++
 		}
 	}
@@ -204,8 +325,10 @@ func (m *TwoPL) HeldLocks() int {
 // Waiting reports how many transactions are parked in lock queues.
 func (m *TwoPL) Waiting() int {
 	n := 0
-	for _, e := range m.entries {
-		n += len(e.queue)
+	for _, e := range m.table.entries {
+		if e != nil {
+			n += len(e.queue)
+		}
 	}
 	return n
 }
@@ -214,18 +337,16 @@ func (m *TwoPL) Waiting() int {
 // the lock table is deadlock-free right now. The waits-for relation
 // follows each waiter's current blame set.
 func (m *TwoPL) FindDeadlock() []*TxState {
-	// Build edges in object order. Each waiter sits in exactly one
-	// queue, so the edge sets would come out equal either way, but map
-	// order here would still decide edge-slice ordering if a transaction
-	// ever waited twice — sort instead of relying on that invariant.
-	objs := make([]ObjectID, 0, len(m.entries))
-	for obj := range m.entries {
-		objs = append(objs, obj)
-	}
-	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	// Build edges in object order (the table is object-indexed, so the
+	// scan is naturally sorted). Each waiter sits in exactly one queue,
+	// so the edge sets would come out equal in any order, but object
+	// order also pins edge-slice ordering if a transaction ever waited
+	// twice.
 	edges := make(map[*TxState][]*TxState)
-	for _, obj := range objs {
-		e := m.entries[obj]
+	for _, e := range m.table.entries {
+		if e == nil {
+			continue
+		}
 		for _, w := range e.queue {
 			edges[w.tx] = append(edges[w.tx], m.blameFor(e, w)...)
 		}
@@ -264,10 +385,11 @@ func (m *TwoPL) FindDeadlock() []*TxState {
 	}
 	// Deterministic iteration: order roots by transaction id.
 	roots := make([]*TxState, 0, len(edges))
+	//rtlint:allow maprange roots is id-sorted by sortTxByID below before iteration
 	for t := range edges {
 		roots = append(roots, t)
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
+	sortTxByID(roots)
 	for _, t := range roots {
 		if state[t] == unvisited && visit(t) {
 			return cycle
@@ -276,23 +398,15 @@ func (m *TwoPL) FindDeadlock() []*TxState {
 	return nil
 }
 
-func (m *TwoPL) entry(obj ObjectID) *lockEntry {
-	e, ok := m.entries[obj]
-	if !ok {
-		e = &lockEntry{holders: make(map[*TxState]Mode)}
-		m.entries[obj] = e
-	}
-	return e
-}
-
 // holdersConflict reports whether any holder other than tx is
 // incompatible with mode.
 func holdersConflict(e *lockEntry, tx *TxState, mode Mode) bool {
-	for h, hm := range e.holders {
-		if h == tx {
+	for i := range e.holders {
+		h := &e.holders[i]
+		if h.tx == tx {
 			continue
 		}
-		if !compatible(hm, mode) {
+		if !compatible(h.mode, mode) {
 			return true
 		}
 	}
@@ -324,19 +438,15 @@ func (m *TwoPL) admissible(e *lockEntry, tx *TxState, mode Mode) bool {
 }
 
 func (m *TwoPL) grant(e *lockEntry, tx *TxState, obj ObjectID, mode Mode) {
-	if cur, ok := e.holders[tx]; !ok || mode == Write && cur == Read {
-		e.holders[tx] = mode
-	}
-	if cur, ok := tx.held[obj]; !ok || mode == Write && cur == Read {
-		tx.held[obj] = mode
-	}
-	emitGrant(m.k, 0, tx, obj, mode)
+	e.setHolder(tx, mode)
+	tx.setHeld(obj, mode)
+	m.pr.emitGrant(m.k, 0, tx, obj, mode)
 }
 
 // processQueue grants the maximal policy-ordered prefix of obj's queue
 // and, under inheritance, re-blames the waiters that remain blocked.
 func (m *TwoPL) processQueue(obj ObjectID) {
-	e := m.entries[obj]
+	e := m.table.at(obj)
 	if e == nil {
 		return
 	}
@@ -357,12 +467,12 @@ func (m *TwoPL) processQueue(obj ObjectID) {
 	if m.inherit {
 		for _, w := range e.queue {
 			blamed := m.blameFor(e, w)
-			emitBlame(m.k, 0, w.tx, obj, blamed, false)
+			m.pr.emitBlame(m.k, 0, w.tx, obj, blamed, false)
 			m.graph.setBlame(w.tx, blamed)
 		}
 	}
 	if len(e.holders) == 0 && len(e.queue) == 0 {
-		delete(m.entries, obj)
+		m.table.drop(e)
 	}
 }
 
@@ -373,15 +483,9 @@ func (m *TwoPL) processQueue(obj ObjectID) {
 func (m *TwoPL) orderQueue(e *lockEntry) {
 	switch m.policy {
 	case QueueFIFO:
-		sort.SliceStable(e.queue, func(i, j int) bool { return e.queue[i].seq < e.queue[j].seq })
+		sortWaitersBySeq(e.queue)
 	case QueuePriority:
-		sort.SliceStable(e.queue, func(i, j int) bool {
-			a, b := e.queue[i], e.queue[j]
-			if a.tx.Eff() != b.tx.Eff() {
-				return a.tx.Eff().Higher(b.tx.Eff())
-			}
-			return a.seq < b.seq
-		})
+		sortWaitersByPrio(e.queue)
 	}
 }
 
@@ -390,13 +494,14 @@ func (m *TwoPL) orderQueue(e *lockEntry) {
 // the conflicting waiters ahead of w.
 func (m *TwoPL) blameFor(e *lockEntry, w *lockWaiter) []*TxState {
 	var blamed []*TxState
-	for h, hm := range e.holders {
-		if h != w.tx && !compatible(hm, w.mode) {
-			blamed = append(blamed, h)
+	for i := range e.holders {
+		h := &e.holders[i]
+		if h.tx != w.tx && !compatible(h.mode, w.mode) {
+			blamed = append(blamed, h.tx)
 		}
 	}
 	if len(blamed) > 0 {
-		sort.Slice(blamed, func(i, j int) bool { return blamed[i].ID < blamed[j].ID })
+		sortTxByID(blamed)
 		return blamed
 	}
 	for _, other := range e.queue {
@@ -407,7 +512,7 @@ func (m *TwoPL) blameFor(e *lockEntry, w *lockWaiter) []*TxState {
 			blamed = append(blamed, other.tx)
 		}
 	}
-	sort.Slice(blamed, func(i, j int) bool { return blamed[i].ID < blamed[j].ID })
+	sortTxByID(blamed)
 	return blamed
 }
 

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"rtlock/internal/check"
 	"rtlock/internal/core"
@@ -294,7 +295,7 @@ type Cluster struct {
 type preparedTx struct {
 	coord   db.SiteID
 	objs    []core.ObjectID
-	timeout *sim.Event
+	timeout sim.EventRef
 	// at is when this participant became prepared (vote forced or
 	// redone), the start of its in-doubt window.
 	at sim.Time
@@ -480,9 +481,7 @@ func (c *Cluster) onCrash(siteID db.SiteID) {
 	}
 	sort.Slice(ptIDs, func(i, j int) bool { return ptIDs[i] < ptIDs[j] })
 	for _, id := range ptIDs {
-		if ev := c.prepared[siteID][id].timeout; ev != nil {
-			ev.Cancel()
-		}
+		c.prepared[siteID][id].timeout.Cancel()
 	}
 	c.prepared[siteID] = make(map[int64]*preparedTx)
 
@@ -607,7 +606,7 @@ func (c *Cluster) Load(txs []*workload.Txn) {
 				})
 				return
 			}
-			c.K.Spawn(fmt.Sprintf("tx%d", t.ID), func(p *sim.Proc) {
+			c.K.Spawn("tx"+strconv.FormatInt(t.ID, 10), func(p *sim.Proc) {
 				c.mInflight.Add(1)
 				defer c.mInflight.Add(-1)
 				if c.faultsOn {

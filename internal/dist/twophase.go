@@ -233,9 +233,7 @@ func (c *Cluster) applyDecision(siteID db.SiteID, tx int64, commit bool) {
 	c.twopcCounter("wal_forces_total", "WAL forces, by record kind.", metrics.L("kind", "decision")).Inc()
 	c.wals[siteID].AppendDecision(tx, commit)
 	c.observeInDoubt(pt)
-	if pt.timeout != nil {
-		pt.timeout.Cancel()
-	}
+	pt.timeout.Cancel()
 	delete(c.prepared[siteID], tx)
 	if commit {
 		for _, obj := range pt.objs {
@@ -363,15 +361,13 @@ func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants
 		tok := &sim.Token{}
 		tok.OnCancel = func() { delete(c.twopc, txID) }
 		col.tok = tok
-		var tev *sim.Event
+		var tev sim.EventRef
 		if c.faultsOn {
 			// Doubling backoff per retry round.
 			tev = c.K.After(base<<uint(attempt), func() { tok.Wake(errPhaseTimeout) })
 		}
 		err = p.Park(tok)
-		if tev != nil {
-			tev.Cancel()
-		}
+		tev.Cancel()
 		if err == nil {
 			break
 		}

@@ -3,6 +3,7 @@ package explore
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"rtlock/internal/audit"
 	"rtlock/internal/core"
@@ -13,6 +14,23 @@ import (
 	"rtlock/internal/txn"
 	"rtlock/internal/workload"
 )
+
+// journalPool recycles journals across schedule executions: the engine
+// runs hundreds of full simulations per exploration, and each one's
+// record buffer (thousands of records) would otherwise be regrown from
+// nothing. Reset drops the records but keeps the buffers. Pooling is
+// invisible to results — a journal's contents are a pure function of
+// the run appended into it — so worker scheduling still affects wall
+// clock only, never outcomes.
+var journalPool = sync.Pool{New: func() any { return journal.New(0, "") }}
+
+func getJournal(seed int64, config string) *journal.Journal {
+	j := journalPool.Get().(*journal.Journal)
+	j.Reset(seed, config)
+	return j
+}
+
+func putJournal(j *journal.Journal) { journalPool.Put(j) }
 
 // Exploration workloads default to small, high-contention runs: the
 // engine executes hundreds of full simulations per exploration, and
@@ -94,28 +112,33 @@ func SingleSiteTarget(o SingleSiteOpts) (Target, error) {
 	}
 	key := fmt.Sprintf("explore/single/%s/db=%d/count=%d/size=%d/ro=%g",
 		o.Proto, o.DBSize, o.Count, o.MeanSize, o.ReadOnlyFrac)
+	// The catalog and workload are pure functions of the options, so
+	// they are generated once here and shared read-only by every
+	// schedule execution: the runtime only reads Txn fields (Ops, the
+	// access sets, timing), never mutates them.
+	cat, err := db.NewCatalog(1, o.DBSize)
+	if err != nil {
+		return Target{}, err
+	}
+	load, err := workload.Generate(workload.Params{
+		Seed:             o.Seed,
+		Catalog:          cat,
+		Count:            o.Count,
+		MeanInterarrival: o.MeanInterarrival,
+		MeanSize:         o.MeanSize,
+		ReadOnlyFrac:     o.ReadOnlyFrac,
+		PerObjCost:       o.CPUPerObj + o.IOPerObj,
+		SlackMin:         4,
+		SlackMax:         8,
+	})
+	if err != nil {
+		return Target{}, err
+	}
 	return Target{
 		Name: "single/" + o.Proto,
 		Run: func(ch sim.Chooser) (*Outcome, error) {
-			cat, err := db.NewCatalog(1, o.DBSize)
-			if err != nil {
-				return nil, err
-			}
-			load, err := workload.Generate(workload.Params{
-				Seed:             o.Seed,
-				Catalog:          cat,
-				Count:            o.Count,
-				MeanInterarrival: o.MeanInterarrival,
-				MeanSize:         o.MeanSize,
-				ReadOnlyFrac:     o.ReadOnlyFrac,
-				PerObjCost:       o.CPUPerObj + o.IOPerObj,
-				SlackMin:         4,
-				SlackMax:         8,
-			})
-			if err != nil {
-				return nil, err
-			}
-			jrn := journal.New(o.Seed, key)
+			jrn := getJournal(o.Seed, key)
+			defer putJournal(jrn)
 			sys, err := txn.NewSystem(txn.Config{
 				CPUPerObj:     o.CPUPerObj,
 				IOPerObj:      o.IOPerObj,
@@ -186,10 +209,39 @@ func DistributedTarget(o DistributedOpts) (Target, error) {
 	}
 	key := fmt.Sprintf("explore/dist/%s/sites=%d/db=%d/count=%d/size=%d/ro=%g",
 		approach, o.Sites, o.DBSize, o.Count, o.MeanSize, o.ReadOnlyFrac)
+	// The workload depends only on the catalog layout, which is a pure
+	// function of (Sites, DBSize); generate it once against a throwaway
+	// cluster's catalog and share it read-only across schedules.
+	layout, err := dist.NewCluster(dist.Config{
+		Approach:  approach,
+		Sites:     o.Sites,
+		Objects:   o.DBSize,
+		CommDelay: o.CommDelay,
+		CPUPerObj: o.CPUPerObj,
+	})
+	if err != nil {
+		return Target{}, err
+	}
+	load, err := workload.Generate(workload.Params{
+		Seed:             o.Seed,
+		Catalog:          layout.Catalog,
+		Count:            o.Count,
+		MeanInterarrival: 30 * sim.Millisecond,
+		MeanSize:         o.MeanSize,
+		ReadOnlyFrac:     o.ReadOnlyFrac,
+		PerObjCost:       o.CPUPerObj,
+		SlackMin:         4,
+		SlackMax:         8,
+		LocalWriteSets:   true,
+	})
+	if err != nil {
+		return Target{}, err
+	}
 	return Target{
 		Name: "dist/" + approach.String(),
 		Run: func(ch sim.Chooser) (*Outcome, error) {
-			jrn := journal.New(o.Seed, key)
+			jrn := getJournal(o.Seed, key)
+			defer putJournal(jrn)
 			cluster, err := dist.NewCluster(dist.Config{
 				Approach:  approach,
 				Sites:     o.Sites,
@@ -202,21 +254,6 @@ func DistributedTarget(o DistributedOpts) (Target, error) {
 				return nil, err
 			}
 			cluster.K.SetChooser(ch)
-			load, err := workload.Generate(workload.Params{
-				Seed:             o.Seed,
-				Catalog:          cluster.Catalog,
-				Count:            o.Count,
-				MeanInterarrival: 30 * sim.Millisecond,
-				MeanSize:         o.MeanSize,
-				ReadOnlyFrac:     o.ReadOnlyFrac,
-				PerObjCost:       o.CPUPerObj,
-				SlackMin:         4,
-				SlackMax:         8,
-				LocalWriteSets:   true,
-			})
-			if err != nil {
-				return nil, err
-			}
 			cluster.Load(load)
 			cluster.Run()
 			return &Outcome{

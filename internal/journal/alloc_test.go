@@ -1,0 +1,49 @@
+package journal
+
+import (
+	"io"
+	"testing"
+)
+
+// TestAppendZeroAlloc is the allocation-regression gate for the journal
+// hot path: with the record buffer reserved, Append must not allocate.
+// The journal is the busiest single data structure in a journaled run
+// (every kernel, lock, and transaction event lands here), so even one
+// allocation per record would dominate the profile.
+func TestAppendZeroAlloc(t *testing.T) {
+	j := New(7, "alloc-gate")
+	const capRecords = 4096
+	j.Reserve(capRecords)
+	var at int64
+	allocs := testing.AllocsPerRun(2*capRecords, func() {
+		j.Append(at, KLockRequest, 0, at, 1, 0, 0, "")
+		at++
+		if j.Len() == capRecords {
+			j.Reset(7, "alloc-gate")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocated %.1f times per record; want 0", allocs)
+	}
+}
+
+// TestEncodeBinarySteadyStateZeroAlloc gates the batched encoder: the
+// encode buffer is retained across calls, so re-encoding an unchanged
+// journal (the explorer hashes every schedule) must not allocate.
+func TestEncodeBinarySteadyStateZeroAlloc(t *testing.T) {
+	j := New(7, "alloc-gate")
+	for i := int64(0); i < 512; i++ {
+		j.Append(i, KOp, 0, i%8, int32(i%16), i, 0, "")
+	}
+	if err := j.EncodeBinary(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := j.EncodeBinary(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeBinary allocated %.1f times per call after warmup; want 0", allocs)
+	}
+}

@@ -24,7 +24,6 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"sort"
 )
@@ -256,6 +255,12 @@ type Journal struct {
 	seed    int64
 	config  string
 	records []Record
+
+	// encBuf is the reusable binary-encoding scratch shared by Hash and
+	// EncodeBinary, so hashing a journal at end of run allocates only on
+	// first use (or growth). Sharing it is safe under the single-owner
+	// rule stated above: a Journal is never used concurrently.
+	encBuf []byte
 }
 
 // New returns an empty journal for the given seed and canonical config
@@ -282,14 +287,52 @@ func (j *Journal) Config() string {
 }
 
 // ConfigHash returns the FNV-64a hash of the config string; together
-// with the seed it keys the journal.
+// with the seed it keys the journal. The hash is computed inline
+// (identical constants and byte order to hash/fnv) so the encode path,
+// which rehashes the config on every call, stays allocation-free.
 func (j *Journal) ConfigHash() uint64 {
 	if j == nil {
 		return 0
 	}
-	h := fnv.New64a()
-	_, _ = io.WriteString(h, j.config)
-	return h.Sum64()
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(j.config); i++ {
+		h ^= uint64(j.config[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Reserve grows the record buffer to hold at least n records without
+// further allocation, batching what would otherwise be a chain of
+// append regrowths on the hot path. It never shrinks.
+func (j *Journal) Reserve(n int) {
+	if j == nil || cap(j.records) >= n {
+		return
+	}
+	records := make([]Record, len(j.records), n)
+	copy(records, j.records)
+	j.records = records
+}
+
+// Reset rekeys the journal and drops its records while keeping the
+// record and encoding buffers, so one journal can be recycled across
+// many runs (the schedule explorer executes hundreds per exploration).
+func (j *Journal) Reset(seed int64, config string) {
+	if j == nil {
+		return
+	}
+	j.seed = seed
+	j.config = config
+	// Notes hold the only pointers in a Record; clear them so recycled
+	// journals don't pin strings from prior runs.
+	for i := range j.records {
+		j.records[i].Note = ""
+	}
+	j.records = j.records[:0]
 }
 
 // Append adds one record, assigning its sequence number. It is safe to
@@ -336,8 +379,8 @@ const binaryMagic = "RTJ1"
 // varint-packed fields. The encoding is byte-stable: the same record
 // sequence always produces the same bytes.
 func (j *Journal) EncodeBinary(w io.Writer) error {
-	buf := j.appendBinary(nil)
-	_, err := w.Write(buf)
+	j.encBuf = j.appendBinary(j.encBuf[:0])
+	_, err := w.Write(j.encBuf)
 	return err
 }
 
@@ -364,7 +407,8 @@ func (j *Journal) appendBinary(buf []byte) []byte {
 // Hash returns the SHA-256 digest of the canonical binary encoding.
 // Two runs are provably identical when their hashes match.
 func (j *Journal) Hash() [32]byte {
-	return sha256.Sum256(j.appendBinary(nil))
+	j.encBuf = j.appendBinary(j.encBuf[:0])
+	return sha256.Sum256(j.encBuf)
 }
 
 // HashString returns Hash as lower-case hex.

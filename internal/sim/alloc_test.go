@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// allocTicker is the self-rescheduling dispatch workload for the
+// allocation gate: a static callback plus a pointer argument exercises
+// the AfterCall path exactly as the hot simulation sites do.
+type allocTicker struct {
+	k *Kernel
+	n int
+}
+
+func allocTick(arg any) {
+	t := arg.(*allocTicker)
+	if t.n > 0 {
+		t.n--
+		t.k.AfterCall(Millisecond, allocTick, t)
+	}
+}
+
+// TestKernelDispatchZeroAlloc is the allocation-regression gate for the
+// kernel's event fast path: once the event pool is warm, scheduling and
+// dispatching events must not allocate at all. A regression here (a
+// closure sneaking into a hot site, an event escaping its pool) fails
+// the gate before it can show up as a throughput loss.
+func TestKernelDispatchZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	tick := &allocTicker{k: k}
+	run := func() {
+		tick.n = 256
+		k.AfterCall(0, allocTick, tick)
+		k.Run()
+	}
+	run() // warm the event pool and heap storage
+	if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
+		t.Fatalf("kernel dispatch allocated %.1f times per 256-event run; want 0", allocs)
+	}
+}
+
+// sleepRunAllocs runs one kernel with a single process that sleeps n
+// times and returns the total heap allocations of the whole run
+// (spawn, goroutine, and all sleeps included).
+func sleepRunAllocs(t *testing.T, n int) uint64 {
+	t.Helper()
+	k := NewKernel()
+	done := false
+	k.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			if err := p.Sleep(Millisecond); err != nil {
+				t.Errorf("sleep: %v", err)
+				return
+			}
+		}
+		done = true
+	})
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	k.Run()
+	runtime.ReadMemStats(&after)
+	if !done {
+		t.Fatal("sleeper did not finish")
+	}
+	return after.Mallocs - before.Mallocs
+}
+
+// TestKernelSleepScaleInvariantAllocs gates the park/wake cycle: the
+// token and event recycling make each Sleep allocation-free, so a run
+// with 16x the sleeps must not allocate meaningfully more than a short
+// one. The fixed per-run overhead (spawn, goroutine, channels) is
+// allowed; per-sleep growth is the regression this catches.
+func TestKernelSleepScaleInvariantAllocs(t *testing.T) {
+	short := sleepRunAllocs(t, 64)
+	long := sleepRunAllocs(t, 1024)
+	// Allow a small slack for runtime-internal noise; 960 extra sleeps
+	// would add >=960 allocations if the park path allocated per sleep.
+	if long > short+32 {
+		t.Fatalf("sleep path allocates per iteration: 64 sleeps = %d allocs, 1024 sleeps = %d allocs", short, long)
+	}
+}

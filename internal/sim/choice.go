@@ -96,19 +96,19 @@ func (k *Kernel) Choose(p ChoicePoint, n int) int {
 // re-chosen at the next dispatch). Called only when a chooser is
 // attached.
 func (k *Kernel) chooseNext(e *Event) *Event {
-	if p := k.events.peek(); p == nil || p.at != e.at {
+	if p := k.peekEvent(); p == nil || p.at != e.at {
 		return e
 	}
 	// The clock is about to advance to e.at anyway; advance it first so
 	// the KChoice record carries the decision's virtual time.
 	k.now = e.at
-	batch := []*Event{e}
+	batch := append(k.batch[:0], e)
 	for {
-		p := k.events.peek()
+		p := k.peekEvent()
 		if p == nil || p.at != e.at {
 			break
 		}
-		batch = append(batch, k.events.pop())
+		batch = append(batch, k.events.popMin())
 	}
 	pick := k.Choose(ChooseEvent, len(batch))
 	for i, b := range batch {
@@ -116,5 +116,10 @@ func (k *Kernel) chooseNext(e *Event) *Event {
 			k.events.push(b)
 		}
 	}
-	return batch[pick]
+	picked := batch[pick]
+	for i := range batch {
+		batch[i] = nil
+	}
+	k.batch = batch[:0]
+	return picked
 }

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"container/heap"
-
 	"rtlock/internal/journal"
 )
 
@@ -35,6 +33,12 @@ type CPU struct {
 	busy Duration // total service delivered
 	seq  uint64
 
+	// freeReqs recycles request records; a record is owned by Use for
+	// its whole lifetime (Park returns only after the request has left
+	// the CPU), so reuse cannot alias. ties is the chooseTie scratch.
+	freeReqs []*cpuReq
+	ties     []*cpuReq
+
 	// Probe handles, cached at construction (no-ops without a
 	// registry). Distributed clusters share the series across their
 	// per-site CPUs, so the counters aggregate the whole machine.
@@ -45,12 +49,13 @@ type CPU struct {
 }
 
 type cpuReq struct {
+	c       *CPU
 	proc    *Proc
 	prio    Priority
 	rem     Duration
-	tok     *Token
+	tok     Token
 	runFrom Time
-	doneEv  *Event
+	doneEv  EventRef
 	seq     uint64
 	idx     int
 }
@@ -67,6 +72,28 @@ func NewCPU(k *Kernel, disc Discipline) *CPU {
 	}
 }
 
+func (c *CPU) getReq() *cpuReq {
+	if n := len(c.freeReqs); n > 0 {
+		r := c.freeReqs[n-1]
+		c.freeReqs[n-1] = nil
+		c.freeReqs = c.freeReqs[:n-1]
+		return r
+	}
+	return &cpuReq{c: c}
+}
+
+func (c *CPU) putReq(r *cpuReq) {
+	r.proc = nil
+	r.prio = Priority{}
+	r.rem = 0
+	r.tok = Token{}
+	r.runFrom = 0
+	r.doneEv = EventRef{}
+	r.seq = 0
+	r.idx = 0
+	c.freeReqs = append(c.freeReqs, r)
+}
+
 // Use consumes d of service time on behalf of p at the given priority,
 // parking p until the service completes. It returns nil on completion or
 // the cancellation error if the request was interrupted (deadline abort,
@@ -76,10 +103,28 @@ func (c *CPU) Use(p *Proc, prio Priority, d Duration) error {
 	if d <= 0 {
 		return p.Sleep(0)
 	}
-	req := &cpuReq{proc: p, prio: prio, rem: d, tok: &Token{}}
-	req.tok.OnCancel = func() { c.remove(req) }
+	req := c.getReq()
+	req.proc = p
+	req.prio = prio
+	req.rem = d
+	req.tok.onCancel = removeReq
+	req.tok.onCancelArg = req
 	c.add(req)
-	return p.Park(req.tok)
+	err := p.Park(&req.tok)
+	c.putReq(req)
+	return err
+}
+
+// removeReq is the static cancel hook: detach the request from its CPU.
+func removeReq(a any) {
+	r := a.(*cpuReq)
+	r.c.remove(r)
+}
+
+// completeReq is the static service-completion handler.
+func completeReq(a any) {
+	r := a.(*cpuReq)
+	r.c.complete(r)
 }
 
 // Reprioritize updates the priority of p's pending request, if any,
@@ -98,7 +143,7 @@ func (c *CPU) Reprioritize(p *Proc, prio Priority) {
 	for i, r := range c.ready.reqs {
 		if r.proc == p {
 			r.prio = prio
-			heap.Fix(&c.ready, i)
+			c.ready.fix(i)
 			c.maybePreemptCur()
 			return
 		}
@@ -116,7 +161,7 @@ func (c *CPU) Busy() Duration {
 }
 
 // QueueLen reports how many requests wait behind the running one.
-func (c *CPU) QueueLen() int { return c.ready.Len() }
+func (c *CPU) QueueLen() int { return c.ready.len() }
 
 func (c *CPU) add(req *cpuReq) {
 	req.seq = c.nextSeq()
@@ -143,7 +188,7 @@ func (c *CPU) dispatch(req *cpuReq) {
 	req.runFrom = c.k.now
 	c.mDispatch.Inc()
 	c.k.Emit(journal.KCPUDispatch, req.proc.id, 0, int64(req.rem), 0, "")
-	req.doneEv = c.k.After(req.rem, func() { c.complete(req) })
+	req.doneEv = c.k.AfterCall(req.rem, completeReq, req)
 }
 
 func (c *CPU) complete(req *cpuReq) {
@@ -172,7 +217,7 @@ func (c *CPU) preemptCur() {
 // maybePreemptCur preempts the running request if the ready queue now
 // holds a more urgent one (after a priority change).
 func (c *CPU) maybePreemptCur() {
-	if c.cur == nil || c.ready.Len() == 0 {
+	if c.cur == nil || c.ready.len() == 0 {
 		return
 	}
 	head := c.ready.reqs[0]
@@ -207,11 +252,11 @@ func (c *CPU) next() {
 // would never vary. FIFO queues are excluded: arrival order there is
 // protocol semantics (protocol L), not an arbitrary tie-break.
 func (c *CPU) chooseTie(req *cpuReq) *cpuReq {
-	if c.ready.Len() == 0 || c.ready.reqs[0].prio != req.prio {
+	if c.ready.len() == 0 || c.ready.reqs[0].prio != req.prio {
 		return req
 	}
-	ties := []*cpuReq{req}
-	for c.ready.Len() > 0 && c.ready.reqs[0].prio == req.prio {
+	ties := append(c.ties[:0], req)
+	for c.ready.len() > 0 && c.ready.reqs[0].prio == req.prio {
 		ties = append(ties, c.ready.pop())
 	}
 	pick := c.k.Choose(ChooseReady, len(ties))
@@ -220,7 +265,12 @@ func (c *CPU) chooseTie(req *cpuReq) *cpuReq {
 			c.ready.push(r)
 		}
 	}
-	return ties[pick]
+	picked := ties[pick]
+	for i := range ties {
+		ties[i] = nil
+	}
+	c.ties = ties[:0]
+	return picked
 }
 
 func (c *CPU) remove(req *cpuReq) {
@@ -240,17 +290,17 @@ func (c *CPU) remove(req *cpuReq) {
 }
 
 // cpuQueue is a ready queue ordered by priority (PreemptivePriority) or
-// arrival sequence (FIFO). It implements heap.Interface either way; under
-// FIFO the ordering key is just the sequence number.
+// arrival sequence (FIFO); under FIFO the ordering key is just the
+// sequence number. Like eventHeap it is a direct binary min-heap rather
+// than container/heap, avoiding interface dispatch on the hot path. The
+// key is a strict total order (seq is unique), so pop order does not
+// depend on heap layout.
 type cpuQueue struct {
 	disc Discipline
 	reqs []*cpuReq
 }
 
-func (q *cpuQueue) Len() int { return len(q.reqs) }
-
-func (q *cpuQueue) Less(i, j int) bool {
-	a, b := q.reqs[i], q.reqs[j]
+func (q *cpuQueue) less(a, b *cpuReq) bool {
 	if q.disc == PreemptivePriority {
 		if a.prio != b.prio {
 			return a.prio.Higher(b.prio)
@@ -259,48 +309,92 @@ func (q *cpuQueue) Less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (q *cpuQueue) Swap(i, j int) {
-	q.reqs[i], q.reqs[j] = q.reqs[j], q.reqs[i]
-	q.reqs[i].idx = i
-	q.reqs[j].idx = j
-}
+func (q *cpuQueue) len() int { return len(q.reqs) }
 
-func (q *cpuQueue) Push(x any) {
-	r, ok := x.(*cpuReq)
-	if !ok {
-		return
-	}
+func (q *cpuQueue) push(r *cpuReq) {
 	r.idx = len(q.reqs)
 	q.reqs = append(q.reqs, r)
+	q.up(r.idx)
 }
 
-func (q *cpuQueue) Pop() any {
-	old := q.reqs
-	n := len(old)
-	r := old[n-1]
-	old[n-1] = nil
-	r.idx = -1
-	q.reqs = old[:n-1]
-	return r
+func (q *cpuQueue) up(i int) {
+	s := q.reqs
+	r := s[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(r, s[p]) {
+			break
+		}
+		s[i] = s[p]
+		s[i].idx = i
+		i = p
+	}
+	s[i] = r
+	r.idx = i
 }
 
-func (q *cpuQueue) push(r *cpuReq) { heap.Push(q, r) }
+func (q *cpuQueue) down(i int) {
+	s := q.reqs
+	n := len(s)
+	r := s[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if rc := l + 1; rc < n && q.less(s[rc], s[l]) {
+			m = rc
+		}
+		if !q.less(s[m], r) {
+			break
+		}
+		s[i] = s[m]
+		s[i].idx = i
+		i = m
+	}
+	s[i] = r
+	r.idx = i
+}
+
+// fix restores heap order after the element at i changed key.
+func (q *cpuQueue) fix(i int) {
+	q.down(i)
+	q.up(i)
+}
 
 func (q *cpuQueue) pop() *cpuReq {
-	if q.Len() == 0 {
+	n := len(q.reqs)
+	if n == 0 {
 		return nil
 	}
-	r, ok := heap.Pop(q).(*cpuReq)
-	if !ok {
-		return nil
+	r := q.reqs[0]
+	last := q.reqs[n-1]
+	q.reqs[n-1] = nil
+	q.reqs = q.reqs[:n-1]
+	if n > 1 {
+		q.reqs[0] = last
+		last.idx = 0
+		q.down(0)
 	}
+	r.idx = -1
 	return r
 }
 
 func (q *cpuQueue) remove(r *cpuReq) bool {
-	if r.idx >= 0 && r.idx < len(q.reqs) && q.reqs[r.idx] == r {
-		heap.Remove(q, r.idx)
-		return true
+	i := r.idx
+	if i < 0 || i >= len(q.reqs) || q.reqs[i] != r {
+		return false
 	}
-	return false
+	n := len(q.reqs) - 1
+	last := q.reqs[n]
+	q.reqs[n] = nil
+	q.reqs = q.reqs[:n]
+	if i != n {
+		q.reqs[i] = last
+		last.idx = i
+		q.fix(i)
+	}
+	r.idx = -1
+	return true
 }

@@ -7,7 +7,7 @@ import (
 
 func TestCancelAlreadyFiredEvent(t *testing.T) {
 	k := NewKernel()
-	var ev *Event
+	var ev EventRef
 	ev = k.At(10, func() {})
 	k.Run()
 	if ev.Cancel() {
@@ -16,9 +16,34 @@ func TestCancelAlreadyFiredEvent(t *testing.T) {
 }
 
 func TestCancelNilEvent(t *testing.T) {
-	var ev *Event
+	var ev EventRef
 	if ev.Cancel() {
-		t.Fatal("Cancel of nil event returned true")
+		t.Fatal("Cancel of zero EventRef returned true")
+	}
+}
+
+// TestCancelRecycledEvent pins the generation check: a stale ref to a
+// fired event must not cancel a different event that recycled the same
+// struct.
+func TestCancelRecycledEvent(t *testing.T) {
+	k := NewKernel()
+	stale := k.At(1, func() {})
+	k.Run()
+	// The recycled struct is reused for the next scheduled event.
+	fired := false
+	fresh := k.At(2, func() { fired = true })
+	if stale.Cancel() {
+		t.Fatal("stale ref canceled a recycled event")
+	}
+	if stale.Pending() {
+		t.Fatal("stale ref reports pending")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh event not pending")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
 	}
 }
 

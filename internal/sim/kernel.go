@@ -29,6 +29,16 @@ type Kernel struct {
 	seq    uint64
 	events eventHeap
 
+	// freeEvents and freeTokens recycle fired/discarded events and
+	// consumed wait tokens. An Event is reachable from outside the
+	// kernel only through generation-checked EventRefs, and a Token is
+	// recycled only by the call site that owns its full lifecycle
+	// (Sleep, CPU.Use), so reuse cannot alias live state. batch is the
+	// reused chooseNext scratch.
+	freeEvents []*Event
+	freeTokens []*Token
+	batch      []*Event
+
 	// yielded is signaled by the running process when it parks,
 	// terminates, or otherwise returns control to the kernel.
 	yielded chan struct{}
@@ -159,28 +169,127 @@ func NewKernel() *Kernel {
 func (k *Kernel) Now() Time { return k.now }
 
 // At schedules fn to run in kernel context at virtual time t. Times in
-// the past are clamped to now. The returned event may be canceled.
-func (k *Kernel) At(t Time, fn func()) *Event {
+// the past are clamped to now. The returned handle may be used to cancel.
+func (k *Kernel) At(t Time, fn func()) EventRef {
+	return k.schedule(t, fn, nil, nil)
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (k *Kernel) After(d Duration, fn func()) EventRef {
+	return k.schedule(k.now.Add(d), fn, nil, nil)
+}
+
+// AtCall is the allocation-free form of At: call(arg) runs at t. Hot
+// sites use it because storing a pointer in an interface value does not
+// allocate, while the equivalent capturing closure does.
+func (k *Kernel) AtCall(t Time, call func(any), arg any) EventRef {
+	return k.schedule(t, nil, call, arg)
+}
+
+// AfterCall is the allocation-free form of After.
+func (k *Kernel) AfterCall(d Duration, call func(any), arg any) EventRef {
+	return k.schedule(k.now.Add(d), nil, call, arg)
+}
+
+func (k *Kernel) schedule(t Time, fn func(), call func(any), arg any) EventRef {
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn}
+	var e *Event
+	if n := len(k.freeEvents); n > 0 {
+		e = k.freeEvents[n-1]
+		k.freeEvents[n-1] = nil
+		k.freeEvents = k.freeEvents[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.at = t
+	e.seq = k.seq
+	e.fn = fn
+	e.call = call
+	e.arg = arg
 	k.events.push(e)
-	return e
+	return EventRef{e: e, gen: e.gen}
 }
 
-// After schedules fn to run d from now. Negative d is clamped to zero.
-func (k *Kernel) After(d Duration, fn func()) *Event {
-	return k.At(k.now.Add(d), fn)
+// recycle returns a fired or discarded event to the pool. Bumping the
+// generation first invalidates every outstanding EventRef to it.
+func (k *Kernel) recycle(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.call = nil
+	e.arg = nil
+	e.canceled = false
+	e.idx = -1
+	k.freeEvents = append(k.freeEvents, e)
+}
+
+// popEvent removes and returns the earliest pending event, recycling
+// canceled ones as it goes; nil when the heap is exhausted.
+func (k *Kernel) popEvent() *Event {
+	for {
+		e := k.events.popMin()
+		if e == nil {
+			return nil
+		}
+		if e.canceled {
+			k.recycle(e)
+			continue
+		}
+		return e
+	}
+}
+
+// peekEvent returns the earliest pending event without removing it,
+// recycling canceled events as it goes; nil when exhausted.
+func (k *Kernel) peekEvent() *Event {
+	for {
+		e := k.events.min()
+		if e == nil {
+			return nil
+		}
+		if !e.canceled {
+			return e
+		}
+		k.events.popMin()
+		k.recycle(e)
+	}
+}
+
+// dispatch runs the event's handler and recycles the struct. The handler
+// runs to completion (nested process switches included) before the
+// recycle, so e's fields are stable for its whole execution.
+func (k *Kernel) dispatch(e *Event) {
+	if e.call != nil {
+		e.call(e.arg)
+	} else {
+		e.fn()
+	}
+	k.recycle(e)
 }
 
 // Run dispatches events until none remain. It returns the final virtual
 // time.
+//
+// Canonical runs — no chooser, no metrics sampling — take a fast path
+// with nothing in the loop but pop/advance/dispatch; the choice-point
+// and sampling hooks are compiled out entirely rather than branch-tested
+// per event.
 func (k *Kernel) Run() Time {
+	if k.chooser == nil && (k.met == nil || k.sampleEvery <= 0) {
+		for {
+			e := k.popEvent()
+			if e == nil {
+				return k.now
+			}
+			k.now = e.at
+			k.dispatch(e)
+		}
+	}
 	sampling := k.met != nil && k.sampleEvery > 0
 	for {
-		e := k.events.pop()
+		e := k.popEvent()
 		if e == nil {
 			if sampling {
 				k.flushSample()
@@ -195,7 +304,7 @@ func (k *Kernel) Run() Time {
 			k.mEvents.Inc()
 		}
 		k.now = e.at
-		e.fn()
+		k.dispatch(e)
 	}
 }
 
@@ -203,13 +312,13 @@ func (k *Kernel) Run() Time {
 // clock to t. Events scheduled beyond t remain pending.
 func (k *Kernel) RunUntil(t Time) {
 	for {
-		e := k.events.peek()
+		e := k.peekEvent()
 		if e == nil || e.at > t {
 			break
 		}
-		k.events.pop()
+		k.events.popMin()
 		k.now = e.at
-		e.fn()
+		k.dispatch(e)
 	}
 	if k.now < t {
 		k.now = t
@@ -221,12 +330,12 @@ func (k *Kernel) RunUntil(t Time) {
 func (k *Kernel) Steps(n int) int {
 	ran := 0
 	for ran < n {
-		e := k.events.pop()
+		e := k.popEvent()
 		if e == nil {
 			break
 		}
 		k.now = e.at
-		e.fn()
+		k.dispatch(e)
 		ran++
 	}
 	return ran
@@ -271,7 +380,7 @@ func (k *Kernel) Live() int { return k.live }
 
 // Pending reports the number of events still scheduled (including
 // canceled events not yet discarded).
-func (k *Kernel) Pending() int { return k.events.Len() }
+func (k *Kernel) Pending() int { return k.events.len() }
 
 // switchTo transfers control to p and blocks the kernel until p yields
 // back (by parking or terminating).

@@ -32,10 +32,56 @@ type Token struct {
 	// the cancellation error.
 	OnCancel func()
 
+	// ev, when pending, is a timer driving this token; Cancel revokes
+	// it so a canceled wait leaves no live event behind. Hot sites set
+	// it instead of capturing the event in an OnCancel closure.
+	ev EventRef
+
+	// onCancel/onCancelArg are the allocation-free form of OnCancel
+	// (static function plus argument), used by hot internal sites. Both
+	// hooks run on Cancel, internal first.
+	onCancel    func(any)
+	onCancelArg any
+
 	p     *Proc
 	fired bool
 	err   error
 	k     *Kernel
+}
+
+// SetCancel installs the allocation-free cancel hook (static function
+// plus argument) in place of an OnCancel closure. The hook must not be
+// combined with resource-internal tokens (CPU requests), which use the
+// same slot.
+func (t *Token) SetCancel(fn func(any), arg any) {
+	t.onCancel = fn
+	t.onCancelArg = arg
+}
+
+// Reset clears a token for reuse by a pooled waiter. Only legal before
+// the first Park or after the owning Park has returned: a completed
+// wait leaves no kernel references behind.
+func (t *Token) Reset() { *t = Token{} }
+
+// getToken hands out a reset token from the pool. Only call sites that
+// own the token's full lifecycle (no other holder after Park returns)
+// may pair it with putToken; everyone else allocates a Token normally.
+func (k *Kernel) getToken() *Token {
+	if n := len(k.freeTokens); n > 0 {
+		t := k.freeTokens[n-1]
+		k.freeTokens[n-1] = nil
+		k.freeTokens = k.freeTokens[:n-1]
+		return t
+	}
+	return &Token{}
+}
+
+// putToken resets and recycles a consumed token. A canceled timer event
+// may still hold the token as its argument, but canceled events are
+// discarded without running, so the stale reference is never followed.
+func (k *Kernel) putToken(t *Token) {
+	*t = Token{}
+	k.freeTokens = append(k.freeTokens, t)
 }
 
 // Spawn creates a process named name and schedules it to start now. The
@@ -135,15 +181,26 @@ func (t *Token) Wake(err error) bool {
 	k := t.k
 	proc := t.p
 	delete(k.parked, proc)
-	k.At(k.now, func() { k.switchTo(proc) })
+	k.AtCall(k.now, switchToProc, proc)
 	return true
 }
 
-// Cancel detaches the waiter from its resource via OnCancel and wakes the
-// process with err. It reports whether the token was still pending.
+// switchToProc is the static wake handler: resume the parked process.
+func switchToProc(a any) {
+	p := a.(*Proc)
+	p.k.switchTo(p)
+}
+
+// Cancel detaches the waiter from its resource (revoking its timer and
+// running the cancel hooks) and wakes the process with err. It reports
+// whether the token was still pending.
 func (t *Token) Cancel(err error) bool {
 	if t.fired {
 		return false
+	}
+	t.ev.Cancel()
+	if t.onCancel != nil {
+		t.onCancel(t.onCancelArg)
 	}
 	if t.OnCancel != nil {
 		t.OnCancel()
@@ -163,14 +220,22 @@ func (p *Proc) Interrupt(err error) bool {
 
 // Sleep parks the process for d of virtual time. It returns nil when the
 // time elapsed or the interruption error if the sleep was canceled.
+//
+// The token and timer event are pooled: Sleep owns the token's whole
+// lifecycle (nothing else ever sees it), so it is recycled as soon as
+// Park returns.
 func (p *Proc) Sleep(d Duration) error {
 	if d <= 0 {
 		// Even zero-length sleeps yield through the event queue so
 		// that simultaneous activities interleave deterministically.
 		d = 0
 	}
-	tok := &Token{}
-	ev := p.k.After(d, func() { tok.Wake(nil) })
-	tok.OnCancel = func() { ev.Cancel() }
-	return p.Park(tok)
+	tok := p.k.getToken()
+	tok.ev = p.k.AfterCall(d, wakeTokenNil, tok)
+	err := p.Park(tok)
+	p.k.putToken(tok)
+	return err
 }
+
+// wakeTokenNil is the static timer handler: deliver a normal wake-up.
+func wakeTokenNil(a any) { a.(*Token).Wake(nil) }

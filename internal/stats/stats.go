@@ -57,6 +57,17 @@ type Monitor struct {
 // NewMonitor returns an empty monitor.
 func NewMonitor() *Monitor { return &Monitor{} }
 
+// Reserve grows the record buffer to hold n transactions, so a loader
+// that knows its workload size avoids incremental growth in the run.
+func (m *Monitor) Reserve(n int) {
+	if cap(m.records) >= n {
+		return
+	}
+	records := make([]TxRecord, len(m.records), n)
+	copy(records, m.records)
+	m.records = records
+}
+
 // Add records one processed transaction.
 func (m *Monitor) Add(r TxRecord) {
 	m.records = append(m.records, r)

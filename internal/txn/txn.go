@@ -10,6 +10,7 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"rtlock/internal/buffer"
 	"rtlock/internal/check"
@@ -110,11 +111,32 @@ type System struct {
 	cfg       Config
 	remaining int
 
+	// freeTx recycles per-attempt transaction states: an attempt's
+	// state fully leaves the manager before the next attempt starts
+	// (strict two-phase release plus Unregister), and the kernel's
+	// single-runner discipline serializes all attempt loops, so a plain
+	// freelist suffices.
+	freeTx []*core.TxState
+
 	mInflight sim.Gauge
 	mCommits  sim.Counter
 	mMissDead sim.Counter
 	mRestarts sim.Counter
 }
+
+// getTxState hands out a reset transaction state from the pool.
+func (s *System) getTxState(id int64, base sim.Priority, p *sim.Proc) *core.TxState {
+	if n := len(s.freeTx); n > 0 {
+		st := s.freeTx[n-1]
+		s.freeTx[n-1] = nil
+		s.freeTx = s.freeTx[:n-1]
+		st.ResetFor(id, base, p)
+		return st
+	}
+	return core.NewTxState(id, base, p)
+}
+
+func (s *System) putTxState(st *core.TxState) { s.freeTx = append(s.freeTx, st) }
 
 // NewSystem assembles a system from the configuration.
 func NewSystem(cfg Config) (*System, error) {
@@ -166,10 +188,14 @@ func NewSystem(cfg Config) (*System, error) {
 // configured, the checkpointer.
 func (s *System) Load(txs []*workload.Txn) {
 	s.remaining += len(txs)
+	s.Monitor.Reserve(s.remaining)
 	for _, t := range txs {
 		t := t
+		// "tx" + FormatInt keeps the KSpawn journal bytes identical to
+		// the old Sprintf("tx%d") while skipping the fmt machinery.
+		name := "tx" + strconv.FormatInt(t.ID, 10)
 		s.K.At(t.Arrival, func() {
-			s.K.Spawn(fmt.Sprintf("tx%d", t.ID), func(p *sim.Proc) {
+			s.K.Spawn(name, func(p *sim.Proc) {
 				s.exec(p, t)
 				s.remaining--
 			})
@@ -232,23 +258,30 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 	s.mInflight.Add(1)
 	defer s.mInflight.Add(-1)
 	deadlineEv := s.K.At(t.Deadline, func() { p.Interrupt(ErrDeadlineMissed) })
-	s.cfg.Trace.Log(p.Now(), t.ID, stats.EvArrive, -1,
-		fmt.Sprintf("size=%d deadline=%.1fms", t.Size(), sim.Duration(t.Deadline).Millis()))
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvArrive, -1,
+			fmt.Sprintf("size=%d deadline=%.1fms", t.Size(), sim.Duration(t.Deadline).Millis()))
+	}
 	s.K.Emit(journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
 
 	var err error
-	var lastAttempt *core.TxState
 	var attempt []attemptOp
+	// The access sets and priority-change hook are attempt-invariant;
+	// computing them once per transaction keeps restarts allocation-free
+	// (managers only read the sets, never mutate them).
+	readSet := t.ReadSet()
+	writeSet := t.WriteSet()
+	estimate := sim.Duration(t.Size()) * (s.cfg.CPUPerObj + s.cfg.IOPerObj)
+	onPrio := func(pr sim.Priority) {
+		s.K.Emit(journal.KInherit, t.ID, 0, pr.Deadline, pr.TxID, "")
+		s.CPU.Reprioritize(p, pr)
+	}
 	for {
-		st := core.NewTxState(t.ID, t.Priority(), p)
-		st.ReadSet = t.ReadSet()
-		st.WriteSet = t.WriteSet()
-		st.Estimate = sim.Duration(t.Size()) * (s.cfg.CPUPerObj + s.cfg.IOPerObj)
-		st.OnPrioChange = func(pr sim.Priority) {
-			s.K.Emit(journal.KInherit, t.ID, 0, pr.Deadline, pr.TxID, "")
-			s.CPU.Reprioritize(p, pr)
-		}
-		lastAttempt = st
+		st := s.getTxState(t.ID, t.Priority(), p)
+		st.ReadSet = readSet
+		st.WriteSet = writeSet
+		st.Estimate = estimate
+		st.OnPrioChange = onPrio
 		attempt = attempt[:0]
 
 		s.K.Emit(journal.KRegister, t.ID, 0, 0, 0, "")
@@ -274,6 +307,7 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 		s.K.Emit(journal.KUnregister, t.ID, 0, 0, 0, "")
 		rec.Blocked += st.BlockedTime
 		rec.BlockedCount += st.BlockedCount
+		s.putTxState(st)
 
 		if !errors.Is(err, core.ErrRestart) {
 			break
@@ -300,7 +334,7 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvCommit, -1, "")
 		s.mCommits.Inc()
 		rec.Outcome = stats.Committed
-		for _, obj := range lastAttempt.WriteSet {
+		for _, obj := range writeSet {
 			s.Store.Write(obj, t.ID, p.Now())
 		}
 		if s.History != nil {
@@ -341,7 +375,9 @@ func (s *System) body(p *sim.Proc, st *core.TxState, t *workload.Txn, attempt *[
 			return w
 		}
 		requested := p.Now()
-		s.cfg.Trace.Log(requested, t.ID, stats.EvLockRequest, int32(op.Obj), op.Mode.String())
+		if s.cfg.Trace != nil {
+			s.cfg.Trace.Log(requested, t.ID, stats.EvLockRequest, int32(op.Obj), op.Mode.String())
+		}
 		if s.cfg.LockOverhead > 0 {
 			if err := s.CPU.Use(p, st.Eff(), s.cfg.LockOverhead); err != nil {
 				return err
@@ -350,11 +386,13 @@ func (s *System) body(p *sim.Proc, st *core.TxState, t *workload.Txn, attempt *[
 		if err := s.Mgr.Acquire(p, st, op.Obj, op.Mode); err != nil {
 			return err
 		}
-		note := op.Mode.String()
-		if wait := p.Now().Sub(requested); wait > 0 {
-			note = fmt.Sprintf("%s blocked %.1fms", note, wait.Millis())
+		if s.cfg.Trace != nil {
+			note := op.Mode.String()
+			if wait := p.Now().Sub(requested); wait > 0 {
+				note = fmt.Sprintf("%s blocked %.1fms", note, wait.Millis())
+			}
+			s.cfg.Trace.Log(p.Now(), t.ID, stats.EvLockGrant, int32(op.Obj), note)
 		}
-		s.cfg.Trace.Log(p.Now(), t.ID, stats.EvLockGrant, int32(op.Obj), note)
 		s.K.Emit(journal.KOp, t.ID, int32(op.Obj), int64(op.Mode), 0, "")
 		if s.History != nil {
 			*attempt = append(*attempt, attemptOp{obj: op.Obj, mode: op.Mode, at: p.Now()})

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"rtlock/internal/core"
 	"rtlock/internal/db"
@@ -99,7 +98,17 @@ func (t *Txn) set(mode core.Mode) []core.ObjectID {
 			objs = append(objs, op.Obj)
 		}
 	}
-	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	// Access sets are small (mean size objects); insertion sort beats
+	// sort.Slice and its closure on the hot path.
+	for i := 1; i < len(objs); i++ {
+		v := objs[i]
+		j := i - 1
+		for j >= 0 && objs[j] > v {
+			objs[j+1] = objs[j]
+			j--
+		}
+		objs[j+1] = v
+	}
 	return objs
 }
 
@@ -202,6 +211,9 @@ func Generate(p Params) ([]*Txn, error) {
 	txs := make([]*Txn, 0, p.Count)
 	now := sim.Time(0)
 	var id int64
+	// One permutation buffer shared by every pickOps call: rand.Perm
+	// would allocate a database-sized slice per transaction.
+	var perm []int
 
 	// Periodic streams are materialized lazily: each new periodic
 	// instance either continues an existing stream or starts one.
@@ -235,7 +247,7 @@ func Generate(p Params) ([]*Txn, error) {
 				s = &stream{
 					home: db.SiteID(rng.Intn(p.Catalog.Sites())),
 				}
-				s.ops = pickOps(rng, p, Update, s.home)
+				s.ops = pickOps(rng, p, Update, s.home, &perm)
 				streams = append(streams, s)
 			}
 			s.next = now.Add(sim.Duration(period))
@@ -243,7 +255,7 @@ func Generate(p Params) ([]*Txn, error) {
 			t.Ops = append([]Op(nil), s.ops...)
 		} else {
 			t.Home = db.SiteID(rng.Intn(p.Catalog.Sites()))
-			t.Ops = pickOps(rng, p, kind, t.Home)
+			t.Ops = pickOps(rng, p, kind, t.Home, &perm)
 		}
 		slack := p.SlackMin + rng.Float64()*(p.SlackMax-p.SlackMin)
 		exec := sim.Duration(float64(t.Size()) * float64(p.PerObjCost) * slack)
@@ -269,7 +281,7 @@ func Generate(p Params) ([]*Txn, error) {
 // objects uniform without replacement from the whole database (or, for
 // update transactions under LocalWriteSets, from the home site's primary
 // partition), in random request order.
-func pickOps(rng *rand.Rand, p Params, kind Kind, home db.SiteID) []Op {
+func pickOps(rng *rand.Rand, p Params, kind Kind, home db.SiteID, perm *[]int) []Op {
 	pool := p.Catalog.Objects()
 	var partition []core.ObjectID
 	if kind == Update && p.LocalWriteSets {
@@ -296,7 +308,7 @@ func pickOps(rng *rand.Rand, p Params, kind Kind, home db.SiteID) []Op {
 	if kind == ReadOnly {
 		mode = core.Read
 	}
-	picked := pickIndexes(rng, p, pool, size)
+	picked := pickIndexes(rng, p, pool, size, perm)
 	ops := make([]Op, 0, size)
 	for _, idx := range picked {
 		obj := core.ObjectID(idx)
@@ -309,17 +321,18 @@ func pickOps(rng *rand.Rand, p Params, kind Kind, home db.SiteID) []Op {
 }
 
 // pickIndexes draws size distinct indexes from [0, pool): uniformly, or
-// skewed toward the hotspot prefix when configured.
-func pickIndexes(rng *rand.Rand, p Params, pool, size int) []int {
+// skewed toward the hotspot prefix when configured. The returned slice
+// aliases the shared perm scratch and is only valid until the next call.
+func pickIndexes(rng *rand.Rand, p Params, pool, size int, perm *[]int) []int {
 	if p.HotspotProb <= 0 || p.HotspotFrac <= 0 {
-		return rng.Perm(pool)[:size]
+		return permInto(rng, perm, pool)[:size]
 	}
 	hot := int(p.HotspotFrac * float64(pool))
 	if hot < 1 {
 		hot = 1
 	}
 	if hot >= pool {
-		return rng.Perm(pool)[:size]
+		return permInto(rng, perm, pool)[:size]
 	}
 	used := make(map[int]bool, size)
 	out := make([]int, 0, size)
@@ -351,6 +364,25 @@ func pickIndexes(rng *rand.Rand, p Params, pool, size int) []int {
 		out = append(out, idx)
 	}
 	return out
+}
+
+// permInto writes a uniform permutation of [0, n) into the shared
+// scratch buffer, growing it as needed. The loop is exactly
+// rand.Perm's, so it consumes the identical random stream — workloads
+// (and therefore journals) are byte-for-byte unchanged.
+func permInto(rng *rand.Rand, scratch *[]int, n int) []int {
+	s := *scratch
+	if cap(s) < n {
+		s = make([]int, n)
+		*scratch = s
+	}
+	s = s[:n]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		s[i] = s[j]
+		s[j] = i
+	}
+	return s
 }
 
 // expDuration draws from an exponential distribution with the given mean.
