@@ -115,6 +115,11 @@ type lockHolder struct {
 	mode Mode
 }
 
+// pcpLock is one locked object's record. Records are pooled on the
+// manager (freeLocks) and reachable only through the locks slice
+// between grant and detachLock, so recycling cannot alias live state.
+//
+//rtlint:pooled
 type pcpLock struct {
 	holders   []lockHolder
 	writers   int // holders in Write mode
@@ -139,6 +144,8 @@ func (l *pcpLock) holdsTx(tx *TxState) bool { return l.find(tx) >= 0 }
 // inheritance graph, token), so recycling cannot alias a live wait. The
 // token is embedded by value and the cancel hook is the static-function
 // form, so a blocking episode allocates nothing after warm-up.
+//
+//rtlint:pooled
 type pcpWaiter struct {
 	m    *Ceiling
 	tx   *TxState
@@ -273,9 +280,11 @@ func (m *Ceiling) recomputeCeil(obj ObjectID) {
 }
 
 // Acquire implements Manager.
+//
+//rtlint:allocfree
 func (m *Ceiling) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
 	if _, ok := m.registered[tx]; !ok {
-		return fmt.Errorf("pcp: transaction %d acquired before Register", tx.ID)
+		return fmt.Errorf("pcp: transaction %d acquired before Register", tx.ID) //rtlint:allow allocfree misuse-error path: boxing tx.ID for fmt never runs in a correct simulation
 	}
 	if m.exclusive {
 		mode = Write
@@ -290,7 +299,7 @@ func (m *Ceiling) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 		return nil
 	}
 	m.seq++
-	w := m.getWaiter()
+	w := m.getWaiter() //rtlint:allow allocfree inlined pool-miss &pcpWaiter literal from getWaiter's growth path
 	w.tx, w.obj, w.mode, w.seq = tx, obj, mode, m.seq
 	m.blocked = append(m.blocked, w)
 	blamed := m.blameFor(tx, obj, mode)
@@ -301,7 +310,7 @@ func (m *Ceiling) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 		m.DirectBlocks++
 	}
 	m.pr.emitBlock(m.k, m.jsite, tx, obj, blamed, ceilingBlock)
-	tx.noteBlocked(m.k.Now(), blamed)
+	tx.noteBlocked(m.k.Now(), blamed) //rtlint:allow allocfree inlined lazy BlockedBy map, allocated once per TxState on its first block
 	m.graph.setBlame(tx, blamed)
 	w.tok.SetCancel(pcpCancel, w)
 	err := p.Park(&w.tok)
@@ -311,6 +320,8 @@ func (m *Ceiling) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 }
 
 // getWaiter hands out a reset waiter from the pool.
+//
+//rtlint:allocfree
 func (m *Ceiling) getWaiter() *pcpWaiter {
 	if n := len(m.freeWaiters); n > 0 {
 		w := m.freeWaiters[n-1]
@@ -318,10 +329,12 @@ func (m *Ceiling) getWaiter() *pcpWaiter {
 		m.freeWaiters = m.freeWaiters[:n-1]
 		return w
 	}
-	return &pcpWaiter{m: m}
+	return &pcpWaiter{m: m} //rtlint:allow allocfree pool-miss growth path: one waiter per high-water-mark, amortized to zero in steady state
 }
 
 // putWaiter recycles a waiter whose Park has returned.
+//
+//rtlint:allocfree
 func (m *Ceiling) putWaiter(w *pcpWaiter) {
 	w.tx = nil
 	w.tok.Reset()
@@ -359,6 +372,8 @@ func (m *Ceiling) ReleaseAll(tx *TxState) {
 }
 
 // detachLock removes l from the locked-object list and recycles it.
+//
+//rtlint:allocfree
 func (m *Ceiling) detachLock(l *pcpLock) {
 	m.locks[l.obj] = nil
 	last := len(m.lockedObjs) - 1

@@ -43,13 +43,15 @@ func (m *TwoPLHP) Register(tx *TxState) {}
 func (m *TwoPLHP) Unregister(tx *TxState) {}
 
 // Acquire implements Manager.
+//
+//rtlint:allocfree
 func (m *TwoPLHP) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
 	m.pr.emitRequest(m.k, 0, tx, obj, mode)
 	if held, ok := tx.Holds(obj); ok && (held == Write || mode == Read) {
 		m.pr.emitGrant(m.k, 0, tx, obj, mode)
 		return nil
 	}
-	e := m.table.get(obj)
+	e := m.table.get(obj) //rtlint:allow allocfree inlined pool-miss &lockEntry literal from get's growth path
 	conflicts := conflictingHolders(e, tx, mode)
 	if len(conflicts) == 0 && m.admissible(e, tx) {
 		m.grant(e, tx, obj, mode)
@@ -66,14 +68,12 @@ func (m *TwoPLHP) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) err
 		}
 	}
 	m.seq++
-	w := m.table.getWaiter()
-	if w.drop == nil {
-		w.drop = m.dropWaiter
-	}
+	w := m.table.getWaiter() //rtlint:allow allocfree inlined pool-miss &lockWaiter literal from getWaiter's growth path
+	w.owner = m
 	w.tx, w.obj, w.mode, w.seq, w.e = tx, obj, mode, m.seq, e
 	e.queue = append(e.queue, w)
 	m.pr.emitBlock(m.k, 0, tx, obj, conflicts, false)
-	tx.noteBlocked(m.k.Now(), conflicts)
+	tx.noteBlocked(m.k.Now(), conflicts) //rtlint:allow allocfree inlined lazy BlockedBy map, allocated once per TxState on its first block
 	w.tok.SetCancel(lockWaiterCancel, w)
 	err := p.Park(&w.tok)
 	m.pr.observeUnblocked(m.k, tx)

@@ -48,6 +48,8 @@ var _ Manager = (*TwoPL)(nil)
 // them to a boolean or sorts by transaction id); entries are pooled via
 // lockTable, which makes the create/drop churn of short lock lifetimes
 // allocation-free.
+//
+//rtlint:pooled
 type lockEntry struct {
 	obj     ObjectID
 	holders []lockHolder
@@ -94,9 +96,10 @@ type lockTable struct {
 	freeWaiters []*lockWaiter
 }
 
-// getWaiter hands out a reset waiter from the pool. The caller must set
-// the drop hook on a fresh waiter (w.drop == nil); pooled waiters keep
-// theirs, which is constant per manager.
+// getWaiter hands out a reset waiter from the pool. The caller must
+// set w.owner before arming the cancel hook.
+//
+//rtlint:allocfree
 func (t *lockTable) getWaiter() *lockWaiter {
 	if n := len(t.freeWaiters); n > 0 {
 		w := t.freeWaiters[n-1]
@@ -104,11 +107,13 @@ func (t *lockTable) getWaiter() *lockWaiter {
 		t.freeWaiters = t.freeWaiters[:n-1]
 		return w
 	}
-	return &lockWaiter{}
+	return &lockWaiter{} //rtlint:allow allocfree pool-miss growth path: one waiter per high-water-mark, amortized to zero in steady state
 }
 
 // putWaiter recycles a waiter whose wait has fully ended (Park returned
 // or the waiter was dropped before parking).
+//
+//rtlint:allocfree
 func (t *lockTable) putWaiter(w *lockWaiter) {
 	w.tx = nil
 	w.e = nil
@@ -125,6 +130,8 @@ func (t *lockTable) at(obj ObjectID) *lockEntry {
 }
 
 // get returns obj's entry, creating (from the pool) when absent.
+//
+//rtlint:allocfree
 func (t *lockTable) get(obj ObjectID) *lockEntry {
 	for int(obj) >= len(t.entries) {
 		t.entries = append(t.entries, nil)
@@ -136,7 +143,7 @@ func (t *lockTable) get(obj ObjectID) *lockEntry {
 			t.free[n-1] = nil
 			t.free = t.free[:n-1]
 		} else {
-			e = &lockEntry{}
+			e = &lockEntry{} //rtlint:allow allocfree pool-miss growth path: one entry per high-water-mark of simultaneously locked objects
 		}
 		e.obj = obj
 		t.entries[obj] = e
@@ -145,6 +152,8 @@ func (t *lockTable) get(obj ObjectID) *lockEntry {
 }
 
 // drop recycles an entry that has no holders and no waiters.
+//
+//rtlint:allocfree
 func (t *lockTable) drop(e *lockEntry) {
 	t.entries[e.obj] = nil
 	e.holders = e.holders[:0]
@@ -152,28 +161,39 @@ func (t *lockTable) drop(e *lockEntry) {
 	t.free = append(t.free, e)
 }
 
+// waiterOwner routes the static cancel hook back to the manager that
+// parked a lockWaiter. It is an interface rather than a stored method
+// value because binding m.dropWaiter as a func value allocates its
+// bound-method closure on every fresh waiter, while storing the
+// manager pointer in an interface word does not.
+type waiterOwner interface {
+	dropWaiter(e *lockEntry, w *lockWaiter)
+}
+
 // lockWaiter is one parked waiter of the two-phase locking family.
 // Waiters are pooled on the lockTable: by the time Acquire's Park
 // returns, the grant and cancel paths have both detached the waiter
-// from its queue, so recycling cannot alias a live wait. The drop hook
+// from its queue, so recycling cannot alias a live wait. The owner
 // (set per manager) lets the static cancel function route back to the
 // owning manager's dropWaiter without a per-block closure; the entry
 // pointer stays valid for the waiter's whole life because entries are
 // only recycled once their queue is empty.
+//
+//rtlint:pooled
 type lockWaiter struct {
-	tx   *TxState
-	obj  ObjectID
-	mode Mode
-	tok  sim.Token
-	seq  uint64
-	e    *lockEntry
-	drop func(e *lockEntry, w *lockWaiter)
+	tx    *TxState
+	obj   ObjectID
+	mode  Mode
+	tok   sim.Token
+	seq   uint64
+	e     *lockEntry
+	owner waiterOwner
 }
 
 // lockWaiterCancel is the shared static cancel hook.
 func lockWaiterCancel(arg any) {
 	w := arg.(*lockWaiter)
-	w.drop(w.e, w)
+	w.owner.dropWaiter(w.e, w)
 }
 
 // NewTwoPL returns protocol L: plain two-phase locking with FIFO queues
@@ -231,27 +251,27 @@ func (m *TwoPL) Register(tx *TxState) {}
 func (m *TwoPL) Unregister(tx *TxState) {}
 
 // Acquire implements Manager.
+//
+//rtlint:allocfree
 func (m *TwoPL) Acquire(p *sim.Proc, tx *TxState, obj ObjectID, mode Mode) error {
 	m.pr.emitRequest(m.k, 0, tx, obj, mode)
 	if held, ok := tx.Holds(obj); ok && (held == Write || mode == Read) {
 		m.pr.emitGrant(m.k, 0, tx, obj, mode)
 		return nil
 	}
-	e := m.table.get(obj)
+	e := m.table.get(obj) //rtlint:allow allocfree inlined pool-miss &lockEntry literal from get's growth path
 	if m.admissible(e, tx, mode) {
 		m.grant(e, tx, obj, mode)
 		return nil
 	}
 	m.seq++
-	w := m.table.getWaiter()
-	if w.drop == nil {
-		w.drop = m.dropWaiter
-	}
+	w := m.table.getWaiter() //rtlint:allow allocfree inlined pool-miss &lockWaiter literal from getWaiter's growth path
+	w.owner = m
 	w.tx, w.obj, w.mode, w.seq, w.e = tx, obj, mode, m.seq, e
 	e.queue = append(e.queue, w)
 	blamed := m.blameFor(e, w)
 	m.pr.emitBlock(m.k, 0, tx, obj, blamed, false)
-	tx.noteBlocked(m.k.Now(), blamed)
+	tx.noteBlocked(m.k.Now(), blamed) //rtlint:allow allocfree inlined lazy BlockedBy map, allocated once per TxState on its first block
 	if m.inherit {
 		m.graph.setBlame(tx, blamed)
 	}
@@ -289,6 +309,8 @@ func lowestPriority(cycle []*TxState) *TxState {
 }
 
 // ReleaseAll implements Manager.
+//
+//rtlint:allocfree
 func (m *TwoPL) ReleaseAll(tx *TxState) {
 	if len(tx.held) == 0 {
 		return

@@ -338,6 +338,8 @@ func (j *Journal) Reset(seed int64, config string) {
 // Append adds one record, assigning its sequence number. It is safe to
 // call on a nil journal (a no-op), so emission sites need no nil
 // checks.
+//
+//rtlint:allocfree
 func (j *Journal) Append(at int64, kind Kind, site int32, tx int64, obj int32, a, b int64, note string) {
 	if j == nil {
 		return
@@ -378,12 +380,18 @@ const binaryMagic = "RTJ1"
 // the (seed, config hash, record count) key, then each record as
 // varint-packed fields. The encoding is byte-stable: the same record
 // sequence always produces the same bytes.
+//
+//rtlint:allocfree
 func (j *Journal) EncodeBinary(w io.Writer) error {
 	j.encBuf = j.appendBinary(j.encBuf[:0])
 	_, err := w.Write(j.encBuf)
 	return err
 }
 
+// appendBinary appends the canonical binary encoding to buf, reusing
+// buf's capacity.
+//
+//rtlint:allocfree
 func (j *Journal) appendBinary(buf []byte) []byte {
 	buf = append(buf, binaryMagic...)
 	buf = binary.AppendVarint(buf, j.Seed())

@@ -1,0 +1,43 @@
+package lint
+
+// AllocFree enforces the //rtlint:allocfree function annotation: the
+// compiler's own escape analysis (-gcflags=-m=2) must report no heap
+// escape inside an annotated function's body. PR 6's allocation gates
+// (AllocsPerRun==0, the per-transaction allocation budget) catch
+// regressions only on exercised paths at test time; this turns the same
+// invariant into a per-function compile-time proof — the moment a change
+// makes a value escape inside Kernel.Run's dispatch helpers,
+// journal.Append, or a manager waiter path, lint fails with the
+// compiler's diagnostic at the escaping expression.
+//
+// The analyzer is evidence-driven: it needs an EscapeReport in the
+// Config (cmd/rtlint produces one by invoking `go build` with
+// -gcflags=-m=2 over the module, cached on content hashes). Without the
+// report it stays dormant, and its //rtlint:allow directives are exempt
+// from staleness so source-only runs do not flag them.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "enforces //rtlint:allocfree: compiler escape analysis must prove annotated functions heap-allocation-free",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(pass *Pass) error {
+	if pass.Config.Escapes == nil || len(pass.Markers.allocFree) == 0 {
+		return nil
+	}
+	for _, decl := range pass.Markers.allocFree {
+		body := decl.Body
+		if body == nil {
+			continue
+		}
+		start := pass.Fset.Position(decl.Pos())
+		end := pass.Fset.Position(body.End())
+		for _, esc := range pass.Config.Escapes.InFile(start.Filename) {
+			if esc.Line < start.Line || esc.Line > end.Line {
+				continue
+			}
+			pass.ReportAt(positionOf(esc), "heap escape in //rtlint:allocfree %s: %s", decl.Name.Name, esc.Message)
+		}
+	}
+	return nil
+}

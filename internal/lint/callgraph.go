@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// callSite is one statically resolvable call inside a function body.
+type callSite struct {
+	pos    ast.Node
+	callee *types.Func
+}
+
+// funcInfo is the per-function call summary the cross-package analyzers
+// consume: the static callees, plus domain facts about the body.
+type funcInfo struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	// calls are the statically resolved call sites, in source order.
+	calls []callSite
+	// mutatesJournal is set when the body writes a field of
+	// journal.Journal (append to j.records, reset of j.encBuf, ...).
+	mutatesJournal bool
+}
+
+// pkgGraph is one package's call summary.
+type pkgGraph struct {
+	pkg   *Package
+	funcs map[*types.Func]*funcInfo
+}
+
+// Resolver gives analyzers whole-module context: it loads dependency
+// packages on demand and memoizes their call summaries and marker sets,
+// so an analyzer looking at internal/metrics can chase a call into
+// internal/txn and ask whether it ever reaches a journal mutation, or
+// whether an imported type is //rtlint:pooled. It is built on the same
+// stdlib-only loader the runner uses.
+type Resolver struct {
+	modPath string
+	lookup  func(importPath string) (*Package, error)
+
+	graphs  map[string]*pkgGraph
+	markers map[string]*pkgMarkers
+
+	// reach memoizes reachesJournalMutation per function.
+	reach map[*types.Func]reachState
+}
+
+type reachState struct {
+	status int // 0 unknown, 1 visiting, 2 no, 3 yes
+	// next is the first hop of a mutation-reaching path (nil when the
+	// function itself mutates).
+	next *types.Func
+}
+
+// NewResolver builds a resolver over a loader (or any compatible lookup
+// function).
+func NewResolver(l *Loader) *Resolver {
+	return &Resolver{
+		modPath: l.ModPath,
+		lookup:  l.Load,
+		graphs:  make(map[string]*pkgGraph),
+		markers: make(map[string]*pkgMarkers),
+		reach:   make(map[*types.Func]reachState),
+	}
+}
+
+// inModule reports whether the package is loadable from module source
+// (the standard library is opaque to the resolver and treated as
+// journal-pure and pool-free).
+func (r *Resolver) inModule(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == r.modPath || strings.HasPrefix(path, r.modPath+"/")
+}
+
+// graphFor loads and summarizes a package by import path, memoized.
+// Load errors surface as a nil graph: the callers treat unresolvable
+// packages as opaque.
+func (r *Resolver) graphFor(path string) *pkgGraph {
+	if g, ok := r.graphs[path]; ok {
+		return g
+	}
+	pkg, err := r.lookup(path)
+	if err != nil {
+		r.graphs[path] = nil
+		return nil
+	}
+	g := buildPkgGraph(pkg)
+	r.graphs[path] = g
+	return g
+}
+
+// graphForPackage registers an already-loaded package (the one under
+// analysis, which may be an ad-hoc fixture directory the lookup cannot
+// reach by import path).
+func (r *Resolver) graphForPackage(pkg *Package) *pkgGraph {
+	if g, ok := r.graphs[pkg.Path]; ok && g != nil {
+		return g
+	}
+	g := buildPkgGraph(pkg)
+	r.graphs[pkg.Path] = g
+	return g
+}
+
+// markersFor resolves another package's marker annotations, memoized.
+func (r *Resolver) markersFor(path string) *pkgMarkers {
+	if m, ok := r.markers[path]; ok {
+		return m
+	}
+	pkg, err := r.lookup(path)
+	if err != nil {
+		r.markers[path] = nil
+		return nil
+	}
+	m := collectMarkers(pkg)
+	r.markers[path] = m
+	return m
+}
+
+// PooledType reports whether a named type is //rtlint:pooled, resolving
+// the marker from the type's defining package.
+func (r *Resolver) PooledType(tn *types.TypeName) bool {
+	if tn == nil || !r.inModule(tn.Pkg()) {
+		return false
+	}
+	return r.markersFor(tn.Pkg().Path()).isPooled(tn)
+}
+
+// buildPkgGraph walks every function body of the package and records
+// its static call sites and journal-mutation facts.
+func buildPkgGraph(pkg *Package) *pkgGraph {
+	g := &pkgGraph{pkg: pkg, funcs: make(map[*types.Func]*funcInfo)}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{obj: obj, decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if callee := staticCallee(pkg.Info, n); callee != nil {
+						fi.calls = append(fi.calls, callSite{pos: n, callee: callee})
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if writesJournalField(pkg.Info, lhs) {
+							fi.mutatesJournal = true
+						}
+					}
+				case *ast.IncDecStmt:
+					if writesJournalField(pkg.Info, n.X) {
+						fi.mutatesJournal = true
+					}
+				}
+				return true
+			})
+			g.funcs[obj] = fi
+		}
+	}
+	return g
+}
+
+// staticCallee resolves a call expression to the function or method it
+// statically invokes, or nil for dynamic calls (interface methods stay
+// resolvable to their interface declaration), conversions, and builtins.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn(...).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// writesJournalField reports whether the assignment target is a field
+// selector on a journal.Journal value.
+func writesJournalField(info *types.Info, lhs ast.Expr) bool {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isJournalType(tv.Type)
+}
+
+// isJournalType reports whether t (possibly behind a pointer) is the
+// journal.Journal struct.
+func isJournalType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Journal" {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "internal/journal")
+}
+
+// ReachesJournalMutation reports whether fn can transitively reach a
+// function that writes journal.Journal state, following statically
+// resolvable calls through module source. chain names the path's hops
+// from fn down to (and including) the mutating function; it is nil when
+// fn itself mutates. Dynamic dispatch and function values are outside
+// the static closure; journalpurity documents that boundary.
+func (r *Resolver) ReachesJournalMutation(fn *types.Func) (bool, []*types.Func) {
+	if !r.reaches(fn) {
+		return false, nil
+	}
+	var chain []*types.Func
+	for hop := r.reach[fn].next; hop != nil; hop = r.reach[hop].next {
+		chain = append(chain, hop)
+		if len(chain) > 32 { // defensive: memo chains are acyclic by construction
+			break
+		}
+	}
+	return true, chain
+}
+
+func (r *Resolver) reaches(fn *types.Func) bool {
+	if st, ok := r.reach[fn]; ok {
+		switch st.status {
+		case 1: // visiting: break the cycle; another path must prove it
+			return false
+		case 2:
+			return false
+		case 3:
+			return true
+		}
+	}
+	pkg := fn.Pkg()
+	if !r.inModule(pkg) {
+		r.reach[fn] = reachState{status: 2}
+		return false
+	}
+	g := r.graphFor(pkg.Path())
+	var fi *funcInfo
+	if g != nil {
+		fi = g.funcs[fn]
+	}
+	if fi == nil {
+		// No body available (interface method, external declaration):
+		// opaque, assumed pure.
+		r.reach[fn] = reachState{status: 2}
+		return false
+	}
+	if fi.mutatesJournal {
+		r.reach[fn] = reachState{status: 3}
+		return true
+	}
+	r.reach[fn] = reachState{status: 1}
+	for _, cs := range fi.calls {
+		if cs.callee == fn {
+			continue
+		}
+		if r.reaches(cs.callee) {
+			r.reach[fn] = reachState{status: 3, next: cs.callee}
+			return true
+		}
+	}
+	r.reach[fn] = reachState{status: 2}
+	return false
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EscapeDiag is one heap-allocation diagnostic from the compiler's
+// escape analysis (-gcflags=-m=2), positioned in module source.
+type EscapeDiag struct {
+	// File is the absolute path of the source file.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message is the compiler's diagnostic ("&Event{} escapes to heap",
+	// "moved to heap: buf", ...).
+	Message string `json:"message"`
+}
+
+// EscapeReport indexes the compiler's escape diagnostics by file so the
+// allocfree analyzer can map them onto annotated function bodies.
+type EscapeReport struct {
+	byFile map[string][]EscapeDiag
+}
+
+// NewEscapeReport builds a report from parsed diagnostics.
+func NewEscapeReport(diags []EscapeDiag) *EscapeReport {
+	r := &EscapeReport{byFile: make(map[string][]EscapeDiag)}
+	for _, d := range diags {
+		r.byFile[d.File] = append(r.byFile[d.File], d)
+	}
+	for _, ds := range r.byFile {
+		sort.Slice(ds, func(i, j int) bool {
+			if ds[i].Line != ds[j].Line {
+				return ds[i].Line < ds[j].Line
+			}
+			return ds[i].Col < ds[j].Col
+		})
+	}
+	return r
+}
+
+// InFile returns the diagnostics of one file (by absolute path), sorted
+// by position.
+func (r *EscapeReport) InFile(file string) []EscapeDiag {
+	if r == nil {
+		return nil
+	}
+	return r.byFile[file]
+}
+
+// Diags returns every diagnostic, sorted by file then position.
+func (r *EscapeReport) Diags() []EscapeDiag {
+	if r == nil {
+		return nil
+	}
+	files := make([]string, 0, len(r.byFile))
+	for f := range r.byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var out []EscapeDiag
+	for _, f := range files {
+		out = append(out, r.byFile[f]...)
+	}
+	return out
+}
+
+// escapeLine matches one compiler diagnostic line: path:line:col: msg.
+var escapeLine = regexp.MustCompile(`^(.*\.go):(\d+):(\d+): (.+)$`)
+
+// CollectEscapes runs the compiler's escape analysis over the module's
+// packages and parses the heap-escape diagnostics. The go command
+// re-emits diagnostics for every package matched by the -gcflags
+// pattern on every invocation (such packages are rebuilt, never served
+// stale from the build cache), so the output is complete even on a warm
+// cache; the JSON cache in CollectEscapesCached exists purely to skip
+// the ~2s compile.
+func CollectEscapes(modRoot string, patterns []string) (*EscapeReport, error) {
+	modPath, err := modulePath(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"build", "-gcflags=" + modPath + "/...=-m=2"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: escape analysis build failed: %v\n%s", err, out)
+	}
+	return NewEscapeReport(parseEscapeOutput(modRoot, string(out))), nil
+}
+
+// parseEscapeOutput extracts the heap-escape diagnostics from go build
+// -gcflags=-m=2 output. -m=2 also prints inlining decisions and
+// indented explanation ("flow:") lines; only top-level escape facts are
+// kept, deduplicated (the compiler emits some twice, with and without a
+// trailing colon introducing the explanation).
+func parseEscapeOutput(modRoot, out string) []EscapeDiag {
+	seen := make(map[string]bool)
+	var diags []EscapeDiag
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if strings.HasPrefix(msg, " ") || strings.HasPrefix(msg, "\t") {
+			continue // indented explanation line
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		msg = strings.TrimSuffix(msg, ":")
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(modRoot, filepath.FromSlash(file))
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		key := fmt.Sprintf("%s:%d:%d:%s", file, lineNo, col, msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		diags = append(diags, EscapeDiag{File: file, Line: lineNo, Col: col, Message: msg})
+	}
+	return diags
+}
+
+// CollectEscapesCached wraps CollectEscapes with an on-disk JSON cache
+// keyed on the toolchain version, go.mod, and the content hash of every
+// buildable .go file in the module (the module is dependency-free, so
+// there is no go.sum to fold in). hit reports whether the compile was
+// skipped.
+func CollectEscapesCached(modRoot, cacheDir string, patterns []string) (rep *EscapeReport, hit bool, err error) {
+	key, err := escapeCacheKey(modRoot, patterns)
+	if err != nil {
+		return nil, false, err
+	}
+	path := filepath.Join(cacheDir, "escapes-"+key+".json")
+	if data, err := os.ReadFile(path); err == nil {
+		var diags []EscapeDiag
+		if json.Unmarshal(data, &diags) == nil {
+			for i := range diags { // stored relative to the module root
+				if !filepath.IsAbs(diags[i].File) {
+					diags[i].File = filepath.Join(modRoot, filepath.FromSlash(diags[i].File))
+				}
+			}
+			return NewEscapeReport(diags), true, nil
+		}
+	}
+	rep, err = CollectEscapes(modRoot, patterns)
+	if err != nil {
+		return nil, false, err
+	}
+	stored := rep.Diags()
+	for i := range stored {
+		if rel, err := filepath.Rel(modRoot, stored[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			stored[i].File = filepath.ToSlash(rel)
+		}
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err == nil {
+		if data, err := json.MarshalIndent(stored, "", "  "); err == nil {
+			// One live entry: drop superseded keys before writing.
+			if old, err := filepath.Glob(filepath.Join(cacheDir, "escapes-*.json")); err == nil {
+				for _, p := range old {
+					os.Remove(p)
+				}
+			}
+			_ = os.WriteFile(path, data, 0o644)
+		}
+	}
+	return rep, false, nil
+}
+
+// escapeCacheKey hashes everything the compile output depends on.
+func escapeCacheKey(modRoot string, patterns []string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintln(h, runtime.Version())
+	fmt.Fprintln(h, strings.Join(patterns, " "))
+	gomod, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	h.Write(gomod)
+	var files []string
+	err = filepath.WalkDir(modRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if p != modRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "results") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasPrefix(name, ".") {
+			files = append(files, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return "", err
+		}
+		rel, _ := filepath.Rel(modRoot, f)
+		fmt.Fprintln(h, filepath.ToSlash(rel))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], nil
+}

@@ -51,6 +51,9 @@ type Pass struct {
 	// Config carries runner-level policy (e.g. the raw-go spawn-site
 	// allowlist) that some analyzers consult.
 	Config Config
+	// Markers holds the package's parsed //rtlint:pooled, allocfree,
+	// and pure= annotations.
+	Markers *pkgMarkers
 
 	report func(Diagnostic)
 }
@@ -62,6 +65,21 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Position: p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ReportAt records a finding at an externally supplied position (e.g. a
+// compiler diagnostic that has no token.Pos in this FileSet).
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// positionOf converts a compiler escape diagnostic to a position.
+func positionOf(e EscapeDiag) token.Position {
+	return token.Position{Filename: e.File, Line: e.Line, Column: e.Col}
 }
 
 // Diagnostic is one positioned finding.
@@ -84,6 +102,19 @@ type Config struct {
 	// IncludeTests also analyzes _test.go files of the package itself
 	// (external _test packages are never analyzed).
 	IncludeTests bool
+	// Escapes carries the compiler's -gcflags=-m=2 heap-escape
+	// diagnostics for the allocfree analyzer. When nil the analyzer is
+	// dormant and its //rtlint:allow directives are exempt from
+	// staleness (source-only runs cannot tell whether they still mask
+	// anything).
+	Escapes *EscapeReport
+	// Resolve gives analyzers whole-module context (cross-package call
+	// summaries, imported //rtlint:pooled markers). Run and the fixture
+	// harness wire one automatically.
+	Resolve *Resolver
+	// JournalPurePkgs lists import-path suffixes that are journal-pure
+	// by policy, in addition to packages tagged //rtlint:pure=journal.
+	JournalPurePkgs []string
 }
 
 // DefaultGoSpawnAllowlist names the only files where a raw `go`
@@ -98,7 +129,10 @@ var DefaultGoSpawnAllowlist = []string{
 
 // DefaultConfig returns the policy rtlint ships with.
 func DefaultConfig() Config {
-	return Config{GoSpawnAllowlist: DefaultGoSpawnAllowlist}
+	return Config{
+		GoSpawnAllowlist: DefaultGoSpawnAllowlist,
+		JournalPurePkgs:  DefaultJournalPurePkgs,
+	}
 }
 
 // Analyzers returns the full determinism suite, in stable order. The
@@ -113,6 +147,9 @@ func Analyzers() []*Analyzer {
 		RawGo,
 		SelectOrder,
 		FloatRange,
+		PoolSafety,
+		AllocFree,
+		JournalPurity,
 	}
 }
 

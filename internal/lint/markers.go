@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MarkerKind distinguishes the annotation directives.
+type MarkerKind int
+
+const (
+	// MarkerPooled tags a type declaration whose values are recycled
+	// through a free list; poolsafety tracks them.
+	MarkerPooled MarkerKind = iota
+	// MarkerAllocFree tags a function declaration whose body must not
+	// contain any heap escape; allocfree enforces it against
+	// -gcflags=-m=2 compiler diagnostics.
+	MarkerAllocFree
+	// MarkerPure tags a package (in its package doc comment) as pure
+	// with respect to a domain; journalpurity proves the "journal"
+	// domain can never be mutated from the package.
+	MarkerPure
+)
+
+func (k MarkerKind) String() string {
+	switch k {
+	case MarkerPooled:
+		return "pooled"
+	case MarkerAllocFree:
+		return "allocfree"
+	case MarkerPure:
+		return "pure"
+	}
+	return "unknown"
+}
+
+// Marker is one parsed annotation directive.
+type Marker struct {
+	Kind     MarkerKind
+	Domain   string // for MarkerPure: the purity domain ("journal")
+	Position token.Position
+}
+
+// ParseMarker parses one comment's text as a marker directive. ok=false
+// when the comment is not a marker at all (including when it is an
+// //rtlint:allow suppression); a non-nil error means it tried to be a
+// marker but is malformed.
+func ParseMarker(text string) (Marker, bool, error) {
+	const prefix = "//rtlint:"
+	if !strings.HasPrefix(text, prefix) {
+		return Marker{}, false, nil
+	}
+	rest := text[len(prefix):]
+	verb := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		verb, rest = rest[:i], rest[i+1:]
+	} else {
+		rest = ""
+	}
+	if !markerVerb(verb) {
+		return Marker{}, false, nil
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Marker{}, true, fmt.Errorf("%w: %q", ErrMarkerArgs, strings.TrimSpace(rest))
+	}
+	switch {
+	case verb == "pooled":
+		return Marker{Kind: MarkerPooled}, true, nil
+	case verb == "allocfree":
+		return Marker{Kind: MarkerAllocFree}, true, nil
+	case verb == "pure=journal":
+		return Marker{Kind: MarkerPure, Domain: "journal"}, true, nil
+	default: // "pure", "pure=", "pure=<unknown>"
+		return Marker{}, true, ErrMarkerDomain
+	}
+}
+
+// pkgMarkers is the resolved view of one package's marker annotations.
+type pkgMarkers struct {
+	// pooled holds the named types tagged //rtlint:pooled.
+	pooled map[*types.TypeName]bool
+	// allocFree maps each //rtlint:allocfree-annotated function object
+	// to its declaration.
+	allocFree map[*types.Func]*ast.FuncDecl
+	// pureDomains holds the purity domains the package's doc comments
+	// declare ("journal").
+	pureDomains map[string]bool
+	// meta carries malformed/misplaced marker diagnostics for the
+	// directive meta-analyzer.
+	meta []Diagnostic
+}
+
+func (m *pkgMarkers) isPooled(tn *types.TypeName) bool { return m != nil && m.pooled[tn] }
+
+// collectMarkers parses and places every marker of a package. Placement
+// is strict: //rtlint:pooled belongs in a type declaration's doc
+// comment, //rtlint:allocfree in a function's, and //rtlint:pure=journal
+// in a file's package doc comment. A marker anywhere else is reported as
+// misplaced so a stray annotation can never silently bind to nothing.
+func collectMarkers(pkg *Package) *pkgMarkers {
+	mk := &pkgMarkers{
+		pooled:      make(map[*types.TypeName]bool),
+		allocFree:   make(map[*types.Func]*ast.FuncDecl),
+		pureDomains: make(map[string]bool),
+	}
+	placed := make(map[*ast.Comment]bool)
+
+	take := func(doc *ast.CommentGroup, accept func(Marker) bool) {
+		if doc == nil {
+			return
+		}
+		for _, c := range doc.List {
+			m, ok, err := ParseMarker(c.Text)
+			if !ok {
+				continue
+			}
+			placed[c] = true
+			if err != nil {
+				mk.meta = append(mk.meta, Diagnostic{
+					Analyzer: MetaAnalyzerName,
+					Position: pkg.Fset.Position(c.Pos()),
+					Message:  "malformed marker: " + err.Error(),
+				})
+				continue
+			}
+			m.Position = pkg.Fset.Position(c.Pos())
+			if !accept(m) {
+				mk.meta = append(mk.meta, Diagnostic{
+					Analyzer: MetaAnalyzerName,
+					Position: m.Position,
+					Message:  fmt.Sprintf("misplaced marker: //rtlint:%s does not apply to this declaration", m.Kind),
+				})
+			}
+		}
+	}
+
+	for _, f := range pkg.Files {
+		take(f.Doc, func(m Marker) bool {
+			if m.Kind != MarkerPure {
+				return false
+			}
+			mk.pureDomains[m.Domain] = true
+			return true
+		})
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				take(d.Doc, func(m Marker) bool {
+					if m.Kind != MarkerAllocFree {
+						return false
+					}
+					if obj, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+						mk.allocFree[obj] = d
+					}
+					return true
+				})
+			case *ast.GenDecl:
+				acceptType := func(spec *ast.TypeSpec) func(Marker) bool {
+					return func(m Marker) bool {
+						if m.Kind != MarkerPooled {
+							return false
+						}
+						if obj, ok := pkg.Info.Defs[spec.Name].(*types.TypeName); ok {
+							mk.pooled[obj] = true
+						}
+						return true
+					}
+				}
+				if d.Tok == token.TYPE && len(d.Specs) == 1 {
+					if spec, ok := d.Specs[0].(*ast.TypeSpec); ok {
+						take(d.Doc, acceptType(spec))
+					}
+				} else {
+					take(d.Doc, func(Marker) bool { return false })
+				}
+				for _, s := range d.Specs {
+					if spec, ok := s.(*ast.TypeSpec); ok && d.Tok == token.TYPE {
+						take(spec.Doc, acceptType(spec))
+					}
+				}
+			}
+		}
+	}
+
+	// Any marker-shaped comment not consumed above sits in a position
+	// where it binds to nothing.
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if placed[c] {
+					continue
+				}
+				m, ok, err := ParseMarker(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if err != nil {
+					mk.meta = append(mk.meta, Diagnostic{
+						Analyzer: MetaAnalyzerName,
+						Position: pos,
+						Message:  "malformed marker: " + err.Error(),
+					})
+					continue
+				}
+				mk.meta = append(mk.meta, Diagnostic{
+					Analyzer: MetaAnalyzerName,
+					Position: pos,
+					Message: fmt.Sprintf("misplaced marker: //rtlint:%s must be in the doc comment of a %s",
+						m.Kind, markerHome(m.Kind)),
+				})
+			}
+		}
+	}
+	return mk
+}
+
+func markerHome(k MarkerKind) string {
+	switch k {
+	case MarkerPooled:
+		return "type declaration"
+	case MarkerAllocFree:
+		return "function declaration"
+	case MarkerPure:
+		return "file's package clause"
+	}
+	return "declaration"
+}

@@ -1,0 +1,939 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolSafety checks the object-pooling discipline PR 6 introduced for
+// the hot path: kernel events, wait tokens, per-manager lock waiters,
+// and TxState are recycled through free lists, so three whole bug
+// classes open up that Go's GC normally makes impossible. For every
+// type tagged //rtlint:pooled the analyzer detects:
+//
+//   - use-after-release: a read or write of a pooled value on a path
+//     after it was handed back to its pool (appended to a free list or
+//     zeroed by a releaser), where the next pool hit would alias it;
+//   - escapes into long-lived state: a pool-derived pointer captured by
+//     a closure or stored into a package-level variable outlives its
+//     lease and defeats the static-callback discipline;
+//   - reuse without reset: a free list whose push sites and pop sites
+//     both lack reset evidence (field zeroing, a Reset* call, *p = T{},
+//     or a generation-counter bump), so a recycled value leaks its
+//     previous life into the next one.
+//
+// The analysis is an intra-procedural flow walk over go/types-resolved
+// ASTs with a package-level call summary: release functions are
+// classified by their bodies (append a pooled pointer parameter to a
+// free-list field, or zero it through the pointer), transitively
+// through same-package wrappers; free lists are recognized by the
+// repo's naming convention — slice-of-pooled fields named free*.
+// Release inside a terminating branch (return/continue/panic) does not
+// poison the fall-through path, and rebinding a variable clears its
+// released state.
+var PoolSafety = &Analyzer{
+	Name: "poolsafety",
+	Doc:  "detects use-after-release, closure/global escapes, and reset-less reuse of //rtlint:pooled values",
+	Run:  runPoolSafety,
+}
+
+// poolSummary is the package-level call summary for pool analysis.
+type poolSummary struct {
+	pass *Pass
+	// releasers maps a function to the parameter indices (receiver = -1)
+	// it releases back to a pool.
+	releasers map[*types.Func]map[int]bool
+	// getters are functions returning a pooled pointer popped from a
+	// free list.
+	getters map[*types.Func]bool
+	// pools tracks each free-list field's push/pop sites.
+	pools map[*types.Var]*poolField
+}
+
+// poolField aggregates the evidence about one free-list field.
+type poolField struct {
+	name      string
+	elem      *types.TypeName
+	pushTotal int
+	pushReset int
+	popTotal  int
+	popReset  int
+	firstPush token.Pos
+}
+
+func runPoolSafety(pass *Pass) error {
+	sum := &poolSummary{
+		pass:      pass,
+		releasers: make(map[*types.Func]map[int]bool),
+		getters:   make(map[*types.Func]bool),
+		pools:     make(map[*types.Var]*poolField),
+	}
+	if !sum.anyPooled() {
+		return nil
+	}
+	decls := sum.collectFuncs()
+	for _, fd := range decls {
+		sum.classify(fd)
+	}
+	sum.propagateReleasers(decls)
+	for _, fd := range decls {
+		checkPoolFlow(sum, fd)
+	}
+	sum.checkResetDiscipline()
+	return nil
+}
+
+// anyPooled short-circuits packages that neither declare nor import a
+// pooled type anywhere in their type info.
+func (s *poolSummary) anyPooled() bool {
+	if len(s.pass.Markers.pooled) > 0 {
+		return true
+	}
+	for _, tv := range s.pass.Info.Types {
+		if s.pooledElem(tv.Type) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isPooled reports whether a named type carries //rtlint:pooled,
+// locally or (through the resolver) in its defining package.
+func (s *poolSummary) isPooled(tn *types.TypeName) bool {
+	if tn == nil {
+		return false
+	}
+	if tn.Pkg() == s.pass.Pkg {
+		return s.pass.Markers.pooled[tn]
+	}
+	if r := s.pass.Config.Resolve; r != nil {
+		return r.PooledType(tn)
+	}
+	return false
+}
+
+// pooledElem returns the pooled type name when t is *T for pooled T.
+func (s *poolSummary) pooledElem(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	if s.isPooled(named.Obj()) {
+		return named.Obj()
+	}
+	return nil
+}
+
+func (s *poolSummary) collectFuncs() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range s.pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// funcObj resolves a declaration to its *types.Func.
+func (s *poolSummary) funcObj(fd *ast.FuncDecl) *types.Func {
+	fn, _ := s.pass.Info.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// paramsOf lists a declaration's pooled-pointer parameters, receiver
+// first as index -1.
+func (s *poolSummary) paramsOf(fd *ast.FuncDecl) map[types.Object]int {
+	out := make(map[types.Object]int)
+	add := func(names []*ast.Ident, idx int) {
+		for _, name := range names {
+			if obj := s.pass.Info.Defs[name]; obj != nil && s.pooledElem(obj.Type()) != nil {
+				out[obj] = idx
+			}
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		add(fd.Recv.List[0].Names, -1)
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			add([]*ast.Ident{name}, idx)
+			idx++
+		}
+	}
+	return out
+}
+
+// freeListField resolves a selector to a free-list field: a field whose
+// name starts with "free" (the repo's pooling convention) and whose
+// type is a slice of pooled pointers.
+func (s *poolSummary) freeListField(e ast.Expr) (*types.Var, *types.TypeName) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "free") {
+		return nil, nil
+	}
+	var obj types.Object
+	if selection, ok := s.pass.Info.Selections[sel]; ok {
+		obj = selection.Obj()
+	} else {
+		obj = s.pass.Info.Uses[sel.Sel]
+	}
+	field, ok := obj.(*types.Var)
+	if !ok || !field.IsField() {
+		return nil, nil
+	}
+	slice, ok := field.Type().Underlying().(*types.Slice)
+	if !ok {
+		return nil, nil
+	}
+	elem := s.pooledElem(slice.Elem())
+	if elem == nil {
+		return nil, nil
+	}
+	return field, elem
+}
+
+// poolFor returns (lazily creating) the aggregate for a free-list field.
+func (s *poolSummary) poolFor(field *types.Var, elem *types.TypeName) *poolField {
+	p := s.pools[field]
+	if p == nil {
+		p = &poolField{name: field.Name(), elem: elem}
+		s.pools[field] = p
+	}
+	return p
+}
+
+// classify records one function's push/pop sites and its direct
+// releaser/getter nature.
+func (s *poolSummary) classify(fd *ast.FuncDecl) {
+	params := s.paramsOf(fd)
+	fn := s.funcObj(fd)
+	var poolReads, poolReturns bool
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Push site: x.freeF = append(x.freeF, v)
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				field, elem := s.freeListField(lhs)
+				if field == nil {
+					continue
+				}
+				call, ok := n.Rhs[i].(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				p := s.poolFor(field, elem)
+				p.pushTotal++
+				if p.firstPush == token.NoPos {
+					p.firstPush = n.Pos()
+				}
+				if s.resetEvidence(fd, call.Args[1:]) {
+					p.pushReset++
+				}
+				// Releaser: the pushed value is a pooled parameter.
+				if fn != nil {
+					for _, arg := range call.Args[1:] {
+						if obj := identObj(s.pass.Info, arg); obj != nil {
+							if idx, ok := params[obj]; ok {
+								s.addReleaser(fn, idx)
+							}
+						}
+					}
+				}
+			}
+			// Pop site: v := x.freeF[i]
+			for i, rhs := range n.Rhs {
+				ix, ok := ast.Unparen(rhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				field, elem := s.freeListField(ix.X)
+				if field == nil {
+					continue
+				}
+				p := s.poolFor(field, elem)
+				p.popTotal++
+				if i < len(n.Lhs) {
+					if obj := lhsObj(s.pass.Info, n.Lhs[i]); obj != nil && s.resetEvidenceFor(fd, obj) {
+						p.popReset++
+					}
+				}
+				poolReads = true
+			}
+		}
+		return true
+	})
+
+	// Releaser via zeroing a pooled parameter: *p = T{}.
+	if fn != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				star, ok := ast.Unparen(lhs).(*ast.StarExpr)
+				if !ok {
+					continue
+				}
+				if obj := identObj(s.pass.Info, star.X); obj != nil {
+					if idx, ok := params[obj]; ok {
+						s.addReleaser(fn, idx)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Getter: returns a pooled pointer and reads a free list.
+	if fn != nil && poolReads {
+		if res := fn.Type().(*types.Signature).Results(); res != nil {
+			for i := 0; i < res.Len(); i++ {
+				if s.pooledElem(res.At(i).Type()) != nil {
+					poolReturns = true
+				}
+			}
+		}
+		if poolReturns {
+			s.getters[fn] = true
+		}
+	}
+}
+
+func (s *poolSummary) addReleaser(fn *types.Func, idx int) {
+	m := s.releasers[fn]
+	if m == nil {
+		m = make(map[int]bool)
+		s.releasers[fn] = m
+	}
+	m[idx] = true
+}
+
+// propagateReleasers closes releaser classification over same-package
+// wrappers: a function that forwards its pooled parameter to a known
+// releaser is itself a releaser of that parameter.
+func (s *poolSummary) propagateReleasers(decls []*ast.FuncDecl) {
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			fn := s.funcObj(fd)
+			if fn == nil {
+				continue
+			}
+			params := s.paramsOf(fd)
+			if len(params) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for obj, idx := range params {
+					if s.releasedArg(call, obj) && !s.releasers[fn][idx] {
+						s.addReleaser(fn, idx)
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// releasedArg reports whether the call releases obj: obj appears in an
+// argument (or receiver) position that the callee is known to release.
+func (s *poolSummary) releasedArg(call *ast.CallExpr, obj types.Object) bool {
+	callee := staticCallee(s.pass.Info, call)
+	if callee == nil {
+		return false
+	}
+	released := s.releasers[callee]
+	if len(released) == 0 {
+		return false
+	}
+	if released[-1] {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if recvObj := identObj(s.pass.Info, sel.X); recvObj == obj {
+				return true
+			}
+			// &w.tok style receivers: release of a field is not a
+			// release of the whole value.
+		}
+	}
+	for i, arg := range call.Args {
+		if !released[i] {
+			continue
+		}
+		a := ast.Unparen(arg)
+		if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			a = u.X
+		}
+		if identObj(s.pass.Info, a) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// resetEvidence reports whether any of the pushed values shows reset
+// evidence earlier in the same function.
+func (s *poolSummary) resetEvidence(fd *ast.FuncDecl, args []ast.Expr) bool {
+	for _, arg := range args {
+		if obj := identObj(s.pass.Info, arg); obj != nil && s.resetEvidenceFor(fd, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// resetEvidenceFor reports whether fd's body contains, anywhere, a
+// reset of obj: a field assignment or inc/dec through it (generation
+// bump, truncation), *obj = T{}, or a Reset*-named method call on obj
+// or one of its fields.
+func (s *poolSummary) resetEvidenceFor(fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	rootIs := func(e ast.Expr) bool {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.Ident:
+				return declOrUseObj(s.pass.Info, x) == obj
+			default:
+				return false
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					if rootIs(l.X) {
+						found = true
+					}
+				case *ast.StarExpr:
+					if rootIs(l.X) {
+						found = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && rootIs(sel.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				strings.HasPrefix(sel.Sel.Name, "Reset") && rootIs(sel.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkResetDiscipline reports pools where neither side of the recycle
+// shows reset evidence.
+func (s *poolSummary) checkResetDiscipline() {
+	for _, p := range s.pools {
+		if p.pushTotal == 0 || p.popTotal == 0 {
+			continue // not a full recycle loop in this package
+		}
+		pushOK := p.pushReset == p.pushTotal
+		popOK := p.popReset == p.popTotal
+		if !pushOK && !popOK {
+			s.pass.Reportf(p.firstPush,
+				"pooled %s recycled through %s without reset evidence on every push or every pop (zero fields, call a Reset* method, or bump a generation counter before reuse)",
+				p.elem.Name(), p.name)
+		}
+	}
+}
+
+// --- intra-procedural flow: use-after-release and escapes ---
+
+// poolFlow walks one function's statements in order, tracking which
+// pooled locals are pool-derived and which have been released.
+type poolFlow struct {
+	sum *poolSummary
+	fd  *ast.FuncDecl
+	// origin marks pool-derived locals (assigned from a getter call or
+	// a free-list pop).
+	origin map[types.Object]bool
+	// released maps a released local to the position of the release.
+	released map[types.Object]token.Pos
+	// reported dedupes per-object reports.
+	reported map[types.Object]bool
+}
+
+func checkPoolFlow(sum *poolSummary, fd *ast.FuncDecl) {
+	fl := &poolFlow{
+		sum:      sum,
+		fd:       fd,
+		origin:   make(map[types.Object]bool),
+		released: make(map[types.Object]token.Pos),
+		reported: make(map[types.Object]bool),
+	}
+	fl.stmts(fd.Body.List)
+	fl.checkEscapes()
+}
+
+// stmts processes a statement list in order. Loop bodies are processed
+// twice so a release at the bottom of a loop poisons uses at the top on
+// the next iteration (the back edge).
+func (fl *poolFlow) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		fl.stmt(st)
+	}
+}
+
+func (fl *poolFlow) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		// Uses on both sides happen before rebinding takes effect. A
+		// plain identifier on the left is a write (the rebind itself),
+		// not a read; only compound targets (v.f = x, *v = x, a[v] = x)
+		// read the variable.
+		for _, rhs := range st.Rhs {
+			fl.checkUses(rhs)
+		}
+		for _, lhs := range st.Lhs {
+			if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				continue
+			}
+			fl.checkUses(lhs)
+		}
+		fl.applyAssign(st)
+		fl.applyReleases(st)
+	case *ast.ExprStmt:
+		fl.checkUses(st.X)
+		fl.applyReleases(st)
+	case *ast.DeferStmt:
+		// A deferred release runs at function exit; it cannot poison
+		// the body. Still check the arguments as uses.
+		fl.checkUses(st.Call.Fun)
+		for _, a := range st.Call.Args {
+			fl.checkUses(a)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			fl.checkUses(r)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			fl.stmt(st.Init)
+		}
+		fl.checkUses(st.Cond)
+		entry := fl.snapshot()
+		fl.stmts(st.Body.List)
+		if terminates(st.Body.List) {
+			// The branch never falls through: its releases do not
+			// reach the code after the if.
+			fl.restore(entry)
+		}
+		if st.Else != nil {
+			afterThen := fl.snapshot()
+			fl.restore(entry)
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				fl.stmts(e.List)
+				if terminates(e.List) {
+					fl.restore(entry)
+				}
+			case *ast.IfStmt:
+				fl.stmt(e)
+			}
+			// Join: released on either surviving branch stays released.
+			fl.merge(afterThen)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			fl.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			fl.checkUses(st.Cond)
+		}
+		// Two passes: the second sees releases from the first via the
+		// back edge. Terminating-branch releases (release+continue,
+		// release+return) were already filtered by the if handling.
+		fl.stmts(st.Body.List)
+		if st.Post != nil {
+			fl.stmt(st.Post)
+		}
+		fl.stmts(st.Body.List)
+	case *ast.RangeStmt:
+		fl.checkUses(st.X)
+		fl.stmts(st.Body.List)
+		fl.stmts(st.Body.List)
+	case *ast.BlockStmt:
+		fl.stmts(st.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			fl.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			fl.checkUses(st.Tag)
+		}
+		entry := fl.snapshot()
+		acc := fl.snapshot()
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			fl.restore(entry)
+			for _, e := range cc.List {
+				fl.checkUses(e)
+			}
+			fl.stmts(cc.Body)
+			if !terminates(cc.Body) {
+				acc = fl.mergeInto(acc)
+			}
+		}
+		fl.restore(acc)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			fl.stmt(st.Init)
+		}
+		fl.stmts(st.Body.List)
+	case *ast.SelectStmt:
+		fl.stmts(st.Body.List)
+	case *ast.CaseClause:
+		fl.stmts(st.Body)
+	case *ast.CommClause:
+		if st.Comm != nil {
+			fl.stmt(st.Comm)
+		}
+		fl.stmts(st.Body)
+	case *ast.LabeledStmt:
+		fl.stmt(st.Stmt)
+	case *ast.IncDecStmt:
+		fl.checkUses(st.X)
+	case *ast.SendStmt:
+		fl.checkUses(st.Chan)
+		fl.checkUses(st.Value)
+	case *ast.GoStmt:
+		fl.checkUses(st.Call.Fun)
+		for _, a := range st.Call.Args {
+			fl.checkUses(a)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						fl.checkUses(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// snapshot/restore/merge manage the released set across branches.
+func (fl *poolFlow) snapshot() map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos, len(fl.released))
+	for k, v := range fl.released {
+		out[k] = v
+	}
+	return out
+}
+
+func (fl *poolFlow) restore(s map[types.Object]token.Pos) {
+	fl.released = make(map[types.Object]token.Pos, len(s))
+	for k, v := range s {
+		fl.released[k] = v
+	}
+}
+
+func (fl *poolFlow) merge(other map[types.Object]token.Pos) {
+	for k, v := range other {
+		if _, ok := fl.released[k]; !ok {
+			fl.released[k] = v
+		}
+	}
+}
+
+func (fl *poolFlow) mergeInto(base map[types.Object]token.Pos) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos, len(base))
+	for k, v := range base {
+		out[k] = v
+	}
+	for k, v := range fl.released {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// applyAssign updates origin/released for an assignment: a variable
+// assigned from a getter call or free-list pop becomes pool-derived;
+// any rebinding clears its released state.
+func (fl *poolFlow) applyAssign(st *ast.AssignStmt) {
+	for i, lhs := range st.Lhs {
+		obj := lhsObj(fl.sum.pass.Info, lhs)
+		if obj == nil || fl.sum.pooledElem(obj.Type()) == nil {
+			continue
+		}
+		delete(fl.released, obj)
+		if i < len(st.Rhs) {
+			rhs := ast.Unparen(st.Rhs[i])
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if callee := staticCallee(fl.sum.pass.Info, call); callee != nil && fl.sum.getters[callee] {
+					fl.origin[obj] = true
+					continue
+				}
+			}
+			if ix, ok := rhs.(*ast.IndexExpr); ok {
+				if field, _ := fl.sum.freeListField(ix.X); field != nil {
+					fl.origin[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// applyReleases marks locals released by calls (or zeroing) in st.
+func (fl *poolFlow) applyReleases(st ast.Stmt) {
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			fl.applyCallReleases(n)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+					if obj := identObj(fl.sum.pass.Info, star.X); obj != nil && fl.sum.pooledElem(obj.Type()) != nil {
+						// *v = T{} through a local: treat as release
+						// only when v is pool-derived (zeroing an
+						// owned value is initialization, not release).
+						if fl.origin[obj] {
+							fl.released[obj] = n.Pos()
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (fl *poolFlow) applyCallReleases(call *ast.CallExpr) {
+	callee := staticCallee(fl.sum.pass.Info, call)
+	if callee == nil {
+		return
+	}
+	released := fl.sum.releasers[callee]
+	if len(released) == 0 {
+		return
+	}
+	mark := func(e ast.Expr) {
+		a := ast.Unparen(e)
+		if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			a = u.X
+		}
+		if obj := identObj(fl.sum.pass.Info, a); obj != nil && fl.sum.pooledElem(obj.Type()) != nil {
+			fl.released[obj] = call.Pos()
+		}
+	}
+	if released[-1] {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			mark(sel.X)
+		}
+	}
+	for i, arg := range call.Args {
+		if released[i] {
+			mark(arg)
+		}
+	}
+}
+
+// checkUses reports reads of released locals inside e, skipping the
+// argument position of the release call itself (handled by ordering:
+// releases apply after the statement's uses are checked).
+func (fl *poolFlow) checkUses(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closure bodies are checked by checkEscapes
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := declOrUseObj(fl.sum.pass.Info, id)
+		if obj == nil {
+			return true
+		}
+		if pos, ok := fl.released[obj]; ok && !fl.reported[obj] {
+			rel := fl.sum.pass.Fset.Position(pos)
+			fl.sum.pass.Reportf(id.Pos(),
+				"use of pooled %s %q after it was released at line %d; the next pool hit aliases it",
+				fl.sum.pooledElem(obj.Type()).Name(), id.Name, rel.Line)
+			fl.reported[obj] = true
+		}
+		return true
+	})
+}
+
+// checkEscapes reports pool-derived locals that outlive their lease:
+// captured by a closure or stored into a package-level variable.
+func (fl *poolFlow) checkEscapes() {
+	info := fl.sum.pass.Info
+	ast.Inspect(fl.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				if obj == nil || !fl.origin[obj] {
+					return true
+				}
+				if fl.reported[obj] {
+					return true
+				}
+				fl.sum.pass.Reportf(id.Pos(),
+					"pool-derived %s %q captured by closure; a pooled value must not outlive its lease (use a static callback with the value as argument)",
+					fl.sum.pooledElem(obj.Type()).Name(), id.Name)
+				fl.reported[obj] = true
+				return true
+			})
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				rhsObj := identObj(info, ast.Unparen(n.Rhs[i]))
+				if rhsObj == nil || !fl.origin[rhsObj] {
+					continue
+				}
+				if root := packageLevelRoot(info, lhs); root != nil {
+					fl.sum.pass.Reportf(n.Pos(),
+						"pool-derived %s %q stored into package-level %s; pooled values must stay within their lease",
+						fl.sum.pooledElem(rhsObj.Type()).Name(), rhsObj.Name(), root.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// packageLevelRoot returns the package-level variable at the root of an
+// assignment target, or nil.
+func packageLevelRoot(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			// Only follow selectors rooted at a plain identifier; a
+			// field store through a local receiver is legitimate
+			// (waiter queues hold pooled pointers by design).
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				e = id
+				continue
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			if ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// terminates reports whether a statement list cannot fall through:
+// its last statement is a return, branch, panic, or an if/else where
+// both arms terminate (mirrors go/types' terminating statements closely
+// enough for release-flow purposes).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return terminatingStmt(list[len(list)-1])
+}
+
+func terminatingStmt(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.BREAK || st.Tok == token.CONTINUE || st.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.IfStmt:
+		if st.Else == nil {
+			return false
+		}
+		elseTerm := false
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = terminates(e.List)
+		case *ast.IfStmt:
+			elseTerm = terminatingStmt(e)
+		}
+		return terminates(st.Body.List) && elseTerm
+	case *ast.BlockStmt:
+		return terminates(st.List)
+	case *ast.LabeledStmt:
+		return terminatingStmt(st.Stmt)
+	}
+	return false
+}
+
+// lhsObj resolves an assignment target identifier (defined or used).
+func lhsObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return declOrUseObj(info, id)
+}

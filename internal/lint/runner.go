@@ -20,6 +20,7 @@ const MetaAnalyzerName = "directive"
 // about the directives themselves. Diagnostics come back sorted by
 // position.
 func Analyze(pkg *Package, analyzers []*Analyzer, cfg Config) ([]Diagnostic, error) {
+	markers := collectMarkers(pkg)
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -29,6 +30,7 @@ func Analyze(pkg *Package, analyzers []*Analyzer, cfg Config) ([]Diagnostic, err
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			Config:   cfg,
+			Markers:  markers,
 			report:   func(d Diagnostic) { raw = append(raw, d) },
 		}
 		if err := a.Run(pass); err != nil {
@@ -39,6 +41,7 @@ func Analyze(pkg *Package, analyzers []*Analyzer, cfg Config) ([]Diagnostic, err
 	known := KnownAnalyzers()
 	var directives []*Directive
 	var meta []Diagnostic
+	meta = append(meta, markers.meta...)
 	for _, f := range pkg.Files {
 		ds, malformed := fileDirectives(pkg.Fset, f)
 		directives = append(directives, ds...)
@@ -46,12 +49,21 @@ func Analyze(pkg *Package, analyzers []*Analyzer, cfg Config) ([]Diagnostic, err
 	}
 	for _, d := range directives {
 		if !known[d.Analyzer] {
+			msg := fmt.Sprintf("suppression names unknown analyzer %q", d.Analyzer)
+			if near := nearestAnalyzer(d.Analyzer, known); near != "" {
+				msg += fmt.Sprintf(" (did you mean %q?)", near)
+			}
 			meta = append(meta, Diagnostic{
 				Analyzer: MetaAnalyzerName,
 				Position: d.Position,
-				Message:  fmt.Sprintf("suppression names unknown analyzer %q", d.Analyzer),
+				Message:  msg,
 			})
 			d.used = true // don't double-report as stale
+		}
+		// allocfree findings exist only when escape data is present; a
+		// source-only run cannot judge these suppressions stale.
+		if cfg.Escapes == nil && d.Analyzer == AllocFree.Name {
+			d.used = true
 		}
 	}
 
@@ -100,6 +112,9 @@ func Run(modRoot string, patterns []string, cfg Config) ([]Diagnostic, error) {
 		return nil, err
 	}
 	loader.IncludeTests = cfg.IncludeTests
+	if cfg.Resolve == nil {
+		cfg.Resolve = NewResolver(loader)
+	}
 	paths, err := loader.Expand(patterns)
 	if err != nil {
 		return nil, err
@@ -126,6 +141,46 @@ func Run(modRoot string, patterns []string, cfg Config) ([]Diagnostic, error) {
 	}
 	sortDiagnostics(all)
 	return all, nil
+}
+
+// nearestAnalyzer suggests the closest known analyzer name for a typo,
+// within an edit distance of 2.
+func nearestAnalyzer(name string, known map[string]bool) string {
+	candidates := make([]string, 0, len(known)+1)
+	for k := range known {
+		candidates = append(candidates, k)
+	}
+	candidates = append(candidates, MetaAnalyzerName)
+	sort.Strings(candidates)
+	best, bestDist := "", 3
+	for _, c := range candidates {
+		if d := editDistance(name, c); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance, capped implicitly by the
+// caller's threshold (the names involved are short).
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 func sortDiagnostics(ds []Diagnostic) {

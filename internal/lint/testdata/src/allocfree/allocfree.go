@@ -1,0 +1,40 @@
+// Package allocfree is a golden fixture for the allocation-freedom
+// analyzer. The harness synthesizes the escape report from the
+// "/* escape: ... */" comments below — each one stands in for a
+// `go build -gcflags=-m=2` diagnostic at its own line — so the fixture
+// pins the annotation matching without invoking the compiler.
+package allocfree
+
+type evt struct{ n int }
+
+// hot is annotated and has an escape inside its body: a finding carrying
+// the compiler's message.
+//
+//rtlint:allocfree
+func hot() *evt {
+	e := &evt{} /* escape: &evt literal escapes to heap */ /* want "heap escape in //rtlint:allocfree hot: &evt literal escapes to heap" */
+	return e
+}
+
+// cold is annotated and clean: silent.
+//
+//rtlint:allocfree
+func cold(e *evt) int { return e.n }
+
+// unannotated escapes but made no claim: silent.
+func unannotated() *evt {
+	return &evt{} /* escape: &evt literal escapes to heap */
+}
+
+// between documents that escapes outside any annotated body are ignored.
+var between = func() *evt {
+	return &evt{} /* escape: &evt literal escapes to heap */
+}
+
+// allowed exercises the pool-miss idiom: a justified suppression on the
+// escaping line.
+//
+//rtlint:allocfree
+func allowed() *evt {
+	return &evt{} /* escape: &evt literal escapes to heap */ //rtlint:allow allocfree fixture pool-miss growth path, amortized to zero in steady state
+}

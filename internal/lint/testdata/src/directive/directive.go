@@ -69,3 +69,20 @@ func wrongAnalyzer(m map[int64]int64) {
 		observe(id)
 	}
 }
+
+// A near-miss analyzer name earns a spelling suggestion on top of the
+// unknown-analyzer diagnostic.
+func nearMiss(m map[int64]int64) {
+	/* want "unknown analyzer \"mapranges\" \\(did you mean \"maprange\"\\?\\)" */ //rtlint:allow mapranges iteration order is fine
+	for id := range m {                                                            // want "nondeterministic iteration order"
+		observe(id)
+	}
+}
+
+// A marker in a statement position is inert; flag it so the reader is
+// not misled into thinking the type below is pool-checked.
+func misplacedMarker() {
+	/* want "misplaced marker: //rtlint:pooled" */ //rtlint:pooled
+	type local struct{ n int }
+	_ = local{}
+}

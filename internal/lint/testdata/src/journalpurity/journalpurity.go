@@ -1,0 +1,46 @@
+// Package journalpurity is a golden fixture for the journal-purity
+// analyzer: the package declares itself journal-pure below, so any call
+// path that reaches a function mutating journal.Journal state is a
+// finding, while read-only observation stays silent.
+//
+//rtlint:pure=journal
+package journalpurity
+
+import (
+	"io"
+
+	"rtlock/internal/journal"
+)
+
+// readSide only observes the journal: reads are the whole point of
+// purity and stay silent.
+func readSide(j *journal.Journal) int {
+	return j.Len() + len(j.Records())
+}
+
+// writeSide appends a record: a direct call to a mutator.
+func writeSide(j *journal.Journal) {
+	j.Append(0, 0, 0, 1, 0, 0, 0, "") // want "journal-pure package calls .*Append, which mutates journal.Journal state"
+}
+
+// encode reaches mutation through the encoder's buffer reuse
+// (EncodeBinary writes the journal's scratch buffer field).
+func encode(j *journal.Journal, w io.Writer) error {
+	return j.EncodeBinary(w) // want "journal-pure package calls .*EncodeBinary, which mutates journal.Journal state"
+}
+
+// helper shows the finding lands at the mutating call inside the local
+// callee, not at the local call site (same-package callees report at
+// their own bodies).
+func helper(j *journal.Journal) {
+	writeLocal(j)
+}
+
+func writeLocal(j *journal.Journal) {
+	j.Reset(0, "") // want "journal-pure package calls .*Reset, which mutates journal.Journal state"
+}
+
+// allowed exercises a justified suppression of a pure-package mutation.
+func allowed(j *journal.Journal) {
+	j.Reset(0, "") //rtlint:allow journalpurity fixture exercises suppression; this reset runs only in test teardown
+}

@@ -1,0 +1,140 @@
+// Package poolsafety is a golden fixture for the pool-safety analyzer:
+// use-after-release, closure and package-level escapes, and reset-less
+// recycling of //rtlint:pooled values are findings; releases inside
+// terminating branches, rebinding, and field stores through locals are
+// the sanctioned patterns and stay silent.
+package poolsafety
+
+// item is a pooled hot-path record.
+//
+//rtlint:pooled
+type item struct {
+	id   int64
+	next *item
+}
+
+// bag is a pooled record recycled without any reset evidence; its pool
+// below trips the reset-discipline check.
+//
+//rtlint:pooled
+type bag struct{ n int }
+
+// pool owns the free lists.
+type pool struct {
+	freeItems []*item
+	freeBags  []*bag
+}
+
+// global exists so the package-level escape case has a target.
+var global *item
+
+// get pops a reset item from the pool (reset evidence on the pop side).
+func (p *pool) get() *item {
+	if n := len(p.freeItems); n > 0 {
+		it := p.freeItems[n-1]
+		p.freeItems[n-1] = nil
+		p.freeItems = p.freeItems[:n-1]
+		it.id = 0
+		return it
+	}
+	return &item{}
+}
+
+// put recycles an item (reset evidence on the push side too).
+func (p *pool) put(it *item) {
+	it.next = nil
+	p.freeItems = append(p.freeItems, it)
+}
+
+// release is a same-package wrapper; the transitive closure classifies
+// it as a releaser of its parameter.
+func (p *pool) release(it *item) { p.put(it) }
+
+// Use-after-release through the direct releaser.
+func useAfterRelease(p *pool) int64 {
+	it := p.get()
+	p.put(it)
+	return it.id // want "use of pooled item \"it\" after it was released"
+}
+
+// Use-after-release through the wrapper releaser.
+func useAfterWrapperRelease(p *pool) int64 {
+	it := p.get()
+	p.release(it)
+	return it.id // want "use of pooled item \"it\" after it was released"
+}
+
+// A release at the bottom of a loop poisons the next iteration's use at
+// the top (the back edge).
+func loopBackEdge(p *pool) {
+	it := p.get()
+	for i := 0; i < 3; i++ {
+		it.id++ // want "use of pooled item \"it\" after it was released"
+		p.put(it)
+	}
+}
+
+// A pool-derived pointer captured by a closure outlives its lease.
+func closureCapture(p *pool) func() int64 {
+	it := p.get()
+	return func() int64 { return it.id } // want "pool-derived item \"it\" captured by closure"
+}
+
+// A pool-derived pointer stored into a package-level variable outlives
+// its lease.
+func storeGlobal(p *pool) {
+	it := p.get()
+	global = it // want "pool-derived item \"it\" stored into package-level global"
+}
+
+// getBag and putBag recycle bags with no reset on either side: the pool
+// itself is the finding, reported at its first push site.
+func getBag(p *pool) *bag {
+	if n := len(p.freeBags); n > 0 {
+		b := p.freeBags[n-1]
+		p.freeBags = p.freeBags[:n-1]
+		return b
+	}
+	return &bag{}
+}
+
+func putBag(p *pool, b *bag) {
+	p.freeBags = append(p.freeBags, b) // want "pooled bag recycled through freeBags without reset evidence"
+}
+
+// OK: a release inside a terminating branch does not poison the
+// fall-through path.
+func releaseInBranch(p *pool, done bool) int64 {
+	it := p.get()
+	if done {
+		p.put(it)
+		return 0
+	}
+	return it.id
+}
+
+// OK: rebinding after release starts a fresh lease.
+func rebind(p *pool) int64 {
+	it := p.get()
+	p.put(it)
+	it = p.get()
+	return it.id
+}
+
+// holder stands in for a wait queue: field stores through locals are the
+// sanctioned way pooled pointers move around.
+type holder struct{ cur *item }
+
+// OK: storing a pooled pointer into a field through a local is queue
+// discipline, not an escape.
+func fieldStore(p *pool, h *holder) {
+	it := p.get()
+	h.cur = it
+}
+
+// OK: a justified suppression silences a known-benign read.
+func allowedUse(p *pool) int64 {
+	it := p.get()
+	p.put(it)
+	return it.id //rtlint:allow poolsafety fixture exercises suppression; the pool is single-threaded here and the read races nothing
+}

@@ -12,7 +12,11 @@
 // the registry itself are nil-safe: a subsystem wired for metrics but
 // running without a registry pays only a nil check per update, and the
 // replay journal is never touched, so enabling metrics cannot perturb a
-// run's event interleaving.
+// run's event interleaving. The marker below has rtlint's journalpurity
+// analyzer enforce exactly that: no call path out of this package may
+// reach a journal-mutating function.
+//
+//rtlint:pure=journal
 package metrics
 
 import (

@@ -16,6 +16,8 @@ package sim
 // allocation-free path used by hot sites like token wake-ups and CPU
 // completions — storing a pointer in an interface value does not
 // allocate, while a capturing closure does).
+//
+//rtlint:pooled
 type Event struct {
 	at   Time
 	seq  uint64

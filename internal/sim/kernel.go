@@ -153,6 +153,8 @@ func (k *Kernel) JournalSite() int32 { return k.jrnSite }
 // the current virtual time, tagged with the kernel's site. Subsystems
 // that hold a kernel reference use it instead of tracking the journal
 // themselves.
+//
+//rtlint:allocfree
 func (k *Kernel) Emit(kind journal.Kind, tx int64, obj int32, a, b int64, note string) {
 	k.jrn.Append(int64(k.now), kind, k.jrnSite, tx, obj, a, b, note)
 }
@@ -191,6 +193,7 @@ func (k *Kernel) AfterCall(d Duration, call func(any), arg any) EventRef {
 	return k.schedule(k.now.Add(d), nil, call, arg)
 }
 
+//rtlint:allocfree
 func (k *Kernel) schedule(t Time, fn func(), call func(any), arg any) EventRef {
 	if t < k.now {
 		t = k.now
@@ -202,7 +205,7 @@ func (k *Kernel) schedule(t Time, fn func(), call func(any), arg any) EventRef {
 		k.freeEvents[n-1] = nil
 		k.freeEvents = k.freeEvents[:n-1]
 	} else {
-		e = &Event{}
+		e = &Event{} //rtlint:allow allocfree pool-miss growth path: one Event per high-water-mark, amortized to zero in steady state
 	}
 	e.at = t
 	e.seq = k.seq
@@ -215,6 +218,8 @@ func (k *Kernel) schedule(t Time, fn func(), call func(any), arg any) EventRef {
 
 // recycle returns a fired or discarded event to the pool. Bumping the
 // generation first invalidates every outstanding EventRef to it.
+//
+//rtlint:allocfree
 func (k *Kernel) recycle(e *Event) {
 	e.gen++
 	e.fn = nil
@@ -227,6 +232,8 @@ func (k *Kernel) recycle(e *Event) {
 
 // popEvent removes and returns the earliest pending event, recycling
 // canceled ones as it goes; nil when the heap is exhausted.
+//
+//rtlint:allocfree
 func (k *Kernel) popEvent() *Event {
 	for {
 		e := k.events.popMin()
@@ -243,6 +250,8 @@ func (k *Kernel) popEvent() *Event {
 
 // peekEvent returns the earliest pending event without removing it,
 // recycling canceled events as it goes; nil when exhausted.
+//
+//rtlint:allocfree
 func (k *Kernel) peekEvent() *Event {
 	for {
 		e := k.events.min()
@@ -260,6 +269,8 @@ func (k *Kernel) peekEvent() *Event {
 // dispatch runs the event's handler and recycles the struct. The handler
 // runs to completion (nested process switches included) before the
 // recycle, so e's fields are stable for its whole execution.
+//
+//rtlint:allocfree
 func (k *Kernel) dispatch(e *Event) {
 	if e.call != nil {
 		e.call(e.arg)
@@ -276,6 +287,8 @@ func (k *Kernel) dispatch(e *Event) {
 // with nothing in the loop but pop/advance/dispatch; the choice-point
 // and sampling hooks are compiled out entirely rather than branch-tested
 // per event.
+//
+//rtlint:allocfree
 func (k *Kernel) Run() Time {
 	if k.chooser == nil && (k.met == nil || k.sampleEvery <= 0) {
 		for {
