@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,10 +31,12 @@ func runExplore(args []string) error {
 		minimize    = fs.Bool("minimize", true, "shrink counterexamples to locally minimal schedules")
 		protocol    = fs.String("protocol", "C", "single-site protocol C|P|L|PI|CX|HP|CR|DD|TO")
 		distributed = fs.Bool("distributed", false, "explore a distributed cluster instead of a single site")
-		global      = fs.Bool("global", false, "with -distributed: global-ceiling architecture (default local)")
-		all         = fs.Bool("all", false, "explore every protocol plus both distributed architectures")
+		global      = fs.Bool("global", false, "with -distributed or -faults: global-ceiling architecture (default local)")
+		faultsMode  = fs.Bool("faults", false, "fault-space exploration: search over failure schedules (crashes, message fates, partition cuts) of a distributed cluster")
+		all         = fs.Bool("all", false, "explore every protocol plus both distributed architectures (with -faults: both fault-space architectures too)")
 		jsonl       = fs.String("jsonl", "", "write the byte-stable JSONL verdict stream to this file (\"-\" = stdout)")
 		minout      = fs.String("minout", "", "write each minimized counterexample as JSON into this directory")
+		faultplans  = fs.String("faultplans", "", "write each counterexample's fault plan into this directory as a runnable \"rtdbsim faults -plan\" JSON spec")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -59,10 +62,16 @@ func runExplore(args []string) error {
 		for _, g := range []bool{false, true} {
 			cfgs = append(cfgs, rtlock.ExploreConfig{Distributed: true, Global: g, Seed: *seed, Options: opts})
 		}
+		if *faultsMode {
+			for _, g := range []bool{false, true} {
+				cfgs = append(cfgs, rtlock.ExploreConfig{Faults: true, Global: g, Seed: *seed, Options: opts})
+			}
+		}
 	} else {
 		cfgs = append(cfgs, rtlock.ExploreConfig{
 			Protocol:    rtlock.Protocol(*protocol),
 			Distributed: *distributed,
+			Faults:      *faultsMode,
 			Global:      *global,
 			Seed:        *seed,
 			Options:     opts,
@@ -97,7 +106,11 @@ func runExplore(args []string) error {
 		}
 		for i, ce := range rep.Counterexamples {
 			counterexamples++
-			fmt.Printf("  counterexample %d: rule=%s schedule=%v minimized=%t\n", i, ce.Rule, ce.Schedule, ce.Minimized)
+			fmt.Printf("  counterexample %d: rule=%s schedule=%v minimized=%t", i, ce.Rule, ce.Schedule, ce.Minimized)
+			if ce.FaultPlan != nil {
+				fmt.Printf(" fault_decisions=%d fault_only=%t", ce.FaultDecisions, ce.FaultOnly)
+			}
+			fmt.Println()
 			for _, v := range ce.Violations {
 				fmt.Printf("    %s\n", v)
 			}
@@ -106,10 +119,38 @@ func runExplore(args []string) error {
 					return err
 				}
 			}
+			if *faultplans != "" {
+				if err := writeFaultPlan(*faultplans, rep.Target, i, ce); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	if counterexamples > 0 {
 		return fmt.Errorf("explore: %d counterexample(s) across %d target(s)", counterexamples, len(cfgs))
+	}
+	return nil
+}
+
+// writeFaultPlan persists one counterexample's failure schedule as a
+// standalone fault-plan JSON spec, runnable directly with
+// "rtdbsim faults -plan FILE". Counterexamples without fault decisions
+// are skipped.
+func writeFaultPlan(dir, target string, idx int, ce rtlock.ExploreCounterexample) error {
+	if ce.FaultPlan == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create fault-plan dir: %w", err)
+	}
+	data, err := json.MarshalIndent(ce.FaultPlan, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal fault plan: %w", err)
+	}
+	name := fmt.Sprintf("%s-%d-faults.json", strings.ReplaceAll(target, "/", "-"), idx)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write fault plan %s: %w", path, err)
 	}
 	return nil
 }

@@ -58,6 +58,55 @@ func goldenDist(t testing.TB, global bool) *journal.Journal {
 	return res.Journal
 }
 
+// goldenDistFaults replays a pinned chosen-fault plan — the shape a
+// fault-space exploration exports for a counterexample: a concrete
+// crash, two message fates, and a partition cut. The hand-built load
+// steers 2PC traffic through the fault windows so pinning the journal
+// bytes freezes the KFaultCrash/KFaultFate/KFaultCut record encodings
+// and the crash-recovery machinery's journal behavior (WAL-forced
+// votes, redo on recovery, resolver retries, retry exhaustion) that
+// counterexample replay depends on.
+func goldenDistFaults(t testing.TB) *journal.Journal {
+	t.Helper()
+	plan, err := ParseFaultPlan([]byte(`{"chosen":{` +
+		`"crashes":[{"site":1,"at":100000,"recover_at":800000}],` +
+		`"fates":[{"msg":1,"from":1,"to":0,"fate":1},{"msg":4,"from":0,"to":1,"fate":2}],` +
+		`"cuts":[{"site":2,"at":300000,"heal_at":360000}]}}`))
+	if err != nil {
+		t.Fatalf("pinned fault plan: %v", err)
+	}
+	// Sites 0/1/2 hold objects 0-2/3-5/6-8. Each transaction writes one
+	// remote primary, so each commits through 2PC: tx 1 before the
+	// crash (its vote message is also fate-dropped), tx 2 votes at site
+	// 1 just before the crash window swallows the decision (in doubt
+	// across recovery → WAL redo + resolver), tx 3 prepares toward the
+	// down site until its bounded retries exhaust, tx 4 commits across
+	// the partition cut.
+	res, err := RunDistributed(DistributedConfig{
+		Global:    true,
+		Sites:     3,
+		DBSize:    9,
+		CommDelay: 10 * Millisecond,
+		CPUPerObj: 2 * Millisecond,
+		Journal:   true,
+		Faults:    plan,
+		Workload: WorkloadConfig{Transactions: []*Txn{
+			{ID: 1, Kind: Update, Home: 0, Arrival: 0, Deadline: Time(1 * Second),
+				Ops: []Op{{Obj: 0, Mode: Write}, {Obj: 3, Mode: Write}}},
+			{ID: 2, Kind: Update, Home: 0, Arrival: Time(80 * Millisecond), Deadline: Time(1500 * Millisecond),
+				Ops: []Op{{Obj: 4, Mode: Write}}},
+			{ID: 3, Kind: Update, Home: 2, Arrival: Time(110 * Millisecond), Deadline: Time(1600 * Millisecond),
+				Ops: []Op{{Obj: 5, Mode: Write}}},
+			{ID: 4, Kind: Update, Home: 0, Arrival: Time(290 * Millisecond), Deadline: Time(2 * Second),
+				Ops: []Op{{Obj: 6, Mode: Write}}},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("distributed fault replay: %v", err)
+	}
+	return res.Journal
+}
+
 func goldenPath(name string) string {
 	return filepath.Join("testdata", "journals", name+".bin")
 }
@@ -144,5 +193,9 @@ func TestGoldenJournals(t *testing.T) {
 	t.Run("dist/global", func(t *testing.T) {
 		t.Parallel()
 		checkGolden(t, "dist_global", goldenDist(t, true))
+	})
+	t.Run("dist/global-faults", func(t *testing.T) {
+		t.Parallel()
+		checkGolden(t, "dist_global_faults", goldenDistFaults(t))
 	})
 }

@@ -121,7 +121,10 @@ func ForApproach(approach string) []Auditor {
 // managers, and histories synchronized by different managers carry no
 // cross-manager ordering guarantee (see DESIGN.md, "Fault model"). The
 // local approach keeps its per-site serializability: each judged
-// history is guarded by a single site's manager throughout.
+// history is guarded by a single site's manager throughout. Fault runs
+// additionally get the recovery-correctness family: durability and
+// re-entry safety of WAL redo, and bounded-retry liveness for in-doubt
+// participants.
 func ForFaults(approach string) []Auditor {
 	if approach != "global" {
 		return ForApproach(approach)
@@ -131,6 +134,9 @@ func ForFaults(approach string) []Auditor {
 		NewLockSafety(),
 		NewDeadlockFree(),
 		NewTwoPCConsistent(),
+		NewRecoveryDurable(),
+		NewRecoveryReentry(),
+		NewRecoveryLiveness(),
 	}
 }
 

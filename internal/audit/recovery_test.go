@@ -1,0 +1,169 @@
+package audit
+
+import (
+	"testing"
+
+	"rtlock/internal/journal"
+)
+
+// addN appends with an explicit note, which the recovery kinds use to
+// distinguish coordinator decisions, duplicate votes, and retry phases.
+func (b *jb) addN(kind journal.Kind, site int32, tx int64, obj int32, a, bb int64, note string) *jb {
+	b.at++
+	b.j.Append(b.at, kind, site, tx, obj, a, bb, note)
+	return b
+}
+
+func TestRecoveryDurable(t *testing.T) {
+	// A yes-vote survives the crash: redo restores it. Clean.
+	b := newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.add(journal.KSiteCrash, 1, 0, 0, -1, 0)
+	b.add(journal.KSiteRecover, 1, 0, 0, 0, 0)
+	b.add(journal.KWALRedo, 1, 0, 0, 1, 0)
+	wantViolations(t, Run(b.j, NewRecoveryDurable()), "recovery-durable", 0)
+
+	// The forced vote was lost: redo restores nothing. Violation.
+	b = newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.add(journal.KSiteCrash, 1, 0, 0, -1, 0)
+	b.add(journal.KSiteRecover, 1, 0, 0, 0, 0)
+	b.add(journal.KWALRedo, 1, 0, 0, 0, 0)
+	wantViolations(t, Run(b.j, NewRecoveryDurable()), "recovery-durable", 1)
+
+	// Settled before the crash: nothing is in doubt, redo of 0 is fine.
+	b = newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.add(journal.KTwoPCDecision, 1, 5, 0, 1, 0)
+	b.add(journal.KSiteCrash, 1, 0, 0, -1, 0)
+	b.add(journal.KSiteRecover, 1, 0, 0, 0, 0)
+	b.add(journal.KWALRedo, 1, 0, 0, 0, 0)
+	wantViolations(t, Run(b.j, NewRecoveryDurable()), "recovery-durable", 0)
+
+	// A duplicate re-vote (B=1) adds nothing to the in-doubt set.
+	b = newJB()
+	b.addN(journal.KTwoPCVote, 1, 5, 0, 1, 1, "dup")
+	b.add(journal.KWALRedo, 1, 0, 0, 0, 0)
+	wantViolations(t, Run(b.j, NewRecoveryDurable()), "recovery-durable", 0)
+
+	// The coordinator's own decision record does not settle a
+	// participant: the vote is still in doubt, a redo of 0 is a loss.
+	b = newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.addN(journal.KTwoPCDecision, 1, 5, 0, 1, 0, "coord")
+	b.add(journal.KWALRedo, 1, 0, 0, 0, 0)
+	wantViolations(t, Run(b.j, NewRecoveryDurable()), "recovery-durable", 1)
+
+	// Only the redone site's votes count: site 2's in-doubt vote does
+	// not inflate site 1's expectation.
+	b = newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.add(journal.KTwoPCVote, 2, 6, 0, 1, 0)
+	b.add(journal.KWALRedo, 1, 0, 0, 1, 0)
+	wantViolations(t, Run(b.j, NewRecoveryDurable()), "recovery-durable", 0)
+}
+
+func TestRecoveryReentry(t *testing.T) {
+	// Redo restores more votes than are in doubt: resurrection.
+	b := newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.add(journal.KWALRedo, 1, 0, 0, 2, 0)
+	wantViolations(t, Run(b.j, NewRecoveryReentry()), "recovery-reentry", 1)
+
+	// A settled vote reappearing in the redo count is a resurrection.
+	b = newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.addN(journal.KTwoPCDecision, 1, 5, 0, 1, 0, "resolved")
+	b.add(journal.KWALRedo, 1, 0, 0, 1, 0)
+	wantViolations(t, Run(b.j, NewRecoveryReentry()), "recovery-reentry", 1)
+
+	// Repeated crash/redo of the same unresolved vote is idempotent:
+	// both redos restore exactly one vote. Clean for both rules.
+	b = newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.add(journal.KSiteCrash, 1, 0, 0, -1, 0)
+	b.add(journal.KSiteRecover, 1, 0, 0, 0, 0)
+	b.add(journal.KWALRedo, 1, 0, 0, 1, 0)
+	b.add(journal.KSiteCrash, 1, 0, 0, -1, 0)
+	b.add(journal.KSiteRecover, 1, 0, 0, 0, 0)
+	b.add(journal.KWALRedo, 1, 0, 0, 1, 0)
+	v := Run(b.j, NewRecoveryDurable(), NewRecoveryReentry())
+	wantViolations(t, v, "recovery-durable", 0)
+	wantViolations(t, v, "recovery-reentry", 0)
+
+	// Resolution between two crashes shrinks the second redo to zero.
+	b = newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.add(journal.KSiteCrash, 1, 0, 0, -1, 0)
+	b.add(journal.KSiteRecover, 1, 0, 0, 0, 0)
+	b.add(journal.KWALRedo, 1, 0, 0, 1, 0)
+	b.addN(journal.KTwoPCDecision, 1, 5, 0, 1, 0, "resolved")
+	b.add(journal.KSiteCrash, 1, 0, 0, -1, 0)
+	b.add(journal.KSiteRecover, 1, 0, 0, 0, 0)
+	b.add(journal.KWALRedo, 1, 0, 0, 0, 0)
+	v = Run(b.j, NewRecoveryDurable(), NewRecoveryReentry())
+	wantViolations(t, v, "recovery-durable", 0)
+	wantViolations(t, v, "recovery-reentry", 0)
+}
+
+func TestRecoveryLiveness(t *testing.T) {
+	// In doubt at run end with the site up and no exhaustion record.
+	b := newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	wantViolations(t, Run(b.j, NewRecoveryLiveness()), "recovery-liveness", 1)
+
+	// Journaled retry exhaustion legitimizes the unresolved doubt.
+	b = newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.addN(journal.KRetryExhausted, 1, 5, 0, 4, 0, "resolve")
+	wantViolations(t, Run(b.j, NewRecoveryLiveness()), "recovery-liveness", 0)
+
+	// A site that stays down is exempt: nothing can resolve there.
+	b = newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.add(journal.KSiteCrash, 1, 0, 0, -1, 0)
+	wantViolations(t, Run(b.j, NewRecoveryLiveness()), "recovery-liveness", 0)
+
+	// Settled participants are not in doubt.
+	b = newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.add(journal.KTwoPCDecision, 1, 5, 0, 1, 0)
+	wantViolations(t, Run(b.j, NewRecoveryLiveness()), "recovery-liveness", 0)
+
+	// Coordinator-phase exhaustion does not excuse a participant's
+	// unresolved doubt.
+	b = newJB()
+	b.add(journal.KTwoPCVote, 1, 5, 0, 1, 0)
+	b.addN(journal.KRetryExhausted, 1, 5, 0, 4, 0, "prepare")
+	wantViolations(t, Run(b.j, NewRecoveryLiveness()), "recovery-liveness", 1)
+}
+
+func TestRecoveryRetryMonotonic(t *testing.T) {
+	// Consecutive attempts and fresh restarts are fine.
+	b := newJB()
+	b.addN(journal.KRetry, 1, 5, 0, 0, 0, "resolve")
+	b.addN(journal.KRetry, 1, 5, 0, 1, 0, "resolve")
+	b.addN(journal.KRetry, 1, 5, 0, 2, 0, "resolve")
+	b.addN(journal.KRetry, 1, 5, 0, 0, 0, "resolve")
+	b.addN(journal.KRetry, 1, 5, 0, 1, 0, "resolve")
+	b.addN(journal.KRetryExhausted, 1, 5, 0, 4, 0, "resolve")
+	wantViolations(t, Run(b.j, NewRecoveryLiveness()), "recovery-liveness", 0)
+
+	// Skipping an attempt number is a violation.
+	b = newJB()
+	b.addN(journal.KRetry, 1, 5, 0, 0, 0, "resolve")
+	b.addN(journal.KRetry, 1, 5, 0, 2, 0, "resolve")
+	b.addN(journal.KRetryExhausted, 1, 5, 0, 4, 0, "resolve")
+	wantViolations(t, Run(b.j, NewRecoveryLiveness()), "recovery-liveness", 1)
+
+	// Attempts are tracked per (site, tx, phase): interleaved loops do
+	// not trip each other.
+	b = newJB()
+	b.addN(journal.KRetry, 1, 5, 0, 0, 0, "resolve")
+	b.addN(journal.KRetry, 2, 5, 0, 0, 0, "resolve")
+	b.addN(journal.KRetry, 1, 5, 0, 1, 0, "resolve")
+	b.addN(journal.KRetry, 2, 5, 0, 1, 0, "resolve")
+	b.addN(journal.KRetryExhausted, 1, 5, 0, 4, 0, "resolve")
+	b.addN(journal.KRetryExhausted, 2, 5, 0, 4, 0, "resolve")
+	wantViolations(t, Run(b.j, NewRecoveryLiveness()), "recovery-liveness", 0)
+}

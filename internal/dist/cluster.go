@@ -122,6 +122,12 @@ type Config struct {
 	// production participants are memory-resident and always vote
 	// commit.
 	VoteFault func(site db.SiteID, txID int64) bool
+	// WALForceFault, when non-nil, is consulted when a participant
+	// forces its yes-vote to the write-ahead log: returning true drops
+	// that one force — the site proceeds as prepared but the log record
+	// is lost, so a crash forgets the vote. Used by tests to seed a
+	// durability weakening the fault-space explorer must find.
+	WALForceFault func(site db.SiteID, txID int64) bool
 	// TwoPCRetries bounds the coordinator's prepare re-sends and a
 	// recovering participant's decision-resolution attempts when a
 	// fault plan is attached (zero means the default of 3).
@@ -270,7 +276,9 @@ type Cluster struct {
 	// byte-identical to earlier revisions.
 	faultsOn   bool
 	injector   *faults.Injector
+	spaceInj   *faults.SpaceInjector
 	crashed    []bool
+	crashAt    []sim.Time
 	failover   []*core.Ceiling
 	gcmDown    bool
 	wals       []*wal.Log
@@ -411,32 +419,69 @@ func (c *Cluster) AttachFaults(plan *faults.Plan, seed int64) error {
 	if err := plan.Validate(c.cfg.Sites); err != nil {
 		return err
 	}
-	if !c.faultsOn {
-		c.faultsOn = true
-		c.crashed = make([]bool, c.cfg.Sites)
-		c.resolveTok = make(map[resolveKey]*sim.Token)
-		c.liveTx = make([]map[int64]*sim.Proc, c.cfg.Sites)
-		c.wals = make([]*wal.Log, c.cfg.Sites)
-		c.prepared = make([]map[int64]*preparedTx, c.cfg.Sites)
-		for i := 0; i < c.cfg.Sites; i++ {
-			c.liveTx[i] = make(map[int64]*sim.Proc)
-			c.wals[i] = wal.NewLog()
-			c.prepared[i] = make(map[int64]*preparedTx)
-		}
-		if c.cfg.Approach == GlobalCeiling {
-			c.gcmReg = make(map[int64]*gcmEntry)
-			c.failover = make([]*core.Ceiling, c.cfg.Sites)
-			for i := range c.failover {
-				c.failover[i] = c.newFailoverMgr(i)
-			}
-		}
-	}
+	c.enableFaultMachinery()
 	c.injector = faults.New(plan, seed)
 	c.injector.Install(c.K, c.Net, c.cfg.Sites, faults.Hooks{
 		OnCrash:   c.onCrash,
 		OnRecover: c.onRecover,
 	})
 	return nil
+}
+
+// AttachFaultSpace arms the same crash-recovery machinery as
+// AttachFaults and installs a fault decision space instead of a fixed
+// plan: the kernel's chooser picks concrete faults at the space's
+// decision points (every canonical pick injects nothing), and
+// ChosenFaultPlan exposes the exact failure schedule afterwards. The
+// injector is caller-owned so explorations can recycle it across runs.
+func (c *Cluster) AttachFaultSpace(si *faults.SpaceInjector) {
+	c.enableFaultMachinery()
+	c.spaceInj = si
+	si.Install(c.K, c.Net, c.cfg.Sites, faults.Hooks{
+		OnCrash:   c.onCrash,
+		OnRecover: c.onRecover,
+	})
+}
+
+// ChosenFaultPlan returns the exact fault plan a fault-space run
+// committed to (nil without an attached space, or when every decision
+// was canonical). Replaying it through AttachFaults regenerates the
+// same failure schedule — and, for the same (seed, config) journal
+// key, a byte-identical journal.
+func (c *Cluster) ChosenFaultPlan() *faults.Plan {
+	if c.spaceInj == nil {
+		return nil
+	}
+	return c.spaceInj.ChosenPlan()
+}
+
+// enableFaultMachinery switches on the crash-aware protocol paths once:
+// WAL-forced votes, presumed-abort retries, failover managers. Gated by
+// faultsOn so a cluster without faults stays byte-identical to earlier
+// revisions.
+func (c *Cluster) enableFaultMachinery() {
+	if c.faultsOn {
+		return
+	}
+	c.faultsOn = true
+	c.crashed = make([]bool, c.cfg.Sites)
+	c.crashAt = make([]sim.Time, c.cfg.Sites)
+	c.resolveTok = make(map[resolveKey]*sim.Token)
+	c.liveTx = make([]map[int64]*sim.Proc, c.cfg.Sites)
+	c.wals = make([]*wal.Log, c.cfg.Sites)
+	c.prepared = make([]map[int64]*preparedTx, c.cfg.Sites)
+	for i := 0; i < c.cfg.Sites; i++ {
+		c.liveTx[i] = make(map[int64]*sim.Proc)
+		c.wals[i] = wal.NewLog()
+		c.prepared[i] = make(map[int64]*preparedTx)
+	}
+	if c.cfg.Approach == GlobalCeiling {
+		c.gcmReg = make(map[int64]*gcmEntry)
+		c.failover = make([]*core.Ceiling, c.cfg.Sites)
+		for i := range c.failover {
+			c.failover[i] = c.newFailoverMgr(i)
+		}
+	}
 }
 
 // WAL returns a site's write-ahead log (nil before AttachFaults), for
@@ -462,6 +507,7 @@ func (c *Cluster) newFailoverMgr(site int) *core.Ceiling {
 // hook runs.
 func (c *Cluster) onCrash(siteID db.SiteID) {
 	c.crashed[siteID] = true
+	c.crashAt[siteID] = c.K.Now()
 
 	// Kill resident transactions, in id order for determinism.
 	ids := make([]int64, 0, len(c.liveTx[siteID]))
@@ -526,6 +572,10 @@ func (c *Cluster) onCrash(siteID db.SiteID) {
 // transactions died while it was down and resumes global locking.
 func (c *Cluster) onRecover(siteID db.SiteID) {
 	c.crashed[siteID] = false
+	if d := c.K.Now().Sub(c.crashAt[siteID]); d >= 0 {
+		c.K.Metrics().Histogram("recovery_duration_ticks",
+			"Crash-to-recovery (resync complete) windows per site, in ticks.", nil).Observe(int64(d))
+	}
 	if c.cfg.Approach != GlobalCeiling {
 		return
 	}

@@ -97,6 +97,18 @@ type voteCollector struct {
 // unanswered; it retries or presumes abort.
 var errPhaseTimeout = errors.New("dist: 2pc phase timed out")
 
+// backoff is the capped-doubling retry timeout: base<<attempt up to
+// 16×base, so large retry budgets degrade into steady polling instead
+// of ever-longer silent waits. The default budget (3 retries, max
+// shift 3 = 8×base) never reaches the cap, keeping existing runs
+// bit-identical.
+func backoff(base sim.Duration, attempt int) sim.Duration {
+	if attempt > 4 {
+		attempt = 4
+	}
+	return base << uint(attempt)
+}
+
 // registerTwoPCHandlers wires prepare/vote/decision ports at every site.
 func (c *Cluster) registerTwoPCHandlers() {
 	for _, s := range c.sites {
@@ -210,7 +222,9 @@ func (c *Cluster) handlePrepare(siteID db.SiteID, msg prepareMsg) {
 		// Force the vote: from here on this participant is prepared
 		// and may only learn the outcome, never presume it.
 		c.twopcCounter("wal_forces_total", "WAL forces, by record kind.", metrics.L("kind", "vote")).Inc()
-		c.wals[siteID].AppendVote(msg.txID, c.K.Now(), int(msg.coord), msg.objs)
+		if c.cfg.WALForceFault == nil || !c.cfg.WALForceFault(siteID, msg.txID) {
+			c.wals[siteID].AppendVote(msg.txID, c.K.Now(), int(msg.coord), msg.objs)
+		}
 		pt := &preparedTx{coord: msg.coord, objs: msg.objs, at: c.K.Now()}
 		c.prepared[siteID][msg.txID] = pt
 		site, tx := siteID, msg.txID
@@ -274,20 +288,37 @@ func (c *Cluster) spawnResolver(siteID db.SiteID, tx int64) {
 			c.Net.Send(siteID, coord, resolvePort, resolveMsg{txID: tx, from: siteID})
 			tok := &sim.Token{}
 			c.resolveTok[key] = tok
-			tev := c.K.After(c.phaseTimeout(siteID, coord)<<uint(attempt), func() {
+			tev := c.K.After(backoff(c.phaseTimeout(siteID, coord), attempt), func() {
 				tok.Wake(errPhaseTimeout)
 			})
 			err := p.Park(tok)
 			tev.Cancel()
 			if err == nil {
-				return // decision arrived and was applied
+				// Decision arrived and was applied.
+				c.K.Metrics().Histogram("twopc_resolve_rounds",
+					"Resolution rounds a recovered participant needed to settle an in-doubt transaction.",
+					resolveRoundBounds).Observe(int64(attempt) + 1)
+				return
 			}
 			if !errors.Is(err, errPhaseTimeout) {
 				return // shutdown or crash interrupt
 			}
 		}
+		// Exhausted: the participant stays prepared (it never presumes),
+		// awaiting a duplicate decision or the next recovery. Journaled
+		// so the liveness auditor can tell graceful degradation from a
+		// resolver that silently gave up.
+		if c.prepared[siteID][tx] != nil && !c.crashed[siteID] {
+			c.twopcCounter("twopc_retry_exhausted_total",
+				"Bounded retry loops that consumed every attempt, by phase.",
+				metrics.L("phase", "resolve")).Inc()
+			c.emit(siteID, journal.KRetryExhausted, tx, 0, int64(c.cfg.TwoPCRetries)+1, 0, "resolve")
+		}
 	})
 }
+
+// resolveRoundBounds buckets the in-doubt resolution round histogram.
+var resolveRoundBounds = []int64{1, 2, 3, 4, 6, 8}
 
 // phaseTimeout is the per-phase 2PC timeout for one link: the
 // configured value, or 4× the link delay plus 10ms (mirroring the
@@ -363,8 +394,8 @@ func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants
 		col.tok = tok
 		var tev sim.EventRef
 		if c.faultsOn {
-			// Doubling backoff per retry round.
-			tev = c.K.After(base<<uint(attempt), func() { tok.Wake(errPhaseTimeout) })
+			// Capped-doubling backoff per retry round.
+			tev = c.K.After(backoff(base, attempt), func() { tok.Wake(errPhaseTimeout) })
 		}
 		err = p.Park(tok)
 		tev.Cancel()
@@ -381,6 +412,14 @@ func (c *Cluster) runTwoPC(p *sim.Proc, home db.SiteID, txID int64, participants
 		}
 	}
 	delete(c.twopc, txID)
+	if c.faultsOn && errors.Is(err, errPhaseTimeout) {
+		// Prepare retries exhausted: degrade to presumed abort below
+		// instead of waiting forever, and journal the exhaustion.
+		c.twopcCounter("twopc_retry_exhausted_total",
+			"Bounded retry loops that consumed every attempt, by phase.",
+			metrics.L("phase", "prepare")).Inc()
+		c.emit(home, journal.KRetryExhausted, txID, 0, int64(attempts), 0, "prepare")
+	}
 	commit := err == nil
 	if commit {
 		c.K.Metrics().Histogram("twopc_roundtrip_ticks",

@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestFaultSoak is the CI soak: a short randomized-plan severity sweep
 // with auditing on. FaultSweep fails on the first invariant violation,
@@ -19,6 +22,40 @@ func TestFaultSoak(t *testing.T) {
 		}
 		if len(fig.Series) == 0 {
 			t.Fatalf("seed %d: empty figure", seed)
+		}
+	}
+}
+
+// TestFaultSweepSeverityOrder pins the row-order contract: FaultSweep
+// canonicalizes Severities (sorted ascending, duplicates collapsed), so
+// an unsorted, repetitive severity slice yields exactly the figure its
+// sorted set would — point for point, including replicated-run stddevs.
+func TestFaultSweepSeverityOrder(t *testing.T) {
+	p := DefaultFaults().Scale(0.1, 2)
+	p.Severities = []float64{1, 0.5, 0, 0.5, 1, 1}
+	messy, err := FaultSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{1, 0.5, 0, 0.5, 1, 1}; !reflect.DeepEqual(p.Severities, want) {
+		t.Fatalf("FaultSweep mutated the caller's Severities: %v", p.Severities)
+	}
+	p.Severities = []float64{0, 0.5, 1}
+	clean, err := FaultSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(messy, clean) {
+		t.Fatalf("row order depends on severity slice presentation:\nmessy %+v\nclean %+v", messy, clean)
+	}
+	for _, s := range messy.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("series %q has %d points, want 3 (one per distinct severity): %+v", s.Label, len(s.Points), s.Points)
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].X <= s.Points[i-1].X {
+				t.Fatalf("series %q rows not strictly ascending in severity: %+v", s.Label, s.Points)
+			}
 		}
 	}
 }

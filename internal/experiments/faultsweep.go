@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"rtlock/internal/audit"
 	"rtlock/internal/dist"
@@ -132,12 +133,33 @@ func runFault(p FaultParams, approach dist.Approach, severity float64, seed int6
 	return sum, c.NetReport(), nil
 }
 
+// canonicalSeverities returns p.Severities sorted ascending with exact
+// duplicates removed, so the sweep's row order is a function of the
+// severity set alone — not of the order or repetition the caller wrote
+// the slice in. The input slice is never mutated.
+func canonicalSeverities(sevs []float64) []float64 {
+	out := make([]float64, len(sevs))
+	copy(out, sevs)
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, s := range out {
+		if i == 0 || s != dedup[len(dedup)-1] {
+			dedup = append(dedup, s)
+		}
+	}
+	return dedup
+}
+
 // FaultSweep measures graceful degradation: %missed versus fault
 // severity for both distributed architectures, with the message loss
 // rate alongside. The fault-free point anchors the curves to the
 // Figures 4–6 results; every faulted run still passes the fault-aware
 // invariant auditors when Audit is set — degraded, never incorrect.
+// Severities are canonicalized (sorted, deduplicated) before the sweep,
+// so two parameter sets naming the same severity values produce
+// identical figures row for row.
 func FaultSweep(p FaultParams) (Figure, error) {
+	severities := canonicalSeverities(p.Severities)
 	fig := Figure{
 		Name:   "faultsweep",
 		Title:  "Graceful degradation under injected faults",
@@ -147,7 +169,7 @@ func FaultSweep(p FaultParams) (Figure, error) {
 	for _, approach := range []dist.Approach{dist.GlobalCeiling, dist.LocalCeiling} {
 		s := Series{Label: approach.String()}
 		loss := Series{Label: approach.String() + ",%msgs lost"}
-		for _, sev := range p.Severities {
+		for _, sev := range severities {
 			sev := sev
 			nets := make([]stats.NetReport, p.Runs)
 			sums, err := collectRuns(p.Runs, func(r int) (stats.Summary, error) {

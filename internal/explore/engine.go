@@ -212,21 +212,26 @@ func (e *engine) addCounterexample(r runResult) {
 		FoundLen:    len(picks),
 	}
 	final := r.out
+	finalTrace := r.trace
 	if e.o.Minimize && len(picks) > 0 {
 		var lastFail *Outcome
+		var lastTrace []Decision
 		min, runs, complete := Shrink(picks, e.o.ShrinkBudget, func(cand []int) bool {
 			res, err := e.execute(cand, replayChooser(cand))
 			if err != nil || len(res.out.Violations) == 0 {
 				return false
 			}
-			lastFail = res.out
+			lastFail, lastTrace = res.out, res.trace
 			return true
 		})
 		ce.Schedule = min
 		ce.ShrinkRuns = runs
 		ce.Minimized = complete
 		if lastFail != nil {
-			final = lastFail
+			// Shrink adopts every candidate that still fails, so the last
+			// failing run IS the minimal schedule: its trace and outcome
+			// describe exactly what ce.Schedule reproduces.
+			final, finalTrace = lastFail, lastTrace
 		}
 	}
 	ce.JournalHash = final.JournalHash
@@ -234,6 +239,20 @@ func (e *engine) addCounterexample(r runResult) {
 	for _, v := range final.Violations {
 		ce.Violations = append(ce.Violations, v.String())
 	}
+	ce.FaultPlan = final.FaultPlan
+	faultPicks, schedPicks := 0, 0
+	for _, d := range finalTrace {
+		if d.Pick == 0 {
+			continue
+		}
+		if isFaultPoint(d.Point) {
+			faultPicks++
+		} else {
+			schedPicks++
+		}
+	}
+	ce.FaultDecisions = faultPicks
+	ce.FaultOnly = faultPicks > 0 && schedPicks == 0
 	e.rep.Counterexamples = append(e.rep.Counterexamples, ce)
 	if len(e.rep.Counterexamples) >= e.o.MaxCounterexamples {
 		e.stop = true

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"rtlock/internal/audit"
+	"rtlock/internal/faults"
 	"rtlock/internal/sim"
 )
 
@@ -120,6 +121,10 @@ type Target struct {
 	Name string
 	// Run executes one schedule under the chooser's decisions.
 	Run func(ch sim.Chooser) (*Outcome, error)
+	// RunPlan executes the canonical schedule under a fixed fault plan
+	// instead of a chooser — how an exported counterexample's FaultPlan
+	// is replayed. Only fault-space targets provide it.
+	RunPlan func(plan *faults.Plan) (*Outcome, error)
 }
 
 // Outcome is one executed schedule's result.
@@ -130,6 +135,9 @@ type Outcome struct {
 	JournalHash string
 	// Violations are the auditor findings for this schedule.
 	Violations []audit.Violation
+	// FaultPlan is the failure schedule this run committed to (nil for
+	// fault-free targets or when every fault decision was canonical).
+	FaultPlan *faults.Plan
 }
 
 // Decision is one consulted decision point in a schedule's trace.
@@ -162,6 +170,17 @@ type Counterexample struct {
 	FoundLen int `json:"found_len"`
 	// ShrinkRuns is the number of schedules the shrinker executed.
 	ShrinkRuns int `json:"shrink_runs"`
+	// FaultPlan is the chosen failure schedule of the final failing run
+	// (nil when it injected no faults) — exportable as a runnable
+	// faults spec and replayable through Target.RunPlan.
+	FaultPlan *faults.Plan `json:"fault_plan,omitempty"`
+	// FaultDecisions counts the non-canonical fault picks (crash,
+	// message fate, partition cut) in the final failing schedule.
+	FaultDecisions int `json:"fault_decisions,omitempty"`
+	// FaultOnly reports that every non-canonical pick in the final
+	// failing schedule is a fault decision: FaultPlan alone reproduces
+	// the failure byte-identically, no scheduling trace needed.
+	FaultOnly bool `json:"fault_only,omitempty"`
 }
 
 // Report is one exploration's result.
@@ -191,6 +210,16 @@ type Report struct {
 	// Counterexamples lists the violating schedules found, in
 	// discovery order.
 	Counterexamples []Counterexample `json:"counterexamples"`
+}
+
+// isFaultPoint reports whether a decision point injects a fault rather
+// than reordering the schedule.
+func isFaultPoint(p sim.ChoicePoint) bool {
+	switch p {
+	case sim.ChooseCrash, sim.ChooseFate, sim.ChooseCut:
+		return true
+	}
+	return false
 }
 
 // trimPicks drops trailing canonical picks: a schedule and its

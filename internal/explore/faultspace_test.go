@@ -1,0 +1,182 @@
+package explore
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/faults"
+	"rtlock/internal/sim"
+	"rtlock/internal/workload"
+)
+
+// walWeakeningTarget is the fault-space seeded-weakening fixture: a
+// two-site global cluster running one update transaction homed at site
+// 0 that writes object 2, whose primary is site 1 — so commit runs a
+// two-site 2PC with site 1 as the sole participant. With weaken, site
+// 1's WAL vote forces are dropped (dist.Config.WALForceFault): the
+// participant proceeds as prepared, but a crash between its yes-vote
+// and the decision's arrival loses the vote, and the recovery redo
+// restores nothing — a recovery-durable violation. The crash window
+// only opens under a non-canonical fault decision, so the canonical
+// schedule stays clean and only fault-space exploration can expose the
+// weakening.
+func walWeakeningTarget(t *testing.T, weaken bool) Target {
+	t.Helper()
+	var hook func(db.SiteID, int64) bool
+	if weaken {
+		hook = func(site db.SiteID, _ int64) bool { return site == 1 }
+	}
+	// Crash decisions every 5ms across the 2PC exchange (vote lands at
+	// ~12ms, the decision at ~32ms), with outages short enough that the
+	// crashed site recovers — and redoes its WAL — well before run end.
+	var points []int64
+	for at := int64(5 * sim.Millisecond); at <= int64(60*sim.Millisecond); at += int64(5 * sim.Millisecond) {
+		points = append(points, at)
+	}
+	tgt, err := FaultTarget(FaultOpts{
+		Global:        true,
+		Sites:         2,
+		DBSize:        4,
+		CommDelay:     10 * sim.Millisecond,
+		CPUPerObj:     2 * sim.Millisecond,
+		Space:         faults.Space{CrashPoints: points, DownFor: int64(25 * sim.Millisecond)},
+		WALForceFault: hook,
+		Load: []*workload.Txn{{
+			ID: 1, Kind: workload.Update, Home: 0,
+			Arrival: 0, Deadline: sim.Time(2 * sim.Second),
+			Ops: []workload.Op{{Obj: 2, Mode: core.Write}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt
+}
+
+var weakeningOpts = Options{
+	Strategy: DFS, Schedules: 400, MaxDepth: 48, Branch: 3,
+	Minimize: true, ShrinkBudget: 300, MaxCounterexamples: 8,
+}
+
+// TestFaultSpaceFindsDroppedWALForce is the fault-space loop-closing
+// self-test: seed a durability weakening, confirm the canonical
+// schedule still passes, and assert fault-space DFS finds the
+// recovery-durable violation, shrinks it to a minimal fault schedule,
+// and exports a fault plan that replays byte-identically without a
+// chooser.
+func TestFaultSpaceFindsDroppedWALForce(t *testing.T) {
+	tgt := walWeakeningTarget(t, true)
+
+	can, err := tgt.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(can.Violations) > 0 {
+		t.Fatalf("weakening is too strong: canonical schedule already fails: %v", can.Violations)
+	}
+	if can.FaultPlan != nil {
+		t.Fatalf("canonical schedule chose faults: %v", can.FaultPlan)
+	}
+
+	rep, err := Run(tgt, weakeningOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ce *Counterexample
+	for i := range rep.Counterexamples {
+		if rep.Counterexamples[i].Rule == "recovery-durable" {
+			ce = &rep.Counterexamples[i]
+			break
+		}
+	}
+	if ce == nil {
+		t.Fatalf("fault-space DFS missed the dropped WAL force: %s %+v", rep.Summary(), rep.Counterexamples)
+	}
+	if !ce.Minimized {
+		t.Fatalf("shrinker did not certify minimality: %+v", ce)
+	}
+	if ce.FaultDecisions < 1 || ce.FaultDecisions > 4 {
+		t.Fatalf("minimal fault schedule has %d fault decisions, want 1..4: %+v", ce.FaultDecisions, ce)
+	}
+	if !ce.FaultOnly {
+		t.Fatalf("minimal schedule still depends on scheduling picks: %+v", ce)
+	}
+	if ce.FaultPlan == nil {
+		t.Fatalf("fault-only counterexample carries no fault plan: %+v", ce)
+	}
+
+	// Export the fault plan as its JSON spec, parse it back, and replay
+	// it without a chooser: the journal must be byte-identical (same
+	// hash) and the durability violation must reproduce.
+	data, err := json.Marshal(ce.FaultPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.Parse(data)
+	if err != nil {
+		t.Fatalf("exported fault plan does not parse: %v\n%s", err, data)
+	}
+	replay, err := tgt.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.JournalHash != ce.JournalHash {
+		t.Fatalf("fault-plan replay hash %s != counterexample hash %s (plan %s)",
+			replay.JournalHash, ce.JournalHash, plan)
+	}
+	found := false
+	for _, v := range replay.Violations {
+		if v.Rule == "recovery-durable" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fault plan %s did not replay to the durability violation: %v", plan, replay.Violations)
+	}
+}
+
+// TestFaultSpaceExoneratesIntactWAL is the control: the same cluster
+// with intact WAL forcing explores clean across the whole crash space,
+// so the self-test's detection is attributable to the seeded weakening
+// alone.
+func TestFaultSpaceExoneratesIntactWAL(t *testing.T) {
+	tgt := walWeakeningTarget(t, false)
+	rep, err := Run(tgt, weakeningOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Counterexamples) != 0 {
+		t.Fatalf("intact WAL produced counterexamples: %s %v",
+			rep.Summary(), rep.Counterexamples[0].Violations)
+	}
+	if rep.Deepest == 0 {
+		t.Fatalf("fault exploration was vacuous (no decision points reached): %s", rep.Summary())
+	}
+}
+
+// TestFaultSpaceWorkerIndependence pins the determinism contract for
+// fault-space exploration: the explored set, verdict, and
+// counterexamples are identical whether one worker or eight execute
+// the batches.
+func TestFaultSpaceWorkerIndependence(t *testing.T) {
+	var verdicts [2]bytes.Buffer
+	for i, workers := range []int{1, 8} {
+		tgt := walWeakeningTarget(t, true)
+		o := weakeningOpts
+		o.Workers = workers
+		rep, err := Run(tgt, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteVerdict(&verdicts[i], rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(verdicts[0].Bytes(), verdicts[1].Bytes()) {
+		t.Fatalf("verdict depends on worker count:\n-- workers=1 --\n%s\n-- workers=8 --\n%s",
+			verdicts[0].String(), verdicts[1].String())
+	}
+}

@@ -1,0 +1,177 @@
+package explore
+
+import (
+	"fmt"
+	"sync"
+
+	"rtlock/internal/audit"
+	"rtlock/internal/db"
+	"rtlock/internal/dist"
+	"rtlock/internal/faults"
+	"rtlock/internal/sim"
+	"rtlock/internal/workload"
+)
+
+// spacePool recycles fault-space injectors across schedule executions,
+// mirroring journalPool: Reset keeps the chosen-fault and site-state
+// buffers. An injector's decisions are a pure function of the space and
+// the chooser, so pooling never affects outcomes.
+var spacePool = sync.Pool{New: func() any { return new(faults.SpaceInjector) }}
+
+// FaultOpts configures a fault-space exploration target: a distributed
+// cluster whose schedule tree includes failure decisions — site
+// crashes, per-message drop/duplicate fates, and partition cuts — in
+// addition to the scheduling decision points.
+type FaultOpts struct {
+	// Global selects the global-ceiling-manager architecture; false
+	// selects local ceilings over full replication.
+	Global bool
+	// Seed drives the workload stream (default 1).
+	Seed int64
+	// Sites, Count, DBSize, MeanSize, CommDelay, CPUPerObj, and
+	// ReadOnlyFrac shape the cluster and workload, as in
+	// DistributedOpts.
+	Sites        int
+	Count        int
+	DBSize       int
+	MeanSize     int
+	CommDelay    sim.Duration
+	CPUPerObj    sim.Duration
+	ReadOnlyFrac float64
+	// Space bounds the failure decisions surfaced to the chooser. Zero
+	// takes a calibrated default sized to the exploration workload:
+	// crash decisions every 25ms across the arrival window, 80ms
+	// outages, fates on the first 12 inter-site messages, and two
+	// partition-cut decisions.
+	Space faults.Space
+	// WALForceFault, when set, is passed through to the cluster: a
+	// seeded weakening hook that drops chosen WAL vote forces (see
+	// dist.Config.WALForceFault). Present in both exploration and plan
+	// replay, so a found counterexample replays against the same
+	// weakened system.
+	WALForceFault func(site db.SiteID, txID int64) bool
+	// Load overrides the generated workload with a hand-built one
+	// (tests). The transactions are shared read-only across schedules.
+	Load []*workload.Txn
+}
+
+// FaultTarget builds the exploration target for one distributed
+// architecture with fault injection promoted into the decision tree.
+// Runs execute under the full fault machinery (WAL-forced votes,
+// presumed-abort retries, failover managers) and are audited with the
+// recovery-correctness family; each Outcome carries the failure
+// schedule the run committed to, and RunPlan replays such a plan —
+// byte-identically for fault-only schedules — without a chooser.
+func FaultTarget(o FaultOpts) (Target, error) {
+	approach := dist.LocalCeiling
+	if o.Global {
+		approach = dist.GlobalCeiling
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Sites <= 0 {
+		o.Sites = 3
+	}
+	if o.Count <= 0 {
+		o.Count = 10
+	}
+	if o.DBSize <= 0 {
+		o.DBSize = defaultDBSize
+	}
+	if o.MeanSize <= 0 {
+		o.MeanSize = 3
+	}
+	if o.CommDelay <= 0 {
+		o.CommDelay = 10 * sim.Millisecond
+	}
+	if o.CPUPerObj <= 0 {
+		o.CPUPerObj = defaultCPUPerObj
+	}
+	if len(o.Space.CrashPoints) == 0 && o.Space.MaxMsgFates == 0 && len(o.Space.CutPoints) == 0 {
+		// Calibrated to the default workload: ~10 arrivals over ~300ms,
+		// so crash decisions cover the arrival window, an outage spans
+		// several 2PC rounds, and cut decisions land mid-traffic.
+		for at := int64(25 * sim.Millisecond); at <= int64(150*sim.Millisecond); at += int64(25 * sim.Millisecond) {
+			o.Space.CrashPoints = append(o.Space.CrashPoints, at)
+		}
+		o.Space.DownFor = int64(80 * sim.Millisecond)
+		o.Space.MaxMsgFates = 12
+		o.Space.AllowDup = true
+		o.Space.CutPoints = []int64{int64(60 * sim.Millisecond), int64(130 * sim.Millisecond)}
+		o.Space.CutFor = int64(60 * sim.Millisecond)
+	}
+	cfg := dist.Config{
+		Approach:      approach,
+		Sites:         o.Sites,
+		Objects:       o.DBSize,
+		CommDelay:     o.CommDelay,
+		CPUPerObj:     o.CPUPerObj,
+		WALForceFault: o.WALForceFault,
+	}
+	load := o.Load
+	if load == nil {
+		layout, err := dist.NewCluster(cfg)
+		if err != nil {
+			return Target{}, err
+		}
+		load, err = workload.Generate(workload.Params{
+			Seed:             o.Seed,
+			Catalog:          layout.Catalog,
+			Count:            o.Count,
+			MeanInterarrival: 30 * sim.Millisecond,
+			MeanSize:         o.MeanSize,
+			ReadOnlyFrac:     o.ReadOnlyFrac,
+			PerObjCost:       o.CPUPerObj,
+			SlackMin:         4,
+			SlackMax:         8,
+			LocalWriteSets:   true,
+		})
+		if err != nil {
+			return Target{}, err
+		}
+	}
+	key := fmt.Sprintf("explore/fault/%s/sites=%d/db=%d/count=%d/size=%d/ro=%g",
+		approach, o.Sites, o.DBSize, len(load), o.MeanSize, o.ReadOnlyFrac)
+	// run executes one schedule: under the chooser-driven fault space
+	// (plan == nil) or under a fixed replayed plan (ch == nil). Both
+	// paths share the journal key and seed, which is what makes a
+	// fault-only counterexample's replay byte-identical.
+	run := func(ch sim.Chooser, plan *faults.Plan) (*Outcome, error) {
+		jrn := getJournal(o.Seed, key)
+		defer putJournal(jrn)
+		c := cfg
+		c.Journal = jrn
+		cluster, err := dist.NewCluster(c)
+		if err != nil {
+			return nil, err
+		}
+		if plan != nil {
+			if err := cluster.AttachFaults(plan, o.Seed); err != nil {
+				return nil, err
+			}
+		} else {
+			si := spacePool.Get().(*faults.SpaceInjector)
+			si.Reset(o.Space)
+			defer spacePool.Put(si)
+			cluster.AttachFaultSpace(si)
+			cluster.K.SetChooser(ch)
+		}
+		cluster.Load(load)
+		cluster.Run()
+		out := &Outcome{
+			JournalHash: jrn.HashString(),
+			Violations:  audit.Run(jrn, audit.ForFaults(approach.String())...),
+			FaultPlan:   plan,
+		}
+		if plan == nil {
+			out.FaultPlan = cluster.ChosenFaultPlan()
+		}
+		return out, nil
+	}
+	return Target{
+		Name:    "fault/" + approach.String(),
+		Run:     func(ch sim.Chooser) (*Outcome, error) { return run(ch, nil) },
+		RunPlan: func(plan *faults.Plan) (*Outcome, error) { return run(nil, plan) },
+	}, nil
+}

@@ -1,0 +1,109 @@
+package explore
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rtlock/internal/core"
+	"rtlock/internal/faults"
+	"rtlock/internal/sim"
+	"rtlock/internal/workload"
+)
+
+// fuzzFaultTarget is a tiny two-site fault-space target whose decision
+// space surfaces all three fault choice kinds: crash points, message
+// fates (duplicate allowed), and a partition cut.
+func fuzzFaultTarget(f *testing.F) Target {
+	f.Helper()
+	tgt, err := FaultTarget(FaultOpts{
+		Global:    true,
+		Sites:     2,
+		DBSize:    4,
+		CommDelay: 10 * sim.Millisecond,
+		CPUPerObj: 2 * sim.Millisecond,
+		Space: faults.Space{
+			CrashPoints: []int64{int64(10 * sim.Millisecond), int64(20 * sim.Millisecond)},
+			DownFor:     int64(15 * sim.Millisecond),
+			MaxMsgFates: 4,
+			AllowDup:    true,
+			CutPoints:   []int64{int64(15 * sim.Millisecond)},
+			CutFor:      int64(20 * sim.Millisecond),
+		},
+		Load: []*workload.Txn{{
+			ID: 1, Kind: workload.Update, Home: 0,
+			Arrival: 0, Deadline: sim.Time(2 * sim.Second),
+			Ops: []workload.Op{{Obj: 2, Mode: core.Write}},
+		}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return tgt
+}
+
+// FuzzFaultChoice drives the fault choice-point encoding with arbitrary
+// pick sequences and checks the invariants counterexample replay rests
+// on: a pick sequence executes deterministically (same journal hash on
+// re-run), never panics the kernel or the fault machinery, and — when
+// every non-canonical pick is a fault decision — the run's exported
+// fault plan survives a JSON round trip and replays byte-identically
+// through RunPlan without a chooser.
+func FuzzFaultChoice(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2})
+	f.Add([]byte{0, 1, 2, 1})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{3, 0, 2, 0, 1, 0, 0, 2})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2})
+	tgt := fuzzFaultTarget(f)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		picks := make([]int, len(data))
+		for i, b := range data {
+			picks[i] = int(b % 4)
+		}
+		ch := replayChooser(picks)
+		out, err := tgt.Run(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := tgt.Run(replayChooser(picks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.JournalHash != out.JournalHash {
+			t.Fatalf("picks %v are not deterministic: %s vs %s", picks, out.JournalHash, again.JournalHash)
+		}
+		if out.FaultPlan == nil {
+			return
+		}
+		faultOnly := true
+		for _, d := range ch.trace {
+			if d.Pick != 0 && !isFaultPoint(d.Point) {
+				faultOnly = false
+			}
+		}
+		if !faultOnly {
+			return
+		}
+		spec, err := json.Marshal(out.FaultPlan)
+		if err != nil {
+			t.Fatalf("marshal chosen plan: %v", err)
+		}
+		plan, err := faults.Parse(spec)
+		if err != nil {
+			t.Fatalf("exported plan does not parse: %v\n%s", err, spec)
+		}
+		replay, err := tgt.RunPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replay.JournalHash != out.JournalHash {
+			t.Fatalf("fault-only picks %v: plan replay hash %s != run hash %s (plan %s)",
+				picks, replay.JournalHash, out.JournalHash, plan)
+		}
+	})
+}

@@ -59,16 +59,71 @@ type Partition struct {
 	HealAt int64 `json:"heal_at,omitempty"`
 }
 
+// Message fates a fault-space exploration can choose for one inter-site
+// message.
+const (
+	// FateDrop loses the message.
+	FateDrop = 1
+	// FateDup delivers two copies.
+	FateDup = 2
+)
+
+// ChosenCrash is one exact crash decision: site Site crashes at tick At
+// and recovers at RecoverAt (RecoverAt <= At means never).
+type ChosenCrash struct {
+	Site      int   `json:"site"`
+	At        int64 `json:"at"`
+	RecoverAt int64 `json:"recover_at,omitempty"`
+}
+
+// ChosenFate is one exact message-fate decision: the Msg-th inter-site
+// message the injector is consulted about (a deterministic ordinal)
+// suffers Fate. From/To record the link for readability; the ordinal
+// alone identifies the message.
+type ChosenFate struct {
+	Msg  int64 `json:"msg"`
+	From int   `json:"from"`
+	To   int   `json:"to"`
+	Fate int   `json:"fate"`
+}
+
+// ChosenCut is one exact partition decision: site Site is isolated from
+// every other site at tick At and reconnected at HealAt (HealAt <= At
+// means never).
+type ChosenCut struct {
+	Site   int   `json:"site"`
+	At     int64 `json:"at"`
+	HealAt int64 `json:"heal_at,omitempty"`
+}
+
+// ChosenFaults is the exact-fault section of a plan: the decision
+// sequence a fault-space exploration committed to, exported from a
+// counterexample so the precise failure schedule replays without a
+// chooser. Unlike the stochastic sections, chosen faults draw no random
+// numbers and journal themselves as KFaultCrash/KFaultFate/KFaultCut at
+// the decision instants.
+type ChosenFaults struct {
+	Crashes []ChosenCrash `json:"crashes,omitempty"`
+	Fates   []ChosenFate  `json:"fates,omitempty"`
+	Cuts    []ChosenCut   `json:"cuts,omitempty"`
+}
+
+func (c *ChosenFaults) empty() bool {
+	return c == nil || (len(c.Crashes) == 0 && len(c.Fates) == 0 && len(c.Cuts) == 0)
+}
+
 // Plan is one run's declarative fault schedule.
 type Plan struct {
-	Crashes    []Crash     `json:"crashes,omitempty"`
-	Links      []LinkFault `json:"links,omitempty"`
-	Partitions []Partition `json:"partitions,omitempty"`
+	Crashes    []Crash       `json:"crashes,omitempty"`
+	Links      []LinkFault   `json:"links,omitempty"`
+	Partitions []Partition   `json:"partitions,omitempty"`
+	Chosen     *ChosenFaults `json:"chosen,omitempty"`
 }
 
 // Empty reports whether the plan injects nothing at all.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Crashes) == 0 && len(p.Links) == 0 && len(p.Partitions) == 0)
+	return p == nil || (len(p.Crashes) == 0 && len(p.Links) == 0 && len(p.Partitions) == 0 &&
+		p.Chosen.empty())
 }
 
 // Validate checks the plan against a cluster size. Partition bitmasks
@@ -132,6 +187,46 @@ func (p *Plan) Validate(sites int) error {
 			return fmt.Errorf("faults: partition %d: group A contains every site", i)
 		}
 	}
+	if p.Chosen != nil {
+		for i, c := range p.Chosen.Crashes {
+			if c.Site < 0 || c.Site >= sites {
+				return fmt.Errorf("faults: chosen crash %d: site %d out of range [0,%d)", i, c.Site, sites)
+			}
+			if c.At < 0 {
+				return fmt.Errorf("faults: chosen crash %d: negative time %d", i, c.At)
+			}
+		}
+		last := int64(-1)
+		for i, f := range p.Chosen.Fates {
+			if f.Msg < 0 {
+				return fmt.Errorf("faults: chosen fate %d: negative message ordinal %d", i, f.Msg)
+			}
+			if f.Msg <= last {
+				return fmt.Errorf("faults: chosen fate %d: message ordinals must strictly increase", i)
+			}
+			last = f.Msg
+			if f.From < 0 || f.From >= sites {
+				return fmt.Errorf("faults: chosen fate %d: from %d out of range [0,%d)", i, f.From, sites)
+			}
+			if f.To < 0 || f.To >= sites {
+				return fmt.Errorf("faults: chosen fate %d: to %d out of range [0,%d)", i, f.To, sites)
+			}
+			if f.Fate != FateDrop && f.Fate != FateDup {
+				return fmt.Errorf("faults: chosen fate %d: fate %d not in {1,2}", i, f.Fate)
+			}
+		}
+		for i, ct := range p.Chosen.Cuts {
+			if ct.Site < 0 || ct.Site >= sites {
+				return fmt.Errorf("faults: chosen cut %d: site %d out of range [0,%d)", i, ct.Site, sites)
+			}
+			if ct.At < 0 {
+				return fmt.Errorf("faults: chosen cut %d: negative time %d", i, ct.At)
+			}
+			if sites < 2 {
+				return fmt.Errorf("faults: chosen cut %d: nothing to cut with %d site(s)", i, sites)
+			}
+		}
+	}
 	return nil
 }
 
@@ -178,6 +273,37 @@ func (p *Plan) String() string {
 		groups := append([]int(nil), pt.GroupA...)
 		sort.Ints(groups)
 		fmt.Fprintf(&b, "part(%v@%d-%d)", groups, pt.At, pt.HealAt)
+	}
+	if !p.Chosen.empty() {
+		if len(p.Crashes) > 0 || len(p.Links) > 0 || len(p.Partitions) > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString("chosen{")
+		for i, c := range p.Chosen.Crashes {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "crash(%d@%d-%d)", c.Site, c.At, c.RecoverAt)
+		}
+		if len(p.Chosen.Crashes) > 0 && len(p.Chosen.Fates) > 0 {
+			b.WriteByte(';')
+		}
+		for i, f := range p.Chosen.Fates {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "fate(%d:%d>%d=%d)", f.Msg, f.From, f.To, f.Fate)
+		}
+		if (len(p.Chosen.Crashes) > 0 || len(p.Chosen.Fates) > 0) && len(p.Chosen.Cuts) > 0 {
+			b.WriteByte(';')
+		}
+		for i, ct := range p.Chosen.Cuts {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "cut(%d@%d-%d)", ct.Site, ct.At, ct.HealAt)
+		}
+		b.WriteByte('}')
 	}
 	b.WriteByte('}')
 	return b.String()

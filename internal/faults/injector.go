@@ -22,9 +22,23 @@ type Hooks struct {
 // implements netsim.FaultInjector; the network consults it once per
 // inter-site message, in deterministic kernel order, so the fate
 // sequence is a pure function of (plan, seed).
+//
+// When the plan carries a Chosen section, the injector replays it
+// exactly: chosen crashes and cuts are scheduled as kernel events that
+// emit the same KFaultCrash/KFaultCut records a fault-space exploration
+// emitted when it made those decisions, and chosen message fates are
+// applied by consult ordinal, emitting KFaultFate — so a counterexample
+// journal and its plan replay are byte-identical.
 type Injector struct {
 	plan *Plan
 	rng  *rand.Rand
+	k    *sim.Kernel
+	// fates is plan.Chosen.Fates sorted by ordinal; next cursors it and
+	// msgIndex counts injector consults to match ordinals against.
+	fates    []ChosenFate
+	next     int
+	msgIndex int64
+	dup      [2]sim.Duration
 }
 
 // New compiles a plan. It returns nil for an empty plan so callers can
@@ -34,7 +48,12 @@ func New(plan *Plan, seed int64) *Injector {
 	if plan.Empty() {
 		return nil
 	}
-	return &Injector{plan: plan, rng: rand.New(rand.NewSource(seed))}
+	in := &Injector{plan: plan, rng: rand.New(rand.NewSource(seed))}
+	if plan.Chosen != nil && len(plan.Chosen.Fates) > 0 {
+		in.fates = append([]ChosenFate(nil), plan.Chosen.Fates...)
+		sort.Slice(in.fates, func(i, j int) bool { return in.fates[i].Msg < in.fates[j].Msg })
+	}
+	return in
 }
 
 // Plan returns the compiled plan (nil receiver allowed).
@@ -75,8 +94,26 @@ func (in *Injector) rule(now int64, from, to int) *LinkFault {
 // dropped; otherwise one entry per delivered copy carrying that copy's
 // extra delay (a single zero entry is a normal delivery). PRNG draws
 // are guarded by plan fields, so the draw sequence depends only on
-// (plan, message order).
+// (plan, message order). Chosen fates are checked first, by consult
+// ordinal; unmatched messages fall through to the stochastic rules.
 func (in *Injector) Deliveries(now sim.Time, from, to db.SiteID) []sim.Duration {
+	if len(in.fates) > 0 {
+		idx := in.msgIndex
+		in.msgIndex++
+		if in.next < len(in.fates) && in.fates[in.next].Msg == idx {
+			fate := in.fates[in.next].Fate
+			in.next++
+			if in.k != nil {
+				in.k.Journal().Append(int64(now), journal.KFaultFate,
+					int32(from), idx, 0, int64(to), int64(fate), "")
+			}
+			if fate == FateDrop {
+				return nil
+			}
+			in.dup[0], in.dup[1] = 0, 0
+			return in.dup[:]
+		}
+	}
 	r := in.rule(int64(now), int(from), int(to))
 	if r == nil {
 		return oneCopy
@@ -101,6 +138,38 @@ func (in *Injector) Deliveries(now sim.Time, from, to db.SiteID) []sim.Duration 
 	return out
 }
 
+// applyCrash journals and applies one site crash: the network stops
+// routing to the site and the protocol layer wipes its volatile state.
+func applyCrash(k *sim.Kernel, n *netsim.Network, hooks Hooks, site db.SiteID, recover int64) {
+	k.Journal().Append(int64(k.Now()), journal.KSiteCrash, int32(site), 0, 0, recover, 0, "")
+	n.SetDown(site, true)
+	if hooks.OnCrash != nil {
+		hooks.OnCrash(site)
+	}
+}
+
+// applyRecover journals and applies one site recovery.
+func applyRecover(k *sim.Kernel, n *netsim.Network, hooks Hooks, site db.SiteID) {
+	k.Journal().Append(int64(k.Now()), journal.KSiteRecover, int32(site), 0, 0, 0, 0, "")
+	n.SetDown(site, false)
+	if hooks.OnRecover != nil {
+		hooks.OnRecover(site)
+	}
+}
+
+// applyCut journals and applies (or heals) one partition given its
+// pre-enumerated cross-partition link pairs.
+func applyCut(k *sim.Kernel, n *netsim.Network, pairs [][2]db.SiteID, mask int64, cut bool) {
+	kind := journal.KPartition
+	if !cut {
+		kind = journal.KHeal
+	}
+	k.Journal().Append(int64(k.Now()), kind, 0, 0, 0, mask, 0, "")
+	for _, pr := range pairs {
+		n.SetCut(pr[0], pr[1], cut)
+	}
+}
+
 // Install wires the plan into a run of `sites` sites: the injector
 // becomes the network's per-message fault source, and every crash,
 // recovery, partition, and heal is scheduled as a kernel event that
@@ -110,6 +179,7 @@ func (in *Injector) Install(k *sim.Kernel, n *netsim.Network, sites int, hooks H
 	if in == nil {
 		return
 	}
+	in.k = k
 	n.SetInjector(in)
 	for i := range in.plan.Crashes {
 		c := in.plan.Crashes[i]
@@ -119,19 +189,11 @@ func (in *Injector) Install(k *sim.Kernel, n *netsim.Network, sites int, hooks H
 			recover = -1
 		}
 		k.At(sim.Time(c.At), func() {
-			k.Journal().Append(int64(k.Now()), journal.KSiteCrash, int32(site), 0, 0, recover, 0, "")
-			n.SetDown(site, true)
-			if hooks.OnCrash != nil {
-				hooks.OnCrash(site)
-			}
+			applyCrash(k, n, hooks, site, recover)
 		})
 		if recover > 0 {
 			k.At(sim.Time(recover), func() {
-				k.Journal().Append(int64(k.Now()), journal.KSiteRecover, int32(site), 0, 0, 0, 0, "")
-				n.SetDown(site, false)
-				if hooks.OnRecover != nil {
-					hooks.OnRecover(site)
-				}
+				applyRecover(k, n, hooks, site)
 			})
 		}
 	}
@@ -140,19 +202,57 @@ func (in *Injector) Install(k *sim.Kernel, n *netsim.Network, sites int, hooks H
 		mask := pt.mask()
 		pairs := partitionPairs(pt.GroupA, sites)
 		k.At(sim.Time(pt.At), func() {
-			k.Journal().Append(int64(k.Now()), journal.KPartition, 0, 0, 0, mask, 0, "")
-			for _, pr := range pairs {
-				n.SetCut(pr[0], pr[1], true)
-			}
+			applyCut(k, n, pairs, mask, true)
 		})
 		if pt.HealAt > pt.At {
 			k.At(sim.Time(pt.HealAt), func() {
-				k.Journal().Append(int64(k.Now()), journal.KHeal, 0, 0, 0, mask, 0, "")
-				for _, pr := range pairs {
-					n.SetCut(pr[0], pr[1], false)
-				}
+				applyCut(k, n, pairs, mask, false)
 			})
 		}
+	}
+	if in.plan.Chosen == nil {
+		return
+	}
+	// Chosen crashes and cuts mirror the fault-space exploration that
+	// produced them: the KFault* record lands at the decision instant
+	// and the recovery/heal event is created from inside it (as the
+	// exploration did), so the two runs create runtime events in the
+	// same order and their journals stay byte-identical.
+	for i := range in.plan.Chosen.Crashes {
+		c := in.plan.Chosen.Crashes[i]
+		site := db.SiteID(c.Site)
+		recover := c.RecoverAt
+		if recover <= c.At {
+			recover = -1
+		}
+		k.At(sim.Time(c.At), func() {
+			k.Journal().Append(int64(k.Now()), journal.KFaultCrash, int32(site), 0, 0, recover, 0, "")
+			applyCrash(k, n, hooks, site, recover)
+			if recover > 0 {
+				k.At(sim.Time(recover), func() {
+					applyRecover(k, n, hooks, site)
+				})
+			}
+		})
+	}
+	for i := range in.plan.Chosen.Cuts {
+		ct := in.plan.Chosen.Cuts[i]
+		site := db.SiteID(ct.Site)
+		mask := int64(1) << uint(ct.Site)
+		pairs := partitionPairs([]int{ct.Site}, sites)
+		heal := ct.HealAt
+		if heal <= ct.At {
+			heal = -1
+		}
+		k.At(sim.Time(ct.At), func() {
+			k.Journal().Append(int64(k.Now()), journal.KFaultCut, int32(site), 0, 0, mask, heal, "")
+			applyCut(k, n, pairs, mask, true)
+			if heal > 0 {
+				k.At(sim.Time(heal), func() {
+					applyCut(k, n, pairs, mask, false)
+				})
+			}
+		})
 	}
 }
 

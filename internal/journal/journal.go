@@ -155,46 +155,71 @@ const (
 	// recorded, so a chooser that always picks canonically leaves the
 	// journal byte-identical to a chooser-less run). Note = point name.
 	KChoice Kind = 37
+	// KFaultCrash: fault-space exploration chose to crash a site (the
+	// standard KSiteCrash sequence follows immediately). Site = crashed
+	// site, A = scheduled recovery time in ticks (-1 = never). Emitted
+	// identically when a chosen fault plan is replayed without a
+	// chooser, so counterexample and plan replay stay byte-identical.
+	KFaultCrash Kind = 38
+	// KFaultFate: fault-space exploration chose a message fate.
+	// Site = sender, Tx = inter-site message ordinal (the injector's
+	// consult counter), A = destination site, B = fate (1 = drop,
+	// 2 = duplicate).
+	KFaultFate Kind = 39
+	// KFaultCut: fault-space exploration chose to partition one site
+	// away from the rest (KPartition/KHeal pairs follow). Site =
+	// isolated site, A = partition bitmask, B = scheduled heal time in
+	// ticks (-1 = never).
+	KFaultCut Kind = 40
+	// KRetryExhausted: a bounded retry loop ran out of attempts without
+	// resolution; the caller degrades (presumed abort / in-doubt until
+	// recovery) instead of spinning. Tx = transaction, Site = retrying
+	// site, A = attempts consumed, Note = phase ("prepare"/"resolve").
+	KRetryExhausted Kind = 41
 )
 
 var kindNames = map[Kind]string{
-	KSpawn:         "spawn",
-	KProcEnd:       "procend",
-	KArrive:        "arrive",
-	KRegister:      "register",
-	KUnregister:    "unregister",
-	KLockRequest:   "lockreq",
-	KLockGrant:     "lockgrant",
-	KLockBlock:     "lockblock",
-	KBlame:         "blame",
-	KLockRelease:   "lockrel",
-	KInherit:       "inherit",
-	KWound:         "wound",
-	KRestart:       "restart",
-	KCommit:        "commit",
-	KDeadlineMiss:  "miss",
-	KOp:            "op",
-	KCPUDispatch:   "dispatch",
-	KCPUPreempt:    "preempt",
-	KMsgSend:       "send",
-	KMsgRecv:       "recv",
-	KTwoPCPrepare:  "prepare",
-	KTwoPCVote:     "vote",
-	KTwoPCDecision: "decision",
-	KInstall:       "install",
-	KInstallDrop:   "installdrop",
-	KCeiling:       "ceiling",
-	KSiteCrash:     "sitecrash",
-	KSiteRecover:   "siterecover",
-	KPartition:     "partition",
-	KHeal:          "heal",
-	KMsgDrop:       "msgdrop",
-	KMsgDup:        "msgdup",
-	KFailover:      "failover",
-	KResync:        "resync",
-	KRetry:         "retry",
-	KWALRedo:       "walredo",
-	KChoice:        "choice",
+	KSpawn:          "spawn",
+	KProcEnd:        "procend",
+	KArrive:         "arrive",
+	KRegister:       "register",
+	KUnregister:     "unregister",
+	KLockRequest:    "lockreq",
+	KLockGrant:      "lockgrant",
+	KLockBlock:      "lockblock",
+	KBlame:          "blame",
+	KLockRelease:    "lockrel",
+	KInherit:        "inherit",
+	KWound:          "wound",
+	KRestart:        "restart",
+	KCommit:         "commit",
+	KDeadlineMiss:   "miss",
+	KOp:             "op",
+	KCPUDispatch:    "dispatch",
+	KCPUPreempt:     "preempt",
+	KMsgSend:        "send",
+	KMsgRecv:        "recv",
+	KTwoPCPrepare:   "prepare",
+	KTwoPCVote:      "vote",
+	KTwoPCDecision:  "decision",
+	KInstall:        "install",
+	KInstallDrop:    "installdrop",
+	KCeiling:        "ceiling",
+	KSiteCrash:      "sitecrash",
+	KSiteRecover:    "siterecover",
+	KPartition:      "partition",
+	KHeal:           "heal",
+	KMsgDrop:        "msgdrop",
+	KMsgDup:         "msgdup",
+	KFailover:       "failover",
+	KResync:         "resync",
+	KRetry:          "retry",
+	KWALRedo:        "walredo",
+	KChoice:         "choice",
+	KFaultCrash:     "faultcrash",
+	KFaultFate:      "faultfate",
+	KFaultCut:       "faultcut",
+	KRetryExhausted: "retryexhausted",
 }
 
 var kindValues = func() map[string]Kind {

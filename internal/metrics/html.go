@@ -21,7 +21,13 @@ type htmlReport struct {
 	Objects   []htmlObject
 	Causes    []CauseCount
 	Stacks    []StackSample
+	Recovery  *htmlRecovery
 	Profile   *Profile
+}
+
+type htmlRecovery struct {
+	RecoveryProfile
+	DownMs, MaxDownMs float64
 }
 
 type htmlFamily struct {
@@ -70,6 +76,10 @@ th { background: #f0f0f0; } td.l, th.l { text-align: left; }
 <table><tr><th class="l">cause</th><th>count</th></tr>
 {{range .Causes}}<tr><td class="l">{{.Cause}}</td><td>{{.Count}}</td></tr>
 {{end}}</table>{{end}}
+{{if .Recovery}}<h2>Crash recovery</h2>
+<table><tr><th>crashes</th><th>recoveries</th><th>down ms</th><th>max down ms</th><th>redo votes</th><th>2PC retries</th><th>retries exhausted</th></tr>
+<tr><td>{{.Recovery.Crashes}}</td><td>{{.Recovery.Recoveries}}</td><td>{{printf "%.1f" .Recovery.DownMs}}</td><td>{{printf "%.1f" .Recovery.MaxDownMs}}</td><td>{{.Recovery.RedoVotes}}</td><td>{{.Recovery.Retries}}</td><td>{{.Recovery.RetryExhausted}}</td></tr>
+</table>{{end}}
 {{if .Stacks}}<h2>Blocking chains (folded stacks, by waiting time)</h2>
 <table><tr><th class="l">chain (holder &rarr; waiter)</th><th>wait ticks</th></tr>
 {{range .Stacks}}<tr><td class="l stack">{{.Stack}}</td><td>{{.Ticks}}</td></tr>
@@ -132,6 +142,13 @@ func WriteHTML(w io.Writer, title string, reg *Registry, prof *Profile) error {
 			})
 		}
 		rep.Causes = prof.Causes
+		if prof.Recovery != (RecoveryProfile{}) {
+			rep.Recovery = &htmlRecovery{
+				RecoveryProfile: prof.Recovery,
+				DownMs:          float64(prof.Recovery.DownTicks) / 1000,
+				MaxDownMs:       float64(prof.Recovery.MaxDownTicks) / 1000,
+			}
+		}
 		// Show the heaviest chains first, bounded so pathological runs
 		// do not produce megabyte reports.
 		stacks := make([]StackSample, len(prof.Stacks))

@@ -51,6 +51,26 @@ type StackSample struct {
 	Ticks int64
 }
 
+// RecoveryProfile aggregates crash-recovery behavior from the replay
+// journal: how often sites went down and for how long, how much
+// prepared-vote state WAL redo reinstated, and how many in-doubt
+// resolution retries ran or exhausted their budget. All zeros for runs
+// without faults.
+type RecoveryProfile struct {
+	// Crashes and Recoveries count site outages and completed
+	// recoveries.
+	Crashes, Recoveries int64
+	// DownTicks is the total virtual time sites spent crashed, summed
+	// over closed crash-recover pairs; MaxDownTicks the longest single
+	// outage.
+	DownTicks, MaxDownTicks int64
+	// RedoVotes counts prepared votes reinstated by WAL redo.
+	RedoVotes int64
+	// Retries and RetryExhausted count 2PC retry attempts and retry
+	// budgets that ran dry.
+	Retries, RetryExhausted int64
+}
+
 // Profile is the journal-derived contention report.
 type Profile struct {
 	// TopK bounds Objects; every object is still aggregated into the
@@ -67,6 +87,8 @@ type Profile struct {
 	// ChainMax is the longest blocking chain observed (in transactions,
 	// including the holder).
 	ChainMax int
+	// Recovery summarizes crash-recovery activity (faulted runs only).
+	Recovery RecoveryProfile
 	// Totals across every object.
 	TotalWaitTicks, TotalHoldTicks, TotalInversionTicks int64
 	TotalObjects                                        int
@@ -111,6 +133,7 @@ func FromJournal(j *journal.Journal, topK int) *Profile {
 	deadlines := make(map[int64]int64)
 	stacks := make(map[string]int64)
 	causes := make(map[string]int64)
+	crashAt := make(map[int32]int64) // open outages by site
 
 	obj := func(site, o int32) *ObjectProfile {
 		k := objKey{site: site, obj: o}
@@ -191,6 +214,25 @@ func FromJournal(j *journal.Journal, topK int) *Profile {
 			} else {
 				causes["deadline_miss"]++
 			}
+		case journal.KSiteCrash:
+			p.Recovery.Crashes++
+			crashAt[rec.Site] = rec.At
+		case journal.KSiteRecover:
+			p.Recovery.Recoveries++
+			if from, ok := crashAt[rec.Site]; ok {
+				down := rec.At - from
+				p.Recovery.DownTicks += down
+				if down > p.Recovery.MaxDownTicks {
+					p.Recovery.MaxDownTicks = down
+				}
+				delete(crashAt, rec.Site)
+			}
+		case journal.KWALRedo:
+			p.Recovery.RedoVotes += rec.A
+		case journal.KRetry:
+			p.Recovery.Retries++
+		case journal.KRetryExhausted:
+			p.Recovery.RetryExhausted++
 		}
 	}
 
@@ -324,6 +366,11 @@ func (p *Profile) String() string {
 	}
 	for _, c := range p.Causes {
 		fmt.Fprintf(&b, "cause %-14s %d\n", c.Cause, c.Count)
+	}
+	if r := p.Recovery; r != (RecoveryProfile{}) {
+		fmt.Fprintf(&b, "recovery: crashes=%d recoveries=%d down=%.1fms maxdown=%.1fms redo_votes=%d retries=%d exhausted=%d\n",
+			r.Crashes, r.Recoveries, float64(r.DownTicks)/1000, float64(r.MaxDownTicks)/1000,
+			r.RedoVotes, r.Retries, r.RetryExhausted)
 	}
 	return b.String()
 }

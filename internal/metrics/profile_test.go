@@ -129,6 +129,64 @@ func TestFromJournalNil(t *testing.T) {
 	}
 }
 
+// recoveryJournal layers crash-recovery traffic on a journal: two
+// outages (one closed, one still open at journal end), a WAL redo, and
+// a resolve-retry run that exhausts.
+func recoveryJournal() *journal.Journal {
+	j := journal.New(1, "test")
+	j.Append(100, journal.KSiteCrash, 1, -1, -1, 0, 0, "")
+	j.Append(400, journal.KSiteRecover, 1, -1, -1, 0, 0, "")
+	j.Append(410, journal.KWALRedo, 1, -1, -1, 2, 0, "")
+	j.Append(500, journal.KSiteCrash, 2, -1, -1, 0, 0, "") // never recovers
+	j.Append(520, journal.KRetry, 0, 9, -1, 1, 0, "resolve")
+	j.Append(560, journal.KRetry, 0, 9, -1, 2, 0, "resolve")
+	j.Append(640, journal.KRetryExhausted, 0, 9, -1, 2, 0, "resolve")
+	return j
+}
+
+func TestFromJournalRecovery(t *testing.T) {
+	p := FromJournal(recoveryJournal(), 0)
+	r := p.Recovery
+	if r.Crashes != 2 || r.Recoveries != 1 {
+		t.Errorf("crashes/recoveries = %d/%d, want 2/1", r.Crashes, r.Recoveries)
+	}
+	// Only the closed outage (100..400) accrues downtime; the open one
+	// has no recovery record to close it.
+	if r.DownTicks != 300 || r.MaxDownTicks != 300 {
+		t.Errorf("down/maxdown = %d/%d, want 300/300", r.DownTicks, r.MaxDownTicks)
+	}
+	if r.RedoVotes != 2 {
+		t.Errorf("redo votes = %d, want 2", r.RedoVotes)
+	}
+	if r.Retries != 2 || r.RetryExhausted != 1 {
+		t.Errorf("retries/exhausted = %d/%d, want 2/1", r.Retries, r.RetryExhausted)
+	}
+	out := p.String()
+	if !strings.Contains(out, "recovery: crashes=2 recoveries=1") ||
+		!strings.Contains(out, "redo_votes=2 retries=2 exhausted=1") {
+		t.Errorf("report missing recovery line:\n%s", out)
+	}
+	// Fault-free runs stay silent: no recovery noise in their reports.
+	if out := FromJournal(contendedJournal(), 0).String(); strings.Contains(out, "recovery:") {
+		t.Errorf("fault-free report grew a recovery line:\n%s", out)
+	}
+}
+
+func TestHTMLRecoverySection(t *testing.T) {
+	page := string(HTML("t", nil, FromJournal(recoveryJournal(), 0)))
+	if !strings.Contains(page, "Crash recovery") {
+		t.Fatalf("HTML report missing recovery section:\n%s", page)
+	}
+	for _, cell := range []string{"<td>2</td>", "<td>0.3</td>"} {
+		if !strings.Contains(page, cell) {
+			t.Errorf("HTML recovery table missing %q:\n%s", cell, page)
+		}
+	}
+	if page := string(HTML("t", nil, FromJournal(contendedJournal(), 0))); strings.Contains(page, "Crash recovery") {
+		t.Errorf("fault-free HTML report grew a recovery section")
+	}
+}
+
 func TestProfileStringNamesHotObjects(t *testing.T) {
 	p := FromJournal(contendedJournal(), 10)
 	out := p.String()

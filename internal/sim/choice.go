@@ -27,6 +27,19 @@ const (
 	// ChooseVote orders 2PC prepare fan-out (and hence vote arrival):
 	// which rotation of the participant list the coordinator uses.
 	ChooseVote ChoicePoint = 4
+	// ChooseCrash decides whether a site crashes at a fault-space
+	// decision instant: alternative 0 is "no crash", alternative i > 0
+	// crashes site i-1. Surfaced through ChooseQuiet — the faults layer
+	// journals the chosen crash itself (KFaultCrash).
+	ChooseCrash ChoicePoint = 5
+	// ChooseFate decides one inter-site message's fate: 0 = deliver,
+	// 1 = drop, 2 = duplicate. Surfaced through ChooseQuiet (KFaultFate
+	// records the decision).
+	ChooseFate ChoicePoint = 6
+	// ChooseCut decides whether a site is cut off by a partition at a
+	// fault-space decision instant: 0 = no cut, i > 0 isolates site i-1.
+	// Surfaced through ChooseQuiet (KFaultCut records the decision).
+	ChooseCut ChoicePoint = 7
 )
 
 // String returns the stable short name used in KChoice journal notes.
@@ -40,6 +53,12 @@ func (p ChoicePoint) String() string {
 		return "msg"
 	case ChooseVote:
 		return "vote"
+	case ChooseCrash:
+		return "crash"
+	case ChooseFate:
+		return "fate"
+	case ChooseCut:
+		return "cut"
 	default:
 		return "choice?"
 	}
@@ -86,6 +105,26 @@ func (k *Kernel) Choose(p ChoicePoint, n int) int {
 		pick = n - 1
 	}
 	k.Emit(journal.KChoice, 0, 0, int64(p), int64(pick), p.String())
+	return pick
+}
+
+// ChooseQuiet is Choose without the KChoice record: same guards, same
+// clamping, no journal emission. It serves the fault decision points
+// (ChooseCrash, ChooseFate, ChooseCut), whose outcomes the faults layer
+// journals itself as KFaultCrash/KFaultFate/KFaultCut — records that a
+// chooser-less replay of the exported fault plan emits identically, so
+// a minimized fault schedule and its plan replay stay byte-identical.
+func (k *Kernel) ChooseQuiet(p ChoicePoint, n int) int {
+	if k.chooser == nil || n < 2 {
+		return 0
+	}
+	pick := k.chooser.Choose(p, n)
+	if pick <= 0 {
+		return 0
+	}
+	if pick >= n {
+		pick = n - 1
+	}
 	return pick
 }
 

@@ -808,6 +808,14 @@ type ExploreConfig struct {
 	// architecture (false = local ceilings over full replication).
 	Distributed bool
 	Global      bool
+	// Faults promotes fault injection into the explored decision tree
+	// (implies Distributed): site crashes, per-message drop/duplicate
+	// fates, and partition cuts become choice points searched alongside
+	// the scheduling decisions, runs execute under the full
+	// crash-recovery machinery, and journals are audited with the
+	// recovery-correctness family. Counterexamples carry the exact
+	// failure schedule as an exportable, replayable fault plan.
+	Faults bool
 	// Seed drives the workload stream (default 1).
 	Seed int64
 	// Options bounds the exploration (explore defaults when zero).
@@ -821,7 +829,9 @@ type ExploreConfig struct {
 func Explore(cfg ExploreConfig) (*ExploreReport, error) {
 	var tgt ExploreTarget
 	var err error
-	if cfg.Distributed {
+	if cfg.Faults {
+		tgt, err = explore.FaultTarget(explore.FaultOpts{Global: cfg.Global, Seed: cfg.Seed})
+	} else if cfg.Distributed {
 		tgt, err = explore.DistributedTarget(explore.DistributedOpts{Global: cfg.Global, Seed: cfg.Seed})
 	} else {
 		if cfg.Protocol == "" {
