@@ -40,6 +40,8 @@ func TestSingleSiteRunAllocGate(t *testing.T) {
 	}{
 		{"plain", SingleSiteConfig{Workload: WorkloadConfig{Count: 200}}},
 		{"journal", SingleSiteConfig{Journal: true, Workload: WorkloadConfig{Count: 200}}},
+		{"timeline", SingleSiteConfig{TimelineWindow: 10 * Second, MaxRawRecords: 64,
+			Workload: WorkloadConfig{Count: 200}}},
 	} {
 		got := runAllocsPerTx(t, tc.cfg)
 		t.Logf("%s: %.1f allocs/tx", tc.name, got)

@@ -16,6 +16,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"rtlock/internal/experiments"
 )
 
 type benchSmokeResult struct {
@@ -100,6 +102,26 @@ func TestBenchSmoke(t *testing.T) {
 		}
 		return res.Summary.Committed, res.Journal.Len()
 	})
+	// The streaming soak: a million bursty transactions through the
+	// windowed-telemetry path in bounded memory. One run, not best of
+	// three — at this length the wall clock is stable and three runs
+	// would dominate the whole smoke.
+	{
+		start := time.Now()
+		res, err := experiments.LongRun(experiments.LongRunParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RawRetained > 4096 {
+			t.Fatalf("stream soak retained %d raw records past the cap", res.RawRetained)
+		}
+		results = append(results, benchSmokeResult{
+			Name:      "single/C/stream",
+			Millis:    float64(time.Since(start).Microseconds()) / 1000,
+			Committed: res.Summary.Committed,
+			Records:   len(res.Timeline),
+		})
+	}
 	// Explorer throughput: schedules executed per wall-clock second at
 	// the CI smoke shape (DFS, 4 workers); best of three runs.
 	{

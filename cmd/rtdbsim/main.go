@@ -37,6 +37,14 @@
 //
 //	rtdbsim explore -protocol C -schedules 64 -minimize
 //	rtdbsim explore -all -jsonl verdict.jsonl -minout counterexamples
+//
+// A sixth rolls a run into virtual-time windows and exports the
+// streaming timeline (JSONL rows, CSV, HTML report) in bounded memory,
+// suitable for million-transaction soaks; the main -spec path accepts a
+// -timeline directory for the same bundle:
+//
+//	rtdbsim timeline -protocol C -count 1000000 -window 10000 -burst 3
+//	rtdbsim timeline -spec run.json -runs 2 -out timeline-out
 package main
 
 import (
@@ -107,15 +115,16 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 // subcommands is the dispatch table; run rejects anything else that
 // does not look like a flag.
 var subcommands = map[string]func([]string) error{
-	"audit":   runAudit,
-	"replay":  runReplay,
-	"faults":  runFaults,
-	"metrics": runMetrics,
-	"explore": runExplore,
+	"audit":    runAudit,
+	"replay":   runReplay,
+	"faults":   runFaults,
+	"metrics":  runMetrics,
+	"explore":  runExplore,
+	"timeline": runTimeline,
 }
 
 func subcommandNames() []string {
-	return []string{"audit", "replay", "faults", "metrics", "explore"}
+	return []string{"audit", "replay", "faults", "metrics", "explore", "timeline"}
 }
 
 func run(args []string) error {
@@ -129,7 +138,7 @@ func run(args []string) error {
 	}
 	fs := flag.NewFlagSet("rtdbsim", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "which experiment: fig2..fig6, dbsize, semantics, inherit, restart, priority, buffer, hotspot, predictability, consistency, placement, faultsweep, custom, all")
+		experiment = fs.String("experiment", "all", "which experiment: fig2..fig6, dbsize, semantics, inherit, restart, priority, buffer, hotspot, predictability, consistency, placement, faultsweep, longrun, custom, all")
 		runs       = fs.Int("runs", 0, "override runs per point (0 keeps the default)")
 		count      = fs.Int("count", 0, "override transactions per run (0 keeps the default)")
 		seed       = fs.Int64("seed", 1, "base random seed")
@@ -142,6 +151,7 @@ func run(args []string) error {
 		trace      = fs.Int("trace", 0, "with -spec single mode: print up to N trace events")
 		auditRuns  = fs.Bool("audit", false, "record a replay journal for every run and fail on invariant violations")
 		metricsDir = fs.String("metrics", "", "with -spec: sample virtual-time metrics and export the bundle into this directory")
+		tlDir      = fs.String("timeline", "", "with -spec: roll windowed telemetry and export timeline.jsonl/csv + report into this directory")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -161,12 +171,20 @@ func run(args []string) error {
 		if *metricsDir != "" {
 			s.Metrics = true
 		}
+		if *tlDir != "" && s.TimelineWindowMs <= 0 {
+			s.TimelineWindowMs = 1000
+		}
 		res, err := s.Run()
 		if err != nil {
 			return err
 		}
 		if *metricsDir != "" {
 			if err := writeMetricsBundle(*metricsDir, filepath.Base(*spec), res); err != nil {
+				return err
+			}
+		}
+		if *tlDir != "" {
+			if err := writeTimelineBundle(*tlDir, filepath.Base(*spec), res); err != nil {
 				return err
 			}
 		}
@@ -350,6 +368,22 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("protocol=%s size=%d %s\n", *protocol, *size, sum)
+	case "longrun":
+		lp := experiments.LongRunParams{
+			Protocol: experiments.Protocol(*protocol),
+			Seed:     *seed,
+			Count:    *count,
+		}
+		res, err := experiments.LongRun(lp)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Summary)
+		fmt.Printf("timeline: %d windows (%d evicted), raw records retained/dropped %d/%d\n",
+			len(res.Timeline), res.TimelineDropped, res.RawRetained, res.RawDropped)
+		if *csv {
+			fmt.Print(string(rtlock.TimelineCSV(res.Timeline)))
+		}
 	case "all":
 		f2, f3, err := experiments.SingleSiteSweep(single)
 		if err != nil {

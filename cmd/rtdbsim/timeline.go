@@ -1,0 +1,165 @@
+// The timeline subcommand: run one configuration with windowed
+// streaming telemetry and export the timeline — JSONL rows, CSV, and an
+// HTML report with the per-window table. The run holds bounded memory
+// regardless of transaction count (arrivals stream, raw records are
+// capped, windows live in a ring), so this is the tool for
+// million-transaction soaks. With -runs > 1 the exports are
+// re-generated from independent executions and must be byte-identical.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rtlock"
+)
+
+// timelineExport is one run's rendered timeline bundle.
+type timelineExport struct {
+	jsonl []byte
+	csv   []byte
+	html  []byte
+}
+
+// runTimeline implements "rtdbsim timeline".
+func runTimeline(args []string) error {
+	fs := flag.NewFlagSet("rtdbsim timeline", flag.ContinueOnError)
+	var sel specSelection
+	sel.register(fs)
+	var (
+		out      = fs.String("out", "timeline-out", "directory for timeline.jsonl, timeline.csv, report.html")
+		windowMs = fs.Float64("window", 0, "window width in virtual milliseconds (0 keeps the spec's value, or 1000)")
+		maxWin   = fs.Int("maxwindows", 0, "retained windows in the ring (0 = default 4096)")
+		maxRaw   = fs.Int("maxraw", 4096, "raw per-transaction records retained (0 = unlimited)")
+		burst    = fs.Float64("burst", 0, "arrival burst factor (>1 enables the deterministic burst square wave)")
+		burstOn  = fs.Float64("burston", 2000, "burst phase width in milliseconds")
+		burstOff = fs.Float64("burstoff", 8000, "quiet phase width in milliseconds")
+		runs     = fs.Int("runs", 1, "independent executions; with >1 every export must be byte-identical")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *runs < 1 {
+		*runs = 1
+	}
+
+	s, err := sel.load()
+	if err != nil {
+		return err
+	}
+	if *windowMs > 0 {
+		s.TimelineWindowMs = *windowMs
+	}
+	if s.TimelineWindowMs <= 0 {
+		s.TimelineWindowMs = 1000
+	}
+	if *maxWin > 0 {
+		s.TimelineMaxWindows = *maxWin
+	}
+	if *maxRaw > 0 {
+		s.MaxRawRecords = *maxRaw
+	}
+	if *burst > 0 {
+		s.Workload.BurstFactor = *burst
+		s.Workload.BurstOnMs = *burstOn
+		s.Workload.BurstOffMs = *burstOff
+	}
+	title := s.Mode
+	if s.Protocol != "" {
+		title += "/" + s.Protocol
+	}
+
+	first, res, err := timelineOnce(s, title)
+	if err != nil {
+		return err
+	}
+	for r := 2; r <= *runs; r++ {
+		again, _, err := timelineOnce(s, title)
+		if err != nil {
+			return err
+		}
+		for _, cmp := range []struct {
+			name string
+			a, b []byte
+		}{
+			{"timeline.jsonl", first.jsonl, again.jsonl},
+			{"timeline.csv", first.csv, again.csv},
+			{"report.html", first.html, again.html},
+		} {
+			if !bytes.Equal(cmp.a, cmp.b) {
+				return fmt.Errorf("timeline: %s diverged on run %d — nondeterminism", cmp.name, r)
+			}
+		}
+	}
+
+	if err := first.write(*out); err != nil {
+		return err
+	}
+	fmt.Println(res.Summary)
+	fmt.Printf("timeline: %d windows (%d evicted), raw records retained/dropped %d/%d\n",
+		len(res.Timeline), res.TimelineDropped, res.RawRetained, res.RawDropped)
+	if *runs > 1 {
+		fmt.Printf("timeline: %d runs byte-identical — deterministic\n", *runs)
+	}
+	return nil
+}
+
+// timelineOnce executes the spec and renders the timeline bundle.
+func timelineOnce(s *rtlock.Spec, title string) (*timelineExport, *rtlock.Result, error) {
+	res, err := s.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	exp, err := timelineFrom(res, title)
+	if err != nil {
+		return nil, nil, err
+	}
+	return exp, res, nil
+}
+
+// timelineFrom renders the three export formats from a completed run.
+func timelineFrom(res *rtlock.Result, title string) (*timelineExport, error) {
+	if res.Timeline == nil {
+		return nil, fmt.Errorf("timeline: run produced no timeline (window not set?)")
+	}
+	return &timelineExport{
+		jsonl: rtlock.TimelineJSONL(res.Timeline),
+		csv:   rtlock.TimelineCSV(res.Timeline),
+		html:  rtlock.HTMLTimelineReport("rtlock timeline — "+title, res.Metrics, nil, res.Timeline),
+	}, nil
+}
+
+// write persists the bundle into dir, creating it as needed.
+func (e *timelineExport) write(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{"timeline.jsonl", e.jsonl},
+		{"timeline.csv", e.csv},
+		{"report.html", e.html},
+	} {
+		path := filepath.Join(dir, f.name)
+		if err := os.WriteFile(path, f.data, 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(f.data))
+	}
+	return nil
+}
+
+// writeTimelineBundle is the -timeline flag on the main -spec path:
+// export the timeline of a completed run.
+func writeTimelineBundle(dir, title string, res *rtlock.Result) error {
+	exp, err := timelineFrom(res, title)
+	if err != nil {
+		return err
+	}
+	return exp.write(dir)
+}

@@ -61,6 +61,14 @@ type Spec struct {
 
 	WAL               bool    `json:"wal,omitempty"`
 	CheckpointEveryMs float64 `json:"checkpointEveryMs,omitempty"`
+
+	// TimelineWindowMs rolls the run into virtual-time windows of this
+	// width and fills Result.Timeline (bounded memory, no journal);
+	// TimelineMaxWindows bounds the retained rows (0 = 4096) and
+	// MaxRawRecords caps per-transaction record retention (0 = all).
+	TimelineWindowMs   float64 `json:"timelineWindowMs,omitempty"`
+	TimelineMaxWindows int     `json:"timelineMaxWindows,omitempty"`
+	MaxRawRecords      int     `json:"maxRawRecords,omitempty"`
 }
 
 // SpecWorkload mirrors WorkloadConfig with JSON-friendly units.
@@ -74,6 +82,9 @@ type SpecWorkload struct {
 	SlackMax           float64 `json:"slackMax,omitempty"`
 	PeriodicFrac       float64 `json:"periodicFrac,omitempty"`
 	PeriodMs           float64 `json:"periodMs,omitempty"`
+	BurstFactor        float64 `json:"burstFactor,omitempty"`
+	BurstOnMs          float64 `json:"burstOnMs,omitempty"`
+	BurstOffMs         float64 `json:"burstOffMs,omitempty"`
 }
 
 // SpecFailure mirrors SiteFailure with JSON-friendly units.
@@ -126,25 +137,31 @@ func (s *Spec) Run() (*Result, error) {
 		SlackMax:         s.Workload.SlackMax,
 		PeriodicFrac:     s.Workload.PeriodicFrac,
 		Period:           ms(s.Workload.PeriodMs),
+		BurstFactor:      s.Workload.BurstFactor,
+		BurstOn:          ms(s.Workload.BurstOnMs),
+		BurstOff:         ms(s.Workload.BurstOffMs),
 	}
 	if s.Mode == "single" {
 		return RunSingleSite(SingleSiteConfig{
-			Protocol:        Protocol(s.Protocol),
-			DBSize:          s.DBSize,
-			CPUPerObj:       ms(s.CPUPerObjMs),
-			IOPerObj:        ms(s.IOPerObjMs),
-			MemoryResident:  s.MemoryResident,
-			Workload:        wl,
-			RecordHistory:   s.RecordHistory,
-			TraceEvents:     s.TraceEvents,
-			BufferPages:     s.BufferPages,
-			IODisks:         s.IODisks,
-			WAL:             s.WAL,
-			CheckpointEvery: ms(s.CheckpointEveryMs),
-			Journal:         s.Journal,
-			Audit:           s.Audit,
-			Metrics:         s.Metrics,
-			MetricsInterval: ms(s.MetricsIntervalMs),
+			Protocol:           Protocol(s.Protocol),
+			DBSize:             s.DBSize,
+			CPUPerObj:          ms(s.CPUPerObjMs),
+			IOPerObj:           ms(s.IOPerObjMs),
+			MemoryResident:     s.MemoryResident,
+			Workload:           wl,
+			RecordHistory:      s.RecordHistory,
+			TraceEvents:        s.TraceEvents,
+			BufferPages:        s.BufferPages,
+			IODisks:            s.IODisks,
+			WAL:                s.WAL,
+			CheckpointEvery:    ms(s.CheckpointEveryMs),
+			Journal:            s.Journal,
+			Audit:              s.Audit,
+			Metrics:            s.Metrics,
+			MetricsInterval:    ms(s.MetricsIntervalMs),
+			TimelineWindow:     ms(s.TimelineWindowMs),
+			TimelineMaxWindows: s.TimelineMaxWindows,
+			MaxRawRecords:      s.MaxRawRecords,
 		})
 	}
 	var failures []SiteFailure
@@ -156,22 +173,25 @@ func (s *Spec) Run() (*Result, error) {
 		})
 	}
 	return RunDistributed(DistributedConfig{
-		Global:          s.Global,
-		Sites:           s.Sites,
-		DBSize:          s.DBSize,
-		CommDelay:       ms(s.CommDelayMs),
-		CPUPerObj:       ms(s.CPUPerObjMs),
-		ApplyPerObj:     ms(s.ApplyPerObjMs),
-		Multiversion:    s.Multiversion,
-		SnapshotLag:     ms(s.SnapshotLagMs),
-		Failures:        failures,
-		SiteSpeed:       s.SiteSpeed,
-		Workload:        wl,
-		RecordHistory:   s.RecordHistory,
-		Journal:         s.Journal,
-		Audit:           s.Audit,
-		Metrics:         s.Metrics,
-		MetricsInterval: ms(s.MetricsIntervalMs),
+		Global:             s.Global,
+		Sites:              s.Sites,
+		DBSize:             s.DBSize,
+		CommDelay:          ms(s.CommDelayMs),
+		CPUPerObj:          ms(s.CPUPerObjMs),
+		ApplyPerObj:        ms(s.ApplyPerObjMs),
+		Multiversion:       s.Multiversion,
+		SnapshotLag:        ms(s.SnapshotLagMs),
+		Failures:           failures,
+		SiteSpeed:          s.SiteSpeed,
+		Workload:           wl,
+		RecordHistory:      s.RecordHistory,
+		Journal:            s.Journal,
+		Audit:              s.Audit,
+		Metrics:            s.Metrics,
+		MetricsInterval:    ms(s.MetricsIntervalMs),
+		TimelineWindow:     ms(s.TimelineWindowMs),
+		TimelineMaxWindows: s.TimelineMaxWindows,
+		MaxRawRecords:      s.MaxRawRecords,
 	})
 }
 

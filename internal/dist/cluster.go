@@ -30,6 +30,7 @@ import (
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
+	"rtlock/internal/timeline"
 	"rtlock/internal/wal"
 	"rtlock/internal/workload"
 )
@@ -144,6 +145,14 @@ type Config struct {
 	// MetricsInterval spaces registry snapshots (zero picks
 	// sim.DefaultSampleInterval).
 	MetricsInterval sim.Duration
+	// Timeline, when non-nil, receives every finished transaction and
+	// rolls per-virtual-time-window rows. Like Metrics it never touches
+	// the journal; build it over the same registry as Metrics so the
+	// probe fields resolve.
+	Timeline *timeline.Collector
+	// MaxRawRecords caps the Monitor's raw TxRecord retention (0 keeps
+	// every record); the streaming aggregates are exact either way.
+	MaxRawRecords int
 }
 
 func (c *Config) fill() error {
@@ -351,6 +360,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.RecordHistory {
 		c.History = check.NewHistory()
 	}
+	c.Monitor.SetMaxRaw(cfg.MaxRawRecords)
 	m := k.Metrics()
 	c.mInflight = m.Gauge("txn_inflight", "Transactions between arrival and commit/abort.")
 	c.mCommits = m.Counter("txn_commits_total", "Transactions that committed by their deadline.")
@@ -654,6 +664,7 @@ func (c *Cluster) Load(txs []*workload.Txn) {
 					Deadline: t.Deadline, Finish: c.K.Now(),
 					Outcome: stats.DeadlineMissed,
 				})
+				c.cfg.Timeline.Tx(c.K.Now(), false, 0, 0)
 				return
 			}
 			c.K.Spawn("tx"+strconv.FormatInt(t.ID, 10), func(p *sim.Proc) {
@@ -684,6 +695,7 @@ func (c *Cluster) Run() stats.Summary {
 		// transaction has a deadline timer and installers time out).
 		_ = c.K.Shutdown()
 	}
+	c.cfg.Timeline.Finish(c.Monitor.Horizon())
 	sum := c.Monitor.Summarize()
 	if h := c.Monitor.Horizon(); h > 0 {
 		var busy sim.Duration
@@ -762,4 +774,6 @@ func (c *Cluster) record(p *sim.Proc, t *workload.Txn, st *core.TxState, err err
 		c.emit(t.Home, journal.KDeadlineMiss, t.ID, 0, 0, 0, note)
 	}
 	c.Monitor.Add(rec)
+	c.cfg.Timeline.Tx(rec.Finish, rec.Outcome == stats.Committed,
+		rec.Finish.Sub(rec.Arrival), rec.Restarts)
 }

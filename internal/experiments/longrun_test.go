@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"rtlock/internal/sim"
+)
+
+// TestLongRunBoundedRetention runs a scaled-down soak and checks every
+// bounded-memory claim that does not need the full million: the raw
+// record cap holds, the window ring holds, and every transaction is
+// attributed to exactly one window.
+func TestLongRunBoundedRetention(t *testing.T) {
+	const count, cap = 12_000, 512
+	res, err := LongRun(LongRunParams{Count: count, MaxRawRecords: cap,
+		Window: 5 * sim.Second, MaxWindows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Processed != count {
+		t.Fatalf("processed %d, want %d", res.Summary.Processed, count)
+	}
+	if res.RawRetained > cap {
+		t.Fatalf("retained %d raw records past cap %d", res.RawRetained, cap)
+	}
+	if res.RawDropped != count-cap {
+		t.Fatalf("raw dropped %d, want %d", res.RawDropped, count-cap)
+	}
+	if len(res.Timeline) > 8 {
+		t.Fatalf("ring held %d windows past cap 8", len(res.Timeline))
+	}
+	if res.TimelineDropped == 0 {
+		t.Fatal("a 12k-transaction run should outlive an 8-window ring")
+	}
+	var windowed int64
+	for _, r := range res.Timeline {
+		windowed += r.Processed
+	}
+	if windowed == 0 {
+		t.Fatal("retained windows are empty")
+	}
+}
+
+// TestLongRunBurstShowsInTimeline checks the point of the bursty
+// calibration: windows overlapping burst phases process more
+// transactions than quiet ones, which is exactly what the timeline
+// exists to show.
+func TestLongRunBurstShowsInTimeline(t *testing.T) {
+	res, err := LongRun(LongRunParams{
+		Count:  10_000,
+		Window: 2 * sim.Second, // aligned with BurstOn, inside BurstOff
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With BurstOn=2s/BurstOff=8s and 2s windows, every 5th window is
+	// a burst window. Compare mean arrivals of burst vs quiet windows,
+	// skipping the (possibly partial) last one.
+	var burst, quiet, nb, nq int64
+	for _, r := range res.Timeline[:len(res.Timeline)-1] {
+		if r.Window%5 == 0 {
+			burst += r.Processed
+			nb++
+		} else {
+			quiet += r.Processed
+			nq++
+		}
+	}
+	if nb == 0 || nq == 0 {
+		t.Fatalf("degenerate timeline: %d burst, %d quiet windows", nb, nq)
+	}
+	mb, mq := float64(burst)/float64(nb), float64(quiet)/float64(nq)
+	if mb < 1.5*mq {
+		t.Fatalf("burst windows average %.1f tx vs quiet %.1f — burst not visible", mb, mq)
+	}
+}
+
+// TestLongRunMillion is the acceptance soak: a million transactions
+// through the bursty load complete with raw retention capped. It runs
+// in a few MB of heap but over a minute of CPU — far too slow for the
+// race and shuffle sweeps — so it only runs when LONGRUN is set (CI
+// gives it a dedicated step).
+func TestLongRunMillion(t *testing.T) {
+	if os.Getenv("LONGRUN") == "" {
+		t.Skip("minute-scale soak; set LONGRUN=1 to run")
+	}
+	res, err := LongRun(LongRunParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Processed != 1_000_000 {
+		t.Fatalf("processed %d, want 1000000", res.Summary.Processed)
+	}
+	if res.RawRetained > 4096 {
+		t.Fatalf("retained %d raw records past the 4096 cap", res.RawRetained)
+	}
+	if res.RawDropped != 1_000_000-4096 {
+		t.Fatalf("raw dropped %d, want %d", res.RawDropped, 1_000_000-4096)
+	}
+	var windowed int64
+	for _, r := range res.Timeline {
+		windowed += r.Processed
+	}
+	if res.TimelineDropped == 0 && windowed != 1_000_000 {
+		t.Fatalf("windows account for %d of 1000000 transactions", windowed)
+	}
+}

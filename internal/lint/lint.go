@@ -178,4 +178,6 @@ var SimCriticalPkgs = []string{
 	"internal/experiments",
 	"internal/metrics",
 	"internal/explore",
+	"internal/stats",
+	"internal/timeline",
 }

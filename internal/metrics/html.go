@@ -14,15 +14,25 @@ import (
 // read, identical runs produce byte-identical reports.
 
 type htmlReport struct {
-	Title     string
-	FinalTime int64
-	Samples   int
-	Families  []htmlFamily
-	Objects   []htmlObject
-	Causes    []CauseCount
-	Stacks    []StackSample
-	Recovery  *htmlRecovery
-	Profile   *Profile
+	Title        string
+	FinalTime    int64
+	Samples      int
+	Families     []htmlFamily
+	Objects      []htmlObject
+	Causes       []CauseCount
+	Stacks       []StackSample
+	Recovery     *htmlRecovery
+	Profile      *Profile
+	Timeline     []htmlTimelineRow
+	TimelineOmit int // windows elided before the shown tail
+}
+
+type htmlTimelineRow struct {
+	TimelineRow
+	StartMs, EndMs       float64
+	MeanMs, P50Ms, P99Ms float64
+	LockP50Ms, LockP99Ms float64
+	BarPct               int // throughput bar, relative to peak window
 }
 
 type htmlRecovery struct {
@@ -85,6 +95,13 @@ th { background: #f0f0f0; } td.l, th.l { text-align: left; }
 {{range .Stacks}}<tr><td class="l stack">{{.Stack}}</td><td>{{.Ticks}}</td></tr>
 {{end}}</table>{{end}}
 {{end}}
+{{if .Timeline}}<h2>Timeline</h2>
+{{if .TimelineOmit}}<p>({{.TimelineOmit}} earlier windows elided; full history in the JSONL/CSV export)</p>{{end}}
+<table>
+<tr><th>win</th><th>start ms</th><th>end ms</th><th>done</th><th>commit</th><th>miss %</th><th>restarts</th><th>tput/s</th><th>mean ms</th><th>p50 ms</th><th>p99 ms</th><th>lock p50 ms</th><th>lock p99 ms</th><th>net lost</th><th>net dup</th><th>in flight</th><th class="l">load</th></tr>
+{{range .Timeline}}<tr><td>{{.Window}}</td><td>{{printf "%.0f" .StartMs}}</td><td>{{printf "%.0f" .EndMs}}</td><td>{{.Processed}}</td><td>{{.Committed}}</td><td>{{printf "%.1f" .MissPct}}</td><td>{{.Restarts}}</td><td>{{printf "%.1f" .Throughput}}</td><td>{{printf "%.2f" .MeanMs}}</td><td>{{printf "%.2f" .P50Ms}}</td><td>{{printf "%.2f" .P99Ms}}</td><td>{{printf "%.2f" .LockP50Ms}}</td><td>{{printf "%.2f" .LockP99Ms}}</td><td>{{.NetLost}}</td><td>{{.NetDup}}</td><td>{{.InFlight}}</td><td class="l"><span class="bar" style="width: {{.BarPct}}px"></span></td></tr>
+{{end}}</table>
+{{end}}
 <h2>Metric families</h2>
 {{range .Families}}
 <h3>{{.Name}} <small>({{.Type}})</small></h3>
@@ -100,7 +117,43 @@ th { background: #f0f0f0; } td.l, th.l { text-align: left; }
 // WriteHTML renders the report. reg or prof may be nil; whatever is
 // present is reported.
 func WriteHTML(w io.Writer, title string, reg *Registry, prof *Profile) error {
+	return WriteHTMLWithTimeline(w, title, reg, prof, nil)
+}
+
+// htmlTimelineMaxRows bounds the timeline table so long runs do not
+// produce megabyte reports; the newest windows are shown.
+const htmlTimelineMaxRows = 200
+
+// WriteHTMLWithTimeline renders the report with a windowed-timeline
+// section. reg, prof, or rows may be nil/empty; whatever is present is
+// reported.
+func WriteHTMLWithTimeline(w io.Writer, title string, reg *Registry, prof *Profile, rows []TimelineRow) error {
 	rep := htmlReport{Title: title, Profile: prof}
+	if len(rows) > htmlTimelineMaxRows {
+		rep.TimelineOmit = len(rows) - htmlTimelineMaxRows
+		rows = rows[rep.TimelineOmit:]
+	}
+	if len(rows) > 0 {
+		peak := 1.0
+		for _, r := range rows {
+			if r.Throughput > peak {
+				peak = r.Throughput
+			}
+		}
+		for _, r := range rows {
+			rep.Timeline = append(rep.Timeline, htmlTimelineRow{
+				TimelineRow: r,
+				StartMs:     float64(r.Start) / 1000,
+				EndMs:       float64(r.End) / 1000,
+				MeanMs:      float64(r.MeanResp) / 1000,
+				P50Ms:       float64(r.P50Resp) / 1000,
+				P99Ms:       float64(r.P99Resp) / 1000,
+				LockP50Ms:   float64(r.LockWaitP50) / 1000,
+				LockP99Ms:   float64(r.LockWaitP99) / 1000,
+				BarPct:      int(r.Throughput * 200 / peak),
+			})
+		}
+	}
 	if reg != nil {
 		rep.Samples = len(reg.times)
 		if rep.Samples > 0 {
@@ -176,5 +229,13 @@ func WriteHTML(w io.Writer, title string, reg *Registry, prof *Profile) error {
 func HTML(title string, reg *Registry, prof *Profile) []byte {
 	var b bytes.Buffer
 	_ = WriteHTML(&b, title, reg, prof)
+	return b.Bytes()
+}
+
+// HTMLWithTimeline returns the report, timeline section included, as a
+// byte slice.
+func HTMLWithTimeline(title string, reg *Registry, prof *Profile, rows []TimelineRow) []byte {
+	var b bytes.Buffer
+	_ = WriteHTMLWithTimeline(&b, title, reg, prof, rows)
 	return b.Bytes()
 }

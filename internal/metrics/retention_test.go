@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSampleRetention pins the rolling retention limit: the registry
+// keeps only the newest n rows, the CSV export stays consistent for
+// series created both before and after sampling began, and the default
+// (0) still keeps everything.
+func TestSampleRetention(t *testing.T) {
+	r := New()
+	c := r.Counter("c", "h")
+	r.SetRetention(3)
+	if got := r.Retention(); got != 3 {
+		t.Fatalf("Retention() = %d, want 3", got)
+	}
+	c.Inc()
+	r.Sample(100)
+	// Series created mid-run: firstIdx > 0 must survive trimming.
+	g := r.Gauge("g", "h")
+	h := r.Histogram("lat", "h", []int64{10})
+	for i := int64(2); i <= 6; i++ {
+		c.Inc()
+		g.Set(i)
+		h.Observe(i)
+		r.Sample(i * 100)
+	}
+	if got := r.Samples(); got != 3 {
+		t.Fatalf("Samples() = %d, want 3 after trimming", got)
+	}
+	const want = "time_us,c,g,lat_count,lat_sum\n" +
+		"400,4,4,3,9\n" +
+		"500,5,5,4,14\n" +
+		"600,6,6,5,20\n"
+	if got := string(r.CSV()); got != want {
+		t.Errorf("CSV after retention:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Live values are untouched by trimming.
+	if c.Value() != 6 || g.Value() != 6 || h.Count() != 5 {
+		t.Errorf("live values perturbed: c=%d g=%d hcount=%d", c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestSampleRetentionDefaultUnlimited(t *testing.T) {
+	r := New()
+	r.Counter("c", "h").Inc()
+	for i := int64(1); i <= 100; i++ {
+		r.Sample(i)
+	}
+	if got := r.Samples(); got != 100 {
+		t.Fatalf("Samples() = %d, want 100 with no retention limit", got)
+	}
+	// Lowering the limit after the fact trims immediately.
+	r.SetRetention(10)
+	if got := r.Samples(); got != 10 {
+		t.Fatalf("Samples() = %d, want 10 after SetRetention", got)
+	}
+	if got := string(r.CSV()); !strings.Contains(got, "\n91,1\n") || strings.Contains(got, "\n90,1\n") {
+		t.Errorf("CSV kept wrong window:\n%s", got)
+	}
+}
+
+func TestSampleRetentionNilSafe(t *testing.T) {
+	var r *Registry
+	r.SetRetention(5) // must not panic
+	if r.Retention() != 0 {
+		t.Error("nil registry retention != 0")
+	}
+}
+
+// TestSampleSteadyStateAllocFree proves a capped registry samples
+// without allocating once the row buffers are warm — the property that
+// lets million-transaction runs keep sampling on.
+func TestSampleSteadyStateAllocFree(t *testing.T) {
+	r := New()
+	r.Counter("c", "h").Inc()
+	r.Gauge("g", "h").Set(1)
+	r.Histogram("lat", "h", []int64{10}).Observe(3)
+	r.SetRetention(8)
+	for i := int64(1); i <= 16; i++ {
+		r.Sample(i)
+	}
+	at := int64(17)
+	allocs := testing.AllocsPerRun(500, func() {
+		r.Sample(at)
+		at++
+	})
+	if allocs != 0 {
+		t.Errorf("capped Sample allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestHistogramSnapshotAndBounds(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "h", []int64{10, 20, 30})
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(15)
+	h.Observe(99) // above every bound: count/sum only
+	if got := h.Bounds(); len(got) != 3 || got[2] != 30 {
+		t.Fatalf("Bounds() = %v", got)
+	}
+	dst := make([]int64, 3)
+	count, sum := h.Snapshot(dst)
+	if count != 4 || sum != 134 {
+		t.Errorf("Snapshot count/sum = %d/%d, want 4/134", count, sum)
+	}
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != 0 {
+		t.Errorf("Snapshot buckets = %v, want [1 2 0]", dst)
+	}
+	var nilH Histogram
+	if nilH.Bounds() != nil {
+		t.Error("nil handle Bounds != nil")
+	}
+	if c, s := nilH.Snapshot(dst); c != 0 || s != 0 {
+		t.Error("nil handle Snapshot != 0,0")
+	}
+}
+
+func TestHTMLTimelineSection(t *testing.T) {
+	rows := []TimelineRow{
+		{Window: 0, Start: 0, End: 1_000_000, Processed: 10, Committed: 9, Missed: 1,
+			Throughput: 9, MissPct: 10, MeanResp: 5000, P50Resp: 4000, P99Resp: 9000,
+			LockWaitP50: 100, LockWaitP99: 900, InFlight: 2},
+		{Window: 1, Start: 1_000_000, End: 2_000_000, Processed: 5, Committed: 5,
+			Throughput: 5, MeanResp: 3000, P50Resp: 3000, P99Resp: 4000},
+	}
+	out := string(HTMLWithTimeline("t", nil, nil, rows))
+	for _, want := range []string{"<h2>Timeline</h2>", "<td>9</td>", "tput/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline HTML missing %q", want)
+		}
+	}
+	// Plain WriteHTML has no timeline section and matches the nil-rows call.
+	plain := HTML("t", nil, nil)
+	if strings.Contains(string(plain), "Timeline") {
+		t.Error("WriteHTML grew a timeline section without rows")
+	}
+	if !bytes.Equal(plain, HTMLWithTimeline("t", nil, nil, nil)) {
+		t.Error("WriteHTML and WriteHTMLWithTimeline(nil) disagree")
+	}
+	// Over-long timelines elide the head, not the tail.
+	long := make([]TimelineRow, htmlTimelineMaxRows+7)
+	for i := range long {
+		long[i].Window = i
+		long[i].Throughput = 1
+	}
+	out = string(HTMLWithTimeline("t", nil, nil, long))
+	if !strings.Contains(out, "7 earlier windows elided") {
+		t.Error("elision note missing")
+	}
+	if !strings.Contains(out, "<td>"+itoa(len(long)-1)+"</td>") {
+		t.Error("newest window missing from elided table")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

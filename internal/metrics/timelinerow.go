@@ -1,0 +1,38 @@
+package metrics
+
+// TimelineRow is one virtual-time window of a run's rolled-up activity,
+// produced by the timeline collector (internal/timeline) and consumed
+// by the JSONL/CSV exporters and the HTML report. It lives here — not
+// in the timeline package — so the HTML renderer can embed a timeline
+// section without metrics importing the collector.
+//
+// Durations are in ticks (1 tick = 1µs of virtual time). Window fields
+// describe [Start, End); a transaction belongs to the window containing
+// its finish time. Probe-derived fields (lock-wait quantiles, net
+// counters, in-flight) are deltas/readings attributed to the window
+// being closed at rollover; see DESIGN.md "Streaming telemetry" for the
+// exact attribution rules.
+type TimelineRow struct {
+	Window    int   `json:"window"`    // zero-based window index
+	Start     int64 `json:"start"`     // window start, ticks
+	End       int64 `json:"end"`       // window end, ticks
+	Processed int64 `json:"processed"` // transactions finished in the window
+	Committed int64 `json:"committed"`
+	Missed    int64 `json:"missed"`
+	Restarts  int64 `json:"restarts"` // restarts of transactions finishing here
+
+	Throughput float64 `json:"throughput"` // committed tx per virtual second
+	MissPct    float64 `json:"miss_pct"`   // missed / processed × 100
+
+	MeanResp int64 `json:"mean_resp"` // mean committed response, ticks
+	P50Resp  int64 `json:"p50_resp"`  // sketch median, ticks
+	P99Resp  int64 `json:"p99_resp"`  // sketch p99, ticks
+
+	LockWaitP50 int64 `json:"lock_wait_p50"` // from lock_wait_ticks deltas
+	LockWaitP99 int64 `json:"lock_wait_p99"`
+
+	NetLost int64 `json:"net_lost"` // messages dropped in the window
+	NetDup  int64 `json:"net_dup"`  // messages duplicated in the window
+
+	InFlight int64 `json:"in_flight"` // txn_inflight gauge at window close
+}

@@ -48,18 +48,80 @@ type TxRecord struct {
 	Restarts int
 }
 
-// Monitor accumulates transaction records for one run.
+// Monitor accumulates transaction statistics for one run. Every
+// aggregate the paper reports (throughput, %missed, mean blocked and
+// response times, restart and message totals) is maintained as a running
+// sum or count at Add time, and the response/blocked distributions feed
+// deterministic fixed-bucket sketches — so the aggregates cost O(1)
+// memory regardless of run length. Raw TxRecords are additionally
+// retained for callers that want per-transaction detail; SetMaxRaw caps
+// that retention (a ring of the most recent records) so million-
+// transaction runs stay bounded.
 type Monitor struct {
 	records []TxRecord
+	maxRaw  int // 0 = retain everything
+	next    int // ring write index once the cap is reached
+	dropped int // records processed but no longer retained
 	horizon sim.Time
+
+	// Streaming aggregates, updated on every Add.
+	processed    int
+	committed    int
+	objects      int // objects accessed by committed transactions
+	totalBlocked sim.Duration
+	blockedCount int
+	totalResp    sim.Duration // over committed transactions
+	restarts     int
+	messages     int
+
+	respSketch    *Sketch // committed response times
+	blockedSketch *Sketch // blocked intervals, all processed
 }
 
-// NewMonitor returns an empty monitor.
-func NewMonitor() *Monitor { return &Monitor{} }
+// NewMonitor returns an empty monitor with the default sketch geometry.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		respSketch:    NewSketch(0, 0),
+		blockedSketch: NewSketch(0, 0),
+	}
+}
+
+// SetMaxRaw caps raw TxRecord retention at n records (0 restores
+// unlimited retention): once n records are held, each Add overwrites the
+// oldest. The streaming aggregates are unaffected — only Records (and
+// the exact percentile path) see the bounded window. Call it before the
+// run; lowering the cap mid-run drops the oldest retained records.
+func (m *Monitor) SetMaxRaw(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.maxRaw = n
+	if n > 0 && len(m.records) > n {
+		// Keep the newest n. Records are held in finish order (ring
+		// rotation aside), so the front is the oldest.
+		m.dropped += len(m.records) - n
+		copy(m.records, m.records[len(m.records)-n:])
+		m.records = m.records[:n]
+		m.next = 0
+	}
+}
+
+// MaxRaw returns the raw-retention cap (0 = unlimited).
+func (m *Monitor) MaxRaw() int { return m.maxRaw }
+
+// RawRetained returns how many raw records are currently held.
+func (m *Monitor) RawRetained() int { return len(m.records) }
+
+// RawDropped returns how many processed records were evicted by the cap.
+func (m *Monitor) RawDropped() int { return m.dropped }
 
 // Reserve grows the record buffer to hold n transactions, so a loader
 // that knows its workload size avoids incremental growth in the run.
+// Under a raw-retention cap, the reservation clamps to the cap.
 func (m *Monitor) Reserve(n int) {
+	if m.maxRaw > 0 && n > m.maxRaw {
+		n = m.maxRaw
+	}
 	if cap(m.records) >= n {
 		return
 	}
@@ -68,19 +130,46 @@ func (m *Monitor) Reserve(n int) {
 	m.records = records
 }
 
-// Add records one processed transaction.
+// Add records one processed transaction: the streaming aggregates and
+// sketches always, the raw record subject to the retention cap. Under a
+// cap the method allocates nothing in steady state (ring overwrite); an
+// uncapped monitor grows the record slice as before.
 func (m *Monitor) Add(r TxRecord) {
-	m.records = append(m.records, r)
+	m.processed++
+	m.totalBlocked += r.Blocked
+	m.blockedCount += r.BlockedCount
+	m.restarts += r.Restarts
+	m.messages += r.Messages
+	m.blockedSketch.Observe(r.Blocked)
+	if r.Outcome == Committed {
+		m.committed++
+		m.objects += r.Size
+		resp := r.Finish.Sub(r.Arrival)
+		m.totalResp += resp
+		m.respSketch.Observe(resp)
+	}
 	if r.Finish > m.horizon {
 		m.horizon = r.Finish
 	}
+	if m.maxRaw > 0 && len(m.records) >= m.maxRaw {
+		m.records[m.next] = r
+		m.next++
+		if m.next == m.maxRaw {
+			m.next = 0
+		}
+		m.dropped++
+		return
+	}
+	m.records = append(m.records, r)
 }
 
 // SetHorizon overrides the observation window end (defaults to the last
 // recorded finish time). Throughput normalizes by this window.
 func (m *Monitor) SetHorizon(t sim.Time) { m.horizon = t }
 
-// Records returns a copy of all records, ordered by transaction id.
+// Records returns a copy of the retained records, ordered by
+// transaction id. Under a raw-retention cap only the most recent cap
+// records are held; RawDropped reports how many were evicted.
 func (m *Monitor) Records() []TxRecord {
 	out := make([]TxRecord, len(m.records))
 	copy(out, m.records)
@@ -90,85 +179,68 @@ func (m *Monitor) Records() []TxRecord {
 
 // Processed returns the number of transactions that completed or were
 // aborted.
-func (m *Monitor) Processed() int { return len(m.records) }
+func (m *Monitor) Processed() int { return m.processed }
 
 // CommittedCount returns the number of transactions that met their
 // deadline.
-func (m *Monitor) CommittedCount() int {
-	n := 0
-	for _, r := range m.records {
-		if r.Outcome == Committed {
-			n++
-		}
-	}
-	return n
-}
+func (m *Monitor) CommittedCount() int { return m.committed }
 
 // MissedCount returns the number of deadline-missing transactions.
-func (m *Monitor) MissedCount() int { return m.Processed() - m.CommittedCount() }
+func (m *Monitor) MissedCount() int { return m.processed - m.committed }
 
-// MissedPct returns 100 × missed / processed, the paper's %missed.
+// MissedPct returns 100 × missed / processed, the paper's %missed
+// (0 for an empty run).
 func (m *Monitor) MissedPct() float64 {
-	if len(m.records) == 0 {
+	if m.processed == 0 {
 		return 0
 	}
-	return 100 * float64(m.MissedCount()) / float64(m.Processed())
+	return 100 * float64(m.MissedCount()) / float64(m.processed)
 }
 
 // Throughput returns the normalized throughput: data objects accessed per
 // second over successful (committed) transactions — the completion rate
 // multiplied by transaction size, as the paper normalizes to account for
-// bigger transactions doing more database work.
+// bigger transactions doing more database work. A zero or unset horizon
+// reports 0.
 func (m *Monitor) Throughput() float64 {
 	if m.horizon <= 0 {
 		return 0
 	}
-	objects := 0
-	for _, r := range m.records {
-		if r.Outcome == Committed {
-			objects += r.Size
-		}
-	}
-	return float64(objects) / sim.Duration(m.horizon).Seconds()
+	return float64(m.objects) / sim.Duration(m.horizon).Seconds()
 }
 
 // AvgBlocked returns the mean blocked interval across processed
-// transactions.
+// transactions (0 for an empty run).
 func (m *Monitor) AvgBlocked() sim.Duration {
-	if len(m.records) == 0 {
+	if m.processed == 0 {
 		return 0
 	}
-	var total sim.Duration
-	for _, r := range m.records {
-		total += r.Blocked
-	}
-	return total / sim.Duration(len(m.records))
+	return m.totalBlocked / sim.Duration(m.processed)
 }
 
 // AvgResponse returns the mean finish−arrival time over committed
-// transactions.
+// transactions (0 when none committed).
 func (m *Monitor) AvgResponse() sim.Duration {
-	n := 0
-	var total sim.Duration
-	for _, r := range m.records {
-		if r.Outcome == Committed {
-			total += r.Finish.Sub(r.Arrival)
-			n++
-		}
-	}
-	if n == 0 {
+	if m.committed == 0 {
 		return 0
 	}
-	return total / sim.Duration(n)
+	return m.totalResp / sim.Duration(m.committed)
 }
 
 // ResponsePercentile returns the q-quantile (0 < q <= 1) of the
 // finish−arrival time over committed transactions, using the
 // nearest-rank method. Real-time systems care about the tail, not just
 // the mean; p95/p99 response times quantify predictability.
+//
+// While every raw record is retained the answer is exact; once the
+// retention cap has evicted records it comes from the streaming sketch
+// instead, within one sketch bucket width of exact.
 func (m *Monitor) ResponsePercentile(q float64) sim.Duration {
 	if q <= 0 || q > 1 {
 		return 0
+	}
+	if m.dropped > 0 {
+		return m.respSketch.Quantile(q)
 	}
 	var resp []sim.Duration
 	for _, r := range m.records {
@@ -190,23 +262,32 @@ func (m *Monitor) ResponsePercentile(q float64) sim.Duration {
 	return resp[rank]
 }
 
-// Restarts returns the total number of aborted-and-retried attempts.
-func (m *Monitor) Restarts() int {
-	n := 0
-	for _, r := range m.records {
-		n += r.Restarts
-	}
-	return n
+// ResponseQuantile returns the q-quantile of committed response times
+// from the streaming sketch: bounded memory, within one bucket width of
+// the exact nearest-rank answer.
+func (m *Monitor) ResponseQuantile(q float64) sim.Duration {
+	return m.respSketch.Quantile(q)
 }
 
-// Messages returns the total message count across transactions.
-func (m *Monitor) Messages() int {
-	n := 0
-	for _, r := range m.records {
-		n += r.Messages
-	}
-	return n
+// BlockedQuantile returns the q-quantile of blocked intervals across
+// processed transactions from the streaming sketch.
+func (m *Monitor) BlockedQuantile(q float64) sim.Duration {
+	return m.blockedSketch.Quantile(q)
 }
+
+// ResponseSketch exposes the streaming response-time sketch (committed
+// transactions).
+func (m *Monitor) ResponseSketch() *Sketch { return m.respSketch }
+
+// BlockedSketch exposes the streaming blocked-interval sketch (all
+// processed transactions).
+func (m *Monitor) BlockedSketch() *Sketch { return m.blockedSketch }
+
+// Restarts returns the total number of aborted-and-retried attempts.
+func (m *Monitor) Restarts() int { return m.restarts }
+
+// Messages returns the total message count across transactions.
+func (m *Monitor) Messages() int { return m.messages }
 
 // Summary is an aggregate snapshot convenient for tables.
 type Summary struct {

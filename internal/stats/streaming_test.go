@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rtlock/internal/sim"
+)
+
+// TestEmptyRunGuards pins the zero-horizon/empty-run behavior of every
+// aggregate: 0, never NaN, Inf, or a panic.
+func TestEmptyRunGuards(t *testing.T) {
+	empty := NewMonitor()
+	zeroHorizon := NewMonitor()
+	zeroHorizon.Add(TxRecord{ID: 1, Outcome: Committed, Size: 3}) // Finish stays 0
+	missOnly := NewMonitor()
+	missOnly.Add(TxRecord{ID: 1, Outcome: DeadlineMissed, Finish: sim.Time(5 * sim.Second)})
+	for _, tc := range []struct {
+		name string
+		m    *Monitor
+	}{
+		{"empty", empty},
+		{"zero-horizon", zeroHorizon},
+		{"missed-only", missOnly},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			checks := []struct {
+				what string
+				got  float64
+			}{
+				{"MissedPct", tc.m.MissedPct()},
+				{"Throughput", tc.m.Throughput()},
+				{"AvgBlocked", float64(tc.m.AvgBlocked())},
+				{"AvgResponse", float64(tc.m.AvgResponse())},
+				{"ResponsePercentile(0.99)", float64(tc.m.ResponsePercentile(0.99))},
+				{"ResponseQuantile(0.5)", float64(tc.m.ResponseQuantile(0.5))},
+				{"BlockedQuantile(0.5)", float64(tc.m.BlockedQuantile(0.5))},
+			}
+			for _, c := range checks {
+				if math.IsNaN(c.got) || math.IsInf(c.got, 0) {
+					t.Errorf("%s = %v, want finite", c.what, c.got)
+				}
+			}
+			if tc.m.Processed() == 0 {
+				for _, c := range checks {
+					if c.got != 0 {
+						t.Errorf("%s = %v on empty monitor, want 0", c.what, c.got)
+					}
+				}
+			}
+			if got := tc.m.Summarize(); math.IsNaN(got.Throughput) || math.IsNaN(got.MissedPct) {
+				t.Errorf("Summarize produced NaN: %+v", got)
+			}
+		})
+	}
+	if got := missOnly.MissedPct(); got != 100 {
+		t.Errorf("missed-only MissedPct = %v, want 100", got)
+	}
+	if got := missOnly.Throughput(); got != 0 {
+		t.Errorf("missed-only Throughput = %v, want 0 (no committed objects)", got)
+	}
+}
+
+// TestSketchQuantileParity drives random durations through the sketch
+// and checks every quantile stays within one bucket width of the exact
+// nearest-rank answer.
+func TestSketchQuantileParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSketch(sim.Millisecond, 4096)
+	var exact []sim.Duration
+	for i := 0; i < 5000; i++ {
+		d := sim.Duration(rng.Int63n(int64(3 * sim.Second)))
+		s.Observe(d)
+		exact = append(exact, d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		rank := int(math.Ceil(q*float64(len(exact)))) - 1
+		want := exact[rank]
+		got := s.Quantile(q)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > s.Width() {
+			t.Errorf("q=%v: sketch %d vs exact %d, off by %d > width %d",
+				q, got, want, diff, s.Width())
+		}
+	}
+}
+
+func TestSketchEdgeCases(t *testing.T) {
+	s := NewSketch(sim.Millisecond, 16)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty sketch quantile = %d, want 0", got)
+	}
+	s.Observe(0)
+	s.Observe(0)
+	if got := s.Quantile(1); got != 0 {
+		t.Errorf("all-zero quantile = %d, want 0", got)
+	}
+	// Constant value on a bucket edge answers exactly.
+	s.Reset()
+	for i := 0; i < 10; i++ {
+		s.Observe(5 * sim.Millisecond)
+	}
+	if got := s.Quantile(0.5); got != 5*sim.Millisecond {
+		t.Errorf("constant-edge quantile = %d, want %d", got, 5*sim.Millisecond)
+	}
+	// Observations beyond the covered range answer with the max.
+	s.Reset()
+	s.Observe(100 * sim.Millisecond) // beyond 16 buckets of 1ms
+	s.Observe(200 * sim.Millisecond)
+	if got := s.Quantile(0.99); got != 200*sim.Millisecond {
+		t.Errorf("overflow quantile = %d, want max %d", got, 200*sim.Millisecond)
+	}
+	if s.Count() != 2 || s.Sum() != 300*sim.Millisecond {
+		t.Errorf("count/sum = %d/%d, want 2/%d", s.Count(), s.Sum(), 300*sim.Millisecond)
+	}
+	// Negative observations clamp to zero.
+	s.Reset()
+	s.Observe(-sim.Second)
+	if got := s.Quantile(1); got != 0 {
+		t.Errorf("negative observation quantile = %d, want 0", got)
+	}
+	// Reset clears everything.
+	if s.Count() != 1 {
+		t.Fatalf("count after reset+observe = %d, want 1", s.Count())
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Sum() != 0 || s.Max() != 0 || s.Quantile(1) != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+// synthRecord builds a deterministic record stream for cap tests.
+func synthRecord(i int) TxRecord {
+	r := TxRecord{
+		ID:      int64(i + 1),
+		Size:    1 + i%7,
+		Arrival: sim.Time(i) * sim.Time(10*sim.Millisecond),
+		Blocked: sim.Duration(i%13) * sim.Millisecond,
+
+		Restarts: i % 3,
+		Messages: i % 5,
+	}
+	r.Finish = r.Arrival.Add(sim.Duration(5+i%40) * sim.Millisecond)
+	if i%4 == 0 {
+		r.Outcome = DeadlineMissed
+	} else {
+		r.Outcome = Committed
+	}
+	return r
+}
+
+// TestMaxRawCapKeepsAggregatesExact proves the retention cap changes
+// only what is retained: every streaming aggregate matches an uncapped
+// monitor fed the same records, retention never exceeds the cap, and
+// the percentile path degrades to the sketch within one bucket width.
+func TestMaxRawCapKeepsAggregatesExact(t *testing.T) {
+	const n, cap = 10000, 64
+	full := NewMonitor()
+	capped := NewMonitor()
+	capped.SetMaxRaw(cap)
+	for i := 0; i < n; i++ {
+		r := synthRecord(i)
+		full.Add(r)
+		capped.Add(r)
+		if got := capped.RawRetained(); got > cap {
+			t.Fatalf("retained %d records, cap %d", got, cap)
+		}
+	}
+	if capped.Processed() != full.Processed() || capped.CommittedCount() != full.CommittedCount() {
+		t.Errorf("counts diverge: capped %d/%d vs full %d/%d",
+			capped.Processed(), capped.CommittedCount(), full.Processed(), full.CommittedCount())
+	}
+	if capped.MissedPct() != full.MissedPct() {
+		t.Errorf("MissedPct %v vs %v", capped.MissedPct(), full.MissedPct())
+	}
+	if capped.Throughput() != full.Throughput() {
+		t.Errorf("Throughput %v vs %v", capped.Throughput(), full.Throughput())
+	}
+	if capped.AvgBlocked() != full.AvgBlocked() || capped.AvgResponse() != full.AvgResponse() {
+		t.Errorf("means diverge: blocked %v/%v resp %v/%v",
+			capped.AvgBlocked(), full.AvgBlocked(), capped.AvgResponse(), full.AvgResponse())
+	}
+	if capped.Restarts() != full.Restarts() || capped.Messages() != full.Messages() {
+		t.Errorf("totals diverge")
+	}
+	if got, want := capped.RawDropped(), n-cap; got != want {
+		t.Errorf("RawDropped = %d, want %d", got, want)
+	}
+	// Retained records are the most recent cap, by id.
+	recs := capped.Records()
+	if len(recs) != cap {
+		t.Fatalf("Records len %d, want %d", len(recs), cap)
+	}
+	for i, r := range recs {
+		if want := int64(n - cap + i + 1); r.ID != want {
+			t.Fatalf("Records[%d].ID = %d, want %d (newest window)", i, r.ID, want)
+		}
+	}
+	// Capped percentile comes from the sketch, within a bucket of exact.
+	for _, q := range []float64{0.5, 0.99} {
+		exact := full.ResponsePercentile(q)
+		approx := capped.ResponsePercentile(q)
+		diff := approx - exact
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > DefaultSketchWidth {
+			t.Errorf("q=%v: capped percentile %d vs exact %d, off by %d", q, approx, exact, diff)
+		}
+	}
+	// SetMaxRaw after the fact trims to the newest window.
+	full.SetMaxRaw(10)
+	if full.RawRetained() != 10 {
+		t.Errorf("post-hoc trim retained %d, want 10", full.RawRetained())
+	}
+	if got := full.Records()[0].ID; got != int64(n-10+1) {
+		t.Errorf("post-hoc trim kept oldest id %d, want %d", got, n-10+1)
+	}
+}
+
+// TestMonitorAddSteadyStateAllocFree pins the bounded-memory claim at
+// the allocation level: once the cap is reached, Add allocates nothing.
+func TestMonitorAddSteadyStateAllocFree(t *testing.T) {
+	m := NewMonitor()
+	m.SetMaxRaw(32)
+	for i := 0; i < 64; i++ {
+		m.Add(synthRecord(i))
+	}
+	i := 64
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Add(synthRecord(i))
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("capped Monitor.Add allocates %.1f per call, want 0", allocs)
+	}
+}

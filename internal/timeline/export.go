@@ -1,0 +1,89 @@
+package timeline
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Exporters are pure functions of the rows: no clocks, no maps, fixed
+// field order — identical rows give byte-identical output.
+
+// WriteJSONL writes one JSON object per row, newline-terminated. The
+// schema is the metrics.TimelineRow JSON tags; see README "Timeline
+// export" for the field list.
+func WriteJSONL(w io.Writer, rows []Row) error {
+	for i := range rows {
+		b, err := json.Marshal(&rows[i])
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONL returns the JSONL export as a byte slice.
+func JSONL(rows []Row) []byte {
+	var b writerBuf
+	_ = WriteJSONL(&b, rows)
+	return b
+}
+
+// CSVHeader is the column order of the CSV export, matching the JSONL
+// field names.
+const CSVHeader = "window,start,end,processed,committed,missed,restarts," +
+	"throughput,miss_pct,mean_resp,p50_resp,p99_resp," +
+	"lock_wait_p50,lock_wait_p99,net_lost,net_dup,in_flight"
+
+// WriteCSV writes a header line plus one line per row.
+func WriteCSV(w io.Writer, rows []Row) error {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, CSVHeader...)
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for i := range rows {
+		r := &rows[i]
+		buf = buf[:0]
+		buf = strconv.AppendInt(buf, int64(r.Window), 10)
+		for _, v := range [...]int64{r.Start, r.End, r.Processed, r.Committed, r.Missed, r.Restarts} {
+			buf = append(buf, ',')
+			buf = strconv.AppendInt(buf, v, 10)
+		}
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, r.Throughput, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, r.MissPct, 'g', -1, 64)
+		for _, v := range [...]int64{r.MeanResp, r.P50Resp, r.P99Resp,
+			r.LockWaitP50, r.LockWaitP99, r.NetLost, r.NetDup, r.InFlight} {
+			buf = append(buf, ',')
+			buf = strconv.AppendInt(buf, v, 10)
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV returns the CSV export as a byte slice.
+func CSV(rows []Row) []byte {
+	var b writerBuf
+	_ = WriteCSV(&b, rows)
+	return b
+}
+
+// writerBuf is an io.Writer that appends to itself, avoiding a
+// bytes.Buffer copy for the []byte-returning helpers.
+type writerBuf []byte
+
+func (b *writerBuf) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,304 @@
+// Package timeline rolls a run's activity into fixed virtual-time
+// windows, giving long runs a bounded-memory, time-resolved view of
+// throughput, deadline misses, response-time quantiles, lock waiting,
+// and network loss — the streaming counterpart of the end-of-run
+// aggregates in internal/stats.
+//
+// The collector is driven from the transaction layer: every finished
+// transaction is reported with Tx, and because the kernel's clock is
+// monotonic those reports arrive in non-decreasing finish-time order,
+// so window rollover is a simple forward sweep. A window [start, end)
+// owns the transactions finishing inside it; probe-derived fields
+// (lock-wait quantiles, net counters, the in-flight gauge) are sampled
+// at rollover, so activity between the last transaction of a window and
+// the first of the next is attributed to the later window. Both rules
+// are functions of the event sequence only, so two runs of the same
+// (seed, config) pair produce byte-identical timelines.
+//
+// Memory is fixed at construction: a preallocated ring of MaxWindows
+// rows (oldest windows overwritten, count reported by Dropped), one
+// reusable response-time sketch, and scratch slices for histogram
+// snapshots. The hot path (Tx and window rollover) allocates nothing
+// and never touches the replay journal; the marker below has rtlint
+// prove the latter.
+//
+//rtlint:pure=journal
+package timeline
+
+import (
+	"rtlock/internal/metrics"
+	"rtlock/internal/sim"
+	"rtlock/internal/stats"
+)
+
+// Row is one closed window; see metrics.TimelineRow for field docs.
+type Row = metrics.TimelineRow
+
+// DefaultMaxWindows is the ring capacity when Config.MaxWindows is not
+// positive: enough for a virtual day of 21s windows, ~5 MB of rows.
+const DefaultMaxWindows = 4096
+
+// Config sizes a Collector.
+type Config struct {
+	// Window is the virtual-time width of one row. It must be positive;
+	// New returns nil otherwise, and every Collector method is nil-safe,
+	// so a zero Window is simply "timeline off".
+	Window sim.Duration
+	// MaxWindows bounds the ring of retained rows; non-positive picks
+	// DefaultMaxWindows.
+	MaxWindows int
+	// SketchWidth/SketchBuckets size the per-window response sketch;
+	// non-positive values pick the stats package defaults.
+	SketchWidth   sim.Duration
+	SketchBuckets int
+}
+
+// Collector accumulates the open window and the ring of closed rows.
+type Collector struct {
+	window sim.Duration
+	rows   []Row // ring storage, len == cap == MaxWindows
+	head   int   // index of oldest retained row
+	n      int   // retained rows
+	lost   int   // rows overwritten by ring wrap
+
+	// Open-window state.
+	winIdx   int
+	start    sim.Time
+	procd    int64
+	commit   int64
+	missed   int64
+	restarts int64
+	respSum  sim.Duration
+	sketch   *stats.Sketch
+
+	// Probe handles and rollover scratch. All handles are nil-safe
+	// no-ops when built without a registry, yielding zero-valued fields.
+	lockWait   metrics.Histogram
+	lockBounds []int64
+	lockPrev   []int64 // cumulative bucket counts at last rollover
+	lockCur    []int64 // snapshot scratch
+	lockPrevN  int64
+	inflight   metrics.Gauge
+	netDrop    [3]metrics.Counter
+	netDup     metrics.Counter
+	netLostPrv int64
+	netDupPrv  int64
+}
+
+// New builds a collector reading probe series from reg (which may be
+// nil: transaction fields still roll up, probe fields stay zero).
+// Resolving the probe series here means they exist in the registry even
+// for runs that never block or drop a message; exporters sort by name,
+// so creation order does not show in any output.
+func New(cfg Config, reg *metrics.Registry) *Collector {
+	if cfg.Window <= 0 {
+		return nil
+	}
+	if cfg.MaxWindows <= 0 {
+		cfg.MaxWindows = DefaultMaxWindows
+	}
+	c := &Collector{
+		window: cfg.Window,
+		rows:   make([]Row, cfg.MaxWindows),
+		sketch: stats.NewSketch(cfg.SketchWidth, cfg.SketchBuckets),
+	}
+	c.lockWait = reg.Histogram("lock_wait_ticks",
+		"Blocked-interval lengths of lock waiters, in ticks.", nil)
+	c.lockBounds = c.lockWait.Bounds()
+	if len(c.lockBounds) > 0 {
+		c.lockPrev = make([]int64, len(c.lockBounds))
+		c.lockCur = make([]int64, len(c.lockBounds))
+	}
+	c.inflight = reg.Gauge("txn_inflight",
+		"Transactions between arrival and commit/abort.")
+	c.netDrop[0] = reg.Counter("net_msgs_dropped_total",
+		"Messages lost in transit, by reason.", metrics.L("reason", "down"))
+	c.netDrop[1] = reg.Counter("net_msgs_dropped_total",
+		"Messages lost in transit, by reason.", metrics.L("reason", "cut"))
+	c.netDrop[2] = reg.Counter("net_msgs_dropped_total",
+		"Messages lost in transit, by reason.", metrics.L("reason", "fault"))
+	c.netDup = reg.Counter("net_msgs_duplicated_total",
+		"Extra message copies the fault injector delivered.")
+	return c
+}
+
+// Window returns the configured window width (0 on a nil collector).
+func (c *Collector) Window() sim.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.window
+}
+
+// Tx reports one finished transaction: its finish time, whether it
+// committed, its response time (ignored unless committed), and how many
+// times it restarted. Finish times must be non-decreasing, which the
+// kernel's monotonic clock guarantees at the call sites.
+//
+//rtlint:allocfree
+func (c *Collector) Tx(finish sim.Time, committed bool, resp sim.Duration, restarts int) {
+	if c == nil {
+		return
+	}
+	c.advance(finish)
+	c.procd++
+	c.restarts += int64(restarts)
+	if committed {
+		c.commit++
+		c.respSum += resp
+		c.sketch.Observe(resp)
+	} else {
+		c.missed++
+	}
+}
+
+// Finish closes every window up to the run horizon, including a final
+// partial window when the horizon falls inside one.
+func (c *Collector) Finish(horizon sim.Time) {
+	if c == nil {
+		return
+	}
+	c.advance(horizon)
+	if horizon > c.start {
+		c.close(horizon)
+	}
+}
+
+// advance closes every window that ends at or before t, so the open
+// window contains t. Consecutive empty windows produce zero-valued rows
+// (probe deltas land in the first row closed by a sweep).
+//
+//rtlint:allocfree
+func (c *Collector) advance(t sim.Time) {
+	for end := c.start.Add(c.window); t >= end; end = c.start.Add(c.window) {
+		c.close(end)
+	}
+}
+
+// close emits the open window as a row ending at end (end is start +
+// window except for a partial final window) and resets the accumulators.
+//
+//rtlint:allocfree
+func (c *Collector) close(end sim.Time) {
+	row := Row{
+		Window:    c.winIdx,
+		Start:     int64(c.start),
+		End:       int64(end),
+		Processed: c.procd,
+		Committed: c.commit,
+		Missed:    c.missed,
+		Restarts:  c.restarts,
+	}
+	if c.procd > 0 {
+		row.MissPct = float64(c.missed) / float64(c.procd) * 100
+	}
+	if dur := end.Sub(c.start); dur > 0 {
+		row.Throughput = float64(c.commit) * float64(sim.Second) / float64(dur)
+	}
+	if c.commit > 0 {
+		row.MeanResp = int64(c.respSum / sim.Duration(c.commit))
+		row.P50Resp = int64(c.sketch.Quantile(0.5))
+		row.P99Resp = int64(c.sketch.Quantile(0.99))
+	}
+	row.LockWaitP50, row.LockWaitP99 = c.lockWaitQuantiles()
+	lost := c.netDrop[0].Value() + c.netDrop[1].Value() + c.netDrop[2].Value()
+	row.NetLost = lost - c.netLostPrv
+	c.netLostPrv = lost
+	dup := c.netDup.Value()
+	row.NetDup = dup - c.netDupPrv
+	c.netDupPrv = dup
+	row.InFlight = c.inflight.Value()
+
+	if c.n == len(c.rows) {
+		c.rows[c.head] = row
+		c.head++
+		if c.head == len(c.rows) {
+			c.head = 0
+		}
+		c.lost++
+	} else {
+		i := c.head + c.n
+		if i >= len(c.rows) {
+			i -= len(c.rows)
+		}
+		c.rows[i] = row
+		c.n++
+	}
+
+	c.winIdx++
+	c.start = end
+	c.procd, c.commit, c.missed, c.restarts = 0, 0, 0, 0
+	c.respSum = 0
+	c.sketch.Reset()
+}
+
+// lockWaitQuantiles diffs the cumulative lock-wait histogram against
+// the previous rollover and answers nearest-rank p50/p99 over the
+// delta, each as the containing bucket's upper bound (observations
+// beyond the last bound answer the last bound).
+//
+//rtlint:allocfree
+func (c *Collector) lockWaitQuantiles() (p50, p99 int64) {
+	if len(c.lockBounds) == 0 {
+		return 0, 0
+	}
+	count, _ := c.lockWait.Snapshot(c.lockCur)
+	dn := count - c.lockPrevN
+	c.lockPrevN = count
+	if dn <= 0 {
+		for i, v := range c.lockCur {
+			c.lockPrev[i] = v
+		}
+		return 0, 0
+	}
+	// Ceil-rank without floats: rank(q) = ceil(q·dn) with q = p/100.
+	rank50 := (50*dn + 99) / 100
+	rank99 := (99*dn + 99) / 100
+	var seen int64
+	var got50, got99 bool
+	for i, v := range c.lockCur {
+		d := v - c.lockPrev[i]
+		c.lockPrev[i] = v
+		seen += d
+		if !got50 && seen >= rank50 {
+			p50, got50 = c.lockBounds[i], true
+		}
+		if !got99 && seen >= rank99 {
+			p99, got99 = c.lockBounds[i], true
+		}
+	}
+	last := c.lockBounds[len(c.lockBounds)-1]
+	if !got50 {
+		p50 = last
+	}
+	if !got99 {
+		p99 = last
+	}
+	return p50, p99
+}
+
+// Rows returns the retained rows, oldest first, as a fresh slice.
+func (c *Collector) Rows() []Row {
+	if c == nil || c.n == 0 {
+		return nil
+	}
+	out := make([]Row, c.n)
+	k := copy(out, c.rows[c.head:min(c.head+c.n, len(c.rows))])
+	copy(out[k:], c.rows[:c.n-k])
+	return out
+}
+
+// Dropped reports how many closed windows the ring has overwritten.
+func (c *Collector) Dropped() int {
+	if c == nil {
+		return 0
+	}
+	return c.lost
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

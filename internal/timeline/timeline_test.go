@@ -1,0 +1,208 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rtlock/internal/metrics"
+	"rtlock/internal/sim"
+)
+
+func ms(n int64) sim.Duration { return sim.Duration(n) * sim.Millisecond }
+func at(n int64) sim.Time     { return sim.Time(ms(n)) }
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	c.Tx(at(5), true, ms(1), 0)
+	c.Finish(at(10))
+	if c.Rows() != nil || c.Dropped() != 0 || c.Window() != 0 {
+		t.Error("nil collector not inert")
+	}
+	if New(Config{}, nil) != nil {
+		t.Error("zero-window New did not return nil")
+	}
+}
+
+func TestWindowRollup(t *testing.T) {
+	c := New(Config{Window: ms(10)}, nil)
+	// Window 0: two commits, one miss with a restart.
+	c.Tx(at(1), true, ms(2), 0)
+	c.Tx(at(5), true, ms(4), 0)
+	c.Tx(at(9), false, 0, 2)
+	// Window 1 left empty. Window 2: one commit.
+	c.Tx(at(25), true, ms(6), 1)
+	// Horizon falls mid-window 3: partial row.
+	c.Finish(at(35))
+	rows := c.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	w0 := rows[0]
+	if w0.Start != 0 || w0.End != int64(ms(10)) {
+		t.Errorf("w0 bounds [%d,%d)", w0.Start, w0.End)
+	}
+	if w0.Processed != 3 || w0.Committed != 2 || w0.Missed != 1 || w0.Restarts != 2 {
+		t.Errorf("w0 counts: %+v", w0)
+	}
+	if want := 100.0 / 3; w0.MissPct < want-0.01 || w0.MissPct > want+0.01 {
+		t.Errorf("w0 MissPct = %v, want ~%v", w0.MissPct, want)
+	}
+	if want := 200.0; w0.Throughput != want { // 2 commits / 10ms
+		t.Errorf("w0 Throughput = %v, want %v", w0.Throughput, want)
+	}
+	if w0.MeanResp != int64(ms(3)) {
+		t.Errorf("w0 MeanResp = %d, want %d", w0.MeanResp, int64(ms(3)))
+	}
+	if w0.P50Resp <= 0 || w0.P99Resp < w0.P50Resp {
+		t.Errorf("w0 quantiles p50=%d p99=%d", w0.P50Resp, w0.P99Resp)
+	}
+	w1 := rows[1]
+	if w1.Processed != 0 || w1.Throughput != 0 || w1.MeanResp != 0 {
+		t.Errorf("empty window not zero: %+v", w1)
+	}
+	if rows[2].Committed != 1 || rows[2].Restarts != 1 {
+		t.Errorf("w2: %+v", rows[2])
+	}
+	w3 := rows[3]
+	if w3.Start != int64(ms(30)) || w3.End != int64(ms(35)) {
+		t.Errorf("partial window bounds [%d,%d)", w3.Start, w3.End)
+	}
+	// Finish on an exact boundary adds no empty trailing row.
+	c2 := New(Config{Window: ms(10)}, nil)
+	c2.Tx(at(1), true, ms(1), 0)
+	c2.Finish(at(10))
+	if got := len(c2.Rows()); got != 1 {
+		t.Errorf("boundary horizon rows = %d, want 1", got)
+	}
+}
+
+func TestRingOverwriteKeepsNewest(t *testing.T) {
+	c := New(Config{Window: ms(1), MaxWindows: 4}, nil)
+	for i := int64(0); i < 10; i++ {
+		c.Tx(at(i), true, ms(1), 0)
+	}
+	c.Finish(at(10))
+	rows := c.Rows()
+	if len(rows) != 4 || c.Dropped() != 6 {
+		t.Fatalf("rows=%d dropped=%d, want 4/6", len(rows), c.Dropped())
+	}
+	for i, r := range rows {
+		if r.Window != 6+i {
+			t.Errorf("rows[%d].Window = %d, want %d", i, r.Window, 6+i)
+		}
+	}
+}
+
+func TestProbeDeltasPerWindow(t *testing.T) {
+	reg := metrics.New()
+	c := New(Config{Window: ms(10)}, reg)
+	// Probe series resolved by name: these are the same series the
+	// subsystems update.
+	wait := reg.Histogram("lock_wait_ticks", "", nil)
+	drop := reg.Counter("net_msgs_dropped_total", "", metrics.L("reason", "fault"))
+	dup := reg.Counter("net_msgs_duplicated_total", "")
+	infl := reg.Gauge("txn_inflight", "")
+
+	wait.Observe(int64(ms(2)))
+	wait.Observe(int64(ms(2)))
+	drop.Add(3)
+	infl.Set(7)
+	c.Tx(at(5), true, ms(1), 0)
+	c.Tx(at(12), true, ms(1), 0) // rolls window 0
+
+	wait.Observe(int64(ms(4)))
+	dup.Add(2)
+	infl.Set(1)
+	c.Finish(at(20))
+
+	rows := c.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	// Window 0 owns the first two waits and the drops; its p50 and p99
+	// are the bound containing 2ms.
+	if rows[0].LockWaitP50 != rows[0].LockWaitP99 || rows[0].LockWaitP50 < int64(ms(2)) {
+		t.Errorf("w0 lock quantiles p50=%d p99=%d", rows[0].LockWaitP50, rows[0].LockWaitP99)
+	}
+	if rows[0].NetLost != 3 || rows[0].NetDup != 0 || rows[0].InFlight != 7 {
+		t.Errorf("w0 probe fields: %+v", rows[0])
+	}
+	// Window 1 owns only the delta since window 0 closed.
+	if rows[1].LockWaitP50 < int64(ms(4)) {
+		t.Errorf("w1 lock p50 = %d, want >= %d", rows[1].LockWaitP50, int64(ms(4)))
+	}
+	if rows[1].NetLost != 0 || rows[1].NetDup != 2 || rows[1].InFlight != 1 {
+		t.Errorf("w1 probe fields: %+v", rows[1])
+	}
+}
+
+func TestExportsDeterministicAndParse(t *testing.T) {
+	build := func() []Row {
+		c := New(Config{Window: ms(10)}, nil)
+		c.Tx(at(1), true, ms(2), 0)
+		c.Tx(at(9), false, 0, 1)
+		c.Tx(at(25), true, ms(6), 0)
+		c.Finish(at(30))
+		return c.Rows()
+	}
+	rows := build()
+	j1, j2 := JSONL(rows), JSONL(build())
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSONL not byte-identical across identical runs")
+	}
+	lines := strings.Split(strings.TrimSuffix(string(j1), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", len(lines))
+	}
+	for _, ln := range lines {
+		var r Row
+		if err := json.Unmarshal([]byte(ln), &r); err != nil {
+			t.Fatalf("JSONL line does not parse: %v\n%s", err, ln)
+		}
+	}
+	var r0 Row
+	_ = json.Unmarshal([]byte(lines[0]), &r0)
+	if r0 != rows[0] {
+		t.Errorf("JSONL round-trip mismatch:\n%+v\n%+v", r0, rows[0])
+	}
+	c1, c2 := CSV(rows), CSV(build())
+	if !bytes.Equal(c1, c2) {
+		t.Error("CSV not byte-identical across identical runs")
+	}
+	got := strings.Split(strings.TrimSuffix(string(c1), "\n"), "\n")
+	if got[0] != CSVHeader {
+		t.Errorf("CSV header = %q", got[0])
+	}
+	if len(got) != 4 {
+		t.Fatalf("CSV lines = %d, want 4", len(got))
+	}
+	if wantCols := strings.Count(CSVHeader, ",") + 1; strings.Count(got[1], ",")+1 != wantCols {
+		t.Errorf("CSV row has %d cols, want %d", strings.Count(got[1], ",")+1, wantCols)
+	}
+	// Empty rows still produce a header.
+	if string(CSV(nil)) != CSVHeader+"\n" {
+		t.Error("empty CSV missing header")
+	}
+	if len(JSONL(nil)) != 0 {
+		t.Error("empty JSONL not empty")
+	}
+}
+
+// TestHotPathAllocFree pins the bounded-memory claim: once built, Tx
+// and rollover allocate nothing, registry or not.
+func TestHotPathAllocFree(t *testing.T) {
+	reg := metrics.New()
+	c := New(Config{Window: ms(1), MaxWindows: 64}, reg)
+	wait := reg.Histogram("lock_wait_ticks", "", nil)
+	i := int64(0)
+	allocs := testing.AllocsPerRun(2000, func() {
+		wait.Observe(int64(ms(1)))
+		c.Tx(at(i/2), i%3 != 0, ms(2), int(i%2))
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Tx+rollover allocates %.2f per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,74 @@
+package txn
+
+import (
+	"testing"
+
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/journal"
+	"rtlock/internal/sim"
+	"rtlock/internal/workload"
+)
+
+func streamLoadParams(count int) workload.Params {
+	cat, err := db.NewCatalog(1, 200)
+	if err != nil {
+		panic(err)
+	}
+	return workload.Params{
+		Seed:             7,
+		Count:            count,
+		MeanInterarrival: 4 * sim.Millisecond,
+		MeanSize:         3,
+		ReadOnlyFrac:     0.25,
+		SlackMin:         2,
+		SlackMax:         6,
+		PerObjCost:       sim.Millisecond,
+		Catalog:          cat,
+	}
+}
+
+func runWithLoader(t *testing.T, load func(s *System, p workload.Params)) *journal.Journal {
+	t.Helper()
+	s, err := NewSystem(Config{
+		CPUPerObj:     sim.Millisecond,
+		CPUDiscipline: sim.PreemptivePriority,
+		NewManager:    func(k *sim.Kernel) core.Manager { return core.NewCeiling(k) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := journal.New(7, "stream-vs-load")
+	s.K.SetJournal(j, 0)
+	load(s, streamLoadParams(400))
+	s.Run()
+	return j
+}
+
+// TestLoadStreamJournalsIdentically pins that streaming arrivals one
+// event at a time produces the exact event interleaving — and thus the
+// exact journal — of preloading the whole load, so callers can switch
+// loaders without invalidating golden journals.
+func TestLoadStreamJournalsIdentically(t *testing.T) {
+	preloaded := runWithLoader(t, func(s *System, p workload.Params) {
+		txs, err := workload.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Load(txs)
+	})
+	streamed := runWithLoader(t, func(s *System, p workload.Params) {
+		src, err := workload.NewStream(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.LoadStream(src)
+	})
+	if preloaded.Len() == 0 {
+		t.Fatal("empty journal")
+	}
+	if !journal.Equal(preloaded, streamed) {
+		t.Fatalf("streamed journal (%d records) differs from preloaded (%d records)",
+			streamed.Len(), preloaded.Len())
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"rtlock/internal/metrics"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
+	"rtlock/internal/timeline"
 	"rtlock/internal/wal"
 	"rtlock/internal/workload"
 )
@@ -93,6 +94,15 @@ type Config struct {
 	// MetricsInterval spaces registry snapshots (zero picks
 	// sim.DefaultSampleInterval).
 	MetricsInterval sim.Duration
+	// Timeline, when non-nil, receives every finished transaction and
+	// rolls per-virtual-time-window rows (throughput, miss %, response
+	// quantiles, probe deltas). Like Metrics it never touches the
+	// journal. Build it over the same registry as Metrics so the probe
+	// fields resolve.
+	Timeline *timeline.Collector
+	// MaxRawRecords caps the Monitor's raw TxRecord retention (0 keeps
+	// every record); the streaming aggregates are exact either way.
+	MaxRawRecords int
 }
 
 // System is a single-site real-time database system instance: one
@@ -167,6 +177,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.RecordHistory {
 		s.History = check.NewHistory()
 	}
+	s.Monitor.SetMaxRaw(cfg.MaxRawRecords)
 	m := k.Metrics()
 	s.mInflight = m.Gauge("txn_inflight", "Transactions between arrival and commit/abort.")
 	s.mCommits = m.Counter("txn_commits_total", "Transactions that committed by their deadline.")
@@ -206,6 +217,40 @@ func (s *System) Load(txs []*workload.Txn) {
 	}
 }
 
+// LoadStream schedules arrivals one at a time: each arrival event pulls
+// the next transaction from the stream and schedules it before spawning
+// its own worker, so the event heap and live transaction set stay
+// bounded no matter how long the load is. The spawn order and names
+// match Load, so a streamed run journals identically to a preloaded
+// one.
+func (s *System) LoadStream(src *workload.Stream) {
+	s.Monitor.Reserve(src.Remaining())
+	s.scheduleNext(src)
+	if s.Log != nil && s.cfg.CheckpointEvery > 0 {
+		s.K.Spawn("checkpointer", s.checkpointer)
+	}
+}
+
+// scheduleNext pulls one transaction and registers its arrival.
+// remaining is incremented at schedule time, before the previous
+// transaction can finish, so the checkpointer's remaining==0 exit never
+// fires while an arrival is still pending.
+func (s *System) scheduleNext(src *workload.Stream) {
+	t := src.Next()
+	if t == nil {
+		return
+	}
+	s.remaining++
+	name := "tx" + strconv.FormatInt(t.ID, 10)
+	s.K.At(t.Arrival, func() {
+		s.scheduleNext(src)
+		s.K.Spawn(name, func(p *sim.Proc) {
+			s.exec(p, t)
+			s.remaining--
+		})
+	})
+}
+
 // checkpointer periodically snapshots the committed state into the log,
 // consuming CPU at top priority (the snapshot stalls lower-priority
 // work, which is the cost side of the recovery trade-off). It exits once
@@ -230,6 +275,7 @@ func (s *System) checkpointer(p *sim.Proc) {
 // Run drives the simulation to completion and returns the summary.
 func (s *System) Run() stats.Summary {
 	s.K.Run()
+	s.cfg.Timeline.Finish(s.Monitor.Horizon())
 	sum := s.Monitor.Summarize()
 	if h := s.Monitor.Horizon(); h > 0 {
 		horizon := sim.Duration(h).Seconds()
@@ -356,6 +402,8 @@ func (s *System) exec(p *sim.Proc, t *workload.Txn) {
 		rec.Outcome = stats.DeadlineMissed
 	}
 	s.Monitor.Add(rec)
+	s.cfg.Timeline.Tx(rec.Finish, rec.Outcome == stats.Committed,
+		rec.Finish.Sub(rec.Arrival), rec.Restarts)
 }
 
 // attemptOp is one access of the current attempt, buffered for the

@@ -167,6 +167,17 @@ type Params struct {
 	HotspotFrac float64
 	// HotspotProb is the probability an access targets the hotspot.
 	HotspotProb float64
+	// BurstFactor, when > 1, makes the arrival process bursty: while the
+	// burst phase is on, the mean interarrival is divided by this factor.
+	// The phase is a deterministic square wave of the arrival clock —
+	// BurstOn of compressed arrivals, then BurstOff of the base rate —
+	// so the same seed still yields the same load. Zero (or 1) keeps the
+	// paper's stationary Poisson arrivals, with a random stream identical
+	// to pre-burst versions of this package.
+	BurstFactor float64
+	// BurstOn and BurstOff are the burst-phase and quiet-phase widths;
+	// both must be positive when BurstFactor > 1.
+	BurstOn, BurstOff sim.Duration
 }
 
 func (p Params) validate() error {
@@ -194,87 +205,150 @@ func (p Params) validate() error {
 	if p.HotspotFrac < 0 || p.HotspotFrac > 1 || p.HotspotProb < 0 || p.HotspotProb > 1 {
 		return fmt.Errorf("workload: hotspot parameters (%v,%v) out of [0,1]", p.HotspotFrac, p.HotspotProb)
 	}
+	if p.BurstFactor != 0 && p.BurstFactor < 1 {
+		return fmt.Errorf("workload: burst factor %v must be >= 1 (or 0 for off)", p.BurstFactor)
+	}
+	if p.BurstFactor > 1 && (p.BurstOn <= 0 || p.BurstOff <= 0) {
+		return fmt.Errorf("workload: burst factor %v needs positive BurstOn/BurstOff, got (%d,%d)",
+			p.BurstFactor, p.BurstOn, p.BurstOff)
+	}
 	return nil
 }
 
-// Generate produces the transaction load, ordered by arrival time.
+// Generate produces the transaction load, ordered by arrival time. It
+// is a Stream drained to completion: the random draw sequence per
+// transaction is identical, so existing (seed, config) loads — and
+// therefore journals — are byte-for-byte unchanged by the streaming
+// refactor.
 func Generate(p Params) ([]*Txn, error) {
+	s, err := NewStream(p)
+	if err != nil {
+		return nil, err
+	}
+	txs := make([]*Txn, 0, p.Count)
+	for t := s.Next(); t != nil; t = s.Next() {
+		txs = append(txs, t)
+	}
+	return txs, nil
+}
+
+// Stream generates the transaction load one transaction at a time, so a
+// loader can schedule arrival i+1 from arrival i's event and a
+// million-transaction run never materializes the whole load. Next
+// consumes the random stream exactly as Generate always has.
+type Stream struct {
+	p       Params
+	rng     *rand.Rand
+	period  sim.Duration
+	now     sim.Time
+	id      int64
+	emitted int
+	// One permutation buffer shared by every pickOps call: rand.Perm
+	// would allocate a database-sized slice per transaction.
+	perm []int
+	// Periodic streams are materialized lazily: each new periodic
+	// instance either continues an existing stream or starts one.
+	streams []*pstream
+}
+
+// pstream is one periodic task stream (a repetitive tracking scan).
+type pstream struct {
+	home db.SiteID
+	ops  []Op
+	next sim.Time
+}
+
+// NewStream validates the parameters and positions the stream before
+// the first arrival.
+func NewStream(p Params) (*Stream, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
 	period := p.Period
 	if period <= 0 {
 		period = 10 * p.MeanInterarrival
 	}
+	return &Stream{p: p, rng: rand.New(rand.NewSource(p.Seed)), period: period}, nil
+}
 
-	txs := make([]*Txn, 0, p.Count)
-	now := sim.Time(0)
-	var id int64
-	// One permutation buffer shared by every pickOps call: rand.Perm
-	// would allocate a database-sized slice per transaction.
-	var perm []int
+// Remaining reports how many transactions Next will still produce.
+func (s *Stream) Remaining() int { return s.p.Count - s.emitted }
 
-	// Periodic streams are materialized lazily: each new periodic
-	// instance either continues an existing stream or starts one.
-	type stream struct {
-		home db.SiteID
-		ops  []Op
-		next sim.Time
+// Next returns the next transaction, or nil once Count have been
+// produced. Arrival times are non-decreasing.
+func (s *Stream) Next() *Txn {
+	if s.emitted >= s.p.Count {
+		return nil
 	}
-	var streams []*stream
-
-	for len(txs) < p.Count {
-		now = now.Add(expDuration(rng, p.MeanInterarrival))
-		id++
-		kind := Update
-		if rng.Float64() < p.ReadOnlyFrac {
-			kind = ReadOnly
-		}
-		t := &Txn{ID: id, Kind: kind, Arrival: now}
-
-		if kind == Update && p.PeriodicFrac > 0 && rng.Float64() < p.PeriodicFrac {
-			t.Periodic = true
-			var s *stream
-			// Reuse the stream whose next instance is due.
-			for _, cand := range streams {
-				if cand.next <= now {
-					s = cand
-					break
-				}
-			}
-			if s == nil {
-				s = &stream{
-					home: db.SiteID(rng.Intn(p.Catalog.Sites())),
-				}
-				s.ops = pickOps(rng, p, Update, s.home, &perm)
-				streams = append(streams, s)
-			}
-			s.next = now.Add(sim.Duration(period))
-			t.Home = s.home
-			t.Ops = append([]Op(nil), s.ops...)
-		} else {
-			t.Home = db.SiteID(rng.Intn(p.Catalog.Sites()))
-			t.Ops = pickOps(rng, p, kind, t.Home, &perm)
-		}
-		slack := p.SlackMin + rng.Float64()*(p.SlackMax-p.SlackMin)
-		exec := sim.Duration(float64(t.Size()) * float64(p.PerObjCost) * slack)
-		t.Deadline = t.Arrival.Add(exec)
-		if t.Periodic && p.ImplicitDeadlines {
-			t.Deadline = t.Arrival.Add(period)
-		}
-		switch p.Policy {
-		case PriorityFCFS:
-			t.Prio = sim.Priority{Deadline: int64(t.Arrival), TxID: t.ID}
-		case PriorityRandom:
-			t.Prio = sim.Priority{Deadline: rng.Int63(), TxID: t.ID}
-		case PrioritySlack:
-			est := sim.Duration(t.Size()) * p.PerObjCost
-			t.Prio = sim.Priority{Deadline: int64(t.Deadline.Sub(t.Arrival) - est), TxID: t.ID}
-		}
-		txs = append(txs, t)
+	s.emitted++
+	s.now = s.now.Add(expDuration(s.rng, s.meanInterarrival()))
+	s.id++
+	kind := Update
+	if s.rng.Float64() < s.p.ReadOnlyFrac {
+		kind = ReadOnly
 	}
-	return txs, nil
+	t := &Txn{ID: s.id, Kind: kind, Arrival: s.now}
+
+	if kind == Update && s.p.PeriodicFrac > 0 && s.rng.Float64() < s.p.PeriodicFrac {
+		t.Periodic = true
+		var ps *pstream
+		// Reuse the stream whose next instance is due.
+		for _, cand := range s.streams {
+			if cand.next <= s.now {
+				ps = cand
+				break
+			}
+		}
+		if ps == nil {
+			ps = &pstream{
+				home: db.SiteID(s.rng.Intn(s.p.Catalog.Sites())),
+			}
+			ps.ops = pickOps(s.rng, s.p, Update, ps.home, &s.perm)
+			s.streams = append(s.streams, ps)
+		}
+		ps.next = s.now.Add(sim.Duration(s.period))
+		t.Home = ps.home
+		t.Ops = append([]Op(nil), ps.ops...)
+	} else {
+		t.Home = db.SiteID(s.rng.Intn(s.p.Catalog.Sites()))
+		t.Ops = pickOps(s.rng, s.p, kind, t.Home, &s.perm)
+	}
+	slack := s.p.SlackMin + s.rng.Float64()*(s.p.SlackMax-s.p.SlackMin)
+	exec := sim.Duration(float64(t.Size()) * float64(s.p.PerObjCost) * slack)
+	t.Deadline = t.Arrival.Add(exec)
+	if t.Periodic && s.p.ImplicitDeadlines {
+		t.Deadline = t.Arrival.Add(s.period)
+	}
+	switch s.p.Policy {
+	case PriorityFCFS:
+		t.Prio = sim.Priority{Deadline: int64(t.Arrival), TxID: t.ID}
+	case PriorityRandom:
+		t.Prio = sim.Priority{Deadline: s.rng.Int63(), TxID: t.ID}
+	case PrioritySlack:
+		est := sim.Duration(t.Size()) * s.p.PerObjCost
+		t.Prio = sim.Priority{Deadline: int64(t.Deadline.Sub(t.Arrival) - est), TxID: t.ID}
+	}
+	return t
+}
+
+// meanInterarrival returns the phase-dependent mean: the base mean, or
+// the base divided by BurstFactor while the deterministic burst square
+// wave (evaluated at the previous arrival instant) is on. With bursts
+// off this is exactly the base mean, and since the burst branch draws
+// nothing from the random stream, non-bursty loads are unchanged.
+func (s *Stream) meanInterarrival() sim.Duration {
+	mean := s.p.MeanInterarrival
+	if s.p.BurstFactor <= 1 {
+		return mean
+	}
+	cycle := s.p.BurstOn + s.p.BurstOff
+	if sim.Duration(int64(s.now)%int64(cycle)) < s.p.BurstOn {
+		mean = sim.Duration(float64(mean) / s.p.BurstFactor)
+		if mean < 1 {
+			mean = 1
+		}
+	}
+	return mean
 }
 
 // pickOps draws a transaction's access set: size uniform around the mean,

@@ -44,6 +44,7 @@ import (
 	"rtlock/internal/netsim"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
+	"rtlock/internal/timeline"
 	"rtlock/internal/txn"
 	"rtlock/internal/workload"
 )
@@ -145,6 +146,10 @@ type (
 	LockProfile = metrics.Profile
 	// ObjectProfile is one contended object's row in a LockProfile.
 	ObjectProfile = metrics.ObjectProfile
+	// TimelineRow is one virtual-time window of the streaming timeline:
+	// throughput, miss %, response quantiles, lock-wait quantiles, net
+	// loss/dup, and the in-flight gauge, rolled per TimelineWindow.
+	TimelineRow = metrics.TimelineRow
 )
 
 // HTMLReport renders the static self-contained HTML observability
@@ -154,6 +159,19 @@ type (
 func HTMLReport(title string, reg *MetricsRegistry, prof *LockProfile) []byte {
 	return metrics.HTML(title, reg, prof)
 }
+
+// HTMLTimelineReport renders the HTML observability report with a
+// windowed-timeline section from a TimelineWindow-enabled run's rows.
+func HTMLTimelineReport(title string, reg *MetricsRegistry, prof *LockProfile, rows []TimelineRow) []byte {
+	return metrics.HTMLWithTimeline(title, reg, prof, rows)
+}
+
+// TimelineJSONL renders timeline rows as deterministic JSONL (one JSON
+// object per window; see README "Timeline export" for the schema).
+func TimelineJSONL(rows []TimelineRow) []byte { return timeline.JSONL(rows) }
+
+// TimelineCSV renders timeline rows as deterministic CSV.
+func TimelineCSV(rows []TimelineRow) []byte { return timeline.CSV(rows) }
 
 // ParseFaultPlan decodes a JSON fault plan (strict: unknown fields are
 // errors) and validates nothing beyond syntax; RunDistributed validates
@@ -222,6 +240,14 @@ type WorkloadConfig struct {
 	// ImplicitDeadlines gives periodic instances the start of the next
 	// period as their deadline.
 	ImplicitDeadlines bool
+	// BurstFactor, when > 1, makes the arrival process bursty: a
+	// deterministic square wave alternates BurstOn at BurstFactor times
+	// the base rate with BurstOff at the base rate. Zero or one leaves
+	// the load unchanged.
+	BurstFactor float64
+	// BurstOn and BurstOff are the burst and quiet phase widths; both
+	// must be positive when BurstFactor > 1.
+	BurstOn, BurstOff Duration
 	// Transactions, when non-nil, bypasses generation entirely and
 	// runs exactly these transactions.
 	Transactions []*Txn
@@ -279,6 +305,20 @@ type SingleSiteConfig struct {
 	// MetricsInterval spaces registry snapshots in virtual time (zero
 	// picks the 100ms default).
 	MetricsInterval Duration
+	// TimelineWindow, when positive, rolls the run into virtual-time
+	// windows of this width and fills Result.Timeline: per-window
+	// throughput, miss %, response quantiles, lock-wait quantiles, and
+	// the in-flight gauge. Unlike Metrics it does not imply a journal,
+	// so million-transaction runs stay bounded-memory; combine with
+	// Metrics to also keep the sampled registry.
+	TimelineWindow Duration
+	// TimelineMaxWindows bounds the retained timeline rows (ring of the
+	// newest; zero picks a 4096-window default).
+	TimelineMaxWindows int
+	// MaxRawRecords caps per-transaction record retention: only the
+	// newest MaxRawRecords land in Result.Records, while Summary and the
+	// streaming quantiles stay exact. Zero keeps every record.
+	MaxRawRecords int
 }
 
 // DistributedConfig configures a distributed run (the setting of
@@ -352,6 +392,16 @@ type DistributedConfig struct {
 	// MetricsInterval spaces registry snapshots in virtual time (zero
 	// picks the 100ms default).
 	MetricsInterval Duration
+	// TimelineWindow, when positive, rolls the run into virtual-time
+	// windows of this width and fills Result.Timeline (see
+	// SingleSiteConfig.TimelineWindow).
+	TimelineWindow Duration
+	// TimelineMaxWindows bounds the retained timeline rows (zero picks
+	// a 4096-window default).
+	TimelineMaxWindows int
+	// MaxRawRecords caps per-transaction record retention (see
+	// SingleSiteConfig.MaxRawRecords).
+	MaxRawRecords int
 }
 
 // RecoveryInfo summarizes the write-ahead log after a WAL-enabled run.
@@ -411,6 +461,17 @@ type Result struct {
 	// LockProfile is the journal-derived contention profile, nil
 	// unless the Metrics flag was set.
 	LockProfile *LockProfile
+	// Timeline holds the per-window rows of a TimelineWindow-enabled
+	// run, oldest first; nil otherwise. Export with TimelineJSONL,
+	// TimelineCSV, or HTMLTimelineReport.
+	Timeline []TimelineRow
+	// TimelineDropped reports how many early windows the timeline ring
+	// overwrote (0 unless the run outlived TimelineMaxWindows windows).
+	TimelineDropped int
+	// RawRetained and RawDropped report per-transaction record
+	// retention under a MaxRawRecords cap: Records holds RawRetained
+	// entries and RawDropped older ones were discarded (0 uncapped).
+	RawRetained, RawDropped int
 }
 
 func (w *WorkloadConfig) fill(singleSite bool) {
@@ -465,9 +526,19 @@ func RunSingleSite(cfg SingleSiteConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	load, err := buildLoad(cfg.Workload, 1, cfg.DBSize, cfg.CPUPerObj+cfg.IOPerObj, false)
-	if err != nil {
-		return nil, err
+	// Single-site loads stream: arrivals are scheduled one event at a
+	// time so a million-transaction run never materializes the whole
+	// load. LoadStream journals identically to Load, so golden journals
+	// are unaffected.
+	var stream *workload.Stream
+	if cfg.Workload.Transactions == nil {
+		p, err := buildParams(cfg.Workload, 1, cfg.DBSize, cfg.CPUPerObj+cfg.IOPerObj, false)
+		if err != nil {
+			return nil, err
+		}
+		if stream, err = workload.NewStream(p); err != nil {
+			return nil, err
+		}
 	}
 	var trace *stats.Trace
 	if cfg.TraceEvents > 0 {
@@ -480,10 +551,7 @@ func RunSingleSite(cfg SingleSiteConfig) (*Result, error) {
 			cfg.Protocol, cfg.DBSize, int64(cfg.CPUPerObj), int64(cfg.IOPerObj),
 			cfg.Workload.Count, cfg.Workload.MeanSize, cfg.Workload.ReadOnlyFrac))
 	}
-	var reg *metrics.Registry
-	if cfg.Metrics {
-		reg = metrics.New()
-	}
+	reg, tl := buildTelemetry(cfg.Metrics, cfg.TimelineWindow, cfg.TimelineMaxWindows)
 	sys, err := txn.NewSystem(txn.Config{
 		CPUPerObj:       cfg.CPUPerObj,
 		IOPerObj:        cfg.IOPerObj,
@@ -498,16 +566,27 @@ func RunSingleSite(cfg SingleSiteConfig) (*Result, error) {
 		Journal:         jrn,
 		Metrics:         reg,
 		MetricsInterval: cfg.MetricsInterval,
+		Timeline:        tl,
+		MaxRawRecords:   cfg.MaxRawRecords,
 	})
 	if err != nil {
 		return nil, err
 	}
-	sys.Load(load)
+	if stream != nil {
+		sys.LoadStream(stream)
+	} else {
+		sys.Load(cfg.Workload.Transactions)
+	}
 	sum := sys.Run()
-	res := &Result{Summary: sum, Records: sys.Monitor.Records(), Trace: trace, Journal: jrn}
+	res := &Result{Summary: sum, Records: sys.Monitor.Records(), Trace: trace, Journal: jrn,
+		RawRetained: sys.Monitor.RawRetained(), RawDropped: sys.Monitor.RawDropped()}
 	if cfg.Metrics {
 		res.Metrics = reg
 		res.LockProfile = metrics.FromJournal(jrn, 0)
+	}
+	if tl != nil {
+		res.Timeline = tl.Rows()
+		res.TimelineDropped = tl.Dropped()
 	}
 	if cfg.Audit {
 		res.Violations = audit.Run(jrn, audit.ForManager(sys.Mgr.Name())...)
@@ -564,10 +643,7 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 		}
 		jrn = journal.New(cfg.Workload.Seed, key)
 	}
-	var reg *metrics.Registry
-	if cfg.Metrics {
-		reg = metrics.New()
-	}
+	reg, tl := buildTelemetry(cfg.Metrics, cfg.TimelineWindow, cfg.TimelineMaxWindows)
 	cluster, err := dist.NewCluster(dist.Config{
 		Approach:        approach,
 		Sites:           cfg.Sites,
@@ -584,6 +660,8 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 		Journal:         jrn,
 		Metrics:         reg,
 		MetricsInterval: cfg.MetricsInterval,
+		Timeline:        tl,
+		MaxRawRecords:   cfg.MaxRawRecords,
 	})
 	if err != nil {
 		return nil, err
@@ -625,15 +703,21 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 	sum := cluster.Run()
 	net := cluster.NetReport()
 	res := &Result{
-		Summary:  sum,
-		Records:  cluster.Monitor.Records(),
-		Messages: cluster.Net.Sent,
-		Net:      &net,
-		Journal:  jrn,
+		Summary:     sum,
+		Records:     cluster.Monitor.Records(),
+		Messages:    cluster.Net.Sent,
+		Net:         &net,
+		Journal:     jrn,
+		RawRetained: cluster.Monitor.RawRetained(),
+		RawDropped:  cluster.Monitor.RawDropped(),
 	}
 	if cfg.Metrics {
 		res.Metrics = reg
 		res.LockProfile = metrics.FromJournal(jrn, 0)
+	}
+	if tl != nil {
+		res.Timeline = tl.Rows()
+		res.TimelineDropped = tl.Dropped()
 	}
 	if cfg.Audit {
 		auds := audit.ForApproach(approach.String())
@@ -656,6 +740,30 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 	return res, nil
 }
 
+// timelineSampleRetention bounds the probe registry's sample history in
+// timeline-only mode: the timeline needs live probe series, not an O(run
+// length) sample log, so long runs stay bounded-memory.
+const timelineSampleRetention = 1024
+
+// buildTelemetry assembles the metrics registry and timeline collector a
+// run needs. With the Metrics flag the registry is user-visible and
+// unbounded (compat); a timeline without Metrics gets a private probe
+// registry with capped sample retention that never reaches the Result.
+func buildTelemetry(metricsOn bool, window Duration, maxWindows int) (*metrics.Registry, *timeline.Collector) {
+	var reg *metrics.Registry
+	if metricsOn {
+		reg = metrics.New()
+	}
+	if window <= 0 {
+		return reg, nil
+	}
+	if reg == nil {
+		reg = metrics.New()
+		reg.SetRetention(timelineSampleRetention)
+	}
+	return reg, timeline.New(timeline.Config{Window: window, MaxWindows: maxWindows}, reg)
+}
+
 // experimentsManagerFor lets spec validation reuse the protocol
 // registry.
 func experimentsManagerFor(p Protocol) (func(*sim.Kernel) core.Manager, sim.Discipline, error) {
@@ -667,11 +775,20 @@ func buildLoad(w WorkloadConfig, sites, dbSize int, perObjCost Duration, localWr
 	if w.Transactions != nil {
 		return w.Transactions, nil
 	}
-	cat, err := db.NewCatalog(sites, dbSize)
+	p, err := buildParams(w, sites, dbSize, perObjCost, localWriteSets)
 	if err != nil {
 		return nil, err
 	}
-	return workload.Generate(workload.Params{
+	return workload.Generate(p)
+}
+
+// buildParams maps the facade workload config onto generator parameters.
+func buildParams(w WorkloadConfig, sites, dbSize int, perObjCost Duration, localWriteSets bool) (workload.Params, error) {
+	cat, err := db.NewCatalog(sites, dbSize)
+	if err != nil {
+		return workload.Params{}, err
+	}
+	return workload.Params{
 		Seed:              w.Seed,
 		Catalog:           cat,
 		Count:             w.Count,
@@ -685,7 +802,10 @@ func buildLoad(w WorkloadConfig, sites, dbSize int, perObjCost Duration, localWr
 		PeriodicFrac:      w.PeriodicFrac,
 		Period:            w.Period,
 		ImplicitDeadlines: w.ImplicitDeadlines,
-	})
+		BurstFactor:       w.BurstFactor,
+		BurstOn:           w.BurstOn,
+		BurstOff:          w.BurstOff,
+	}, nil
 }
 
 // NewFullMesh builds a fully connected topology with a uniform delay.

@@ -1,0 +1,162 @@
+package rtlock
+
+import (
+	"runtime"
+	"testing"
+)
+
+// timelineTestConfig is a small contended run with windowed telemetry.
+func timelineTestConfig() SingleSiteConfig {
+	cfg := SingleSiteConfig{Protocol: TwoPL, DBSize: 40,
+		TimelineWindow: 2 * Second, MaxRawRecords: 32}
+	cfg.Workload.Seed = 7
+	cfg.Workload.Count = 120
+	return cfg
+}
+
+func timelineExports(t *testing.T, res *Result) map[string][]byte {
+	t.Helper()
+	if res.Timeline == nil {
+		t.Fatal("TimelineWindow did not populate Result.Timeline")
+	}
+	return map[string][]byte{
+		"jsonl": TimelineJSONL(res.Timeline),
+		"csv":   TimelineCSV(res.Timeline),
+		"html":  HTMLTimelineReport("test", nil, nil, res.Timeline),
+	}
+}
+
+func TestTimelineDeterministicAcrossRuns(t *testing.T) {
+	res1, err := RunSingleSite(timelineTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := timelineExports(t, res1)
+	if len(first["jsonl"]) == 0 || len(first["csv"]) == 0 {
+		t.Fatal("exports are empty")
+	}
+	for r := 2; r <= 3; r++ {
+		res, err := RunSingleSite(timelineTestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareExports(t, "run", first, timelineExports(t, res))
+	}
+}
+
+func TestTimelineDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var first map[string][]byte
+	for _, p := range []int{1, 8} {
+		runtime.GOMAXPROCS(p)
+		res, err := RunSingleSite(timelineTestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := timelineExports(t, res)
+		if first == nil {
+			first = exp
+			continue
+		}
+		compareExports(t, "GOMAXPROCS", first, exp)
+	}
+}
+
+// TestTimelineZeroOverhead proves windowed telemetry cannot perturb the
+// simulation: the replay journal of a timeline-enabled run (with the
+// raw record cap engaged) is record-identical to that of a run that
+// never saw a collector.
+func TestTimelineZeroOverhead(t *testing.T) {
+	with := timelineTestConfig()
+	with.Journal = true
+	without := with
+	without.TimelineWindow = 0
+	without.MaxRawRecords = 0
+
+	rw, err := RunSingleSite(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := RunSingleSite(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Journal == nil || ro.Journal == nil {
+		t.Fatal("journals missing")
+	}
+	if !JournalsEqual(rw.Journal, ro.Journal) {
+		t.Fatalf("timeline perturbed the run: %s", JournalDiff(ro.Journal, rw.Journal))
+	}
+	if rw.RawDropped == 0 {
+		t.Fatal("raw record cap never engaged — the proof exercised nothing")
+	}
+}
+
+// TestTimelineOnlyRunHasNoMetricsOrJournal pins the bounded-memory
+// contract: a timeline-only run gets windows but neither a journal nor
+// a user-visible registry.
+func TestTimelineOnlyRunHasNoMetricsOrJournal(t *testing.T) {
+	res, err := RunSingleSite(timelineTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline windows")
+	}
+	if res.Journal != nil {
+		t.Fatal("timeline-only run created a journal")
+	}
+	if res.Metrics != nil {
+		t.Fatal("timeline-only run leaked the private probe registry")
+	}
+	if res.RawRetained > 32 {
+		t.Fatalf("retained %d raw records past cap 32", res.RawRetained)
+	}
+}
+
+// TestSketchParityAcrossProtocols runs every protocol's bench shape
+// twice — once with full raw retention (the exact percentile path) and
+// once with the cap engaged (the sketch path) — and requires the
+// sketched P50/P99 to land within one sketch bucket of the exact
+// values. The cap cannot change the simulation, so any difference is
+// pure sketch error.
+func TestSketchParityAcrossProtocols(t *testing.T) {
+	protocols := []Protocol{Ceiling, CeilingExclusive, TwoPLPriority, TwoPL,
+		TwoPLInherit, TwoPLHighPriority, TwoPLDetect, TimestampOrdering, TwoPLConditional}
+	const bucket = Millisecond // stats.DefaultSketchWidth
+	for _, proto := range protocols {
+		cfg := SingleSiteConfig{Protocol: proto, DBSize: 40}
+		cfg.Workload.Seed = 11
+		cfg.Workload.Count = 150
+
+		exact, err := RunSingleSite(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		capped := cfg
+		capped.MaxRawRecords = 16
+		sketched, err := RunSingleSite(capped)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if sketched.RawDropped == 0 {
+			t.Fatalf("%s: cap never engaged", proto)
+		}
+		for _, q := range []struct {
+			name      string
+			want, got Duration
+		}{
+			{"p50", exact.Summary.RespP50, sketched.Summary.RespP50},
+			{"p99", exact.Summary.RespP99, sketched.Summary.RespP99},
+		} {
+			diff := q.got - q.want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bucket {
+				t.Errorf("%s: sketch %s = %v vs exact %v (diff %v > one bucket)",
+					proto, q.name, q.got, q.want, diff)
+			}
+		}
+	}
+}
