@@ -102,6 +102,28 @@ func TestBenchSmoke(t *testing.T) {
 		}
 		return res.Summary.Committed, res.Journal.Len()
 	})
+	timed("dist/shard/audit", func() (int, int) {
+		res, err := RunDistributed(DistributedConfig{Placement: "shard", Sites: 4, Audit: true,
+			Workload: WorkloadConfig{Count: 150, LocalityProb: 0.7}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("violations: %v", res.Violations)
+		}
+		return res.Summary.Committed, res.Journal.Len()
+	})
+	timed("dist/quorum/audit", func() (int, int) {
+		res, err := RunDistributed(DistributedConfig{Placement: "quorum", Sites: 4, Audit: true,
+			Workload: WorkloadConfig{Count: 150, LocalityProb: 0.7}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			t.Fatalf("violations: %v", res.Violations)
+		}
+		return res.Summary.Committed, res.Journal.Len()
+	})
 	// The streaming soak: a million bursty transactions through the
 	// windowed-telemetry path in bounded memory. One run, not best of
 	// three — at this length the wall clock is stable and three runs

@@ -33,6 +33,7 @@ func runExplore(args []string) error {
 		distributed = fs.Bool("distributed", false, "explore a distributed cluster instead of a single site")
 		global      = fs.Bool("global", false, "with -distributed or -faults: global-ceiling architecture (default local)")
 		faultsMode  = fs.Bool("faults", false, "fault-space exploration: search over failure schedules (crashes, message fates, partition cuts) of a distributed cluster")
+		placement   = fs.String("placement", "", "with -faults: data placement policy shard|quorum|primary instead of the legacy fully-replicated architectures")
 		all         = fs.Bool("all", false, "explore every protocol plus both distributed architectures (with -faults: both fault-space architectures too)")
 		jsonl       = fs.String("jsonl", "", "write the byte-stable JSONL verdict stream to this file (\"-\" = stdout)")
 		minout      = fs.String("minout", "", "write each minimized counterexample as JSON into this directory")
@@ -66,6 +67,9 @@ func runExplore(args []string) error {
 			for _, g := range []bool{false, true} {
 				cfgs = append(cfgs, rtlock.ExploreConfig{Faults: true, Global: g, Seed: *seed, Options: opts})
 			}
+			for _, pol := range []string{"shard", "quorum", "primary"} {
+				cfgs = append(cfgs, rtlock.ExploreConfig{Faults: true, Placement: pol, Seed: *seed, Options: opts})
+			}
 		}
 	} else {
 		cfgs = append(cfgs, rtlock.ExploreConfig{
@@ -73,6 +77,7 @@ func runExplore(args []string) error {
 			Distributed: *distributed,
 			Faults:      *faultsMode,
 			Global:      *global,
+			Placement:   *placement,
 			Seed:        *seed,
 			Options:     opts,
 		})

@@ -45,6 +45,14 @@
 //
 //	rtdbsim timeline -protocol C -count 1000000 -window 10000 -burst 3
 //	rtdbsim timeline -spec run.json -runs 2 -out timeline-out
+//
+// A seventh sweeps the data-placement spectrum (full replication,
+// primary-copy sharding, quorum replication, uncoordinated primary-only)
+// across site counts and prices each coordinated policy's consistency
+// tax against the no-2PC baseline:
+//
+//	rtdbsim sitesweep -sites 1,2,4,8,16 -audit
+//	rtdbsim sitesweep -policies shard,quorum,primary -json
 package main
 
 import (
@@ -115,16 +123,17 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 // subcommands is the dispatch table; run rejects anything else that
 // does not look like a flag.
 var subcommands = map[string]func([]string) error{
-	"audit":    runAudit,
-	"replay":   runReplay,
-	"faults":   runFaults,
-	"metrics":  runMetrics,
-	"explore":  runExplore,
-	"timeline": runTimeline,
+	"audit":     runAudit,
+	"replay":    runReplay,
+	"faults":    runFaults,
+	"metrics":   runMetrics,
+	"explore":   runExplore,
+	"timeline":  runTimeline,
+	"sitesweep": runSiteSweep,
 }
 
 func subcommandNames() []string {
-	return []string{"audit", "replay", "faults", "metrics", "explore", "timeline"}
+	return []string{"audit", "replay", "faults", "metrics", "explore", "timeline", "sitesweep"}
 }
 
 func run(args []string) error {
@@ -148,6 +157,7 @@ func run(args []string) error {
 		protocol   = fs.String("protocol", "C", "custom: protocol C|P|L|PI|CX|HP|CR|DD|TO")
 		size       = fs.Int("size", 10, "custom: mean transaction size")
 		spec       = fs.String("spec", "", "run a JSON specification file instead of a named experiment")
+		placeFlag  = fs.String("placement", "", "with -spec (distributed): override the data placement policy full|shard|quorum|primary")
 		trace      = fs.Int("trace", 0, "with -spec single mode: print up to N trace events")
 		auditRuns  = fs.Bool("audit", false, "record a replay journal for every run and fail on invariant violations")
 		metricsDir = fs.String("metrics", "", "with -spec: sample virtual-time metrics and export the bundle into this directory")
@@ -164,6 +174,12 @@ func run(args []string) error {
 		}
 		if *trace > 0 {
 			s.TraceEvents = *trace
+		}
+		if *placeFlag != "" {
+			if s.Mode != "distributed" {
+				return fmt.Errorf("-placement %q requires a distributed spec, got mode %q", *placeFlag, s.Mode)
+			}
+			s.Placement = *placeFlag
 		}
 		if *auditRuns {
 			s.Audit = true

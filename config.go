@@ -11,6 +11,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"rtlock/internal/place"
 )
 
 // Spec is a complete, serializable run description. Exactly one of the
@@ -26,6 +28,18 @@ type Spec struct {
 	// Global selects the global-ceiling-manager architecture for
 	// distributed runs.
 	Global bool `json:"global,omitempty"`
+	// Placement selects the distributed data-placement policy: "" or
+	// "full" (the paper's replicated layout), "shard", "quorum", or
+	// "primary" (see DistributedConfig.Placement).
+	Placement string `json:"placement,omitempty"`
+	// HashShards switches the primary mapping from range to hash
+	// partitioning (placement runs only).
+	HashShards bool `json:"hashShards,omitempty"`
+	// Replicas, ReadQuorum, and WriteQuorum parameterize the quorum
+	// placement (K, R, W).
+	Replicas    int `json:"replicas,omitempty"`
+	ReadQuorum  int `json:"readQuorum,omitempty"`
+	WriteQuorum int `json:"writeQuorum,omitempty"`
 
 	DBSize         int     `json:"dbSize,omitempty"`
 	Sites          int     `json:"sites,omitempty"`
@@ -85,6 +99,7 @@ type SpecWorkload struct {
 	BurstFactor        float64 `json:"burstFactor,omitempty"`
 	BurstOnMs          float64 `json:"burstOnMs,omitempty"`
 	BurstOffMs         float64 `json:"burstOffMs,omitempty"`
+	LocalityProb       float64 `json:"localityProb,omitempty"`
 }
 
 // SpecFailure mirrors SiteFailure with JSON-friendly units.
@@ -113,6 +128,17 @@ func ParseSpec(data []byte) (*Spec, error) {
 	if s.Workload.ReadOnlyFrac < 0 || s.Workload.ReadOnlyFrac > 1 {
 		return nil, fmt.Errorf("rtlock: spec readOnlyFrac %v out of [0,1]", s.Workload.ReadOnlyFrac)
 	}
+	if s.Placement != "" {
+		if s.Mode != "distributed" {
+			return nil, fmt.Errorf("rtlock: spec placement %q requires distributed mode", s.Placement)
+		}
+		if _, err := place.ParsePolicy(s.Placement); err != nil {
+			return nil, err
+		}
+	}
+	if s.Workload.LocalityProb < 0 || s.Workload.LocalityProb > 1 {
+		return nil, fmt.Errorf("rtlock: spec localityProb %v out of [0,1]", s.Workload.LocalityProb)
+	}
 	return &s, nil
 }
 
@@ -140,6 +166,7 @@ func (s *Spec) Run() (*Result, error) {
 		BurstFactor:      s.Workload.BurstFactor,
 		BurstOn:          ms(s.Workload.BurstOnMs),
 		BurstOff:         ms(s.Workload.BurstOffMs),
+		LocalityProb:     s.Workload.LocalityProb,
 	}
 	if s.Mode == "single" {
 		return RunSingleSite(SingleSiteConfig{
@@ -174,6 +201,11 @@ func (s *Spec) Run() (*Result, error) {
 	}
 	return RunDistributed(DistributedConfig{
 		Global:             s.Global,
+		Placement:          s.Placement,
+		HashShards:         s.HashShards,
+		Replicas:           s.Replicas,
+		ReadQuorum:         s.ReadQuorum,
+		WriteQuorum:        s.WriteQuorum,
 		Sites:              s.Sites,
 		DBSize:             s.DBSize,
 		CommDelay:          ms(s.CommDelayMs),

@@ -69,6 +69,32 @@ func distJournal(t *testing.T, global bool, seed int64) *rtlock.Journal {
 	return res.Journal
 }
 
+// placedPolicies are the placement policies with their own execution
+// models (full replication reuses the local-ceiling path tested above).
+var placedPolicies = []string{"shard", "quorum", "primary"}
+
+// placedJournal runs one audited placement simulation and returns its
+// journal.
+func placedJournal(t *testing.T, placement string, seed int64) *rtlock.Journal {
+	t.Helper()
+	res, err := rtlock.RunDistributed(rtlock.DistributedConfig{
+		Placement: placement,
+		Sites:     4,
+		Audit:     true,
+		Workload:  rtlock.WorkloadConfig{Seed: seed, Count: 120, LocalityProb: 0.7},
+	})
+	if err != nil {
+		t.Fatalf("placement=%s: %v", placement, err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("placement=%s: %s", placement, v)
+	}
+	if res.Journal == nil || res.Journal.Len() == 0 {
+		t.Fatalf("placement=%s: empty journal", placement)
+	}
+	return res.Journal
+}
+
 // TestJournalDeterminismSingleSite checks that three runs of every
 // protocol at the same (seed, config) produce byte-identical journals.
 func TestJournalDeterminismSingleSite(t *testing.T) {
@@ -129,6 +155,32 @@ func TestJournalDeterminismAcrossGOMAXPROCS(t *testing.T) {
 		j8 := withP(8, func() *rtlock.Journal { return distJournal(t, global, 7) })
 		if !rtlock.JournalsEqual(j1, j8) {
 			t.Errorf("dist global=%t: GOMAXPROCS=1 vs 8 diverged: %s", global, rtlock.JournalDiff(j1, j8))
+		}
+	}
+}
+
+// TestJournalDeterminismPlacement extends the repeated-run and
+// GOMAXPROCS byte-identity properties to the placement execution
+// models (sharded 2PC, quorum replication, uncoordinated
+// primary-only).
+func TestJournalDeterminismPlacement(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	withP := func(p int, f func() *rtlock.Journal) *rtlock.Journal {
+		runtime.GOMAXPROCS(p)
+		return f()
+	}
+	for _, pl := range placedPolicies {
+		base := placedJournal(t, pl, 42)
+		for run := 2; run <= 3; run++ {
+			j := placedJournal(t, pl, 42)
+			if j.Hash() != base.Hash() || !rtlock.JournalsEqual(base, j) {
+				t.Fatalf("%s run %d diverged: %s", pl, run, rtlock.JournalDiff(base, j))
+			}
+		}
+		j1 := withP(1, func() *rtlock.Journal { return placedJournal(t, pl, 7) })
+		j8 := withP(8, func() *rtlock.Journal { return placedJournal(t, pl, 7) })
+		if !rtlock.JournalsEqual(j1, j8) {
+			t.Errorf("%s: GOMAXPROCS=1 vs 8 diverged: %s", pl, rtlock.JournalDiff(j1, j8))
 		}
 	}
 }

@@ -16,6 +16,12 @@ func FuzzConfig(f *testing.F) {
 	f.Add([]byte(`{"mode":"single","protocol":"HP","dbSize":100,"wal":true,"audit":true}`))
 	f.Add([]byte(`{"mode":"distributed","global":true,"sites":3,"workload":{"seed":2,"readOnlyFrac":0.5}}`))
 	f.Add([]byte(`{"mode":"distributed","multiversion":true,"failures":[{"site":1,"atMs":50}]}`))
+	f.Add([]byte(`{"mode":"distributed","placement":"shard","hashShards":true,"sites":4,"workload":{"localityProb":0.7}}`))
+	f.Add([]byte(`{"mode":"distributed","placement":"quorum","replicas":3,"readQuorum":2,"writeQuorum":2}`))
+	f.Add([]byte(`{"mode":"distributed","placement":"primary","sites":8,"workload":{"localityProb":1}}`))
+	f.Add([]byte(`{"mode":"single","placement":"shard"}`))
+	f.Add([]byte(`{"mode":"distributed","placement":"bogus"}`))
+	f.Add([]byte(`{"mode":"distributed","workload":{"localityProb":1.5}}`))
 	f.Add([]byte(`{"mode":"nope"}`))
 	f.Add([]byte(`{"mode":"single","protocol":"ZZ"}`))
 	f.Add([]byte(`{"mode":"single","workload":{"readOnlyFrac":2}}`))
@@ -38,6 +44,17 @@ func FuzzConfig(f *testing.F) {
 		}
 		if ro := s.Workload.ReadOnlyFrac; ro < 0 || ro > 1 {
 			t.Fatalf("accepted spec with readOnlyFrac %v", ro)
+		}
+		if lp := s.Workload.LocalityProb; lp < 0 || lp > 1 {
+			t.Fatalf("accepted spec with localityProb %v", lp)
+		}
+		if s.Placement != "" {
+			if s.Mode != "distributed" {
+				t.Fatalf("accepted single-site spec with placement %q", s.Placement)
+			}
+			if _, err := rtlock.ParsePlacementPolicy(s.Placement); err != nil {
+				t.Fatalf("accepted spec with unparseable placement %q", s.Placement)
+			}
 		}
 		out, err := json.Marshal(s)
 		if err != nil {

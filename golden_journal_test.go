@@ -58,6 +58,24 @@ func goldenDist(t testing.TB, global bool) *journal.Journal {
 	return res.Journal
 }
 
+// goldenPlaced runs the fixture-sized workload under a placement
+// policy. Pinning these bytes freezes the KPlacement banner encoding,
+// the KQuorumRead/KQuorumWrite round records, and the shard
+// registration/2PC interleavings the placement auditors replay.
+func goldenPlaced(t testing.TB, placement string) *journal.Journal {
+	t.Helper()
+	res, err := RunDistributed(DistributedConfig{
+		Placement: placement,
+		Sites:     3,
+		Journal:   true,
+		Workload:  WorkloadConfig{Count: 40, MeanSize: 4, LocalityProb: 0.7},
+	})
+	if err != nil {
+		t.Fatalf("placement %s: %v", placement, err)
+	}
+	return res.Journal
+}
+
 // goldenDistFaults replays a pinned chosen-fault plan — the shape a
 // fault-space exploration exports for a counterexample: a concrete
 // crash, two message fates, and a partition cut. The hand-built load
@@ -198,4 +216,11 @@ func TestGoldenJournals(t *testing.T) {
 		t.Parallel()
 		checkGolden(t, "dist_global_faults", goldenDistFaults(t))
 	})
+	for _, pl := range []string{"shard", "quorum", "primary"} {
+		pl := pl
+		t.Run("dist/"+pl, func(t *testing.T) {
+			t.Parallel()
+			checkGolden(t, "dist_"+pl, goldenPlaced(t, pl))
+		})
+	}
 }

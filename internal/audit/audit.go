@@ -112,6 +112,75 @@ func ForApproach(approach string) []Auditor {
 	return auds
 }
 
+// ForPlacement returns the auditors applicable to a placement-aware
+// distributed run, selected by the canonical policy name (place.Policy
+// String values). Full replication is the local approach's layout and
+// inherits its auditors. The sharded and quorum modes run strict 2PL
+// against independent per-shard ceiling managers: one committed global
+// history, lock safety, strict two-phase locking, and 2PC agreement all
+// apply, but deadlock freedom does not — the ceiling protocol prevents
+// cycles within one manager only, and cross-shard waits can cycle (the
+// deadline timeout resolves them, as with plain 2PL single-site
+// schemes). Quorum runs additionally get the quorum-intersection
+// invariant. The primary-only baseline holds no locks and promises no
+// serializability (its journal says so in the KPlacement banner), so no
+// auditor applies — the absence is the point of the baseline.
+func ForPlacement(policy string) []Auditor {
+	switch policy {
+	case "full":
+		return ForApproach("local")
+	case "shard":
+		return []Auditor{
+			NewSerializable(false),
+			NewStrictTwoPhase(),
+			NewLockSafety(),
+			NewTwoPCConsistent(),
+		}
+	case "quorum":
+		return []Auditor{
+			NewSerializable(false),
+			NewStrictTwoPhase(),
+			NewLockSafety(),
+			NewTwoPCConsistent(),
+			NewQuorumIntersection(),
+		}
+	default: // "primary"
+		return nil
+	}
+}
+
+// ForPlacementFaults returns the auditors for a placement-aware run
+// with a fault plan attached. Serializability is dropped for the shard
+// and quorum modes: a crash wipes a shard manager's lock table while a
+// remote survivor may still think it holds locks there, so committed
+// histories across the crash carry no cross-shard ordering guarantee —
+// the same reasoning that drops global serializability in ForFaults.
+// Lock safety, strict 2PL, 2PC agreement, the recovery-correctness
+// family, and (quorum) the intersection invariant must hold across any
+// plan; the intersection survives crashes because primary stores are
+// durable and write rounds only report after W installs.
+func ForPlacementFaults(policy string) []Auditor {
+	switch policy {
+	case "full":
+		return ForFaults("local")
+	case "shard", "quorum":
+		auds := []Auditor{
+			NewStrictTwoPhase(),
+			NewLockSafety(),
+			NewTwoPCConsistent(),
+			NewRecoveryDurable(),
+			NewRecoveryReentry(),
+			NewRecoveryLiveness(),
+		}
+		if policy == "quorum" {
+			auds = append(auds, NewQuorumIntersection())
+		}
+		return auds
+	default: // "primary"
+		return nil
+	}
+}
+
 // ForFaults returns the auditors applicable to a distributed run with a
 // fault plan attached. Crash, loss, and partition events do not weaken
 // lock safety, strict two-phase locking, deadlock freedom, or two-phase

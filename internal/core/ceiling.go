@@ -226,6 +226,15 @@ func (m *Ceiling) Register(tx *TxState) {
 	m.emitCeilingChange()
 }
 
+// Registered reports whether tx is currently registered with this
+// manager. Distributed callers use it to detect registrations lost to a
+// site crash (the manager restarts with an empty table) before issuing
+// requests the manager would not understand.
+func (m *Ceiling) Registered(tx *TxState) bool {
+	_, ok := m.registered[tx]
+	return ok
+}
+
 // Unregister implements Manager. Removing a transaction can lower
 // ceilings, so blocked waiters are re-evaluated.
 func (m *Ceiling) Unregister(tx *TxState) {

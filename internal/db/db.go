@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"rtlock/internal/core"
+	"rtlock/internal/place"
 	"rtlock/internal/sim"
 )
 
@@ -16,16 +17,19 @@ import (
 type SiteID int
 
 // Catalog describes the database layout: how many objects exist and which
-// site holds each primary copy. Objects are partitioned round-robin-free:
-// contiguous ranges per site, which makes "the objects of site s" easy to
-// reason about in workloads and tests.
+// site holds each copy. The object→site mapping and replica policy live
+// in the embedded placement (internal/place); the default is range
+// partitioning — contiguous ranges per site, which makes "the objects of
+// site s" easy to reason about in workloads and tests.
 type Catalog struct {
-	sites   int
-	objects int
+	sites     int
+	objects   int
+	placement place.Map
 }
 
-// NewCatalog lays out objects across sites. Objects are divided into
-// contiguous, nearly equal ranges; site i owns the i-th range as primary.
+// NewCatalog lays out objects across sites with the historical default
+// placement: contiguous, nearly equal ranges; site i owns the i-th range
+// as primary, every site replicates everything.
 func NewCatalog(sites, objects int) (*Catalog, error) {
 	if sites < 1 {
 		return nil, fmt.Errorf("db: sites must be >= 1, got %d", sites)
@@ -33,7 +37,20 @@ func NewCatalog(sites, objects int) (*Catalog, error) {
 	if objects < 1 {
 		return nil, fmt.Errorf("db: objects must be >= 1, got %d", objects)
 	}
-	return &Catalog{sites: sites, objects: objects}, nil
+	pm, err := place.NewFull(sites, objects)
+	if err != nil {
+		return nil, err
+	}
+	return &Catalog{sites: sites, objects: objects, placement: pm}, nil
+}
+
+// NewCatalogWithPlacement lays out objects according to an explicit
+// placement map.
+func NewCatalogWithPlacement(pm place.Map) (*Catalog, error) {
+	if pm == nil {
+		return nil, fmt.Errorf("db: placement must not be nil")
+	}
+	return &Catalog{sites: pm.Sites(), objects: pm.Objects(), placement: pm}, nil
 }
 
 // Sites returns the number of sites.
@@ -42,19 +59,23 @@ func (c *Catalog) Sites() int { return c.sites }
 // Objects returns the total number of data objects.
 func (c *Catalog) Objects() int { return c.objects }
 
+// Placement returns the object→site mapping and replica policy.
+func (c *Catalog) Placement() place.Map { return c.placement }
+
 // PrimarySite returns the site holding the primary copy of obj.
 func (c *Catalog) PrimarySite(obj core.ObjectID) SiteID {
-	if int(obj) < 0 || int(obj) >= c.objects {
-		return 0
+	return SiteID(c.placement.Primary(int(obj)))
+}
+
+// Replicas returns every site holding a copy of obj, primary first, in
+// deterministic order.
+func (c *Catalog) Replicas(obj core.ObjectID) []SiteID {
+	reps := c.placement.Replicas(int(obj))
+	out := make([]SiteID, len(reps))
+	for i, s := range reps {
+		out[i] = SiteID(s)
 	}
-	per := c.objects / c.sites
-	extra := c.objects % c.sites
-	// The first `extra` sites hold per+1 objects each.
-	idx := int(obj)
-	if idx < extra*(per+1) {
-		return SiteID(idx / (per + 1))
-	}
-	return SiteID(extra + (idx-extra*(per+1))/per)
+	return out
 }
 
 // ObjectsAt returns the primary objects of a site, in ascending order.

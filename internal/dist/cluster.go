@@ -28,6 +28,7 @@ import (
 	"rtlock/internal/journal"
 	"rtlock/internal/metrics"
 	"rtlock/internal/netsim"
+	"rtlock/internal/place"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
 	"rtlock/internal/timeline"
@@ -63,8 +64,30 @@ func (a Approach) String() string {
 
 // Config parameterizes a distributed run.
 type Config struct {
-	// Approach selects global or local ceiling management.
+	// Approach selects global or local ceiling management. It applies
+	// to the legacy layouts (Placement zero or place.Full); the
+	// sharded, quorum, and primary-only placements select their own
+	// execution model and require Approach to stay unset.
 	Approach Approach
+	// Placement selects the data placement and replication policy.
+	// Zero keeps the historical behavior: full replication for the
+	// local approach, primary-copy data under the global ceiling.
+	// place.Sharded, place.Quorum, and place.PrimaryOnly switch to the
+	// placement-aware execution paths (see internal/place).
+	Placement place.Policy
+	// HashShards scatters primaries with a multiplicative hash instead
+	// of contiguous ranges (sharded, quorum, and primary-only
+	// placements).
+	HashShards bool
+	// Replicas is the number of copies per object K (quorum placement
+	// only; zero means min(3, Sites)).
+	Replicas int
+	// ReadQuorum is the number of replicas a read must reach, R
+	// (quorum placement only; zero means a majority of Replicas).
+	ReadQuorum int
+	// WriteQuorum is the number of replicas a write must reach, W
+	// (quorum placement only; zero means the smallest W with R+W > K).
+	WriteQuorum int
 	// Sites is the number of fully interconnected sites.
 	Sites int
 	// Objects is the database size.
@@ -155,9 +178,52 @@ type Config struct {
 	MaxRawRecords int
 }
 
-func (c *Config) fill() error {
-	if c.Approach != GlobalCeiling && c.Approach != LocalCeiling {
-		return fmt.Errorf("dist: unknown approach %d", c.Approach)
+// Validate checks the configuration's explicit values. Zero values of
+// optional fields mean "use the default" and are always valid; fill
+// applies the defaults after validation and only derives values Validate
+// would accept.
+func (c *Config) Validate() error {
+	switch c.Placement {
+	case 0, place.Full, place.Sharded, place.Quorum, place.PrimaryOnly:
+	default:
+		return fmt.Errorf("dist: unknown placement policy %d", int(c.Placement))
+	}
+	if c.execPolicy() != 0 {
+		if c.Approach != 0 {
+			return fmt.Errorf("dist: placement %s selects its own execution model; approach must be unset, got %s", c.Placement, c.Approach)
+		}
+	} else {
+		if c.Placement == place.Full && c.Approach == GlobalCeiling {
+			return fmt.Errorf("dist: placement full is the local approach's layout; approach must be local or unset")
+		}
+		if c.Approach != GlobalCeiling && c.Approach != LocalCeiling &&
+			!(c.Placement == place.Full && c.Approach == 0) {
+			return fmt.Errorf("dist: unknown approach %d", c.Approach)
+		}
+	}
+	if c.HashShards && c.execPolicy() == 0 {
+		return fmt.Errorf("dist: hash sharding requires a sharded, quorum, or primary-only placement")
+	}
+	if c.Placement != place.Quorum && (c.Replicas != 0 || c.ReadQuorum != 0 || c.WriteQuorum != 0) {
+		return fmt.Errorf("dist: replica and quorum parameters require placement quorum")
+	}
+	if c.Placement == place.Quorum && c.Sites >= 1 {
+		k := c.Replicas
+		if k == 0 {
+			k = defaultReplicas(c.Sites)
+		}
+		if c.Replicas != 0 && (c.Replicas < 1 || c.Replicas > c.Sites) {
+			return fmt.Errorf("dist: replica count %d out of range [1,%d]", c.Replicas, c.Sites)
+		}
+		if c.ReadQuorum != 0 && (c.ReadQuorum < 1 || c.ReadQuorum > k) {
+			return fmt.Errorf("dist: read quorum %d out of range [1,%d]", c.ReadQuorum, k)
+		}
+		if c.WriteQuorum != 0 && (c.WriteQuorum < 1 || c.WriteQuorum > k) {
+			return fmt.Errorf("dist: write quorum %d out of range [1,%d]", c.WriteQuorum, k)
+		}
+		if c.ReadQuorum != 0 && c.WriteQuorum != 0 && c.ReadQuorum+c.WriteQuorum <= k {
+			return fmt.Errorf("dist: quorums R=%d W=%d do not intersect over K=%d replicas (need R+W > K)", c.ReadQuorum, c.WriteQuorum, k)
+		}
 	}
 	if c.Sites < 1 {
 		return fmt.Errorf("dist: sites must be >= 1, got %d", c.Sites)
@@ -186,6 +252,84 @@ func (c *Config) fill() error {
 	}
 	if int(c.GCMSite) < 0 || int(c.GCMSite) >= c.Sites {
 		return fmt.Errorf("dist: GCM site %d out of range", c.GCMSite)
+	}
+	return nil
+}
+
+// defaultReplicas is the default copy count K for the quorum placement.
+func defaultReplicas(sites int) int {
+	if sites < 3 {
+		return sites
+	}
+	return 3
+}
+
+// execPolicy returns the placement policy that switches execution onto
+// the placement-aware paths. Zero covers the legacy layouts: Placement
+// unset (Approach decides) and place.Full, which is the local approach's
+// historical layout, not a separate execution model.
+func (c *Config) execPolicy() place.Policy {
+	switch c.Placement {
+	case place.Sharded, place.Quorum, place.PrimaryOnly:
+		return c.Placement
+	}
+	return 0
+}
+
+// usesTwoPC reports whether the mode commits multi-site writers with
+// two-phase commit (and therefore needs the 2PC handler/WAL machinery).
+func (c *Config) usesTwoPC() bool {
+	return c.Approach == GlobalCeiling || c.Placement == place.Sharded || c.Placement == place.Quorum
+}
+
+// perSiteManagers reports whether every site runs its own ceiling
+// manager (as opposed to the single global manager, or none at all for
+// the primary-only baseline).
+func (c *Config) perSiteManagers() bool {
+	return c.Approach == LocalCeiling || c.Placement == place.Sharded || c.Placement == place.Quorum
+}
+
+// buildPlacement constructs the place.Map the validated configuration
+// describes (defaults already filled in).
+func (c *Config) buildPlacement() (place.Map, error) {
+	part := place.RangePartition
+	if c.HashShards {
+		part = place.HashPartition
+	}
+	switch c.Placement {
+	case place.Sharded:
+		return place.NewSharded(c.Sites, c.Objects, part)
+	case place.Quorum:
+		return place.NewQuorum(c.Sites, c.Objects, part, c.Replicas, c.ReadQuorum, c.WriteQuorum)
+	case place.PrimaryOnly:
+		return place.NewPrimaryOnly(c.Sites, c.Objects, part)
+	default:
+		return place.NewFull(c.Sites, c.Objects)
+	}
+}
+
+func (c *Config) fill() error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.Placement == place.Full && c.Approach == 0 {
+		c.Approach = LocalCeiling
+	}
+	if c.Placement == place.Quorum {
+		if c.Replicas == 0 {
+			c.Replicas = defaultReplicas(c.Sites)
+		}
+		if c.ReadQuorum == 0 {
+			c.ReadQuorum = c.Replicas/2 + 1
+		}
+		if c.WriteQuorum == 0 {
+			c.WriteQuorum = c.Replicas - c.ReadQuorum + 1
+		}
+		// Re-check the derived triple: an explicit R or W combined with
+		// a defaulted partner must still intersect.
+		if c.ReadQuorum+c.WriteQuorum <= c.Replicas {
+			return fmt.Errorf("dist: quorums R=%d W=%d do not intersect over K=%d replicas (need R+W > K)", c.ReadQuorum, c.WriteQuorum, c.Replicas)
+		}
 	}
 	if c.ApplyPerObj <= 0 {
 		c.ApplyPerObj = c.CPUPerObj / 2
@@ -279,6 +423,7 @@ type Cluster struct {
 	installSeq int64
 	twopc      map[int64]*voteCollector
 	decisions  int
+	qrounds    map[quorumKey]*quorumRound
 
 	// Fault-plan state, inert until AttachFaults is called. faultsOn
 	// gates every behavioral addition so a cluster without a plan is
@@ -295,6 +440,7 @@ type Cluster struct {
 	resolveTok map[resolveKey]*sim.Token
 	liveTx     []map[int64]*sim.Proc
 	gcmReg     map[int64]*gcmEntry
+	shardReg   []map[int64]*gcmEntry
 
 	// Probe handles, cached at construction (no-ops without a
 	// registry).
@@ -304,6 +450,11 @@ type Cluster struct {
 	mMissCrash sim.Counter
 	mGCMDown   sim.Gauge
 	mFailovers sim.Counter
+	// Per-placement probes, initialized only in the matching mode.
+	mShardLocal   sim.Counter
+	mShardCross   sim.Counter
+	mQuorumReads  sim.Counter
+	mQuorumWrites sim.Counter
 }
 
 // preparedTx is a participant's volatile state for an in-doubt
@@ -337,7 +488,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	cat, err := db.NewCatalog(cfg.Sites, cfg.Objects)
+	pm, err := cfg.buildPlacement()
+	if err != nil {
+		return nil, err
+	}
+	cat, err := db.NewCatalogWithPlacement(pm)
 	if err != nil {
 		return nil, err
 	}
@@ -379,9 +534,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			speed: speed,
 			store: db.NewStore(db.SiteID(i)),
 		}
-		if cfg.Approach == LocalCeiling {
+		if cfg.perSiteManagers() {
 			s.mgr = core.NewCeiling(k)
 			s.mgr.SetJournalSite(int32(i))
+		}
+		if cfg.Approach == LocalCeiling {
 			s.mv = db.NewMVStore(db.SiteID(i), cfg.VersionsKept)
 		}
 		c.sites = append(c.sites, s)
@@ -389,11 +546,34 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Approach == GlobalCeiling {
 		c.gcm = core.NewCeiling(k)
 		c.gcm.SetJournalSite(int32(cfg.GCMSite))
+	}
+	if cfg.usesTwoPC() {
 		c.twopc = make(map[int64]*voteCollector)
 		c.registerTwoPCHandlers()
 	}
 	if cfg.Approach == LocalCeiling {
 		c.registerInstallHandlers()
+	}
+	switch cfg.execPolicy() {
+	case place.Sharded:
+		c.mShardLocal = m.Counter("dist_shard_commits_total", "Committed update transactions by shard span.", metrics.L("kind", "local"))
+		c.mShardCross = m.Counter("dist_shard_commits_total", "Committed update transactions by shard span.", metrics.L("kind", "cross"))
+	case place.Quorum:
+		c.qrounds = make(map[quorumKey]*quorumRound)
+		c.registerQuorumHandlers()
+		c.mQuorumReads = m.Counter("dist_quorum_rounds_total", "Completed quorum replication rounds by kind.", metrics.L("kind", "read"))
+		c.mQuorumWrites = m.Counter("dist_quorum_rounds_total", "Completed quorum replication rounds by kind.", metrics.L("kind", "write"))
+	}
+	if pol := cfg.execPolicy(); pol != 0 {
+		// One placement banner per run so replays and auditors know the
+		// consistency contract in force. The primary-only baseline
+		// journals its waived serializability explicitly.
+		note := pm.String()
+		if pol == place.PrimaryOnly {
+			note += "; serializability waived"
+		}
+		c.emit(0, journal.KPlacement, 0, 0, int64(pol),
+			int64(pm.ReadQuorum())|int64(pm.WriteQuorum())<<32, note)
 	}
 	return c, nil
 }
@@ -492,6 +672,12 @@ func (c *Cluster) enableFaultMachinery() {
 			c.failover[i] = c.newFailoverMgr(i)
 		}
 	}
+	if pol := c.cfg.execPolicy(); pol == place.Sharded || pol == place.Quorum {
+		c.shardReg = make([]map[int64]*gcmEntry, c.cfg.Sites)
+		for i := range c.shardReg {
+			c.shardReg[i] = make(map[int64]*gcmEntry)
+		}
+	}
 }
 
 // WAL returns a site's write-ahead log (nil before AttachFaults), for
@@ -567,12 +753,40 @@ func (c *Cluster) onCrash(siteID db.SiteID) {
 		// The crashed site's failover manager state is volatile too.
 		c.failover[siteID] = c.newFailoverMgr(int(siteID))
 	}
-	if c.cfg.Approach == LocalCeiling {
-		// The local ceiling manager's lock table is volatile: recovery
+	if c.cfg.perSiteManagers() {
+		// The site's ceiling manager lock table is volatile: recovery
 		// restarts it empty (killed residents skip their releases).
 		s := c.sites[siteID]
 		s.mgr = core.NewCeiling(c.K)
 		s.mgr.SetJournalSite(int32(siteID))
+	}
+	if c.shardReg != nil {
+		// Registrations at the crashed site's manager died with its lock
+		// table; every surviving shard manager evicts the crashed site's
+		// transactions (their processes were just killed and will skip
+		// their own releases).
+		c.shardReg[siteID] = make(map[int64]*gcmEntry)
+		for sid := 0; sid < c.cfg.Sites; sid++ {
+			if db.SiteID(sid) == siteID {
+				continue
+			}
+			evictIDs := make([]int64, 0)
+			for id, e := range c.shardReg[sid] {
+				if e.home == siteID {
+					evictIDs = append(evictIDs, id)
+				}
+			}
+			sort.Slice(evictIDs, func(i, j int) bool { return evictIDs[i] < evictIDs[j] })
+			for _, id := range evictIDs {
+				e := c.shardReg[sid][id]
+				c.sites[sid].mgr.ReleaseAll(e.st)
+				c.sites[sid].mgr.Unregister(e.st)
+				delete(c.shardReg[sid], id)
+			}
+			if len(evictIDs) > 0 {
+				c.emit(db.SiteID(sid), journal.KResync, 0, 0, int64(len(evictIDs)), int64(siteID), "evict")
+			}
+		}
 	}
 }
 
@@ -586,7 +800,7 @@ func (c *Cluster) onRecover(siteID db.SiteID) {
 		c.K.Metrics().Histogram("recovery_duration_ticks",
 			"Crash-to-recovery (resync complete) windows per site, in ticks.", nil).Observe(int64(d))
 	}
-	if c.cfg.Approach != GlobalCeiling {
+	if !c.cfg.usesTwoPC() {
 		return
 	}
 	pending := c.wals[siteID].PendingVotes()
@@ -674,10 +888,19 @@ func (c *Cluster) Load(txs []*workload.Txn) {
 					c.liveTx[t.Home][t.ID] = p
 					defer delete(c.liveTx[t.Home], t.ID)
 				}
-				if c.cfg.Approach == GlobalCeiling {
-					c.execGlobal(p, t)
-				} else {
-					c.execLocal(p, t)
+				switch c.cfg.execPolicy() {
+				case place.Sharded:
+					c.execShard(p, t)
+				case place.Quorum:
+					c.execQuorum(p, t)
+				case place.PrimaryOnly:
+					c.execPrimary(p, t)
+				default:
+					if c.cfg.Approach == GlobalCeiling {
+						c.execGlobal(p, t)
+					} else {
+						c.execLocal(p, t)
+					}
 				}
 			})
 		})

@@ -1,0 +1,570 @@
+package dist
+
+import (
+	"errors"
+	"sort"
+
+	"rtlock/internal/core"
+	"rtlock/internal/db"
+	"rtlock/internal/journal"
+	"rtlock/internal/netsim"
+	"rtlock/internal/sim"
+	"rtlock/internal/txn"
+	"rtlock/internal/workload"
+)
+
+// This file implements the placement-aware execution paths selected by
+// Config.Placement (see internal/place):
+//
+//   - execShard: primary-copy sharding. Locks and data both live at each
+//     object's primary site; a transaction registers with every shard
+//     manager its access sets touch and runs strict two-phase locking
+//     against each. Writers that touched remote shards commit with 2PC.
+//
+//   - execQuorum: sharded locking plus K-replica quorum replication.
+//     Reads gather R replica versions, committed writes push new
+//     versions to replicas and wait for W acknowledgements while the
+//     write lock is still held — so R+W > K makes every read quorum
+//     intersect the latest write quorum (the audit.QuorumIntersection
+//     invariant).
+//
+//   - execPrimary: the uncoordinated baseline. Direct RPC to each
+//     object's primary, no distributed locking, no 2PC, writes land the
+//     instant the op executes. Serializability is waived by construction
+//     and journaled as such (KPlacement); comparing the coordinated
+//     modes against this baseline yields the consistency tax.
+
+// ErrShardEvicted aborts a transaction whose request reached a shard
+// manager that does not know it: the registration was lost while the
+// site was down, or the manager restarted after a crash and dropped its
+// lock table. The manager refuses the request.
+var ErrShardEvicted = errors.New("dist: shard manager evicted transaction registration")
+
+// shardPin is one shard manager a transaction synchronizes with,
+// pinned per attempt so a crash-induced manager replacement cannot
+// split an attempt across two lock tables.
+type shardPin struct {
+	site db.SiteID
+	mgr  *core.Ceiling
+	st   *core.TxState
+}
+
+// shardSites returns the distinct primary sites of a transaction's
+// access sets, ascending.
+func (c *Cluster) shardSites(t *workload.Txn) []db.SiteID {
+	seen := make(map[db.SiteID]bool)
+	out := make([]db.SiteID, 0, 4)
+	for _, op := range t.Ops {
+		s := c.Catalog.PrimarySite(op.Obj)
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// filterShard keeps the objects whose primary is the given shard.
+func (c *Cluster) filterShard(objs []core.ObjectID, shard db.SiteID) []core.ObjectID {
+	out := make([]core.ObjectID, 0, len(objs))
+	for _, o := range objs {
+		if c.Catalog.PrimarySite(o) == shard {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// newShardState builds the per-manager protocol state holding just the
+// slice of the access sets that manager owns, so each shard's ceilings
+// see only the demand actually arriving there.
+func (c *Cluster) newShardState(p *sim.Proc, t *workload.Txn, shard db.SiteID) *core.TxState {
+	st := core.NewTxState(t.ID, t.Priority(), p)
+	st.ReadSet = c.filterShard(t.ReadSet(), shard)
+	st.WriteSet = c.filterShard(t.WriteSet(), shard)
+	st.OnPrioChange = func(pr sim.Priority) {
+		for _, s := range c.sites {
+			s.cpu.Reprioritize(p, pr)
+		}
+	}
+	return st
+}
+
+// trackShardReg remembers a registration at a shard manager so crash
+// detection can evict it (no-op without fault machinery).
+func (c *Cluster) trackShardReg(site db.SiteID, txID int64, home db.SiteID, p *sim.Proc, st *core.TxState) {
+	if c.shardReg != nil {
+		c.shardReg[site][txID] = &gcmEntry{st: st, home: home, p: p}
+	}
+}
+
+func (c *Cluster) untrackShardReg(site db.SiteID, txID int64) {
+	if c.shardReg != nil {
+		delete(c.shardReg[site], txID)
+	}
+}
+
+// registerShards announces the transaction to every shard manager it
+// will touch. Local registration is immediate; remote registrations
+// ride one message each and are in effect before the first lock request
+// can arrive there (the request travels the same link).
+func (c *Cluster) registerShards(p *sim.Proc, t *workload.Txn, pins []*shardPin, msgs *int) {
+	home := t.Home
+	for _, pin := range pins {
+		pin := pin
+		if pin.site == home {
+			c.emit(pin.site, journal.KRegister, t.ID, 0, 0, 0, "")
+			pin.mgr.Register(pin.st)
+			c.trackShardReg(pin.site, t.ID, home, p, pin.st)
+			continue
+		}
+		*msgs++
+		c.K.After(c.Net.Delay(home, pin.site), func() {
+			if c.faultsOn && !c.Net.Reachable(home, pin.site) {
+				return // the registration message is lost
+			}
+			if c.faultsOn && c.sites[pin.site].mgr != pin.mgr {
+				return // the manager rebooted while the registration traveled
+			}
+			c.emit(pin.site, journal.KRegister, t.ID, 0, 0, 0, "")
+			pin.mgr.Register(pin.st)
+			c.trackShardReg(pin.site, t.ID, home, p, pin.st)
+		})
+	}
+}
+
+// releaseShards releases and unregisters at every pinned manager after
+// the outcome. Remote releases ride one message each; a lost release is
+// reclaimed only by crash eviction, mirroring the global approach.
+func (c *Cluster) releaseShards(t *workload.Txn, pins []*shardPin, msgs *int) {
+	home := t.Home
+	for _, pin := range pins {
+		pin := pin
+		if pin.site == home {
+			pin.mgr.ReleaseAll(pin.st)
+			pin.mgr.Unregister(pin.st)
+			c.emit(pin.site, journal.KUnregister, t.ID, 0, 0, 0, "")
+			c.untrackShardReg(pin.site, t.ID)
+			continue
+		}
+		*msgs++
+		c.K.After(c.Net.Delay(home, pin.site), func() {
+			if c.faultsOn && !c.Net.Reachable(home, pin.site) {
+				return // the release message is lost; eviction reclaims it
+			}
+			if c.faultsOn && (c.sites[pin.site].mgr != pin.mgr || !pin.mgr.Registered(pin.st)) {
+				return // the manager rebooted or never learned of us
+			}
+			pin.mgr.ReleaseAll(pin.st)
+			pin.mgr.Unregister(pin.st)
+			c.emit(pin.site, journal.KUnregister, t.ID, 0, 0, 0, "")
+			c.untrackShardReg(pin.site, t.ID)
+		})
+	}
+}
+
+// aggState folds the per-shard blocking statistics into one state for
+// the monitor record.
+func aggState(pins []*shardPin) *core.TxState {
+	agg := &core.TxState{}
+	for _, pin := range pins {
+		agg.BlockedTime += pin.st.BlockedTime
+		agg.BlockedCount += pin.st.BlockedCount
+	}
+	return agg
+}
+
+// shardBody runs the access phase against the pinned shard managers:
+// for each op the process travels to the object's primary, acquires the
+// lock from that shard's ceiling manager, consumes the access demand
+// there, and returns. When quorum is set, reads additionally gather an
+// R-sized read quorum before the next op.
+func (c *Cluster) shardBody(p *sim.Proc, t *workload.Txn, pins map[db.SiteID]*shardPin, msgs *int, quorum bool) error {
+	home := t.Home
+	for _, op := range t.Ops {
+		if c.faultsOn && c.crashed[home] {
+			return ErrSiteCrashed
+		}
+		owner := c.Catalog.PrimarySite(op.Obj)
+		pin := pins[owner]
+		if owner != home {
+			*msgs += 2
+			if err := c.Net.Hop(p, home, owner); err != nil {
+				return err
+			}
+		}
+		if c.faultsOn && (c.sites[owner].mgr != pin.mgr || !pin.mgr.Registered(pin.st)) {
+			// The shard manager restarted (dropping its lock table) or the
+			// registration message was lost while the site was down; the
+			// manager refuses a request from a transaction it does not
+			// know and the transaction aborts.
+			return ErrShardEvicted
+		}
+		if err := pin.mgr.Acquire(p, pin.st, op.Obj, op.Mode); err != nil {
+			return err
+		}
+		if err := c.sites[owner].use(p, pin.st.Eff(), c.cfg.CPUPerObj); err != nil {
+			return err
+		}
+		if owner != home {
+			if err := c.Net.Hop(p, owner, home); err != nil {
+				return err
+			}
+		}
+		c.emit(home, journal.KOp, t.ID, int32(op.Obj), int64(op.Mode), 0, "")
+		if c.History != nil {
+			c.History.Record(t.ID, op.Obj, op.Mode, p.Now())
+		}
+		if quorum && op.Mode == core.Read {
+			if err := c.quorumRead(p, t, op.Obj, owner, msgs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// shardCommitParts lists the remote shards the transaction wrote at —
+// the 2PC participants — ascending, plus each participant's share of the
+// write set when the fault machinery needs it carried in the prepares.
+func (c *Cluster) shardCommitParts(t *workload.Txn, withObjs bool) ([]db.SiteID, map[db.SiteID][]core.ObjectID) {
+	home := t.Home
+	seen := make(map[db.SiteID]bool)
+	parts := make([]db.SiteID, 0, 4)
+	objsBySite := make(map[db.SiteID][]core.ObjectID)
+	for _, obj := range t.WriteSet() {
+		owner := c.Catalog.PrimarySite(obj)
+		if owner == home {
+			continue
+		}
+		if !seen[owner] {
+			seen[owner] = true
+			parts = append(parts, owner)
+		}
+		if withObjs {
+			objsBySite[owner] = append(objsBySite[owner], obj)
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	return parts, objsBySite
+}
+
+// execShard runs one transaction under primary-copy sharding.
+func (c *Cluster) execShard(p *sim.Proc, t *workload.Txn) {
+	home := t.Home
+	msgs := 0
+	c.emit(home, journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
+
+	pinList := make([]*shardPin, 0, 4)
+	pins := make(map[db.SiteID]*shardPin)
+	for _, sid := range c.shardSites(t) {
+		pin := &shardPin{site: sid, mgr: c.sites[sid].mgr, st: c.newShardState(p, t, sid)}
+		pinList = append(pinList, pin)
+		pins[sid] = pin
+	}
+	c.registerShards(p, t, pinList, &msgs)
+
+	deadlineEv := c.K.At(t.Deadline, func() { p.Interrupt(txn.ErrDeadlineMissed) })
+	err := c.shardBody(p, t, pins, &msgs, false)
+	if err == nil {
+		parts, objsBySite := c.shardCommitParts(t, c.faultsOn)
+		if !c.faultsOn {
+			objsBySite = nil
+		}
+		err = c.runTwoPC(p, home, t.ID, parts, objsBySite, &msgs)
+	}
+	deadlineEv.Cancel()
+
+	if c.faultsOn && errors.Is(err, ErrSiteCrashed) {
+		c.record(p, t, aggState(pinList), err, msgs)
+		return
+	}
+	c.releaseShards(t, pinList, &msgs)
+	if err == nil {
+		cross := false
+		for _, obj := range t.WriteSet() {
+			owner := c.Catalog.PrimarySite(obj)
+			if owner != home {
+				cross = true
+				if c.faultsOn {
+					// The remote shard is a 2PC participant and installs
+					// its share when the commit decision reaches it.
+					continue
+				}
+			}
+			c.sites[owner].store.Write(obj, t.ID, p.Now())
+		}
+		if len(t.WriteSet()) > 0 {
+			if cross {
+				c.mShardCross.Inc()
+			} else {
+				c.mShardLocal.Inc()
+			}
+		}
+	}
+	c.record(p, t, aggState(pinList), err, msgs)
+}
+
+// Quorum replication rounds run over these message-server ports.
+const (
+	qreadPort      = "quorum-read"
+	qreadReplyPort = "quorum-read-reply"
+	qwritePort     = "quorum-write"
+	qackPort       = "quorum-write-ack"
+)
+
+type qreadMsg struct {
+	txID int64
+	obj  core.ObjectID
+	from db.SiteID
+}
+
+type qreadReply struct {
+	txID int64
+	obj  core.ObjectID
+	from db.SiteID
+	seq  int64
+}
+
+type qwriteMsg struct {
+	txID  int64
+	obj   core.ObjectID
+	coord db.SiteID
+	v     db.Version
+}
+
+type qackMsg struct {
+	txID int64
+	obj  core.ObjectID
+	from db.SiteID
+}
+
+// quorumKey identifies one open replication round; kind keeps a late
+// read reply from counting toward a later write round of the same
+// object.
+type quorumKey struct {
+	tx   int64
+	obj  core.ObjectID
+	kind int // 0 read, 1 write
+}
+
+// quorumRound gathers one round's replies at the transaction's home.
+// Replies are deduplicated per site so injected duplicates cannot
+// satisfy the quorum early.
+type quorumRound struct {
+	need   int
+	got    map[db.SiteID]bool
+	maxSeq int64
+	tok    *sim.Token
+}
+
+// registerQuorumHandlers wires the replication round ports at every
+// site: replica-side version serves and installs, home-side reply and
+// acknowledgement collection.
+func (c *Cluster) registerQuorumHandlers() {
+	for _, s := range c.sites {
+		s := s
+		srv := c.Net.Server(s.id)
+		srv.Handle(qreadPort, func(m netsim.Message) {
+			msg, ok := m.Payload.(qreadMsg)
+			if !ok {
+				return
+			}
+			c.Net.Send(s.id, msg.from, qreadReplyPort,
+				qreadReply{txID: msg.txID, obj: msg.obj, from: s.id, seq: s.store.Read(msg.obj).Seq})
+		})
+		srv.Handle(qreadReplyPort, func(m netsim.Message) {
+			msg, ok := m.Payload.(qreadReply)
+			if !ok {
+				return
+			}
+			round := c.qrounds[quorumKey{tx: msg.txID, obj: msg.obj, kind: 0}]
+			if round == nil || round.got[msg.from] {
+				return // round settled, or duplicate reply
+			}
+			round.got[msg.from] = true
+			if msg.seq > round.maxSeq {
+				round.maxSeq = msg.seq
+			}
+			if len(round.got) >= round.need {
+				round.tok.Wake(nil)
+			}
+		})
+		srv.Handle(qwritePort, func(m netsim.Message) {
+			msg, ok := m.Payload.(qwriteMsg)
+			if !ok {
+				return
+			}
+			s.store.Install(msg.obj, msg.v)
+			c.Net.Send(s.id, msg.coord, qackPort, qackMsg{txID: msg.txID, obj: msg.obj, from: s.id})
+		})
+		srv.Handle(qackPort, func(m netsim.Message) {
+			msg, ok := m.Payload.(qackMsg)
+			if !ok {
+				return
+			}
+			round := c.qrounds[quorumKey{tx: msg.txID, obj: msg.obj, kind: 1}]
+			if round == nil || round.got[msg.from] {
+				return
+			}
+			round.got[msg.from] = true
+			if len(round.got) >= round.need {
+				round.tok.Wake(nil)
+			}
+		})
+	}
+}
+
+// quorumRead gathers an R-sized read quorum for obj while the read lock
+// is held at its primary. The primary's copy — just read by the op
+// itself — counts as the first reply, so R=1 needs no messages. There is
+// no per-round timer: a round starved by failures parks until the
+// transaction's deadline interrupt, which is the liveness backstop for
+// every mode.
+func (c *Cluster) quorumRead(p *sim.Proc, t *workload.Txn, obj core.ObjectID, owner db.SiteID, msgs *int) error {
+	maxSeq := c.sites[owner].store.Read(obj).Seq
+	replies := 1
+	r := c.Catalog.Placement().ReadQuorum()
+	if r > 1 {
+		reps := c.Catalog.Replicas(obj)
+		round := &quorumRound{need: r - 1, got: make(map[db.SiteID]bool), maxSeq: maxSeq, tok: &sim.Token{}}
+		key := quorumKey{tx: t.ID, obj: obj, kind: 0}
+		c.qrounds[key] = round
+		defer delete(c.qrounds, key)
+		for _, rep := range reps[1:] {
+			*msgs += 2 // request out, reply back
+			c.Net.Send(t.Home, rep, qreadPort, qreadMsg{txID: t.ID, obj: obj, from: t.Home})
+		}
+		if err := p.Park(round.tok); err != nil {
+			return err
+		}
+		if round.maxSeq > maxSeq {
+			maxSeq = round.maxSeq
+		}
+		replies += len(round.got)
+	}
+	c.mQuorumReads.Inc()
+	c.emit(owner, journal.KQuorumRead, t.ID, int32(obj), maxSeq, int64(replies), "")
+	return nil
+}
+
+// quorumWrite installs a committed write at the object's primary and
+// replicates it to the other replicas, waiting for a W-sized write
+// quorum before reporting the round. It runs before the write locks are
+// released, so the quorum-committed version is in place at W replicas
+// before any later reader's quorum can form — the intersection
+// invariant the auditor checks.
+func (c *Cluster) quorumWrite(p *sim.Proc, t *workload.Txn, obj core.ObjectID, msgs *int) error {
+	owner := c.Catalog.PrimarySite(obj)
+	v := c.sites[owner].store.Write(obj, t.ID, p.Now())
+	acks := 1 // the primary's own install
+	w := c.Catalog.Placement().WriteQuorum()
+	reps := c.Catalog.Replicas(obj)
+	if len(reps) > 1 {
+		var round *quorumRound
+		if w > 1 {
+			round = &quorumRound{need: w - 1, got: make(map[db.SiteID]bool), tok: &sim.Token{}}
+			key := quorumKey{tx: t.ID, obj: obj, kind: 1}
+			c.qrounds[key] = round
+			defer delete(c.qrounds, key)
+		}
+		for _, rep := range reps[1:] {
+			*msgs += 2 // install out, acknowledgement back
+			c.Net.Send(owner, rep, qwritePort, qwriteMsg{txID: t.ID, obj: obj, coord: t.Home, v: v})
+		}
+		if round != nil {
+			if err := p.Park(round.tok); err != nil {
+				return err
+			}
+			acks += len(round.got)
+		}
+	}
+	c.mQuorumWrites.Inc()
+	c.emit(owner, journal.KQuorumWrite, t.ID, int32(obj), v.Seq, int64(acks), "")
+	return nil
+}
+
+// execQuorum runs one transaction under quorum replication: sharded
+// strict two-phase locking at the primaries, quorum rounds for the data.
+// 2PC covers the atomic commit decision across remote write shards; the
+// replication itself rides the write quorum rounds, so the prepares
+// carry no write-set shares even under faults. A deadline striking
+// mid-replication leaves the already-quorum-committed objects installed
+// (there is no undo); the journal still records the miss.
+func (c *Cluster) execQuorum(p *sim.Proc, t *workload.Txn) {
+	home := t.Home
+	msgs := 0
+	c.emit(home, journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
+
+	pinList := make([]*shardPin, 0, 4)
+	pins := make(map[db.SiteID]*shardPin)
+	for _, sid := range c.shardSites(t) {
+		pin := &shardPin{site: sid, mgr: c.sites[sid].mgr, st: c.newShardState(p, t, sid)}
+		pinList = append(pinList, pin)
+		pins[sid] = pin
+	}
+	c.registerShards(p, t, pinList, &msgs)
+
+	deadlineEv := c.K.At(t.Deadline, func() { p.Interrupt(txn.ErrDeadlineMissed) })
+	err := c.shardBody(p, t, pins, &msgs, true)
+	if err == nil {
+		parts, _ := c.shardCommitParts(t, false)
+		err = c.runTwoPC(p, home, t.ID, parts, nil, &msgs)
+	}
+	if err == nil {
+		for _, obj := range t.WriteSet() {
+			if err = c.quorumWrite(p, t, obj, &msgs); err != nil {
+				break
+			}
+		}
+	}
+	deadlineEv.Cancel()
+
+	if c.faultsOn && errors.Is(err, ErrSiteCrashed) {
+		c.record(p, t, aggState(pinList), err, msgs)
+		return
+	}
+	c.releaseShards(t, pinList, &msgs)
+	c.record(p, t, aggState(pinList), err, msgs)
+}
+
+// execPrimary runs one transaction under the uncoordinated baseline:
+// direct RPC to each object's primary, no locks, no registration, no
+// 2PC. Writes land the instant the op executes; nothing orders
+// concurrent transactions, which is exactly the waived consistency the
+// mode exists to price.
+func (c *Cluster) execPrimary(p *sim.Proc, t *workload.Txn) {
+	home := t.Home
+	msgs := 0
+	c.emit(home, journal.KArrive, t.ID, 0, int64(t.Deadline), 0, "")
+	deadlineEv := c.K.At(t.Deadline, func() { p.Interrupt(txn.ErrDeadlineMissed) })
+	var err error
+	for _, op := range t.Ops {
+		if c.faultsOn && c.crashed[home] {
+			err = ErrSiteCrashed
+			break
+		}
+		owner := c.Catalog.PrimarySite(op.Obj)
+		if owner != home {
+			msgs += 2
+			if err = c.Net.Hop(p, home, owner); err != nil {
+				break
+			}
+		}
+		if err = c.sites[owner].use(p, t.Priority(), c.cfg.CPUPerObj); err != nil {
+			break
+		}
+		if op.Mode == core.Write {
+			c.sites[owner].store.Write(op.Obj, t.ID, p.Now())
+		}
+		if owner != home {
+			if err = c.Net.Hop(p, owner, home); err != nil {
+				break
+			}
+		}
+		c.emit(home, journal.KOp, t.ID, int32(op.Obj), int64(op.Mode), 0, "")
+	}
+	deadlineEv.Cancel()
+	c.record(p, t, &core.TxState{}, err, msgs)
+}

@@ -8,6 +8,7 @@ import (
 	"rtlock/internal/db"
 	"rtlock/internal/dist"
 	"rtlock/internal/faults"
+	"rtlock/internal/place"
 	"rtlock/internal/sim"
 	"rtlock/internal/workload"
 )
@@ -26,6 +27,11 @@ type FaultOpts struct {
 	// Global selects the global-ceiling-manager architecture; false
 	// selects local ceilings over full replication.
 	Global bool
+	// Placement, when set to a non-full policy, explores that
+	// placement-aware execution model (sharded, quorum, or primary-only)
+	// instead of the legacy approaches; Global must be false. Quorum
+	// parameters take the cluster defaults.
+	Placement place.Policy
 	// Seed drives the workload stream (default 1).
 	Seed int64
 	// Sites, Count, DBSize, MeanSize, CommDelay, CPUPerObj, and
@@ -67,6 +73,15 @@ func FaultTarget(o FaultOpts) (Target, error) {
 	if o.Global {
 		approach = dist.GlobalCeiling
 	}
+	placed := o.Placement != 0 && o.Placement != place.Full
+	if placed && o.Global {
+		return Target{}, fmt.Errorf("explore: placement %s selects its own execution model; Global must be false", o.Placement)
+	}
+	arch := approach.String()
+	if placed {
+		approach = 0
+		arch = o.Placement.String()
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -103,6 +118,7 @@ func FaultTarget(o FaultOpts) (Target, error) {
 	}
 	cfg := dist.Config{
 		Approach:      approach,
+		Placement:     o.Placement,
 		Sites:         o.Sites,
 		Objects:       o.DBSize,
 		CommDelay:     o.CommDelay,
@@ -125,14 +141,14 @@ func FaultTarget(o FaultOpts) (Target, error) {
 			PerObjCost:       o.CPUPerObj,
 			SlackMin:         4,
 			SlackMax:         8,
-			LocalWriteSets:   true,
+			LocalWriteSets:   !placed,
 		})
 		if err != nil {
 			return Target{}, err
 		}
 	}
 	key := fmt.Sprintf("explore/fault/%s/sites=%d/db=%d/count=%d/size=%d/ro=%g",
-		approach, o.Sites, o.DBSize, len(load), o.MeanSize, o.ReadOnlyFrac)
+		arch, o.Sites, o.DBSize, len(load), o.MeanSize, o.ReadOnlyFrac)
 	// run executes one schedule: under the chooser-driven fault space
 	// (plan == nil) or under a fixed replayed plan (ch == nil). Both
 	// paths share the journal key and seed, which is what makes a
@@ -159,9 +175,13 @@ func FaultTarget(o FaultOpts) (Target, error) {
 		}
 		cluster.Load(load)
 		cluster.Run()
+		auds := audit.ForFaults(approach.String())
+		if placed {
+			auds = audit.ForPlacementFaults(o.Placement.String())
+		}
 		out := &Outcome{
 			JournalHash: jrn.HashString(),
-			Violations:  audit.Run(jrn, audit.ForFaults(approach.String())...),
+			Violations:  audit.Run(jrn, auds...),
 			FaultPlan:   plan,
 		}
 		if plan == nil {
@@ -170,7 +190,7 @@ func FaultTarget(o FaultOpts) (Target, error) {
 		return out, nil
 	}
 	return Target{
-		Name:    "fault/" + approach.String(),
+		Name:    "fault/" + arch,
 		Run:     func(ch sim.Chooser) (*Outcome, error) { return run(ch, nil) },
 		RunPlan: func(plan *faults.Plan) (*Outcome, error) { return run(nil, plan) },
 	}, nil

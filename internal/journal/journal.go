@@ -176,6 +176,22 @@ const (
 	// recovery) instead of spinning. Tx = transaction, Site = retrying
 	// site, A = attempts consumed, Note = phase ("prepare"/"resolve").
 	KRetryExhausted Kind = 41
+	// KPlacement: a run-level placement announcement emitted once at
+	// load time. A = placement policy (place.Policy), B = read quorum
+	// R in the low 32 bits and write quorum W in the high 32 bits (0
+	// for non-quorum policies), Note = the canonical placement string,
+	// suffixed with "; serializability waived" for the uncoordinated
+	// primary-only baseline.
+	KPlacement Kind = 42
+	// KQuorumWrite: a write quorum round completed. Tx = writer,
+	// Obj = object, Site = coordinating primary, A = the committed
+	// version sequence number, B = acks collected (>= W).
+	KQuorumWrite Kind = 43
+	// KQuorumRead: a read quorum round completed. Tx = reader,
+	// Obj = object, Site = coordinating primary, A = the highest
+	// version sequence number observed across the quorum, B = replies
+	// collected (>= R).
+	KQuorumRead Kind = 44
 )
 
 var kindNames = map[Kind]string{
@@ -220,6 +236,9 @@ var kindNames = map[Kind]string{
 	KFaultFate:      "faultfate",
 	KFaultCut:       "faultcut",
 	KRetryExhausted: "retryexhausted",
+	KPlacement:      "placement",
+	KQuorumWrite:    "quorumwrite",
+	KQuorumRead:     "quorumread",
 }
 
 var kindValues = func() map[string]Kind {

@@ -171,6 +171,7 @@ var SimCriticalPkgs = []string{
 	"internal/core",
 	"internal/dist",
 	"internal/netsim",
+	"internal/place",
 	"internal/faults",
 	"internal/txn",
 	"internal/journal",

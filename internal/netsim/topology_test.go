@@ -114,3 +114,73 @@ func TestNetworkUsesTopology(t *testing.T) {
 
 // site shortens SiteID conversion in tests.
 func site(i int) dbpkg.SiteID { return dbpkg.SiteID(i) }
+
+// TestSixteenSiteMesh verifies the network scales to the placement
+// sweep's largest configuration: 16 sites, all pairs connected, a
+// broadcast reaching every remote site in one delay, and Hop round
+// trips working from the farthest corner.
+func TestSixteenSiteMesh(t *testing.T) {
+	const sites = 16
+	k := sim.NewKernel()
+	topo, err := FullMesh(sites, 3*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Sites() != sites {
+		t.Fatalf("sites = %d, want %d", topo.Sites(), sites)
+	}
+	n := NewNetworkTopology(k, topo)
+	for a := 0; a < sites; a++ {
+		for b := 0; b < sites; b++ {
+			want := 3 * sim.Millisecond
+			if a == b {
+				want = 0
+			}
+			if d := n.Delay(site(a), site(b)); d != want {
+				t.Fatalf("delay(%d,%d) = %v, want %v", a, b, d, want)
+			}
+		}
+	}
+	got := make(map[int]sim.Time)
+	for i := 1; i < sites; i++ {
+		i := i
+		n.Server(site(i)).Handle("bcast", func(m Message) { got[i] = k.Now() })
+	}
+	k.At(0, func() {
+		for i := 1; i < sites; i++ {
+			n.Send(0, site(i), "bcast", i)
+		}
+	})
+	var hopDone sim.Time
+	k.Spawn("hopper", func(p *sim.Proc) {
+		if err := n.Hop(p, site(sites-1), 0); err != nil {
+			t.Errorf("hop out: %v", err)
+			return
+		}
+		if err := n.Hop(p, 0, site(sites-1)); err != nil {
+			t.Errorf("hop back: %v", err)
+			return
+		}
+		hopDone = k.Now()
+	})
+	k.Run()
+	if len(got) != sites-1 {
+		t.Fatalf("broadcast reached %d sites, want %d", len(got), sites-1)
+	}
+	for i, at := range got {
+		if at != sim.Time(3*sim.Millisecond) {
+			t.Fatalf("site %d received at %v, want 3ms", i, at)
+		}
+	}
+	if hopDone != sim.Time(6*sim.Millisecond) {
+		t.Fatalf("round trip finished at %v, want 6ms", hopDone)
+	}
+	if n.Sent != sites-1+2 {
+		t.Fatalf("Sent = %d, want %d", n.Sent, sites-1+2)
+	}
+	n.Shutdown()
+	k.Run()
+	if k.Live() != 0 {
+		t.Fatalf("%d live processes after shutdown", k.Live())
+	}
+}

@@ -1,0 +1,271 @@
+// Package place owns the object→site mapping and replica policy of the
+// distributed database. The paper's evaluation stops at three fully
+// interconnected, fully replicated sites; this package makes placement a
+// first-class axis so site count and replication structure can be swept
+// like any other parameter. One interface covers the spectrum:
+//
+//   - Full replication: every site holds every object (the paper's
+//     local-ceiling configuration).
+//   - Primary-copy sharding: each object lives at exactly one primary,
+//     range- or hash-partitioned; writers spanning shards need 2PC.
+//   - Quorum replication: K replicas per object with configurable
+//     read/write quorums R and W; R+W > K guarantees every read quorum
+//     intersects the latest write quorum.
+//   - Primary-only: sharded primaries reached by direct RPC with no
+//     distributed locking or 2PC — the uncoordinated baseline whose
+//     comparison against the coordinated modes yields the consistency
+//     tax.
+//
+// The package is deliberately free of simulation dependencies (plain
+// ints for sites and objects) so db, dist, and workload can all build on
+// it without cycles.
+package place
+
+import "fmt"
+
+// Policy selects the replication/placement mode.
+type Policy int
+
+const (
+	// Full replicates every object at every site; site Primary(obj)
+	// still designates the primary copy (the update home).
+	Full Policy = 1 + iota
+	// Sharded stores each object only at its primary site.
+	Sharded
+	// Quorum stores each object at ReplicaCount consecutive sites
+	// starting from the primary; reads and writes run quorum rounds.
+	Quorum
+	// PrimaryOnly is the no-coordination baseline: sharded primaries,
+	// direct RPC, no distributed locking, no 2PC. Serializability is
+	// waived by construction.
+	PrimaryOnly
+)
+
+// String returns the canonical lower-case name used in journal config
+// keys, spec files, and command-line flags.
+func (p Policy) String() string {
+	switch p {
+	case Full:
+		return "full"
+	case Sharded:
+		return "shard"
+	case Quorum:
+		return "quorum"
+	case PrimaryOnly:
+		return "primary"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy inverts String, accepting the canonical names.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "full":
+		return Full, nil
+	case "shard", "sharded":
+		return Sharded, nil
+	case "quorum":
+		return Quorum, nil
+	case "primary", "primary-only":
+		return PrimaryOnly, nil
+	}
+	return 0, fmt.Errorf("place: unknown policy %q (want full, shard, quorum, or primary)", s)
+}
+
+// Policies lists every policy in canonical sweep order.
+func Policies() []Policy { return []Policy{Full, Sharded, Quorum, PrimaryOnly} }
+
+// Partitioner selects how primaries are assigned to sites.
+type Partitioner int
+
+const (
+	// RangePartition assigns contiguous, nearly equal object ranges:
+	// the first objects%sites sites hold one extra object each. This
+	// reproduces the historical db.Catalog layout exactly, so existing
+	// journals stay byte-identical.
+	RangePartition Partitioner = iota
+	// HashPartition scatters primaries with a fixed multiplicative
+	// hash, decorrelating an object's index from its home site.
+	HashPartition
+)
+
+func (p Partitioner) String() string {
+	if p == HashPartition {
+		return "hash"
+	}
+	return "range"
+}
+
+// Map is the placement contract: a deterministic, immutable mapping from
+// objects to their primary site and replica set.
+type Map interface {
+	// Policy identifies the replication mode.
+	Policy() Policy
+	// Sites is the number of sites in the system.
+	Sites() int
+	// Objects is the number of data objects.
+	Objects() int
+	// Primary returns the site holding the primary copy of obj.
+	// Out-of-range objects map to site 0, matching the historical
+	// Catalog behavior.
+	Primary(obj int) int
+	// Replicas returns every site holding a copy of obj, primary
+	// first, in deterministic order. The caller must not mutate the
+	// result of a shared Map concurrently; a fresh slice is returned
+	// on every call.
+	Replicas(obj int) []int
+	// ReplicaCount is the number of copies per object (K).
+	ReplicaCount() int
+	// ReadQuorum is the number of replicas a read must reach (R);
+	// 1 for every non-quorum policy.
+	ReadQuorum() int
+	// WriteQuorum is the number of replicas a write must reach (W);
+	// 1 for every non-quorum policy (the primary).
+	WriteQuorum() int
+	// String renders the canonical description used in journal config
+	// keys, e.g. "quorum(range,k=3,r=2,w=2)".
+	String() string
+}
+
+// mapping is the single concrete Map; the constructors differ only in
+// validation and derived fields.
+type mapping struct {
+	policy   Policy
+	part     Partitioner
+	sites    int
+	objects  int
+	replicas int // K
+	readQ    int // R
+	writeQ   int // W
+}
+
+func (m *mapping) Policy() Policy    { return m.policy }
+func (m *mapping) Sites() int        { return m.sites }
+func (m *mapping) Objects() int      { return m.objects }
+func (m *mapping) ReplicaCount() int { return m.replicas }
+func (m *mapping) ReadQuorum() int   { return m.readQ }
+func (m *mapping) WriteQuorum() int  { return m.writeQ }
+
+// Primary implements the partitioner. The range branch reproduces the
+// historical db.Catalog formula bit for bit.
+func (m *mapping) Primary(obj int) int {
+	if obj < 0 || obj >= m.objects {
+		return 0
+	}
+	if m.part == HashPartition {
+		// Fibonacci hashing: multiply by the golden-ratio constant and
+		// take the top bits via modulo. Deterministic across platforms
+		// (pure uint64 arithmetic).
+		h := (uint64(obj) + 1) * 0x9E3779B97F4A7C15
+		return int(h % uint64(m.sites))
+	}
+	per := m.objects / m.sites
+	extra := m.objects % m.sites
+	// The first `extra` sites hold per+1 objects each.
+	if obj < extra*(per+1) {
+		return obj / (per + 1)
+	}
+	return extra + (obj-extra*(per+1))/per
+}
+
+// Replicas returns primary-first replica sets: all sites for Full, the
+// primary alone for Sharded/PrimaryOnly, and K consecutive sites
+// (wrapping) for Quorum.
+func (m *mapping) Replicas(obj int) []int {
+	p := m.Primary(obj)
+	out := make([]int, 0, m.replicas)
+	switch m.policy {
+	case Full:
+		out = append(out, p)
+		for s := 0; s < m.sites; s++ {
+			if s != p {
+				out = append(out, s)
+			}
+		}
+	case Quorum:
+		for i := 0; i < m.replicas; i++ {
+			out = append(out, (p+i)%m.sites)
+		}
+	default: // Sharded, PrimaryOnly
+		out = append(out, p)
+	}
+	return out
+}
+
+func (m *mapping) String() string {
+	switch m.policy {
+	case Quorum:
+		return fmt.Sprintf("quorum(%s,k=%d,r=%d,w=%d)", m.part, m.replicas, m.readQ, m.writeQ)
+	case Sharded:
+		return fmt.Sprintf("shard(%s)", m.part)
+	case PrimaryOnly:
+		return fmt.Sprintf("primary(%s)", m.part)
+	default:
+		return "full"
+	}
+}
+
+func checkSize(sites, objects int) error {
+	if sites < 1 {
+		return fmt.Errorf("place: sites must be >= 1, got %d", sites)
+	}
+	if objects < 1 {
+		return fmt.Errorf("place: objects must be >= 1, got %d", objects)
+	}
+	return nil
+}
+
+// NewFull returns the fully replicated placement (range primaries, all
+// sites as replicas) — the paper's local-ceiling configuration.
+func NewFull(sites, objects int) (Map, error) {
+	if err := checkSize(sites, objects); err != nil {
+		return nil, err
+	}
+	return &mapping{policy: Full, part: RangePartition, sites: sites, objects: objects,
+		replicas: sites, readQ: 1, writeQ: 1}, nil
+}
+
+// NewSharded returns the primary-copy sharded placement: one copy per
+// object, at its range- or hash-partitioned primary.
+func NewSharded(sites, objects int, part Partitioner) (Map, error) {
+	if err := checkSize(sites, objects); err != nil {
+		return nil, err
+	}
+	return &mapping{policy: Sharded, part: part, sites: sites, objects: objects,
+		replicas: 1, readQ: 1, writeQ: 1}, nil
+}
+
+// NewQuorum returns the quorum-replicated placement: K consecutive
+// replicas from the primary, read quorum R and write quorum W. The
+// intersection requirement R+W > K is enforced here so a valid Map
+// cannot express a non-intersecting quorum system.
+func NewQuorum(sites, objects int, part Partitioner, k, r, w int) (Map, error) {
+	if err := checkSize(sites, objects); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > sites {
+		return nil, fmt.Errorf("place: replica count %d out of range [1,%d]", k, sites)
+	}
+	if r < 1 || r > k {
+		return nil, fmt.Errorf("place: read quorum %d out of range [1,%d]", r, k)
+	}
+	if w < 1 || w > k {
+		return nil, fmt.Errorf("place: write quorum %d out of range [1,%d]", w, k)
+	}
+	if r+w <= k {
+		return nil, fmt.Errorf("place: quorums R=%d W=%d do not intersect over K=%d replicas (need R+W > K)", r, w, k)
+	}
+	return &mapping{policy: Quorum, part: part, sites: sites, objects: objects,
+		replicas: k, readQ: r, writeQ: w}, nil
+}
+
+// NewPrimaryOnly returns the uncoordinated baseline placement: sharded
+// primaries with direct RPC and no 2PC.
+func NewPrimaryOnly(sites, objects int, part Partitioner) (Map, error) {
+	if err := checkSize(sites, objects); err != nil {
+		return nil, err
+	}
+	return &mapping{policy: PrimaryOnly, part: part, sites: sites, objects: objects,
+		replicas: 1, readQ: 1, writeQ: 1}, nil
+}

@@ -1,0 +1,145 @@
+package place
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRangeMatchesHistoricalLayout pins the range partitioner to the
+// historical db.Catalog formula: contiguous ranges, the first
+// objects%sites sites one object larger.
+func TestRangeMatchesHistoricalLayout(t *testing.T) {
+	for _, tc := range []struct{ sites, objects int }{
+		{1, 1}, {3, 200}, {3, 9}, {4, 10}, {16, 200}, {5, 5}, {7, 200},
+	} {
+		m, err := NewSharded(tc.sites, tc.objects, RangePartition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := tc.objects / tc.sites
+		extra := tc.objects % tc.sites
+		prev := 0
+		counts := make([]int, tc.sites)
+		for obj := 0; obj < tc.objects; obj++ {
+			s := m.Primary(obj)
+			if s < prev {
+				t.Fatalf("sites=%d objects=%d: primaries not contiguous at obj %d", tc.sites, tc.objects, obj)
+			}
+			prev = s
+			counts[s]++
+		}
+		for s, n := range counts {
+			want := per
+			if s < extra {
+				want++
+			}
+			if n != want {
+				t.Errorf("sites=%d objects=%d: site %d holds %d primaries, want %d", tc.sites, tc.objects, s, n, want)
+			}
+		}
+	}
+}
+
+// TestHashPartitionDeterministicAndInRange checks the hash partitioner
+// stays in range and is a pure function of (obj, sites).
+func TestHashPartitionDeterministicAndInRange(t *testing.T) {
+	a, err := NewSharded(16, 500, HashPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSharded(16, 500, HashPartition)
+	seen := make(map[int]int)
+	for obj := 0; obj < 500; obj++ {
+		s := a.Primary(obj)
+		if s < 0 || s >= 16 {
+			t.Fatalf("obj %d: primary %d out of range", obj, s)
+		}
+		if b.Primary(obj) != s {
+			t.Fatalf("obj %d: hash placement not deterministic", obj)
+		}
+		seen[s]++
+	}
+	if len(seen) < 12 {
+		t.Errorf("hash partitioner used only %d of 16 sites", len(seen))
+	}
+}
+
+// TestReplicaSets checks replica counts, primary-first ordering, and
+// per-policy shapes.
+func TestReplicaSets(t *testing.T) {
+	full, err := NewFull(4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.Replicas(7); len(got) != 4 || got[0] != full.Primary(7) {
+		t.Fatalf("full replicas = %v, want all 4 sites primary-first", got)
+	}
+	sh, _ := NewSharded(4, 20, RangePartition)
+	if got := sh.Replicas(7); len(got) != 1 || got[0] != sh.Primary(7) {
+		t.Fatalf("sharded replicas = %v, want primary only", got)
+	}
+	q, err := NewQuorum(5, 20, RangePartition, 3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for obj := 0; obj < 20; obj++ {
+		reps := q.Replicas(obj)
+		if len(reps) != 3 {
+			t.Fatalf("obj %d: %d replicas, want 3", obj, len(reps))
+		}
+		if reps[0] != q.Primary(obj) {
+			t.Fatalf("obj %d: replica set %v not primary-first", obj, reps)
+		}
+		dup := make(map[int]bool)
+		for _, s := range reps {
+			if s < 0 || s >= 5 || dup[s] {
+				t.Fatalf("obj %d: bad replica set %v", obj, reps)
+			}
+			dup[s] = true
+		}
+	}
+}
+
+// TestQuorumValidation pins the constructor's rejection cases.
+func TestQuorumValidation(t *testing.T) {
+	cases := []struct {
+		k, r, w int
+		want    string
+	}{
+		{4, 2, 2, "place: quorums R=2 W=2 do not intersect over K=4 replicas (need R+W > K)"},
+		{5, 2, 2, "place: replica count 5 out of range [1,4]"},
+		{0, 1, 1, "place: replica count 0 out of range [1,4]"},
+		{3, 0, 2, "place: read quorum 0 out of range [1,3]"},
+		{3, 2, 4, "place: write quorum 4 out of range [1,3]"},
+	}
+	for _, tc := range cases {
+		_, err := NewQuorum(4, 10, RangePartition, tc.k, tc.r, tc.w)
+		if err == nil || err.Error() != tc.want {
+			t.Errorf("NewQuorum(k=%d,r=%d,w=%d) err = %v, want %q", tc.k, tc.r, tc.w, err, tc.want)
+		}
+	}
+	if _, err := NewQuorum(4, 10, RangePartition, 3, 2, 2); err != nil {
+		t.Errorf("valid quorum rejected: %v", err)
+	}
+}
+
+// TestPolicyStrings pins canonical names and ParsePolicy round trips.
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("ParsePolicy(bogus) err = %v", err)
+	}
+	q, _ := NewQuorum(5, 20, HashPartition, 3, 2, 2)
+	if q.String() != "quorum(hash,k=3,r=2,w=2)" {
+		t.Errorf("quorum String = %q", q.String())
+	}
+	full, _ := NewFull(3, 9)
+	if full.String() != "full" {
+		t.Errorf("full String = %q", full.String())
+	}
+}

@@ -167,6 +167,15 @@ type Params struct {
 	HotspotFrac float64
 	// HotspotProb is the probability an access targets the hotspot.
 	HotspotProb float64
+	// LocalityProb skews object selection toward the home site's shard:
+	// with this probability an access draws from the home site's primary
+	// partition through a Zipf-skewed rank (hot local objects first);
+	// otherwise it is uniform over the whole database. Zero keeps the
+	// historical uniform choice and draws nothing extra from the random
+	// stream. Update transactions under LocalWriteSets are already fully
+	// partition-local; the knob then shapes only the unrestricted
+	// transactions.
+	LocalityProb float64
 	// BurstFactor, when > 1, makes the arrival process bursty: while the
 	// burst phase is on, the mean interarrival is divided by this factor.
 	// The phase is a deterministic square wave of the arrival clock —
@@ -204,6 +213,9 @@ func (p Params) validate() error {
 	}
 	if p.HotspotFrac < 0 || p.HotspotFrac > 1 || p.HotspotProb < 0 || p.HotspotProb > 1 {
 		return fmt.Errorf("workload: hotspot parameters (%v,%v) out of [0,1]", p.HotspotFrac, p.HotspotProb)
+	}
+	if p.LocalityProb < 0 || p.LocalityProb > 1 {
+		return fmt.Errorf("workload: locality probability %v out of [0,1]", p.LocalityProb)
 	}
 	if p.BurstFactor != 0 && p.BurstFactor < 1 {
 		return fmt.Errorf("workload: burst factor %v must be >= 1 (or 0 for off)", p.BurstFactor)
@@ -382,6 +394,9 @@ func pickOps(rng *rand.Rand, p Params, kind Kind, home db.SiteID, perm *[]int) [
 	if kind == ReadOnly {
 		mode = core.Read
 	}
+	if p.LocalityProb > 0 && partition == nil {
+		return pickLocalityOps(rng, p, mode, home, size)
+	}
 	picked := pickIndexes(rng, p, pool, size, perm)
 	ops := make([]Op, 0, size)
 	for _, idx := range picked {
@@ -438,6 +453,62 @@ func pickIndexes(rng *rand.Rand, p Params, pool, size int, perm *[]int) []int {
 		out = append(out, idx)
 	}
 	return out
+}
+
+// zipfSkew is the fixed exponent of the locality draw's Zipf rank: the
+// home partition's objects are ranked ascending and low ranks dominate.
+const zipfSkew = 1.5
+
+// pickLocalityOps draws size distinct objects mixing local-shard and
+// global accesses: with probability LocalityProb an access is a
+// Zipf-skewed rank into the home site's primary partition, otherwise
+// uniform over the whole database. Repeats in the dense Zipf head fall
+// back to the first unused partition object so the loop stays bounded;
+// an exhausted partition (or a site with no primaries under hash
+// placement) degrades to the uniform draw.
+func pickLocalityOps(rng *rand.Rand, p Params, mode core.Mode, home db.SiteID, size int) []Op {
+	local := p.Catalog.ObjectsAt(home)
+	total := p.Catalog.Objects()
+	var zipf *rand.Zipf
+	localSet := make(map[core.ObjectID]bool, len(local))
+	if len(local) > 0 {
+		zipf = rand.NewZipf(rng, zipfSkew, 1, uint64(len(local)-1))
+		for _, o := range local {
+			localSet[o] = true
+		}
+	}
+	used := make(map[core.ObjectID]bool, size)
+	localUsed := 0
+	ops := make([]Op, 0, size)
+	for len(ops) < size {
+		fromLocal := rng.Float64() < p.LocalityProb
+		if localUsed >= len(local) {
+			fromLocal = false
+		}
+		var obj core.ObjectID
+		if fromLocal {
+			obj = local[zipf.Uint64()]
+			if used[obj] {
+				for _, cand := range local {
+					if !used[cand] {
+						obj = cand
+						break
+					}
+				}
+			}
+		} else {
+			obj = core.ObjectID(rng.Intn(total))
+			if used[obj] {
+				continue
+			}
+		}
+		used[obj] = true
+		if localSet[obj] {
+			localUsed++
+		}
+		ops = append(ops, Op{Obj: obj, Mode: mode})
+	}
+	return ops
 }
 
 // permInto writes a uniform permutation of [0, n) into the shared

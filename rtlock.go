@@ -42,6 +42,7 @@ import (
 	"rtlock/internal/journal"
 	"rtlock/internal/metrics"
 	"rtlock/internal/netsim"
+	"rtlock/internal/place"
 	"rtlock/internal/sim"
 	"rtlock/internal/stats"
 	"rtlock/internal/timeline"
@@ -248,6 +249,13 @@ type WorkloadConfig struct {
 	// BurstOn and BurstOff are the burst and quiet phase widths; both
 	// must be positive when BurstFactor > 1.
 	BurstOn, BurstOff Duration
+	// LocalityProb, for distributed runs with a sharded, quorum, or
+	// primary-only placement, biases object selection toward the
+	// transaction's home shard: each access is drawn Zipf-skewed from
+	// the home site's primaries with this probability, uniformly from
+	// the whole database otherwise. Zero keeps uniform global
+	// selection; requires Placement to be set.
+	LocalityProb float64
 	// Transactions, when non-nil, bypasses generation entirely and
 	// runs exactly these transactions.
 	Transactions []*Txn
@@ -326,7 +334,29 @@ type SingleSiteConfig struct {
 type DistributedConfig struct {
 	// Global selects the global-ceiling-manager architecture; false
 	// (the default) selects local ceilings with full replication.
+	// Mutually exclusive with the non-full Placement policies.
 	Global bool
+	// Placement selects a point on the data placement and replication
+	// spectrum (internal/place): "" or "full" keeps the paper's fully
+	// replicated layout under the approach selected by Global; "shard"
+	// runs primary-copy sharding (locks and data at each object's
+	// primary, 2PC for cross-shard writers); "quorum" adds K-replica
+	// quorum replication with R/W rounds; "primary" is the
+	// uncoordinated primary-only baseline — no distributed locking, no
+	// 2PC, serializability waived and journaled as such. Comparing a
+	// coordinated mode against "primary" yields its consistency tax.
+	Placement string
+	// HashShards selects hash partitioning for the primary mapping of
+	// sharded, quorum, and primary-only placements (default: contiguous
+	// range partitioning).
+	HashShards bool
+	// Replicas is the replica-set size K for the quorum placement
+	// (default min(3, Sites)).
+	Replicas int
+	// ReadQuorum and WriteQuorum are the quorum sizes R and W over the
+	// K replicas; defaults are a read majority (K/2+1) and the smallest
+	// intersecting write quorum (K-R+1). R+W must exceed K.
+	ReadQuorum, WriteQuorum int
 	// Sites is the number of fully interconnected sites (default 3).
 	Sites int
 	// DBSize is the number of data objects (default 200).
@@ -629,13 +659,52 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 	if cfg.Global {
 		approach = dist.GlobalCeiling
 	}
+	// Resolve the placement policy. "" and "full" keep the legacy
+	// approach selection; the other policies select their own execution
+	// model and leave the approach unset.
+	var pol place.Policy
+	if cfg.Placement != "" {
+		var err error
+		if pol, err = place.ParsePolicy(cfg.Placement); err != nil {
+			return nil, err
+		}
+	}
+	placed := pol != 0 && pol != place.Full
+	if placed {
+		if cfg.Global {
+			return nil, fmt.Errorf("rtlock: placement %s selects its own execution model; Global must be false", cfg.Placement)
+		}
+		approach = 0
+	}
+	if cfg.Workload.LocalityProb > 0 && !placed {
+		return nil, fmt.Errorf("rtlock: LocalityProb requires a sharded, quorum, or primary-only placement")
+	}
 	var jrn *journal.Journal
 	if cfg.Journal || cfg.Audit || cfg.Metrics {
+		arch := approach.String()
+		if placed {
+			arch = pol.String()
+		}
 		key := fmt.Sprintf(
 			"dist/%s/sites=%d/db=%d/delay=%d/count=%d/size=%d/ro=%g/mv=%t",
-			approach, cfg.Sites, cfg.DBSize, int64(cfg.CommDelay),
+			arch, cfg.Sites, cfg.DBSize, int64(cfg.CommDelay),
 			cfg.Workload.Count, cfg.Workload.MeanSize, cfg.Workload.ReadOnlyFrac,
 			cfg.Multiversion)
+		if placed {
+			// The placement parameters are part of the run identity; the
+			// legacy and full layouts keep the historical key so existing
+			// golden journals stay byte-identical.
+			key += fmt.Sprintf("/place=%s", pol)
+			if cfg.HashShards {
+				key += "/hash"
+			}
+			if pol == place.Quorum {
+				key += fmt.Sprintf("/k=%d/r=%d/w=%d", cfg.Replicas, cfg.ReadQuorum, cfg.WriteQuorum)
+			}
+			if cfg.Workload.LocalityProb > 0 {
+				key += fmt.Sprintf("/loc=%g", cfg.Workload.LocalityProb)
+			}
+		}
 		if !cfg.Faults.Empty() {
 			// An empty plan keeps the fault-free config key so its
 			// journal stays byte-identical to a run without one.
@@ -646,6 +715,11 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 	reg, tl := buildTelemetry(cfg.Metrics, cfg.TimelineWindow, cfg.TimelineMaxWindows)
 	cluster, err := dist.NewCluster(dist.Config{
 		Approach:        approach,
+		Placement:       pol,
+		HashShards:      cfg.HashShards,
+		Replicas:        cfg.Replicas,
+		ReadQuorum:      cfg.ReadQuorum,
+		WriteQuorum:     cfg.WriteQuorum,
 		Sites:           cfg.Sites,
 		Objects:         cfg.DBSize,
 		CommDelay:       cfg.CommDelay,
@@ -678,7 +752,8 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 			PerObjCost:        cfg.CPUPerObj,
 			SlackMin:          cfg.Workload.SlackMin,
 			SlackMax:          cfg.Workload.SlackMax,
-			LocalWriteSets:    true,
+			LocalWriteSets:    !placed,
+			LocalityProb:      cfg.Workload.LocalityProb,
 			PeriodicFrac:      cfg.Workload.PeriodicFrac,
 			Period:            cfg.Workload.Period,
 			ImplicitDeadlines: cfg.Workload.ImplicitDeadlines,
@@ -720,9 +795,17 @@ func RunDistributed(cfg DistributedConfig) (*Result, error) {
 		res.TimelineDropped = tl.Dropped()
 	}
 	if cfg.Audit {
-		auds := audit.ForApproach(approach.String())
-		if cfg.Faults != nil && !cfg.Faults.Empty() {
-			auds = audit.ForFaults(approach.String())
+		var auds []audit.Auditor
+		if placed {
+			auds = audit.ForPlacement(pol.String())
+			if cfg.Faults != nil && !cfg.Faults.Empty() {
+				auds = audit.ForPlacementFaults(pol.String())
+			}
+		} else {
+			auds = audit.ForApproach(approach.String())
+			if cfg.Faults != nil && !cfg.Faults.Empty() {
+				auds = audit.ForFaults(approach.String())
+			}
 		}
 		res.Violations = audit.Run(jrn, auds...)
 		if res.Violations == nil {
@@ -830,6 +913,29 @@ func NewCustomTopology(delay [][]Duration) (*Topology, error) {
 	return netsim.Custom(delay)
 }
 
+// PlacementPolicy enumerates the data placement and replication
+// policies of internal/place; parse names with ParsePlacementPolicy.
+type PlacementPolicy = place.Policy
+
+// The placement policies.
+const (
+	// PlacementFull replicates every object at every site (the paper's
+	// layout; pairs with the local approach).
+	PlacementFull = place.Full
+	// PlacementShard assigns each object one primary holding its only
+	// copy and its lock.
+	PlacementShard = place.Sharded
+	// PlacementQuorum adds K-replica quorum replication over the shard
+	// layout.
+	PlacementQuorum = place.Quorum
+	// PlacementPrimaryOnly is the uncoordinated primary-only baseline.
+	PlacementPrimaryOnly = place.PrimaryOnly
+)
+
+// ParsePlacementPolicy resolves a policy name ("full", "shard",
+// "quorum", "primary").
+func ParsePlacementPolicy(name string) (PlacementPolicy, error) { return place.ParsePolicy(name) }
+
 // SingleSiteParams re-exports the Figures 2–3 experiment configuration.
 type SingleSiteParams = experiments.SingleSiteParams
 
@@ -843,6 +949,23 @@ func DefaultSingleSiteParams() SingleSiteParams { return experiments.DefaultSing
 // DefaultDistParams returns the calibrated distributed experiment
 // configuration.
 func DefaultDistParams() DistParams { return experiments.DefaultDistributed() }
+
+// SiteSweepParams re-exports the placement site-count sweep
+// configuration.
+type SiteSweepParams = experiments.SiteSweepParams
+
+// DefaultSiteSweepParams returns the calibrated site-sweep
+// configuration: sites {1,2,4,8,16} × all four placement policies at a
+// locality-skewed 50/50 mix.
+func DefaultSiteSweepParams() SiteSweepParams { return experiments.DefaultSiteSweep() }
+
+// RunSiteSweep sweeps every placement policy across the site-count axis
+// and reports committed throughput, deadline misses, and each
+// coordinated policy's consistency tax (latency and throughput ratios)
+// against the primary-only baseline.
+func RunSiteSweep(p SiteSweepParams) (thpt, missed, tax Figure, err error) {
+	return experiments.SiteSweep(p)
+}
 
 // ReproduceFig2 regenerates the paper's Figure 2 (single-site normalized
 // throughput vs transaction size).
@@ -936,6 +1059,11 @@ type ExploreConfig struct {
 	// recovery-correctness family. Counterexamples carry the exact
 	// failure schedule as an exportable, replayable fault plan.
 	Faults bool
+	// Placement explores a placement-aware execution model ("shard",
+	// "quorum", or "primary") instead of the legacy approaches;
+	// requires Faults and Global=false. Empty keeps the approach
+	// selected by Global.
+	Placement string
 	// Seed drives the workload stream (default 1).
 	Seed int64
 	// Options bounds the exploration (explore defaults when zero).
@@ -949,8 +1077,17 @@ type ExploreConfig struct {
 func Explore(cfg ExploreConfig) (*ExploreReport, error) {
 	var tgt ExploreTarget
 	var err error
+	if cfg.Placement != "" && !cfg.Faults {
+		return nil, fmt.Errorf("rtlock: exploring placement %s requires Faults", cfg.Placement)
+	}
 	if cfg.Faults {
-		tgt, err = explore.FaultTarget(explore.FaultOpts{Global: cfg.Global, Seed: cfg.Seed})
+		var pol place.Policy
+		if cfg.Placement != "" {
+			if pol, err = place.ParsePolicy(cfg.Placement); err != nil {
+				return nil, err
+			}
+		}
+		tgt, err = explore.FaultTarget(explore.FaultOpts{Global: cfg.Global, Placement: pol, Seed: cfg.Seed})
 	} else if cfg.Distributed {
 		tgt, err = explore.DistributedTarget(explore.DistributedOpts{Global: cfg.Global, Seed: cfg.Seed})
 	} else {
